@@ -1,0 +1,271 @@
+// Benchmarks regenerating the paper's tables and figures (one bench per
+// artifact; see DESIGN.md §3 for the experiment index) plus per-update
+// microbenchmarks for every method — the quantity behind Figs. 1e, 5a and 7.
+//
+// Run everything:
+//
+//	go test -bench=. -benchmem
+//
+// The per-update benches measure one end-to-end event (window maintenance +
+// factor update) per iteration on the density-preserving bench presets.
+package slicenstitch
+
+import (
+	"testing"
+
+	"slicenstitch/internal/als"
+	"slicenstitch/internal/baselines"
+	"slicenstitch/internal/core"
+	"slicenstitch/internal/cpd"
+	"slicenstitch/internal/datagen"
+	"slicenstitch/internal/experiments"
+	"slicenstitch/internal/window"
+)
+
+// benchEnv primes a window at the end of the initial W-period fill and
+// returns its generator positioned to continue the stream.
+func benchEnv(b *testing.B, p datagen.Preset, rank int) (*window.Window, *datagen.Generator, int64, *cpd.Model) {
+	b.Helper()
+	gen := datagen.NewGenerator(p, 7)
+	w := 10
+	t0 := int64(w) * p.DefaultPeriod
+	win := window.New(p.Dims, w, p.DefaultPeriod)
+	for t := int64(0); t <= t0; t++ {
+		win.AdvanceTo(t, nil)
+		for _, tp := range gen.Tick(t) {
+			win.Ingest(tp)
+		}
+	}
+	init := als.Run(win.X(), als.Options{Rank: rank, Seed: 1})
+	return win, gen, t0, init
+}
+
+// benchEventUpdates times b.N end-to-end events (window + Apply).
+func benchEventUpdates(b *testing.B, p datagen.Preset, mk func(*window.Window, *cpd.Model) core.Decomposer) {
+	win, gen, t0, init := benchEnv(b, p, 20)
+	dec := mk(win, init)
+	count := 0
+	apply := func(ch window.Change) {
+		dec.Apply(ch)
+		count++
+	}
+	t := t0
+	b.ResetTimer()
+	for count < b.N {
+		t++
+		win.AdvanceTo(t, apply)
+		for _, tp := range gen.Tick(t) {
+			if ch, ok := win.Ingest(tp); ok {
+				apply(ch)
+			}
+		}
+	}
+}
+
+// benchPeriodUpdates times b.N per-period updates of a baseline.
+func benchPeriodUpdates(b *testing.B, p datagen.Preset, mk func(*window.Window, *cpd.Model) baselines.Periodic) {
+	win, gen, t0, init := benchEnv(b, p, 20)
+	dec := mk(win, init)
+	t := t0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		for step := int64(0); step < p.DefaultPeriod; step++ {
+			t++
+			win.AdvanceTo(t, nil)
+			for _, tp := range gen.Tick(t) {
+				win.Ingest(tp)
+			}
+		}
+		b.StartTimer()
+		dec.OnPeriod(win.X())
+	}
+}
+
+// --- Fig. 5a: runtime per update, SliceNStitch variants ---
+
+func BenchmarkFig5UpdateSNSMat(b *testing.B) {
+	benchEventUpdates(b, datagen.ChicagoCrime.Bench(), func(w *window.Window, m *cpd.Model) core.Decomposer {
+		return core.NewSNSMat(w, m)
+	})
+}
+
+func BenchmarkFig5UpdateSNSVec(b *testing.B) {
+	benchEventUpdates(b, datagen.ChicagoCrime.Bench(), func(w *window.Window, m *cpd.Model) core.Decomposer {
+		return core.NewSNSVec(w, m)
+	})
+}
+
+func BenchmarkFig5UpdateSNSRnd(b *testing.B) {
+	benchEventUpdates(b, datagen.ChicagoCrime.Bench(), func(w *window.Window, m *cpd.Model) core.Decomposer {
+		return core.NewSNSRnd(w, m, 20, 3)
+	})
+}
+
+func BenchmarkFig5UpdateSNSVecPlus(b *testing.B) {
+	benchEventUpdates(b, datagen.ChicagoCrime.Bench(), func(w *window.Window, m *cpd.Model) core.Decomposer {
+		return core.NewSNSVecPlus(w, m, 1000)
+	})
+}
+
+func BenchmarkFig5UpdateSNSRndPlus(b *testing.B) {
+	benchEventUpdates(b, datagen.ChicagoCrime.Bench(), func(w *window.Window, m *cpd.Model) core.Decomposer {
+		return core.NewSNSRndPlus(w, m, 20, 1000, 3)
+	})
+}
+
+// --- Fig. 5a: runtime per update, periodic baselines ---
+
+func BenchmarkFig5UpdateALS(b *testing.B) {
+	benchPeriodUpdates(b, datagen.ChicagoCrime.Bench(), func(w *window.Window, m *cpd.Model) baselines.Periodic {
+		return baselines.NewPeriodicALS(m, 5)
+	})
+}
+
+func BenchmarkFig5UpdateOnlineSCP(b *testing.B) {
+	benchPeriodUpdates(b, datagen.ChicagoCrime.Bench(), func(w *window.Window, m *cpd.Model) baselines.Periodic {
+		return baselines.NewOnlineSCP(w.X(), m)
+	})
+}
+
+func BenchmarkFig5UpdateCPStream(b *testing.B) {
+	benchPeriodUpdates(b, datagen.ChicagoCrime.Bench(), func(w *window.Window, m *cpd.Model) baselines.Periodic {
+		return baselines.NewCPStream(w.X(), m, 0)
+	})
+}
+
+func BenchmarkFig5UpdateNeCPD1(b *testing.B) {
+	benchPeriodUpdates(b, datagen.ChicagoCrime.Bench(), func(w *window.Window, m *cpd.Model) baselines.Periodic {
+		return baselines.NewNeCPD(m, 1, 0)
+	})
+}
+
+func BenchmarkFig5UpdateNeCPD10(b *testing.B) {
+	benchPeriodUpdates(b, datagen.ChicagoCrime.Bench(), func(w *window.Window, m *cpd.Model) baselines.Periodic {
+		return baselines.NewNeCPD(m, 10, 0)
+	})
+}
+
+// --- Fig. 1e: continuous CPD per-update cost on the taxi workload ---
+
+func BenchmarkFig1ContinuousUpdate(b *testing.B) {
+	benchEventUpdates(b, datagen.NewYorkTaxi.Bench(), func(w *window.Window, m *cpd.Model) core.Decomposer {
+		return core.NewSNSRnd(w, m, 20, 3)
+	})
+}
+
+// --- Fig. 7: θ sensitivity of the sampled update ---
+
+func BenchmarkFig7UpdateTheta10(b *testing.B) { benchTheta(b, 10) }
+func BenchmarkFig7UpdateTheta20(b *testing.B) { benchTheta(b, 20) }
+func BenchmarkFig7UpdateTheta40(b *testing.B) { benchTheta(b, 40) }
+func BenchmarkFig7UpdateTheta80(b *testing.B) { benchTheta(b, 80) }
+
+func benchTheta(b *testing.B, theta int) {
+	benchEventUpdates(b, datagen.NewYorkTaxi.Bench(), func(w *window.Window, m *cpd.Model) core.Decomposer {
+		return core.NewSNSRndPlus(w, m, theta, 1000, 3)
+	})
+}
+
+// --- Whole-experiment benches (one tiny but complete run per iteration) ---
+
+func tinyOpt() experiments.Options {
+	return experiments.Options{Scale: 0.5, Periods: 3, Rank: 8, W: 4, Seed: 1, ALSSweeps: 2, Eta: 1000}
+}
+
+func BenchmarkTable2DatasetGen(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Table2(tinyOpt(), 500)
+	}
+}
+
+func BenchmarkFig1Experiment(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.RunFig1(tinyOpt(), []int64{600, 3600})
+	}
+}
+
+func BenchmarkFig4RelativeFitness(b *testing.B) {
+	presets := []datagen.Preset{datagen.ChicagoCrime}
+	for i := 0; i < b.N; i++ {
+		experiments.RunFig4(presets, tinyOpt())
+	}
+}
+
+func BenchmarkFig6Scalability(b *testing.B) {
+	presets := []datagen.Preset{datagen.ChicagoCrime}
+	for i := 0; i < b.N; i++ {
+		experiments.RunFig6(presets, tinyOpt())
+	}
+}
+
+func BenchmarkFig7ThetaSweep(b *testing.B) {
+	presets := []datagen.Preset{datagen.ChicagoCrime}
+	for i := 0; i < b.N; i++ {
+		experiments.RunFig7(presets, tinyOpt(), []float64{0.5, 1})
+	}
+}
+
+func BenchmarkFig8EtaSweep(b *testing.B) {
+	presets := []datagen.Preset{datagen.ChicagoCrime}
+	for i := 0; i < b.N; i++ {
+		experiments.RunFig8(presets, tinyOpt(), []float64{1000})
+	}
+}
+
+func BenchmarkFig9Anomaly(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.RunFig9(tinyOpt(), 5, 15)
+	}
+}
+
+// --- Supporting kernels ---
+
+func BenchmarkInitALS(b *testing.B) {
+	win, _, _, _ := benchEnv(b, datagen.ChicagoCrime.Bench(), 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		als.Run(win.X(), als.Options{Rank: 20, MaxIters: 5, Seed: 1})
+	}
+}
+
+func BenchmarkFitnessEvaluation(b *testing.B) {
+	win, _, _, init := benchEnv(b, datagen.ChicagoCrime.Bench(), 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cpd.Fitness(win.X(), init)
+	}
+}
+
+// BenchmarkPublicAPIPush measures the end-to-end public Tracker push path.
+func BenchmarkPublicAPIPush(b *testing.B) {
+	p := datagen.ChicagoCrime.Bench()
+	tr, err := New(Config{Dims: p.Dims, W: 10, Period: p.DefaultPeriod, Rank: 20, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen := datagen.NewGenerator(p, 7)
+	t := int64(0)
+	for t <= int64(10)*p.DefaultPeriod {
+		for _, tp := range gen.Tick(t) {
+			if err := tr.Push(tp.Coord, tp.Value, tp.Time); err != nil {
+				b.Fatal(err)
+			}
+		}
+		t++
+	}
+	if err := tr.Start(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	pushed := 0
+	for pushed < b.N {
+		for _, tp := range gen.Tick(t) {
+			if err := tr.Push(tp.Coord, tp.Value, tp.Time); err != nil {
+				b.Fatal(err)
+			}
+			pushed++
+		}
+		t++
+	}
+}

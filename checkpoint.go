@@ -1,0 +1,121 @@
+package slicenstitch
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+
+	"slicenstitch/internal/core"
+	"slicenstitch/internal/cpd"
+	"slicenstitch/internal/window"
+)
+
+// checkpointHeader carries the tracker-level state around the window and
+// model blocks.
+type checkpointHeader struct {
+	Version int
+	Config  Config
+	Started bool
+	Events  uint64
+}
+
+// checkpointVersion is bumped on incompatible format changes.
+const checkpointVersion = 1
+
+// Checkpoint serializes the tracker — configuration, tensor window with
+// its pending schedule, and (once started) the factor model — so tracking
+// can resume after a restart with Restore.
+//
+// The restored tracker continues from the exact window and factor state,
+// with Gram matrices recomputed from the factors (the live tracker
+// maintains them incrementally, so a resumed run matches an uninterrupted
+// one to floating-point round-off rather than bit-for-bit). The sampling
+// variants (SNSRnd, SNSRndPlus) additionally restart their sampler from
+// the configured seed.
+func (t *Tracker) Checkpoint(w io.Writer) error {
+	enc := gob.NewEncoder(w)
+	if err := enc.Encode(checkpointHeader{
+		Version: checkpointVersion,
+		Config:  t.cfg,
+		Started: t.started,
+		Events:  t.events,
+	}); err != nil {
+		return fmt.Errorf("slicenstitch: checkpoint header: %w", err)
+	}
+	if err := t.win.Encode(w); err != nil {
+		return fmt.Errorf("slicenstitch: checkpoint window: %w", err)
+	}
+	if t.started {
+		if err := t.dec.Model().Encode(w); err != nil {
+			return fmt.Errorf("slicenstitch: checkpoint model: %w", err)
+		}
+	}
+	return nil
+}
+
+// Restore rebuilds a tracker from a Checkpoint stream.
+func Restore(r io.Reader) (*Tracker, error) {
+	dec := gob.NewDecoder(r)
+	var h checkpointHeader
+	if err := dec.Decode(&h); err != nil {
+		return nil, fmt.Errorf("slicenstitch: restore header: %w", err)
+	}
+	if h.Version != checkpointVersion {
+		return nil, fmt.Errorf("slicenstitch: unsupported checkpoint version %d", h.Version)
+	}
+	if err := h.Config.validate(); err != nil {
+		return nil, err
+	}
+	win, err := window.DecodeWindow(r)
+	if err != nil {
+		return nil, err
+	}
+	t := &Tracker{cfg: h.Config, win: win, events: h.Events}
+	if !h.Started {
+		return t, nil
+	}
+	model, err := cpd.DecodeModel(r)
+	if err != nil {
+		return nil, err
+	}
+	if err := t.adopt(model); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// adopt installs a model as the live decomposition state (Gram matrices
+// are recomputed from the factors).
+func (t *Tracker) adopt(model *cpd.Model) error {
+	want := append(append([]int{}, t.cfg.Dims...), t.cfg.W)
+	got := model.Shape()
+	if len(got) != len(want) {
+		return errors.New("slicenstitch: checkpoint model order mismatch")
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			return fmt.Errorf("slicenstitch: checkpoint model mode %d size %d != config %d", i, got[i], want[i])
+		}
+	}
+	switch t.cfg.Algorithm {
+	case SNSMat:
+		t.dec = core.NewSNSMat(t.win, model)
+	case SNSVec:
+		t.dec = core.NewSNSVec(t.win, model)
+	case SNSRnd:
+		t.dec = core.NewSNSRnd(t.win, model, t.cfg.Theta, t.cfg.Seed)
+	case SNSVecPlus:
+		dec := core.NewSNSVecPlus(t.win, model, t.cfg.Eta)
+		dec.NonNegative = t.cfg.NonNegative
+		t.dec = dec
+	case SNSRndPlus:
+		dec := core.NewSNSRndPlus(t.win, model, t.cfg.Theta, t.cfg.Eta, t.cfg.Seed)
+		dec.NonNegative = t.cfg.NonNegative
+		t.dec = dec
+	default:
+		return fmt.Errorf("slicenstitch: unknown algorithm %q", t.cfg.Algorithm)
+	}
+	t.started = true
+	return nil
+}

@@ -1,0 +1,149 @@
+package slicenstitch
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestCheckpointBeforeStart(t *testing.T) {
+	tr, _ := New(validConfig())
+	fill(t, tr, 40, 1)
+	var buf bytes.Buffer
+	if err := tr.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Restore(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Started() {
+		t.Fatal("restored tracker should not be started")
+	}
+	if got.NNZ() != tr.NNZ() || got.Now() != tr.Now() {
+		t.Fatalf("window state mismatch: nnz %d/%d now %d/%d", got.NNZ(), tr.NNZ(), got.Now(), tr.Now())
+	}
+	// The restored tracker can still Start and run.
+	if err := got.Start(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A deterministic variant (SNSVecPlus) must resume equivalently up to
+// floating-point round-off (the restored Grams are recomputed rather than
+// carried incrementally): checkpoint mid-stream, restore, continue both
+// trackers with identical input, and compare factors.
+func TestCheckpointResumeBitExact(t *testing.T) {
+	cfg := validConfig()
+	cfg.Algorithm = SNSVecPlus
+	tr, _ := New(cfg)
+	last := fill(t, tr, 50, 2)
+	if err := tr.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(3))
+	tm := last
+	push := func(target *Tracker, n int, r *rand.Rand, from int64) int64 {
+		tt := from
+		for i := 0; i < n; i++ {
+			tt += int64(r.Intn(2))
+			if err := target.Push([]int{r.Intn(5), r.Intn(4)}, 1, tt); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return tt
+	}
+	tm = push(tr, 30, rng, tm)
+
+	var buf bytes.Buffer
+	if err := tr.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := Restore(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Events() != tr.Events() {
+		t.Fatalf("events %d != %d", resumed.Events(), tr.Events())
+	}
+
+	// Continue both with the same tuple sequence.
+	contA := rand.New(rand.NewSource(4))
+	contB := rand.New(rand.NewSource(4))
+	push(tr, 40, contA, tm)
+	push(resumed, 40, contB, tm)
+
+	fa, fb := tr.Factors(), resumed.Factors()
+	for m := range fa.Matrices {
+		for i := range fa.Matrices[m] {
+			for k := range fa.Matrices[m][i] {
+				a, b := fa.Matrices[m][i][k], fb.Matrices[m][i][k]
+				if math.Abs(a-b) > 1e-9*(1+math.Abs(a)) {
+					t.Fatalf("factor[%d][%d][%d] diverged: %g vs %g", m, i, k, a, b)
+				}
+			}
+		}
+	}
+	if math.Abs(tr.Fitness()-resumed.Fitness()) > 1e-9 {
+		t.Fatalf("fitness diverged: %g vs %g", tr.Fitness(), resumed.Fitness())
+	}
+}
+
+func TestCheckpointAllAlgorithmsRoundTrip(t *testing.T) {
+	for _, alg := range []Algorithm{SNSMat, SNSVec, SNSRnd, SNSVecPlus, SNSRndPlus} {
+		cfg := validConfig()
+		cfg.Algorithm = alg
+		tr, _ := New(cfg)
+		last := fill(t, tr, 40, 5)
+		if err := tr.Start(); err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		var buf bytes.Buffer
+		if err := tr.Checkpoint(&buf); err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		got, err := Restore(&buf)
+		if err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		if got.AlgorithmName() != string(alg) {
+			t.Fatalf("%s: restored algorithm %q", alg, got.AlgorithmName())
+		}
+		// The restored model predicts identically right after restore.
+		a, _ := tr.Predict([]int{1, 1}, 0)
+		b, _ := got.Predict([]int{1, 1}, 0)
+		if a != b {
+			t.Fatalf("%s: prediction mismatch %g vs %g", alg, a, b)
+		}
+		// And it keeps running.
+		if err := got.Push([]int{0, 0}, 1, last+1); err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+	}
+}
+
+func TestRestoreRejectsGarbage(t *testing.T) {
+	if _, err := Restore(bytes.NewReader([]byte("not a checkpoint"))); err == nil {
+		t.Fatal("expected error for garbage input")
+	}
+	var empty bytes.Buffer
+	if _, err := Restore(&empty); err == nil {
+		t.Fatal("expected error for empty input")
+	}
+}
+
+func TestRestoreRejectsTruncated(t *testing.T) {
+	tr, _ := New(validConfig())
+	fill(t, tr, 40, 6)
+	tr.Start()
+	var buf bytes.Buffer
+	if err := tr.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	if _, err := Restore(bytes.NewReader(raw[:len(raw)/2])); err == nil {
+		t.Fatal("expected error for truncated checkpoint")
+	}
+}

@@ -1,0 +1,157 @@
+// Command snsexp regenerates the tables and figures of the SliceNStitch
+// paper's evaluation (Section VI) on synthetic stand-ins for its datasets.
+//
+// Usage:
+//
+//	snsexp -exp fig4 [-datasets NewYorkTaxi,ChicagoCrime] [-scale 0.01]
+//	       [-periods 10] [-rank 20] [-w 10] [-seed 1] [-csv]
+//
+// Experiments: table2, table3, fig1, fig4, fig5, fig6, fig7, fig8, fig9,
+// or all. Scale 1 with periods 50 reproduces the paper's full setup (hours
+// of compute); the defaults run in minutes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"slicenstitch/internal/datagen"
+	"slicenstitch/internal/experiments"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "all", "experiment id: table2|table3|fig1|fig4|fig5|fig6|fig7|fig8|fig9|tucker|all")
+		datasets = flag.String("datasets", "", "comma-separated preset names (default: all four)")
+		scale    = flag.Float64("scale", 1, "event-rate scale on top of the bench presets")
+		periods  = flag.Int("periods", 10, "periods processed after the initial window (paper: 50)")
+		rank     = flag.Int("rank", 20, "CP rank R")
+		w        = flag.Int("w", 10, "window length W")
+		seed     = flag.Int64("seed", 1, "random seed")
+		eta      = flag.Float64("eta", 1000, "clipping threshold η")
+		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		fulldims = flag.Bool("fulldims", false, "use the paper's full categorical dimensions (hours of compute; combine with -periods 50)")
+	)
+	flag.Parse()
+
+	opt := experiments.Options{
+		Scale:    *scale,
+		Periods:  *periods,
+		Rank:     *rank,
+		W:        *w,
+		Seed:     *seed,
+		Eta:      *eta,
+		FullDims: *fulldims,
+	}
+
+	presets, err := parsePresets(*datasets)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	emit := func(t experiments.Table) {
+		if *csv {
+			fmt.Print("# ", t.Caption, "\n", t.CSV())
+		} else {
+			fmt.Println(t.String())
+		}
+	}
+
+	run := func(id string) error {
+		switch id {
+		case "table2":
+			emit(experiments.Table2(opt, 2000))
+		case "table3":
+			emit(experiments.Table3(opt))
+		case "fig1":
+			emit(experiments.Fig1Table(experiments.RunFig1(opt, nil)))
+		case "fig4":
+			results := experiments.RunFig4(presets, opt)
+			for _, t := range experiments.Fig4Tables(results) {
+				emit(t)
+			}
+			if !*csv {
+				for _, c := range experiments.Fig4Charts(results, 72, 14) {
+					fmt.Println(c)
+				}
+			}
+		case "fig5":
+			rt, ft := experiments.Fig5Tables(experiments.RunFig4(presets, opt))
+			emit(rt)
+			emit(ft)
+		case "fig45":
+			results := experiments.RunFig4(presets, opt)
+			for _, t := range experiments.Fig4Tables(results) {
+				emit(t)
+			}
+			rt, ft := experiments.Fig5Tables(results)
+			emit(rt)
+			emit(ft)
+		case "fig6":
+			points := experiments.RunFig6(presets, opt)
+			emit(experiments.Fig6Table(points))
+			emit(experiments.Fig6Linearity(points))
+		case "fig7":
+			emit(experiments.Fig7Table(experiments.RunFig7(presets, opt, nil)))
+		case "fig8":
+			emit(experiments.Fig8Table(experiments.RunFig8(presets, opt, nil)))
+		case "fig9":
+			emit(experiments.Fig9Table(experiments.RunFig9(opt, 20, 15)))
+		case "tucker":
+			emit(experiments.ExtTuckerTable(experiments.RunExtTucker(presets, opt)))
+		default:
+			return fmt.Errorf("unknown experiment %q", id)
+		}
+		return nil
+	}
+
+	if *exp == "all" {
+		emit(experiments.Table2(opt, 2000))
+		emit(experiments.Table3(opt))
+		fig1 := experiments.RunFig1(opt, nil)
+		emit(experiments.Fig1Table(fig1))
+		fig45 := experiments.RunFig4(presets, opt)
+		for _, t := range experiments.Fig4Tables(fig45) {
+			emit(t)
+		}
+		if !*csv {
+			for _, c := range experiments.Fig4Charts(fig45, 72, 14) {
+				fmt.Println(c)
+			}
+		}
+		rt, ft := experiments.Fig5Tables(fig45)
+		emit(rt)
+		emit(ft)
+		fig6 := experiments.RunFig6(presets, opt)
+		emit(experiments.Fig6Table(fig6))
+		emit(experiments.Fig6Linearity(fig6))
+		emit(experiments.Fig7Table(experiments.RunFig7(presets, opt, nil)))
+		emit(experiments.Fig8Table(experiments.RunFig8(presets, opt, nil)))
+		emit(experiments.Fig9Table(experiments.RunFig9(opt, 20, 15)))
+		emit(experiments.ExtTuckerTable(experiments.RunExtTucker(presets, opt)))
+		fmt.Println(experiments.ObservationsReport(fig1, fig45))
+		return
+	}
+	if err := run(*exp); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+}
+
+func parsePresets(arg string) ([]datagen.Preset, error) {
+	if arg == "" {
+		return nil, nil // nil selects all presets
+	}
+	var out []datagen.Preset
+	for _, name := range strings.Split(arg, ",") {
+		p, err := datagen.PresetByName(strings.TrimSpace(name))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}

@@ -1,0 +1,99 @@
+package slicenstitch_test
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"slicenstitch"
+)
+
+// The canonical three-phase flow: fill the initial window, warm-start with
+// ALS, then track continuously — factors refresh on every push.
+func Example() {
+	tr, err := slicenstitch.New(slicenstitch.Config{
+		Dims:   []int{4, 4}, // e.g. 4 sources × 4 destinations
+		W:      3,           // window of 3 tensor units
+		Period: 60,          // one unit = 60 time units
+		Rank:   2,
+		Seed:   1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Phase 1 — fill the initial window (route 1→2 is hot).
+	for t := int64(0); t < 3*60; t += 5 {
+		tr.Push([]int{1, 2}, 1, t)
+		if t%15 == 0 {
+			tr.Push([]int{int(t/5) % 4, int(t/10) % 4}, 1, t)
+		}
+	}
+
+	// Phase 2 — ALS warm start.
+	if err := tr.Start(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Phase 3 — continuous updates.
+	for t := int64(3 * 60); t < 5*60; t += 5 {
+		tr.Push([]int{1, 2}, 1, t)
+	}
+
+	hot, _ := tr.Predict([]int{1, 2}, 2)  // newest unit
+	cold, _ := tr.Predict([]int{3, 3}, 2) // never-seen route
+	fmt.Println("tracking:", tr.Started())
+	fmt.Println("updates applied:", tr.Events() > 0)
+	fmt.Println("hot route predicted higher:", hot > cold)
+	fmt.Println("fitness positive:", tr.Fitness() > 0)
+	// Output:
+	// tracking: true
+	// updates applied: true
+	// hot route predicted higher: true
+	// fitness positive: true
+}
+
+// Checkpoint and Restore resume tracking across process restarts.
+func ExampleTracker_Checkpoint() {
+	tr, _ := slicenstitch.New(slicenstitch.Config{
+		Dims: []int{3, 3}, W: 2, Period: 10, Rank: 2, Seed: 1,
+	})
+	for t := int64(0); t < 20; t += 2 {
+		tr.Push([]int{1, 1}, 1, t)
+	}
+	tr.Start()
+
+	var buf bytes.Buffer
+	if err := tr.Checkpoint(&buf); err != nil {
+		log.Fatal(err)
+	}
+	resumed, err := slicenstitch.Restore(&buf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("resumed online:", resumed.Started())
+	fmt.Println("same window nnz:", resumed.NNZ() == tr.NNZ())
+	// Output:
+	// resumed online: true
+	// same window nnz: true
+}
+
+// Algorithms are selected by name; SNSMat is the most accurate and
+// slowest, SNSRndPlus (default) the fastest stable choice.
+func ExampleConfig_algorithms() {
+	for _, alg := range []slicenstitch.Algorithm{
+		slicenstitch.SNSMat, slicenstitch.SNSVecPlus, slicenstitch.SNSRndPlus,
+	} {
+		tr, err := slicenstitch.New(slicenstitch.Config{
+			Dims: []int{3, 3}, W: 2, Period: 10, Rank: 2, Algorithm: alg,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(tr.AlgorithmName())
+	}
+	// Output:
+	// SNS-Mat
+	// SNS-Vec+
+	// SNS-Rnd+
+}

@@ -1,0 +1,100 @@
+// Hyperparam: the practitioner's guide of Section VI-F as a runnable demo.
+// It sweeps the sampling threshold θ and the algorithm choice on the same
+// ride-sharing-style stream and prints the fitness/latency trade-off that
+// drives the paper's recommendations:
+//
+//   - prefer SNS-Mat / SNS-Vec+ / SNS-Rnd+ (the stable ones);
+//   - pick the most accurate variant that fits the latency budget;
+//   - with SNS-Rnd+, raise θ as far as the budget allows.
+//
+// go run ./examples/hyperparam
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"slicenstitch"
+)
+
+const (
+	zonesA = 25
+	zonesB = 25
+	colors = 6
+	period = 1440 // daily units, minute ticks
+	w      = 5
+)
+
+// ride emits (pickup, dropoff, car color) tuples.
+func makeStream(seed int64, horizon int64) (times []int64, coords [][]int) {
+	rng := rand.New(rand.NewSource(seed))
+	za := rand.NewZipf(rng, 1.3, 3, zonesA-1)
+	zb := rand.NewZipf(rng, 1.3, 3, zonesB-1)
+	t := int64(0)
+	for t < horizon {
+		t += int64(rng.Intn(4)) + 1
+		times = append(times, t)
+		coords = append(coords, []int{int(za.Uint64()), int(zb.Uint64()), rng.Intn(colors)})
+	}
+	return times, coords
+}
+
+func run(alg slicenstitch.Algorithm, theta int) (fitness float64, microsPerUpdate float64) {
+	horizon := int64((w + 6) * period)
+	times, coords := makeStream(9, horizon)
+
+	tr, err := slicenstitch.New(slicenstitch.Config{
+		Dims:      []int{zonesA, zonesB, colors},
+		W:         w,
+		Period:    period,
+		Rank:      8,
+		Algorithm: alg,
+		Theta:     theta,
+		Seed:      2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	i := 0
+	for ; i < len(times) && times[i] <= int64(w*period); i++ {
+		if err := tr.Push(coords[i], 1, times[i]); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := tr.Start(); err != nil {
+		log.Fatal(err)
+	}
+	start := time.Now()
+	for ; i < len(times); i++ {
+		if err := tr.Push(coords[i], 1, times[i]); err != nil {
+			log.Fatal(err)
+		}
+	}
+	elapsed := time.Since(start)
+	if tr.Events() == 0 {
+		return tr.Fitness(), 0
+	}
+	return tr.Fitness(), float64(elapsed.Microseconds()) / float64(tr.Events())
+}
+
+func main() {
+	fmt.Println("algorithm trade-off (ride-sharing-like stream, 4-mode tensor):")
+	fmt.Printf("%-10s %-8s %-10s %s\n", "algorithm", "theta", "fitness", "µs/update")
+	for _, alg := range []slicenstitch.Algorithm{
+		slicenstitch.SNSMat, slicenstitch.SNSVecPlus, slicenstitch.SNSRndPlus,
+	} {
+		fit, us := run(alg, 20)
+		fmt.Printf("%-10s %-8d %-10.3f %.1f\n", alg, 20, fit, us)
+	}
+
+	fmt.Println("\nθ sweep for SNS-Rnd+ (fitness rises with diminishing returns,")
+	fmt.Println("cost grows roughly linearly — Observation 6):")
+	fmt.Printf("%-8s %-10s %s\n", "theta", "fitness", "µs/update")
+	for _, theta := range []int{5, 10, 20, 40, 80} {
+		fit, us := run(slicenstitch.SNSRndPlus, theta)
+		fmt.Printf("%-8d %-10.3f %.1f\n", theta, fit, us)
+	}
+}

@@ -1,0 +1,75 @@
+// Quickstart: track a tiny source×destination traffic stream with
+// continuous CP decomposition and read predictions back out.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"slicenstitch"
+)
+
+func main() {
+	// A 6×6 traffic matrix observed as (source, destination, timestamp)
+	// trips; the tensor window covers W=4 units of T=60 seconds each.
+	tr, err := slicenstitch.New(slicenstitch.Config{
+		Dims:   []int{6, 6},
+		W:      4,
+		Period: 60,
+		Rank:   3,
+		Seed:   7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Synthetic workload: route 2→4 is persistently hot, everything else
+	// is background noise.
+	rng := rand.New(rand.NewSource(42))
+	emit := func(t int64) (coord []int) {
+		if rng.Intn(3) > 0 {
+			return []int{2, 4}
+		}
+		return []int{rng.Intn(6), rng.Intn(6)}
+	}
+
+	// Phase 1 — fill the initial window (4 minutes of traffic).
+	t := int64(0)
+	for ; t < 4*60; t += 2 {
+		if err := tr.Push(emit(t), 1, t); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Phase 2 — warm-start the factors with ALS and go online.
+	if err := tr.Start(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("went online with %s at t=%ds, fitness %.3f, %d parameters\n",
+		tr.AlgorithmName(), tr.Now(), tr.Fitness(), tr.ParamCount())
+
+	// Phase 3 — continuous updates: every push refreshes the factors
+	// immediately, no waiting for a period boundary.
+	for ; t < 10*60; t += 2 {
+		if err := tr.Push(emit(t), 1, t); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("processed %d events, fitness now %.3f\n", tr.Events(), tr.Fitness())
+
+	// Read the model: predicted vs observed traffic in the newest unit.
+	newest := 3 // time index W−1
+	hot, _ := tr.Predict([]int{2, 4}, newest)
+	hotObs, _ := tr.Observed([]int{2, 4}, newest)
+	cold, _ := tr.Predict([]int{0, 1}, newest)
+	coldObs, _ := tr.Observed([]int{0, 1}, newest)
+	fmt.Printf("route 2→4: predicted %.2f observed %.0f\n", hot, hotObs)
+	fmt.Printf("route 0→1: predicted %.2f observed %.0f\n", cold, coldObs)
+
+	// Factor matrices are available as plain slices.
+	f := tr.Factors()
+	fmt.Printf("factors: %d modes, rank %d\n", len(f.Matrices), len(f.Lambda))
+}

@@ -1,0 +1,138 @@
+// Trafficmonitor: a New-York-Taxi-style continuous monitoring loop — the
+// motivating workload of the paper's introduction. Trips arrive every few
+// seconds as (pickup zone, dropoff zone) pairs with a daily demand cycle;
+// the tracker maintains an hourly tensor window and the monitor reports
+// model quality and the strongest traffic patterns once per simulated hour,
+// while the factors themselves refresh on every trip.
+//
+//	go run ./examples/trafficmonitor
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+	"sort"
+
+	"slicenstitch"
+)
+
+const (
+	zones  = 40
+	period = 3600 // 1 hour in seconds
+	w      = 6    // 6-hour window
+	rank   = 8
+	hours  = 18 // simulated monitoring horizon after warm-up
+)
+
+// city simulates Zipf-popular zones with a sinusoidal daily demand cycle.
+type city struct {
+	rng  *rand.Rand
+	zipf *rand.Zipf
+}
+
+func newCity(seed int64) *city {
+	rng := rand.New(rand.NewSource(seed))
+	return &city{rng: rng, zipf: rand.NewZipf(rng, 1.3, 3, zones-1)}
+}
+
+// nextGap returns seconds until the next trip at simulated time t.
+func (c *city) nextGap(t int64) int64 {
+	phase := 2 * math.Pi * float64(t%86400) / 86400
+	rate := 0.8 * (1 + 0.7*math.Sin(phase)) // trips per second
+	gap := int64(c.rng.ExpFloat64()/rate) + 1
+	return gap
+}
+
+func (c *city) trip() []int {
+	return []int{int(c.zipf.Uint64()), int(c.zipf.Uint64())}
+}
+
+func main() {
+	tr, err := slicenstitch.New(slicenstitch.Config{
+		Dims:      []int{zones, zones},
+		W:         w,
+		Period:    period,
+		Rank:      rank,
+		Algorithm: slicenstitch.SNSRndPlus,
+		Theta:     20,
+		Seed:      3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	c := newCity(11)
+	t := int64(0)
+
+	// Warm-up: fill the 6-hour window, then ALS.
+	for t < w*period {
+		t += c.nextGap(t)
+		if err := tr.Push(c.trip(), 1, t); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := tr.Start(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("online after warm-up: fitness %.3f, window nnz %d\n\n", tr.Fitness(), tr.NNZ())
+	fmt.Printf("%-6s %-10s %-10s %-12s %s\n", "hour", "fitness", "nnz", "events", "top pattern (pickup→dropoff strength)")
+
+	horizon := t + hours*period
+	nextReport := t + period
+	for t < horizon {
+		t += c.nextGap(t)
+		if err := tr.Push(c.trip(), 1, t); err != nil {
+			log.Fatal(err)
+		}
+		if t >= nextReport {
+			hour := nextReport / period
+			pick, drop, strength := topPattern(tr)
+			fmt.Printf("%-6d %-10.3f %-10d %-12d %d→%d (%.2f)\n",
+				hour, tr.Fitness(), tr.NNZ(), tr.Events(), pick, drop, strength)
+			nextReport += period
+		}
+	}
+}
+
+// topPattern inspects the factor matrices: the dominant rank-1 component's
+// strongest pickup and dropoff zones, a direct read of what CP
+// decomposition "means" on traffic data.
+func topPattern(tr *slicenstitch.Tracker) (pickup, dropoff int, strength float64) {
+	f := tr.Factors()
+	// Rank components by the product of their factor column norms.
+	r := len(f.Lambda)
+	norms := make([]float64, r)
+	for k := 0; k < r; k++ {
+		p := f.Lambda[k]
+		for _, mode := range f.Matrices {
+			s := 0.0
+			for i := range mode {
+				s += mode[i][k] * mode[i][k]
+			}
+			p *= math.Sqrt(s)
+		}
+		norms[k] = math.Abs(p)
+	}
+	order := make([]int, r)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool { return norms[order[i]] > norms[order[j]] })
+	k := order[0]
+	pickup = argmaxAbs(f.Matrices[0], k)
+	dropoff = argmaxAbs(f.Matrices[1], k)
+	strength = norms[k]
+	return pickup, dropoff, strength
+}
+
+func argmaxAbs(m [][]float64, k int) int {
+	best, bestV := 0, math.Inf(-1)
+	for i := range m {
+		if v := math.Abs(m[i][k]); v > bestV {
+			best, bestV = i, v
+		}
+	}
+	return best
+}

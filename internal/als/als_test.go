@@ -1,0 +1,149 @@
+package als
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"slicenstitch/internal/cpd"
+	"slicenstitch/internal/mat"
+	"slicenstitch/internal/tensor"
+)
+
+// lowRankTensor builds an exactly rank-r sparse tensor from random factors.
+func lowRankTensor(rng *rand.Rand, shape []int, rank int) *tensor.Sparse {
+	gen := cpd.NewRandomModel(shape, rank, rng)
+	x := tensor.NewSparse(shape)
+	coord := make([]int, len(shape))
+	var walk func(mode int)
+	walk = func(mode int) {
+		if mode == len(shape) {
+			x.Set(coord, gen.Predict(coord))
+			return
+		}
+		for i := 0; i < shape[mode]; i++ {
+			coord[mode] = i
+			walk(mode + 1)
+		}
+	}
+	walk(0)
+	return x
+}
+
+func TestALSRecoversExactLowRank(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x := lowRankTensor(rng, []int{6, 5, 4}, 2)
+	model := Run(x, Options{Rank: 3, MaxIters: 200, Tol: 1e-12, Seed: 7})
+	fit := cpd.Fitness(x, model)
+	if fit < 0.999 {
+		t.Errorf("fitness on exact rank-2 tensor = %g want ≈1", fit)
+	}
+}
+
+func TestALSImprovesMonotonically(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	shape := []int{8, 7, 6}
+	x := tensor.NewSparse(shape)
+	for i := 0; i < 100; i++ {
+		x.Add([]int{rng.Intn(8), rng.Intn(7), rng.Intn(6)}, 1+rng.Float64())
+	}
+	model := cpd.NewRandomModel(shape, 4, rng)
+	grams := model.Grams()
+	prev := cpd.Fitness(x, model)
+	for it := 0; it < 10; it++ {
+		Sweep(x, model, grams)
+		fit := cpd.Fitness(x, model)
+		if fit < prev-1e-8 {
+			t.Fatalf("iteration %d decreased fitness %g -> %g", it, prev, fit)
+		}
+		prev = fit
+	}
+	if prev < 0.2 {
+		t.Errorf("final fitness %g suspiciously low", prev)
+	}
+}
+
+func TestALSFactorsAreNormalized(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	shape := []int{5, 5, 5}
+	x := tensor.NewSparse(shape)
+	for i := 0; i < 40; i++ {
+		x.Add([]int{rng.Intn(5), rng.Intn(5), rng.Intn(5)}, rng.Float64())
+	}
+	model := Run(x, Options{Rank: 3, MaxIters: 5, Seed: 1})
+	// All modes were normalized in the final sweep except scale carried in
+	// lambda; each column must have unit norm (or be all-zero).
+	for m, f := range model.Factors {
+		for k := 0; k < f.Cols(); k++ {
+			n := mat.Norm2(f.Col(k))
+			if n != 0 && math.Abs(n-1) > 1e-8 {
+				t.Errorf("mode %d column %d norm = %g", m, k, n)
+			}
+		}
+	}
+	for _, l := range model.Lambda {
+		if l < 0 {
+			t.Errorf("negative lambda %g", l)
+		}
+	}
+}
+
+func TestALSDeterministicForSeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	shape := []int{4, 4, 4}
+	x := tensor.NewSparse(shape)
+	for i := 0; i < 30; i++ {
+		x.Add([]int{rng.Intn(4), rng.Intn(4), rng.Intn(4)}, rng.Float64())
+	}
+	a := Run(x, Options{Rank: 2, MaxIters: 8, Seed: 42})
+	b := Run(x, Options{Rank: 2, MaxIters: 8, Seed: 42})
+	for m := range a.Factors {
+		if !mat.EqualApprox(a.Factors[m], b.Factors[m], 0) {
+			t.Fatalf("mode %d factors differ across identical runs", m)
+		}
+	}
+}
+
+func TestALSWarmStart(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	x := lowRankTensor(rng, []int{5, 4, 3}, 2)
+	cold := Run(x, Options{Rank: 2, MaxIters: 30, Seed: 9})
+	warm := Run(x, Options{Rank: 2, MaxIters: 2, Init: cold})
+	if cpd.Fitness(x, warm) < cpd.Fitness(x, cold)-1e-6 {
+		t.Error("warm start should not lose fitness")
+	}
+	// Init must not be mutated.
+	warm.Factors[0].Set(0, 0, 123)
+	if cold.Factors[0].At(0, 0) == 123 {
+		t.Error("Run mutated Init")
+	}
+}
+
+func TestALSZeroTensor(t *testing.T) {
+	x := tensor.NewSparse([]int{3, 3})
+	model := Run(x, Options{Rank: 2, MaxIters: 3, Seed: 1})
+	if model.HasNaN() {
+		t.Error("ALS on zero tensor produced NaN")
+	}
+}
+
+func TestNormalizeZeroColumn(t *testing.T) {
+	a := mat.NewFromRows([][]float64{{3, 0}, {4, 0}})
+	lambda := make([]float64, 2)
+	Normalize(a, lambda)
+	if math.Abs(lambda[0]-5) > 1e-12 || lambda[1] != 0 {
+		t.Errorf("lambda = %v want [5 0]", lambda)
+	}
+	if math.Abs(a.At(0, 0)-0.6) > 1e-12 || math.Abs(a.At(1, 0)-0.8) > 1e-12 {
+		t.Errorf("normalized column = %v", a.Col(0))
+	}
+}
+
+func TestNormalizeBadLambdaPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Normalize(mat.New(2, 2), make([]float64, 3))
+}

@@ -1,0 +1,54 @@
+package als
+
+import (
+	"math/rand"
+	"testing"
+
+	"slicenstitch/internal/cpd"
+	"slicenstitch/internal/tensor"
+)
+
+func benchWindow(nnz int) *tensor.Sparse {
+	rng := rand.New(rand.NewSource(1))
+	x := tensor.NewSparse([]int{77, 32, 10})
+	for i := 0; i < nnz; i++ {
+		x.Add([]int{rng.Intn(77), rng.Intn(32), rng.Intn(10)}, float64(1+rng.Intn(3)))
+	}
+	return x
+}
+
+func BenchmarkSweepR20(b *testing.B) {
+	x := benchWindow(5000)
+	model := cpd.NewRandomModel(x.Shape(), 20, rand.New(rand.NewSource(2)))
+	grams := model.Grams()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Sweep(x, model, grams)
+	}
+}
+
+func BenchmarkMTTKRPMode0(b *testing.B) {
+	x := benchWindow(5000)
+	model := cpd.NewRandomModel(x.Shape(), 20, rand.New(rand.NewSource(3)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cpd.MTTKRP(x, model.Factors, 0)
+	}
+}
+
+func BenchmarkMTTKRPRowHot(b *testing.B) {
+	x := benchWindow(5000)
+	model := cpd.NewRandomModel(x.Shape(), 20, rand.New(rand.NewSource(4)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cpd.MTTKRPRow(x, model.Factors, 0, i%77)
+	}
+}
+
+func BenchmarkRunColdStart(b *testing.B) {
+	x := benchWindow(2000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Run(x, Options{Rank: 20, MaxIters: 5, Seed: 1})
+	}
+}

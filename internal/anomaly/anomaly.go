@@ -1,0 +1,191 @@
+// Package anomaly implements the paper's anomaly-detection application
+// (Section VI-G, Fig. 9): reconstruction-error z-scores over the latest
+// tensor unit, with helpers to inject abnormal changes into a stream and to
+// score detections by precision@k and detection-time gap.
+package anomaly
+
+import (
+	"math/rand"
+	"sort"
+
+	"slicenstitch/internal/cpd"
+	"slicenstitch/internal/metrics"
+	"slicenstitch/internal/stream"
+	"slicenstitch/internal/tensor"
+)
+
+// Event is one scored observation: the model's reconstruction error at an
+// entry of the newest tensor unit, standardized against the running error
+// distribution.
+type Event struct {
+	// Time is the stream time of the observation.
+	Time int64
+	// Coord holds the categorical indices of the entry.
+	Coord []int
+	// Value is the observed entry value; Predicted the model's estimate.
+	Value, Predicted float64
+	// Score is the z-score of |Value − Predicted|.
+	Score float64
+}
+
+// Detector scores reconstruction errors online against a live CP model.
+type Detector struct {
+	model *cpd.Model
+	stats metrics.Welford
+	// Events collects every scored observation.
+	Events []Event
+	coords []int
+}
+
+// NewDetector wraps a live model (not copied: the caller's decomposer keeps
+// updating it, which is what makes detection instant for SliceNStitch).
+func NewDetector(model *cpd.Model) *Detector {
+	return &Detector{model: model, coords: make([]int, model.Order())}
+}
+
+// Observe scores one entry of the newest tensor unit. coord holds the
+// categorical indices; timeIdx is the entry's time-mode index (W−1 for the
+// newest unit). The z-score is computed against the error distribution
+// before folding the new error in, so an anomalous spike cannot mask
+// itself.
+func (d *Detector) Observe(t int64, coord []int, timeIdx int, value float64) Event {
+	copy(d.coords, coord)
+	d.coords[len(d.coords)-1] = timeIdx
+	pred := d.model.Predict(d.coords)
+	err := value - pred
+	if err < 0 {
+		err = -err
+	}
+	z := d.stats.ZScore(err)
+	d.stats.Add(err)
+	ev := Event{
+		Time:      t,
+		Coord:     append([]int(nil), coord...),
+		Value:     value,
+		Predicted: pred,
+		Score:     z,
+	}
+	d.Events = append(d.Events, ev)
+	return ev
+}
+
+// ObserveUnit scores every nonzero of the newest tensor unit of the window
+// x — the per-period scan used with the periodic baselines.
+func (d *Detector) ObserveUnit(t int64, x *tensor.Sparse) {
+	tm := x.Order() - 1
+	newest := x.Dim(tm) - 1
+	x.ForEachInSlice(tm, newest, func(coord []int, v float64) {
+		d.Observe(t, coord[:tm], newest, v)
+	})
+}
+
+// TopK returns the k highest-scoring events (ties broken by earlier time).
+func (d *Detector) TopK(k int) []Event {
+	out := make([]Event, len(d.Events))
+	copy(out, d.Events)
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Time < out[j].Time
+	})
+	if k < len(out) {
+		out = out[:k]
+	}
+	return out
+}
+
+// Injection records one synthetic anomaly planted into a stream.
+type Injection struct {
+	Time  int64
+	Coord []int
+	Value float64
+}
+
+// Inject plants k anomalous tuples with the given value into a copy of the
+// tuples (chosen at the times of k distinct random existing tuples, with
+// random coordinates, mirroring the paper's "abnormally large changes in
+// randomly chosen entries"). The returned slice remains chronological.
+func Inject(tuples []stream.Tuple, dims []int, k int, value float64, seed int64) ([]stream.Tuple, []Injection) {
+	rng := rand.New(rand.NewSource(seed))
+	if k > len(tuples) {
+		k = len(tuples)
+	}
+	positions := rng.Perm(len(tuples))[:k]
+	sort.Ints(positions)
+	var injections []Injection
+	out := make([]stream.Tuple, 0, len(tuples)+k)
+	next := 0
+	for i, tp := range tuples {
+		out = append(out, tp)
+		if next < len(positions) && i == positions[next] {
+			coord := make([]int, len(dims))
+			for m, d := range dims {
+				coord[m] = rng.Intn(d)
+			}
+			anom := stream.Tuple{Coord: coord, Value: value, Time: tp.Time}
+			out = append(out, anom)
+			injections = append(injections, Injection{Time: tp.Time, Coord: coord, Value: value})
+			next++
+		}
+	}
+	return out, injections
+}
+
+// matches reports whether a scored event corresponds to an injection: same
+// categorical coordinates and an observation time within [t_inj,
+// t_inj+window] (continuous methods detect at t_inj; periodic ones at the
+// next boundary).
+func matches(ev Event, inj Injection, window int64) bool {
+	if ev.Time < inj.Time || ev.Time > inj.Time+window {
+		return false
+	}
+	for m := range inj.Coord {
+		if ev.Coord[m] != inj.Coord[m] {
+			return false
+		}
+	}
+	return true
+}
+
+// Score summarizes a detection run.
+type Score struct {
+	// Precision is |top-k ∩ injected| / k — equal to recall when k equals
+	// the number of injections (as in the paper's setup).
+	Precision float64
+	// MeanGap is the average stream-time gap between an injection and its
+	// detection, over detected injections (−1 when nothing was detected).
+	MeanGap float64
+	// Detected counts distinct injections found in the top-k.
+	Detected int
+}
+
+// Evaluate compares the top-k events against the injections. matchWindow is
+// the maximum stream-time delay for an event to count as detecting an
+// injection (use the period T for periodic methods).
+func Evaluate(top []Event, injections []Injection, matchWindow int64) Score {
+	found := make([]bool, len(injections))
+	var hits int
+	var gapSum float64
+	for _, ev := range top {
+		for j, inj := range injections {
+			if found[j] || !matches(ev, inj, matchWindow) {
+				continue
+			}
+			found[j] = true
+			hits++
+			gapSum += float64(ev.Time - inj.Time)
+			break
+		}
+	}
+	s := Score{Detected: hits}
+	if len(top) > 0 {
+		s.Precision = float64(hits) / float64(len(top))
+	}
+	if hits > 0 {
+		s.MeanGap = gapSum / float64(hits)
+	} else {
+		s.MeanGap = -1
+	}
+	return s
+}

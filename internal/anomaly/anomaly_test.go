@@ -1,0 +1,194 @@
+package anomaly
+
+import (
+	"math/rand"
+	"testing"
+
+	"slicenstitch/internal/cpd"
+	"slicenstitch/internal/stream"
+	"slicenstitch/internal/tensor"
+)
+
+func flatModel(dims []int, w int) *cpd.Model {
+	// Rank-1 all-ones-ish model predicting 1 everywhere.
+	shape := append(append([]int{}, dims...), w)
+	m := cpd.NewModel(shape, 1)
+	for _, f := range m.Factors {
+		for i := 0; i < f.Rows(); i++ {
+			f.Set(i, 0, 1)
+		}
+	}
+	return m
+}
+
+func TestObserveScoresSpike(t *testing.T) {
+	m := flatModel([]int{3, 3}, 2)
+	d := NewDetector(m)
+	// Normal observations: value 1, error 0.
+	for i := 0; i < 20; i++ {
+		d.Observe(int64(i), []int{i % 3, (i + 1) % 3}, 1, 1.0+0.01*float64(i%3))
+	}
+	spike := d.Observe(100, []int{0, 0}, 1, 16.0)
+	if spike.Score < 3 {
+		t.Fatalf("spike z-score = %g, expected large", spike.Score)
+	}
+	top := d.TopK(1)
+	if len(top) != 1 || top[0].Time != 100 {
+		t.Fatalf("TopK did not surface the spike: %+v", top)
+	}
+}
+
+func TestZScoreUsesPriorStats(t *testing.T) {
+	m := flatModel([]int{2, 2}, 1)
+	d := NewDetector(m)
+	first := d.Observe(0, []int{0, 0}, 0, 5)
+	if first.Score != 0 {
+		t.Errorf("first observation should score 0, got %g", first.Score)
+	}
+}
+
+func TestObserveUnitScansNewestSlice(t *testing.T) {
+	m := flatModel([]int{2, 2}, 3)
+	d := NewDetector(m)
+	x := tensor.NewSparse([]int{2, 2, 3})
+	x.Set([]int{0, 0, 2}, 4)  // newest unit
+	x.Set([]int{1, 1, 2}, 2)  // newest unit
+	x.Set([]int{0, 1, 0}, 99) // old unit: must be ignored
+	d.ObserveUnit(50, x)
+	if len(d.Events) != 2 {
+		t.Fatalf("observed %d events want 2", len(d.Events))
+	}
+	for _, ev := range d.Events {
+		if ev.Time != 50 {
+			t.Errorf("event time %d want 50", ev.Time)
+		}
+	}
+}
+
+func TestTopKOrderingAndTruncation(t *testing.T) {
+	m := flatModel([]int{2, 2}, 1)
+	d := NewDetector(m)
+	for i := 0; i < 10; i++ {
+		d.Observe(int64(i), []int{0, 0}, 0, float64(i))
+	}
+	top := d.TopK(3)
+	if len(top) != 3 {
+		t.Fatalf("TopK(3) returned %d", len(top))
+	}
+	if top[0].Score < top[1].Score || top[1].Score < top[2].Score {
+		t.Error("TopK not sorted descending")
+	}
+	all := d.TopK(100)
+	if len(all) != 10 {
+		t.Errorf("TopK(100) = %d want 10", len(all))
+	}
+}
+
+func makeTuples(n int) []stream.Tuple {
+	rng := rand.New(rand.NewSource(1))
+	var out []stream.Tuple
+	tm := int64(0)
+	for i := 0; i < n; i++ {
+		tm += int64(rng.Intn(2))
+		out = append(out, stream.Tuple{Coord: []int{rng.Intn(4), rng.Intn(4)}, Value: 1, Time: tm})
+	}
+	return out
+}
+
+func TestInjectProperties(t *testing.T) {
+	tuples := makeTuples(200)
+	out, injs := Inject(tuples, []int{4, 4}, 10, 15, 42)
+	if len(injs) != 10 {
+		t.Fatalf("injections = %d want 10", len(injs))
+	}
+	if len(out) != 210 {
+		t.Fatalf("stream length = %d want 210", len(out))
+	}
+	// Chronological order preserved.
+	for i := 1; i < len(out); i++ {
+		if out[i].Time < out[i-1].Time {
+			t.Fatal("injected stream not chronological")
+		}
+	}
+	// Every injection present in the stream.
+	for _, inj := range injs {
+		found := false
+		for _, tp := range out {
+			if tp.Time == inj.Time && tp.Value == inj.Value &&
+				tp.Coord[0] == inj.Coord[0] && tp.Coord[1] == inj.Coord[1] {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("injection %+v missing from stream", inj)
+		}
+	}
+	// Deterministic for a seed.
+	out2, injs2 := Inject(tuples, []int{4, 4}, 10, 15, 42)
+	if len(out2) != len(out) || len(injs2) != len(injs) {
+		t.Fatal("Inject not deterministic")
+	}
+	// Original not mutated.
+	if len(tuples) != 200 {
+		t.Fatal("Inject mutated input")
+	}
+}
+
+func TestInjectMoreThanStream(t *testing.T) {
+	tuples := makeTuples(5)
+	_, injs := Inject(tuples, []int{4, 4}, 50, 15, 1)
+	if len(injs) != 5 {
+		t.Fatalf("injections = %d want clamp to 5", len(injs))
+	}
+}
+
+func TestEvaluateExactDetection(t *testing.T) {
+	injs := []Injection{
+		{Time: 10, Coord: []int{1, 2}, Value: 15},
+		{Time: 20, Coord: []int{3, 0}, Value: 15},
+	}
+	top := []Event{
+		{Time: 10, Coord: []int{1, 2}, Score: 9},
+		{Time: 25, Coord: []int{3, 0}, Score: 8}, // within window 5
+		{Time: 30, Coord: []int{0, 0}, Score: 7}, // false positive
+	}
+	s := Evaluate(top, injs, 5)
+	if s.Detected != 2 {
+		t.Fatalf("Detected = %d want 2", s.Detected)
+	}
+	if s.Precision != 2.0/3.0 {
+		t.Errorf("Precision = %g", s.Precision)
+	}
+	if s.MeanGap != 2.5 {
+		t.Errorf("MeanGap = %g want 2.5", s.MeanGap)
+	}
+}
+
+func TestEvaluateWindowAndDedup(t *testing.T) {
+	injs := []Injection{{Time: 10, Coord: []int{1, 1}, Value: 15}}
+	top := []Event{
+		{Time: 9, Coord: []int{1, 1}, Score: 9},  // before injection: no match
+		{Time: 17, Coord: []int{1, 1}, Score: 8}, // outside window 5
+	}
+	s := Evaluate(top, injs, 5)
+	if s.Detected != 0 || s.MeanGap != -1 {
+		t.Fatalf("unexpected score %+v", s)
+	}
+	// Duplicate matches count once.
+	top = []Event{
+		{Time: 10, Coord: []int{1, 1}, Score: 9},
+		{Time: 11, Coord: []int{1, 1}, Score: 8},
+	}
+	s = Evaluate(top, injs, 5)
+	if s.Detected != 1 {
+		t.Fatalf("Detected = %d want 1 (dedup)", s.Detected)
+	}
+}
+
+func TestEvaluateEmptyTop(t *testing.T) {
+	s := Evaluate(nil, []Injection{{Time: 1, Coord: []int{0}}}, 5)
+	if s.Precision != 0 || s.Detected != 0 || s.MeanGap != -1 {
+		t.Fatalf("unexpected score %+v", s)
+	}
+}

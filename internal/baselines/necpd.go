@@ -1,0 +1,199 @@
+package baselines
+
+import (
+	"math"
+	"math/rand"
+
+	"slicenstitch/internal/cpd"
+	"slicenstitch/internal/mat"
+	"slicenstitch/internal/tensor"
+)
+
+// NeCPD re-implements Anaissi et al.'s NeCPD(n) [28]: stochastic gradient
+// descent with Nesterov momentum, n passes per period. Each pass visits
+// every window nonzero and, per visit, additionally samples a few uniform
+// random cells so that the zero portion of the least-squares objective is
+// represented (plain SGD over nonzeros alone inflates predictions on the
+// unobserved cells and fits nothing). SGD touches single rows per step, so
+// its fitness trails the closed-form methods — as in Fig. 5b — while its
+// per-period cost scales with n·|X|·M·R.
+type NeCPD struct {
+	model *cpd.Model
+	// Iters is n, the number of SGD passes per period.
+	Iters int
+	// LR is the base learning rate (decayed as passes accumulate).
+	LR float64
+	// Momentum is the Nesterov momentum coefficient.
+	Momentum float64
+	// NegSamples is the number of random (mostly zero) cells visited per
+	// nonzero visit.
+	NegSamples int
+	// Decay is the L2 shrinkage applied to every visited row (scaled by
+	// the learning rate); it stands in for the zero-cell mass that the
+	// capped negative sampling cannot represent on very sparse windows.
+	Decay    float64
+	vel      []*mat.Dense
+	krBuf    []float64
+	coordBuf []int
+	rng      *rand.Rand
+	passes   int
+}
+
+// NewNeCPD builds the baseline from an initial model. iters must be ≥ 1;
+// lr ≤ 0 selects the default 0.2 (a fraction of the normalized step; see
+// step).
+func NewNeCPD(init *cpd.Model, iters int, lr float64) *NeCPD {
+	if iters < 1 {
+		iters = 1
+	}
+	if lr <= 0 {
+		lr = 0.2
+	}
+	m := init.Clone()
+	cpd.FoldLambda(m)
+	n := &NeCPD{
+		model:      m,
+		Iters:      iters,
+		LR:         lr,
+		Momentum:   0.5,
+		NegSamples: 3,
+		Decay:      0.02,
+		krBuf:      make([]float64, m.Rank()),
+		coordBuf:   make([]int, m.Order()),
+		rng:        rand.New(rand.NewSource(1234)),
+	}
+	for _, f := range m.Factors {
+		n.vel = append(n.vel, mat.New(f.Rows(), f.Cols()))
+	}
+	return n
+}
+
+// Name returns "NeCPD(n)".
+func (n *NeCPD) Name() string {
+	if n.Iters == 1 {
+		return "NeCPD(1)"
+	}
+	return "NeCPD(" + itoa(n.Iters) + ")"
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(b[i:])
+}
+
+// Model returns the live model.
+func (n *NeCPD) Model() *cpd.Model { return n.model }
+
+// step performs one normalized SGD step on the squared error at coord,
+// weighted by w: the raw gradient err·kr is divided by ‖kr‖² (normalized
+// LMS), which makes the step size a fraction of the distance to the local
+// target regardless of the dataset's value scale or tensor order — the role
+// the adaptive "optimal step size" plays in NeCPD.
+func (n *NeCPD) step(x *tensor.Sparse, coord []int, lr, w float64) {
+	pred := n.model.Predict(coord)
+	err := w * (pred - x.At(coord))
+	if math.IsNaN(err) || math.IsInf(err, 0) {
+		return // divergence guard
+	}
+	// Every mode moves the prediction by ≈ lr·err on its own; dividing by
+	// the order keeps the combined step at one lr fraction instead of M.
+	lr /= float64(n.model.Order())
+	for m, f := range n.model.Factors {
+		kr := cpd.KRRow(n.model.Factors, coord, m, n.krBuf)
+		denom := nlmsFloor
+		for _, v := range kr {
+			denom += v * v
+		}
+		row := f.Row(coord[m])
+		vel := n.vel[m].Row(coord[m])
+		shrink := 1 - lr*n.Decay
+		for k := range row {
+			g := err * kr[k] / denom
+			vel[k] = n.Momentum*vel[k] - lr*g
+			// Nesterov lookahead step with L2 shrinkage.
+			row[k] = row[k]*shrink + n.Momentum*vel[k] - lr*g
+		}
+	}
+}
+
+// OnPeriod performs n SGD passes over the window's nonzeros plus sampled
+// zero cells. Negative samples are weighted by the zero-to-nonzero mass
+// ratio (capped) so the sampled objective matches the dense least-squares
+// objective in expectation; without the weighting, sparse windows (zeros
+// outnumbering nonzeros 40–300×) overfit the nonzeros and fitness degrades.
+func (n *NeCPD) OnPeriod(x *tensor.Sparse) {
+	shape := x.Shape()
+	negWeight := 1.0
+	if n.NegSamples > 0 && x.NNZ() > 0 {
+		zeros := float64(x.Size()) - float64(x.NNZ())
+		negWeight = zeros / float64(x.NNZ()) / float64(n.NegSamples)
+		// The per-step movement is ≈ lr·negWeight·err; cap the product so
+		// individual steps stay in the stable region, and make up for the
+		// rest of the zero mass with the L2 shrinkage below.
+		if negWeight*n.LR > 0.5 {
+			negWeight = 0.5 / n.LR
+		}
+		if negWeight < 1 {
+			negWeight = 1
+		}
+	}
+	// Visit nonzeros in a fresh random order each pass: the window's
+	// natural (insertion) order clusters recent hot cells together, and
+	// correlated consecutive steps destabilize SGD.
+	keys := make([]uint64, 0, x.NNZ())
+	x.ForEachKey(func(k uint64, v float64) { keys = append(keys, k) })
+	coord := make([]int, x.Order())
+	for pass := 0; pass < n.Iters; pass++ {
+		lr := n.LR / (1 + 0.05*float64(n.passes))
+		n.passes++
+		n.rng.Shuffle(len(keys), func(i, j int) { keys[i], keys[j] = keys[j], keys[i] })
+		for _, key := range keys {
+			x.Coord(key, coord)
+			n.step(x, coord, lr, 1)
+			for s := 0; s < n.NegSamples; s++ {
+				for m, d := range shape {
+					n.coordBuf[m] = n.rng.Intn(d)
+				}
+				n.step(x, n.coordBuf, lr, negWeight)
+			}
+		}
+	}
+	n.projectNorm(x)
+}
+
+// projectNorm bounds the model's energy at 4·‖X‖²_F. On very sparse windows
+// the sampled SGD objective under-constrains the off-support cells, letting
+// the model's norm inflate orthogonally to the data; any model with
+// ‖X̃‖ > 2‖X‖ is certainly worse than predicting zero, so projecting back
+// onto that ball only ever helps the objective.
+func (n *NeCPD) projectNorm(x *tensor.Sparse) {
+	xn := x.NormSquared()
+	if xn == 0 {
+		return
+	}
+	m2 := n.model.NormSquared()
+	if m2 <= 4*xn || math.IsNaN(m2) || math.IsInf(m2, 0) {
+		return
+	}
+	scale := math.Pow(4*xn/m2, 1/(2*float64(n.model.Order())))
+	for _, f := range n.model.Factors {
+		f.Scale(scale)
+	}
+	for _, v := range n.vel {
+		v.Scale(scale)
+	}
+}
+
+// nlmsFloor keeps the normalized step bounded when the Khatri-Rao row is
+// near zero (untouched factor rows visited by negative samples): without a
+// floor, dividing by ‖kr‖² ≈ 0 amplifies noise into factor blow-ups.
+const nlmsFloor = 1e-2

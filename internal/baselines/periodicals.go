@@ -1,0 +1,41 @@
+package baselines
+
+import (
+	"slicenstitch/internal/als"
+	"slicenstitch/internal/cpd"
+	"slicenstitch/internal/mat"
+	"slicenstitch/internal/tensor"
+)
+
+// PeriodicALS is the conventional-CPD "ALS" method of Figs. 1 and 5: once
+// per period it re-fits the whole tensor window with warm-started ALS
+// sweeps. It is the accuracy ceiling of the periodic methods and the most
+// expensive per update.
+type PeriodicALS struct {
+	model *cpd.Model
+	grams []*mat.Dense
+	// Sweeps is the number of ALS sweeps per period (default 5).
+	Sweeps int
+}
+
+// NewPeriodicALS builds the baseline from an initial model (cloned).
+func NewPeriodicALS(init *cpd.Model, sweeps int) *PeriodicALS {
+	if sweeps <= 0 {
+		sweeps = 5
+	}
+	m := init.Clone()
+	return &PeriodicALS{model: m, grams: m.Grams(), Sweeps: sweeps}
+}
+
+// Name returns "ALS".
+func (p *PeriodicALS) Name() string { return "ALS" }
+
+// Model returns the live model.
+func (p *PeriodicALS) Model() *cpd.Model { return p.model }
+
+// OnPeriod re-fits the window with warm-started sweeps.
+func (p *PeriodicALS) OnPeriod(x *tensor.Sparse) {
+	for i := 0; i < p.Sweeps; i++ {
+		als.Sweep(x, p.model, p.grams)
+	}
+}

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"slicenstitch/internal/mat"
+	"slicenstitch/internal/stream"
+	"slicenstitch/internal/window"
+)
+
+// Ablation benchmarks for the design choices DESIGN.md §3 calls out. Each
+// pair contrasts the implemented mechanism with the naive alternative it
+// replaces.
+
+// --- Eq. (13) incremental Gram maintenance vs full recomputation ---
+
+func BenchmarkAblationGramIncremental(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	a := mat.New(673, 20)
+	for i := range a.Data() {
+		a.Data()[i] = rng.NormFloat64()
+	}
+	q := mat.Gram(a)
+	newRow := make([]float64, 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		row := a.Row(i % 673)
+		copy(newRow, row)
+		newRow[i%20] += 0.01
+		updateGram(q, row, newRow)
+		copy(row, newRow)
+	}
+}
+
+func BenchmarkAblationGramRecompute(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	a := mat.New(673, 20)
+	for i := range a.Data() {
+		a.Data()[i] = rng.NormFloat64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Row(i % 673)[i%20] += 0.01
+		mat.Gram(a)
+	}
+}
+
+// --- LS row update (SNS_VEC, Eq. (12)) vs coordinate descent (SNS⁺_VEC,
+// Eq. (21)) on identical state ---
+
+func ablationSetup(b *testing.B) (*window.Window, []stream.Tuple, *SNSVec, *SNSVecPlus) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(3))
+	dims := []int{30, 30}
+	tuples := makeStream(rng, dims, 3000, 1)
+	t0 := int64(10) * 5
+	win, rest := Bootstrap(dims, 10, 5, tuples, t0)
+	init := InitALS(win, 20, 7)
+	vec := NewSNSVec(win, init)
+	plus := NewSNSVecPlus(win, init, 1000)
+	return win, rest, vec, plus
+}
+
+func BenchmarkAblationRowUpdateLS(b *testing.B) {
+	_, rest, vec, _ := ablationSetup(b)
+	ch := window.Change{Tuple: rest[0]}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		vec.updateRow(0, rest[0].Coord[0], ch)
+	}
+}
+
+func BenchmarkAblationRowUpdateCD(b *testing.B) {
+	_, rest, _, plus := ablationSetup(b)
+	ch := window.Change{Tuple: rest[0]}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		plus.updateRow(0, rest[0].Coord[0], ch)
+	}
+}
+
+// --- Exact (deg ≤ θ) vs sampled (deg > θ) row refresh in SNS_RND ---
+
+func benchRndTheta(b *testing.B, theta int) {
+	rng := rand.New(rand.NewSource(4))
+	dims := []int{30, 30}
+	tuples := makeStream(rng, dims, 3000, 1)
+	t0 := int64(10) * 5
+	win, rest := Bootstrap(dims, 10, 5, tuples, t0)
+	init := InitALS(win, 20, 7)
+	dec := NewSNSRnd(win, init, theta, 9)
+	// Pick a hot row so deg exceeds the small θ.
+	hot, hotDeg := 0, -1
+	for i := 0; i < dims[0]; i++ {
+		if d := win.X().Deg(0, i); d > hotDeg {
+			hot, hotDeg = i, d
+		}
+	}
+	ch := window.Change{Tuple: stream.Tuple{Coord: []int{hot, 0}}}
+	dec.beginEvent(ch)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dec.updateRow(0, hot, ch)
+	}
+	_ = rest
+}
+
+func BenchmarkAblationRowRefreshExact(b *testing.B) {
+	benchRndTheta(b, 1<<30) // θ ≥ deg: exact Eq. (12) path
+}
+
+func BenchmarkAblationRowRefreshSampled(b *testing.B) {
+	benchRndTheta(b, 20) // θ < deg: sampled Eq. (16) path
+}

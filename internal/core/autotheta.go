@@ -1,0 +1,118 @@
+package core
+
+import (
+	"time"
+
+	"slicenstitch/internal/cpd"
+	"slicenstitch/internal/window"
+)
+
+// ThetaAdjustable is a decomposer whose sampling threshold θ can be changed
+// between events (the Rnd variants).
+type ThetaAdjustable interface {
+	Decomposer
+	Theta() int
+	SetTheta(theta int)
+}
+
+// Theta returns the current sampling threshold.
+func (s *SNSRnd) Theta() int { return s.theta }
+
+// SetTheta changes the sampling threshold; it takes effect on the next
+// event. theta < 1 is clamped to 1.
+func (s *SNSRnd) SetTheta(theta int) {
+	if theta < 1 {
+		theta = 1
+	}
+	s.theta = theta
+}
+
+// Theta returns the current sampling threshold.
+func (s *SNSRndPlus) Theta() int { return s.theta }
+
+// SetTheta changes the sampling threshold; it takes effect on the next
+// event. theta < 1 is clamped to 1.
+func (s *SNSRndPlus) SetTheta(theta int) {
+	if theta < 1 {
+		theta = 1
+	}
+	s.theta = theta
+}
+
+// AutoTheta wraps a sampling decomposer and adapts θ online toward a
+// per-update latency budget, automating the paper's practitioner's guide
+// (Section VI-F): "we recommend increasing θ as much as possible, within
+// your runtime budget". Per Observation 6 the update time grows roughly
+// linearly in θ, so the controller rescales θ proportionally to the
+// budget/measured-latency ratio once per adjustment window, damped to
+// avoid oscillation.
+type AutoTheta struct {
+	inner ThetaAdjustable
+	// Budget is the target mean per-update latency.
+	Budget time.Duration
+	// Min and Max clamp θ.
+	Min, Max int
+	// Every is the number of events per adjustment (default 256).
+	Every int
+
+	now   func() time.Time // injectable clock for tests
+	count int
+	sum   time.Duration
+}
+
+// NewAutoTheta wraps inner with a latency controller. Budget must be
+// positive; min/max default to 1 and 64× the starting θ.
+func NewAutoTheta(inner ThetaAdjustable, budget time.Duration) *AutoTheta {
+	if budget <= 0 {
+		panic("core: AutoTheta budget must be positive")
+	}
+	return &AutoTheta{
+		inner:  inner,
+		Budget: budget,
+		Min:    1,
+		Max:    inner.Theta() * 64,
+		Every:  256,
+		now:    time.Now,
+	}
+}
+
+// Name returns the inner algorithm's name with an "auto-θ" suffix.
+func (a *AutoTheta) Name() string { return a.inner.Name() + " (auto-θ)" }
+
+// Model returns the inner live model.
+func (a *AutoTheta) Model() *cpd.Model { return a.inner.Model() }
+
+// Theta returns the inner threshold.
+func (a *AutoTheta) Theta() int { return a.inner.Theta() }
+
+// Apply times the inner update and adjusts θ at window boundaries.
+func (a *AutoTheta) Apply(ch window.Change) {
+	start := a.now()
+	a.inner.Apply(ch)
+	a.sum += a.now().Sub(start)
+	a.count++
+	every := a.Every
+	if every <= 0 {
+		every = 256
+	}
+	if a.count < every {
+		return
+	}
+	mean := a.sum / time.Duration(a.count)
+	a.count = 0
+	a.sum = 0
+	if mean <= 0 {
+		return
+	}
+	// Proportional rescale with one-third damping.
+	ratio := float64(a.Budget) / float64(mean)
+	damped := 1 + (ratio-1)/3
+	next := int(float64(a.inner.Theta()) * damped)
+	if next < a.Min {
+		next = a.Min
+	}
+	if next > a.Max {
+		next = a.Max
+	}
+	a.inner.SetTheta(next)
+}

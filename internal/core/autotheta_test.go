@@ -1,0 +1,96 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"slicenstitch/internal/window"
+)
+
+// fakeClock yields a configurable latency per Apply.
+type fakeClock struct {
+	t       time.Time
+	perCall time.Duration
+}
+
+func (c *fakeClock) now() time.Time {
+	c.t = c.t.Add(c.perCall / 2) // Apply brackets two now() calls
+	return c.t
+}
+
+func TestAutoThetaShrinksWhenOverBudget(t *testing.T) {
+	win, init, rest := primedSetup(rand.New(rand.NewSource(1)), []int{4, 3}, 3, 4, 3)
+	inner := NewSNSRndPlus(win, init, 40, 1000, 1)
+	at := NewAutoTheta(inner, 10*time.Microsecond)
+	at.Every = 8
+	clock := &fakeClock{t: time.Unix(0, 0), perCall: 100 * time.Microsecond} // 10× over budget
+	at.now = clock.now
+	before := at.Theta()
+	win.Drive(rest[:20], win.Now()+20, func(ch window.Change) { at.Apply(ch) })
+	if at.Theta() >= before {
+		t.Fatalf("θ should shrink under a blown budget: %d -> %d", before, at.Theta())
+	}
+	if at.Theta() < at.Min {
+		t.Fatalf("θ %d below Min %d", at.Theta(), at.Min)
+	}
+}
+
+func TestAutoThetaGrowsWhenUnderBudget(t *testing.T) {
+	win, init, rest := primedSetup(rand.New(rand.NewSource(2)), []int{4, 3}, 3, 4, 3)
+	inner := NewSNSRndPlus(win, init, 10, 1000, 1)
+	at := NewAutoTheta(inner, time.Millisecond)
+	at.Every = 8
+	clock := &fakeClock{t: time.Unix(0, 0), perCall: 10 * time.Microsecond} // far under budget
+	at.now = clock.now
+	before := at.Theta()
+	win.Drive(rest[:20], win.Now()+20, func(ch window.Change) { at.Apply(ch) })
+	if at.Theta() <= before {
+		t.Fatalf("θ should grow under budget: %d -> %d", before, at.Theta())
+	}
+	if at.Theta() > at.Max {
+		t.Fatalf("θ %d above Max %d", at.Theta(), at.Max)
+	}
+}
+
+func TestAutoThetaNameAndModel(t *testing.T) {
+	win, init, _ := primedSetup(rand.New(rand.NewSource(3)), []int{4, 3}, 3, 4, 3)
+	inner := NewSNSRndPlus(win, init, 10, 1000, 1)
+	at := NewAutoTheta(inner, time.Millisecond)
+	if at.Name() != "SNS-Rnd+ (auto-θ)" {
+		t.Errorf("Name = %q", at.Name())
+	}
+	if at.Model() != inner.Model() {
+		t.Error("Model should pass through")
+	}
+}
+
+func TestAutoThetaBadBudgetPanics(t *testing.T) {
+	win, init, _ := primedSetup(rand.New(rand.NewSource(4)), []int{4, 3}, 3, 4, 3)
+	inner := NewSNSRnd(win, init, 10, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewAutoTheta(inner, 0)
+}
+
+func TestSetThetaClamps(t *testing.T) {
+	win, init, _ := primedSetup(rand.New(rand.NewSource(5)), []int{4, 3}, 3, 4, 3)
+	rnd := NewSNSRnd(win, init, 10, 1)
+	rnd.SetTheta(-5)
+	if rnd.Theta() != 1 {
+		t.Errorf("SNSRnd.SetTheta clamp: %d", rnd.Theta())
+	}
+	win2, init2, _ := primedSetup(rand.New(rand.NewSource(5)), []int{4, 3}, 3, 4, 3)
+	plus := NewSNSRndPlus(win2, init2, 10, 1000, 1)
+	plus.SetTheta(0)
+	if plus.Theta() != 1 {
+		t.Errorf("SNSRndPlus.SetTheta clamp: %d", plus.Theta())
+	}
+	plus.SetTheta(33)
+	if plus.Theta() != 33 {
+		t.Errorf("SetTheta(33) = %d", plus.Theta())
+	}
+}

@@ -1,0 +1,142 @@
+// Package core implements the SliceNStitch online optimization algorithms
+// of Section V of the paper: SNS_MAT (Algorithm 2), SNS_VEC and SNS_RND
+// (Algorithms 3–4), and the stable coordinate-descent variants SNS⁺_VEC and
+// SNS⁺_RND (Algorithm 5). Each updates the CP factor matrices in response
+// to a single change ΔX of the tensor window (Definition 6), i.e. in
+// response to every arrival/shift/expiry event of the continuous tensor
+// model.
+package core
+
+import (
+	"fmt"
+
+	"slicenstitch/internal/cpd"
+	"slicenstitch/internal/mat"
+	"slicenstitch/internal/window"
+)
+
+// Decomposer is an online CP decomposition reacting to window changes.
+// Apply must be called after the window itself has absorbed the change
+// (window.Drive guarantees this ordering), so that win.X() is X + ΔX.
+type Decomposer interface {
+	// Name returns the paper's algorithm name, e.g. "SNS-Vec+".
+	Name() string
+	// Apply updates the factor matrices in response to one event.
+	Apply(ch window.Change)
+	// Model returns the live CP model (not a copy).
+	Model() *cpd.Model
+}
+
+// base carries the state shared by all SliceNStitch variants: the window
+// being tracked, the factor model, and the maintained Gram matrices
+// Q⁽ᵐ⁾ = A⁽ᵐ⁾ᵀA⁽ᵐ⁾.
+type base struct {
+	win   *window.Window
+	model *cpd.Model
+	grams []*mat.Dense
+	// scratch buffers reused across events to keep updates allocation-free
+	// on the hot path.
+	krBuf  []float64
+	rowBuf []float64
+}
+
+func newBase(win *window.Window, init *cpd.Model) base {
+	model := init.Clone()
+	wantShape := append(win.Dims(), win.W())
+	got := model.Shape()
+	if len(got) != len(wantShape) {
+		panic(fmt.Sprintf("core: init model order %d != window order %d", len(got), len(wantShape)))
+	}
+	for m := range got {
+		if got[m] != wantShape[m] {
+			panic(fmt.Sprintf("core: init model mode %d size %d != window %d", m, got[m], wantShape[m]))
+		}
+	}
+	r := model.Rank()
+	return base{
+		win:    win,
+		model:  model,
+		grams:  model.Grams(),
+		krBuf:  make([]float64, r),
+		rowBuf: make([]float64, r),
+	}
+}
+
+// Model returns the live model.
+func (b *base) Model() *cpd.Model { return b.model }
+
+// timeMode returns the index of the time mode (the last mode).
+func (b *base) timeMode() int { return b.model.Order() - 1 }
+
+// foldLambda prepares an unnormalized model for the normalization-free
+// variants (Section V-C) by delegating to cpd.FoldLambda.
+func foldLambda(m *cpd.Model) { cpd.FoldLambda(m) }
+
+// updateGram applies Eq. (13): Q ← Q − pᵀp + aᵀa after row p became row a.
+func updateGram(q *mat.Dense, p, a []float64) {
+	r := len(p)
+	for i := 0; i < r; i++ {
+		qi := q.Row(i)
+		for j := 0; j < r; j++ {
+			qi[j] += a[i]*a[j] - p[i]*p[j]
+		}
+	}
+}
+
+// updatePrevGram applies Eq. (17): U ← U − pᵀp + pᵀa, i.e. the asymmetric
+// update of U = A_prevᵀA after the current row moved from p to a while the
+// prev row stays p.
+func updatePrevGram(u *mat.Dense, p, a []float64) {
+	r := len(p)
+	for i := 0; i < r; i++ {
+		ui := u.Row(i)
+		for j := 0; j < r; j++ {
+			ui[j] += p[i] * (a[j] - p[j])
+		}
+	}
+}
+
+// deltaTerm accumulates Σ Δx_J · (∗_{n≠m} A⁽ⁿ⁾(j_n,:)) over the ΔX cells
+// whose mode-m index is i — the "ΔX_(m) K⁽ᵐ⁾" row appearing in
+// Eqs. (9), (16), (22) and (23). dst is overwritten and returned.
+func (b *base) deltaTerm(ch window.Change, m, i int, dst []float64) []float64 {
+	for k := range dst {
+		dst[k] = 0
+	}
+	for _, cell := range ch.Cells {
+		if cell.Coord[m] != i {
+			continue
+		}
+		kr := cpd.KRRow(b.model.Factors, cell.Coord, m, b.krBuf)
+		for k := range dst {
+			dst[k] += cell.Delta * kr[k]
+		}
+	}
+	return dst
+}
+
+// rowUpdater is the algorithm-specific part of the common outline
+// (Algorithm 3): how one row of one factor matrix is refreshed.
+type rowUpdater interface {
+	beginEvent(ch window.Change)
+	updateRow(m, i int, ch window.Change)
+}
+
+// applyOutline runs the common outline of Algorithm 3: for an event with
+// shift count w, refresh the affected time-mode rows (0-based indices W−w
+// and W−w−1), then the i_m-th row of every non-time factor.
+func applyOutline(win *window.Window, order int, ru rowUpdater, ch window.Change) {
+	ru.beginEvent(ch)
+	tm := order - 1
+	w := ch.W
+	bigW := win.W()
+	if w > 0 {
+		ru.updateRow(tm, bigW-w, ch)
+	}
+	if w < bigW {
+		ru.updateRow(tm, bigW-w-1, ch)
+	}
+	for m := 0; m < order-1; m++ {
+		ru.updateRow(m, ch.Tuple.Coord[m], ch)
+	}
+}

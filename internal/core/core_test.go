@@ -1,0 +1,612 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"slicenstitch/internal/als"
+	"slicenstitch/internal/cpd"
+	"slicenstitch/internal/mat"
+	"slicenstitch/internal/metrics"
+	"slicenstitch/internal/stream"
+	"slicenstitch/internal/window"
+)
+
+// makeStream builds a deterministic random chronological stream.
+func makeStream(rng *rand.Rand, dims []int, n int, maxGap int) []stream.Tuple {
+	var out []stream.Tuple
+	tm := int64(0)
+	for i := 0; i < n; i++ {
+		tm += int64(rng.Intn(maxGap + 1))
+		coord := make([]int, len(dims))
+		for m, d := range dims {
+			coord[m] = rng.Intn(d)
+		}
+		out = append(out, stream.Tuple{Coord: coord, Value: float64(1 + rng.Intn(3)), Time: tm})
+	}
+	return out
+}
+
+// primedSetup bootstraps a small window with data and an ALS init model.
+func primedSetup(rng *rand.Rand, dims []int, w int, period int64, rank int) (*window.Window, *cpd.Model, []stream.Tuple) {
+	tuples := makeStream(rng, dims, 150, 2)
+	t0 := int64(w) * period
+	win, rest := Bootstrap(dims, w, period, tuples, t0)
+	init := InitALS(win, rank, 7)
+	return win, init, rest
+}
+
+// allDecomposers builds one of each variant over clones of the same state.
+func allDecomposers(win *window.Window, init *cpd.Model) map[string]Decomposer {
+	return map[string]Decomposer{
+		"mat":  NewSNSMat(win, init),
+		"vec":  NewSNSVec(win, init),
+		"rnd":  NewSNSRnd(win, init, 5, 99),
+		"vec+": NewSNSVecPlus(win, init, 1000),
+		"rnd+": NewSNSRndPlus(win, init, 5, 1000, 99),
+	}
+}
+
+// Every variant must keep its maintained Gram matrices consistent with its
+// factors through an arbitrary event sequence (Eqs. (13), (24), (25)).
+func TestGramInvariantAcrossEvents(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	dims := []int{4, 3}
+	for name, mk := range map[string]func(*window.Window, *cpd.Model) Decomposer{
+		"vec":  func(w *window.Window, m *cpd.Model) Decomposer { return NewSNSVec(w, m) },
+		"rnd":  func(w *window.Window, m *cpd.Model) Decomposer { return NewSNSRnd(w, m, 3, 5) },
+		"vec+": func(w *window.Window, m *cpd.Model) Decomposer { return NewSNSVecPlus(w, m, 100) },
+		"rnd+": func(w *window.Window, m *cpd.Model) Decomposer { return NewSNSRndPlus(w, m, 3, 100, 5) },
+		"mat":  func(w *window.Window, m *cpd.Model) Decomposer { return NewSNSMat(w, m) },
+	} {
+		win, init, rest := primedSetup(rand.New(rand.NewSource(2)), dims, 3, 4, 3)
+		dec := mk(win, init)
+		var grams func() []*mat.Dense
+		switch d := dec.(type) {
+		case *SNSVec:
+			grams = func() []*mat.Dense { return d.grams }
+		case *SNSRnd:
+			grams = func() []*mat.Dense { return d.grams }
+		case *SNSVecPlus:
+			grams = func() []*mat.Dense { return d.grams }
+		case *SNSRndPlus:
+			grams = func() []*mat.Dense { return d.grams }
+		case *SNSMat:
+			grams = func() []*mat.Dense { return d.grams }
+		}
+		events := 0
+		win.Drive(rest[:60], win.Now()+100, func(ch window.Change) {
+			dec.Apply(ch)
+			events++
+			if events%7 != 0 {
+				return
+			}
+			for m, f := range dec.Model().Factors {
+				want := mat.Gram(f)
+				if !mat.EqualApprox(grams()[m], want, 1e-6*(1+want.MaxAbs())) {
+					t.Fatalf("%s: Gram invariant broken at event %d mode %d", name, events, m)
+				}
+			}
+		})
+		if events == 0 {
+			t.Fatalf("%s: no events processed", name)
+		}
+	}
+	_ = rng
+}
+
+// The sampling variants must keep U⁽ᵐ⁾ = A_prevᵀA⁽ᵐ⁾ exact at event end,
+// where A_prev is the factor state when the event began (Eqs. (17), (26)).
+func TestPrevGramInvariant(t *testing.T) {
+	for name, mk := range map[string]func(*window.Window, *cpd.Model) Decomposer{
+		"rnd":  func(w *window.Window, m *cpd.Model) Decomposer { return NewSNSRnd(w, m, 3, 11) },
+		"rnd+": func(w *window.Window, m *cpd.Model) Decomposer { return NewSNSRndPlus(w, m, 3, 500, 11) },
+	} {
+		win, init, rest := primedSetup(rand.New(rand.NewSource(3)), []int{4, 3}, 3, 4, 3)
+		dec := mk(win, init)
+		var prevGrams func() []*mat.Dense
+		switch d := dec.(type) {
+		case *SNSRnd:
+			prevGrams = func() []*mat.Dense { return d.prevGrams }
+		case *SNSRndPlus:
+			prevGrams = func() []*mat.Dense { return d.prevGrams }
+		}
+		checked := 0
+		win.Drive(rest[:40], win.Now()+60, func(ch window.Change) {
+			before := dec.Model().Clone()
+			dec.Apply(ch)
+			for m := range before.Factors {
+				want := mat.MulTA(before.Factors[m], dec.Model().Factors[m])
+				if !mat.EqualApprox(prevGrams()[m], want, 1e-6*(1+want.MaxAbs())) {
+					t.Fatalf("%s: prev-Gram invariant broken, mode %d", name, m)
+				}
+			}
+			checked++
+		})
+		if checked == 0 {
+			t.Fatalf("%s: no events processed", name)
+		}
+	}
+}
+
+// SNS_MAT must behave exactly like one ALS sweep per event (Algorithm 2).
+func TestSNSMatMatchesALSSweep(t *testing.T) {
+	win, init, rest := primedSetup(rand.New(rand.NewSource(4)), []int{3, 3}, 3, 4, 2)
+	dec := NewSNSMat(win, init)
+	// Shadow state evolved by direct ALS sweeps on the same window.
+	shadow := init.Clone()
+	shadowGrams := shadow.Grams()
+	win.Drive(rest[:20], win.Now()+30, func(ch window.Change) {
+		dec.Apply(ch)
+		als.Sweep(win.X(), shadow, shadowGrams)
+		for m := range shadow.Factors {
+			if !mat.EqualApprox(dec.Model().Factors[m], shadow.Factors[m], 1e-9) {
+				t.Fatalf("SNSMat diverged from ALS sweep at mode %d", m)
+			}
+		}
+		if !mat.VecEqualApprox(dec.Model().Lambda, shadow.Lambda, 1e-9) {
+			t.Fatal("SNSMat lambda diverged")
+		}
+	})
+}
+
+// SNS_VEC's non-time row update must solve Eq. (12) exactly: the refreshed
+// row equals the LS solution computed from scratch.
+func TestSNSVecRowSolvesLeastSquares(t *testing.T) {
+	win, init, rest := primedSetup(rand.New(rand.NewSource(5)), []int{4, 3}, 3, 4, 3)
+	dec := NewSNSVec(win, init)
+	count := 0
+	win.Drive(rest[:15], win.Now()+20, func(ch window.Change) {
+		dec.Apply(ch)
+		count++
+		// Re-derive the non-time rows from scratch with the current factors:
+		// because mode m's row was updated LAST for m = M−2... modes are
+		// updated in order 0..M−2, so only the final mode's row is
+		// guaranteed to satisfy stationarity w.r.t. the final factor state.
+		m := dec.Model().Order() - 2
+		i := ch.Tuple.Coord[m]
+		grams := dec.Model().Grams()
+		h := cpd.GramsExcept(grams, m)
+		u := cpd.MTTKRPRow(win.X(), dec.Model().Factors, m, i)
+		want := mat.SolveSym(h, u)
+		got := dec.Model().Factors[m].Row(i)
+		if !mat.VecEqualApprox(got, want, 1e-6*(1+mat.Norm2(want))) {
+			t.Fatalf("event %d: row != LS solution\ngot %v\nwant %v", count, got, want)
+		}
+	})
+	if count == 0 {
+		t.Fatal("no events")
+	}
+}
+
+// localSliceObjective evaluates Eq. (19)'s underlying objective: the squared
+// residual over the full dense slice {J : j_m = i}.
+func localSliceObjective(x intfTensor, model *cpd.Model, m, i int) float64 {
+	shape := model.Shape()
+	coord := make([]int, len(shape))
+	coord[m] = i
+	var total float64
+	var walk func(mode int)
+	walk = func(mode int) {
+		if mode == len(shape) {
+			d := x.At(coord) - model.Predict(coord)
+			total += d * d
+			return
+		}
+		if mode == m {
+			walk(mode + 1)
+			return
+		}
+		for j := 0; j < shape[mode]; j++ {
+			coord[mode] = j
+			walk(mode + 1)
+		}
+	}
+	walk(0)
+	return total
+}
+
+type intfTensor interface{ At([]int) float64 }
+
+// Footnote 3: each exact coordinate update followed by clipping never
+// increases the local objective.
+func TestCoordinateDescentNonIncreasing(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 10; trial++ {
+		win, init, rest := primedSetup(rand.New(rand.NewSource(int64(trial))), []int{3, 3}, 3, 4, 2)
+		dec := NewSNSVecPlus(win, init, 0.5+rng.Float64()*10)
+		// Drain a few events to roughen the state.
+		win.Drive(rest[:5], win.Now()+5, func(ch window.Change) { dec.Apply(ch) })
+		// Now directly exercise the exact (non-time) row update.
+		m := 0
+		i := rest[5].Coord[0]
+		before := localSliceObjective(win.X(), dec.Model(), m, i)
+		dec.updateRow(m, i, window.Change{Tuple: rest[5]})
+		after := localSliceObjective(win.X(), dec.Model(), m, i)
+		if after > before+1e-9*(1+before) {
+			t.Fatalf("trial %d: objective increased %g -> %g", trial, before, after)
+		}
+	}
+}
+
+// Iterating the exact coordinate-descent row update converges to the
+// Eq. (12) least-squares solution (cross-validation of the c/d terms of
+// Eq. (20) against the closed form).
+func TestCoordinateDescentConvergesToLS(t *testing.T) {
+	win, init, _ := primedSetup(rand.New(rand.NewSource(7)), []int{4, 3}, 3, 4, 2)
+	dec := NewSNSVecPlus(win, init, 1e9) // effectively no clipping
+	m, i := 0, 1
+	for it := 0; it < 200; it++ {
+		dec.updateRow(m, i, window.Change{Tuple: stream.Tuple{Coord: []int{i, 0}}})
+	}
+	grams := dec.Model().Grams()
+	h := cpd.GramsExcept(grams, m)
+	u := cpd.MTTKRPRow(win.X(), dec.Model().Factors, m, i)
+	want := mat.SolveSym(h, u)
+	got := dec.Model().Factors[m].Row(i)
+	if !mat.VecEqualApprox(got, want, 1e-5*(1+mat.Norm2(want))) {
+		t.Fatalf("CD fixed point %v != LS %v", got, want)
+	}
+}
+
+// Clipping keeps every updated entry within [−η, η].
+func TestClippingBoundsEntries(t *testing.T) {
+	const eta = 0.3
+	for name, mk := range map[string]func(*window.Window, *cpd.Model) Decomposer{
+		"vec+": func(w *window.Window, m *cpd.Model) Decomposer { return NewSNSVecPlus(w, m, eta) },
+		"rnd+": func(w *window.Window, m *cpd.Model) Decomposer { return NewSNSRndPlus(w, m, 2, eta, 3) },
+	} {
+		win, init, rest := primedSetup(rand.New(rand.NewSource(8)), []int{3, 3}, 3, 4, 2)
+		dec := mk(win, init)
+		touched := map[[2]int]bool{}
+		win.Drive(rest[:30], win.Now()+40, func(ch window.Change) {
+			dec.Apply(ch)
+			markTouched(touched, ch, win)
+		})
+		checkClipped(t, name, dec.Model(), touched, eta)
+		if len(touched) == 0 {
+			t.Fatalf("%s: no rows touched", name)
+		}
+	}
+}
+
+func markTouched(touched map[[2]int]bool, ch window.Change, win *window.Window) {
+	order := len(ch.Tuple.Coord) + 1
+	tm := order - 1
+	if ch.W > 0 {
+		touched[[2]int{tm, win.W() - ch.W}] = true
+	}
+	if ch.W < win.W() {
+		touched[[2]int{tm, win.W() - ch.W - 1}] = true
+	}
+	for m := 0; m < order-1; m++ {
+		touched[[2]int{m, ch.Tuple.Coord[m]}] = true
+	}
+}
+
+func checkClipped(t *testing.T, name string, model *cpd.Model, touched map[[2]int]bool, eta float64) {
+	t.Helper()
+	for key := range touched {
+		row := model.Factors[key[0]].Row(key[1])
+		for k, v := range row {
+			if math.Abs(v) > eta+1e-12 {
+				t.Fatalf("%s: factor[%d] row %d entry %d = %g exceeds η=%g", name, key[0], key[1], k, v, eta)
+			}
+		}
+	}
+}
+
+// Identical seeds and identical streams must give bit-identical factors.
+func TestDeterministicReplay(t *testing.T) {
+	run := func() map[string]*cpd.Model {
+		win, init, rest := primedSetup(rand.New(rand.NewSource(9)), []int{4, 4}, 3, 3, 3)
+		decs := allDecomposers(win, init)
+		// Drive one shared window; all decomposers observe the same events.
+		win.Drive(rest[:40], win.Now()+60, func(ch window.Change) {
+			for _, d := range decs {
+				d.Apply(ch)
+			}
+		})
+		out := map[string]*cpd.Model{}
+		for n, d := range decs {
+			out[n] = d.Model().Clone()
+		}
+		return out
+	}
+	a, b := run(), run()
+	for name := range a {
+		for m := range a[name].Factors {
+			if !mat.EqualApprox(a[name].Factors[m], b[name].Factors[m], 0) {
+				t.Fatalf("%s: non-deterministic factors in mode %d", name, m)
+			}
+		}
+	}
+}
+
+// End-to-end sanity: on a persistent low-rank-ish stream, the stable
+// variants keep fitness within a sane band of the ALS reference.
+func TestStableVariantsTrackALS(t *testing.T) {
+	dims := []int{5, 4}
+	w, period, rank := 4, int64(5), 3
+	rng := rand.New(rand.NewSource(10))
+	// Structured stream: two hot cells plus noise.
+	var tuples []stream.Tuple
+	tm := int64(0)
+	for i := 0; i < 600; i++ {
+		tm += int64(rng.Intn(2))
+		var coord []int
+		switch rng.Intn(4) {
+		case 0, 1:
+			coord = []int{1, 2}
+		case 2:
+			coord = []int{3, 0}
+		default:
+			coord = []int{rng.Intn(5), rng.Intn(4)}
+		}
+		tuples = append(tuples, stream.Tuple{Coord: coord, Value: 1, Time: tm})
+	}
+	t0 := int64(w) * period
+	win, rest := Bootstrap(dims, w, period, tuples, t0)
+	init := InitALS(win, rank, 7)
+
+	for name, mkDec := range map[string]func(*window.Window, *cpd.Model) Decomposer{
+		"mat":  func(wn *window.Window, m *cpd.Model) Decomposer { return NewSNSMat(wn, m) },
+		"vec+": func(wn *window.Window, m *cpd.Model) Decomposer { return NewSNSVecPlus(wn, m, 1000) },
+		"rnd+": func(wn *window.Window, m *cpd.Model) Decomposer { return NewSNSRndPlus(wn, m, 10, 1000, 3) },
+	} {
+		wn, rs := Bootstrap(dims, w, period, tuples, t0)
+		dec := mkDec(wn, init)
+		wn.Drive(rs, wn.Now()+100, func(ch window.Change) { dec.Apply(ch) })
+		fit := cpd.Fitness(wn.X(), dec.Model())
+		ref := cpd.Fitness(wn.X(), als.Run(wn.X(), als.Options{Rank: rank, Seed: 5}))
+		if dec.Model().HasNaN() {
+			t.Fatalf("%s: NaN factors", name)
+		}
+		if ref > 0.1 && fit < 0.4*ref {
+			t.Errorf("%s: fitness %g too far below ALS %g", name, fit, ref)
+		}
+	}
+	_ = rest
+}
+
+func TestFoldLambdaPreservesPredictions(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	m := cpd.NewRandomModel([]int{3, 4, 2}, 3, rng)
+	for r := range m.Lambda {
+		m.Lambda[r] = rng.Float64()*4 - 2 // include negative λ
+	}
+	orig := m.Clone()
+	foldLambda(m)
+	for r, l := range m.Lambda {
+		if l != 1 {
+			t.Fatalf("lambda[%d] = %g after fold", r, l)
+		}
+	}
+	coord := make([]int, 3)
+	for trial := 0; trial < 30; trial++ {
+		coord[0], coord[1], coord[2] = rng.Intn(3), rng.Intn(4), rng.Intn(2)
+		a, b := orig.Predict(coord), m.Predict(coord)
+		if math.Abs(a-b) > 1e-9*(1+math.Abs(a)) {
+			t.Fatalf("prediction changed at %v: %g vs %g", coord, a, b)
+		}
+	}
+}
+
+func TestUpdateGramBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	a := mat.New(5, 3)
+	for i := range a.Data() {
+		a.Data()[i] = rng.NormFloat64()
+	}
+	q := mat.Gram(a)
+	p := mat.CloneVec(a.Row(2))
+	newRow := []float64{1.5, -2, 0.25}
+	a.SetRow(2, newRow)
+	updateGram(q, p, newRow)
+	if !mat.EqualApprox(q, mat.Gram(a), 1e-10) {
+		t.Fatal("updateGram mismatch")
+	}
+}
+
+func TestUpdatePrevGramBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	prev := mat.New(4, 3)
+	for i := range prev.Data() {
+		prev.Data()[i] = rng.NormFloat64()
+	}
+	cur := prev.Clone()
+	u := mat.MulTA(prev, cur)
+	p := mat.CloneVec(cur.Row(1))
+	newRow := []float64{0.5, 2, -1}
+	cur.SetRow(1, newRow)
+	updatePrevGram(u, p, newRow)
+	if !mat.EqualApprox(u, mat.MulTA(prev, cur), 1e-10) {
+		t.Fatal("updatePrevGram mismatch")
+	}
+}
+
+func TestBumpGramBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	a := mat.New(4, 3)
+	for i := range a.Data() {
+		a.Data()[i] = rng.NormFloat64()
+	}
+	q := mat.Gram(a)
+	row := a.Row(2)
+	old := row[1]
+	row[1] = 7.5
+	bumpGram(q, row, 1, old, 7.5)
+	if !mat.EqualApprox(q, mat.Gram(a), 1e-9) {
+		t.Fatal("bumpGram mismatch")
+	}
+	// No-op change leaves q untouched.
+	before := q.Clone()
+	bumpGram(q, row, 1, 7.5, 7.5)
+	if !mat.EqualApprox(q, before, 0) {
+		t.Fatal("no-op bump changed gram")
+	}
+}
+
+func TestBumpPrevGramBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	prev := mat.New(4, 3)
+	for i := range prev.Data() {
+		prev.Data()[i] = rng.NormFloat64()
+	}
+	cur := prev.Clone()
+	u := mat.MulTA(prev, cur)
+	p := mat.CloneVec(cur.Row(3))
+	cur.Row(3)[2] = -4
+	bumpPrevGram(u, p, 2, -4)
+	if !mat.EqualApprox(u, mat.MulTA(prev, cur), 1e-10) {
+		t.Fatal("bumpPrevGram mismatch")
+	}
+}
+
+func TestClipFunction(t *testing.T) {
+	if clip(5, 1, -2, 2) != 2 {
+		t.Error("upper clip failed")
+	}
+	if clip(-5, 1, -2, 2) != -2 {
+		t.Error("lower clip failed")
+	}
+	if clip(1.5, 1, -2, 2) != 1.5 {
+		t.Error("in-range value altered")
+	}
+	if clip(math.NaN(), 1.25, -2, 2) != 1.25 {
+		t.Error("NaN should fall back to old value")
+	}
+	if clip(math.Inf(1), 1, -2, 2) != 2 {
+		t.Error("+Inf should clip to eta")
+	}
+	// Nonnegative mode: lo = 0.
+	if clip(-5, 1, 0, 2) != 0 {
+		t.Error("nonnegative clip failed")
+	}
+}
+
+// Nonnegative mode keeps every updated entry in [0, η].
+func TestNonNegativeMode(t *testing.T) {
+	win, init, rest := primedSetup(rand.New(rand.NewSource(30)), []int{4, 3}, 3, 4, 3)
+	dec := NewSNSRndPlus(win, init, 3, 1000, 1)
+	dec.NonNegative = true
+	touched := map[[2]int]bool{}
+	win.Drive(rest[:40], win.Now()+60, func(ch window.Change) {
+		dec.Apply(ch)
+		markTouched(touched, ch, win)
+	})
+	for key := range touched {
+		for k, v := range dec.Model().Factors[key[0]].Row(key[1]) {
+			if v < 0 {
+				t.Fatalf("negative entry %g at mode %d row %d col %d", v, key[0], key[1], k)
+			}
+		}
+	}
+	if dec.Model().HasNaN() {
+		t.Fatal("NaN in nonnegative mode")
+	}
+	// Vec+ variant too.
+	win2, init2, rest2 := primedSetup(rand.New(rand.NewSource(30)), []int{4, 3}, 3, 4, 3)
+	vp := NewSNSVecPlus(win2, init2, 1000)
+	vp.NonNegative = true
+	touched2 := map[[2]int]bool{}
+	win2.Drive(rest2[:40], win2.Now()+60, func(ch window.Change) {
+		vp.Apply(ch)
+		markTouched(touched2, ch, win2)
+	})
+	for key := range touched2 {
+		for _, v := range vp.Model().Factors[key[0]].Row(key[1]) {
+			if v < 0 {
+				t.Fatalf("Vec+ negative entry %g", v)
+			}
+		}
+	}
+}
+
+func TestConstructorValidation(t *testing.T) {
+	win := window.New([]int{3}, 2, 5)
+	good := cpd.NewModel([]int{3, 2}, 2)
+	bad := cpd.NewModel([]int{4, 2}, 2)
+	badOrder := cpd.NewModel([]int{3, 2, 2}, 2)
+	for name, f := range map[string]func(){
+		"shape": func() { NewSNSMat(win, bad) },
+		"order": func() { NewSNSMat(win, badOrder) },
+		"theta": func() { NewSNSRnd(win, good, 0, 1) },
+		"eta":   func() { NewSNSVecPlus(win, good, 0) },
+		"rnd+θ": func() { NewSNSRndPlus(win, good, 0, 1, 1) },
+		"rnd+η": func() { NewSNSRndPlus(win, good, 1, -1, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestInitModelNotAliased(t *testing.T) {
+	win := window.New([]int{3}, 2, 5)
+	init := cpd.NewModel([]int{3, 2}, 2)
+	dec := NewSNSVec(win, init)
+	dec.Model().Factors[0].Set(0, 0, 42)
+	if init.Factors[0].At(0, 0) == 42 {
+		t.Fatal("decomposer aliases init model")
+	}
+}
+
+func TestRunnerRecordsLatencyAndEvents(t *testing.T) {
+	win, init, rest := primedSetup(rand.New(rand.NewSource(16)), []int{3, 3}, 3, 4, 2)
+	dec := NewSNSRndPlus(win, init, 3, 1000, 1)
+	r := NewRunner(win, dec)
+	r.Latency = metrics.NewLatency(64)
+	events := 0
+	r.OnEvent = func(ch window.Change) { events++ }
+	r.Replay(rest[:10], win.Now()+30)
+	if events == 0 {
+		t.Fatal("no events observed")
+	}
+	if r.Latency.Count() != events {
+		t.Fatalf("latency count %d != events %d", r.Latency.Count(), events)
+	}
+	if r.Window() != win || r.Decomposer() != dec {
+		t.Error("accessors broken")
+	}
+}
+
+func TestBootstrapMatchesRebuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	dims := []int{3, 3}
+	tuples := makeStream(rng, dims, 80, 2)
+	w, period := 3, int64(4)
+	t0 := int64(w) * period
+	win, rest := Bootstrap(dims, w, period, tuples, t0)
+	want := window.RebuildAt(dims, w, period, tuples, t0)
+	if !win.X().EqualApprox(want, 1e-9) {
+		t.Fatal("bootstrap window != Definition 4 rebuild")
+	}
+	if win.Now() != t0 {
+		t.Errorf("Now = %d want %d", win.Now(), t0)
+	}
+	for _, tp := range rest {
+		if tp.Time <= t0 {
+			t.Fatalf("leftover tuple at %d ≤ t0 %d", tp.Time, t0)
+		}
+	}
+}
+
+func TestNames(t *testing.T) {
+	win, init, _ := primedSetup(rand.New(rand.NewSource(18)), []int{3, 3}, 2, 4, 2)
+	want := map[string]string{
+		"mat": "SNS-Mat", "vec": "SNS-Vec", "rnd": "SNS-Rnd",
+		"vec+": "SNS-Vec+", "rnd+": "SNS-Rnd+",
+	}
+	for key, dec := range allDecomposers(win, init) {
+		if dec.Name() != want[key] {
+			t.Errorf("%s: Name = %q want %q", key, dec.Name(), want[key])
+		}
+	}
+}

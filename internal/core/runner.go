@@ -1,0 +1,78 @@
+package core
+
+import (
+	"time"
+
+	"slicenstitch/internal/als"
+	"slicenstitch/internal/cpd"
+	"slicenstitch/internal/metrics"
+	"slicenstitch/internal/stream"
+	"slicenstitch/internal/window"
+)
+
+// Bootstrap primes a fresh window with the prefix of a chronological tuple
+// sequence up to (and including scheduled events at) time t0, without any
+// decomposition, and returns the primed window plus the remaining tuples.
+// This reproduces the paper's experimental setup: the initial tensor
+// window is filled first and factor matrices are initialized by ALS on it
+// (Section VI-A). Priming is direct (window.Prime), so the cost is
+// proportional to the tuples still active at t0, not to t0 × W events.
+func Bootstrap(dims []int, w int, period int64, tuples []stream.Tuple, t0 int64) (*window.Window, []stream.Tuple) {
+	split := len(tuples)
+	for n, tp := range tuples {
+		if tp.Time > t0 {
+			split = n
+			break
+		}
+	}
+	win := window.Prime(dims, w, period, tuples[:split], t0)
+	return win, tuples[split:]
+}
+
+// InitALS factorizes the current window with ALS, yielding the warm-start
+// model every online method begins from.
+func InitALS(win *window.Window, rank int, seed int64) *cpd.Model {
+	return als.Run(win.X(), als.Options{Rank: rank, Seed: seed})
+}
+
+// Runner replays stream tuples through a window and an online decomposer,
+// timing each factor update.
+type Runner struct {
+	win *window.Window
+	dec Decomposer
+	// Latency records the duration of each Apply call (runtime per update,
+	// the metric of Figs. 1e, 5a, 7). Nil disables timing.
+	Latency *metrics.Latency
+	// OnEvent, when non-nil, runs after each applied change — the hook the
+	// experiment harness uses for fitness probes.
+	OnEvent func(ch window.Change)
+}
+
+// NewRunner couples a window with a decomposer.
+func NewRunner(win *window.Window, dec Decomposer) *Runner {
+	return &Runner{win: win, dec: dec}
+}
+
+// Window returns the underlying window.
+func (r *Runner) Window() *window.Window { return r.win }
+
+// Decomposer returns the underlying decomposer.
+func (r *Runner) Decomposer() Decomposer { return r.dec }
+
+// Replay feeds the tuples (chronological, all at or after the window's
+// current time) and drains scheduled events up to `until`, applying the
+// decomposer to every change.
+func (r *Runner) Replay(tuples []stream.Tuple, until int64) {
+	r.win.Drive(tuples, until, func(ch window.Change) {
+		if r.Latency != nil {
+			start := time.Now()
+			r.dec.Apply(ch)
+			r.Latency.Record(time.Since(start))
+		} else {
+			r.dec.Apply(ch)
+		}
+		if r.OnEvent != nil {
+			r.OnEvent(ch)
+		}
+	})
+}

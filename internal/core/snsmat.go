@@ -1,0 +1,32 @@
+package core
+
+import (
+	"slicenstitch/internal/als"
+	"slicenstitch/internal/cpd"
+	"slicenstitch/internal/window"
+)
+
+// SNSMat is SLICENSTITCH-MATRIX (Algorithm 2): the naive extension of ALS
+// to the continuous tensor model. For every event it performs one full ALS
+// sweep over the entire tensor window, keeping factors column-normalized
+// with weights λ (footnote 1). It is the most accurate and the slowest
+// family member (Theorem 3).
+type SNSMat struct {
+	base
+}
+
+// NewSNSMat builds an SNS_MAT tracker from an initial model (typically the
+// output of ALS on the initial window; it is cloned).
+func NewSNSMat(win *window.Window, init *cpd.Model) *SNSMat {
+	return &SNSMat{base: newBase(win, init)}
+}
+
+// Name returns "SNS-Mat".
+func (s *SNSMat) Name() string { return "SNS-Mat" }
+
+// Apply runs one ALS sweep on the updated window (Algorithm 2). The change
+// itself is not consulted beyond having already been applied to the window:
+// SNS_MAT re-reads every nonzero, which is exactly why it is expensive.
+func (s *SNSMat) Apply(ch window.Change) {
+	als.Sweep(s.win.X(), s.model, s.grams)
+}

@@ -1,0 +1,257 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+
+	"slicenstitch/internal/cpd"
+	"slicenstitch/internal/mat"
+	"slicenstitch/internal/window"
+)
+
+// cEps is the smallest coefficient c⁽ᵐ⁾_k (Eq. (20)) a coordinate-descent
+// step will divide by; below it the coordinate is left unchanged. c is a
+// product of squared column norms, so a value this small means the column
+// has collapsed and the least-squares subproblem is degenerate.
+const cEps = 1e-300
+
+// clip applies the SNS⁺ stabilization (Algorithm 5, lines 5/15): values are
+// forced into [lo, η]. Non-finite values — which a degenerate division can
+// produce — fall back to the previous value, keeping the objective bounded.
+// lo is −η normally and 0 in nonnegative mode; because the 1-D subproblem
+// of Eq. (19) is convex, projecting its minimizer onto any interval never
+// increases the objective (the footnote-3 argument applies unchanged).
+func clip(v, old, lo, eta float64) float64 {
+	if math.IsNaN(v) {
+		return old
+	}
+	if v > eta {
+		return eta
+	}
+	if v < lo {
+		return lo
+	}
+	return v
+}
+
+// bumpGram applies Eqs. (24)–(25) after coordinate k of row `row` moved
+// from oldV to newV: q_kk += a² − b², and q_rk = q_kr += a_r·(a−b) for r≠k,
+// with a_r the live (possibly already-updated) row values.
+func bumpGram(q *mat.Dense, row []float64, k int, oldV, newV float64) {
+	d := newV - oldV
+	if d == 0 {
+		return
+	}
+	for r := range row {
+		if r == k {
+			continue
+		}
+		b := row[r] * d
+		q.Add(r, k, b)
+		q.Add(k, r, b)
+	}
+	q.Add(k, k, newV*newV-oldV*oldV)
+}
+
+// bumpPrevGram applies Eq. (26) after coordinate k moved from p[k] to newV:
+// u_rk += b_r·(a − b) for every r, with b the event-start row p.
+func bumpPrevGram(u *mat.Dense, p []float64, k int, newV float64) {
+	d := newV - p[k]
+	if d == 0 {
+		return
+	}
+	for r := range p {
+		u.Add(r, k, p[r]*d)
+	}
+}
+
+// SNSVecPlus is SNS⁺_VEC (Algorithm 5, updateRowVec+): the stable variant
+// of SNS_VEC. Rows are refreshed by coordinate descent — Eq. (22) for the
+// time mode, Eq. (21) for the others — with every entry clipped to [−η, η],
+// which never increases the local objective (footnote 3) and prevents the
+// numeric blow-ups of the unnormalized LS updates.
+type SNSVecPlus struct {
+	base
+	eta float64
+	// NonNegative constrains every updated entry to [0, η] instead of
+	// [−η, η] — an extension for count data where negative factor loadings
+	// have no interpretation (cf. CP-stream's nonnegativity option). The
+	// projection argument of footnote 3 applies to any interval, so the
+	// stability guarantee is unchanged.
+	NonNegative bool
+}
+
+// NewSNSVecPlus builds an SNS⁺_VEC tracker with clipping threshold eta.
+func NewSNSVecPlus(win *window.Window, init *cpd.Model, eta float64) *SNSVecPlus {
+	if eta <= 0 {
+		panic("core: SNSVecPlus eta must be positive")
+	}
+	b := newBase(win, init)
+	foldLambda(b.model)
+	b.grams = b.model.Grams()
+	return &SNSVecPlus{base: b, eta: eta}
+}
+
+// Name returns "SNS-Vec+".
+func (s *SNSVecPlus) Name() string { return "SNS-Vec+" }
+
+// Apply runs the common outline of Algorithm 3.
+func (s *SNSVecPlus) Apply(ch window.Change) {
+	applyOutline(s.win, s.model.Order(), s, ch)
+}
+
+func (s *SNSVecPlus) beginEvent(window.Change) {}
+
+// updateRow is updateRowVec+ of Algorithm 5.
+func (s *SNSVecPlus) updateRow(m, i int, ch window.Change) {
+	row := s.model.Factors[m].Row(i)
+	p := mat.CloneVec(row)
+	h := cpd.GramsExcept(s.grams, m)
+	timeMode := m == s.timeMode()
+	// The per-coordinate data term is constant across the coordinate loop:
+	// Σ_J Δx_J·Π_{n≠m} a_{j_n k} for the time mode (Eq. (22)), and
+	// Σ_{J∈Ω} (x_J+Δx_J)·Π_{n≠m} a_{j_n k} for the others (Eq. (21)).
+	var data []float64
+	if timeMode {
+		data = s.deltaTerm(ch, m, i, s.rowBuf)
+	} else {
+		data = cpd.MTTKRPRow(s.win.X(), s.model.Factors, m, i)
+	}
+	lo := -s.eta
+	if s.NonNegative {
+		lo = 0
+	}
+	for k := range row {
+		c := h.At(k, k)
+		if c < cEps || math.IsNaN(c) {
+			continue
+		}
+		// d⁽ᵐ⁾_{i k} over the live row (earlier coordinates already moved).
+		d := 0.0
+		for r := range row {
+			if r != k {
+				d += row[r] * h.At(r, k)
+			}
+		}
+		num := data[k] - d
+		if timeMode {
+			// e⁽ᵐ⁾_{i k} with b = event-start row p; U⁽ⁿ⁾ = Q⁽ⁿ⁾ for the
+			// non-time modes because the outline updates the time mode
+			// first, so H doubles as ∗_{n≠m} U⁽ⁿ⁾ here.
+			e := 0.0
+			for r := range p {
+				e += p[r] * h.At(r, k)
+			}
+			num += e
+		}
+		v := clip(num/c, row[k], lo, s.eta)
+		old := row[k]
+		row[k] = v
+		bumpGram(s.grams[m], row, k, old, v)
+	}
+}
+
+// SNSRndPlus is SNS⁺_RND (Algorithm 5, updateRowRan+): the stable variant
+// of SNS_RND. High-degree rows are refreshed from θ sampled nonzeros via
+// Eq. (23); low-degree rows use the exact Eq. (21); all entries are clipped
+// to [−η, η]. With M, R, θ constant its per-event cost is O(1) (Theorem 7),
+// making it the fastest family member — the one behind the paper's headline
+// 464× speed-up.
+type SNSRndPlus struct {
+	base
+	prevTracker
+	theta int
+	eta   float64
+	rng   *rand.Rand
+	// NonNegative constrains every updated entry to [0, η]; see
+	// SNSVecPlus.NonNegative.
+	NonNegative bool
+}
+
+// NewSNSRndPlus builds an SNS⁺_RND tracker with sampling threshold theta
+// and clipping threshold eta.
+func NewSNSRndPlus(win *window.Window, init *cpd.Model, theta int, eta float64, seed int64) *SNSRndPlus {
+	if theta < 1 {
+		panic("core: SNSRndPlus theta must be ≥ 1")
+	}
+	if eta <= 0 {
+		panic("core: SNSRndPlus eta must be positive")
+	}
+	b := newBase(win, init)
+	foldLambda(b.model)
+	b.grams = b.model.Grams()
+	s := &SNSRndPlus{base: b, theta: theta, eta: eta, rng: rand.New(rand.NewSource(seed))}
+	s.prevTracker = newPrevTracker(&s.base)
+	return s
+}
+
+// Name returns "SNS-Rnd+".
+func (s *SNSRndPlus) Name() string { return "SNS-Rnd+" }
+
+// Apply runs the common outline of Algorithm 3.
+func (s *SNSRndPlus) Apply(ch window.Change) {
+	applyOutline(s.win, s.model.Order(), s, ch)
+}
+
+func (s *SNSRndPlus) beginEvent(ch window.Change) {
+	s.begin(&s.base, ch)
+}
+
+// updateRow is updateRowRan+ of Algorithm 5.
+func (s *SNSRndPlus) updateRow(m, i int, ch window.Change) {
+	row := s.model.Factors[m].Row(i)
+	p := s.saveRow(m, i, row)
+	x := s.win.X()
+	h := cpd.GramsExcept(s.grams, m)
+	sampled := x.Deg(m, i) > s.theta
+	lo := -s.eta
+	if s.NonNegative {
+		lo = 0
+	}
+	var data []float64
+	var hu *mat.Dense
+	if !sampled {
+		// Exact data term of Eq. (21).
+		data = cpd.MTTKRPRow(x, s.model.Factors, m, i)
+	} else {
+		// Sampled residual + ΔX term of Eq. (23), plus
+		// H_u = ∗_{n≠m} U⁽ⁿ⁾ for the e-term.
+		hu = cpd.GramsExcept(s.prevGrams, m)
+		data = mat.CloneVec(s.deltaTerm(ch, m, i, s.rowBuf))
+		coord := make([]int, x.Order())
+		for _, key := range sampleSliceCells(x, m, i, s.theta, s.rng, s.exclude) {
+			x.Coord(key, coord)
+			resid := x.AtKey(key) - s.predictPrev(&s.base, coord)
+			kr := cpd.KRRow(s.model.Factors, coord, m, s.krBuf)
+			for k := range data {
+				data[k] += resid * kr[k]
+			}
+		}
+	}
+	for k := range row {
+		c := h.At(k, k)
+		if c < cEps || math.IsNaN(c) {
+			continue
+		}
+		d := 0.0
+		for r := range row {
+			if r != k {
+				d += row[r] * h.At(r, k)
+			}
+		}
+		num := data[k] - d
+		if sampled {
+			// e⁽ᵐ⁾_{i k} from Eq. (20) with b = event-start row p.
+			e := 0.0
+			for r := range p {
+				e += p[r] * hu.At(r, k)
+			}
+			num += e
+		}
+		v := clip(num/c, row[k], lo, s.eta)
+		old := row[k]
+		row[k] = v
+		bumpGram(s.grams[m], row, k, old, v)
+		bumpPrevGram(s.prevGrams[m], p, k, v)
+	}
+}

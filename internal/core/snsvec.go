@@ -1,0 +1,287 @@
+package core
+
+import (
+	"math/rand"
+
+	"slicenstitch/internal/cpd"
+	"slicenstitch/internal/mat"
+	"slicenstitch/internal/tensor"
+	"slicenstitch/internal/window"
+)
+
+// SNSVec is SLICENSTITCH-VECTOR (Algorithms 3–4): per event it refreshes
+// only the factor rows that approximate the changed entries. Time-mode rows
+// move by the approximated additive rule Eq. (9); non-time rows are re-solved
+// exactly by the least-squares rule Eq. (12); Gram matrices follow Eq. (13).
+// Factors are left unnormalized, which is what eventually makes the method
+// numerically unstable on some streams (Observation 3) — that is faithful
+// to the paper, and fixed by SNSVecPlus.
+type SNSVec struct {
+	base
+}
+
+// NewSNSVec builds an SNS_VEC tracker from an initial model (cloned; its λ
+// is folded into the factors since SNS_VEC skips normalization).
+func NewSNSVec(win *window.Window, init *cpd.Model) *SNSVec {
+	b := newBase(win, init)
+	foldLambda(b.model)
+	b.grams = b.model.Grams()
+	return &SNSVec{base: b}
+}
+
+// Name returns "SNS-Vec".
+func (s *SNSVec) Name() string { return "SNS-Vec" }
+
+// Apply runs the common outline of Algorithm 3.
+func (s *SNSVec) Apply(ch window.Change) {
+	applyOutline(s.win, s.model.Order(), s, ch)
+}
+
+func (s *SNSVec) beginEvent(window.Change) {}
+
+// updateRow is updateRowVec of Algorithm 4.
+func (s *SNSVec) updateRow(m, i int, ch window.Change) {
+	f := s.model.Factors[m]
+	row := f.Row(i)
+	p := mat.CloneVec(row)
+	h := cpd.GramsExcept(s.grams, m)
+	if m == s.timeMode() {
+		// Eq. (9): A⁽ᴹ⁾(i,:) += ΔX_(M)(i,:) K⁽ᴹ⁾ H⁽ᴹ⁾†.
+		u := s.deltaTerm(ch, m, i, s.rowBuf)
+		delta := mat.SolveSym(h, u)
+		for k := range row {
+			row[k] = p[k] + delta[k]
+		}
+	} else {
+		// Eq. (12): A⁽ᵐ⁾(i,:) ← (X+ΔX)_(m)(i,:) K⁽ᵐ⁾ H⁽ᵐ⁾†.
+		u := cpd.MTTKRPRow(s.win.X(), s.model.Factors, m, i)
+		copy(row, mat.SolveSym(h, u))
+	}
+	updateGram(s.grams[m], p, row)
+}
+
+// savedRow is a per-event backup of one factor row, used to evaluate the
+// event-start model X̃ = ⟦A_prev⟧ (Section V-C).
+type savedRow struct {
+	mode, idx int
+	vals      []float64
+}
+
+// sampleSliceCells draws up to theta distinct cell keys uniformly at random
+// from the dense slice {J : j_m = i} of x — Algorithm 4 line 12: "θ indices
+// of X chosen uniformly at random, while fixing the m-th mode index to i_m".
+// The sample space is every cell of the slice, zeros included: the zero
+// cells' residuals (−x̃_J) are what balance the nonzero cells' corrections;
+// sampling only nonzeros would bias every update upward and diverge on
+// sparse streams. Keys in exclude (the ΔX cells, footnote 2) are skipped.
+// When the slice has no more than theta cells, all (non-excluded) cells are
+// returned, making X̃+X̄ exact on the slice.
+func sampleSliceCells(x *tensor.Sparse, m, i, theta int, rng *rand.Rand, exclude map[uint64]struct{}) []uint64 {
+	shape := x.Shape()
+	total := 1
+	for n, d := range shape {
+		if n == m {
+			continue
+		}
+		total *= d
+		if total > 1<<30 {
+			total = 1 << 30 // cap: plenty to guarantee the sampling path
+			break
+		}
+	}
+	coord := make([]int, len(shape))
+	coord[m] = i
+	if total <= theta {
+		// Enumerate the whole slice.
+		out := make([]uint64, 0, total)
+		var walk func(n int)
+		walk = func(n int) {
+			if n == len(shape) {
+				k := x.Key(coord)
+				if _, ex := exclude[k]; !ex {
+					out = append(out, k)
+				}
+				return
+			}
+			if n == m {
+				walk(n + 1)
+				return
+			}
+			for j := 0; j < shape[n]; j++ {
+				coord[n] = j
+				walk(n + 1)
+			}
+		}
+		walk(0)
+		return out
+	}
+	// Rejection sampling without replacement.
+	seen := make(map[uint64]struct{}, theta)
+	out := make([]uint64, 0, theta)
+	attempts := 0
+	maxAttempts := 20*theta + 64
+	for len(out) < theta && attempts < maxAttempts {
+		attempts++
+		for n := range shape {
+			if n != m {
+				coord[n] = rng.Intn(shape[n])
+			}
+		}
+		k := x.Key(coord)
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		if _, ex := exclude[k]; ex {
+			continue
+		}
+		seen[k] = struct{}{}
+		out = append(out, k)
+	}
+	return out
+}
+
+// prevTracker maintains the per-event A_prev view required by the sampling
+// variants: U⁽ᵐ⁾ = A_prev⁽ᵐ⁾ᵀA⁽ᵐ⁾ (reset to Q⁽ᵐ⁾ at event start,
+// Algorithm 3 line 1, then advanced by Eq. (17)/(26)) plus lazy backups of
+// the few rows that change within the event.
+type prevTracker struct {
+	prevGrams []*mat.Dense
+	backups   []savedRow
+	exclude   map[uint64]struct{}
+	rowsBuf   [][]float64 // scratch for predictPrev
+}
+
+func newPrevTracker(b *base) prevTracker {
+	pt := prevTracker{
+		exclude: make(map[uint64]struct{}, 4),
+		rowsBuf: make([][]float64, b.model.Order()),
+	}
+	for _, g := range b.grams {
+		pt.prevGrams = append(pt.prevGrams, g.Clone())
+	}
+	return pt
+}
+
+// begin resets the tracker for a new event and records the ΔX cells to
+// exclude from sampling (footnote 2 of the paper).
+func (pt *prevTracker) begin(b *base, ch window.Change) {
+	for m, g := range b.grams {
+		pt.prevGrams[m].CopyFrom(g)
+	}
+	pt.backups = pt.backups[:0]
+	for k := range pt.exclude {
+		delete(pt.exclude, k)
+	}
+	x := b.win.X()
+	for _, cell := range ch.Cells {
+		pt.exclude[x.Key(cell.Coord)] = struct{}{}
+	}
+}
+
+// saveRow snapshots a row before its update and returns the snapshot.
+func (pt *prevTracker) saveRow(m, i int, row []float64) []float64 {
+	p := mat.CloneVec(row)
+	pt.backups = append(pt.backups, savedRow{mode: m, idx: i, vals: p})
+	return p
+}
+
+// prevRow returns A_prev⁽ᵐ⁾(i,:): the backed-up copy when the row changed
+// earlier in this event, the live row otherwise.
+func (pt *prevTracker) prevRow(b *base, m, i int) []float64 {
+	for _, bk := range pt.backups {
+		if bk.mode == m && bk.idx == i {
+			return bk.vals
+		}
+	}
+	return b.model.Factors[m].Row(i)
+}
+
+// predictPrev evaluates x̃_J under the event-start factors. Row lookups are
+// hoisted out of the rank loop — this sits on the θ-sampling hot path.
+func (pt *prevTracker) predictPrev(b *base, coord []int) float64 {
+	for m := range b.model.Factors {
+		pt.rowsBuf[m] = pt.prevRow(b, m, coord[m])
+	}
+	r := b.model.Rank()
+	s := 0.0
+	for k := 0; k < r; k++ {
+		p := 1.0
+		for _, row := range pt.rowsBuf {
+			p *= row[k]
+		}
+		s += p
+	}
+	return s
+}
+
+// SNSRnd is SLICENSTITCH-RANDOM (Algorithms 3–4): like SNS_VEC, but a row
+// whose degree exceeds the threshold θ is refreshed from θ sampled nonzeros
+// via the approximated rule Eq. (16), capping the per-event cost at
+// O(M²Rθ + M²R² + MR³) — constant time for fixed M, R, θ (Theorem 5).
+type SNSRnd struct {
+	base
+	prevTracker
+	theta int
+	rng   *rand.Rand
+}
+
+// NewSNSRnd builds an SNS_RND tracker. theta is the sampling threshold θ;
+// seed drives the sampler.
+func NewSNSRnd(win *window.Window, init *cpd.Model, theta int, seed int64) *SNSRnd {
+	if theta < 1 {
+		panic("core: SNSRnd theta must be ≥ 1")
+	}
+	b := newBase(win, init)
+	foldLambda(b.model)
+	b.grams = b.model.Grams()
+	s := &SNSRnd{base: b, theta: theta, rng: rand.New(rand.NewSource(seed))}
+	s.prevTracker = newPrevTracker(&s.base)
+	return s
+}
+
+// Name returns "SNS-Rnd".
+func (s *SNSRnd) Name() string { return "SNS-Rnd" }
+
+// Apply runs the common outline of Algorithm 3.
+func (s *SNSRnd) Apply(ch window.Change) {
+	applyOutline(s.win, s.model.Order(), s, ch)
+}
+
+func (s *SNSRnd) beginEvent(ch window.Change) {
+	s.begin(&s.base, ch)
+}
+
+// updateRow is updateRowRan of Algorithm 4.
+func (s *SNSRnd) updateRow(m, i int, ch window.Change) {
+	f := s.model.Factors[m]
+	row := f.Row(i)
+	p := s.saveRow(m, i, row)
+	x := s.win.X()
+	h := cpd.GramsExcept(s.grams, m)
+	if x.Deg(m, i) <= s.theta {
+		// Exact path, Eq. (12).
+		u := cpd.MTTKRPRow(x, s.model.Factors, m, i)
+		copy(row, mat.SolveSym(h, u))
+	} else {
+		// Sampled path, Eq. (16):
+		// A⁽ᵐ⁾(i,:) ← A⁽ᵐ⁾(i,:) H_prev H† + (X̄+ΔX)_(m)(i,:) K⁽ᵐ⁾ H†.
+		hPrev := cpd.GramsExcept(s.prevGrams, m)
+		u := mat.VecMul(p, hPrev)
+		coord := make([]int, x.Order())
+		for _, key := range sampleSliceCells(x, m, i, s.theta, s.rng, s.exclude) {
+			x.Coord(key, coord)
+			resid := x.AtKey(key) - s.predictPrev(&s.base, coord)
+			kr := cpd.KRRow(s.model.Factors, coord, m, s.krBuf)
+			for k := range u {
+				u[k] += resid * kr[k]
+			}
+		}
+		dt := s.deltaTerm(ch, m, i, s.rowBuf)
+		for k := range u {
+			u[k] += dt[k]
+		}
+		copy(row, mat.SolveSym(h, u))
+	}
+	updateGram(s.grams[m], p, row)
+	updatePrevGram(s.prevGrams[m], p, row)
+}

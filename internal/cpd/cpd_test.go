@@ -1,0 +1,303 @@
+package cpd
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"slicenstitch/internal/mat"
+	"slicenstitch/internal/tensor"
+)
+
+// denseAll evaluates the model on every cell of a (small) shape.
+func denseAll(m *Model, shape []int) map[string]float64 {
+	out := map[string]float64{}
+	coord := make([]int, len(shape))
+	var walk func(mode int)
+	walk = func(mode int) {
+		if mode == len(shape) {
+			out[keyOf(coord)] = m.Predict(coord)
+			return
+		}
+		for i := 0; i < shape[mode]; i++ {
+			coord[mode] = i
+			walk(mode + 1)
+		}
+	}
+	walk(0)
+	return out
+}
+
+func keyOf(coord []int) string {
+	b := make([]byte, len(coord))
+	for i, c := range coord {
+		b[i] = byte(c)
+	}
+	return string(b)
+}
+
+func randModel(rng *rand.Rand, shape []int, rank int) *Model {
+	m := NewRandomModel(shape, rank, rng)
+	for r := range m.Lambda {
+		m.Lambda[r] = 0.5 + rng.Float64()
+	}
+	return m
+}
+
+func randSparse(rng *rand.Rand, shape []int, nnz int) *tensor.Sparse {
+	x := tensor.NewSparse(shape)
+	for i := 0; i < nnz; i++ {
+		coord := make([]int, len(shape))
+		for m, n := range shape {
+			coord[m] = rng.Intn(n)
+		}
+		x.Add(coord, rng.NormFloat64())
+	}
+	return x
+}
+
+func TestNewModelDefaults(t *testing.T) {
+	m := NewModel([]int{3, 4, 2}, 5)
+	if m.Rank() != 5 || m.Order() != 3 {
+		t.Fatalf("rank %d order %d", m.Rank(), m.Order())
+	}
+	for _, l := range m.Lambda {
+		if l != 1 {
+			t.Error("lambda should default to 1")
+		}
+	}
+	sh := m.Shape()
+	if sh[0] != 3 || sh[1] != 4 || sh[2] != 2 {
+		t.Errorf("shape = %v", sh)
+	}
+	if m.ParamCount() != (3+4+2)*5 {
+		t.Errorf("ParamCount = %d", m.ParamCount())
+	}
+}
+
+func TestNewModelBadRankPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewModel([]int{2}, 0)
+}
+
+func TestPredictRankOne(t *testing.T) {
+	// λ=2, a=(1,2), b=(3,4): entry (i,j) = 2·a_i·b_j.
+	m := NewModel([]int{2, 2}, 1)
+	m.Lambda[0] = 2
+	m.Factors[0].Set(0, 0, 1)
+	m.Factors[0].Set(1, 0, 2)
+	m.Factors[1].Set(0, 0, 3)
+	m.Factors[1].Set(1, 0, 4)
+	cases := map[[2]int]float64{{0, 0}: 6, {0, 1}: 8, {1, 0}: 12, {1, 1}: 16}
+	for c, want := range cases {
+		if got := m.Predict([]int{c[0], c[1]}); math.Abs(got-want) > 1e-12 {
+			t.Errorf("Predict(%v) = %g want %g", c, got, want)
+		}
+	}
+}
+
+func TestNormSquaredMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	shape := []int{3, 4, 2}
+	m := randModel(rng, shape, 3)
+	want := 0.0
+	for _, v := range denseAll(m, shape) {
+		want += v * v
+	}
+	if got := m.NormSquared(); math.Abs(got-want) > 1e-9*(1+want) {
+		t.Errorf("NormSquared = %g want %g", got, want)
+	}
+}
+
+func TestInnerProductMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	shape := []int{3, 3, 3}
+	m := randModel(rng, shape, 2)
+	x := randSparse(rng, shape, 12)
+	want := 0.0
+	x.ForEachNonzero(func(coord []int, v float64) {
+		want += v * m.Predict(coord)
+	})
+	if got := m.InnerProduct(x); math.Abs(got-want) > 1e-9*(1+math.Abs(want)) {
+		t.Errorf("InnerProduct = %g want %g", got, want)
+	}
+}
+
+func TestResidualMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	shape := []int{3, 2, 4}
+	m := randModel(rng, shape, 2)
+	x := randSparse(rng, shape, 10)
+	// Dense residual.
+	want := 0.0
+	coord := make([]int, 3)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 2; j++ {
+			for k := 0; k < 4; k++ {
+				coord[0], coord[1], coord[2] = i, j, k
+				d := x.At(coord) - m.Predict(coord)
+				want += d * d
+			}
+		}
+	}
+	if got := ResidualNormSquared(x, m); math.Abs(got-want) > 1e-8*(1+want) {
+		t.Errorf("Residual = %g want %g", got, want)
+	}
+}
+
+func TestFitnessPerfectModel(t *testing.T) {
+	// Build X exactly equal to a rank-1 model: fitness must be ≈1.
+	m := NewModel([]int{2, 3}, 1)
+	m.Factors[0].SetRow(0, []float64{1})
+	m.Factors[0].SetRow(1, []float64{2})
+	m.Factors[1].SetRow(0, []float64{1})
+	m.Factors[1].SetRow(1, []float64{0.5})
+	m.Factors[1].SetRow(2, []float64{3})
+	x := tensor.NewSparse([]int{2, 3})
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 3; j++ {
+			x.Set([]int{i, j}, m.Predict([]int{i, j}))
+		}
+	}
+	if got := Fitness(x, m); math.Abs(got-1) > 1e-9 {
+		t.Errorf("perfect fitness = %g", got)
+	}
+}
+
+func TestFitnessEdgeCases(t *testing.T) {
+	shape := []int{2, 2}
+	zero := tensor.NewSparse(shape)
+	zm := NewModel(shape, 1) // zero model
+	if got := Fitness(zero, zm); got != 1 {
+		t.Errorf("zero/zero fitness = %g want 1", got)
+	}
+	nzm := NewModel(shape, 1)
+	nzm.Factors[0].Set(0, 0, 1)
+	nzm.Factors[1].Set(0, 0, 1)
+	if got := Fitness(zero, nzm); got != 0 {
+		t.Errorf("zero tensor, nonzero model fitness = %g want 0", got)
+	}
+	// NaN-poisoned model reports 0.
+	nzm.Factors[0].Set(0, 0, math.NaN())
+	x := tensor.NewSparse(shape)
+	x.Set([]int{0, 0}, 1)
+	if got := Fitness(x, nzm); got != 0 {
+		t.Errorf("NaN model fitness = %g want 0", got)
+	}
+}
+
+func TestRelativeFitness(t *testing.T) {
+	if got := RelativeFitness(0.6, 0.8); math.Abs(got-0.75) > 1e-12 {
+		t.Errorf("RelativeFitness = %g", got)
+	}
+	if RelativeFitness(0.5, 0) != 0 || RelativeFitness(0.5, -1) != 0 {
+		t.Error("non-positive reference should yield 0")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	m := randModel(rng, []int{2, 2}, 2)
+	c := m.Clone()
+	c.Factors[0].Set(0, 0, 99)
+	c.Lambda[0] = 99
+	if m.Factors[0].At(0, 0) == 99 || m.Lambda[0] == 99 {
+		t.Error("Clone aliases original")
+	}
+}
+
+func TestHasNaN(t *testing.T) {
+	m := NewModel([]int{2, 2}, 1)
+	if m.HasNaN() {
+		t.Error("clean model reported NaN")
+	}
+	m.Lambda[0] = math.Inf(1)
+	if !m.HasNaN() {
+		t.Error("Inf lambda not detected")
+	}
+}
+
+// MTTKRP against the naive dense definition.
+func TestMTTKRPMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	shape := []int{3, 4, 2}
+	m := randModel(rng, shape, 3)
+	x := randSparse(rng, shape, 15)
+	for mode := 0; mode < 3; mode++ {
+		got := MTTKRP(x, m.Factors, mode)
+		want := mat.New(shape[mode], 3)
+		x.ForEachNonzero(func(coord []int, v float64) {
+			for k := 0; k < 3; k++ {
+				p := v
+				for n := 0; n < 3; n++ {
+					if n == mode {
+						continue
+					}
+					p *= m.Factors[n].At(coord[n], k)
+				}
+				want.Add(coord[mode], k, p)
+			}
+		})
+		if !mat.EqualApprox(got, want, 1e-9) {
+			t.Errorf("mode %d MTTKRP mismatch", mode)
+		}
+	}
+}
+
+// MTTKRPRow equals the corresponding row of the full MTTKRP.
+func TestQuickMTTKRPRowConsistent(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		shape := []int{2 + rng.Intn(3), 2 + rng.Intn(3), 2 + rng.Intn(3)}
+		m := randModel(rng, shape, 1+rng.Intn(3))
+		x := randSparse(rng, shape, 1+rng.Intn(20))
+		mode := rng.Intn(3)
+		full := MTTKRP(x, m.Factors, mode)
+		for i := 0; i < shape[mode]; i++ {
+			row := MTTKRPRow(x, m.Factors, mode, i)
+			if !mat.VecEqualApprox(row, full.Row(i), 1e-9) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKRRow(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	m := randModel(rng, []int{2, 3, 4}, 2)
+	coord := []int{1, 2, 3}
+	got := KRRow(m.Factors, coord, 1, nil)
+	want := []float64{
+		m.Factors[0].At(1, 0) * m.Factors[2].At(3, 0),
+		m.Factors[0].At(1, 1) * m.Factors[2].At(3, 1),
+	}
+	if !mat.VecEqualApprox(got, want, 1e-12) {
+		t.Errorf("KRRow = %v want %v", got, want)
+	}
+	// dst reuse path
+	dst := make([]float64, 2)
+	got2 := KRRow(m.Factors, coord, 1, dst)
+	if &got2[0] != &dst[0] {
+		t.Error("KRRow should reuse dst")
+	}
+}
+
+func TestGramsExcept(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m := randModel(rng, []int{3, 4, 5}, 2)
+	grams := m.Grams()
+	got := GramsExcept(grams, 1)
+	want := mat.Hadamard(grams[0], grams[2])
+	if !mat.EqualApprox(got, want, 1e-12) {
+		t.Error("GramsExcept mismatch")
+	}
+}

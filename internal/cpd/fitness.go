@@ -1,0 +1,50 @@
+package cpd
+
+import (
+	"math"
+
+	"slicenstitch/internal/tensor"
+)
+
+// ResidualNormSquared returns ‖X − X̃‖_F² computed sparsely via
+// ‖X‖² − 2⟨X,X̃⟩ + ‖X̃‖². Tiny negative values from cancellation are
+// clamped to zero.
+func ResidualNormSquared(x *tensor.Sparse, m *Model) float64 {
+	r := x.NormSquared() - 2*m.InnerProduct(x) + m.NormSquared()
+	if r < 0 {
+		return 0
+	}
+	return r
+}
+
+// Fitness returns 1 − ‖X − X̃‖_F/‖X‖_F, the paper's accuracy metric
+// (Section VI-A). By convention an exact model of a zero tensor has fitness
+// 1, and any non-zero model of a zero tensor has fitness −∞ avoided by
+// returning 0. NaN-poisoned models report fitness 0 as well: a diverged
+// decomposition fits nothing.
+func Fitness(x *tensor.Sparse, m *Model) float64 {
+	if m.HasNaN() {
+		return 0
+	}
+	xn := x.NormSquared()
+	if xn == 0 {
+		if m.NormSquared() == 0 {
+			return 1
+		}
+		return 0
+	}
+	f := 1 - math.Sqrt(ResidualNormSquared(x, m))/math.Sqrt(xn)
+	if math.IsNaN(f) {
+		return 0
+	}
+	return f
+}
+
+// RelativeFitness returns Fitness_target / Fitness_ALS (Section VI-A,
+// following [16]). A non-positive reference yields 0.
+func RelativeFitness(target, reference float64) float64 {
+	if reference <= 0 {
+		return 0
+	}
+	return target / reference
+}

@@ -1,0 +1,108 @@
+package cpd
+
+import (
+	"slicenstitch/internal/mat"
+	"slicenstitch/internal/tensor"
+)
+
+// MTTKRP computes the matricized-tensor times Khatri-Rao product
+// U = X_(mode) (⊙_{n≠mode} A⁽ⁿ⁾) for a sparse tensor without forming the
+// Khatri-Rao product: each nonzero x_J adds
+// x_J · (∗_{n≠mode} A⁽ⁿ⁾(j_n,:)) to row j_mode of U. Cost O(|X|·M·R).
+//
+// This is the dominant kernel of ALS (Eq. (4)) and of SNS_MAT
+// (Algorithm 2, line 2).
+func MTTKRP(x *tensor.Sparse, factors []*mat.Dense, mode int) *mat.Dense {
+	r := factors[0].Cols()
+	out := mat.New(factors[mode].Rows(), r)
+	row := make([]float64, r)
+	x.ForEachNonzero(func(coord []int, v float64) {
+		for k := range row {
+			row[k] = v
+		}
+		for n, f := range factors {
+			if n == mode {
+				continue
+			}
+			fr := f.Row(coord[n])
+			for k := range row {
+				row[k] *= fr[k]
+			}
+		}
+		o := out.Row(coord[mode])
+		for k := range row {
+			o[k] += row[k]
+		}
+	})
+	return out
+}
+
+// MTTKRPRow computes one row of the MTTKRP:
+// (X_(mode))(idx,:) (⊙_{n≠mode} A⁽ⁿ⁾), touching only the deg(mode,idx)
+// nonzeros of the matricized row — the kernel of the SNS_VEC non-time
+// update (Eq. (12)).
+func MTTKRPRow(x *tensor.Sparse, factors []*mat.Dense, mode, idx int) []float64 {
+	r := factors[0].Cols()
+	out := make([]float64, r)
+	row := make([]float64, r)
+	x.ForEachInSlice(mode, idx, func(coord []int, v float64) {
+		for k := range row {
+			row[k] = v
+		}
+		for n, f := range factors {
+			if n == mode {
+				continue
+			}
+			fr := f.Row(coord[n])
+			for k := range row {
+				row[k] *= fr[k]
+			}
+		}
+		for k := range row {
+			out[k] += row[k]
+		}
+	})
+	return out
+}
+
+// KRRow returns the Khatri-Rao row ∗_{n≠mode} A⁽ⁿ⁾(coord[n],:): the row of
+// ⊙_{n≠mode} A⁽ⁿ⁾ selected by the coordinate. dst is reused when non-nil.
+func KRRow(factors []*mat.Dense, coord []int, mode int, dst []float64) []float64 {
+	r := factors[0].Cols()
+	if dst == nil {
+		dst = make([]float64, r)
+	}
+	for k := range dst {
+		dst[k] = 1
+	}
+	for n, f := range factors {
+		if n == mode {
+			continue
+		}
+		fr := f.Row(coord[n])
+		for k := range dst {
+			dst[k] *= fr[k]
+		}
+	}
+	return dst
+}
+
+// GramsExcept returns the Hadamard product H = ∗_{n≠mode} grams[n], the
+// matrix inverted in every least-squares row update.
+func GramsExcept(grams []*mat.Dense, mode int) *mat.Dense {
+	var h *mat.Dense
+	for n, g := range grams {
+		if n == mode {
+			continue
+		}
+		if h == nil {
+			h = g.Clone()
+		} else {
+			mat.HadamardInPlace(h, g)
+		}
+	}
+	if h == nil {
+		panic("cpd: GramsExcept with a single mode")
+	}
+	return h
+}

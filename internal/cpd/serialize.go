@@ -1,0 +1,59 @@
+package cpd
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"slicenstitch/internal/mat"
+)
+
+// modelDTO is the wire form of a Model (gob-encoded).
+type modelDTO struct {
+	Shape  []int
+	Rank   int
+	Lambda []float64
+	// Data holds each factor matrix row-major.
+	Data [][]float64
+}
+
+// Encode writes the model to w (gob). The encoding is self-contained:
+// shape, rank, λ, and factor entries.
+func (m *Model) Encode(w io.Writer) error {
+	dto := modelDTO{
+		Shape:  m.Shape(),
+		Rank:   m.Rank(),
+		Lambda: append([]float64(nil), m.Lambda...),
+	}
+	for _, f := range m.Factors {
+		dto.Data = append(dto.Data, append([]float64(nil), f.Data()...))
+	}
+	return gob.NewEncoder(w).Encode(dto)
+}
+
+// DecodeModel reads a model written by Encode.
+func DecodeModel(r io.Reader) (*Model, error) {
+	var dto modelDTO
+	if err := gob.NewDecoder(r).Decode(&dto); err != nil {
+		return nil, fmt.Errorf("cpd: decode model: %w", err)
+	}
+	if dto.Rank <= 0 || len(dto.Shape) == 0 || len(dto.Data) != len(dto.Shape) {
+		return nil, fmt.Errorf("cpd: decode model: malformed header (rank %d, %d modes, %d factor blocks)",
+			dto.Rank, len(dto.Shape), len(dto.Data))
+	}
+	if len(dto.Lambda) != dto.Rank {
+		return nil, fmt.Errorf("cpd: decode model: lambda length %d != rank %d", len(dto.Lambda), dto.Rank)
+	}
+	m := &Model{Lambda: dto.Lambda}
+	for i, n := range dto.Shape {
+		if n <= 0 {
+			return nil, fmt.Errorf("cpd: decode model: non-positive dim %d in mode %d", n, i)
+		}
+		if len(dto.Data[i]) != n*dto.Rank {
+			return nil, fmt.Errorf("cpd: decode model: mode %d has %d entries, want %d",
+				i, len(dto.Data[i]), n*dto.Rank)
+		}
+		m.Factors = append(m.Factors, mat.NewFromData(n, dto.Rank, dto.Data[i]))
+	}
+	return m, nil
+}

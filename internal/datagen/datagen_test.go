@@ -1,0 +1,240 @@
+package datagen
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPresetsMatchTable2Shapes(t *testing.T) {
+	want := map[string][]int{
+		"DivvyBikes":   {673, 673},
+		"ChicagoCrime": {77, 32},
+		"NewYorkTaxi":  {265, 265},
+		"RideAustin":   {219, 219, 24},
+	}
+	for _, p := range Presets() {
+		dims, ok := want[p.Name]
+		if !ok {
+			t.Errorf("unexpected preset %q", p.Name)
+			continue
+		}
+		if len(p.Dims) != len(dims) {
+			t.Errorf("%s: dims %v want %v", p.Name, p.Dims, dims)
+			continue
+		}
+		for i := range dims {
+			if p.Dims[i] != dims[i] {
+				t.Errorf("%s: dims %v want %v", p.Name, p.Dims, dims)
+			}
+		}
+	}
+}
+
+func TestPresetByName(t *testing.T) {
+	p, err := PresetByName("NewYorkTaxi")
+	if err != nil || p.Name != "NewYorkTaxi" {
+		t.Fatalf("PresetByName: %v %v", p, err)
+	}
+	if _, err := PresetByName("nope"); err == nil {
+		t.Error("expected error for unknown preset")
+	}
+}
+
+func TestOrderAndScaled(t *testing.T) {
+	if RideAustin.Order() != 4 {
+		t.Errorf("RideAustin order = %d want 4", RideAustin.Order())
+	}
+	if DivvyBikes.Order() != 3 {
+		t.Errorf("DivvyBikes order = %d want 3", DivvyBikes.Order())
+	}
+	s := NewYorkTaxi.Scaled(0.5)
+	if math.Abs(s.Rate-NewYorkTaxi.Rate/2) > 1e-12 {
+		t.Errorf("Scaled rate = %g", s.Rate)
+	}
+	if NewYorkTaxi.Rate == s.Rate {
+		t.Error("Scaled should not mutate the original")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(ChicagoCrime, 1, 0, 200)
+	b := Generate(ChicagoCrime, 1, 0, 200)
+	if a.Len() != b.Len() {
+		t.Fatalf("lengths differ: %d vs %d", a.Len(), b.Len())
+	}
+	for i := range a.Tuples {
+		x, y := a.Tuples[i], b.Tuples[i]
+		if x.Time != y.Time || x.Value != y.Value {
+			t.Fatalf("tuple %d differs", i)
+		}
+		for m := range x.Coord {
+			if x.Coord[m] != y.Coord[m] {
+				t.Fatalf("tuple %d coord differs", i)
+			}
+		}
+	}
+	c := Generate(ChicagoCrime, 2, 0, 200)
+	if c.Len() == a.Len() {
+		same := true
+		for i := range a.Tuples {
+			if c.Tuples[i].Coord[0] != a.Tuples[i].Coord[0] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Error("different seeds produced identical streams")
+		}
+	}
+}
+
+func TestGenerateValidAndChronological(t *testing.T) {
+	for _, p := range Presets() {
+		s := Generate(p.Scaled(0.5), 7, 100, 400)
+		if err := s.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+		if s.Len() == 0 {
+			t.Errorf("%s: empty stream", p.Name)
+		}
+		first, last := s.Span()
+		if first < 100 || last >= 400 {
+			t.Errorf("%s: span [%d,%d] outside [100,400)", p.Name, first, last)
+		}
+	}
+}
+
+func TestGenerateRateMatchesPreset(t *testing.T) {
+	// Over a whole number of days the seasonal modulation averages out, so
+	// the empirical rate should be within ~10% of the preset rate.
+	p := ChicagoCrime // 24 ticks/day, rate ≈ 35.9/hour
+	days := int64(30)
+	s := Generate(p, 3, 0, days*p.TicksPerDay)
+	got := float64(s.Len()) / float64(days*p.TicksPerDay)
+	if got < 0.9*p.Rate || got > 1.1*p.Rate {
+		t.Errorf("empirical rate %g want ≈%g", got, p.Rate)
+	}
+}
+
+func TestSeasonalityModulatesIntensity(t *testing.T) {
+	g := NewGenerator(DivvyBikes, 1)
+	peak := g.intensity(DivvyBikes.TicksPerDay / 4)       // sin = 1
+	trough := g.intensity(3 * DivvyBikes.TicksPerDay / 4) // sin = -1
+	if peak <= trough {
+		t.Errorf("peak %g should exceed trough %g", peak, trough)
+	}
+	flat := DivvyBikes
+	flat.Seasonality = 0
+	gf := NewGenerator(flat, 1)
+	if gf.intensity(0) != gf.intensity(360) {
+		t.Error("flat preset should have constant intensity")
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	// The most popular index should carry far more than the uniform share.
+	p := ChicagoCrime
+	s := Generate(p, 11, 0, 2000)
+	counts := map[int]int{}
+	for _, tp := range s.Tuples {
+		counts[tp.Coord[0]]++
+	}
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	uniform := float64(s.Len()) / float64(p.Dims[0])
+	if float64(max) < 3*uniform {
+		t.Errorf("max index share %d not skewed vs uniform %g", max, uniform)
+	}
+}
+
+func TestPoissonMean(t *testing.T) {
+	g := NewGenerator(ChicagoCrime, 5)
+	const n = 20000
+	sum := 0
+	for i := 0; i < n; i++ {
+		sum += g.poisson(3.0)
+	}
+	mean := float64(sum) / n
+	if math.Abs(mean-3.0) > 0.1 {
+		t.Errorf("poisson mean %g want ≈3", mean)
+	}
+	if g.poisson(0) != 0 || g.poisson(-1) != 0 {
+		t.Error("non-positive lambda should give 0")
+	}
+}
+
+func TestGeneratorPanicsOnBadRate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	bad := DivvyBikes
+	bad.Rate = 0
+	NewGenerator(bad, 1)
+}
+
+func TestBenchPreservesPerCellDensity(t *testing.T) {
+	for _, p := range Presets() {
+		b := p.Bench()
+		cells := 1.0
+		for _, d := range p.Dims {
+			cells *= float64(d)
+		}
+		bcells := 1.0
+		for _, d := range b.Dims {
+			bcells *= float64(d)
+		}
+		if math.Abs(p.Rate/cells-b.Rate/bcells) > 1e-12*(p.Rate/cells) {
+			t.Errorf("%s: per-cell density changed: %g vs %g", p.Name, p.Rate/cells, b.Rate/bcells)
+		}
+		if b.DefaultPeriod != p.DefaultPeriod || b.DefaultTheta != p.DefaultTheta {
+			t.Errorf("%s: Bench changed hyperparameters", p.Name)
+		}
+		if len(b.Dims) != len(p.Dims) {
+			t.Errorf("%s: Bench changed order", p.Name)
+		}
+		for _, d := range b.Dims {
+			if d <= 0 || d > maxDim(p.Dims) {
+				t.Errorf("%s: bench dim %d out of range", p.Name, d)
+			}
+		}
+	}
+	// Unknown preset: unchanged.
+	unknown := Preset{Name: "custom", Dims: []int{5, 5}, Rate: 1}
+	if got := unknown.Bench(); got.Dims[0] != 5 || got.Rate != 1 {
+		t.Error("Bench should leave unknown presets unchanged")
+	}
+}
+
+func maxDim(dims []int) int {
+	m := 0
+	for _, d := range dims {
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+func TestPatternsGiveLowRankStructure(t *testing.T) {
+	// With patterns, repeat cells should appear far more often than under
+	// an order-matched uniform model: count distinct cells per tuples.
+	p := ChicagoCrime.Bench()
+	s := Generate(p, 5, 0, 2000)
+	if s.Len() == 0 {
+		t.Skip("empty sample")
+	}
+	distinct := map[[2]int]struct{}{}
+	for _, tp := range s.Tuples {
+		distinct[[2]int{tp.Coord[0], tp.Coord[1]}] = struct{}{}
+	}
+	ratio := float64(len(distinct)) / float64(s.Len())
+	if ratio > 0.5 {
+		t.Errorf("cells look uniform: %d distinct over %d tuples", len(distinct), s.Len())
+	}
+}

@@ -1,0 +1,362 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section VI). Each experiment runs the relevant methods on
+// synthetic stand-ins for the paper's datasets (see internal/datagen and
+// DESIGN.md §2) and renders the same rows/series the paper reports.
+//
+// The paper's full-scale streams contain millions of tuples over large
+// categorical universes; by default each experiment runs on the
+// density-preserving bench shrink of each dataset (datagen.Preset.Bench),
+// which keeps the per-cell signal-to-noise — and therefore the comparative
+// fitness shapes — while fitting in laptop time. Pass Options.FullDims with
+// Periods=50 (= 5W) for the paper's exact setup.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"slicenstitch/internal/als"
+	"slicenstitch/internal/baselines"
+	"slicenstitch/internal/core"
+	"slicenstitch/internal/cpd"
+	"slicenstitch/internal/datagen"
+	"slicenstitch/internal/metrics"
+	"slicenstitch/internal/stream"
+	"slicenstitch/internal/tensor"
+	"slicenstitch/internal/window"
+)
+
+// Options controls the scale of every experiment.
+type Options struct {
+	// Scale multiplies each dataset's event rate on top of the bench
+	// shrink (1 = bench default; see datagen.Preset.Bench).
+	Scale float64
+	// FullDims uses the paper's full categorical dimensions instead of
+	// the density-preserving bench shrink. Combine with Scale=1 and
+	// Periods=50 for the paper's exact setup (hours of compute).
+	FullDims bool
+	// Periods is the number of periods processed after the initial window
+	// (the paper uses 5W = 50).
+	Periods int
+	// Rank is the CP rank R (paper: 20).
+	Rank int
+	// W is the number of time-mode indices (paper: 10).
+	W int
+	// Seed drives stream generation and all sampling.
+	Seed int64
+	// ALSSweeps bounds the warm ALS sweeps of the periodic ALS baseline.
+	ALSSweeps int
+	// Eta is the clipping threshold η (paper default 1000).
+	Eta float64
+}
+
+// Defaults returns bench-sized options: streams of a few thousand tuples
+// per dataset, ten periods, rank 20.
+func Defaults() Options {
+	return Options{
+		Scale:     1,
+		Periods:   10,
+		Rank:      20,
+		W:         10,
+		Seed:      1,
+		ALSSweeps: 5,
+		Eta:       1000,
+	}
+}
+
+// withFloors fills zero fields from Defaults.
+func (o Options) withFloors() Options {
+	d := Defaults()
+	if o.Scale <= 0 {
+		o.Scale = d.Scale
+	}
+	if o.Periods <= 0 {
+		o.Periods = d.Periods
+	}
+	if o.Rank <= 0 {
+		o.Rank = d.Rank
+	}
+	if o.W <= 0 {
+		o.W = d.W
+	}
+	if o.ALSSweeps <= 0 {
+		o.ALSSweeps = d.ALSSweeps
+	}
+	if o.Eta <= 0 {
+		o.Eta = d.Eta
+	}
+	return o
+}
+
+// workload resolves the preset actually run: the density-preserving bench
+// shrink by default, the paper's full dimensions with FullDims, both
+// further scaled by Scale.
+func (o Options) workload(p datagen.Preset) datagen.Preset {
+	if !o.FullDims {
+		p = p.Bench()
+	}
+	return p.Scaled(o.Scale)
+}
+
+// Env is one prepared dataset environment: the generated stream, window
+// geometry, and the per-boundary ALS reference fitness used as the
+// relative-fitness denominator.
+type Env struct {
+	Preset     datagen.Preset
+	Opt        Options
+	Theta      int
+	Period     int64
+	T0         int64
+	Horizon    int64
+	Tuples     []stream.Tuple
+	Boundaries []int64
+	// RefFitness[k] is the fitness of freshly-run ALS on the window at
+	// Boundaries[k] (Section VI-A's relative-fitness denominator).
+	RefFitness []float64
+	// InitModel is the ALS factorization of the initial window every
+	// method starts from.
+	InitModel *cpd.Model
+}
+
+// NewEnv generates the stream and reference pass for a preset.
+func NewEnv(p datagen.Preset, opt Options) *Env {
+	opt = opt.withFloors()
+	period := p.DefaultPeriod
+	w := opt.W
+	t0 := int64(w) * period
+	horizon := t0 + int64(opt.Periods)*period
+	scaled := opt.workload(p)
+	tuples := datagen.Generate(scaled, opt.Seed, 0, horizon).Tuples
+	env := &Env{
+		Preset:  scaled,
+		Opt:     opt,
+		Theta:   p.DefaultTheta,
+		Period:  period,
+		T0:      t0,
+		Horizon: horizon,
+		Tuples:  tuples,
+	}
+	for b := t0 + period; b <= horizon; b += period {
+		env.Boundaries = append(env.Boundaries, b)
+	}
+	// Reference pass: bare window, fresh ALS at each boundary.
+	win, rest := core.Bootstrap(scaled.Dims, w, period, tuples, t0)
+	env.InitModel = als.Run(win.X(), als.Options{Rank: opt.Rank, Seed: opt.Seed + 100})
+	bi := 0
+	next := 0
+	for bi < len(env.Boundaries) {
+		b := env.Boundaries[bi]
+		for next < len(rest) && rest[next].Time <= b {
+			win.AdvanceTo(rest[next].Time, nil)
+			win.Ingest(rest[next])
+			next++
+		}
+		win.AdvanceTo(b, nil)
+		ref := als.Run(win.X(), als.Options{Rank: opt.Rank, Seed: opt.Seed + 200})
+		env.RefFitness = append(env.RefFitness, cpd.Fitness(win.X(), ref))
+		bi++
+	}
+	return env
+}
+
+// FreshWindow rebuilds the primed window (state at T0) and the remaining
+// tuples for a method run.
+func (e *Env) FreshWindow() (*window.Window, []stream.Tuple) {
+	return core.Bootstrap(e.Preset.Dims, e.Opt.W, e.Period, e.Tuples, e.T0)
+}
+
+// MethodResult aggregates one method's run on one dataset environment.
+type MethodResult struct {
+	Method string
+	// RelFitness holds (boundary index, relative fitness) probes.
+	RelFitness metrics.Series
+	// AvgRelFitness is the mean over probes (Fig. 5b's bars).
+	AvgRelFitness float64
+	// UpdateMicros is the mean runtime per update in µs (Fig. 5a's bars).
+	UpdateMicros float64
+	// Updates counts factor updates (events for SNS, periods for the
+	// baselines).
+	Updates int
+	// TotalSeconds is the summed update time (Fig. 6's y-axis).
+	TotalSeconds float64
+	// Diverged notes NaN/Inf factors at any probe (Observation 3).
+	Diverged bool
+}
+
+// EventMaker builds an event-driven (SliceNStitch) decomposer.
+type EventMaker func(win *window.Window, init *cpd.Model, env *Env) core.Decomposer
+
+// PeriodMaker builds a once-per-period baseline.
+type PeriodMaker func(x0 *tensor.Sparse, init *cpd.Model, env *Env) baselines.Periodic
+
+// RunEventMethod replays the environment through a per-event decomposer,
+// probing relative fitness at every period boundary.
+func (e *Env) RunEventMethod(name string, mk EventMaker) MethodResult {
+	win, rest := e.FreshWindow()
+	dec := mk(win, e.InitModel, e)
+	runner := core.NewRunner(win, dec)
+	runner.Latency = metrics.NewLatency(4096)
+	res := MethodResult{Method: name}
+	res.RelFitness.Name = name
+	bi := 0
+	probe := func() {
+		for bi < len(e.Boundaries) && win.Now() >= e.Boundaries[bi] {
+			fit := cpd.Fitness(win.X(), dec.Model())
+			if dec.Model().HasNaN() {
+				res.Diverged = true
+			}
+			res.RelFitness.Add(float64(bi+1), cpd.RelativeFitness(fit, e.RefFitness[bi]))
+			bi++
+		}
+	}
+	runner.OnEvent = func(ch window.Change) { probe() }
+	runner.Replay(rest, e.Horizon)
+	probe()
+	res.AvgRelFitness = res.RelFitness.MeanY()
+	res.UpdateMicros = runner.Latency.MeanMicros()
+	res.Updates = runner.Latency.Count()
+	res.TotalSeconds = runner.Latency.Total().Seconds()
+	return res
+}
+
+// RunPeriodMethod replays the environment through a periodic baseline,
+// probing relative fitness right after each per-period update.
+func (e *Env) RunPeriodMethod(name string, mk PeriodMaker) MethodResult {
+	win, rest := e.FreshWindow()
+	dec := mk(win.X(), e.InitModel, e)
+	lat := metrics.NewLatency(256)
+	res := MethodResult{Method: name}
+	res.RelFitness.Name = name
+	bi := 0
+	baselines.ReplayPeriodic(win, dec, rest, e.Horizon, lat, func(t int64) {
+		if bi >= len(e.Boundaries) {
+			return
+		}
+		fit := cpd.Fitness(win.X(), dec.Model())
+		if dec.Model().HasNaN() {
+			res.Diverged = true
+		}
+		res.RelFitness.Add(float64(bi+1), cpd.RelativeFitness(fit, e.RefFitness[bi]))
+		bi++
+	})
+	res.AvgRelFitness = res.RelFitness.MeanY()
+	res.UpdateMicros = lat.MeanMicros()
+	res.Updates = lat.Count()
+	res.TotalSeconds = lat.Total().Seconds()
+	return res
+}
+
+// Methods returns the paper's full method lineup (Fig. 4/5): the five
+// SliceNStitch variants and the four periodic baselines.
+func Methods() (events map[string]EventMaker, periods map[string]PeriodMaker, order []string) {
+	events = map[string]EventMaker{
+		"SNS-Mat": func(w *window.Window, m *cpd.Model, e *Env) core.Decomposer {
+			return core.NewSNSMat(w, m)
+		},
+		"SNS-Vec": func(w *window.Window, m *cpd.Model, e *Env) core.Decomposer {
+			return core.NewSNSVec(w, m)
+		},
+		"SNS-Rnd": func(w *window.Window, m *cpd.Model, e *Env) core.Decomposer {
+			return core.NewSNSRnd(w, m, e.Theta, e.Opt.Seed+300)
+		},
+		"SNS-Vec+": func(w *window.Window, m *cpd.Model, e *Env) core.Decomposer {
+			return core.NewSNSVecPlus(w, m, e.Opt.Eta)
+		},
+		"SNS-Rnd+": func(w *window.Window, m *cpd.Model, e *Env) core.Decomposer {
+			return core.NewSNSRndPlus(w, m, e.Theta, e.Opt.Eta, e.Opt.Seed+300)
+		},
+	}
+	periods = map[string]PeriodMaker{
+		"ALS": func(x0 *tensor.Sparse, m *cpd.Model, e *Env) baselines.Periodic {
+			return baselines.NewPeriodicALS(m, e.Opt.ALSSweeps)
+		},
+		"OnlineSCP": func(x0 *tensor.Sparse, m *cpd.Model, e *Env) baselines.Periodic {
+			return baselines.NewOnlineSCP(x0, m)
+		},
+		"CP-stream": func(x0 *tensor.Sparse, m *cpd.Model, e *Env) baselines.Periodic {
+			return baselines.NewCPStream(x0, m, 0)
+		},
+		"NeCPD(1)": func(x0 *tensor.Sparse, m *cpd.Model, e *Env) baselines.Periodic {
+			return baselines.NewNeCPD(m, 1, 0)
+		},
+		"NeCPD(10)": func(x0 *tensor.Sparse, m *cpd.Model, e *Env) baselines.Periodic {
+			return baselines.NewNeCPD(m, 10, 0)
+		},
+	}
+	order = []string{
+		"SNS-Mat", "SNS-Vec", "SNS-Rnd", "SNS-Vec+", "SNS-Rnd+",
+		"ALS", "OnlineSCP", "CP-stream", "NeCPD(1)", "NeCPD(10)",
+	}
+	return events, periods, order
+}
+
+// Table is a rendered experiment artifact: a caption, a header, and rows.
+type Table struct {
+	Caption string
+	Header  []string
+	Rows    [][]string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// String renders the table as aligned ASCII.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	if t.Caption != "" {
+		sb.WriteString(t.Caption)
+		sb.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(c)
+			for pad := len(c); pad < widths[i]; pad++ {
+				sb.WriteByte(' ')
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	sb.WriteString(strings.Repeat("-", total))
+	sb.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return sb.String()
+}
+
+// CSV renders the table as comma-separated values.
+func (t *Table) CSV() string {
+	var sb strings.Builder
+	sb.WriteString(strings.Join(t.Header, ","))
+	sb.WriteByte('\n')
+	for _, row := range t.Rows {
+		sb.WriteString(strings.Join(row, ","))
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// f formats a float compactly for table cells.
+func f(v float64) string { return fmt.Sprintf("%.4g", v) }
+
+// fi formats an int.
+func fi(v int) string { return fmt.Sprintf("%d", v) }

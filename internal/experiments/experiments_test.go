@@ -1,0 +1,280 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"slicenstitch/internal/datagen"
+)
+
+// tiny returns options small enough for unit tests.
+func tiny() Options {
+	return Options{
+		Scale:     0.002,
+		Periods:   3,
+		Rank:      4,
+		W:         3,
+		Seed:      1,
+		ALSSweeps: 2,
+		Eta:       1000,
+	}
+}
+
+func TestDefaultsAndFloors(t *testing.T) {
+	d := Defaults()
+	if d.Rank != 20 || d.W != 10 || d.Eta != 1000 {
+		t.Errorf("unexpected defaults %+v", d)
+	}
+	var zero Options
+	filled := zero.withFloors()
+	if filled.Rank != d.Rank || filled.Scale != d.Scale {
+		t.Errorf("floors not applied: %+v", filled)
+	}
+	custom := Options{Rank: 4}
+	if custom.withFloors().Rank != 4 {
+		t.Error("floors overwrote explicit rank")
+	}
+}
+
+func TestNewEnvGeometry(t *testing.T) {
+	env := NewEnv(datagen.ChicagoCrime, tiny())
+	if len(env.Boundaries) != 3 {
+		t.Fatalf("boundaries = %d want 3", len(env.Boundaries))
+	}
+	if len(env.RefFitness) != 3 {
+		t.Fatalf("reference fitness probes = %d want 3", len(env.RefFitness))
+	}
+	for i, b := range env.Boundaries {
+		want := env.T0 + int64(i+1)*env.Period
+		if b != want {
+			t.Errorf("boundary %d = %d want %d", i, b, want)
+		}
+	}
+	for i, rf := range env.RefFitness {
+		if rf < -0.1 || rf > 1.0001 {
+			t.Errorf("ref fitness %d = %g out of range", i, rf)
+		}
+	}
+	if env.InitModel == nil || env.InitModel.Rank() != 4 {
+		t.Error("init model missing or wrong rank")
+	}
+}
+
+func TestRunEventAndPeriodMethods(t *testing.T) {
+	env := NewEnv(datagen.ChicagoCrime, tiny())
+	events, periods, _ := Methods()
+	er := env.RunEventMethod("SNS-Rnd+", events["SNS-Rnd+"])
+	if er.Updates == 0 {
+		t.Fatal("no event updates")
+	}
+	if len(er.RelFitness.Points) != len(env.Boundaries) {
+		t.Fatalf("event probes = %d want %d", len(er.RelFitness.Points), len(env.Boundaries))
+	}
+	pr := env.RunPeriodMethod("OnlineSCP", periods["OnlineSCP"])
+	if pr.Updates != len(env.Boundaries) {
+		t.Fatalf("period updates = %d want %d", pr.Updates, len(env.Boundaries))
+	}
+	if pr.UpdateMicros <= 0 {
+		t.Error("no latency recorded")
+	}
+}
+
+func TestFig4AndFig5(t *testing.T) {
+	results := RunFig4([]datagen.Preset{datagen.ChicagoCrime}, tiny())
+	if len(results) != 1 {
+		t.Fatalf("datasets = %d", len(results))
+	}
+	r := results[0]
+	if len(r.Results) != 10 {
+		t.Fatalf("methods = %d want 10", len(r.Results))
+	}
+	seen := map[string]bool{}
+	for _, mr := range r.Results {
+		seen[mr.Method] = true
+		if mr.Updates == 0 {
+			t.Errorf("%s: no updates", mr.Method)
+		}
+	}
+	for _, want := range []string{"SNS-Mat", "SNS-Vec", "SNS-Rnd", "SNS-Vec+", "SNS-Rnd+", "ALS", "OnlineSCP", "CP-stream", "NeCPD(1)", "NeCPD(10)"} {
+		if !seen[want] {
+			t.Errorf("method %s missing", want)
+		}
+	}
+	tables := Fig4Tables(results)
+	if len(tables) != 1 || len(tables[0].Rows) != 3 {
+		t.Fatalf("fig4 table shape wrong: %d tables", len(tables))
+	}
+	rt, ft := Fig5Tables(results)
+	if len(rt.Rows) != 10 || len(ft.Rows) != 10 {
+		t.Fatalf("fig5 tables rows = %d/%d want 10", len(rt.Rows), len(ft.Rows))
+	}
+	if !strings.Contains(rt.String(), "SNS-Rnd+") {
+		t.Error("fig5 runtime table missing method")
+	}
+}
+
+func TestFig1ShapeAndParams(t *testing.T) {
+	rows := RunFig1(tiny(), []int64{600, 3600})
+	// 1 continuous row + 2 granularities × 3 conventional methods.
+	if len(rows) != 7 {
+		t.Fatalf("rows = %d want 7", len(rows))
+	}
+	if rows[0].Method != "SliceNStitch (continuous)" || rows[0].IntervalSecs != 1 {
+		t.Fatalf("first row = %+v", rows[0])
+	}
+	// Finer granularity ⇒ more parameters (Fig. 1d's point).
+	var p600, p3600 int
+	for _, r := range rows[1:] {
+		if r.IntervalSecs == 600 {
+			p600 = r.Params
+		}
+		if r.IntervalSecs == 3600 {
+			p3600 = r.Params
+		}
+	}
+	if p600 <= p3600 {
+		t.Errorf("params at 600s (%d) should exceed params at 3600s (%d)", p600, p3600)
+	}
+	// Continuous CPD keeps the small parameter count of the coarse window.
+	if rows[0].Params != p3600 {
+		t.Errorf("continuous params %d != coarse params %d", rows[0].Params, p3600)
+	}
+	tbl := Fig1Table(rows)
+	if len(tbl.Rows) != 7 {
+		t.Error("fig1 table row count wrong")
+	}
+}
+
+func TestFig6Linearity(t *testing.T) {
+	points := RunFig6([]datagen.Preset{datagen.ChicagoCrime}, tiny())
+	if len(points) != 4*5 {
+		t.Fatalf("points = %d want 20", len(points))
+	}
+	// Per variant: events increasing, cumulative time nondecreasing.
+	byMethod := map[string][]Fig6Point{}
+	for _, pt := range points {
+		byMethod[pt.Method] = append(byMethod[pt.Method], pt)
+	}
+	for method, pts := range byMethod {
+		if len(pts) != 5 {
+			t.Fatalf("%s: %d checkpoints want 5", method, len(pts))
+		}
+		for i := 1; i < len(pts); i++ {
+			if pts[i].Events <= pts[i-1].Events {
+				t.Errorf("%s: events not increasing", method)
+			}
+			if pts[i].TotalSeconds < pts[i-1].TotalSeconds {
+				t.Errorf("%s: cumulative time decreased", method)
+			}
+		}
+	}
+	if len(Fig6Table(points).Rows) != 20 {
+		t.Error("fig6 table row count wrong")
+	}
+}
+
+func TestFig7ThetaSweep(t *testing.T) {
+	rows := RunFig7([]datagen.Preset{datagen.ChicagoCrime}, tiny(), []float64{0.5, 1})
+	if len(rows) != 4 { // 2 fractions × 2 methods
+		t.Fatalf("rows = %d want 4", len(rows))
+	}
+	for _, r := range rows {
+		if r.Theta < 1 {
+			t.Errorf("theta %d < 1", r.Theta)
+		}
+		if r.UpdateMicros <= 0 {
+			t.Errorf("%s θ=%d: no latency", r.Method, r.Theta)
+		}
+	}
+	if len(Fig7Table(rows).Rows) != 4 {
+		t.Error("fig7 table row count wrong")
+	}
+}
+
+func TestFig8EtaSweep(t *testing.T) {
+	rows := RunFig8([]datagen.Preset{datagen.ChicagoCrime}, tiny(), []float64{100, 1000})
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d want 4", len(rows))
+	}
+	for _, r := range rows {
+		if r.Eta != 100 && r.Eta != 1000 {
+			t.Errorf("unexpected eta %g", r.Eta)
+		}
+	}
+	if len(Fig8Table(rows).Rows) != 4 {
+		t.Error("fig8 table row count wrong")
+	}
+}
+
+func TestFig9Anomaly(t *testing.T) {
+	rows := RunFig9(tiny(), 5, 15)
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d want 3", len(rows))
+	}
+	if rows[0].Method != "SNS-Rnd+" {
+		t.Fatalf("first method = %s", rows[0].Method)
+	}
+	for _, r := range rows {
+		if r.Precision < 0 || r.Precision > 1 {
+			t.Errorf("%s: precision %g out of range", r.Method, r.Precision)
+		}
+	}
+	// The continuous method detects at the injection instant.
+	if rows[0].StreamGapSecs != 0 {
+		t.Errorf("SNS stream gap = %g want 0", rows[0].StreamGapSecs)
+	}
+	if len(Fig9Table(rows).Rows) != 3 {
+		t.Error("fig9 table row count wrong")
+	}
+}
+
+func TestTables2And3(t *testing.T) {
+	t2 := Table2(tiny(), 500)
+	if len(t2.Rows) != 4 {
+		t.Fatalf("table2 rows = %d want 4", len(t2.Rows))
+	}
+	t3 := Table3(tiny())
+	if len(t3.Rows) != 4 {
+		t.Fatalf("table3 rows = %d want 4", len(t3.Rows))
+	}
+	if !strings.Contains(t3.String(), "NewYorkTaxi") {
+		t.Error("table3 missing dataset")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := Table{Caption: "cap", Header: []string{"a", "bb"}}
+	tb.AddRow("1", "2")
+	tb.AddRow("333", "4")
+	s := tb.String()
+	if !strings.Contains(s, "cap") || !strings.Contains(s, "333") {
+		t.Errorf("render missing content:\n%s", s)
+	}
+	csv := tb.CSV()
+	if !strings.HasPrefix(csv, "a,bb\n") || !strings.Contains(csv, "333,4") {
+		t.Errorf("CSV wrong:\n%s", csv)
+	}
+}
+
+func TestExtTucker(t *testing.T) {
+	rows := RunExtTucker([]datagen.Preset{datagen.ChicagoCrime}, tiny())
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d want 2", len(rows))
+	}
+	if rows[0].Method != "CP-ALS" || rows[1].Method != "Tucker-HOOI" {
+		t.Fatalf("methods = %s, %s", rows[0].Method, rows[1].Method)
+	}
+	// Parameter matching: within 2x of each other.
+	a, b := rows[0].Params, rows[1].Params
+	if a <= 0 || b <= 0 || a > 2*b && b > 2*a {
+		t.Errorf("params not matched: %d vs %d", a, b)
+	}
+	for _, r := range rows {
+		if r.Fitness < -0.1 || r.Fitness > 1.001 {
+			t.Errorf("%s fitness %g out of range", r.Method, r.Fitness)
+		}
+	}
+	if len(ExtTuckerTable(rows).Rows) != 2 {
+		t.Error("table rows wrong")
+	}
+}

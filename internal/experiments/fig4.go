@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"slicenstitch/internal/datagen"
+)
+
+// Fig4Result holds, per dataset, the relative-fitness-over-time series of
+// every method (Fig. 4) — which also carries the aggregates rendered as
+// Fig. 5.
+type Fig4Result struct {
+	Dataset string
+	Results []MethodResult
+}
+
+// RunFig4 reproduces Fig. 4 (relative fitness over time) for the given
+// presets (nil = all four).
+func RunFig4(presets []datagen.Preset, opt Options) []Fig4Result {
+	if presets == nil {
+		presets = datagen.Presets()
+	}
+	eventMakers, periodMakers, order := Methods()
+	var out []Fig4Result
+	for _, p := range presets {
+		env := NewEnv(p, opt)
+		r := Fig4Result{Dataset: p.Name}
+		for _, name := range order {
+			if mk, ok := eventMakers[name]; ok {
+				r.Results = append(r.Results, env.RunEventMethod(name, mk))
+			} else if mk, ok := periodMakers[name]; ok {
+				r.Results = append(r.Results, env.RunPeriodMethod(name, mk))
+			}
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// Fig4Tables renders one relative-fitness-over-time table per dataset: one
+// column per method, one row per period boundary.
+func Fig4Tables(results []Fig4Result) []Table {
+	var tables []Table
+	for _, r := range results {
+		t := Table{Caption: "Fig.4 — relative fitness over time — " + r.Dataset}
+		t.Header = append(t.Header, "boundary")
+		probes := 0
+		for _, mr := range r.Results {
+			t.Header = append(t.Header, mr.Method)
+			if len(mr.RelFitness.Points) > probes {
+				probes = len(mr.RelFitness.Points)
+			}
+		}
+		for i := 0; i < probes; i++ {
+			row := []string{fi(i + 1)}
+			for _, mr := range r.Results {
+				if i < len(mr.RelFitness.Points) {
+					row = append(row, f(mr.RelFitness.Points[i].Y))
+				} else {
+					row = append(row, "-")
+				}
+			}
+			t.AddRow(row...)
+		}
+		tables = append(tables, t)
+	}
+	return tables
+}
+
+// Fig5Tables renders the two aggregate tables of Fig. 5 from the same runs:
+// (a) runtime per update in µs and (b) average relative fitness, one row
+// per method, one column per dataset.
+func Fig5Tables(results []Fig4Result) (runtime Table, fitness Table) {
+	runtime = Table{Caption: "Fig.5a — runtime per update (µs)"}
+	fitness = Table{Caption: "Fig.5b — average relative fitness"}
+	runtime.Header = []string{"method"}
+	fitness.Header = []string{"method"}
+	for _, r := range results {
+		runtime.Header = append(runtime.Header, r.Dataset)
+		fitness.Header = append(fitness.Header, r.Dataset)
+	}
+	if len(results) == 0 {
+		return runtime, fitness
+	}
+	for i, mr := range results[0].Results {
+		rrow := []string{mr.Method}
+		frow := []string{mr.Method}
+		for _, r := range results {
+			rrow = append(rrow, f(r.Results[i].UpdateMicros))
+			val := r.Results[i].AvgRelFitness
+			cell := f(val)
+			if r.Results[i].Diverged {
+				cell += "*" // diverged (Observation 3)
+			}
+			frow = append(frow, cell)
+		}
+		runtime.AddRow(rrow...)
+		fitness.AddRow(frow...)
+	}
+	return runtime, fitness
+}

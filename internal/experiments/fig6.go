@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"slicenstitch/internal/core"
+	"slicenstitch/internal/datagen"
+	"slicenstitch/internal/metrics"
+)
+
+// Fig6Point is one measurement of Fig. 6: cumulative update time after a
+// number of processed events.
+type Fig6Point struct {
+	Dataset      string
+	Method       string
+	Events       int
+	TotalSeconds float64
+}
+
+// RunFig6 reproduces Fig. 6 (linear data scalability): for each dataset and
+// each SNS variant, the cumulative factor-update time is sampled at five
+// evenly spaced event counts along one long replay. The paper's x-axis is
+// 1–5 ×10⁵ events; the scaled default produces the same five-checkpoint
+// series at a laptop-sized event budget. Linearity of the series is the
+// result (Observation 5).
+func RunFig6(presets []datagen.Preset, opt Options) []Fig6Point {
+	opt = opt.withFloors()
+	if presets == nil {
+		presets = datagen.Presets()
+	}
+	variants := []string{"SNS-Vec", "SNS-Rnd", "SNS-Vec+", "SNS-Rnd+"}
+	eventMakers, _, _ := Methods()
+	var out []Fig6Point
+	for _, p := range presets {
+		env := NewEnv(p, opt)
+		for _, name := range variants {
+			mk := eventMakers[name]
+			win, rest := env.FreshWindow()
+			dec := mk(win, env.InitModel, env)
+			runner := core.NewRunner(win, dec)
+			runner.Latency = metrics.NewLatency(8192)
+			runner.Replay(rest, env.Horizon)
+			out = append(out, checkpoints(p.Name, name, runner.Latency)...)
+		}
+	}
+	return out
+}
+
+// checkpoints splits the recorded per-event latencies into five exact
+// cumulative checkpoints.
+func checkpoints(dataset, method string, lat *metrics.Latency) []Fig6Point {
+	samples := lat.Samples()
+	n := len(samples)
+	if n == 0 {
+		return nil
+	}
+	var out []Fig6Point
+	cum := 0.0
+	next := 1
+	for i, d := range samples {
+		cum += d.Seconds()
+		if i+1 == n*next/5 {
+			out = append(out, Fig6Point{Dataset: dataset, Method: method, Events: i + 1, TotalSeconds: cum})
+			next++
+		}
+	}
+	return out
+}
+
+// Fig6Table renders the scalability series.
+func Fig6Table(points []Fig6Point) Table {
+	t := Table{
+		Caption: "Fig.6 — total update time vs number of events",
+		Header:  []string{"dataset", "method", "events", "total(s)"},
+	}
+	for _, pt := range points {
+		t.AddRow(pt.Dataset, pt.Method, fi(pt.Events), f(pt.TotalSeconds))
+	}
+	return t
+}

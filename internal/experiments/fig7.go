@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"slicenstitch/internal/core"
+	"slicenstitch/internal/cpd"
+	"slicenstitch/internal/datagen"
+	"slicenstitch/internal/window"
+)
+
+// Fig7Row is one point of Fig. 7: a sampling-threshold setting and its
+// fitness/speed for one of the two sampling variants.
+type Fig7Row struct {
+	Dataset       string
+	Method        string
+	Theta         int
+	AvgRelFitness float64
+	UpdateMicros  float64
+	Diverged      bool
+}
+
+// RunFig7 reproduces Fig. 7 (effect of θ): SNS_RND and SNS⁺_RND with θ
+// swept from 25% to 200% of each dataset's default (Table III). fractions
+// nil selects the paper's sweep {0.25, 0.5, 1, 1.5, 2}.
+func RunFig7(presets []datagen.Preset, opt Options, fractions []float64) []Fig7Row {
+	opt = opt.withFloors()
+	if presets == nil {
+		presets = datagen.Presets()
+	}
+	if fractions == nil {
+		fractions = []float64{0.25, 0.5, 1, 1.5, 2}
+	}
+	var out []Fig7Row
+	for _, p := range presets {
+		env := NewEnv(p, opt)
+		for _, frac := range fractions {
+			theta := int(float64(p.DefaultTheta) * frac)
+			if theta < 1 {
+				theta = 1
+			}
+			for _, method := range []string{"SNS-Rnd", "SNS-Rnd+"} {
+				m := method
+				res := env.RunEventMethod(m, func(w *window.Window, init *cpd.Model, e *Env) core.Decomposer {
+					if m == "SNS-Rnd" {
+						return core.NewSNSRnd(w, init, theta, e.Opt.Seed+300)
+					}
+					return core.NewSNSRndPlus(w, init, theta, e.Opt.Eta, e.Opt.Seed+300)
+				})
+				out = append(out, Fig7Row{
+					Dataset:       p.Name,
+					Method:        method,
+					Theta:         theta,
+					AvgRelFitness: res.AvgRelFitness,
+					UpdateMicros:  res.UpdateMicros,
+					Diverged:      res.Diverged,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// Fig7Table renders the θ sweep.
+func Fig7Table(rows []Fig7Row) Table {
+	t := Table{
+		Caption: "Fig.7 — effect of sampling threshold θ on fitness and speed",
+		Header:  []string{"dataset", "method", "theta", "avg rel fitness", "µs/update"},
+	}
+	for _, r := range rows {
+		cell := f(r.AvgRelFitness)
+		if r.Diverged {
+			cell += "*"
+		}
+		t.AddRow(r.Dataset, r.Method, fi(r.Theta), cell, f(r.UpdateMicros))
+	}
+	return t
+}

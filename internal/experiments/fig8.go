@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"slicenstitch/internal/core"
+	"slicenstitch/internal/cpd"
+	"slicenstitch/internal/datagen"
+	"slicenstitch/internal/window"
+)
+
+// Fig8Row is one point of Fig. 8: a clipping-threshold setting and its
+// fitness for one of the two stable variants.
+type Fig8Row struct {
+	Dataset       string
+	Method        string
+	Eta           float64
+	AvgRelFitness float64
+	Diverged      bool
+}
+
+// RunFig8 reproduces Fig. 8 (effect of η): SNS⁺_VEC and SNS⁺_RND with the
+// clipping threshold swept over decades (the paper sweeps 32…16000; η does
+// not affect speed, so only fitness is reported). etas nil selects
+// {32, 100, 320, 1000, 3200, 16000}.
+func RunFig8(presets []datagen.Preset, opt Options, etas []float64) []Fig8Row {
+	opt = opt.withFloors()
+	if presets == nil {
+		presets = datagen.Presets()
+	}
+	if etas == nil {
+		etas = []float64{32, 100, 320, 1000, 3200, 16000}
+	}
+	var out []Fig8Row
+	for _, p := range presets {
+		env := NewEnv(p, opt)
+		for _, eta := range etas {
+			eta := eta
+			for _, method := range []string{"SNS-Vec+", "SNS-Rnd+"} {
+				m := method
+				res := env.RunEventMethod(m, func(w *window.Window, init *cpd.Model, e *Env) core.Decomposer {
+					if m == "SNS-Vec+" {
+						return core.NewSNSVecPlus(w, init, eta)
+					}
+					return core.NewSNSRndPlus(w, init, e.Theta, eta, e.Opt.Seed+300)
+				})
+				out = append(out, Fig8Row{
+					Dataset:       p.Name,
+					Method:        method,
+					Eta:           eta,
+					AvgRelFitness: res.AvgRelFitness,
+					Diverged:      res.Diverged,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// Fig8Table renders the η sweep.
+func Fig8Table(rows []Fig8Row) Table {
+	t := Table{
+		Caption: "Fig.8 — effect of clipping threshold η on fitness",
+		Header:  []string{"dataset", "method", "eta", "avg rel fitness"},
+	}
+	for _, r := range rows {
+		cell := f(r.AvgRelFitness)
+		if r.Diverged {
+			cell += "*"
+		}
+		t.AddRow(r.Dataset, r.Method, f(r.Eta), cell)
+	}
+	return t
+}

@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"slicenstitch/internal/metrics"
+)
+
+func TestComputeObs1(t *testing.T) {
+	rows := []Fig1Row{
+		{Method: "SliceNStitch (continuous)", IntervalSecs: 1, AvgFitness: 0.5, Params: 1400, UpdateMicros: 50},
+		{Method: "ALS", IntervalSecs: 1, AvgFitness: 0.10, Params: 70000, UpdateMicros: 90000},
+		{Method: "CP-stream", IntervalSecs: 1, AvgFitness: 0.20, Params: 70000, UpdateMicros: 4000},
+		{Method: "ALS", IntervalSecs: 3600, AvgFitness: 0.70, Params: 1400, UpdateMicros: 3500},
+	}
+	o := ComputeObs1(rows)
+	if math.Abs(o.FitnessRatio-0.5/0.20) > 1e-12 {
+		t.Errorf("FitnessRatio = %g want 2.5", o.FitnessRatio)
+	}
+	if math.Abs(o.ParamRatio-50) > 1e-12 {
+		t.Errorf("ParamRatio = %g want 50", o.ParamRatio)
+	}
+	if math.Abs(o.IntervalRatio-3600) > 1e-12 {
+		t.Errorf("IntervalRatio = %g want 3600", o.IntervalRatio)
+	}
+}
+
+func TestComputeObs1NoMatch(t *testing.T) {
+	rows := []Fig1Row{
+		{Method: "cont", IntervalSecs: 1, AvgFitness: 0.9, Params: 100},
+		{Method: "ALS", IntervalSecs: 10, AvgFitness: 0.2, Params: 1000},
+	}
+	o := ComputeObs1(rows)
+	if o.IntervalRatio != 0 {
+		t.Errorf("IntervalRatio = %g want 0 (no conventional point matched)", o.IntervalRatio)
+	}
+	if ComputeObs1(nil) != (Obs1{}) {
+		t.Error("empty rows should give zero Obs1")
+	}
+}
+
+func TestComputeObs2(t *testing.T) {
+	mk := func(name string, micros float64) MethodResult {
+		return MethodResult{Method: name, UpdateMicros: micros, RelFitness: metrics.Series{Name: name}}
+	}
+	results := []Fig4Result{{
+		Dataset: "ChicagoCrime",
+		Results: []MethodResult{
+			mk("SNS-Mat", 600),
+			mk("SNS-Rnd+", 40),
+			mk("ALS", 3000),
+			mk("CP-stream", 400),
+			mk("NeCPD(1)", 500),
+		},
+	}}
+	obs := ComputeObs2(results)
+	if len(obs) != 1 {
+		t.Fatalf("obs length %d", len(obs))
+	}
+	o := obs[0]
+	if o.FastestBaseline != "CP-stream" {
+		t.Errorf("FastestBaseline = %q", o.FastestBaseline)
+	}
+	if math.Abs(o.SpeedupRndPlus-10) > 1e-12 {
+		t.Errorf("SpeedupRndPlus = %g want 10", o.SpeedupRndPlus)
+	}
+	if math.Abs(o.SpeedupMat-400.0/600.0) > 1e-12 {
+		t.Errorf("SpeedupMat = %g", o.SpeedupMat)
+	}
+}
+
+func TestObservationsReportRenders(t *testing.T) {
+	rows := []Fig1Row{
+		{Method: "cont", IntervalSecs: 1, AvgFitness: 0.5, Params: 1400},
+		{Method: "ALS", IntervalSecs: 1, AvgFitness: 0.1, Params: 70000},
+	}
+	results := []Fig4Result{{
+		Dataset: "X",
+		Results: []MethodResult{
+			{Method: "SNS-Rnd+", UpdateMicros: 10},
+			{Method: "SNS-Mat", UpdateMicros: 100},
+			{Method: "ALS", UpdateMicros: 1000},
+		},
+	}}
+	rep := ObservationsReport(rows, results)
+	for _, want := range []string{"Observation 1", "Observation 2", "SNS-Rnd+ 100x"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q:\n%s", want, rep)
+		}
+	}
+	if ObservationsReport(nil, nil) != "" {
+		t.Error("empty inputs should render empty report")
+	}
+}

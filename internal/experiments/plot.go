@@ -1,0 +1,151 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"slicenstitch/internal/metrics"
+)
+
+// Chart renders a set of series as a fixed-size ASCII line chart — a
+// terminal rendition of the paper's figures. Each series gets a marker
+// rune; overlapping points show the later series' marker.
+func Chart(title string, series []metrics.Series, width, height int) string {
+	if width < 16 {
+		width = 16
+	}
+	if height < 4 {
+		height = 4
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	any := false
+	for _, s := range series {
+		for _, p := range s.Points {
+			if math.IsNaN(p.Y) || math.IsInf(p.Y, 0) {
+				continue
+			}
+			any = true
+			minX, maxX = math.Min(minX, p.X), math.Max(maxX, p.X)
+			minY, maxY = math.Min(minY, p.Y), math.Max(maxY, p.Y)
+		}
+	}
+	var sb strings.Builder
+	sb.WriteString(title)
+	sb.WriteByte('\n')
+	if !any {
+		sb.WriteString("(no data)\n")
+		return sb.String()
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]rune, height)
+	for r := range grid {
+		grid[r] = []rune(strings.Repeat(" ", width))
+	}
+	markers := []rune("*o+x#@%&")
+	for si, s := range series {
+		mark := markers[si%len(markers)]
+		for _, p := range s.Points {
+			if math.IsNaN(p.Y) || math.IsInf(p.Y, 0) {
+				continue
+			}
+			col := int((p.X - minX) / (maxX - minX) * float64(width-1))
+			rowF := (p.Y - minY) / (maxY - minY) * float64(height-1)
+			row := height - 1 - int(rowF+0.5)
+			grid[row][col] = mark
+		}
+	}
+	for r, line := range grid {
+		yVal := maxY - (maxY-minY)*float64(r)/float64(height-1)
+		fmt.Fprintf(&sb, "%9.3g |%s|\n", yVal, string(line))
+	}
+	fmt.Fprintf(&sb, "%9s  %-*.4g%*.4g\n", "", width/2, minX, width-width/2, maxX)
+	// Legend.
+	for si, s := range series {
+		fmt.Fprintf(&sb, "  %c %s", markers[si%len(markers)], s.Name)
+		if (si+1)%4 == 0 {
+			sb.WriteByte('\n')
+		}
+	}
+	sb.WriteByte('\n')
+	return sb.String()
+}
+
+// Fig4Charts renders the relative-fitness-over-time chart per dataset.
+func Fig4Charts(results []Fig4Result, width, height int) []string {
+	var out []string
+	for _, r := range results {
+		var series []metrics.Series
+		for _, mr := range r.Results {
+			if mr.Diverged {
+				continue // off-scale lines flatten everything else
+			}
+			series = append(series, mr.RelFitness)
+		}
+		out = append(out, Chart("Fig.4 — relative fitness over time — "+r.Dataset, series, width, height))
+	}
+	return out
+}
+
+// LinearityR2 fits total = a + b·events by least squares over one method's
+// Fig. 6 checkpoints and returns the coefficient of determination —
+// quantifying Observation 5 ("total runtime is linear in the number of
+// events"). Returns 1 for degenerate (≤2 point or zero-variance) series.
+func LinearityR2(points []Fig6Point) float64 {
+	n := float64(len(points))
+	if n <= 2 {
+		return 1
+	}
+	var sx, sy, sxx, sxy float64
+	for _, p := range points {
+		x, y := float64(p.Events), p.TotalSeconds
+		sx += x
+		sy += y
+		sxx += x * x
+		sxy += x * y
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return 1
+	}
+	b := (n*sxy - sx*sy) / den
+	a := (sy - b*sx) / n
+	var ssRes, ssTot float64
+	meanY := sy / n
+	for _, p := range points {
+		x, y := float64(p.Events), p.TotalSeconds
+		ssRes += (y - a - b*x) * (y - a - b*x)
+		ssTot += (y - meanY) * (y - meanY)
+	}
+	if ssTot == 0 {
+		return 1
+	}
+	return 1 - ssRes/ssTot
+}
+
+// Fig6Linearity summarizes R² per (dataset, method).
+func Fig6Linearity(points []Fig6Point) Table {
+	byKey := map[[2]string][]Fig6Point{}
+	var order [][2]string
+	for _, p := range points {
+		k := [2]string{p.Dataset, p.Method}
+		if _, ok := byKey[k]; !ok {
+			order = append(order, k)
+		}
+		byKey[k] = append(byKey[k], p)
+	}
+	t := Table{
+		Caption: "Observation 5 — linearity of total update time (R² of linear fit)",
+		Header:  []string{"dataset", "method", "R²"},
+	}
+	for _, k := range order {
+		t.AddRow(k[0], k[1], fmt.Sprintf("%.5f", LinearityR2(byKey[k])))
+	}
+	return t
+}

@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"slicenstitch/internal/metrics"
+)
+
+func TestChartRendersSeries(t *testing.T) {
+	a := metrics.Series{Name: "up"}
+	b := metrics.Series{Name: "down"}
+	for i := 0; i < 10; i++ {
+		a.Add(float64(i), float64(i))
+		b.Add(float64(i), float64(9-i))
+	}
+	out := Chart("test", []metrics.Series{a, b}, 40, 10)
+	if !strings.Contains(out, "test") || !strings.Contains(out, "up") || !strings.Contains(out, "down") {
+		t.Fatalf("chart missing title/legend:\n%s", out)
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Fatalf("chart missing markers:\n%s", out)
+	}
+	lines := strings.Split(out, "\n")
+	if len(lines) < 12 {
+		t.Fatalf("chart too short: %d lines", len(lines))
+	}
+}
+
+func TestChartEmptyAndDegenerate(t *testing.T) {
+	out := Chart("empty", nil, 40, 10)
+	if !strings.Contains(out, "no data") {
+		t.Fatalf("empty chart should say so:\n%s", out)
+	}
+	// NaN-only series counts as no data.
+	s := metrics.Series{Name: "nan"}
+	s.Add(1, math.NaN())
+	out = Chart("nan", []metrics.Series{s}, 40, 10)
+	if !strings.Contains(out, "no data") {
+		t.Fatal("NaN-only series should be no data")
+	}
+	// Single point: degenerate ranges handled.
+	p := metrics.Series{Name: "pt"}
+	p.Add(1, 1)
+	out = Chart("pt", []metrics.Series{p}, 20, 5)
+	if !strings.Contains(out, "*") {
+		t.Fatalf("single point not plotted:\n%s", out)
+	}
+	// Tiny dimensions are clamped.
+	_ = Chart("tiny", []metrics.Series{p}, 1, 1)
+}
+
+func TestLinearityR2(t *testing.T) {
+	perfect := []Fig6Point{
+		{Events: 100, TotalSeconds: 1},
+		{Events: 200, TotalSeconds: 2},
+		{Events: 300, TotalSeconds: 3},
+		{Events: 400, TotalSeconds: 4},
+	}
+	if r2 := LinearityR2(perfect); math.Abs(r2-1) > 1e-12 {
+		t.Errorf("perfect line R² = %g", r2)
+	}
+	curved := []Fig6Point{
+		{Events: 100, TotalSeconds: 1},
+		{Events: 200, TotalSeconds: 8},
+		{Events: 300, TotalSeconds: 1},
+		{Events: 400, TotalSeconds: 9},
+	}
+	if r2 := LinearityR2(curved); r2 > 0.9 {
+		t.Errorf("zigzag R² = %g should be low", r2)
+	}
+	if LinearityR2(perfect[:2]) != 1 {
+		t.Error("≤2 points should default to 1")
+	}
+}
+
+func TestFig6LinearityTable(t *testing.T) {
+	points := []Fig6Point{
+		{Dataset: "A", Method: "m1", Events: 10, TotalSeconds: 1},
+		{Dataset: "A", Method: "m1", Events: 20, TotalSeconds: 2},
+		{Dataset: "A", Method: "m1", Events: 30, TotalSeconds: 3},
+		{Dataset: "A", Method: "m2", Events: 10, TotalSeconds: 2},
+		{Dataset: "A", Method: "m2", Events: 20, TotalSeconds: 4},
+		{Dataset: "A", Method: "m2", Events: 30, TotalSeconds: 6},
+	}
+	tbl := Fig6Linearity(points)
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows = %d want 2", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		if row[2] != "1.00000" {
+			t.Errorf("R² = %s want 1.00000", row[2])
+		}
+	}
+}
+
+func TestFig4ChartsSkipDiverged(t *testing.T) {
+	good := metrics.Series{Name: "ok"}
+	good.Add(1, 0.9)
+	good.Add(2, 0.95)
+	bad := metrics.Series{Name: "boom"}
+	bad.Add(1, -1e100)
+	results := []Fig4Result{{
+		Dataset: "X",
+		Results: []MethodResult{
+			{Method: "ok", RelFitness: good},
+			{Method: "boom", RelFitness: bad, Diverged: true},
+		},
+	}}
+	charts := Fig4Charts(results, 30, 8)
+	if len(charts) != 1 {
+		t.Fatalf("charts = %d", len(charts))
+	}
+	if strings.Contains(charts[0], "boom") {
+		t.Error("diverged series should be skipped")
+	}
+	if !strings.Contains(charts[0], "ok") {
+		t.Error("healthy series missing")
+	}
+}

@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"fmt"
+
+	"slicenstitch/internal/datagen"
+)
+
+// Table2 reproduces Table II (dataset summary). The "paper" columns restate
+// the published full-scale statistics encoded in the presets; the
+// "measured" columns summarize a generated sample at the requested scale,
+// demonstrating that the synthetic stand-ins match the published density
+// once the scale factor is divided back out.
+func Table2(opt Options, sampleTicks int64) Table {
+	opt = opt.withFloors()
+	if sampleTicks <= 0 {
+		sampleTicks = 2000
+	}
+	t := Table{
+		Caption: "Table II — dataset summary (paper statistics + generated sample)",
+		Header: []string{
+			"name", "shape", "unit", "paper nnz/tick",
+			"sample tuples", "sample nnz/tick",
+		},
+	}
+	for _, p := range datagen.Presets() {
+		bp := opt.workload(p)
+		s := datagen.Generate(bp, opt.Seed, 0, sampleTicks)
+		shape := ""
+		for i, d := range p.Dims {
+			if i > 0 {
+				shape += "×"
+			}
+			shape += fi(d)
+		}
+		shape += "×time"
+		// Undo the bench shrink to compare against the paper's rate.
+		measuredRate := float64(s.Len()) / float64(sampleTicks) * p.Rate / bp.Rate
+		t.AddRow(
+			p.Name, shape, p.TimeUnit, f(p.Rate),
+			fi(s.Len()), f(measuredRate),
+		)
+	}
+	return t
+}
+
+// Table3 reproduces Table III (default hyperparameter settings).
+func Table3(opt Options) Table {
+	opt = opt.withFloors()
+	t := Table{
+		Caption: "Table III — default hyperparameter settings",
+		Header:  []string{"name", "R", "W", "T (period)", "theta", "eta"},
+	}
+	for _, p := range datagen.Presets() {
+		t.AddRow(
+			p.Name, fi(opt.Rank), fi(opt.W),
+			fmt.Sprintf("%d %ss", p.DefaultPeriod, p.TimeUnit),
+			fi(p.DefaultTheta), f(opt.Eta),
+		)
+	}
+	return t
+}

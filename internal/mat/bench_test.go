@@ -1,0 +1,93 @@
+package mat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchMat(rng *rand.Rand, r, c int) *Dense {
+	m := New(r, c)
+	for i := range m.Data() {
+		m.Data()[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+// R=20 mirrors the paper's default CP rank; tall factors are N×R.
+
+func BenchmarkGramTallFactor(b *testing.B) {
+	a := benchMat(rand.New(rand.NewSource(1)), 673, 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Gram(a)
+	}
+}
+
+func BenchmarkMulRxR(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	x := benchMat(rng, 20, 20)
+	y := benchMat(rng, 20, 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Mul(x, y)
+	}
+}
+
+func BenchmarkHadamardRxR(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	x := benchMat(rng, 20, 20)
+	y := benchMat(rng, 20, 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Hadamard(x, y)
+	}
+}
+
+func BenchmarkEigenSymR20(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	base := benchMat(rng, 20, 20)
+	spd := MulTA(base, base)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		EigenSym(spd)
+	}
+}
+
+func BenchmarkPseudoInverseSymR20(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	base := benchMat(rng, 20, 20)
+	spd := MulTA(base, base)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		PseudoInverseSym(spd)
+	}
+}
+
+// The Cholesky fast path vs the eigen fallback of every row solve.
+func BenchmarkSolveSymCholeskyPath(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	base := benchMat(rng, 40, 20)
+	spd := MulTA(base, base) // full rank: Cholesky succeeds
+	rhs := make([]float64, 20)
+	for i := range rhs {
+		rhs[i] = rng.NormFloat64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SolveSym(spd, rhs)
+	}
+}
+
+func BenchmarkSolveSymPinvFallback(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	base := benchMat(rng, 5, 20)
+	spd := MulTA(base, base) // rank 5 < 20: Cholesky fails, pinv path
+	rhs := make([]float64, 20)
+	for i := range rhs {
+		rhs[i] = rng.NormFloat64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SolveSym(spd, rhs)
+	}
+}

@@ -1,0 +1,413 @@
+// Package mat provides the small dense linear-algebra kernel used by the
+// SliceNStitch reproduction: row-major matrices, products (including the
+// Khatri-Rao and Hadamard products of CP decomposition), Gram matrices,
+// symmetric eigendecomposition and Moore-Penrose pseudoinverses.
+//
+// The paper's reference implementation relies on Eigen; this package rebuilds
+// the required subset on top of the standard library only. All matrices are
+// dense and row-major. Factor matrices in CP decomposition are tall and thin
+// (N×R with R ≈ 20), and every linear solve is over an R×R symmetric
+// positive semi-definite Gram matrix, so the simple O(R³) routines here are
+// both exact enough and fast enough.
+package mat
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Dense is a dense row-major matrix.
+//
+// The zero value is an empty 0×0 matrix. Use New to allocate a sized matrix.
+type Dense struct {
+	rows, cols int
+	data       []float64
+}
+
+// New returns a zeroed rows×cols matrix.
+func New(rows, cols int) *Dense {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("mat: negative dimensions %d×%d", rows, cols))
+	}
+	return &Dense{rows: rows, cols: cols, data: make([]float64, rows*cols)}
+}
+
+// NewFromData wraps data (row-major, length rows*cols) in a Dense without
+// copying. The caller must not alias data afterwards.
+func NewFromData(rows, cols int, data []float64) *Dense {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("mat: data length %d != %d×%d", len(data), rows, cols))
+	}
+	return &Dense{rows: rows, cols: cols, data: data}
+}
+
+// NewFromRows builds a matrix by copying the given equal-length rows.
+func NewFromRows(rows [][]float64) *Dense {
+	if len(rows) == 0 {
+		return New(0, 0)
+	}
+	c := len(rows[0])
+	m := New(len(rows), c)
+	for i, r := range rows {
+		if len(r) != c {
+			panic(fmt.Sprintf("mat: ragged rows: row %d has %d cols, want %d", i, len(r), c))
+		}
+		copy(m.Row(i), r)
+	}
+	return m
+}
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) *Dense {
+	m := New(n, n)
+	for i := 0; i < n; i++ {
+		m.data[i*n+i] = 1
+	}
+	return m
+}
+
+// Rows returns the number of rows.
+func (m *Dense) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *Dense) Cols() int { return m.cols }
+
+// Dims returns (rows, cols).
+func (m *Dense) Dims() (int, int) { return m.rows, m.cols }
+
+// At returns the (i,j)-th entry.
+func (m *Dense) At(i, j int) float64 {
+	m.check(i, j)
+	return m.data[i*m.cols+j]
+}
+
+// Set assigns the (i,j)-th entry.
+func (m *Dense) Set(i, j int, v float64) {
+	m.check(i, j)
+	m.data[i*m.cols+j] = v
+}
+
+// Add adds v to the (i,j)-th entry.
+func (m *Dense) Add(i, j int, v float64) {
+	m.check(i, j)
+	m.data[i*m.cols+j] += v
+}
+
+func (m *Dense) check(i, j int) {
+	if i < 0 || i >= m.rows || j < 0 || j >= m.cols {
+		panic(fmt.Sprintf("mat: index (%d,%d) out of range %d×%d", i, j, m.rows, m.cols))
+	}
+}
+
+// Row returns the i-th row as a mutable slice view (no copy).
+func (m *Dense) Row(i int) []float64 {
+	if i < 0 || i >= m.rows {
+		panic(fmt.Sprintf("mat: row %d out of range %d", i, m.rows))
+	}
+	return m.data[i*m.cols : (i+1)*m.cols]
+}
+
+// SetRow copies v into row i.
+func (m *Dense) SetRow(i int, v []float64) {
+	if len(v) != m.cols {
+		panic(fmt.Sprintf("mat: SetRow length %d != cols %d", len(v), m.cols))
+	}
+	copy(m.Row(i), v)
+}
+
+// Col returns a copy of the j-th column.
+func (m *Dense) Col(j int) []float64 {
+	if j < 0 || j >= m.cols {
+		panic(fmt.Sprintf("mat: col %d out of range %d", j, m.cols))
+	}
+	out := make([]float64, m.rows)
+	for i := 0; i < m.rows; i++ {
+		out[i] = m.data[i*m.cols+j]
+	}
+	return out
+}
+
+// Data returns the backing row-major slice (no copy).
+func (m *Dense) Data() []float64 { return m.data }
+
+// Clone returns a deep copy.
+func (m *Dense) Clone() *Dense {
+	out := New(m.rows, m.cols)
+	copy(out.data, m.data)
+	return out
+}
+
+// CopyFrom overwrites m with src (same dimensions required).
+func (m *Dense) CopyFrom(src *Dense) {
+	if m.rows != src.rows || m.cols != src.cols {
+		panic(fmt.Sprintf("mat: CopyFrom %d×%d != %d×%d", src.rows, src.cols, m.rows, m.cols))
+	}
+	copy(m.data, src.data)
+}
+
+// Zero sets every entry to 0.
+func (m *Dense) Zero() {
+	for i := range m.data {
+		m.data[i] = 0
+	}
+}
+
+// Fill sets every entry to v.
+func (m *Dense) Fill(v float64) {
+	for i := range m.data {
+		m.data[i] = v
+	}
+}
+
+// Scale multiplies every entry by s in place.
+func (m *Dense) Scale(s float64) {
+	for i := range m.data {
+		m.data[i] *= s
+	}
+}
+
+// T returns the transpose as a new matrix.
+func (m *Dense) T() *Dense {
+	out := New(m.cols, m.rows)
+	for i := 0; i < m.rows; i++ {
+		ri := m.data[i*m.cols : (i+1)*m.cols]
+		for j, v := range ri {
+			out.data[j*m.rows+i] = v
+		}
+	}
+	return out
+}
+
+// Mul returns A·B.
+func Mul(a, b *Dense) *Dense {
+	if a.cols != b.rows {
+		panic(fmt.Sprintf("mat: Mul %d×%d · %d×%d", a.rows, a.cols, b.rows, b.cols))
+	}
+	out := New(a.rows, b.cols)
+	for i := 0; i < a.rows; i++ {
+		ai := a.data[i*a.cols : (i+1)*a.cols]
+		oi := out.data[i*out.cols : (i+1)*out.cols]
+		for k, av := range ai {
+			if av == 0 {
+				continue
+			}
+			bk := b.data[k*b.cols : (k+1)*b.cols]
+			for j, bv := range bk {
+				oi[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// MulTA returns Aᵀ·B.
+func MulTA(a, b *Dense) *Dense {
+	if a.rows != b.rows {
+		panic(fmt.Sprintf("mat: MulTA %d×%d ᵀ· %d×%d", a.rows, a.cols, b.rows, b.cols))
+	}
+	out := New(a.cols, b.cols)
+	for i := 0; i < a.rows; i++ {
+		ai := a.data[i*a.cols : (i+1)*a.cols]
+		bi := b.data[i*b.cols : (i+1)*b.cols]
+		for k, av := range ai {
+			if av == 0 {
+				continue
+			}
+			ok := out.data[k*out.cols : (k+1)*out.cols]
+			for j, bv := range bi {
+				ok[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// Gram returns AᵀA, the R×R Gram matrix of a tall N×R factor matrix.
+func Gram(a *Dense) *Dense { return MulTA(a, a) }
+
+// AddTo returns A+B as a new matrix.
+func AddTo(a, b *Dense) *Dense {
+	sameDims(a, b, "AddTo")
+	out := a.Clone()
+	for i, v := range b.data {
+		out.data[i] += v
+	}
+	return out
+}
+
+// SubTo returns A−B as a new matrix.
+func SubTo(a, b *Dense) *Dense {
+	sameDims(a, b, "SubTo")
+	out := a.Clone()
+	for i, v := range b.data {
+		out.data[i] -= v
+	}
+	return out
+}
+
+// Hadamard returns the elementwise product A∗B as a new matrix.
+func Hadamard(a, b *Dense) *Dense {
+	sameDims(a, b, "Hadamard")
+	out := a.Clone()
+	for i, v := range b.data {
+		out.data[i] *= v
+	}
+	return out
+}
+
+// HadamardInPlace sets dst = dst ∗ b.
+func HadamardInPlace(dst, b *Dense) {
+	sameDims(dst, b, "HadamardInPlace")
+	for i, v := range b.data {
+		dst.data[i] *= v
+	}
+}
+
+// HadamardAll returns the elementwise product of all given matrices, or the
+// identity-like all-ones matrix when the list is empty is not defined: the
+// list must be non-empty.
+func HadamardAll(ms ...*Dense) *Dense {
+	if len(ms) == 0 {
+		panic("mat: HadamardAll of no matrices")
+	}
+	out := ms[0].Clone()
+	for _, m := range ms[1:] {
+		HadamardInPlace(out, m)
+	}
+	return out
+}
+
+// KhatriRao returns the column-wise Kronecker (Khatri-Rao) product A⊙B of an
+// I×R and J×R matrix: an (I·J)×R matrix whose ((i·J+j), r) entry is
+// A(i,r)·B(j,r). Row ordering follows the row-major convention used by the
+// mode-n matricization in internal/tensor.
+func KhatriRao(a, b *Dense) *Dense {
+	if a.cols != b.cols {
+		panic(fmt.Sprintf("mat: KhatriRao cols %d != %d", a.cols, b.cols))
+	}
+	out := New(a.rows*b.rows, a.cols)
+	for i := 0; i < a.rows; i++ {
+		ai := a.Row(i)
+		for j := 0; j < b.rows; j++ {
+			bj := b.Row(j)
+			o := out.Row(i*b.rows + j)
+			for r := range o {
+				o[r] = ai[r] * bj[r]
+			}
+		}
+	}
+	return out
+}
+
+// KhatriRaoAll folds KhatriRao over the given matrices left to right.
+func KhatriRaoAll(ms ...*Dense) *Dense {
+	if len(ms) == 0 {
+		panic("mat: KhatriRaoAll of no matrices")
+	}
+	out := ms[0]
+	for _, m := range ms[1:] {
+		out = KhatriRao(out, m)
+	}
+	return out
+}
+
+// sameDims panics unless a and b have identical shapes.
+func sameDims(a, b *Dense, op string) {
+	if a.rows != b.rows || a.cols != b.cols {
+		panic(fmt.Sprintf("mat: %s dimension mismatch %d×%d vs %d×%d", op, a.rows, a.cols, b.rows, b.cols))
+	}
+}
+
+// MulVec returns A·x.
+func MulVec(a *Dense, x []float64) []float64 {
+	if a.cols != len(x) {
+		panic(fmt.Sprintf("mat: MulVec %d×%d · len %d", a.rows, a.cols, len(x)))
+	}
+	out := make([]float64, a.rows)
+	for i := 0; i < a.rows; i++ {
+		out[i] = Dot(a.Row(i), x)
+	}
+	return out
+}
+
+// VecMul returns xᵀ·A as a row vector of length Cols.
+func VecMul(x []float64, a *Dense) []float64 {
+	if a.rows != len(x) {
+		panic(fmt.Sprintf("mat: VecMul len %d · %d×%d", len(x), a.rows, a.cols))
+	}
+	out := make([]float64, a.cols)
+	for i, xv := range x {
+		if xv == 0 {
+			continue
+		}
+		ai := a.Row(i)
+		for j, av := range ai {
+			out[j] += xv * av
+		}
+	}
+	return out
+}
+
+// FrobeniusNorm returns √(Σ m(i,j)²).
+func (m *Dense) FrobeniusNorm() float64 {
+	s := 0.0
+	for _, v := range m.data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// MaxAbs returns the largest absolute entry (0 for an empty matrix).
+func (m *Dense) MaxAbs() float64 {
+	mx := 0.0
+	for _, v := range m.data {
+		if a := math.Abs(v); a > mx {
+			mx = a
+		}
+	}
+	return mx
+}
+
+// HasNaN reports whether any entry is NaN or ±Inf.
+func (m *Dense) HasNaN() bool {
+	for _, v := range m.data {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return true
+		}
+	}
+	return false
+}
+
+// EqualApprox reports whether a and b have the same shape and agree
+// entrywise within tol.
+func EqualApprox(a, b *Dense, tol float64) bool {
+	if a.rows != b.rows || a.cols != b.cols {
+		return false
+	}
+	for i, v := range a.data {
+		if math.Abs(v-b.data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the matrix for debugging.
+func (m *Dense) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%d×%d[", m.rows, m.cols)
+	for i := 0; i < m.rows; i++ {
+		if i > 0 {
+			sb.WriteString("; ")
+		}
+		for j := 0; j < m.cols; j++ {
+			if j > 0 {
+				sb.WriteByte(' ')
+			}
+			fmt.Fprintf(&sb, "%.4g", m.data[i*m.cols+j])
+		}
+	}
+	sb.WriteByte(']')
+	return sb.String()
+}

@@ -1,0 +1,379 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestNewAndAccessors(t *testing.T) {
+	m := New(2, 3)
+	if r, c := m.Dims(); r != 2 || c != 3 {
+		t.Fatalf("Dims = %d,%d want 2,3", r, c)
+	}
+	m.Set(0, 0, 1)
+	m.Set(1, 2, -4.5)
+	if got := m.At(0, 0); got != 1 {
+		t.Errorf("At(0,0) = %g want 1", got)
+	}
+	if got := m.At(1, 2); got != -4.5 {
+		t.Errorf("At(1,2) = %g want -4.5", got)
+	}
+	m.Add(0, 0, 2)
+	if got := m.At(0, 0); got != 3 {
+		t.Errorf("after Add, At(0,0) = %g want 3", got)
+	}
+}
+
+func TestNewFromRows(t *testing.T) {
+	m := NewFromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	if m.Rows() != 3 || m.Cols() != 2 {
+		t.Fatalf("dims = %d×%d", m.Rows(), m.Cols())
+	}
+	if m.At(2, 1) != 6 {
+		t.Errorf("At(2,1) = %g want 6", m.At(2, 1))
+	}
+	empty := NewFromRows(nil)
+	if empty.Rows() != 0 || empty.Cols() != 0 {
+		t.Errorf("empty dims = %d×%d", empty.Rows(), empty.Cols())
+	}
+}
+
+func TestNewFromRowsRaggedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on ragged rows")
+		}
+	}()
+	NewFromRows([][]float64{{1, 2}, {3}})
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	m := New(2, 2)
+	for _, f := range []func(){
+		func() { m.At(2, 0) },
+		func() { m.At(0, -1) },
+		func() { m.Set(-1, 0, 1) },
+		func() { m.Row(5) },
+		func() { m.Col(5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected out-of-range panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestRowIsView(t *testing.T) {
+	m := New(2, 2)
+	r := m.Row(1)
+	r[0] = 7
+	if m.At(1, 0) != 7 {
+		t.Error("Row should be a mutable view")
+	}
+}
+
+func TestSetRowAndCol(t *testing.T) {
+	m := New(2, 3)
+	m.SetRow(0, []float64{1, 2, 3})
+	m.SetRow(1, []float64{4, 5, 6})
+	col := m.Col(1)
+	if col[0] != 2 || col[1] != 5 {
+		t.Errorf("Col(1) = %v", col)
+	}
+}
+
+func TestIdentity(t *testing.T) {
+	id := Identity(3)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if id.At(i, j) != want {
+				t.Errorf("I(%d,%d) = %g", i, j, id.At(i, j))
+			}
+		}
+	}
+}
+
+func TestMul(t *testing.T) {
+	a := NewFromRows([][]float64{{1, 2}, {3, 4}})
+	b := NewFromRows([][]float64{{5, 6}, {7, 8}})
+	got := Mul(a, b)
+	want := NewFromRows([][]float64{{19, 22}, {43, 50}})
+	if !EqualApprox(got, want, 1e-12) {
+		t.Errorf("Mul = %v want %v", got, want)
+	}
+}
+
+func TestMulIdentity(t *testing.T) {
+	a := randMat(rand.New(rand.NewSource(1)), 4, 4)
+	if !EqualApprox(Mul(a, Identity(4)), a, 1e-12) {
+		t.Error("A·I != A")
+	}
+	if !EqualApprox(Mul(Identity(4), a), a, 1e-12) {
+		t.Error("I·A != A")
+	}
+}
+
+func TestMulTAMatchesExplicitTranspose(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := randMat(rng, 5, 3)
+	b := randMat(rng, 5, 4)
+	got := MulTA(a, b)
+	want := Mul(a.T(), b)
+	if !EqualApprox(got, want, 1e-12) {
+		t.Errorf("MulTA mismatch:\n%v\n%v", got, want)
+	}
+}
+
+func TestGramSymmetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := randMat(rng, 7, 4)
+	g := Gram(a)
+	if !EqualApprox(g, g.T(), 1e-12) {
+		t.Error("Gram not symmetric")
+	}
+	// Diagonal entries are squared column norms.
+	for j := 0; j < 4; j++ {
+		want := 0.0
+		for i := 0; i < 7; i++ {
+			want += a.At(i, j) * a.At(i, j)
+		}
+		if math.Abs(g.At(j, j)-want) > 1e-12 {
+			t.Errorf("Gram diag %d = %g want %g", j, g.At(j, j), want)
+		}
+	}
+}
+
+func TestAddSubHadamard(t *testing.T) {
+	a := NewFromRows([][]float64{{1, 2}, {3, 4}})
+	b := NewFromRows([][]float64{{10, 20}, {30, 40}})
+	if got := AddTo(a, b); !EqualApprox(got, NewFromRows([][]float64{{11, 22}, {33, 44}}), 0) {
+		t.Errorf("AddTo = %v", got)
+	}
+	if got := SubTo(b, a); !EqualApprox(got, NewFromRows([][]float64{{9, 18}, {27, 36}}), 0) {
+		t.Errorf("SubTo = %v", got)
+	}
+	if got := Hadamard(a, b); !EqualApprox(got, NewFromRows([][]float64{{10, 40}, {90, 160}}), 0) {
+		t.Errorf("Hadamard = %v", got)
+	}
+}
+
+func TestHadamardAll(t *testing.T) {
+	a := NewFromRows([][]float64{{2}})
+	b := NewFromRows([][]float64{{3}})
+	c := NewFromRows([][]float64{{5}})
+	if got := HadamardAll(a, b, c).At(0, 0); got != 30 {
+		t.Errorf("HadamardAll = %g want 30", got)
+	}
+}
+
+// The defining identity (A⊙B)ᵀ(A⊙B) = (AᵀA)∗(BᵀB), Eq. (8) of the paper.
+func TestKhatriRaoGramIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := randMat(rng, 4, 3)
+	b := randMat(rng, 5, 3)
+	kr := KhatriRao(a, b)
+	if kr.Rows() != 20 || kr.Cols() != 3 {
+		t.Fatalf("KhatriRao dims = %d×%d", kr.Rows(), kr.Cols())
+	}
+	left := Gram(kr)
+	right := Hadamard(Gram(a), Gram(b))
+	if !EqualApprox(left, right, 1e-10) {
+		t.Errorf("KR Gram identity failed:\n%v\n%v", left, right)
+	}
+}
+
+func TestKhatriRaoEntryOrdering(t *testing.T) {
+	a := NewFromRows([][]float64{{1}, {2}})
+	b := NewFromRows([][]float64{{3}, {5}, {7}})
+	kr := KhatriRao(a, b)
+	want := []float64{3, 5, 7, 6, 10, 14}
+	for i, w := range want {
+		if kr.At(i, 0) != w {
+			t.Errorf("KR row %d = %g want %g", i, kr.At(i, 0), w)
+		}
+	}
+}
+
+func TestKhatriRaoAllThree(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := randMat(rng, 2, 2)
+	b := randMat(rng, 3, 2)
+	c := randMat(rng, 2, 2)
+	kr := KhatriRaoAll(a, b, c)
+	if kr.Rows() != 12 {
+		t.Fatalf("rows = %d want 12", kr.Rows())
+	}
+	left := Gram(kr)
+	right := HadamardAll(Gram(a), Gram(b), Gram(c))
+	if !EqualApprox(left, right, 1e-10) {
+		t.Error("3-way KR Gram identity failed")
+	}
+}
+
+func TestMulVecAndVecMul(t *testing.T) {
+	a := NewFromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	if got := MulVec(a, []float64{1, -1}); !VecEqualApprox(got, []float64{-1, -1, -1}, 1e-12) {
+		t.Errorf("MulVec = %v", got)
+	}
+	if got := VecMul([]float64{1, 0, -1}, a); !VecEqualApprox(got, []float64{-4, -4}, 1e-12) {
+		t.Errorf("VecMul = %v", got)
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	a := NewFromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	at := a.T()
+	if at.Rows() != 3 || at.Cols() != 2 {
+		t.Fatalf("T dims = %d×%d", at.Rows(), at.Cols())
+	}
+	if !EqualApprox(at.T(), a, 0) {
+		t.Error("double transpose != original")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := NewFromRows([][]float64{{1, 2}})
+	b := a.Clone()
+	b.Set(0, 0, 99)
+	if a.At(0, 0) != 1 {
+		t.Error("Clone aliases original")
+	}
+}
+
+func TestCopyFromZeroFill(t *testing.T) {
+	a := NewFromRows([][]float64{{1, 2}, {3, 4}})
+	b := New(2, 2)
+	b.CopyFrom(a)
+	if !EqualApprox(a, b, 0) {
+		t.Error("CopyFrom mismatch")
+	}
+	b.Zero()
+	if b.FrobeniusNorm() != 0 {
+		t.Error("Zero did not clear")
+	}
+	b.Fill(2)
+	if b.At(1, 1) != 2 {
+		t.Error("Fill failed")
+	}
+	b.Scale(3)
+	if b.At(0, 0) != 6 {
+		t.Error("Scale failed")
+	}
+}
+
+func TestFrobeniusAndMaxAbs(t *testing.T) {
+	a := NewFromRows([][]float64{{3, -4}})
+	if got := a.FrobeniusNorm(); math.Abs(got-5) > 1e-12 {
+		t.Errorf("Frobenius = %g want 5", got)
+	}
+	if got := a.MaxAbs(); got != 4 {
+		t.Errorf("MaxAbs = %g want 4", got)
+	}
+}
+
+func TestHasNaN(t *testing.T) {
+	a := New(1, 2)
+	if a.HasNaN() {
+		t.Error("zero matrix reported NaN")
+	}
+	a.Set(0, 1, math.NaN())
+	if !a.HasNaN() {
+		t.Error("NaN not detected")
+	}
+	a.Set(0, 1, math.Inf(1))
+	if !a.HasNaN() {
+		t.Error("Inf not detected")
+	}
+}
+
+func TestStringSmoke(t *testing.T) {
+	s := NewFromRows([][]float64{{1, 2}, {3, 4}}).String()
+	if s == "" {
+		t.Error("empty String()")
+	}
+}
+
+func randMat(rng *rand.Rand, r, c int) *Dense {
+	m := New(r, c)
+	for i := range m.Data() {
+		m.Data()[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+func TestMoreConstructorPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"negdims":      func() { New(-1, 2) },
+		"datalen":      func() { NewFromData(2, 2, []float64{1}) },
+		"mulshape":     func() { Mul(New(2, 3), New(2, 3)) },
+		"multa":        func() { MulTA(New(2, 3), New(3, 3)) },
+		"addshape":     func() { AddTo(New(2, 2), New(2, 3)) },
+		"krshape":      func() { KhatriRao(New(2, 2), New(2, 3)) },
+		"hadamardall":  func() { HadamardAll() },
+		"khatriraoall": func() { KhatriRaoAll() },
+		"mulvec":       func() { MulVec(New(2, 3), []float64{1}) },
+		"vecmul":       func() { VecMul([]float64{1}, New(2, 3)) },
+		"setrow":       func() { New(2, 2).SetRow(0, []float64{1}) },
+		"copyfrom":     func() { New(2, 2).CopyFrom(New(3, 3)) },
+		"dot":          func() { Dot([]float64{1}, []float64{1, 2}) },
+		"axpy":         func() { AXPY([]float64{1}, 1, []float64{1, 2}) },
+		"hadamardvec":  func() { HadamardVec([]float64{1}, []float64{1, 2}) },
+		"eigennonsq":   func() { EigenSym(New(2, 3)) },
+		"cholnonsq":    func() { Cholesky(New(2, 3)) },
+		"chollen":      func() { SolveCholesky(Identity(2), []float64{1}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestVecHelpers(t *testing.T) {
+	v := []float64{1, -2, 2}
+	if Norm2(v) != 3 {
+		t.Errorf("Norm2 = %g", Norm2(v))
+	}
+	dst := []float64{1, 1, 1}
+	AXPY(dst, 2, v)
+	if !VecEqualApprox(dst, []float64{3, -3, 5}, 0) {
+		t.Errorf("AXPY = %v", dst)
+	}
+	ScaleVec(dst, 0.5)
+	if !VecEqualApprox(dst, []float64{1.5, -1.5, 2.5}, 0) {
+		t.Errorf("ScaleVec = %v", dst)
+	}
+	h := []float64{2, 2, 2}
+	HadamardVec(h, v)
+	if !VecEqualApprox(h, []float64{2, -4, 4}, 0) {
+		t.Errorf("HadamardVec = %v", h)
+	}
+	ones := Ones(3)
+	if !VecEqualApprox(ones, []float64{1, 1, 1}, 0) {
+		t.Errorf("Ones = %v", ones)
+	}
+	c := CloneVec(v)
+	c[0] = 99
+	if v[0] == 99 {
+		t.Error("CloneVec aliases")
+	}
+	if VecEqualApprox([]float64{1}, []float64{1, 2}, 1) {
+		t.Error("length mismatch should not be equal")
+	}
+	if !VecHasNaN([]float64{1, math.Inf(-1)}) {
+		t.Error("VecHasNaN missed -Inf")
+	}
+}

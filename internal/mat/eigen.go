@@ -1,0 +1,202 @@
+package mat
+
+import (
+	"fmt"
+	"math"
+)
+
+// jacobiMaxSweeps bounds the cyclic Jacobi iteration. For the R×R (R ≲ 64)
+// symmetric matrices used in CP decomposition, convergence takes a handful
+// of sweeps; 64 is a generous safety margin.
+const jacobiMaxSweeps = 64
+
+// EigenSym computes the eigendecomposition A = V·diag(vals)·Vᵀ of a
+// symmetric matrix using the cyclic Jacobi method. It returns the
+// eigenvalues (unsorted) and the matrix of eigenvectors stored in columns.
+// A itself is not modified.
+//
+// The method is numerically robust for the small symmetric positive
+// semi-definite Gram matrices that arise in CP decomposition.
+func EigenSym(a *Dense) (vals []float64, vecs *Dense) {
+	n := a.rows
+	if a.cols != n {
+		panic(fmt.Sprintf("mat: EigenSym of non-square %d×%d", a.rows, a.cols))
+	}
+	// Work on a symmetrized copy so that tiny asymmetries from accumulated
+	// incremental updates cannot derail the rotations.
+	w := New(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			w.data[i*n+j] = 0.5 * (a.data[i*n+j] + a.data[j*n+i])
+		}
+	}
+	v := Identity(n)
+	for sweep := 0; sweep < jacobiMaxSweeps; sweep++ {
+		off := 0.0
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				off += w.data[i*n+j] * w.data[i*n+j]
+			}
+		}
+		if off <= 1e-30 {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := w.data[p*n+q]
+				if math.Abs(apq) < 1e-300 {
+					continue
+				}
+				app := w.data[p*n+p]
+				aqq := w.data[q*n+q]
+				// Rotation angle that annihilates w[p][q].
+				tau := (aqq - app) / (2 * apq)
+				var t float64
+				if tau >= 0 {
+					t = 1 / (tau + math.Sqrt(1+tau*tau))
+				} else {
+					t = -1 / (-tau + math.Sqrt(1+tau*tau))
+				}
+				c := 1 / math.Sqrt(1+t*t)
+				s := t * c
+				// Apply the rotation to rows/cols p and q of w.
+				for k := 0; k < n; k++ {
+					wkp := w.data[k*n+p]
+					wkq := w.data[k*n+q]
+					w.data[k*n+p] = c*wkp - s*wkq
+					w.data[k*n+q] = s*wkp + c*wkq
+				}
+				for k := 0; k < n; k++ {
+					wpk := w.data[p*n+k]
+					wqk := w.data[q*n+k]
+					w.data[p*n+k] = c*wpk - s*wqk
+					w.data[q*n+k] = s*wpk + c*wqk
+				}
+				// Accumulate eigenvectors.
+				for k := 0; k < n; k++ {
+					vkp := v.data[k*n+p]
+					vkq := v.data[k*n+q]
+					v.data[k*n+p] = c*vkp - s*vkq
+					v.data[k*n+q] = s*vkp + c*vkq
+				}
+			}
+		}
+	}
+	vals = make([]float64, n)
+	for i := 0; i < n; i++ {
+		vals[i] = w.data[i*n+i]
+	}
+	return vals, v
+}
+
+// PseudoInverseSym returns the Moore-Penrose pseudoinverse of a symmetric
+// matrix via its eigendecomposition. Eigenvalues whose magnitude falls below
+// relTol times the largest magnitude (or below an absolute floor) are
+// treated as zero, which is what makes rank-deficient Gram matrices safe to
+// invert.
+func PseudoInverseSym(a *Dense) *Dense {
+	const relTol = 1e-12
+	vals, v := EigenSym(a)
+	n := a.rows
+	maxAbs := 0.0
+	for _, l := range vals {
+		if x := math.Abs(l); x > maxAbs {
+			maxAbs = x
+		}
+	}
+	floor := relTol * maxAbs
+	if floor < 1e-300 {
+		floor = 1e-300
+	}
+	// a† = V diag(1/λ or 0) Vᵀ computed as (V·D)·Vᵀ.
+	vd := New(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			l := vals[j]
+			if math.Abs(l) > floor {
+				vd.data[i*n+j] = v.data[i*n+j] / l
+			}
+		}
+	}
+	out := New(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			s := 0.0
+			for k := 0; k < n; k++ {
+				s += vd.data[i*n+k] * v.data[j*n+k]
+			}
+			out.data[i*n+j] = s
+		}
+	}
+	return out
+}
+
+// Cholesky computes the lower-triangular factor L with A = L·Lᵀ for a
+// symmetric positive definite matrix. It reports an error when A is not
+// (numerically) positive definite, in which case callers should fall back to
+// PseudoInverseSym.
+func Cholesky(a *Dense) (*Dense, error) {
+	n := a.rows
+	if a.cols != n {
+		panic(fmt.Sprintf("mat: Cholesky of non-square %d×%d", a.rows, a.cols))
+	}
+	l := New(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			s := a.data[i*n+j]
+			for k := 0; k < j; k++ {
+				s -= l.data[i*n+k] * l.data[j*n+k]
+			}
+			if i == j {
+				if s <= 0 || math.IsNaN(s) {
+					return nil, fmt.Errorf("mat: matrix not positive definite at pivot %d (%g)", i, s)
+				}
+				l.data[i*n+i] = math.Sqrt(s)
+			} else {
+				l.data[i*n+j] = s / l.data[j*n+j]
+			}
+		}
+	}
+	return l, nil
+}
+
+// SolveCholesky solves A·x = b given the Cholesky factor L of A.
+func SolveCholesky(l *Dense, b []float64) []float64 {
+	n := l.rows
+	if len(b) != n {
+		panic(fmt.Sprintf("mat: SolveCholesky length %d != %d", len(b), n))
+	}
+	// Forward substitution L·y = b.
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := b[i]
+		for k := 0; k < i; k++ {
+			s -= l.data[i*n+k] * y[k]
+		}
+		y[i] = s / l.data[i*n+i]
+	}
+	// Back substitution Lᵀ·x = y.
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for k := i + 1; k < n; k++ {
+			s -= l.data[k*n+i] * x[k]
+		}
+		x[i] = s / l.data[i*n+i]
+	}
+	return x
+}
+
+// SolveSym solves x·A = b (equivalently A·xᵀ = bᵀ for symmetric A) for the
+// row vector x, preferring Cholesky and falling back to the eigenvalue
+// pseudoinverse when A is singular or indefinite. This is the "multiply by
+// H†" step of every SliceNStitch row update.
+func SolveSym(a *Dense, b []float64) []float64 {
+	if l, err := Cholesky(a); err == nil {
+		x := SolveCholesky(l, b)
+		if !VecHasNaN(x) {
+			return x
+		}
+	}
+	return VecMul(b, PseudoInverseSym(a))
+}

@@ -1,0 +1,191 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randSPD returns a random symmetric positive semi-definite n×n matrix of
+// rank min(n, rank).
+func randSPD(rng *rand.Rand, n, rank int) *Dense {
+	b := randMat(rng, rank, n)
+	return MulTA(b, b) // BᵀB is PSD with rank ≤ rank.
+}
+
+func TestEigenSymReconstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(8)
+		a := randSPD(rng, n, n)
+		vals, v := EigenSym(a)
+		// Rebuild V·diag·Vᵀ.
+		rec := New(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				s := 0.0
+				for k := 0; k < n; k++ {
+					s += v.At(i, k) * vals[k] * v.At(j, k)
+				}
+				rec.Set(i, j, s)
+			}
+		}
+		if !EqualApprox(rec, a, 1e-8*(1+a.MaxAbs())) {
+			t.Fatalf("trial %d: eigen reconstruction failed\nA=%v\nrec=%v", trial, a, rec)
+		}
+		// Eigenvectors orthonormal: VᵀV = I.
+		if !EqualApprox(Gram(v), Identity(n), 1e-9) {
+			t.Fatalf("trial %d: V not orthonormal", trial)
+		}
+	}
+}
+
+func TestEigenSymDiagonal(t *testing.T) {
+	a := NewFromRows([][]float64{{2, 0}, {0, 5}})
+	vals, _ := EigenSym(a)
+	got := []float64{math.Min(vals[0], vals[1]), math.Max(vals[0], vals[1])}
+	if math.Abs(got[0]-2) > 1e-12 || math.Abs(got[1]-5) > 1e-12 {
+		t.Errorf("eigenvalues = %v want [2 5]", vals)
+	}
+}
+
+// Penrose axioms for the pseudoinverse of symmetric matrices.
+func TestPseudoInversePenroseAxioms(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(6)
+		rank := 1 + rng.Intn(n)
+		a := randSPD(rng, n, rank)
+		ap := PseudoInverseSym(a)
+		tol := 1e-7 * (1 + a.MaxAbs()) * (1 + ap.MaxAbs())
+		if aaa := Mul(Mul(a, ap), a); !EqualApprox(aaa, a, tol) {
+			t.Fatalf("trial %d (rank %d/%d): A·A†·A != A", trial, rank, n)
+		}
+		if ppp := Mul(Mul(ap, a), ap); !EqualApprox(ppp, ap, tol) {
+			t.Fatalf("trial %d: A†·A·A† != A†", trial)
+		}
+		aap := Mul(a, ap)
+		if !EqualApprox(aap, aap.T(), tol) {
+			t.Fatalf("trial %d: A·A† not symmetric", trial)
+		}
+	}
+}
+
+func TestPseudoInverseZeroMatrix(t *testing.T) {
+	z := New(3, 3)
+	zp := PseudoInverseSym(z)
+	if zp.FrobeniusNorm() != 0 {
+		t.Errorf("pinv of zero should be zero, got %v", zp)
+	}
+}
+
+func TestPseudoInverseIdentity(t *testing.T) {
+	ip := PseudoInverseSym(Identity(4))
+	if !EqualApprox(ip, Identity(4), 1e-10) {
+		t.Errorf("pinv(I) = %v", ip)
+	}
+}
+
+func TestCholeskySolveRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(8)
+		a := randSPD(rng, n, n)
+		// Regularize to guarantee positive definiteness.
+		for i := 0; i < n; i++ {
+			a.Add(i, i, 0.5)
+		}
+		l, err := Cholesky(a)
+		if err != nil {
+			t.Fatalf("trial %d: Cholesky failed: %v", trial, err)
+		}
+		if !EqualApprox(Mul(l, l.T()), a, 1e-8*(1+a.MaxAbs())) {
+			t.Fatalf("trial %d: L·Lᵀ != A", trial)
+		}
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		b := MulVec(a, x)
+		got := SolveCholesky(l, b)
+		if !VecEqualApprox(got, x, 1e-6*(1+Norm2(x))) {
+			t.Fatalf("trial %d: solve mismatch %v vs %v", trial, got, x)
+		}
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	a := NewFromRows([][]float64{{1, 2}, {2, 1}}) // eigenvalues 3, −1
+	if _, err := Cholesky(a); err == nil {
+		t.Error("expected error for indefinite matrix")
+	}
+}
+
+func TestSolveSymSingularFallsBack(t *testing.T) {
+	// Rank-1 Gram: solutions exist only in the column space; SolveSym must
+	// not return NaN and must satisfy x·A = b for consistent b.
+	a := NewFromRows([][]float64{{1, 1}, {1, 1}})
+	b := []float64{2, 2} // consistent: x = (1,1) works.
+	x := SolveSym(a, b)
+	if VecHasNaN(x) {
+		t.Fatalf("SolveSym returned NaN: %v", x)
+	}
+	got := VecMul(x, a)
+	if !VecEqualApprox(got, b, 1e-9) {
+		t.Errorf("x·A = %v want %v", got, b)
+	}
+}
+
+func TestSolveSymMatchesCholeskyOnSPD(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	a := randSPD(rng, 5, 5)
+	for i := 0; i < 5; i++ {
+		a.Add(i, i, 1)
+	}
+	b := []float64{1, 2, 3, 4, 5}
+	x := SolveSym(a, b)
+	if got := VecMul(x, a); !VecEqualApprox(got, b, 1e-8) {
+		t.Errorf("x·A = %v want %v", got, b)
+	}
+}
+
+// Property: for random PSD matrices, x = b·A† satisfies the normal-equation
+// consistency x·A·A† = b·A† (quick-check over random seeds).
+func TestQuickPseudoInverseConsistency(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + int(uint(seed)%4)
+		a := randSPD(rng, n, 1+rng.Intn(n))
+		ap := PseudoInverseSym(a)
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		lhs := VecMul(VecMul(VecMul(b, ap), a), ap)
+		rhs := VecMul(b, ap)
+		return VecEqualApprox(lhs, rhs, 1e-6*(1+Norm2(rhs)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: EigenSym eigenvalues of AᵀA are all non-negative (up to jitter).
+func TestQuickPSDEigenvaluesNonNegative(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + int(uint(seed)%6)
+		a := randSPD(rng, n, n)
+		vals, _ := EigenSym(a)
+		for _, l := range vals {
+			if l < -1e-8*(1+a.MaxAbs()) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

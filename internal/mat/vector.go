@@ -1,0 +1,93 @@
+package mat
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dot returns the inner product of two equal-length vectors.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("mat: Dot length mismatch %d vs %d", len(a), len(b)))
+	}
+	s := 0.0
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of v.
+func Norm2(v []float64) float64 {
+	s := 0.0
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+// AXPY performs dst += alpha·x.
+func AXPY(dst []float64, alpha float64, x []float64) {
+	if len(dst) != len(x) {
+		panic(fmt.Sprintf("mat: AXPY length mismatch %d vs %d", len(dst), len(x)))
+	}
+	for i, v := range x {
+		dst[i] += alpha * v
+	}
+}
+
+// ScaleVec multiplies v by s in place.
+func ScaleVec(v []float64, s float64) {
+	for i := range v {
+		v[i] *= s
+	}
+}
+
+// HadamardVec sets dst = dst ∗ x elementwise.
+func HadamardVec(dst, x []float64) {
+	if len(dst) != len(x) {
+		panic(fmt.Sprintf("mat: HadamardVec length mismatch %d vs %d", len(dst), len(x)))
+	}
+	for i, v := range x {
+		dst[i] *= v
+	}
+}
+
+// Ones returns a length-n vector of ones.
+func Ones(n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = 1
+	}
+	return v
+}
+
+// CloneVec returns a copy of v.
+func CloneVec(v []float64) []float64 {
+	out := make([]float64, len(v))
+	copy(out, v)
+	return out
+}
+
+// VecEqualApprox reports whether a and b agree entrywise within tol.
+func VecEqualApprox(a, b []float64, tol float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i, v := range a {
+		if math.Abs(v-b[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// VecHasNaN reports whether any entry is NaN or ±Inf.
+func VecHasNaN(v []float64) bool {
+	for _, x := range v {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return true
+		}
+	}
+	return false
+}

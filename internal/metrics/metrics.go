@@ -1,0 +1,166 @@
+// Package metrics provides the measurement helpers used by the experiment
+// harness: latency recorders (runtime per update, Figs. 1e/5a/7), running
+// aggregates, and series containers for fitness-over-time plots (Fig. 4).
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Latency accumulates per-event durations and summarizes them.
+type Latency struct {
+	samples []time.Duration
+	total   time.Duration
+}
+
+// NewLatency returns a recorder with capacity hint n.
+func NewLatency(n int) *Latency {
+	return &Latency{samples: make([]time.Duration, 0, n)}
+}
+
+// Record adds one sample.
+func (l *Latency) Record(d time.Duration) {
+	l.samples = append(l.samples, d)
+	l.total += d
+}
+
+// Count returns the number of samples.
+func (l *Latency) Count() int { return len(l.samples) }
+
+// Total returns the summed duration.
+func (l *Latency) Total() time.Duration { return l.total }
+
+// Mean returns the average duration (0 with no samples).
+func (l *Latency) Mean() time.Duration {
+	if len(l.samples) == 0 {
+		return 0
+	}
+	return l.total / time.Duration(len(l.samples))
+}
+
+// MeanMicros returns the mean in microseconds, the unit of Figs. 1e and 5a.
+func (l *Latency) MeanMicros() float64 {
+	if len(l.samples) == 0 {
+		return 0
+	}
+	return float64(l.total.Microseconds()) / float64(len(l.samples))
+}
+
+// Percentile returns the p-th percentile (0 < p ≤ 100) of the samples.
+func (l *Latency) Percentile(p float64) time.Duration {
+	if len(l.samples) == 0 {
+		return 0
+	}
+	sorted := make([]time.Duration, len(l.samples))
+	copy(sorted, l.samples)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(math.Ceil(p/100*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// Samples returns the recorded durations in arrival order (a view; do not
+// mutate).
+func (l *Latency) Samples() []time.Duration { return l.samples }
+
+// Reset discards all samples.
+func (l *Latency) Reset() {
+	l.samples = l.samples[:0]
+	l.total = 0
+}
+
+// Welford maintains a streaming mean and variance. The anomaly detector
+// (Section VI-G) uses it for online z-scores of reconstruction errors.
+type Welford struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add folds one observation into the aggregate.
+func (w *Welford) Add(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// Count returns the number of observations.
+func (w *Welford) Count() int { return w.n }
+
+// Mean returns the running mean.
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Variance returns the running population variance.
+func (w *Welford) Variance() float64 {
+	if w.n == 0 {
+		return 0
+	}
+	return w.m2 / float64(w.n)
+}
+
+// StdDev returns the running population standard deviation.
+func (w *Welford) StdDev() float64 { return math.Sqrt(w.Variance()) }
+
+// ZScore standardizes x against the running aggregate; with fewer than two
+// observations or zero variance it returns 0.
+func (w *Welford) ZScore(x float64) float64 {
+	if w.n < 2 {
+		return 0
+	}
+	sd := w.StdDev()
+	if sd == 0 {
+		return 0
+	}
+	return (x - w.mean) / sd
+}
+
+// Point is one (x, y) sample of a measured series.
+type Point struct {
+	X float64
+	Y float64
+}
+
+// Series is a named sequence of points, the unit of every figure
+// reproduction.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Add appends a point.
+func (s *Series) Add(x, y float64) { s.Points = append(s.Points, Point{X: x, Y: y}) }
+
+// MeanY returns the average of the y values (0 when empty) — e.g. "average
+// relative fitness" in Fig. 5b.
+func (s *Series) MeanY() float64 {
+	if len(s.Points) == 0 {
+		return 0
+	}
+	t := 0.0
+	for _, p := range s.Points {
+		t += p.Y
+	}
+	return t / float64(len(s.Points))
+}
+
+// LastY returns the final y value (0 when empty).
+func (s *Series) LastY() float64 {
+	if len(s.Points) == 0 {
+		return 0
+	}
+	return s.Points[len(s.Points)-1].Y
+}
+
+// String renders a short summary.
+func (s *Series) String() string {
+	return fmt.Sprintf("%s(%d pts, mean %.4g)", s.Name, len(s.Points), s.MeanY())
+}

@@ -1,0 +1,128 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestLatencyBasics(t *testing.T) {
+	l := NewLatency(4)
+	if l.Count() != 0 || l.Mean() != 0 || l.Percentile(50) != 0 {
+		t.Error("empty recorder should be all zeros")
+	}
+	l.Record(10 * time.Microsecond)
+	l.Record(20 * time.Microsecond)
+	l.Record(30 * time.Microsecond)
+	if l.Count() != 3 {
+		t.Errorf("Count = %d", l.Count())
+	}
+	if l.Mean() != 20*time.Microsecond {
+		t.Errorf("Mean = %v", l.Mean())
+	}
+	if got := l.MeanMicros(); math.Abs(got-20) > 1e-9 {
+		t.Errorf("MeanMicros = %g", got)
+	}
+	if l.Total() != 60*time.Microsecond {
+		t.Errorf("Total = %v", l.Total())
+	}
+}
+
+func TestLatencyPercentiles(t *testing.T) {
+	l := NewLatency(100)
+	for i := 1; i <= 100; i++ {
+		l.Record(time.Duration(i) * time.Millisecond)
+	}
+	if got := l.Percentile(50); got != 50*time.Millisecond {
+		t.Errorf("p50 = %v", got)
+	}
+	if got := l.Percentile(99); got != 99*time.Millisecond {
+		t.Errorf("p99 = %v", got)
+	}
+	if got := l.Percentile(100); got != 100*time.Millisecond {
+		t.Errorf("p100 = %v", got)
+	}
+}
+
+func TestLatencyReset(t *testing.T) {
+	l := NewLatency(1)
+	l.Record(time.Second)
+	l.Reset()
+	if l.Count() != 0 || l.Total() != 0 {
+		t.Error("Reset did not clear")
+	}
+}
+
+func TestWelfordAgainstBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var w Welford
+	xs := make([]float64, 500)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()*3 + 10
+		w.Add(xs[i])
+	}
+	mean := 0.0
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	varc := 0.0
+	for _, x := range xs {
+		varc += (x - mean) * (x - mean)
+	}
+	varc /= float64(len(xs))
+	if math.Abs(w.Mean()-mean) > 1e-9 {
+		t.Errorf("mean %g want %g", w.Mean(), mean)
+	}
+	if math.Abs(w.Variance()-varc) > 1e-9 {
+		t.Errorf("variance %g want %g", w.Variance(), varc)
+	}
+	if w.Count() != 500 {
+		t.Errorf("count = %d", w.Count())
+	}
+}
+
+func TestWelfordZScore(t *testing.T) {
+	var w Welford
+	if w.ZScore(5) != 0 {
+		t.Error("z-score with no data should be 0")
+	}
+	w.Add(10)
+	if w.ZScore(5) != 0 {
+		t.Error("z-score with one sample should be 0")
+	}
+	w.Add(12)
+	z := w.ZScore(14)
+	if z <= 0 {
+		t.Errorf("z-score above mean should be positive, got %g", z)
+	}
+	// Constant stream: zero variance.
+	var c Welford
+	c.Add(1)
+	c.Add(1)
+	c.Add(1)
+	if c.ZScore(2) != 0 {
+		t.Error("zero-variance z-score should be 0")
+	}
+}
+
+func TestSeries(t *testing.T) {
+	var s Series
+	s.Name = "fit"
+	if s.MeanY() != 0 || s.LastY() != 0 {
+		t.Error("empty series should be zeros")
+	}
+	s.Add(0, 0.5)
+	s.Add(1, 0.7)
+	s.Add(2, 0.9)
+	if math.Abs(s.MeanY()-0.7) > 1e-12 {
+		t.Errorf("MeanY = %g", s.MeanY())
+	}
+	if s.LastY() != 0.9 {
+		t.Errorf("LastY = %g", s.LastY())
+	}
+	if s.String() == "" {
+		t.Error("empty String")
+	}
+}

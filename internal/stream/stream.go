@@ -1,0 +1,130 @@
+// Package stream defines multi-aspect data streams (Definition 1 of the
+// paper): chronological sequences of timestamped M-tuples
+// (e_n = (i_1,…,i_{M−1}, v_n), t_n) with categorical coordinates, a numeric
+// value, and an integer timestamp in base time units.
+package stream
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Tuple is one timestamped M-tuple of a multi-aspect data stream. Coord
+// holds the M−1 categorical indices (0-based); Value is v_n; Time is t_n in
+// base time units (e.g. seconds for the NYC-Taxi-like workload).
+type Tuple struct {
+	Coord []int
+	Value float64
+	Time  int64
+}
+
+// Stream is an in-memory multi-aspect data stream together with the
+// categorical dimensions N_1 … N_{M−1}.
+type Stream struct {
+	// Dims are the categorical mode sizes N_1..N_{M-1} (the time mode is
+	// not part of a stream; it is induced by windowing).
+	Dims []int
+	// Tuples are the events in chronological order.
+	Tuples []Tuple
+}
+
+// New returns an empty stream over the given categorical dimensions.
+func New(dims []int) *Stream {
+	d := make([]int, len(dims))
+	copy(d, dims)
+	return &Stream{Dims: d}
+}
+
+// Append adds a tuple. It does not re-sort; call SortByTime or Validate
+// when ingesting unsorted data.
+func (s *Stream) Append(t Tuple) { s.Tuples = append(s.Tuples, t) }
+
+// Len returns the number of tuples.
+func (s *Stream) Len() int { return len(s.Tuples) }
+
+// Span returns the first and last timestamps, or (0,0) for an empty stream.
+func (s *Stream) Span() (first, last int64) {
+	if len(s.Tuples) == 0 {
+		return 0, 0
+	}
+	return s.Tuples[0].Time, s.Tuples[len(s.Tuples)-1].Time
+}
+
+// SortByTime stably sorts tuples into chronological order.
+func (s *Stream) SortByTime() {
+	sort.SliceStable(s.Tuples, func(i, j int) bool {
+		return s.Tuples[i].Time < s.Tuples[j].Time
+	})
+}
+
+// Validate checks Definition 1: coordinates have the right arity and range,
+// values are finite, and the sequence is chronological.
+func (s *Stream) Validate() error {
+	var prev int64
+	for n, t := range s.Tuples {
+		if len(t.Coord) != len(s.Dims) {
+			return fmt.Errorf("stream: tuple %d has %d coords, want %d", n, len(t.Coord), len(s.Dims))
+		}
+		for m, i := range t.Coord {
+			if i < 0 || i >= s.Dims[m] {
+				return fmt.Errorf("stream: tuple %d coord %d = %d out of range [0,%d)", n, m, i, s.Dims[m])
+			}
+		}
+		if t.Value != t.Value { // NaN
+			return fmt.Errorf("stream: tuple %d has NaN value", n)
+		}
+		if n > 0 && t.Time < prev {
+			return fmt.Errorf("stream: tuple %d time %d precedes tuple %d time %d", n, t.Time, n-1, prev)
+		}
+		prev = t.Time
+	}
+	return nil
+}
+
+// Between returns the tuples with Time in the half-open interval [from, to)
+// as a sub-slice view (the stream must be sorted by time).
+func (s *Stream) Between(from, to int64) []Tuple {
+	lo := sort.Search(len(s.Tuples), func(i int) bool { return s.Tuples[i].Time >= from })
+	hi := sort.Search(len(s.Tuples), func(i int) bool { return s.Tuples[i].Time >= to })
+	return s.Tuples[lo:hi]
+}
+
+// Stats summarizes a stream.
+type Stats struct {
+	Tuples     int
+	First      int64
+	Last       int64
+	TotalValue float64
+	// DistinctPerMode counts distinct categorical indices seen per mode.
+	DistinctPerMode []int
+	// RatePerUnit is tuples per base time unit across the span.
+	RatePerUnit float64
+}
+
+// Summarize computes stream statistics in one pass.
+func (s *Stream) Summarize() Stats {
+	st := Stats{DistinctPerMode: make([]int, len(s.Dims))}
+	if len(s.Tuples) == 0 {
+		return st
+	}
+	seen := make([]map[int]struct{}, len(s.Dims))
+	for m := range seen {
+		seen[m] = make(map[int]struct{})
+	}
+	st.Tuples = len(s.Tuples)
+	st.First, st.Last = s.Span()
+	for _, t := range s.Tuples {
+		st.TotalValue += t.Value
+		for m, i := range t.Coord {
+			seen[m][i] = struct{}{}
+		}
+	}
+	for m := range seen {
+		st.DistinctPerMode[m] = len(seen[m])
+	}
+	span := st.Last - st.First + 1
+	if span > 0 {
+		st.RatePerUnit = float64(st.Tuples) / float64(span)
+	}
+	return st
+}

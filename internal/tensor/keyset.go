@@ -1,0 +1,114 @@
+package tensor
+
+import "math/rand"
+
+// keySet is a set of encoded coordinates supporting O(1) insert, O(1)
+// delete, and O(1) uniform sampling. It backs the per-(mode,index) nonzero
+// registries that make deg(m,i_m) lookups and SNS_RND sampling constant
+// time.
+type keySet struct {
+	keys []uint64
+	pos  map[uint64]int
+}
+
+func newKeySet() *keySet {
+	return &keySet{pos: make(map[uint64]int)}
+}
+
+// Len returns the number of keys in the set.
+func (s *keySet) Len() int { return len(s.keys) }
+
+// Add inserts k if absent.
+func (s *keySet) Add(k uint64) {
+	if _, ok := s.pos[k]; ok {
+		return
+	}
+	s.pos[k] = len(s.keys)
+	s.keys = append(s.keys, k)
+}
+
+// Remove deletes k if present, using swap-with-last.
+func (s *keySet) Remove(k uint64) {
+	i, ok := s.pos[k]
+	if !ok {
+		return
+	}
+	last := len(s.keys) - 1
+	moved := s.keys[last]
+	s.keys[i] = moved
+	s.pos[moved] = i
+	s.keys = s.keys[:last]
+	delete(s.pos, k)
+}
+
+// Contains reports membership.
+func (s *keySet) Contains(k uint64) bool {
+	_, ok := s.pos[k]
+	return ok
+}
+
+// ForEach calls fn for every key. fn must not mutate the set.
+func (s *keySet) ForEach(fn func(k uint64)) {
+	for _, k := range s.keys {
+		fn(k)
+	}
+}
+
+// Sample appends up to n distinct keys drawn uniformly without replacement
+// to dst, skipping keys for which skip returns true (skip may be nil). When
+// the set (minus skipped keys) has at most n elements it returns all of
+// them. The expected cost is O(n) when n is at most about half the set
+// size — the regime the paper's guidance θ < deg/2 puts us in — and O(Len)
+// otherwise.
+func (s *keySet) Sample(dst []uint64, n int, rng *rand.Rand, skip func(uint64) bool) []uint64 {
+	total := len(s.keys)
+	if n <= 0 || total == 0 {
+		return dst
+	}
+	if n >= total {
+		for _, k := range s.keys {
+			if skip != nil && skip(k) {
+				continue
+			}
+			dst = append(dst, k)
+		}
+		return dst
+	}
+	if 2*n <= total {
+		// Rejection sampling: expected < 2 draws per accepted key.
+		seen := make(map[uint64]struct{}, n)
+		attempts := 0
+		maxAttempts := 20*n + 64
+		for len(seen) < n && attempts < maxAttempts {
+			attempts++
+			k := s.keys[rng.Intn(total)]
+			if skip != nil && skip(k) {
+				continue
+			}
+			if _, dup := seen[k]; dup {
+				continue
+			}
+			seen[k] = struct{}{}
+			dst = append(dst, k)
+		}
+		if len(seen) == n {
+			return dst
+		}
+		// Pathological skip sets: fall through to partial shuffle below.
+		dst = dst[:len(dst)-len(seen)]
+	}
+	// Partial Fisher-Yates over a copy.
+	cp := make([]uint64, total)
+	copy(cp, s.keys)
+	picked := 0
+	for i := 0; i < total && picked < n; i++ {
+		j := i + rng.Intn(total-i)
+		cp[i], cp[j] = cp[j], cp[i]
+		if skip != nil && skip(cp[i]) {
+			continue
+		}
+		dst = append(dst, cp[i])
+		picked++
+	}
+	return dst
+}

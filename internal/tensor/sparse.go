@@ -1,0 +1,300 @@
+// Package tensor implements the sparse tensor substrate of the SliceNStitch
+// reproduction: a hash-based coordinate-format (COO) tensor with
+// per-(mode,index) nonzero registries.
+//
+// The registries are what give the paper's algorithms their complexity
+// guarantees: deg(m,i_m) — the number of nonzeros whose m-th mode index is
+// i_m (Theorem 4) — is an O(1) lookup, iterating a matricized row
+// X_(m)(i_m,:) costs O(deg), and SNS_RND's uniform sampling of θ nonzeros
+// from a row (Algorithm 4, line 12) costs expected O(θ).
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// zeroEps is the magnitude below which an entry is considered zero and
+// evicted from the sparse structure. Stream values are event counts or
+// quantities; after an add/subtract pair cancels, residues are either
+// exactly zero (same-magnitude float ops) or below this threshold.
+const zeroEps = 1e-12
+
+// Sparse is a sparse M-mode tensor with nonzero registries per mode index.
+// It is not safe for concurrent mutation.
+type Sparse struct {
+	shape   []int
+	strides []uint64
+	vals    map[uint64]float64
+	// fibers[m][i] holds the keys of nonzeros whose mode-m index is i.
+	// Registries are allocated lazily per index.
+	fibers []map[int]*keySet
+	// all holds every nonzero key in deterministic (insertion/swap) order,
+	// so that whole-tensor iteration — and therefore every accumulation in
+	// MTTKRP and fitness — is reproducible for a fixed operation sequence.
+	all    *keySet
+	normSq float64 // maintained Σ x_J², see NormSquared.
+}
+
+// NewSparse returns an all-zero sparse tensor with the given shape. The
+// product of the dimensions must fit in a uint64 key.
+func NewSparse(shape []int) *Sparse {
+	if len(shape) == 0 {
+		panic("tensor: empty shape")
+	}
+	strides := make([]uint64, len(shape))
+	capacity := uint64(1)
+	for m := len(shape) - 1; m >= 0; m-- {
+		if shape[m] <= 0 {
+			panic(fmt.Sprintf("tensor: non-positive dimension %d in mode %d", shape[m], m))
+		}
+		strides[m] = capacity
+		next := capacity * uint64(shape[m])
+		if next/uint64(shape[m]) != capacity {
+			panic(fmt.Sprintf("tensor: shape %v overflows uint64 keyspace", shape))
+		}
+		capacity = next
+	}
+	fibers := make([]map[int]*keySet, len(shape))
+	for m := range fibers {
+		fibers[m] = make(map[int]*keySet)
+	}
+	sh := make([]int, len(shape))
+	copy(sh, shape)
+	return &Sparse{shape: sh, strides: strides, vals: make(map[uint64]float64), fibers: fibers, all: newKeySet()}
+}
+
+// Order returns the number of modes M.
+func (t *Sparse) Order() int { return len(t.shape) }
+
+// Shape returns the dimension lengths (a copy).
+func (t *Sparse) Shape() []int {
+	out := make([]int, len(t.shape))
+	copy(out, t.shape)
+	return out
+}
+
+// Dim returns the length of mode m.
+func (t *Sparse) Dim(m int) int { return t.shape[m] }
+
+// NNZ returns the number of stored nonzeros |X|.
+func (t *Sparse) NNZ() int { return len(t.vals) }
+
+// Size returns the total number of cells Π N_m.
+func (t *Sparse) Size() uint64 {
+	s := uint64(1)
+	for _, n := range t.shape {
+		s *= uint64(n)
+	}
+	return s
+}
+
+// Key encodes a coordinate into its uint64 key.
+func (t *Sparse) Key(coord []int) uint64 {
+	if len(coord) != len(t.shape) {
+		panic(fmt.Sprintf("tensor: coord order %d != %d", len(coord), len(t.shape)))
+	}
+	var k uint64
+	for m, i := range coord {
+		if i < 0 || i >= t.shape[m] {
+			panic(fmt.Sprintf("tensor: index %d out of range [0,%d) in mode %d", i, t.shape[m], m))
+		}
+		k += uint64(i) * t.strides[m]
+	}
+	return k
+}
+
+// Coord decodes a key into dst (allocated when nil) and returns it.
+func (t *Sparse) Coord(k uint64, dst []int) []int {
+	if dst == nil {
+		dst = make([]int, len(t.shape))
+	}
+	for m := range t.shape {
+		dst[m] = int(k / t.strides[m] % uint64(t.shape[m]))
+	}
+	return dst
+}
+
+// At returns the entry at coord (0 when not stored).
+func (t *Sparse) At(coord []int) float64 { return t.vals[t.Key(coord)] }
+
+// AtKey returns the entry for an encoded key (0 when not stored).
+func (t *Sparse) AtKey(k uint64) float64 { return t.vals[k] }
+
+// Set assigns the entry at coord, evicting it when v is (near) zero.
+func (t *Sparse) Set(coord []int, v float64) { t.SetKey(t.Key(coord), v) }
+
+// SetKey assigns the entry for an encoded key.
+func (t *Sparse) SetKey(k uint64, v float64) {
+	old, existed := t.vals[k]
+	if math.Abs(v) < zeroEps {
+		if existed {
+			t.normSq -= old * old
+			delete(t.vals, k)
+			t.unregister(k)
+		}
+		return
+	}
+	t.normSq += v*v - old*old
+	t.vals[k] = v
+	if !existed {
+		t.register(k)
+	}
+}
+
+// Add adds v to the entry at coord and returns the new value.
+func (t *Sparse) Add(coord []int, v float64) float64 {
+	k := t.Key(coord)
+	nv := t.vals[k] + v
+	t.SetKey(k, nv)
+	return nv
+}
+
+func (t *Sparse) register(k uint64) {
+	t.all.Add(k)
+	for m := range t.shape {
+		i := int(k / t.strides[m] % uint64(t.shape[m]))
+		s := t.fibers[m][i]
+		if s == nil {
+			s = newKeySet()
+			t.fibers[m][i] = s
+		}
+		s.Add(k)
+	}
+}
+
+func (t *Sparse) unregister(k uint64) {
+	t.all.Remove(k)
+	for m := range t.shape {
+		i := int(k / t.strides[m] % uint64(t.shape[m]))
+		if s := t.fibers[m][i]; s != nil {
+			s.Remove(k)
+			if s.Len() == 0 {
+				delete(t.fibers[m], i)
+			}
+		}
+	}
+}
+
+// Deg returns deg(m, i): the number of nonzeros whose mode-m index is i.
+func (t *Sparse) Deg(m, i int) int {
+	if s := t.fibers[m][i]; s != nil {
+		return s.Len()
+	}
+	return 0
+}
+
+// ForEachInSlice calls fn(coord, value) for every nonzero whose mode-m index
+// is i — the nonzeros of the matricized row X_(m)(i,:). The coord slice is
+// reused across calls; fn must not retain it.
+func (t *Sparse) ForEachInSlice(m, i int, fn func(coord []int, v float64)) {
+	s := t.fibers[m][i]
+	if s == nil {
+		return
+	}
+	coord := make([]int, len(t.shape))
+	s.ForEach(func(k uint64) {
+		t.Coord(k, coord)
+		fn(coord, t.vals[k])
+	})
+}
+
+// SampleSlice draws up to n distinct nonzero keys uniformly at random from
+// the nonzeros whose mode-m index is i, skipping keys in exclude (which may
+// be nil). It returns encoded keys; decode with Coord.
+func (t *Sparse) SampleSlice(m, i, n int, rng *rand.Rand, exclude map[uint64]struct{}) []uint64 {
+	s := t.fibers[m][i]
+	if s == nil {
+		return nil
+	}
+	var skip func(uint64) bool
+	if len(exclude) > 0 {
+		skip = func(k uint64) bool {
+			_, ok := exclude[k]
+			return ok
+		}
+	}
+	return s.Sample(nil, n, rng, skip)
+}
+
+// ForEachNonzero calls fn(coord, value) over all nonzeros in a
+// deterministic order (fixed for a given operation history). The coord
+// slice is reused across calls; fn must not retain it.
+func (t *Sparse) ForEachNonzero(fn func(coord []int, v float64)) {
+	coord := make([]int, len(t.shape))
+	t.all.ForEach(func(k uint64) {
+		t.Coord(k, coord)
+		fn(coord, t.vals[k])
+	})
+}
+
+// ForEachKey calls fn(key, value) over all nonzeros in the same
+// deterministic order as ForEachNonzero.
+func (t *Sparse) ForEachKey(fn func(k uint64, v float64)) {
+	t.all.ForEach(func(k uint64) {
+		fn(k, t.vals[k])
+	})
+}
+
+// NormSquared returns ‖X‖_F² (maintained incrementally; see Recompute for
+// the exact-resum variant used in tests).
+func (t *Sparse) NormSquared() float64 {
+	if t.normSq < 0 { // guard against negative drift from cancellation
+		return 0
+	}
+	return t.normSq
+}
+
+// FrobeniusNorm returns ‖X‖_F.
+func (t *Sparse) FrobeniusNorm() float64 { return math.Sqrt(t.NormSquared()) }
+
+// RecomputeNormSquared resums ‖X‖_F² from the stored entries and refreshes
+// the maintained accumulator. Useful after very long update sequences to
+// shed floating-point drift.
+func (t *Sparse) RecomputeNormSquared() float64 {
+	s := 0.0
+	for _, v := range t.vals {
+		s += v * v
+	}
+	t.normSq = s
+	return s
+}
+
+// Clone returns a deep copy with the same deterministic iteration order.
+func (t *Sparse) Clone() *Sparse {
+	out := NewSparse(t.shape)
+	t.ForEachKey(func(k uint64, v float64) {
+		out.SetKey(k, v)
+	})
+	return out
+}
+
+// EqualApprox reports whether t and o have the same shape and entries that
+// agree within tol (comparing missing entries as zero).
+func (t *Sparse) EqualApprox(o *Sparse, tol float64) bool {
+	if len(t.shape) != len(o.shape) {
+		return false
+	}
+	for m := range t.shape {
+		if t.shape[m] != o.shape[m] {
+			return false
+		}
+	}
+	for k, v := range t.vals {
+		if math.Abs(v-o.vals[k]) > tol {
+			return false
+		}
+	}
+	for k, v := range o.vals {
+		if _, ok := t.vals[k]; !ok && math.Abs(v) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// String summarizes the tensor for debugging.
+func (t *Sparse) String() string {
+	return fmt.Sprintf("Sparse%v nnz=%d ‖X‖=%.4g", t.shape, len(t.vals), t.FrobeniusNorm())
+}

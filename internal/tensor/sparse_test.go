@@ -1,0 +1,405 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestKeyCoordRoundTrip(t *testing.T) {
+	ts := NewSparse([]int{3, 4, 5})
+	coord := []int{2, 1, 4}
+	k := ts.Key(coord)
+	got := ts.Coord(k, nil)
+	for m := range coord {
+		if got[m] != coord[m] {
+			t.Fatalf("roundtrip %v -> %v", coord, got)
+		}
+	}
+}
+
+func TestQuickKeyCoordRoundTrip(t *testing.T) {
+	ts := NewSparse([]int{7, 11, 13, 5})
+	f := func(a, b, c, d uint8) bool {
+		coord := []int{int(a) % 7, int(b) % 11, int(c) % 13, int(d) % 5}
+		got := ts.Coord(ts.Key(coord), nil)
+		for m := range coord {
+			if got[m] != coord[m] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSetAtAddEvict(t *testing.T) {
+	ts := NewSparse([]int{2, 3})
+	c := []int{1, 2}
+	if got := ts.At(c); got != 0 {
+		t.Errorf("empty At = %g", got)
+	}
+	ts.Set(c, 2.5)
+	if got := ts.At(c); got != 2.5 {
+		t.Errorf("At = %g want 2.5", got)
+	}
+	if ts.NNZ() != 1 {
+		t.Errorf("NNZ = %d want 1", ts.NNZ())
+	}
+	ts.Add(c, -2.5)
+	if ts.NNZ() != 0 {
+		t.Errorf("NNZ after cancel = %d want 0", ts.NNZ())
+	}
+	if ts.Deg(0, 1) != 0 || ts.Deg(1, 2) != 0 {
+		t.Error("registries not cleaned after eviction")
+	}
+}
+
+func TestAddReturnsNewValue(t *testing.T) {
+	ts := NewSparse([]int{2, 2})
+	if got := ts.Add([]int{0, 0}, 3); got != 3 {
+		t.Errorf("Add returned %g want 3", got)
+	}
+	if got := ts.Add([]int{0, 0}, -1); got != 2 {
+		t.Errorf("Add returned %g want 2", got)
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	ts := NewSparse([]int{2, 2})
+	for _, c := range [][]int{{2, 0}, {0, -1}, {0}} {
+		c := c
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("expected panic for coord %v", c)
+				}
+			}()
+			ts.At(c)
+		}()
+	}
+}
+
+func TestBadShapePanics(t *testing.T) {
+	for _, shape := range [][]int{{}, {0}, {3, -1}} {
+		shape := shape
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("expected panic for shape %v", shape)
+				}
+			}()
+			NewSparse(shape)
+		}()
+	}
+}
+
+func TestDegAndSliceIteration(t *testing.T) {
+	ts := NewSparse([]int{3, 3, 4})
+	ts.Set([]int{0, 1, 2}, 1)
+	ts.Set([]int{0, 2, 3}, 2)
+	ts.Set([]int{1, 1, 2}, 3)
+	if got := ts.Deg(0, 0); got != 2 {
+		t.Errorf("Deg(0,0) = %d want 2", got)
+	}
+	if got := ts.Deg(1, 1); got != 2 {
+		t.Errorf("Deg(1,1) = %d want 2", got)
+	}
+	if got := ts.Deg(2, 2); got != 2 {
+		t.Errorf("Deg(2,2) = %d want 2", got)
+	}
+	if got := ts.Deg(2, 0); got != 0 {
+		t.Errorf("Deg(2,0) = %d want 0", got)
+	}
+	sum := 0.0
+	count := 0
+	ts.ForEachInSlice(1, 1, func(coord []int, v float64) {
+		if coord[1] != 1 {
+			t.Errorf("slice iteration leaked coord %v", coord)
+		}
+		sum += v
+		count++
+	})
+	if count != 2 || sum != 4 {
+		t.Errorf("slice iteration: count=%d sum=%g want 2, 4", count, sum)
+	}
+}
+
+func TestNormMaintenance(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	ts := NewSparse([]int{5, 5, 5})
+	coords := make([][]int, 0, 50)
+	for i := 0; i < 50; i++ {
+		c := []int{rng.Intn(5), rng.Intn(5), rng.Intn(5)}
+		coords = append(coords, c)
+		ts.Add(c, rng.NormFloat64())
+	}
+	// Random cancellations.
+	for _, c := range coords[:20] {
+		ts.Add(c, -ts.At(c))
+	}
+	maintained := ts.NormSquared()
+	exact := ts.RecomputeNormSquared()
+	if math.Abs(maintained-exact) > 1e-9*(1+exact) {
+		t.Errorf("norm drift: maintained %g exact %g", maintained, exact)
+	}
+}
+
+// Property: after any sequence of random set/add operations, the fiber
+// registries exactly index the nonzero support.
+func TestQuickRegistryConsistency(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ts := NewSparse([]int{4, 3, 5})
+		for op := 0; op < 200; op++ {
+			c := []int{rng.Intn(4), rng.Intn(3), rng.Intn(5)}
+			switch rng.Intn(3) {
+			case 0:
+				ts.Set(c, rng.NormFloat64())
+			case 1:
+				ts.Add(c, rng.NormFloat64())
+			default:
+				ts.Set(c, 0)
+			}
+		}
+		// Check Deg against brute force for every (mode, index).
+		for m := 0; m < 3; m++ {
+			for i := 0; i < ts.Dim(m); i++ {
+				want := 0
+				ts.ForEachNonzero(func(coord []int, v float64) {
+					if coord[m] == i {
+						want++
+					}
+				})
+				if ts.Deg(m, i) != want {
+					return false
+				}
+				seen := 0
+				ts.ForEachInSlice(m, i, func(coord []int, v float64) {
+					if coord[m] != i || ts.At(coord) != v {
+						seen = -1 << 20
+					}
+					seen++
+				})
+				if seen != want {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSampleSliceDistinctAndExcluded(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	ts := NewSparse([]int{1, 100})
+	for j := 0; j < 100; j++ {
+		ts.Set([]int{0, j}, float64(j+1))
+	}
+	exclude := map[uint64]struct{}{
+		ts.Key([]int{0, 5}):  {},
+		ts.Key([]int{0, 50}): {},
+	}
+	for trial := 0; trial < 50; trial++ {
+		got := ts.SampleSlice(0, 0, 10, rng, exclude)
+		if len(got) != 10 {
+			t.Fatalf("sample size = %d want 10", len(got))
+		}
+		seen := map[uint64]struct{}{}
+		for _, k := range got {
+			if _, dup := seen[k]; dup {
+				t.Fatal("duplicate sample")
+			}
+			seen[k] = struct{}{}
+			if _, ex := exclude[k]; ex {
+				t.Fatal("excluded key sampled")
+			}
+		}
+	}
+}
+
+func TestSampleSliceRequestsMoreThanAvailable(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	ts := NewSparse([]int{2, 4})
+	ts.Set([]int{0, 0}, 1)
+	ts.Set([]int{0, 1}, 2)
+	ts.Set([]int{1, 3}, 9) // different slice
+	got := ts.SampleSlice(0, 0, 10, rng, nil)
+	if len(got) != 2 {
+		t.Errorf("sample = %d keys want all 2", len(got))
+	}
+	if got2 := ts.SampleSlice(0, 1, 1, rng, nil); len(got2) != 1 {
+		t.Errorf("sample from slice 1 = %d keys want 1", len(got2))
+	}
+	if none := ts.SampleSlice(1, 2, 3, rng, nil); len(none) != 0 {
+		t.Errorf("sample from empty slice = %d keys want 0", len(none))
+	}
+}
+
+// Sampling is (roughly) uniform: over many draws of 1 element from 4, each
+// element should appear a fair share of the time.
+func TestSampleSliceUniformity(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	ts := NewSparse([]int{1, 4})
+	for j := 0; j < 4; j++ {
+		ts.Set([]int{0, j}, 1)
+	}
+	counts := map[uint64]int{}
+	const draws = 8000
+	for i := 0; i < draws; i++ {
+		for _, k := range ts.SampleSlice(0, 0, 1, rng, nil) {
+			counts[k]++
+		}
+	}
+	for k, c := range counts {
+		if c < draws/4-draws/10 || c > draws/4+draws/10 {
+			t.Errorf("key %d sampled %d times, expected ≈%d", k, c, draws/4)
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	ts := NewSparse([]int{2, 2})
+	ts.Set([]int{0, 0}, 1)
+	cp := ts.Clone()
+	cp.Set([]int{0, 0}, 5)
+	cp.Set([]int{1, 1}, 7)
+	if ts.At([]int{0, 0}) != 1 || ts.NNZ() != 1 {
+		t.Error("Clone aliases original")
+	}
+	if cp.At([]int{0, 0}) != 5 || cp.NNZ() != 2 {
+		t.Error("Clone mutation lost")
+	}
+}
+
+func TestEqualApprox(t *testing.T) {
+	a := NewSparse([]int{2, 2})
+	b := NewSparse([]int{2, 2})
+	a.Set([]int{0, 1}, 1.0)
+	b.Set([]int{0, 1}, 1.0000001)
+	if !a.EqualApprox(b, 1e-3) {
+		t.Error("should be approx equal")
+	}
+	if a.EqualApprox(b, 1e-12) {
+		t.Error("should differ at tight tol")
+	}
+	b.Set([]int{1, 1}, 5)
+	if a.EqualApprox(b, 1e-3) {
+		t.Error("extra entry should break equality")
+	}
+	c := NewSparse([]int{2, 3})
+	if a.EqualApprox(c, 1) {
+		t.Error("different shapes should not be equal")
+	}
+}
+
+func TestSizeAndStringSmoke(t *testing.T) {
+	ts := NewSparse([]int{3, 4})
+	if ts.Size() != 12 {
+		t.Errorf("Size = %d want 12", ts.Size())
+	}
+	if ts.Order() != 2 {
+		t.Errorf("Order = %d want 2", ts.Order())
+	}
+	if s := ts.String(); s == "" {
+		t.Error("empty String")
+	}
+	sh := ts.Shape()
+	sh[0] = 99
+	if ts.Dim(0) != 3 {
+		t.Error("Shape should return a copy")
+	}
+}
+
+func TestOverflowShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected overflow panic")
+		}
+	}()
+	NewSparse([]int{1 << 31, 1 << 31, 1 << 31})
+}
+
+func TestKeySetBasics(t *testing.T) {
+	s := newKeySet()
+	s.Add(5)
+	s.Add(5)
+	s.Add(9)
+	if s.Len() != 2 {
+		t.Errorf("Len = %d want 2", s.Len())
+	}
+	if !s.Contains(5) || s.Contains(7) {
+		t.Error("Contains wrong")
+	}
+	s.Remove(5)
+	if s.Len() != 1 || s.Contains(5) {
+		t.Error("Remove failed")
+	}
+	s.Remove(123) // absent: no-op
+	if s.Len() != 1 {
+		t.Error("Remove of absent key changed set")
+	}
+	got := []uint64{}
+	s.ForEach(func(k uint64) { got = append(got, k) })
+	if len(got) != 1 || got[0] != 9 {
+		t.Errorf("ForEach = %v", got)
+	}
+}
+
+func TestForEachKeyAndRecompute(t *testing.T) {
+	ts := NewSparse([]int{3, 3})
+	ts.Set([]int{0, 1}, 2)
+	ts.Set([]int{2, 2}, -3)
+	sum := 0.0
+	ts.ForEachKey(func(k uint64, v float64) { sum += v })
+	if sum != -1 {
+		t.Errorf("ForEachKey sum = %g want -1", sum)
+	}
+	if got := ts.RecomputeNormSquared(); math.Abs(got-13) > 1e-12 {
+		t.Errorf("RecomputeNormSquared = %g want 13", got)
+	}
+	if got := ts.NormSquared(); math.Abs(got-13) > 1e-12 {
+		t.Errorf("NormSquared after recompute = %g", got)
+	}
+}
+
+func TestDeterministicIterationOrder(t *testing.T) {
+	build := func() []uint64 {
+		ts := NewSparse([]int{10, 10})
+		for i := 0; i < 50; i++ {
+			ts.Set([]int{i % 10, (i * 7) % 10}, float64(i+1))
+		}
+		ts.Set([]int{3, 3}, 0) // removal reshuffles via swap-delete
+		var order []uint64
+		ts.ForEachKey(func(k uint64, v float64) { order = append(order, k) })
+		return order
+	}
+	a, b := build(), build()
+	if len(a) != len(b) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("iteration order not deterministic at %d", i)
+		}
+	}
+}
+
+func TestAtKeySetKey(t *testing.T) {
+	ts := NewSparse([]int{4, 4})
+	k := ts.Key([]int{1, 2})
+	ts.SetKey(k, 5)
+	if ts.AtKey(k) != 5 || ts.At([]int{1, 2}) != 5 {
+		t.Error("SetKey/AtKey mismatch")
+	}
+	ts.SetKey(k, 1e-15) // below eviction threshold: removed
+	if ts.NNZ() != 0 {
+		t.Error("near-zero value should evict")
+	}
+}

@@ -1,0 +1,269 @@
+// Package tucker implements batch Tucker decomposition via higher-order
+// orthogonal iteration (HOOI) for sparse tensors.
+//
+// The paper's related work on window-based tensor analysis (Section VII-B:
+// Sun et al.'s WTA, Xu et al.'s road-network detector) is Tucker-based, and
+// extending the continuous model beyond CPD is the paper's stated future
+// work. This package provides the windowed Tucker reference those
+// comparisons need: X ≈ G ×₁ U⁽¹⁾ ×₂ … ×_M U⁽ᴹ⁾ with orthonormal factors
+// U⁽ᵐ⁾ ∈ R^{N_m×r_m} and a dense core G ∈ R^{r_1×…×r_M}.
+package tucker
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"slicenstitch/internal/mat"
+	"slicenstitch/internal/tensor"
+)
+
+// Model is a Tucker decomposition: orthonormal factor matrices and the
+// dense core tensor (stored row-major over the mixed-radix core index).
+type Model struct {
+	// Factors holds one orthonormal N_m×r_m matrix per mode.
+	Factors []*mat.Dense
+	// Core holds the core tensor entries, row-major with the last core
+	// mode fastest (strides from Ranks).
+	Core []float64
+	// Ranks are the core dimensions r_1..r_M.
+	Ranks []int
+}
+
+// coreSize returns Π r_m.
+func coreSize(ranks []int) int {
+	n := 1
+	for _, r := range ranks {
+		n *= r
+	}
+	return n
+}
+
+// ParamCount returns Σ N_m·r_m + Π r_m, the Tucker analogue of the CP
+// parameter count in Fig. 1d.
+func (m *Model) ParamCount() int {
+	n := len(m.Core)
+	for _, f := range m.Factors {
+		n += f.Rows() * f.Cols()
+	}
+	return n
+}
+
+// Predict evaluates the model at one coordinate:
+// Σ_k G[k] Π_m U⁽ᵐ⁾(i_m, k_m). Cost O(Π r_m · M).
+func (m *Model) Predict(coord []int) float64 {
+	if len(coord) != len(m.Factors) {
+		panic(fmt.Sprintf("tucker: coord order %d != %d", len(coord), len(m.Factors)))
+	}
+	idx := make([]int, len(m.Ranks))
+	s := 0.0
+	for k, g := range m.Core {
+		// Decode k into per-mode core indices (last mode fastest).
+		rem := k
+		for mm := len(m.Ranks) - 1; mm >= 0; mm-- {
+			idx[mm] = rem % m.Ranks[mm]
+			rem /= m.Ranks[mm]
+		}
+		p := g
+		for mm, f := range m.Factors {
+			p *= f.Row(coord[mm])[idx[mm]]
+		}
+		s += p
+	}
+	return s
+}
+
+// CoreNormSquared returns ‖G‖² — with orthonormal factors this equals
+// ‖X̂‖², so fitness is computable without reconstructing X̂.
+func (m *Model) CoreNormSquared() float64 {
+	s := 0.0
+	for _, g := range m.Core {
+		s += g * g
+	}
+	return s
+}
+
+// Fitness returns 1 − ‖X−X̂‖_F/‖X‖_F using the orthonormal-factor identity
+// ‖X−X̂‖² = ‖X‖² − ‖G‖² (clamped at 0 for round-off).
+func (m *Model) Fitness(x *tensor.Sparse) float64 {
+	xn := x.NormSquared()
+	if xn == 0 {
+		if m.CoreNormSquared() == 0 {
+			return 1
+		}
+		return 0
+	}
+	res := xn - m.CoreNormSquared()
+	if res < 0 {
+		res = 0
+	}
+	return 1 - math.Sqrt(res)/math.Sqrt(xn)
+}
+
+// Options configures HOOI.
+type Options struct {
+	// Ranks are the core dimensions (required, one per mode, each ≥ 1 and
+	// ≤ the mode size).
+	Ranks []int
+	// MaxIters bounds the HOOI sweeps (default 10).
+	MaxIters int
+	// Seed drives the random orthonormal initialization.
+	Seed int64
+}
+
+// Run factorizes x with HOOI: alternating per-mode updates where U⁽ᵐ⁾ is
+// set to the top-r_m eigenvectors of B Bᵀ, B = X_(m)(⊗_{n≠m} U⁽ⁿ⁾). The
+// projected matrix B is only N_m × Π_{n≠m} r_n, so each sweep costs
+// O(|X|·Πr + Σ N_m²·Πr) — tractable for windowed tensors.
+func Run(x *tensor.Sparse, opt Options) *Model {
+	shape := x.Shape()
+	if len(opt.Ranks) != len(shape) {
+		panic(fmt.Sprintf("tucker: %d ranks for %d modes", len(opt.Ranks), len(shape)))
+	}
+	ranks := make([]int, len(opt.Ranks))
+	for m, r := range opt.Ranks {
+		if r < 1 {
+			panic(fmt.Sprintf("tucker: rank %d in mode %d", r, m))
+		}
+		if r > shape[m] {
+			r = shape[m]
+		}
+		ranks[m] = r
+	}
+	iters := opt.MaxIters
+	if iters <= 0 {
+		iters = 10
+	}
+	model := &Model{Ranks: ranks}
+	rng := rand.New(rand.NewSource(opt.Seed))
+	for m, n := range shape {
+		model.Factors = append(model.Factors, randomOrthonormal(rng, n, ranks[m]))
+	}
+	for it := 0; it < iters; it++ {
+		for m := range shape {
+			b := project(x, model, m)
+			bt := b.T()
+			// U⁽ᵐ⁾ ← top-r_m eigenvectors of B·Bᵀ (= (Bᵀ)ᵀ(Bᵀ)).
+			model.Factors[m] = topEigenvectors(mat.MulTA(bt, bt), ranks[m])
+		}
+	}
+	model.Core = computeCore(x, model)
+	return model
+}
+
+// project computes B = X ×_{n≠m} U⁽ⁿ⁾ᵀ matricized along mode m: an
+// N_m × Π_{n≠m} r_n dense matrix accumulated over the nonzeros of x.
+func project(x *tensor.Sparse, model *Model, mode int) *mat.Dense {
+	shape := x.Shape()
+	cols := 1
+	for n := range shape {
+		if n != mode {
+			cols *= model.Ranks[n]
+		}
+	}
+	out := mat.New(shape[mode], cols)
+	// colWeights enumerates the mixed-radix product over n≠mode.
+	weights := make([]float64, cols)
+	x.ForEachNonzero(func(coord []int, v float64) {
+		for i := range weights {
+			weights[i] = v
+		}
+		stride := cols
+		for n := range shape {
+			if n == mode {
+				continue
+			}
+			rn := model.Ranks[n]
+			stride /= rn
+			row := model.Factors[n].Row(coord[n])
+			// Multiply weight block-wise: index digit for mode n cycles
+			// with the current stride.
+			for i := range weights {
+				weights[i] *= row[(i/stride)%rn]
+			}
+		}
+		o := out.Row(coord[mode])
+		for i, w := range weights {
+			o[i] += w
+		}
+	})
+	return out
+}
+
+// computeCore projects x onto all factors: G = X ×₁U⁽¹⁾ᵀ … ×_M U⁽ᴹ⁾ᵀ.
+func computeCore(x *tensor.Sparse, model *Model) []float64 {
+	size := coreSize(model.Ranks)
+	core := make([]float64, size)
+	weights := make([]float64, size)
+	x.ForEachNonzero(func(coord []int, v float64) {
+		for i := range weights {
+			weights[i] = v
+		}
+		stride := size
+		for n := range model.Factors {
+			rn := model.Ranks[n]
+			stride /= rn
+			row := model.Factors[n].Row(coord[n])
+			for i := range weights {
+				weights[i] *= row[(i/stride)%rn]
+			}
+		}
+		for i, w := range weights {
+			core[i] += w
+		}
+	})
+	return core
+}
+
+// randomOrthonormal returns an n×r matrix with orthonormal columns
+// (Gram-Schmidt over Gaussian draws).
+func randomOrthonormal(rng *rand.Rand, n, r int) *mat.Dense {
+	out := mat.New(n, r)
+	for k := 0; k < r; k++ {
+		col := make([]float64, n)
+		for attempt := 0; attempt < 8; attempt++ {
+			for i := range col {
+				col[i] = rng.NormFloat64()
+			}
+			// Orthogonalize against previous columns.
+			for j := 0; j < k; j++ {
+				dot := 0.0
+				for i := 0; i < n; i++ {
+					dot += col[i] * out.At(i, j)
+				}
+				for i := 0; i < n; i++ {
+					col[i] -= dot * out.At(i, j)
+				}
+			}
+			norm := mat.Norm2(col)
+			if norm > 1e-9 {
+				for i := range col {
+					out.Set(i, k, col[i]/norm)
+				}
+				break
+			}
+		}
+	}
+	return out
+}
+
+// topEigenvectors returns the r eigenvectors of the symmetric matrix s with
+// the largest eigenvalues, as columns.
+func topEigenvectors(s *mat.Dense, r int) *mat.Dense {
+	vals, vecs := mat.EigenSym(s)
+	order := make([]int, len(vals))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return vals[order[a]] > vals[order[b]] })
+	n := s.Rows()
+	out := mat.New(n, r)
+	for k := 0; k < r && k < len(order); k++ {
+		src := order[k]
+		for i := 0; i < n; i++ {
+			out.Set(i, k, vecs.At(i, src))
+		}
+	}
+	return out
+}

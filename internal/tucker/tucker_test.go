@@ -1,0 +1,160 @@
+package tucker
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"slicenstitch/internal/mat"
+	"slicenstitch/internal/tensor"
+)
+
+func randSparse(rng *rand.Rand, shape []int, nnz int) *tensor.Sparse {
+	x := tensor.NewSparse(shape)
+	for i := 0; i < nnz; i++ {
+		coord := make([]int, len(shape))
+		for m, n := range shape {
+			coord[m] = rng.Intn(n)
+		}
+		x.Add(coord, 1+rng.Float64())
+	}
+	return x
+}
+
+func TestFactorsOrthonormal(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x := randSparse(rng, []int{8, 7, 6}, 60)
+	m := Run(x, Options{Ranks: []int{3, 3, 2}, MaxIters: 5, Seed: 2})
+	for mode, f := range m.Factors {
+		g := mat.Gram(f)
+		if !mat.EqualApprox(g, mat.Identity(f.Cols()), 1e-8) {
+			t.Errorf("mode %d factors not orthonormal:\n%v", mode, g)
+		}
+	}
+	if len(m.Core) != 3*3*2 {
+		t.Errorf("core size = %d want 18", len(m.Core))
+	}
+}
+
+func TestExactRecoveryOfLowRankTensor(t *testing.T) {
+	// Build an exactly rank-(2,2,2) Tucker tensor and recover it.
+	rng := rand.New(rand.NewSource(3))
+	gen := &Model{Ranks: []int{2, 2, 2}}
+	shape := []int{6, 5, 4}
+	for _, n := range shape {
+		gen.Factors = append(gen.Factors, randomOrthonormal(rng, n, 2))
+	}
+	gen.Core = make([]float64, 8)
+	for i := range gen.Core {
+		gen.Core[i] = rng.NormFloat64() * 3
+	}
+	x := tensor.NewSparse(shape)
+	coord := make([]int, 3)
+	for i := 0; i < 6; i++ {
+		for j := 0; j < 5; j++ {
+			for k := 0; k < 4; k++ {
+				coord[0], coord[1], coord[2] = i, j, k
+				x.Set(coord, gen.Predict(coord))
+			}
+		}
+	}
+	m := Run(x, Options{Ranks: []int{2, 2, 2}, MaxIters: 30, Seed: 7})
+	if fit := m.Fitness(x); fit < 0.999 {
+		t.Fatalf("exact rank-(2,2,2) recovery fitness = %g", fit)
+	}
+}
+
+func TestFitnessMatchesResidualDefinition(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	shape := []int{5, 4, 3}
+	x := randSparse(rng, shape, 25)
+	m := Run(x, Options{Ranks: []int{2, 2, 2}, MaxIters: 8, Seed: 5})
+	// Dense residual.
+	res := 0.0
+	coord := make([]int, 3)
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 4; j++ {
+			for k := 0; k < 3; k++ {
+				coord[0], coord[1], coord[2] = i, j, k
+				d := x.At(coord) - m.Predict(coord)
+				res += d * d
+			}
+		}
+	}
+	want := 1 - math.Sqrt(res)/math.Sqrt(x.NormSquared())
+	if got := m.Fitness(x); math.Abs(got-want) > 1e-6 {
+		t.Fatalf("Fitness = %g want %g (core identity violated)", got, want)
+	}
+}
+
+func TestFitnessImprovesOverIterations(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	x := randSparse(rng, []int{10, 9, 8}, 150)
+	f1 := Run(x, Options{Ranks: []int{3, 3, 3}, MaxIters: 1, Seed: 9}).Fitness(x)
+	f10 := Run(x, Options{Ranks: []int{3, 3, 3}, MaxIters: 10, Seed: 9}).Fitness(x)
+	if f10 < f1-1e-9 {
+		t.Fatalf("more HOOI sweeps decreased fitness: %g -> %g", f1, f10)
+	}
+}
+
+func TestParamCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	x := randSparse(rng, []int{6, 5, 4}, 20)
+	m := Run(x, Options{Ranks: []int{2, 3, 2}, MaxIters: 2, Seed: 1})
+	want := 6*2 + 5*3 + 4*2 + 2*3*2
+	if got := m.ParamCount(); got != want {
+		t.Fatalf("ParamCount = %d want %d", got, want)
+	}
+}
+
+func TestRankClampAndValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	x := randSparse(rng, []int{3, 3}, 6)
+	m := Run(x, Options{Ranks: []int{10, 2}, MaxIters: 2, Seed: 1})
+	if m.Ranks[0] != 3 {
+		t.Errorf("rank not clamped to mode size: %d", m.Ranks[0])
+	}
+	for _, bad := range [][]int{{2}, {0, 2}} {
+		bad := bad
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("expected panic for ranks %v", bad)
+				}
+			}()
+			Run(x, Options{Ranks: bad})
+		}()
+	}
+}
+
+func TestPredictBadCoordPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	x := randSparse(rng, []int{3, 3}, 5)
+	m := Run(x, Options{Ranks: []int{2, 2}, MaxIters: 1, Seed: 1})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.Predict([]int{1})
+}
+
+func TestZeroTensor(t *testing.T) {
+	x := tensor.NewSparse([]int{4, 4})
+	m := Run(x, Options{Ranks: []int{2, 2}, MaxIters: 2, Seed: 1})
+	if got := m.Fitness(x); got != 1 {
+		t.Fatalf("zero/zero fitness = %g want 1", got)
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	x := randSparse(rng, []int{5, 5, 5}, 40)
+	a := Run(x, Options{Ranks: []int{2, 2, 2}, MaxIters: 4, Seed: 42})
+	b := Run(x, Options{Ranks: []int{2, 2, 2}, MaxIters: 4, Seed: 42})
+	for i := range a.Core {
+		if a.Core[i] != b.Core[i] {
+			t.Fatal("non-deterministic core")
+		}
+	}
+}

@@ -1,0 +1,59 @@
+package window
+
+import (
+	"math/rand"
+	"testing"
+
+	"slicenstitch/internal/stream"
+)
+
+func benchStream(n int) []stream.Tuple {
+	rng := rand.New(rand.NewSource(1))
+	tuples := make([]stream.Tuple, 0, n)
+	tm := int64(0)
+	for i := 0; i < n; i++ {
+		tm += int64(rng.Intn(3))
+		tuples = append(tuples, stream.Tuple{
+			Coord: []int{rng.Intn(50), rng.Intn(50)},
+			Value: 1,
+			Time:  tm,
+		})
+	}
+	return tuples
+}
+
+// BenchmarkAblationWindowEventDriven measures Algorithm 1: event-driven
+// maintenance, cost per tuple O(M·W) amortized (Theorem 1).
+func BenchmarkAblationWindowEventDriven(b *testing.B) {
+	tuples := benchStream(b.N)
+	win := New([]int{50, 50}, 10, 10)
+	b.ResetTimer()
+	for _, tp := range tuples {
+		win.AdvanceTo(tp.Time, nil)
+		win.Ingest(tp)
+	}
+}
+
+// BenchmarkAblationWindowRebuild measures the naive alternative the paper's
+// Section IV-B rules out: rebuilding D(t,W) from scratch at every tuple
+// arrival. Cost per tuple O(|active|), hundreds of times slower.
+func BenchmarkAblationWindowRebuild(b *testing.B) {
+	tuples := benchStream(b.N)
+	b.ResetTimer()
+	for i, tp := range tuples {
+		lo := 0
+		if i > 400 {
+			lo = i - 400 // only the active suffix matters for D(t,W)
+		}
+		RebuildAt([]int{50, 50}, 10, 10, tuples[lo:i+1], tp.Time)
+	}
+}
+
+func BenchmarkIngestOnly(b *testing.B) {
+	win := New([]int{50, 50}, 10, 1<<40) // huge period: no shifts scheduled fire
+	rng := rand.New(rand.NewSource(2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		win.Ingest(stream.Tuple{Coord: []int{rng.Intn(50), rng.Intn(50)}, Value: 1, Time: int64(i)})
+	}
+}

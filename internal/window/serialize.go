@@ -1,0 +1,80 @@
+package window
+
+import (
+	"container/heap"
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"slicenstitch/internal/stream"
+)
+
+// windowDTO is the wire form of a Window (gob-encoded): geometry, clock,
+// the sparse window entries, and the pending scheduled events — everything
+// needed to resume the continuous tensor model exactly.
+type windowDTO struct {
+	Dims   []int
+	W      int
+	Period int64
+	Now    int64
+	Seq    uint64
+	// Keys/Vals are the nonzeros of D(t,W) in deterministic order.
+	Keys []uint64
+	Vals []float64
+	// Pending are the scheduled S.2/S.3 events.
+	Pending []scheduledDTO
+}
+
+type scheduledDTO struct {
+	Time  int64
+	Seq   uint64
+	W     int
+	Tuple stream.Tuple
+}
+
+// Encode writes the window state to w (gob).
+func (win *Window) Encode(w io.Writer) error {
+	dto := windowDTO{
+		Dims:   win.Dims(),
+		W:      win.w,
+		Period: win.t,
+		Now:    win.now,
+		Seq:    win.seq,
+	}
+	win.x.ForEachKey(func(k uint64, v float64) {
+		dto.Keys = append(dto.Keys, k)
+		dto.Vals = append(dto.Vals, v)
+	})
+	for _, ev := range win.pq {
+		dto.Pending = append(dto.Pending, scheduledDTO{
+			Time: ev.time, Seq: ev.seq, W: ev.w, Tuple: ev.tuple,
+		})
+	}
+	return gob.NewEncoder(w).Encode(dto)
+}
+
+// DecodeWindow reads a window written by Encode and re-establishes the
+// heap invariant.
+func DecodeWindow(r io.Reader) (*Window, error) {
+	var dto windowDTO
+	if err := gob.NewDecoder(r).Decode(&dto); err != nil {
+		return nil, fmt.Errorf("window: decode: %w", err)
+	}
+	if dto.W <= 0 || dto.Period <= 0 || len(dto.Dims) == 0 {
+		return nil, fmt.Errorf("window: decode: malformed geometry (W=%d T=%d dims=%v)", dto.W, dto.Period, dto.Dims)
+	}
+	if len(dto.Keys) != len(dto.Vals) {
+		return nil, fmt.Errorf("window: decode: %d keys vs %d values", len(dto.Keys), len(dto.Vals))
+	}
+	win := New(dto.Dims, dto.W, dto.Period)
+	win.now = dto.Now
+	win.seq = dto.Seq
+	for i, k := range dto.Keys {
+		win.x.SetKey(k, dto.Vals[i])
+	}
+	for _, ev := range dto.Pending {
+		win.pq = append(win.pq, scheduled{time: ev.Time, seq: ev.Seq, w: ev.W, tuple: ev.Tuple})
+	}
+	heap.Init(&win.pq)
+	return win, nil
+}

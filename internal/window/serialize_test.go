@@ -1,0 +1,78 @@
+package window
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"slicenstitch/internal/stream"
+)
+
+func TestWindowEncodeDecodeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	win := New([]int{4, 3}, 3, 5)
+	tm := int64(0)
+	for i := 0; i < 60; i++ {
+		tm += int64(rng.Intn(2))
+		win.AdvanceTo(tm, nil)
+		win.Ingest(stream.Tuple{Coord: []int{rng.Intn(4), rng.Intn(3)}, Value: 1, Time: tm})
+	}
+	var buf bytes.Buffer
+	if err := win.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeWindow(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Now() != win.Now() || got.W() != win.W() || got.Period() != win.Period() {
+		t.Fatalf("geometry/clock mismatch: %d/%d %d/%d %d/%d",
+			got.Now(), win.Now(), got.W(), win.W(), got.Period(), win.Period())
+	}
+	if !got.X().EqualApprox(win.X(), 0) {
+		t.Fatal("window entries mismatch")
+	}
+	if got.Pending() != win.Pending() {
+		t.Fatalf("pending %d != %d", got.Pending(), win.Pending())
+	}
+
+	// Continuing both windows with identical input produces identical
+	// states at all times — the schedule survived.
+	horizon := tm + int64(3)*5 + 1
+	var a, b []Change
+	win.Drive(nil, horizon, func(c Change) { a = append(a, c) })
+	got.Drive(nil, horizon, func(c Change) { b = append(b, c) })
+	if len(a) != len(b) {
+		t.Fatalf("replayed %d vs %d changes", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Kind != b[i].Kind || a[i].Time != b[i].Time || a[i].W != b[i].W {
+			t.Fatalf("change %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	if !got.X().EqualApprox(win.X(), 0) {
+		t.Fatal("windows diverged after continued replay")
+	}
+}
+
+func TestDecodeWindowRejectsGarbage(t *testing.T) {
+	if _, err := DecodeWindow(strings.NewReader("nope")); err == nil {
+		t.Fatal("expected decode error")
+	}
+}
+
+func TestEncodeEmptyWindow(t *testing.T) {
+	win := New([]int{2}, 2, 3)
+	var buf bytes.Buffer
+	if err := win.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeWindow(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.X().NNZ() != 0 || got.Pending() != 0 {
+		t.Fatal("empty window did not round-trip empty")
+	}
+}

@@ -1,0 +1,358 @@
+package window
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"slicenstitch/internal/stream"
+)
+
+func TestArrivalChange(t *testing.T) {
+	win := New([]int{3, 3}, 4, 10)
+	ch, ok := win.Ingest(stream.Tuple{Coord: []int{1, 2}, Value: 2, Time: 100})
+	if !ok {
+		t.Fatal("ingest rejected")
+	}
+	if ch.Kind != Arrival || ch.W != 0 || ch.Time != 100 {
+		t.Errorf("change = %+v", ch)
+	}
+	if len(ch.Cells) != 1 {
+		t.Fatalf("cells = %d want 1", len(ch.Cells))
+	}
+	c := ch.Cells[0]
+	if c.Delta != 2 || c.Coord[0] != 1 || c.Coord[1] != 2 || c.Coord[2] != 3 {
+		t.Errorf("cell = %+v (want +2 at [1 2 3])", c)
+	}
+	if got := win.X().At([]int{1, 2, 3}); got != 2 {
+		t.Errorf("window value = %g want 2", got)
+	}
+	if win.Pending() != 1 {
+		t.Errorf("pending = %d want 1", win.Pending())
+	}
+}
+
+func TestShiftAndExpiryLifecycle(t *testing.T) {
+	// W = 3, T = 10: a tuple at t=0 shifts at 10, 20 and expires at 30.
+	win := New([]int{2}, 3, 10)
+	win.Ingest(stream.Tuple{Coord: []int{1}, Value: 5, Time: 0})
+
+	var changes []Change
+	collect := func(c Change) { changes = append(changes, c) }
+
+	win.AdvanceTo(9, collect)
+	if len(changes) != 0 {
+		t.Fatalf("no event expected before t=10, got %d", len(changes))
+	}
+	if got := win.X().At([]int{1, 2}); got != 5 {
+		t.Errorf("value at slot 2 = %g", got)
+	}
+
+	win.AdvanceTo(10, collect)
+	if len(changes) != 1 || changes[0].Kind != Shift || changes[0].W != 1 {
+		t.Fatalf("expected one shift, got %+v", changes)
+	}
+	sh := changes[0]
+	if len(sh.Cells) != 2 || sh.Cells[0].Delta != -5 || sh.Cells[1].Delta != 5 {
+		t.Fatalf("shift cells = %+v", sh.Cells)
+	}
+	if sh.Cells[0].Coord[1] != 2 || sh.Cells[1].Coord[1] != 1 {
+		t.Errorf("shift moved %v -> %v, want slot 2 -> 1", sh.Cells[0].Coord, sh.Cells[1].Coord)
+	}
+	if win.X().At([]int{1, 2}) != 0 || win.X().At([]int{1, 1}) != 5 {
+		t.Error("window not shifted")
+	}
+
+	win.AdvanceTo(29, collect)
+	if len(changes) != 2 {
+		t.Fatalf("expected second shift by t=20, got %d changes", len(changes))
+	}
+	if win.X().At([]int{1, 0}) != 5 {
+		t.Error("value should be in oldest slot")
+	}
+
+	win.AdvanceTo(30, collect)
+	last := changes[len(changes)-1]
+	if last.Kind != Expiry || last.W != 3 {
+		t.Fatalf("expected expiry, got %+v", last)
+	}
+	if len(last.Cells) != 1 || last.Cells[0].Delta != -5 || last.Cells[0].Coord[1] != 0 {
+		t.Errorf("expiry cells = %+v", last.Cells)
+	}
+	if win.X().NNZ() != 0 {
+		t.Error("window should be empty after expiry")
+	}
+	if win.Pending() != 0 {
+		t.Errorf("pending = %d want 0", win.Pending())
+	}
+}
+
+func TestZeroValueTupleIgnored(t *testing.T) {
+	win := New([]int{2}, 2, 5)
+	_, ok := win.Ingest(stream.Tuple{Coord: []int{0}, Value: 0, Time: 1})
+	if ok {
+		t.Error("zero tuple should be rejected")
+	}
+	if win.Pending() != 0 || win.X().NNZ() != 0 {
+		t.Error("zero tuple should leave no trace")
+	}
+}
+
+func TestOutOfOrderIngestPanics(t *testing.T) {
+	win := New([]int{2}, 2, 5)
+	win.Ingest(stream.Tuple{Coord: []int{0}, Value: 1, Time: 10})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-order tuple")
+		}
+	}()
+	win.Ingest(stream.Tuple{Coord: []int{1}, Value: 1, Time: 9})
+}
+
+func TestBadConstructionPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { New([]int{2}, 0, 5) },
+		func() { New([]int{2}, 2, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	win := New([]int{4, 7}, 3, 60)
+	if win.W() != 3 || win.Period() != 60 || win.Order() != 3 {
+		t.Errorf("accessors: W=%d T=%d M=%d", win.W(), win.Period(), win.Order())
+	}
+	d := win.Dims()
+	d[0] = 99
+	if win.Dims()[0] != 4 {
+		t.Error("Dims should return a copy")
+	}
+}
+
+func TestAggregationWithinUnit(t *testing.T) {
+	// Two tuples at the same coordinate within one period aggregate
+	// (Definition 3: Y_t sums tuples in (t−T, t]).
+	win := New([]int{2}, 2, 10)
+	win.Ingest(stream.Tuple{Coord: []int{0}, Value: 1, Time: 0})
+	win.AdvanceTo(3, nil)
+	win.Ingest(stream.Tuple{Coord: []int{0}, Value: 2, Time: 3})
+	if got := win.X().At([]int{0, 1}); got != 3 {
+		t.Errorf("aggregated value = %g want 3", got)
+	}
+	// They shift independently: the first leaves the newest unit at t=10,
+	// the second at t=13.
+	win.AdvanceTo(10, nil)
+	if got := win.X().At([]int{0, 1}); got != 2 {
+		t.Errorf("after first shift = %g want 2", got)
+	}
+	if got := win.X().At([]int{0, 0}); got != 1 {
+		t.Errorf("oldest slot = %g want 1", got)
+	}
+}
+
+// The core correctness property: the event-driven implementation equals the
+// from-scratch Definition 4 rebuild at every probe time.
+func TestQuickEventDrivenMatchesRebuild(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dims := []int{2 + rng.Intn(3), 2 + rng.Intn(3)}
+		w := 1 + rng.Intn(4)
+		period := int64(1 + rng.Intn(5))
+		// Random chronological stream.
+		var tuples []stream.Tuple
+		tm := int64(0)
+		for i := 0; i < 60; i++ {
+			tm += int64(rng.Intn(3))
+			tuples = append(tuples, stream.Tuple{
+				Coord: []int{rng.Intn(dims[0]), rng.Intn(dims[1])},
+				Value: float64(1 + rng.Intn(3)),
+				Time:  tm,
+			})
+		}
+		horizon := tm + int64(w+1)*period
+		win := New(dims, w, period)
+		next := 0
+		// Probe at every time step, interleaving ingestion.
+		for tt := int64(0); tt <= horizon; tt++ {
+			win.AdvanceTo(tt, nil)
+			for next < len(tuples) && tuples[next].Time == tt {
+				win.Ingest(tuples[next])
+				next++
+			}
+			want := RebuildAt(dims, w, period, tuples, tt)
+			if !win.X().EqualApprox(want, 1e-9) {
+				return false
+			}
+		}
+		return win.X().NNZ() == 0 // everything expired at the horizon
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Prime must be indistinguishable from a full event replay: same window
+// entries, same pending schedule behaviour under further driving.
+func TestQuickPrimeEquivalentToDrive(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dims := []int{2 + rng.Intn(3), 2 + rng.Intn(3)}
+		w := 1 + rng.Intn(4)
+		period := int64(1 + rng.Intn(5))
+		var tuples []stream.Tuple
+		tm := int64(0)
+		for i := 0; i < 50; i++ {
+			tm += int64(rng.Intn(3))
+			tuples = append(tuples, stream.Tuple{
+				Coord: []int{rng.Intn(dims[0]), rng.Intn(dims[1])},
+				Value: float64(1 + rng.Intn(3)),
+				Time:  tm,
+			})
+		}
+		t0 := tm / 2
+		split := len(tuples)
+		for n, tp := range tuples {
+			if tp.Time > t0 {
+				split = n
+				break
+			}
+		}
+		driven := New(dims, w, period)
+		driven.Drive(tuples[:split], t0, nil)
+		primed := Prime(dims, w, period, tuples[:split], t0)
+		if !primed.X().EqualApprox(driven.X(), 1e-12) {
+			return false
+		}
+		if primed.Now() != driven.Now() || primed.Pending() != driven.Pending() {
+			return false
+		}
+		// Continue both to full expiry and compare the event sequences.
+		horizon := tm + int64(w+1)*period
+		var a, b []Change
+		driven.Drive(tuples[split:], horizon, func(c Change) { a = append(a, c) })
+		primed.Drive(tuples[split:], horizon, func(c Change) { b = append(b, c) })
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i].Kind != b[i].Kind || a[i].Time != b[i].Time || a[i].W != b[i].W ||
+				len(a[i].Cells) != len(b[i].Cells) {
+				return false
+			}
+			for c := range a[i].Cells {
+				if a[i].Cells[c].Delta != b[i].Cells[c].Delta {
+					return false
+				}
+			}
+		}
+		return primed.X().EqualApprox(driven.X(), 1e-12)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPrimeSkipsZeroAndExpired(t *testing.T) {
+	tuples := []stream.Tuple{
+		{Coord: []int{0}, Value: 0, Time: 50},  // zero: skipped
+		{Coord: []int{1}, Value: 2, Time: 10},  // expired by t=100 (W·T=30)
+		{Coord: []int{1}, Value: 3, Time: 95},  // active
+		{Coord: []int{0}, Value: 1, Time: 100}, // active, newest unit
+	}
+	win := Prime([]int{2}, 3, 10, tuples, 100)
+	if win.Pending() != 2 {
+		t.Fatalf("pending = %d want 2", win.Pending())
+	}
+	if got := win.X().At([]int{1, 2}); got != 3 {
+		t.Errorf("value at [1,2] = %g want 3", got)
+	}
+	if got := win.X().At([]int{0, 2}); got != 1 {
+		t.Errorf("value at [0,2] = %g want 1", got)
+	}
+	if win.X().NNZ() != 2 {
+		t.Errorf("nnz = %d want 2", win.X().NNZ())
+	}
+}
+
+// Theorem 2: at most one scheduled event per active tuple.
+func TestPendingBoundedByActiveTuples(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	win := New([]int{5}, 3, 10)
+	var tuples []stream.Tuple
+	tm := int64(0)
+	for i := 0; i < 200; i++ {
+		tm += int64(rng.Intn(2))
+		tp := stream.Tuple{Coord: []int{rng.Intn(5)}, Value: 1, Time: tm}
+		tuples = append(tuples, tp)
+		win.AdvanceTo(tm, nil)
+		win.Ingest(tp)
+		active := 0
+		for _, u := range tuples {
+			if u.Time > tm-int64(3)*10 {
+				active++
+			}
+		}
+		if win.Pending() > active {
+			t.Fatalf("pending %d exceeds active %d at t=%d", win.Pending(), active, tm)
+		}
+	}
+}
+
+// Each tuple causes exactly W+1 events (S.1 + (W−1)·S.2 + S.3).
+func TestEventCountPerTuple(t *testing.T) {
+	for _, w := range []int{1, 2, 5} {
+		win := New([]int{2}, w, 7)
+		count := 0
+		win.Drive([]stream.Tuple{{Coord: []int{1}, Value: 1, Time: 0}}, int64(w)*7+1,
+			func(Change) { count++ })
+		if count != w+1 {
+			t.Errorf("W=%d: %d events want %d", w, count, w+1)
+		}
+	}
+}
+
+func TestDriveDeterministicOrder(t *testing.T) {
+	mk := func() []string {
+		win := New([]int{3}, 2, 10)
+		tuples := []stream.Tuple{
+			{Coord: []int{0}, Value: 1, Time: 0},
+			{Coord: []int{1}, Value: 1, Time: 0},
+			{Coord: []int{2}, Value: 1, Time: 5},
+		}
+		var trace []string
+		win.Drive(tuples, 40, func(c Change) {
+			trace = append(trace, c.Kind.String()+string(rune('0'+c.Tuple.Coord[0])))
+		})
+		return trace
+	}
+	a, b := mk(), mk()
+	if len(a) != len(b) || len(a) != 9 { // 3 tuples × (W+1)=3 events
+		t.Fatalf("trace lengths %d vs %d want 9", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic order at %d: %v vs %v", i, a, b)
+		}
+	}
+	// Same-time events replay in ingestion order.
+	if a[0] != "arrival0" || a[1] != "arrival1" {
+		t.Errorf("arrival order = %v", a[:2])
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Arrival.String() != "arrival" || Shift.String() != "shift" || Expiry.String() != "expiry" {
+		t.Error("Kind names wrong")
+	}
+	if Kind(9).String() == "" {
+		t.Error("unknown kind should still format")
+	}
+}

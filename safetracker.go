@@ -1,0 +1,132 @@
+package slicenstitch
+
+import (
+	"io"
+	"sync"
+)
+
+// SafeTracker wraps a Tracker with a mutex so one goroutine can push
+// events while others read fitness, predictions, or factor snapshots. All
+// methods mirror Tracker's. Pushes are still serialized — the continuous
+// tensor model is inherently sequential — so use SafeTracker for
+// concurrent *readers*, not to parallelize ingestion.
+type SafeTracker struct {
+	mu sync.Mutex
+	tr *Tracker
+}
+
+// NewSafe builds a mutex-guarded tracker.
+func NewSafe(cfg Config) (*SafeTracker, error) {
+	tr, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &SafeTracker{tr: tr}, nil
+}
+
+// Push forwards to Tracker.Push under the lock.
+func (s *SafeTracker) Push(coord []int, value float64, tm int64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tr.Push(coord, value, tm)
+}
+
+// AdvanceTo forwards to Tracker.AdvanceTo under the lock.
+func (s *SafeTracker) AdvanceTo(tm int64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tr.AdvanceTo(tm)
+}
+
+// Start forwards to Tracker.Start under the lock.
+func (s *SafeTracker) Start() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tr.Start()
+}
+
+// Started reports whether the tracker is online.
+func (s *SafeTracker) Started() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tr.Started()
+}
+
+// Now returns the current stream time.
+func (s *SafeTracker) Now() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tr.Now()
+}
+
+// Events returns the number of factor updates applied since Start.
+func (s *SafeTracker) Events() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tr.Events()
+}
+
+// NNZ returns the number of nonzeros in the current window.
+func (s *SafeTracker) NNZ() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tr.NNZ()
+}
+
+// Fitness returns the current fitness.
+func (s *SafeTracker) Fitness() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tr.Fitness()
+}
+
+// Predict evaluates the model at the coordinates and time index.
+func (s *SafeTracker) Predict(coord []int, timeIdx int) (float64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tr.Predict(coord, timeIdx)
+}
+
+// Observed returns the window entry at the coordinates and time index.
+func (s *SafeTracker) Observed(coord []int, timeIdx int) (float64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tr.Observed(coord, timeIdx)
+}
+
+// Factors snapshots the model.
+func (s *SafeTracker) Factors() *Factors {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tr.Factors()
+}
+
+// AlgorithmName returns the active algorithm's name.
+func (s *SafeTracker) AlgorithmName() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tr.AlgorithmName()
+}
+
+// ParamCount returns the model parameter count.
+func (s *SafeTracker) ParamCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tr.ParamCount()
+}
+
+// Checkpoint serializes the tracker under the lock.
+func (s *SafeTracker) Checkpoint(w io.Writer) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tr.Checkpoint(w)
+}
+
+// RestoreSafe rebuilds a mutex-guarded tracker from a Checkpoint stream.
+func RestoreSafe(r io.Reader) (*SafeTracker, error) {
+	tr, err := Restore(r)
+	if err != nil {
+		return nil, err
+	}
+	return &SafeTracker{tr: tr}, nil
+}

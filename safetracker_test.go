@@ -1,0 +1,127 @@
+package slicenstitch
+
+import (
+	"bytes"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSafeTrackerConcurrentReaders(t *testing.T) {
+	s, err := NewSafe(validConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fill and start.
+	rng := rand.New(rand.NewSource(1))
+	tm := int64(0)
+	for i := 0; i < 50; i++ {
+		tm += int64(rng.Intn(2))
+		if err := s.Push([]int{rng.Intn(5), rng.Intn(4)}, 1, tm); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	// Readers hammer the accessors while the writer pushes.
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				_ = s.Fitness()
+				_ = s.NNZ()
+				_, _ = s.Predict([]int{1, 1}, 0)
+				_ = s.Factors()
+				_ = s.Events()
+				_ = s.Now()
+				_ = s.AlgorithmName()
+				_ = s.ParamCount()
+				_ = s.Started()
+			}
+		}()
+	}
+	for i := 0; i < 300; i++ {
+		tm += int64(rng.Intn(2))
+		if err := s.Push([]int{rng.Intn(5), rng.Intn(4)}, 1, tm); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if s.Events() == 0 {
+		t.Fatal("no updates processed")
+	}
+}
+
+func TestSafeTrackerCheckpointRestore(t *testing.T) {
+	s, _ := NewSafe(validConfig())
+	rng := rand.New(rand.NewSource(2))
+	tm := int64(0)
+	for i := 0; i < 50; i++ {
+		tm += int64(rng.Intn(2))
+		s.Push([]int{rng.Intn(5), rng.Intn(4)}, 1, tm)
+	}
+	s.Start()
+	var buf bytes.Buffer
+	if err := s.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := RestoreSafe(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NNZ() != s.NNZ() || !got.Started() {
+		t.Fatal("restored SafeTracker state mismatch")
+	}
+	if err := got.AdvanceTo(tm + 100); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewSafeValidates(t *testing.T) {
+	if _, err := NewSafe(Config{}); err == nil {
+		t.Fatal("expected validation error")
+	}
+	if _, err := RestoreSafe(bytes.NewReader(nil)); err == nil {
+		t.Fatal("expected restore error")
+	}
+}
+
+func TestLatencyBudgetWiresAutoTheta(t *testing.T) {
+	cfg := validConfig()
+	cfg.Algorithm = SNSRndPlus
+	cfg.LatencyBudget = time.Millisecond
+	tr, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := fill(t, tr, 50, 9)
+	if err := tr.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.AlgorithmName(); got != "SNS-Rnd+ (auto-θ)" {
+		t.Fatalf("AlgorithmName = %q", got)
+	}
+	rng := rand.New(rand.NewSource(10))
+	tm := last
+	for i := 0; i < 50; i++ {
+		tm += int64(rng.Intn(2))
+		if err := tr.Push([]int{rng.Intn(5), rng.Intn(4)}, 1, tm); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tr.Events() == 0 {
+		t.Fatal("no updates")
+	}
+}

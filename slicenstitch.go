@@ -1,0 +1,362 @@
+// Package slicenstitch is a from-scratch Go implementation of
+// SliceNStitch: continuous CANDECOMP/PARAFAC (CP) decomposition of sparse
+// tensor streams (Kwon, Park, Lee, Shin — ICDE 2021, arXiv:2102.11517).
+//
+// A Tracker models a multi-aspect data stream (timestamped tuples of
+// categorical coordinates and a value) as a tensor window under the paper's
+// continuous tensor model, and keeps a rank-R CP factorization of that
+// window up to date on every single event — arrivals, unit-boundary shifts,
+// and expirations — rather than once per period as conventional streaming
+// CPD does.
+//
+// Typical use:
+//
+//	tr, _ := slicenstitch.New(slicenstitch.Config{
+//		Dims:   []int{265, 265}, // e.g. taxi zones
+//		W:      10,              // window length in tensor units
+//		Period: 3600,            // unit length in stream time (1 hour)
+//		Rank:   20,
+//	})
+//	for ev := range events {
+//		tr.Push(ev.Coord, ev.Value, ev.Time) // fills the initial window …
+//	}
+//	tr.Start()                               // … ALS warm start, go online
+//	for ev := range more {
+//		tr.Push(ev.Coord, ev.Value, ev.Time) // every push updates factors
+//	}
+//	fmt.Println(tr.Fitness())
+//
+// The five update algorithms of the paper are selectable via
+// Config.Algorithm; SNSRndPlus (the paper's recommended fast variant) is
+// the default. See DESIGN.md and EXPERIMENTS.md for the faithful-
+// reproduction details and internal/experiments for the harness that
+// regenerates every table and figure of the paper's evaluation.
+package slicenstitch
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"slicenstitch/internal/als"
+	"slicenstitch/internal/core"
+	"slicenstitch/internal/cpd"
+	"slicenstitch/internal/stream"
+	"slicenstitch/internal/window"
+)
+
+// Algorithm selects one of the paper's five update rules.
+type Algorithm string
+
+// The five SliceNStitch variants (Section V of the paper).
+const (
+	// SNSMat is Algorithm 2: one full ALS sweep per event. Most accurate,
+	// slowest.
+	SNSMat Algorithm = "SNS-Mat"
+	// SNSVec updates only the affected factor rows by least squares.
+	// Fast, but numerically unstable on some streams (kept for fidelity;
+	// prefer SNSVecPlus).
+	SNSVec Algorithm = "SNS-Vec"
+	// SNSRnd is SNSVec with θ-sampling for high-degree rows: constant-time
+	// updates, same instability caveat.
+	SNSRnd Algorithm = "SNS-Rnd"
+	// SNSVecPlus is the stable coordinate-descent variant of SNSVec with
+	// entry clipping.
+	SNSVecPlus Algorithm = "SNS-Vec+"
+	// SNSRndPlus is the stable sampled variant — the paper's recommended
+	// configuration and the default.
+	SNSRndPlus Algorithm = "SNS-Rnd+"
+)
+
+// Config configures a Tracker.
+type Config struct {
+	// Dims are the categorical mode sizes N_1..N_{M-1} (the time mode is
+	// implicit). Required.
+	Dims []int
+	// W is the number of tensor units in the window (paper default 10).
+	W int
+	// Period is the tensor-unit length T in stream time units. Required.
+	Period int64
+	// Rank is the CP rank R (paper default 20).
+	Rank int
+	// Algorithm selects the update rule (default SNSRndPlus).
+	Algorithm Algorithm
+	// Theta is the sampling threshold θ for the Rnd variants (default 20).
+	Theta int
+	// Eta is the clipping threshold η for the ⁺ variants (default 1000).
+	Eta float64
+	// Seed drives sampling and the ALS warm start (default 1).
+	Seed int64
+	// ALSIters bounds the warm-start ALS sweeps in Start (default 20).
+	ALSIters int
+	// LatencyBudget, when positive and the algorithm is SNSRnd or
+	// SNSRndPlus, enables the auto-θ controller: θ is adapted online so
+	// the mean per-update latency tracks the budget — the paper's
+	// practitioner's guide ("increase θ as much as possible within your
+	// runtime budget") automated.
+	LatencyBudget time.Duration
+	// NonNegative, with SNSVecPlus or SNSRndPlus, constrains factor
+	// entries to [0, Eta] — an extension for count data where negative
+	// loadings have no interpretation. Ignored by the other algorithms.
+	NonNegative bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.W == 0 {
+		c.W = 10
+	}
+	if c.Rank == 0 {
+		c.Rank = 20
+	}
+	if c.Algorithm == "" {
+		c.Algorithm = SNSRndPlus
+	}
+	if c.Theta == 0 {
+		c.Theta = 20
+	}
+	if c.Eta == 0 {
+		c.Eta = 1000
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.ALSIters == 0 {
+		c.ALSIters = 20
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	if len(c.Dims) == 0 {
+		return errors.New("slicenstitch: Config.Dims is required")
+	}
+	for m, d := range c.Dims {
+		if d <= 0 {
+			return fmt.Errorf("slicenstitch: Dims[%d] = %d must be positive", m, d)
+		}
+	}
+	if c.Period <= 0 {
+		return errors.New("slicenstitch: Config.Period must be positive")
+	}
+	if c.W <= 0 {
+		return errors.New("slicenstitch: Config.W must be positive")
+	}
+	if c.Rank <= 0 {
+		return errors.New("slicenstitch: Config.Rank must be positive")
+	}
+	if c.Theta <= 0 {
+		return errors.New("slicenstitch: Config.Theta must be positive")
+	}
+	if c.Eta <= 0 {
+		return errors.New("slicenstitch: Config.Eta must be positive")
+	}
+	switch c.Algorithm {
+	case SNSMat, SNSVec, SNSRnd, SNSVecPlus, SNSRndPlus:
+	default:
+		return fmt.Errorf("slicenstitch: unknown algorithm %q", c.Algorithm)
+	}
+	return nil
+}
+
+// Tracker maintains a continuous CP decomposition of a sparse tensor
+// stream. It is not safe for concurrent use.
+type Tracker struct {
+	cfg     Config
+	win     *window.Window
+	dec     core.Decomposer
+	started bool
+	events  uint64
+}
+
+// New builds a Tracker in the filling phase: Push only feeds the tensor
+// window until Start is called.
+func New(cfg Config) (*Tracker, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &Tracker{
+		cfg: cfg,
+		win: window.New(cfg.Dims, cfg.W, cfg.Period),
+	}, nil
+}
+
+// Push feeds one stream tuple. Before Start it only maintains the window;
+// after Start every resulting event (the arrival plus any scheduled shifts
+// or expirations that came due) also updates the factor matrices. Tuples
+// must arrive in chronological order.
+func (t *Tracker) Push(coord []int, value float64, tm int64) error {
+	if len(coord) != len(t.cfg.Dims) {
+		return fmt.Errorf("slicenstitch: coord has %d indices, want %d", len(coord), len(t.cfg.Dims))
+	}
+	for m, i := range coord {
+		if i < 0 || i >= t.cfg.Dims[m] {
+			return fmt.Errorf("slicenstitch: coord[%d] = %d out of range [0,%d)", m, i, t.cfg.Dims[m])
+		}
+	}
+	if tm < t.win.Now() {
+		return fmt.Errorf("slicenstitch: timestamp %d precedes stream time %d", tm, t.win.Now())
+	}
+	t.win.AdvanceTo(tm, t.onChange())
+	c := make([]int, len(coord))
+	copy(c, coord)
+	if ch, ok := t.win.Ingest(stream.Tuple{Coord: c, Value: value, Time: tm}); ok && t.started {
+		t.dec.Apply(ch)
+		t.events++
+	}
+	return nil
+}
+
+// AdvanceTo moves stream time forward without a new tuple, processing any
+// scheduled shift/expiry events (and, after Start, updating factors for
+// each).
+func (t *Tracker) AdvanceTo(tm int64) error {
+	if tm < t.win.Now() {
+		return fmt.Errorf("slicenstitch: timestamp %d precedes stream time %d", tm, t.win.Now())
+	}
+	t.win.AdvanceTo(tm, t.onChange())
+	return nil
+}
+
+func (t *Tracker) onChange() func(window.Change) {
+	if !t.started {
+		return nil
+	}
+	return func(ch window.Change) {
+		t.dec.Apply(ch)
+		t.events++
+	}
+}
+
+// Start warm-starts the factor matrices with ALS on the current window
+// (Section VI-A of the paper) and switches the tracker online. It is an
+// error to call it twice.
+func (t *Tracker) Start() error {
+	if t.started {
+		return errors.New("slicenstitch: Start called twice")
+	}
+	init := als.Run(t.win.X(), als.Options{Rank: t.cfg.Rank, MaxIters: t.cfg.ALSIters, Seed: t.cfg.Seed})
+	switch t.cfg.Algorithm {
+	case SNSMat:
+		t.dec = core.NewSNSMat(t.win, init)
+	case SNSVec:
+		t.dec = core.NewSNSVec(t.win, init)
+	case SNSRnd:
+		t.dec = wrapAuto(core.NewSNSRnd(t.win, init, t.cfg.Theta, t.cfg.Seed), t.cfg.LatencyBudget)
+	case SNSVecPlus:
+		dec := core.NewSNSVecPlus(t.win, init, t.cfg.Eta)
+		dec.NonNegative = t.cfg.NonNegative
+		t.dec = dec
+	case SNSRndPlus:
+		dec := core.NewSNSRndPlus(t.win, init, t.cfg.Theta, t.cfg.Eta, t.cfg.Seed)
+		dec.NonNegative = t.cfg.NonNegative
+		t.dec = wrapAuto(dec, t.cfg.LatencyBudget)
+	}
+	t.started = true
+	return nil
+}
+
+// wrapAuto attaches the auto-θ controller when a latency budget is set.
+func wrapAuto(inner core.ThetaAdjustable, budget time.Duration) core.Decomposer {
+	if budget <= 0 {
+		return inner
+	}
+	return core.NewAutoTheta(inner, budget)
+}
+
+// Started reports whether the tracker is online.
+func (t *Tracker) Started() bool { return t.started }
+
+// Now returns the current stream time.
+func (t *Tracker) Now() int64 { return t.win.Now() }
+
+// Events returns the number of factor updates applied since Start.
+func (t *Tracker) Events() uint64 { return t.events }
+
+// NNZ returns the number of nonzero entries in the current tensor window.
+func (t *Tracker) NNZ() int { return t.win.X().NNZ() }
+
+// Predict evaluates the current model at categorical coordinates and a
+// time-mode index in [0, W): W−1 is the newest (current) tensor unit.
+func (t *Tracker) Predict(coord []int, timeIdx int) (float64, error) {
+	if !t.started {
+		return 0, errors.New("slicenstitch: Predict before Start")
+	}
+	if len(coord) != len(t.cfg.Dims) {
+		return 0, fmt.Errorf("slicenstitch: coord has %d indices, want %d", len(coord), len(t.cfg.Dims))
+	}
+	if timeIdx < 0 || timeIdx >= t.cfg.W {
+		return 0, fmt.Errorf("slicenstitch: timeIdx %d out of range [0,%d)", timeIdx, t.cfg.W)
+	}
+	full := make([]int, len(coord)+1)
+	copy(full, coord)
+	full[len(coord)] = timeIdx
+	return t.dec.Model().Predict(full), nil
+}
+
+// Observed returns the actual window entry at categorical coordinates and
+// a time-mode index (0 when absent).
+func (t *Tracker) Observed(coord []int, timeIdx int) (float64, error) {
+	if len(coord) != len(t.cfg.Dims) {
+		return 0, fmt.Errorf("slicenstitch: coord has %d indices, want %d", len(coord), len(t.cfg.Dims))
+	}
+	if timeIdx < 0 || timeIdx >= t.cfg.W {
+		return 0, fmt.Errorf("slicenstitch: timeIdx %d out of range [0,%d)", timeIdx, t.cfg.W)
+	}
+	full := make([]int, len(coord)+1)
+	copy(full, coord)
+	full[len(coord)] = timeIdx
+	return t.win.X().At(full), nil
+}
+
+// Fitness returns 1 − ‖X−X̃‖_F/‖X‖_F for the current window and model —
+// the paper's accuracy metric. Zero before Start.
+func (t *Tracker) Fitness() float64 {
+	if !t.started {
+		return 0
+	}
+	return cpd.Fitness(t.win.X(), t.dec.Model())
+}
+
+// Factors is a deep-copied snapshot of the CP model: one matrix per mode
+// (categorical modes first, time mode last), each Rows×Rank, plus the
+// column weights λ (all ones for the normalization-free variants).
+type Factors struct {
+	Matrices [][][]float64
+	Lambda   []float64
+}
+
+// Factors snapshots the current model (nil before Start).
+func (t *Tracker) Factors() *Factors {
+	if !t.started {
+		return nil
+	}
+	m := t.dec.Model()
+	out := &Factors{Lambda: append([]float64(nil), m.Lambda...)}
+	for _, f := range m.Factors {
+		rows := make([][]float64, f.Rows())
+		for i := range rows {
+			rows[i] = append([]float64(nil), f.Row(i)...)
+		}
+		out.Matrices = append(out.Matrices, rows)
+	}
+	return out
+}
+
+// AlgorithmName returns the active algorithm's paper name ("SNS-Rnd+" …),
+// or the configured one before Start.
+func (t *Tracker) AlgorithmName() string {
+	if t.started {
+		return t.dec.Name()
+	}
+	return string(t.cfg.Algorithm)
+}
+
+// ParamCount returns the number of model parameters R·(ΣN_m + W).
+func (t *Tracker) ParamCount() int {
+	dims := 0
+	for _, d := range t.cfg.Dims {
+		dims += d
+	}
+	return t.cfg.Rank * (dims + t.cfg.W)
+}
