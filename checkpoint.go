@@ -1,6 +1,7 @@
 package slicenstitch
 
 import (
+	"bytes"
 	"encoding/gob"
 	"errors"
 	"fmt"
@@ -118,4 +119,109 @@ func (t *Tracker) adopt(model *cpd.Model) error {
 	}
 	t.started = true
 	return nil
+}
+
+// engineCheckpointVersion is bumped on incompatible engine-format changes.
+const engineCheckpointVersion = 1
+
+// engineStreamMeta records one shard's serving configuration; the tracker
+// Config travels inside the per-stream tracker checkpoint.
+type engineStreamMeta struct {
+	Name            string
+	MailboxCapacity int
+	Backpressure    int
+	PublishEvery    int
+}
+
+// engineHeader leads a whole-engine checkpoint stream.
+type engineHeader struct {
+	Version int
+	Streams []engineStreamMeta
+}
+
+// Checkpoint serializes every stream of the engine so serving can resume
+// after a restart with RestoreEngine. Each shard's state is captured on
+// its own writer goroutine after all batches queued before the call, so
+// every stream is internally consistent; streams are captured one after
+// another, not at a single cross-stream instant.
+func (e *Engine) Checkpoint(w io.Writer) error {
+	// The header needs only each shard's serving config, so it is written
+	// first and the tracker blobs are captured one at a time — the engine
+	// never holds more than one shard's serialized state in memory.
+	names := e.Streams()
+	metas := make([]engineStreamMeta, 0, len(names))
+	for _, name := range names {
+		s, err := e.shard(name)
+		if err != nil {
+			return err
+		}
+		metas = append(metas, engineStreamMeta{
+			Name:            name,
+			MailboxCapacity: s.cfg.MailboxCapacity,
+			Backpressure:    int(s.cfg.Backpressure),
+			PublishEvery:    s.cfg.PublishEvery,
+		})
+	}
+	enc := gob.NewEncoder(w)
+	if err := enc.Encode(engineHeader{Version: engineCheckpointVersion, Streams: metas}); err != nil {
+		return fmt.Errorf("slicenstitch: engine checkpoint header: %w", err)
+	}
+	for _, name := range names {
+		var buf bytes.Buffer
+		if err := e.control(name, shardMsg{op: opCheckpoint, w: &buf}); err != nil {
+			return fmt.Errorf("slicenstitch: checkpoint stream %q: %w", name, err)
+		}
+		if err := enc.Encode(buf.Bytes()); err != nil {
+			return fmt.Errorf("slicenstitch: engine checkpoint stream %q: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// RestoreEngine rebuilds a running engine — every stream with its tracker
+// state, mailbox sizing, and backpressure policy — from a Checkpoint
+// stream. Restored shards resume exactly where their checkpoint left off
+// and publish an initial snapshot immediately.
+func RestoreEngine(r io.Reader) (*Engine, error) {
+	dec := gob.NewDecoder(r)
+	var h engineHeader
+	if err := dec.Decode(&h); err != nil {
+		return nil, fmt.Errorf("slicenstitch: restore engine header: %w", err)
+	}
+	if h.Version != engineCheckpointVersion {
+		return nil, fmt.Errorf("slicenstitch: unsupported engine checkpoint version %d", h.Version)
+	}
+	e := NewEngine()
+	// Shards restored before a failure have live writer goroutines; shut
+	// them down rather than leak them when a later stream is corrupt.
+	restored := false
+	defer func() {
+		if !restored {
+			e.Close()
+		}
+	}()
+	for _, meta := range h.Streams {
+		var blob []byte
+		if err := dec.Decode(&blob); err != nil {
+			return nil, fmt.Errorf("slicenstitch: restore stream %q: %w", meta.Name, err)
+		}
+		tr, err := Restore(bytes.NewReader(blob))
+		if err != nil {
+			return nil, fmt.Errorf("slicenstitch: restore stream %q: %w", meta.Name, err)
+		}
+		cfg := StreamConfig{
+			Config:          tr.cfg,
+			MailboxCapacity: meta.MailboxCapacity,
+			Backpressure:    Backpressure(meta.Backpressure),
+			PublishEvery:    meta.PublishEvery,
+		}.withDefaults()
+		if err := cfg.validate(); err != nil {
+			return nil, fmt.Errorf("slicenstitch: restore stream %q: %w", meta.Name, err)
+		}
+		if err := e.addShard(meta.Name, cfg, tr); err != nil {
+			return nil, err
+		}
+	}
+	restored = true
+	return e, nil
 }

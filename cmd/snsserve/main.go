@@ -1,29 +1,32 @@
-// Command snsserve runs a live continuous-CPD monitor: it simulates (or
-// replays) a traffic stream through a SafeTracker in real time and serves
-// the tracker state over HTTP — the "time-critical application" setting
-// the paper motivates, where the decomposition must be inspectable at any
-// instant, not once per period.
+// Command snsserve runs a live multi-stream continuous-CPD service: a
+// sharded engine tracks one CP model per named tensor stream, each shard
+// fed by its own simulated (or HTTP-ingested) stream — the "time-critical
+// application" setting the paper motivates, where every decomposition must
+// be inspectable at any instant, not once per period.
 //
-// Endpoints:
-//
-//	GET /status   JSON: stream time, events, nnz, fitness, algorithm, θ/η
-//	GET /factors  JSON: factor matrices + λ snapshot
-//	GET /predict?coord=3,5&t=9   JSON: model vs observed value
-//	GET /         plain-text dashboard
+// Each -streams entry becomes one engine shard seeded from a dataset
+// preset; external streams can be ingested through the HTTP batch
+// endpoint. See newMux for the endpoint list.
 //
 // Usage:
 //
-//	snsserve -preset NewYorkTaxi -addr :8080 -speed 1000
+//	snsserve -streams NewYorkTaxi,ChicagoCrime -addr :8080 -speed 1000
+//	snsserve -streams "taxi=NewYorkTaxi,bikes=DivvyBikes" -backpressure drop-oldest
+//	snsserve -checkpoint /var/lib/sns.ckpt   # restore if present, save on shutdown
 package main
 
 import (
-	"encoding/json"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
-	"strconv"
+	"os"
+	"os/signal"
+	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
 	"slicenstitch"
@@ -32,141 +35,285 @@ import (
 
 func main() {
 	var (
-		preset = flag.String("preset", "NewYorkTaxi", "dataset preset")
-		addr   = flag.String("addr", ":8080", "HTTP listen address")
-		speed  = flag.Float64("speed", 1000, "stream ticks simulated per wall second")
-		rank   = flag.Int("rank", 12, "CP rank")
-		w      = flag.Int("w", 10, "window length")
+		streams      = flag.String("streams", "NewYorkTaxi", "comma-separated streams, each `preset` or `name=preset`")
+		addr         = flag.String("addr", ":8080", "HTTP listen address")
+		speed        = flag.Float64("speed", 1000, "stream ticks simulated per wall second, per stream")
+		rank         = flag.Int("rank", 12, "CP rank")
+		w            = flag.Int("w", 10, "window length")
+		mailbox      = flag.Int("mailbox", 256, "per-stream mailbox capacity in batches")
+		backpressure = flag.String("backpressure", "block", "full-mailbox policy: block, drop-oldest, or error")
+		publishEvery = flag.Int("publish-every", 256, "events between snapshot publishes")
+		checkpoint   = flag.String("checkpoint", "", "engine checkpoint path: restore from it if present, save on shutdown")
 	)
 	flag.Parse()
-
-	p, err := datagen.PresetByName(*preset)
-	if err != nil {
+	if err := run(*streams, *addr, *speed, *rank, *w, *mailbox, *backpressure, *publishEvery, *checkpoint); err != nil {
 		log.Fatal(err)
 	}
-	p = p.Bench()
-
-	tr, err := slicenstitch.NewSafe(slicenstitch.Config{
-		Dims:   p.Dims,
-		W:      *w,
-		Period: p.DefaultPeriod,
-		Rank:   *rank,
-		Seed:   1,
-	})
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	// Feed the stream in a background goroutine at the requested speed.
-	go feed(tr, p, *speed, int64(*w)*p.DefaultPeriod)
-
-	http.HandleFunc("/status", func(rw http.ResponseWriter, _ *http.Request) {
-		writeJSON(rw, map[string]interface{}{
-			"preset":    p.Name,
-			"streamNow": tr.Now(),
-			"started":   tr.Started(),
-			"events":    tr.Events(),
-			"nnz":       tr.NNZ(),
-			"fitness":   tr.Fitness(),
-			"algorithm": tr.AlgorithmName(),
-			"params":    tr.ParamCount(),
-		})
-	})
-	http.HandleFunc("/factors", func(rw http.ResponseWriter, _ *http.Request) {
-		f := tr.Factors()
-		if f == nil {
-			http.Error(rw, "warming up", http.StatusServiceUnavailable)
-			return
-		}
-		writeJSON(rw, f)
-	})
-	http.HandleFunc("/predict", func(rw http.ResponseWriter, req *http.Request) {
-		coord, timeIdx, err := parsePredict(req, len(p.Dims), *w)
-		if err != nil {
-			http.Error(rw, err.Error(), http.StatusBadRequest)
-			return
-		}
-		pred, err := tr.Predict(coord, timeIdx)
-		if err != nil {
-			http.Error(rw, err.Error(), http.StatusServiceUnavailable)
-			return
-		}
-		obs, _ := tr.Observed(coord, timeIdx)
-		writeJSON(rw, map[string]interface{}{
-			"coord": coord, "timeIdx": timeIdx,
-			"predicted": pred, "observed": obs,
-		})
-	})
-	http.HandleFunc("/", func(rw http.ResponseWriter, _ *http.Request) {
-		fmt.Fprintf(rw, "slicenstitch live monitor — %s-like stream\n", p.Name)
-		fmt.Fprintf(rw, "stream time: %d   events: %d   nnz: %d\n", tr.Now(), tr.Events(), tr.NNZ())
-		fmt.Fprintf(rw, "algorithm:   %s   fitness: %.4f\n", tr.AlgorithmName(), tr.Fitness())
-		fmt.Fprintf(rw, "\nendpoints: /status /factors /predict?coord=i,j&t=%d\n", *w-1)
-	})
-
-	log.Printf("snsserve: %s-like stream on %s (x%g speed)", p.Name, *addr, *speed)
-	log.Fatal(http.ListenAndServe(*addr, nil))
 }
 
-// feed simulates the stream: fills the initial window, starts the tracker,
-// then pushes tuples paced to `speed` ticks per wall second.
-func feed(tr *slicenstitch.SafeTracker, p datagen.Preset, speed float64, t0 int64) {
+func run(streams, addr string, speed float64, rank, w, mailbox int, backpressure string, publishEvery int, checkpoint string) error {
+	bp, err := parseBackpressure(backpressure)
+	if err != nil {
+		return err
+	}
+	// The negated form also rejects NaN, which passes any plain comparison.
+	if !(speed >= 1e-9 && speed <= 1e9) {
+		return fmt.Errorf("speed must be in [1e-9, 1e9], got %g", speed)
+	}
+
+	// Restore the whole engine if a checkpoint exists; otherwise build the
+	// configured streams fresh.
+	var e *slicenstitch.Engine
+	restored := false
+	specs, err := parseStreams(streams)
+	if err != nil {
+		return err
+	}
+	if checkpoint != "" {
+		f, ferr := os.Open(checkpoint)
+		switch {
+		case ferr == nil:
+			e, err = slicenstitch.RestoreEngine(f)
+			f.Close()
+			if err != nil {
+				return fmt.Errorf("restore %s: %w", checkpoint, err)
+			}
+			restored = true
+			log.Printf("snsserve: restored %d streams from %s", len(e.Streams()), checkpoint)
+		case !os.IsNotExist(ferr):
+			// Anything but "no checkpoint yet" must not silently start
+			// fresh — shutdown would overwrite the unreadable file.
+			return fmt.Errorf("open checkpoint: %w", ferr)
+		}
+	}
+	if e == nil {
+		e = slicenstitch.NewEngine()
+	}
+	defer e.Close()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// One feeder per simulated stream, each batching a tick's tuples into
+	// a single PushBatch. Restored streams serve their checkpointed models
+	// and HTTP ingestion only — the simulators' clock positions are gone —
+	// but -streams entries absent from the checkpoint are created fresh
+	// and fed as usual.
+	existing := map[string]bool{}
+	for _, n := range e.Streams() {
+		existing[n] = true
+	}
+	for _, sp := range specs {
+		if restored && existing[sp.name] {
+			// A checkpoint taken mid-warm-up holds an unstarted stream;
+			// resume its feeder from the tick after the restored clock so
+			// the stream still comes online. Warm-up length and pacing
+			// come from the shard's checkpointed config (snapshot W and
+			// queue capacity), not the current flags.
+			if snap, serr := e.Snapshot(sp.name); serr == nil && !snap.Started {
+				log.Printf("snsserve: restored stream %q is unstarted, resuming warm-up", sp.name)
+				go feed(ctx, e, sp.name, sp.preset, speed,
+					int64(snap.W)*sp.preset.DefaultPeriod, snap.QueueCap, snap.Now+1)
+			}
+			continue
+		}
+		if !existing[sp.name] {
+			err := e.AddStream(sp.name, slicenstitch.StreamConfig{
+				Config: slicenstitch.Config{
+					Dims:   sp.preset.Dims,
+					W:      w,
+					Period: sp.preset.DefaultPeriod,
+					Rank:   rank,
+					Seed:   1,
+				},
+				MailboxCapacity: mailbox,
+				Backpressure:    bp,
+				PublishEvery:    publishEvery,
+			})
+			if err != nil {
+				return err
+			}
+			if restored {
+				log.Printf("snsserve: stream %q not in checkpoint, created fresh", sp.name)
+			}
+		}
+		go feed(ctx, e, sp.name, sp.preset, speed, int64(w)*sp.preset.DefaultPeriod, mailbox, 0)
+	}
+
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           newMux(e),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("snsserve: %d streams on %s (x%g speed, %s backpressure)", len(e.Streams()), addr, speed, bp)
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	log.Print("snsserve: shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("snsserve: shutdown: %v", err)
+	}
+	if checkpoint != "" {
+		if err := saveCheckpoint(e, checkpoint); err != nil {
+			return err
+		}
+		log.Printf("snsserve: checkpointed %d streams to %s", len(e.Streams()), checkpoint)
+	}
+	return e.Close()
+}
+
+// saveCheckpoint atomically writes the whole-engine checkpoint.
+func saveCheckpoint(e *slicenstitch.Engine, path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	err = e.Checkpoint(f)
+	if err == nil {
+		// The rename below is only crash-safe if the data reaches disk
+		// first; otherwise it can replace the old good checkpoint with a
+		// truncated file.
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	if dir, derr := os.Open(filepath.Dir(path)); derr == nil {
+		dir.Sync()
+		dir.Close()
+	}
+	return nil
+}
+
+// streamSpec pairs a stream name with its dataset preset.
+type streamSpec struct {
+	name   string
+	preset datagen.Preset
+}
+
+// parseStreams expands "-streams" entries: `preset` or `name=preset`.
+func parseStreams(raw string) ([]streamSpec, error) {
+	var specs []streamSpec
+	seen := map[string]bool{}
+	for _, entry := range strings.Split(raw, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		name, presetName := entry, entry
+		if i := strings.IndexByte(entry, '='); i >= 0 {
+			name, presetName = strings.TrimSpace(entry[:i]), strings.TrimSpace(entry[i+1:])
+		}
+		p, err := datagen.PresetByName(presetName)
+		if err != nil {
+			return nil, err
+		}
+		if seen[name] {
+			return nil, fmt.Errorf("duplicate stream name %q", name)
+		}
+		seen[name] = true
+		specs = append(specs, streamSpec{name: name, preset: p.Bench()})
+	}
+	if len(specs) == 0 {
+		return nil, errors.New("no streams configured")
+	}
+	return specs, nil
+}
+
+func parseBackpressure(s string) (slicenstitch.Backpressure, error) {
+	switch s {
+	case "block":
+		return slicenstitch.BackpressureBlock, nil
+	case "drop-oldest":
+		return slicenstitch.BackpressureDropOldest, nil
+	case "error":
+		return slicenstitch.BackpressureError, nil
+	}
+	return 0, fmt.Errorf("unknown backpressure policy %q (want block, drop-oldest, or error)", s)
+}
+
+// feed simulates one stream: fills the initial window in per-tick batches
+// (starting at tick `from` — nonzero when resuming a restored warm-up, so
+// already-applied ticks are neither replayed nor double-counted),
+// warm-starts the shard, then pushes batches paced to `speed` ticks per
+// wall second until the context is cancelled.
+func feed(ctx context.Context, e *slicenstitch.Engine, name string, p datagen.Preset, speed float64, t0 int64, mailbox int, from int64) {
 	gen := datagen.NewGenerator(p, 42)
-	var t int64
-	for t = 0; t <= t0; t++ {
-		for _, tp := range gen.Tick(t) {
-			if err := tr.Push(tp.Coord, tp.Value, tp.Time); err != nil {
-				log.Printf("feed: %v", err)
+	push := func(t int64) bool {
+		tuples := gen.Tick(t)
+		batch := make([]slicenstitch.Event, len(tuples))
+		for i, tp := range tuples {
+			batch[i] = slicenstitch.Event{Coord: tp.Coord, Value: tp.Value, Time: tp.Time}
+		}
+		if err := e.PushBatch(name, batch); err != nil {
+			if !errors.Is(err, slicenstitch.ErrBackpressure) {
+				log.Printf("feed %s: %v", name, err)
+				return false
+			}
+			log.Printf("feed %s: batch rejected (backpressure)", name)
+		}
+		return true
+	}
+	// Pace the unthrottled warm-up with periodic Flush barriers so the
+	// mailbox never fills: the initial window must be complete before
+	// Start regardless of the backpressure policy. A barrier every k ≤
+	// capacity ticks guarantees at most k queued batches between flushes.
+	flushEvery := int64(mailbox)
+	if flushEvery > 64 {
+		flushEvery = 64
+	}
+	if flushEvery < 1 {
+		flushEvery = 1
+	}
+	t := from
+	for ; t <= t0; t++ {
+		if !push(t) {
+			return
+		}
+		if t%flushEvery == 0 {
+			if err := e.Flush(name); err != nil {
+				log.Printf("feed %s: %v", name, err)
 				return
 			}
 		}
 	}
-	if err := tr.Start(); err != nil {
-		log.Printf("feed: %v", err)
+	if err := e.Start(name); err != nil {
+		log.Printf("feed %s: %v", name, err)
 		return
 	}
-	log.Printf("feed: online at stream time %d, fitness %.4f", tr.Now(), tr.Fitness())
+	if snap, err := e.Snapshot(name); err == nil {
+		log.Printf("feed %s: online at stream time %d, fitness %.4f", name, snap.Now, snap.Fitness)
+	}
 	interval := time.Duration(float64(time.Second) / speed)
 	ticker := time.NewTicker(interval)
 	defer ticker.Stop()
-	for range ticker.C {
-		t++
-		for _, tp := range gen.Tick(t) {
-			if err := tr.Push(tp.Coord, tp.Value, tp.Time); err != nil {
-				log.Printf("feed: %v", err)
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+			t++
+			if !push(t) {
 				return
 			}
 		}
 	}
-}
-
-func writeJSON(rw http.ResponseWriter, v interface{}) {
-	rw.Header().Set("Content-Type", "application/json")
-	if err := json.NewEncoder(rw).Encode(v); err != nil {
-		http.Error(rw, err.Error(), http.StatusInternalServerError)
-	}
-}
-
-// parsePredict extracts ?coord=i,j&t=k.
-func parsePredict(req *http.Request, arity, w int) (coord []int, timeIdx int, err error) {
-	raw := req.URL.Query().Get("coord")
-	parts := strings.Split(raw, ",")
-	if raw == "" || len(parts) != arity {
-		return nil, 0, fmt.Errorf("coord must have %d comma-separated indices", arity)
-	}
-	for _, s := range parts {
-		v, err := strconv.Atoi(strings.TrimSpace(s))
-		if err != nil {
-			return nil, 0, fmt.Errorf("bad coord %q", s)
-		}
-		coord = append(coord, v)
-	}
-	timeIdx = w - 1
-	if ts := req.URL.Query().Get("t"); ts != "" {
-		timeIdx, err = strconv.Atoi(ts)
-		if err != nil {
-			return nil, 0, fmt.Errorf("bad t %q", ts)
-		}
-	}
-	return coord, timeIdx, nil
 }

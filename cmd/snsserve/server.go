@@ -1,0 +1,179 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"slicenstitch"
+)
+
+// newMux builds the HTTP API over a multi-stream engine. All read
+// endpoints serve the shard's published snapshot, so they are wait-free
+// with respect to ingestion; POST /streams/{name}/events feeds the shard's
+// mailbox and returns before the batch is applied.
+//
+//	GET  /                          plain-text dashboard
+//	GET  /streams                   all stream snapshots
+//	GET  /streams/{name}/status     one stream's snapshot
+//	GET  /streams/{name}/factors    factor matrices + λ
+//	GET  /streams/{name}/predict    ?coord=3,5&t=9 → model vs observed value
+//	POST /streams/{name}/events     JSON [{"coord":[i,j],"value":v,"time":t},…]
+//	POST /streams/{name}/start      warm-start (window must be full)
+//	POST /streams/{name}/flush      wait until queued batches are applied
+func newMux(e *slicenstitch.Engine) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /streams", func(rw http.ResponseWriter, _ *http.Request) {
+		names := e.Streams()
+		snaps := make([]slicenstitch.Snapshot, 0, len(names))
+		for _, n := range names {
+			if snap, err := e.Snapshot(n); err == nil {
+				snaps = append(snaps, snap)
+			}
+		}
+		writeJSON(rw, map[string]interface{}{"streams": snaps})
+	})
+	mux.HandleFunc("GET /streams/{name}/status", func(rw http.ResponseWriter, req *http.Request) {
+		snap, err := e.Snapshot(req.PathValue("name"))
+		if err != nil {
+			httpError(rw, err)
+			return
+		}
+		writeJSON(rw, snap)
+	})
+	mux.HandleFunc("GET /streams/{name}/factors", func(rw http.ResponseWriter, req *http.Request) {
+		snap, err := e.Snapshot(req.PathValue("name"))
+		if err != nil {
+			httpError(rw, err)
+			return
+		}
+		if snap.Factors == nil {
+			http.Error(rw, "warming up", http.StatusServiceUnavailable)
+			return
+		}
+		writeJSON(rw, snap.Factors)
+	})
+	mux.HandleFunc("GET /streams/{name}/predict", func(rw http.ResponseWriter, req *http.Request) {
+		name := req.PathValue("name")
+		snap, err := e.Snapshot(name)
+		if err != nil {
+			httpError(rw, err)
+			return
+		}
+		coord, timeIdx, err := parsePredict(req, len(snap.Dims), snap.W)
+		if err != nil {
+			http.Error(rw, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if snap.Factors == nil {
+			http.Error(rw, "warming up", http.StatusServiceUnavailable)
+			return
+		}
+		pred, err := e.Predict(name, coord, timeIdx)
+		if err != nil {
+			// The stream exists and is started, so what's left is a bad
+			// coordinate or time index.
+			http.Error(rw, err.Error(), http.StatusBadRequest)
+			return
+		}
+		// Ground truth from the live window (waits behind queued batches).
+		obs, _ := e.Observed(name, coord, timeIdx)
+		writeJSON(rw, map[string]interface{}{
+			"stream": name, "coord": coord, "timeIdx": timeIdx,
+			"predicted": pred, "observed": obs,
+		})
+	})
+	mux.HandleFunc("POST /streams/{name}/events", func(rw http.ResponseWriter, req *http.Request) {
+		name := req.PathValue("name")
+		var events []slicenstitch.Event
+		if err := json.NewDecoder(http.MaxBytesReader(rw, req.Body, 8<<20)).Decode(&events); err != nil {
+			http.Error(rw, fmt.Sprintf("bad events payload: %v", err), http.StatusBadRequest)
+			return
+		}
+		if err := e.PushBatch(name, events); err != nil {
+			httpError(rw, err)
+			return
+		}
+		rw.Header().Set("Content-Type", "application/json")
+		rw.WriteHeader(http.StatusAccepted)
+		json.NewEncoder(rw).Encode(map[string]interface{}{"stream": name, "queued": len(events)})
+	})
+	mux.HandleFunc("POST /streams/{name}/start", func(rw http.ResponseWriter, req *http.Request) {
+		name := req.PathValue("name")
+		if err := e.Start(name); err != nil {
+			httpError(rw, err)
+			return
+		}
+		writeJSON(rw, map[string]interface{}{"stream": name, "started": true})
+	})
+	mux.HandleFunc("POST /streams/{name}/flush", func(rw http.ResponseWriter, req *http.Request) {
+		name := req.PathValue("name")
+		if err := e.Flush(name); err != nil {
+			httpError(rw, err)
+			return
+		}
+		writeJSON(rw, map[string]interface{}{"stream": name, "flushed": true})
+	})
+	mux.HandleFunc("GET /{$}", func(rw http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintf(rw, "slicenstitch multi-stream monitor — %d streams\n\n", len(e.Streams()))
+		for _, n := range e.Streams() {
+			snap, err := e.Snapshot(n)
+			if err != nil {
+				continue
+			}
+			fmt.Fprintf(rw, "%-16s time %-8d ingested %-8d nnz %-6d fitness %.4f  %s  queue %d/%d\n",
+				n, snap.Now, snap.Ingested, snap.NNZ, snap.Fitness, snap.Algorithm,
+				snap.QueueDepth, snap.QueueCap)
+		}
+		fmt.Fprintf(rw, "\nendpoints: /streams /streams/{name}/status|factors|predict  POST /streams/{name}/events\n")
+	})
+	return mux
+}
+
+// httpError maps engine errors to status codes.
+func httpError(rw http.ResponseWriter, err error) {
+	code := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, slicenstitch.ErrUnknownStream):
+		code = http.StatusNotFound
+	case errors.Is(err, slicenstitch.ErrBackpressure):
+		code = http.StatusTooManyRequests
+	case errors.Is(err, slicenstitch.ErrEngineClosed):
+		code = http.StatusServiceUnavailable
+	}
+	http.Error(rw, err.Error(), code)
+}
+
+func writeJSON(rw http.ResponseWriter, v interface{}) {
+	rw.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(rw).Encode(v); err != nil {
+		http.Error(rw, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// parsePredict extracts ?coord=i,j&t=k (t defaults to the newest unit).
+func parsePredict(req *http.Request, arity, w int) (coord []int, timeIdx int, err error) {
+	raw := req.URL.Query().Get("coord")
+	parts := strings.Split(raw, ",")
+	if raw == "" || len(parts) != arity {
+		return nil, 0, fmt.Errorf("coord must have %d comma-separated indices", arity)
+	}
+	for _, s := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil {
+			return nil, 0, fmt.Errorf("bad coord %q", s)
+		}
+		coord = append(coord, v)
+	}
+	timeIdx = w - 1
+	if ts := req.URL.Query().Get("t"); ts != "" {
+		timeIdx, err = strconv.Atoi(ts)
+		if err != nil {
+			return nil, 0, fmt.Errorf("bad t %q", ts)
+		}
+	}
+	return coord, timeIdx, nil
+}

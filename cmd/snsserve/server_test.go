@@ -1,0 +1,227 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"testing"
+
+	"slicenstitch"
+)
+
+func newTestServer(t *testing.T) (*slicenstitch.Engine, *httptest.Server) {
+	t.Helper()
+	e := slicenstitch.NewEngine()
+	err := e.AddStream("test", slicenstitch.StreamConfig{
+		Config:       slicenstitch.Config{Dims: []int{5, 4}, W: 3, Period: 10, Rank: 3},
+		PublishEvery: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(newMux(e))
+	t.Cleanup(func() { srv.Close(); e.Close() })
+	return e, srv
+}
+
+func postJSON(t *testing.T, url string, body interface{}) *http.Response {
+	t.Helper()
+	var buf bytes.Buffer
+	if body != nil {
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	resp, err := http.Post(url, "application/json", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+func getJSON(t *testing.T, url string, out interface{}) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp
+}
+
+// TestServerLifecycle drives the whole HTTP surface: batch ingestion fills
+// the window, start flips the stream online, and the read endpoints serve
+// the published snapshot.
+func TestServerLifecycle(t *testing.T) {
+	_, srv := newTestServer(t)
+
+	// Ingest a window's worth of events over HTTP.
+	rng := rand.New(rand.NewSource(1))
+	events := make([]slicenstitch.Event, 0, 60)
+	tm := int64(0)
+	for i := 0; i < 60; i++ {
+		tm += int64(rng.Intn(2))
+		events = append(events, slicenstitch.Event{Coord: []int{rng.Intn(5), rng.Intn(4)}, Value: 1, Time: tm})
+	}
+	if resp := postJSON(t, srv.URL+"/streams/test/events", events); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("events status = %d", resp.StatusCode)
+	}
+	if resp := postJSON(t, srv.URL+"/streams/test/flush", nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("flush status = %d", resp.StatusCode)
+	}
+
+	// Factors and predict are 503 until the warm start.
+	if resp := getJSON(t, srv.URL+"/streams/test/factors", nil); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("factors before start = %d", resp.StatusCode)
+	}
+	if resp := getJSON(t, srv.URL+"/streams/test/predict?coord=1,1", nil); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("predict before start = %d", resp.StatusCode)
+	}
+
+	if resp := postJSON(t, srv.URL+"/streams/test/start", nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("start status = %d", resp.StatusCode)
+	}
+
+	var status slicenstitch.Snapshot
+	if resp := getJSON(t, srv.URL+"/streams/test/status", &status); resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if !status.Started || status.Ingested != 60 || status.NNZ == 0 {
+		t.Fatalf("status after start: %+v", status)
+	}
+
+	var factors slicenstitch.Factors
+	if resp := getJSON(t, srv.URL+"/streams/test/factors", &factors); resp.StatusCode != http.StatusOK {
+		t.Fatalf("factors = %d", resp.StatusCode)
+	}
+	if len(factors.Matrices) != 3 || len(factors.Lambda) != 3 {
+		t.Fatalf("factors shape: %d matrices, %d lambda", len(factors.Matrices), len(factors.Lambda))
+	}
+
+	var pred struct {
+		Stream    string   `json:"stream"`
+		Predicted float64  `json:"predicted"`
+		Observed  *float64 `json:"observed"`
+		TimeIdx   int      `json:"timeIdx"`
+	}
+	if resp := getJSON(t, srv.URL+"/streams/test/predict?coord=1,2&t=0", &pred); resp.StatusCode != http.StatusOK {
+		t.Fatalf("predict = %d", resp.StatusCode)
+	}
+	if pred.Stream != "test" || pred.TimeIdx != 0 || pred.Observed == nil {
+		t.Fatalf("predict payload: %+v", pred)
+	}
+
+	var list struct {
+		Streams []slicenstitch.Snapshot `json:"streams"`
+	}
+	if resp := getJSON(t, srv.URL+"/streams", &list); resp.StatusCode != http.StatusOK {
+		t.Fatalf("streams = %d", resp.StatusCode)
+	}
+	if len(list.Streams) != 1 || list.Streams[0].Stream != "test" {
+		t.Fatalf("streams payload: %+v", list)
+	}
+
+	// Dashboard renders.
+	if resp := getJSON(t, srv.URL+"/", nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("dashboard = %d", resp.StatusCode)
+	}
+}
+
+func TestServerErrorMapping(t *testing.T) {
+	_, srv := newTestServer(t)
+
+	if resp := getJSON(t, srv.URL+"/streams/nope/status", nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown stream = %d", resp.StatusCode)
+	}
+	// Even an empty batch checks the stream exists.
+	if resp := postJSON(t, srv.URL+"/streams/nope/events", []slicenstitch.Event{}); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("empty batch to unknown stream = %d", resp.StatusCode)
+	}
+	if resp := postJSON(t, srv.URL+"/streams/nope/events", []slicenstitch.Event{{Coord: []int{0, 0}, Value: 1}}); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("events to unknown stream = %d", resp.StatusCode)
+	}
+	resp, err := http.Post(srv.URL+"/streams/test/events", "application/json", bytes.NewBufferString("{not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad payload = %d", resp.StatusCode)
+	}
+	if resp := getJSON(t, srv.URL+"/streams/test/predict?coord=zzz", nil); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad coord = %d", resp.StatusCode)
+	}
+	if resp := getJSON(t, srv.URL+"/streams/test/predict?coord=1", nil); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("short coord = %d", resp.StatusCode)
+	}
+}
+
+func TestParseStreams(t *testing.T) {
+	specs, err := parseStreams("NewYorkTaxi, bikes=DivvyBikes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 2 || specs[0].name != "NewYorkTaxi" || specs[1].name != "bikes" {
+		t.Fatalf("specs = %+v", specs)
+	}
+	if specs[1].preset.Name != "DivvyBikes" {
+		t.Fatalf("preset = %q", specs[1].preset.Name)
+	}
+	if _, err := parseStreams("a=NewYorkTaxi,a=DivvyBikes"); err == nil {
+		t.Fatal("duplicate name accepted")
+	}
+	if _, err := parseStreams("NotAPreset"); err == nil {
+		t.Fatal("unknown preset accepted")
+	}
+	if _, err := parseStreams(""); err == nil {
+		t.Fatal("empty accepted")
+	}
+}
+
+func TestParseBackpressure(t *testing.T) {
+	for s, want := range map[string]slicenstitch.Backpressure{
+		"block":       slicenstitch.BackpressureBlock,
+		"drop-oldest": slicenstitch.BackpressureDropOldest,
+		"error":       slicenstitch.BackpressureError,
+	} {
+		got, err := parseBackpressure(s)
+		if err != nil || got != want {
+			t.Fatalf("parseBackpressure(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := parseBackpressure("nope"); err == nil {
+		t.Fatal("bad policy accepted")
+	}
+}
+
+// TestSaveCheckpointRoundTrip writes an engine checkpoint through the
+// server's atomic-save helper and restores it.
+func TestSaveCheckpointRoundTrip(t *testing.T) {
+	e, _ := newTestServer(t)
+	path := t.TempDir() + "/sns.ckpt"
+	if err := saveCheckpoint(e, path); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	got, err := slicenstitch.RestoreEngine(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer got.Close()
+	if streams := got.Streams(); len(streams) != 1 || streams[0] != "test" {
+		t.Fatalf("restored streams = %v", streams)
+	}
+}

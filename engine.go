@@ -1,0 +1,546 @@
+package slicenstitch
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"slicenstitch/internal/engine"
+	"slicenstitch/internal/metrics"
+)
+
+// Engine manages many named tracker shards — one per tensor stream or
+// tenant — behind a single API. Each shard is driven by a dedicated
+// single-writer goroutine fed from a bounded mailbox, which preserves the
+// sequential per-stream update order the continuous tensor model requires
+// while letting shards run fully in parallel. The writer periodically
+// publishes an immutable Snapshot, so reads (Snapshot, Predict, Streams)
+// are wait-free and never touch the ingestion hot path.
+//
+// Ingestion is asynchronous: PushBatch hands a batch to the shard's
+// mailbox and returns. What happens when the mailbox is full is the
+// stream's Backpressure policy; per-event validation errors surface in
+// the shard's stats and the snapshot's LastError rather than from
+// PushBatch. Use Flush to wait for everything queued so far to be
+// applied.
+type Engine struct {
+	mu     sync.RWMutex
+	shards map[string]*shard
+	closed bool
+}
+
+// Backpressure selects what PushBatch does when a stream's mailbox is
+// full.
+type Backpressure int
+
+const (
+	// BackpressureBlock makes PushBatch wait for mailbox space (default).
+	BackpressureBlock Backpressure = iota
+	// BackpressureDropOldest evicts the oldest queued batch to admit the
+	// new one; PushBatch never blocks. Dropped batches are counted in
+	// Snapshot.Dropped.
+	BackpressureDropOldest
+	// BackpressureError makes PushBatch fail fast with ErrBackpressure.
+	BackpressureError
+)
+
+func (b Backpressure) policy() engine.Policy {
+	switch b {
+	case BackpressureDropOldest:
+		return engine.DropOldest
+	case BackpressureError:
+		return engine.Error
+	}
+	return engine.Block
+}
+
+// String names the policy for status output.
+func (b Backpressure) String() string { return b.policy().String() }
+
+// Errors returned by Engine methods.
+var (
+	// ErrBackpressure reports a full mailbox under BackpressureError.
+	ErrBackpressure = errors.New("slicenstitch: stream mailbox full")
+	// ErrEngineClosed reports use after Close.
+	ErrEngineClosed = errors.New("slicenstitch: engine closed")
+	// ErrUnknownStream reports a name with no registered stream.
+	ErrUnknownStream = errors.New("slicenstitch: unknown stream")
+)
+
+// StreamConfig configures one engine shard: the embedded tracker Config
+// plus the serving knobs.
+type StreamConfig struct {
+	Config
+	// MailboxCapacity bounds the number of queued batches before the
+	// Backpressure policy applies (default 256).
+	MailboxCapacity int
+	// Backpressure selects the full-mailbox behaviour (default
+	// BackpressureBlock).
+	Backpressure Backpressure
+	// PublishEvery is how many applied events may elapse between
+	// snapshot publishes (default 256). Smaller values give fresher
+	// reads; larger ones amortize the O(nnz) fitness recomputation over
+	// more updates.
+	PublishEvery int
+}
+
+func (c StreamConfig) withDefaults() StreamConfig {
+	c.Config = c.Config.withDefaults()
+	if c.MailboxCapacity == 0 {
+		c.MailboxCapacity = 256
+	}
+	if c.PublishEvery == 0 {
+		c.PublishEvery = 256
+	}
+	return c
+}
+
+func (c StreamConfig) validate() error {
+	if err := c.Config.validate(); err != nil {
+		return err
+	}
+	if c.MailboxCapacity < 1 {
+		return errors.New("slicenstitch: StreamConfig.MailboxCapacity must be positive")
+	}
+	if c.PublishEvery < 1 {
+		return errors.New("slicenstitch: StreamConfig.PublishEvery must be positive")
+	}
+	switch c.Backpressure {
+	case BackpressureBlock, BackpressureDropOldest, BackpressureError:
+	default:
+		return fmt.Errorf("slicenstitch: unknown backpressure policy %d", c.Backpressure)
+	}
+	return nil
+}
+
+// Event is one stream tuple for batch ingestion.
+type Event struct {
+	Coord []int   `json:"coord"`
+	Value float64 `json:"value"`
+	Time  int64   `json:"time"`
+}
+
+// Snapshot is the immutable published view of one shard. Readers get a
+// value copy; the Factors pointer (and Dims slice) are shared but never
+// mutated after publish.
+type Snapshot struct {
+	Stream    string   `json:"stream"`
+	Now       int64    `json:"streamNow"`
+	Started   bool     `json:"started"`
+	Events    uint64   `json:"events"`
+	NNZ       int      `json:"nnz"`
+	Fitness   float64  `json:"fitness"`
+	Algorithm string   `json:"algorithm"`
+	Params    int      `json:"params"`
+	Dims      []int    `json:"dims"`
+	W         int      `json:"w"`
+	Factors   *Factors `json:"-"`
+	// LastError is the most recent per-event ingestion error, if any.
+	LastError string `json:"lastError,omitempty"`
+	// Serving-side counters, stamped at read time rather than publish
+	// time so they are always current.
+	Ingested     uint64              `json:"ingested"`
+	IngestErrors uint64              `json:"ingestErrors"`
+	Dropped      uint64              `json:"droppedBatches"`
+	QueueDepth   int                 `json:"queueDepth"`
+	QueueCap     int                 `json:"queueCap"`
+	Backpressure string              `json:"backpressure"`
+	Stats        metrics.ShardReport `json:"stats"`
+}
+
+// shardOp is a mailbox message kind.
+type shardOp int
+
+const (
+	opBatch shardOp = iota
+	opStart
+	opAdvance
+	opFlush
+	opCheckpoint
+	opObserved
+)
+
+type shardMsg struct {
+	op    shardOp
+	batch []Event
+	tm    int64
+	w     io.Writer
+	coord []int
+	idx   int
+	val   *float64
+	done  chan error
+}
+
+// shard pairs a Tracker with its mailbox, writer goroutine, and snapshot
+// publisher. After spawn only the writer goroutine touches tr and the
+// writer-local fields.
+type shard struct {
+	name  string
+	cfg   StreamConfig
+	tr    *Tracker
+	mb    *engine.Mailbox[shardMsg]
+	pub   engine.Publisher[Snapshot]
+	stats *metrics.ShardStats
+	done  <-chan struct{}
+
+	// Writer-local state.
+	sincePublish int
+	lastErr      string
+}
+
+// NewEngine returns an empty engine. Add streams with AddStream.
+func NewEngine() *Engine {
+	return &Engine{shards: make(map[string]*shard)}
+}
+
+// AddStream registers a new named stream and spawns its writer. The name
+// must be unique and non-empty.
+func (e *Engine) AddStream(name string, cfg StreamConfig) error {
+	if name == "" {
+		return errors.New("slicenstitch: stream name must be non-empty")
+	}
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return err
+	}
+	tr, err := New(cfg.Config)
+	if err != nil {
+		return err
+	}
+	return e.addShard(name, cfg, tr)
+}
+
+// addShard wires a tracker (fresh or restored) into the engine.
+func (e *Engine) addShard(name string, cfg StreamConfig, tr *Tracker) error {
+	s := &shard{
+		name:  name,
+		cfg:   cfg,
+		tr:    tr,
+		mb:    engine.NewMailbox(cfg.MailboxCapacity, cfg.Backpressure.policy(), func(m shardMsg) bool { return m.op == opBatch }),
+		stats: metrics.NewShardStats(),
+	}
+	// Fully initialize — initial snapshot, writer goroutine — before the
+	// shard becomes reachable, so a concurrent Snapshot never loads a nil
+	// snapshot and a concurrent Close never waits on a nil done channel.
+	s.publish()
+	s.done = engine.Loop(s.mb, s.handle, s.publish)
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		s.stop()
+		return ErrEngineClosed
+	}
+	if _, dup := e.shards[name]; dup {
+		e.mu.Unlock()
+		s.stop()
+		return fmt.Errorf("slicenstitch: stream %q already exists", name)
+	}
+	e.shards[name] = s
+	e.mu.Unlock()
+	return nil
+}
+
+// stop shuts the shard's writer down and waits for it to drain.
+func (s *shard) stop() {
+	s.mb.Close()
+	<-s.done
+}
+
+// RemoveStream closes a stream's mailbox, waits for its writer to drain,
+// and forgets it. The stream's last snapshot becomes unreachable.
+func (e *Engine) RemoveStream(name string) error {
+	e.mu.Lock()
+	s, ok := e.shards[name]
+	if ok {
+		delete(e.shards, name)
+	}
+	e.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w %q", ErrUnknownStream, name)
+	}
+	s.stop()
+	return nil
+}
+
+// Streams lists the registered stream names, sorted.
+func (e *Engine) Streams() []string {
+	e.mu.RLock()
+	names := make([]string, 0, len(e.shards))
+	for n := range e.shards {
+		names = append(names, n)
+	}
+	e.mu.RUnlock()
+	sort.Strings(names)
+	return names
+}
+
+func (e *Engine) shard(name string) (*shard, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.closed {
+		return nil, ErrEngineClosed
+	}
+	s, ok := e.shards[name]
+	if !ok {
+		return nil, fmt.Errorf("%w %q", ErrUnknownStream, name)
+	}
+	return s, nil
+}
+
+// PushBatch queues events for asynchronous ingestion on the named stream.
+// The engine takes ownership of the slice. Under BackpressureError a full
+// mailbox returns an error wrapping ErrBackpressure; per-event validation
+// errors are reported via the snapshot, not here.
+func (e *Engine) PushBatch(name string, events []Event) error {
+	s, err := e.shard(name)
+	if err != nil {
+		return err
+	}
+	if len(events) == 0 {
+		return nil
+	}
+	switch err := s.mb.Put(shardMsg{op: opBatch, batch: events}); err {
+	case nil:
+		return nil
+	case engine.ErrFull:
+		return fmt.Errorf("%w: stream %q", ErrBackpressure, name)
+	case engine.ErrClosed:
+		return e.goneErr(name)
+	default:
+		return err
+	}
+}
+
+// goneErr explains a closed mailbox: the whole engine shut down, or just
+// this stream was removed.
+func (e *Engine) goneErr(name string) error {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.closed {
+		return ErrEngineClosed
+	}
+	return fmt.Errorf("%w %q", ErrUnknownStream, name)
+}
+
+// Push queues a single event (a one-element PushBatch).
+func (e *Engine) Push(name string, coord []int, value float64, tm int64) error {
+	return e.PushBatch(name, []Event{{Coord: coord, Value: value, Time: tm}})
+}
+
+// control runs an op on the shard's writer goroutine and waits for its
+// reply. Control messages always block for mailbox space (never dropped,
+// never rejected) so they stay ordered after previously queued batches.
+func (e *Engine) control(name string, msg shardMsg) error {
+	s, err := e.shard(name)
+	if err != nil {
+		return err
+	}
+	msg.done = make(chan error, 1)
+	if err := s.mb.PutBlocking(msg); err != nil {
+		return e.goneErr(name)
+	}
+	return <-msg.done
+}
+
+// Start warm-starts the named stream's tracker (ALS on the window built
+// from everything queued before the call) and switches it online. It
+// waits for the warm start to finish.
+func (e *Engine) Start(name string) error {
+	return e.control(name, shardMsg{op: opStart})
+}
+
+// AdvanceTo moves the named stream's clock forward without a tuple,
+// after all previously queued batches.
+func (e *Engine) AdvanceTo(name string, tm int64) error {
+	return e.control(name, shardMsg{op: opAdvance, tm: tm})
+}
+
+// Flush blocks until every batch queued before the call has been applied,
+// then publishes a fresh snapshot.
+func (e *Engine) Flush(name string) error {
+	return e.control(name, shardMsg{op: opFlush})
+}
+
+// FlushAll flushes every stream.
+func (e *Engine) FlushAll() error {
+	for _, name := range e.Streams() {
+		if err := e.Flush(name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Snapshot returns the named stream's current published view, with live
+// queue counters stamped in. It is wait-free with respect to the shard
+// writer. Model fields (Fitness, Factors) are at most PublishEvery
+// events stale.
+func (e *Engine) Snapshot(name string) (Snapshot, error) {
+	s, err := e.shard(name)
+	if err != nil {
+		return Snapshot{}, err
+	}
+	return s.read(), nil
+}
+
+// read copies the published snapshot and stamps the live queue counters.
+// The top-level counters are taken from the same Report as Stats so the
+// two views of one response always agree.
+func (s *shard) read() Snapshot {
+	snap := *s.pub.Load() // publish happens before the shard is reachable
+	snap.Stats = s.stats.Report()
+	snap.Ingested = snap.Stats.Ingested
+	snap.IngestErrors = snap.Stats.Errors
+	snap.Dropped = s.mb.Dropped()
+	snap.QueueDepth = s.mb.Len()
+	snap.QueueCap = s.mb.Cap()
+	snap.Backpressure = s.cfg.Backpressure.String()
+	return snap
+}
+
+// Predict evaluates the named stream's published model at categorical
+// coordinates and a time-mode index in [0, W). Like Snapshot it is
+// wait-free and reflects the last published factors.
+func (e *Engine) Predict(name string, coord []int, timeIdx int) (float64, error) {
+	s, err := e.shard(name)
+	if err != nil {
+		return 0, err
+	}
+	snap := s.pub.Load()
+	if snap.Factors == nil {
+		return 0, errPredictBeforeStart
+	}
+	if err := checkIndex(snap.Dims, snap.W, coord, timeIdx); err != nil {
+		return 0, err
+	}
+	return snap.Factors.Predict(fullIndex(coord, timeIdx)), nil
+}
+
+// Observed returns the named stream's live window entry at categorical
+// coordinates and a time-mode index. Unlike Predict it must consult the
+// writer's window, so it travels through the mailbox and waits behind
+// previously queued batches — use it for ground-truth comparison, not on
+// latency-critical read paths.
+func (e *Engine) Observed(name string, coord []int, timeIdx int) (float64, error) {
+	var v float64
+	err := e.control(name, shardMsg{op: opObserved, coord: coord, idx: timeIdx, val: &v})
+	return v, err
+}
+
+// Close shuts every stream down: mailboxes stop accepting work, queued
+// batches are drained, writers exit. The engine cannot be reused.
+func (e *Engine) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	shards := make([]*shard, 0, len(e.shards))
+	for _, s := range e.shards {
+		shards = append(shards, s)
+	}
+	e.shards = map[string]*shard{}
+	e.mu.Unlock()
+	for _, s := range shards {
+		s.mb.Close()
+	}
+	for _, s := range shards {
+		<-s.done
+	}
+	return nil
+}
+
+// handle runs on the shard's writer goroutine — the only place s.tr is
+// touched after spawn.
+func (s *shard) handle(msg shardMsg) {
+	switch msg.op {
+	case opBatch:
+		start := time.Now()
+		errs := 0
+		for i := range msg.batch {
+			ev := &msg.batch[i]
+			if err := s.tr.Push(ev.Coord, ev.Value, ev.Time); err != nil {
+				errs++
+				s.lastErr = err.Error()
+			}
+		}
+		s.stats.RecordBatch(len(msg.batch)-errs, time.Since(start))
+		if errs > 0 {
+			s.stats.RecordErrors(errs)
+		}
+		s.sincePublish += len(msg.batch)
+		if s.sincePublish >= s.cfg.PublishEvery {
+			s.publish()
+		}
+	case opStart:
+		err := s.tr.Start()
+		if err == nil {
+			s.publish()
+		}
+		msg.done <- err
+	case opAdvance:
+		err := s.tr.AdvanceTo(msg.tm)
+		if err == nil {
+			s.publish()
+		} else {
+			s.lastErr = err.Error()
+		}
+		msg.done <- err
+	case opFlush:
+		s.publish()
+		msg.done <- nil
+	case opCheckpoint:
+		msg.done <- s.tr.Checkpoint(msg.w)
+	case opObserved:
+		v, err := s.tr.Observed(msg.coord, msg.idx)
+		*msg.val = v
+		msg.done <- err
+	}
+}
+
+// publish builds and installs a fresh immutable snapshot. Called from the
+// writer goroutine (and once from addShard before the writer starts).
+func (s *shard) publish() {
+	t := s.tr
+	snap := &Snapshot{
+		Stream:    s.name,
+		Now:       t.Now(),
+		Started:   t.Started(),
+		Events:    t.Events(),
+		NNZ:       t.NNZ(),
+		Algorithm: t.AlgorithmName(),
+		Params:    t.ParamCount(),
+		Dims:      s.cfg.Dims,
+		W:         s.cfg.W,
+		LastError: s.lastErr,
+	}
+	if t.Started() {
+		snap.Fitness = t.Fitness()
+		snap.Factors = t.Factors()
+	}
+	s.pub.Publish(snap)
+	s.stats.RecordPublish()
+	s.sincePublish = 0
+}
+
+// Predict evaluates the CP model held in a Factors snapshot at a full
+// index (categorical modes first, time mode last). Out-of-range indices
+// are the caller's responsibility.
+func (f *Factors) Predict(idx []int) float64 {
+	if f == nil || len(idx) != len(f.Matrices) {
+		return 0
+	}
+	total := 0.0
+	for r := range f.Lambda {
+		p := f.Lambda[r]
+		for m, i := range idx {
+			p *= f.Matrices[m][i][r]
+		}
+		total += p
+	}
+	return total
+}

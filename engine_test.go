@@ -1,0 +1,488 @@
+package slicenstitch
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func validStreamConfig() StreamConfig {
+	return StreamConfig{Config: validConfig()}
+}
+
+// fillAndStart pushes enough events to cover the initial window and
+// warm-starts the named stream. Returns the last stream time used.
+func fillAndStart(t testing.TB, e *Engine, name string, seed int64) int64 {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	events := make([]Event, 0, 64)
+	tm := int64(0)
+	for i := 0; i < 50; i++ {
+		tm += int64(rng.Intn(2))
+		events = append(events, Event{Coord: []int{rng.Intn(5), rng.Intn(4)}, Value: 1, Time: tm})
+	}
+	if err := e.PushBatch(name, events); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Start(name); err != nil {
+		t.Fatal(err)
+	}
+	return tm
+}
+
+func TestEngineLifecycle(t *testing.T) {
+	e := NewEngine()
+	defer e.Close()
+
+	if err := e.AddStream("", validStreamConfig()); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if err := e.AddStream("taxi", StreamConfig{}); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+	if err := e.AddStream("taxi", validStreamConfig()); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.AddStream("taxi", validStreamConfig()); err == nil {
+		t.Fatal("duplicate name accepted")
+	}
+	if err := e.AddStream("bikes", validStreamConfig()); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Streams(); len(got) != 2 || got[0] != "bikes" || got[1] != "taxi" {
+		t.Fatalf("Streams = %v", got)
+	}
+
+	if _, err := e.Snapshot("nope"); !errors.Is(err, ErrUnknownStream) {
+		t.Fatalf("Snapshot(unknown) err = %v", err)
+	}
+	if err := e.PushBatch("nope", []Event{{Coord: []int{0, 0}, Value: 1}}); !errors.Is(err, ErrUnknownStream) {
+		t.Fatalf("PushBatch(unknown) err = %v", err)
+	}
+
+	tm := fillAndStart(t, e, "taxi", 1)
+	snap, err := e.Snapshot("taxi")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !snap.Started || snap.Ingested != 50 || snap.NNZ == 0 || snap.Factors == nil {
+		t.Fatalf("post-start snapshot: %+v", snap)
+	}
+	if snap.Stream != "taxi" || snap.W != 3 || len(snap.Dims) != 2 {
+		t.Fatalf("snapshot identity: %+v", snap)
+	}
+
+	// The other stream is independent and still offline.
+	if snap2, _ := e.Snapshot("bikes"); snap2.Started {
+		t.Fatal("bikes started by taxi's Start")
+	}
+
+	if _, err := e.Predict("taxi", []int{1, 1}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Predict("taxi", []int{1}, 0); err == nil {
+		t.Fatal("short coord accepted")
+	}
+	if _, err := e.Predict("bikes", []int{1, 1}, 0); err == nil {
+		t.Fatal("Predict before Start accepted")
+	}
+
+	if err := e.AdvanceTo("taxi", tm+20); err != nil {
+		t.Fatal(err)
+	}
+	if snap, _ = e.Snapshot("taxi"); snap.Now != tm+20 {
+		t.Fatalf("Now = %d, want %d", snap.Now, tm+20)
+	}
+
+	if err := e.RemoveStream("taxi"); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.RemoveStream("taxi"); !errors.Is(err, ErrUnknownStream) {
+		t.Fatalf("second remove err = %v", err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal("Close must be idempotent")
+	}
+	if _, err := e.Snapshot("bikes"); !errors.Is(err, ErrEngineClosed) {
+		t.Fatalf("Snapshot after Close err = %v", err)
+	}
+	if err := e.AddStream("late", validStreamConfig()); !errors.Is(err, ErrEngineClosed) {
+		t.Fatalf("AddStream after Close err = %v", err)
+	}
+}
+
+// stallWriter occupies the shard writer long enough for subsequent puts to
+// pile up in the mailbox: one big batch is dequeued immediately and chewed
+// through while the test floods the queue behind it.
+func stallWriter(t testing.TB, e *Engine, name string, tm int64) {
+	t.Helper()
+	heavy := make([]Event, 20000)
+	for i := range heavy {
+		heavy[i] = Event{Coord: []int{i % 5, i % 4}, Value: 1, Time: tm}
+	}
+	if err := e.PushBatch(name, heavy); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEngineBackpressureError(t *testing.T) {
+	e := NewEngine()
+	defer e.Close()
+	cfg := validStreamConfig()
+	cfg.MailboxCapacity = 1
+	cfg.Backpressure = BackpressureError
+	if err := e.AddStream("s", cfg); err != nil {
+		t.Fatal(err)
+	}
+	tm := fillAndStart(t, e, "s", 3)
+	stallWriter(t, e, "s", tm)
+
+	var got error
+	for i := 0; i < 10000; i++ {
+		if err := e.PushBatch("s", []Event{{Coord: []int{0, 0}, Value: 1, Time: tm}}); err != nil {
+			got = err
+			break
+		}
+	}
+	if !errors.Is(got, ErrBackpressure) {
+		t.Fatalf("flooding a capacity-1 mailbox under BackpressureError: err = %v", got)
+	}
+	// Control messages still get through (blocking put) and drain the queue.
+	if err := e.Flush("s"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEngineBackpressureDropOldest(t *testing.T) {
+	e := NewEngine()
+	defer e.Close()
+	cfg := validStreamConfig()
+	cfg.MailboxCapacity = 1
+	cfg.Backpressure = BackpressureDropOldest
+	if err := e.AddStream("s", cfg); err != nil {
+		t.Fatal(err)
+	}
+	tm := fillAndStart(t, e, "s", 4)
+	stallWriter(t, e, "s", tm)
+
+	for i := 0; i < 1000; i++ {
+		if err := e.PushBatch("s", []Event{{Coord: []int{0, 0}, Value: 1, Time: tm}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Flush("s"); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := e.Snapshot("s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Dropped == 0 {
+		t.Fatal("no batches dropped despite capacity-1 mailbox flood")
+	}
+	if snap.Backpressure != "drop-oldest" {
+		t.Fatalf("Backpressure = %q", snap.Backpressure)
+	}
+}
+
+func TestEngineObserved(t *testing.T) {
+	e := NewEngine()
+	defer e.Close()
+	if err := e.AddStream("s", validStreamConfig()); err != nil {
+		t.Fatal(err)
+	}
+	tm := fillAndStart(t, e, "s", 7)
+	if err := e.Push("s", []int{2, 3}, 7, tm); err != nil {
+		t.Fatal(err)
+	}
+	// Observed is a control op: it queues behind the push above, so no
+	// explicit Flush is needed for it to see the event.
+	v, err := e.Observed("s", []int{2, 3}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v < 7 {
+		t.Fatalf("Observed = %v, want >= 7", v)
+	}
+	if _, err := e.Observed("s", []int{99, 0}, 0); err == nil {
+		t.Fatal("bad coord accepted")
+	}
+	if _, err := e.Observed("nope", []int{0, 0}, 0); !errors.Is(err, ErrUnknownStream) {
+		t.Fatalf("Observed(unknown) err = %v", err)
+	}
+}
+
+func TestEngineIngestErrorsSurfaceInSnapshot(t *testing.T) {
+	e := NewEngine()
+	defer e.Close()
+	if err := e.AddStream("s", validStreamConfig()); err != nil {
+		t.Fatal(err)
+	}
+	// PushBatch accepts the batch; the out-of-range coordinate is rejected
+	// by the writer and surfaces via the snapshot, not the call.
+	if err := e.PushBatch("s", []Event{
+		{Coord: []int{0, 0}, Value: 1, Time: 0},
+		{Coord: []int{99, 0}, Value: 1, Time: 0},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Flush("s"); err != nil {
+		t.Fatal(err)
+	}
+	snap, _ := e.Snapshot("s")
+	if snap.IngestErrors != 1 || snap.Ingested != 1 {
+		t.Fatalf("errors = %d ingested = %d, want 1 and 1", snap.IngestErrors, snap.Ingested)
+	}
+	if snap.LastError == "" {
+		t.Fatal("LastError empty after rejected event")
+	}
+}
+
+func TestEngineCheckpointRestore(t *testing.T) {
+	e := NewEngine()
+	defer e.Close()
+	cfgA := validStreamConfig()
+	cfgA.MailboxCapacity = 17
+	cfgA.Backpressure = BackpressureDropOldest
+	cfgA.PublishEvery = 33
+	if err := e.AddStream("a", cfgA); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.AddStream("b", validStreamConfig()); err != nil {
+		t.Fatal(err)
+	}
+	fillAndStart(t, e, "a", 5)
+	// Stream b stays offline — restore must handle both phases.
+	if err := e.PushBatch("b", []Event{{Coord: []int{1, 1}, Value: 2, Time: 0}}); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := e.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := RestoreEngine(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer got.Close()
+
+	if streams := got.Streams(); len(streams) != 2 || streams[0] != "a" || streams[1] != "b" {
+		t.Fatalf("restored streams = %v", streams)
+	}
+	want, _ := e.Snapshot("a")
+	snap, err := got.Snapshot("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Events != want.Events || snap.NNZ != want.NNZ || !snap.Started ||
+		snap.Now != want.Now || snap.Fitness != want.Fitness {
+		t.Fatalf("restored a = %+v, want %+v", snap, want)
+	}
+	if snap.QueueCap != 17 || snap.Backpressure != "drop-oldest" {
+		t.Fatalf("serving config not restored: cap=%d bp=%q", snap.QueueCap, snap.Backpressure)
+	}
+	if snapB, _ := got.Snapshot("b"); snapB.Started || snapB.NNZ != 1 {
+		t.Fatalf("restored b = %+v", snapB)
+	}
+	// The restored engine is live: it accepts and applies new work.
+	if err := got.Push("a", []int{0, 0}, 1, want.Now); err != nil {
+		t.Fatal(err)
+	}
+	if err := got.Flush("a"); err != nil {
+		t.Fatal(err)
+	}
+	if snap, _ = got.Snapshot("a"); snap.Events != want.Events+1 {
+		t.Fatalf("restored engine did not apply new event: %d", snap.Events)
+	}
+
+	if _, err := RestoreEngine(bytes.NewReader([]byte("garbage"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	// A checkpoint truncated mid-stream fails cleanly (and shuts down the
+	// shards restored before the corruption).
+	var buf2 bytes.Buffer
+	if err := e.Checkpoint(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RestoreEngine(bytes.NewReader(buf2.Bytes()[:buf2.Len()-50])); err == nil {
+		t.Fatal("truncated checkpoint accepted")
+	}
+}
+
+// TestEngineConcurrentShardsAndReaders is the engine-level race test: all
+// shards ingest batches in parallel while reader goroutines hammer the
+// wait-free snapshot and predict paths across every stream.
+func TestEngineConcurrentShardsAndReaders(t *testing.T) {
+	const (
+		shards  = 4
+		batches = 60
+		batchSz = 16
+	)
+	e := NewEngine()
+	defer e.Close()
+	names := make([]string, shards)
+	for i := range names {
+		names[i] = fmt.Sprintf("s%d", i)
+		cfg := validStreamConfig()
+		cfg.PublishEvery = 8 // publish often so readers see fresh models
+		if err := e.AddStream(names[i], cfg); err != nil {
+			t.Fatal(err)
+		}
+		fillAndStart(t, e, names[i], int64(100+i))
+	}
+	var baseline uint64
+	for _, n := range names {
+		snap, _ := e.Snapshot(n)
+		baseline += snap.Ingested
+	}
+
+	var readers, producers sync.WaitGroup
+	stop := make(chan struct{})
+	// Readers: snapshots, predictions, and stream listings on every shard.
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func(r int) {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for _, n := range names {
+					snap, err := e.Snapshot(n)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					if snap.Started && snap.Factors == nil {
+						t.Error("started snapshot without factors")
+						return
+					}
+					_, _ = e.Predict(n, []int{r % 5, r % 4}, 0)
+				}
+				_ = e.Streams()
+			}
+		}(r)
+	}
+	// One producer per shard: per-stream order stays sequential while the
+	// shards ingest fully in parallel.
+	var pushed atomic.Uint64
+	for i, n := range names {
+		producers.Add(1)
+		go func(name string, seed int64) {
+			defer producers.Done()
+			rng := rand.New(rand.NewSource(seed))
+			tm := int64(1000)
+			for b := 0; b < batches; b++ {
+				batch := make([]Event, batchSz)
+				for j := range batch {
+					tm += int64(rng.Intn(2))
+					batch[j] = Event{Coord: []int{rng.Intn(5), rng.Intn(4)}, Value: 1, Time: tm}
+				}
+				if err := e.PushBatch(name, batch); err != nil {
+					t.Error(err)
+					return
+				}
+				pushed.Add(batchSz)
+			}
+		}(n, int64(200+i))
+	}
+	producers.Wait()
+	close(stop)
+	readers.Wait()
+
+	if err := e.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	var total uint64
+	for _, n := range names {
+		snap, _ := e.Snapshot(n)
+		if snap.IngestErrors != 0 {
+			t.Fatalf("%s: %d ingest errors, last %q", n, snap.IngestErrors, snap.LastError)
+		}
+		total += snap.Ingested
+	}
+	if want := pushed.Load(); total-baseline != want {
+		t.Fatalf("ingested %d, pushed %d", total-baseline, want)
+	}
+}
+
+// BenchmarkEngineShards measures aggregate ingestion throughput as the
+// number of independent streams grows. Each shard has its own single
+// writer, so events/sec should scale near-linearly with shard count until
+// the cores run out. Run with -cpu to pin GOMAXPROCS.
+func BenchmarkEngineShards(b *testing.B) {
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			e := NewEngine()
+			defer e.Close()
+			names := make([]string, shards)
+			for i := range names {
+				names[i] = fmt.Sprintf("s%d", i)
+				cfg := validStreamConfig()
+				cfg.MailboxCapacity = 1024
+				cfg.PublishEvery = 4096
+				if err := e.AddStream(names[i], cfg); err != nil {
+					b.Fatal(err)
+				}
+				fillAndStart(b, e, names[i], int64(i))
+			}
+			const batchSz = 256
+			per := (b.N + shards - 1) / shards
+			// Pre-build each shard's batches outside the timed region.
+			all := make([][][]Event, shards)
+			for i := range all {
+				rng := rand.New(rand.NewSource(int64(1000 + i)))
+				tm := int64(1000)
+				for n := 0; n < per; n += batchSz {
+					sz := batchSz
+					if per-n < sz {
+						sz = per - n
+					}
+					batch := make([]Event, sz)
+					for j := range batch {
+						if rng.Intn(64) == 0 {
+							tm++
+						}
+						batch[j] = Event{Coord: []int{rng.Intn(5), rng.Intn(4)}, Value: 1, Time: tm}
+					}
+					all[i] = append(all[i], batch)
+				}
+			}
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			for i := range names {
+				wg.Add(1)
+				go func(name string, batches [][]Event) {
+					defer wg.Done()
+					for _, batch := range batches {
+						if err := e.PushBatch(name, batch); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}(names[i], all[i])
+			}
+			wg.Wait()
+			if err := e.FlushAll(); err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			var total uint64
+			for _, n := range names {
+				snap, _ := e.Snapshot(n)
+				total += snap.Stats.Ingested
+			}
+			b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "events/sec")
+		})
+	}
+}

@@ -1,0 +1,3 @@
+module slicenstitch
+
+go 1.24

@@ -1,0 +1,158 @@
+package engine
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestMailboxFIFO(t *testing.T) {
+	mb := NewMailbox[int](4, Block, nil)
+	for i := 0; i < 4; i++ {
+		if err := mb.Put(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if mb.Len() != 4 || mb.Cap() != 4 {
+		t.Fatalf("Len=%d Cap=%d", mb.Len(), mb.Cap())
+	}
+	for i := 0; i < 4; i++ {
+		v, ok := mb.Get()
+		if !ok || v != i {
+			t.Fatalf("Get = %d,%v want %d", v, ok, i)
+		}
+	}
+	mb.Close()
+	if _, ok := mb.Get(); ok {
+		t.Fatal("Get after drain+close should report !ok")
+	}
+	if err := mb.Put(9); err != ErrClosed {
+		t.Fatalf("Put after close = %v, want ErrClosed", err)
+	}
+}
+
+func TestMailboxErrorPolicy(t *testing.T) {
+	mb := NewMailbox[int](2, Error, nil)
+	mb.Put(1)
+	mb.Put(2)
+	if err := mb.Put(3); err != ErrFull {
+		t.Fatalf("Put on full = %v, want ErrFull", err)
+	}
+	// PutBlocking must still get through once the consumer drains.
+	done := make(chan error, 1)
+	go func() { done <- mb.PutBlocking(3) }()
+	time.Sleep(10 * time.Millisecond)
+	if v, _ := mb.Get(); v != 1 {
+		t.Fatalf("Get = %d, want 1", v)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMailboxDropOldest(t *testing.T) {
+	mb := NewMailbox[int](3, DropOldest, func(v int) bool { return v >= 0 })
+	for i := 0; i < 3; i++ {
+		mb.Put(i)
+	}
+	if err := mb.Put(3); err != nil { // evicts 0
+		t.Fatal(err)
+	}
+	if err := mb.Put(4); err != nil { // evicts 1
+		t.Fatal(err)
+	}
+	if got := mb.Dropped(); got != 2 {
+		t.Fatalf("Dropped = %d, want 2", got)
+	}
+	want := []int{2, 3, 4}
+	for _, w := range want {
+		v, ok := mb.Get()
+		if !ok || v != w {
+			t.Fatalf("Get = %d,%v want %d", v, ok, w)
+		}
+	}
+}
+
+func TestMailboxDropOldestSkipsUndroppable(t *testing.T) {
+	// Negative values model control messages that must survive eviction.
+	mb := NewMailbox[int](3, DropOldest, func(v int) bool { return v >= 0 })
+	mb.Put(-1)
+	mb.Put(5)
+	mb.Put(-2)
+	if err := mb.Put(6); err != nil { // must evict 5, not the controls
+		t.Fatal(err)
+	}
+	want := []int{-1, -2, 6}
+	for _, w := range want {
+		v, ok := mb.Get()
+		if !ok || v != w {
+			t.Fatalf("Get = %d,%v want %d", v, ok, w)
+		}
+	}
+}
+
+func TestMailboxBlockingProducers(t *testing.T) {
+	mb := NewMailbox[int](1, Block, nil)
+	mb.Put(0)
+	const producers = 8
+	var wg sync.WaitGroup
+	for i := 1; i <= producers; i++ {
+		wg.Add(1)
+		go func(v int) {
+			defer wg.Done()
+			if err := mb.Put(v); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	seen := make(map[int]bool)
+	for i := 0; i <= producers; i++ {
+		v, ok := mb.Get()
+		if !ok {
+			t.Fatal("premature close")
+		}
+		if seen[v] {
+			t.Fatalf("duplicate %d", v)
+		}
+		seen[v] = true
+	}
+	wg.Wait()
+}
+
+func TestPublisherVersions(t *testing.T) {
+	var p Publisher[string]
+	if p.Load() != nil || p.Version() != 0 {
+		t.Fatal("fresh publisher should be empty")
+	}
+	a, b := "a", "b"
+	if v := p.Publish(&a); v != 1 {
+		t.Fatalf("version = %d, want 1", v)
+	}
+	p.Publish(&b)
+	if got := p.Load(); got == nil || *got != "b" {
+		t.Fatalf("Load = %v", got)
+	}
+	if p.Version() != 2 {
+		t.Fatalf("Version = %d", p.Version())
+	}
+}
+
+func TestLoopDrainsThenFinalizes(t *testing.T) {
+	mb := NewMailbox[int](8, Block, nil)
+	var got []int // touched only by the loop goroutine, read after <-done
+	finalized := false
+	done := Loop(mb, func(v int) { got = append(got, v) }, func() { finalized = true })
+	for i := 0; i < 5; i++ {
+		mb.Put(i)
+	}
+	mb.Close()
+	<-done
+	if len(got) != 5 || !finalized {
+		t.Fatalf("got %v finalized=%v", got, finalized)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("out of order: %v", got)
+		}
+	}
+}

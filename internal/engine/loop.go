@@ -1,0 +1,24 @@
+package engine
+
+// Loop starts the single consumer goroutine for a mailbox: it drains
+// messages through handle until the mailbox is closed and empty, then (if
+// set) runs final and closes the returned channel. The handle and final
+// callbacks run on the same goroutine, so state they touch needs no
+// synchronization — that goroutine is the shard's single writer.
+func Loop[T any](mb *Mailbox[T], handle func(T), final func()) <-chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			msg, ok := mb.Get()
+			if !ok {
+				break
+			}
+			handle(msg)
+		}
+		if final != nil {
+			final()
+		}
+	}()
+	return done
+}

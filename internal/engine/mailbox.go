@@ -1,0 +1,188 @@
+// Package engine provides the concurrency primitives behind the public
+// multi-stream Engine: a bounded single-consumer mailbox with pluggable
+// backpressure, a wait-free snapshot publisher, and the writer-loop
+// runner. The primitives are generic so the package stays free of any
+// dependency on the tracker types (which live in the root package).
+package engine
+
+import (
+	"errors"
+	"sync"
+)
+
+// Policy selects what Put does when the mailbox is full.
+type Policy int
+
+const (
+	// Block makes Put wait until the consumer frees a slot.
+	Block Policy = iota
+	// DropOldest evicts the oldest droppable message to admit the new
+	// one; Put never blocks. If no queued message is droppable the put
+	// falls back to blocking.
+	DropOldest
+	// Error makes Put fail fast with ErrFull.
+	Error
+)
+
+// String names the policy for logs and JSON status output.
+func (p Policy) String() string {
+	switch p {
+	case Block:
+		return "block"
+	case DropOldest:
+		return "drop-oldest"
+	case Error:
+		return "error"
+	}
+	return "unknown"
+}
+
+var (
+	// ErrFull is returned by Put under the Error policy when the mailbox
+	// is at capacity.
+	ErrFull = errors.New("engine: mailbox full")
+	// ErrClosed is returned by Put after Close.
+	ErrClosed = errors.New("engine: mailbox closed")
+)
+
+// Mailbox is a bounded FIFO queue feeding one consumer goroutine. Any
+// number of producers may Put concurrently; exactly one goroutine should
+// Get. Close stops producers immediately but lets the consumer drain what
+// is already queued, so control messages enqueued before Close are always
+// answered.
+type Mailbox[T any] struct {
+	mu        sync.Mutex
+	notEmpty  *sync.Cond
+	notFull   *sync.Cond
+	buf       []T
+	head, n   int
+	policy    Policy
+	droppable func(T) bool
+	closed    bool
+	dropped   uint64
+}
+
+// NewMailbox builds a mailbox with the given capacity (minimum 1) and
+// backpressure policy. droppable tells DropOldest which messages may be
+// evicted; nil means every message is fair game. Control messages whose
+// sender waits for a reply must be marked undroppable or the sender would
+// wait forever.
+func NewMailbox[T any](capacity int, policy Policy, droppable func(T) bool) *Mailbox[T] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	m := &Mailbox[T]{buf: make([]T, capacity), policy: policy, droppable: droppable}
+	m.notEmpty = sync.NewCond(&m.mu)
+	m.notFull = sync.NewCond(&m.mu)
+	return m
+}
+
+// Put enqueues v, applying the configured backpressure policy when full.
+func (m *Mailbox[T]) Put(v T) error { return m.put(v, m.policy) }
+
+// PutBlocking enqueues v with Block semantics regardless of the
+// configured policy. Control messages use it so a loaded mailbox under
+// Error or DropOldest still accepts (and eventually answers) them.
+func (m *Mailbox[T]) PutBlocking(v T) error { return m.put(v, Block) }
+
+func (m *Mailbox[T]) put(v T, policy Policy) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for m.n == len(m.buf) {
+		if m.closed {
+			return ErrClosed
+		}
+		switch policy {
+		case Error:
+			return ErrFull
+		case DropOldest:
+			if m.evictOldestLocked() {
+				continue
+			}
+			fallthrough // nothing droppable: wait like Block
+		default:
+			m.notFull.Wait()
+		}
+	}
+	if m.closed {
+		return ErrClosed
+	}
+	m.buf[(m.head+m.n)%len(m.buf)] = v
+	m.n++
+	m.notEmpty.Signal()
+	return nil
+}
+
+// evictOldestLocked removes the oldest droppable message, reporting
+// whether one was found.
+func (m *Mailbox[T]) evictOldestLocked() bool {
+	for off := 0; off < m.n; off++ {
+		i := (m.head + off) % len(m.buf)
+		if m.droppable != nil && !m.droppable(m.buf[i]) {
+			continue
+		}
+		// Shift the ring segment before i up by one slot and advance head.
+		for j := off; j > 0; j-- {
+			dst := (m.head + j) % len(m.buf)
+			src := (m.head + j - 1) % len(m.buf)
+			m.buf[dst] = m.buf[src]
+		}
+		var zero T
+		m.buf[m.head] = zero
+		m.head = (m.head + 1) % len(m.buf)
+		m.n--
+		m.dropped++
+		return true
+	}
+	return false
+}
+
+// Get dequeues the oldest message, blocking while the mailbox is empty.
+// It returns ok=false only once the mailbox is closed and fully drained.
+func (m *Mailbox[T]) Get() (v T, ok bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for m.n == 0 {
+		if m.closed {
+			return v, false
+		}
+		m.notEmpty.Wait()
+	}
+	v = m.buf[m.head]
+	var zero T
+	m.buf[m.head] = zero
+	m.head = (m.head + 1) % len(m.buf)
+	m.n--
+	m.notFull.Signal()
+	return v, true
+}
+
+// Len returns the current queue depth.
+func (m *Mailbox[T]) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.n
+}
+
+// Cap returns the configured capacity.
+func (m *Mailbox[T]) Cap() int { return len(m.buf) }
+
+// Dropped returns how many messages DropOldest has evicted.
+func (m *Mailbox[T]) Dropped() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.dropped
+}
+
+// Close rejects further Puts and wakes all waiters. Messages already
+// queued remain readable by Get.
+func (m *Mailbox[T]) Close() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return
+	}
+	m.closed = true
+	m.notEmpty.Broadcast()
+	m.notFull.Broadcast()
+}

@@ -1,0 +1,27 @@
+package engine
+
+import "sync/atomic"
+
+// Publisher hands immutable snapshots from a single writer to any number
+// of wait-free readers. The writer builds a fresh *T, never mutates it
+// again, and calls Publish; readers Load whatever version is current.
+// This is the snapshot-isolation half of the engine: readers never take
+// the writer's lock and never observe a half-written state.
+type Publisher[T any] struct {
+	cur     atomic.Pointer[T]
+	version atomic.Uint64
+}
+
+// Publish installs snap as the current snapshot. snap must not be
+// mutated afterwards. It returns the new version number (1 for the first
+// publish).
+func (p *Publisher[T]) Publish(snap *T) uint64 {
+	p.cur.Store(snap)
+	return p.version.Add(1)
+}
+
+// Load returns the current snapshot, or nil before the first Publish.
+func (p *Publisher[T]) Load() *T { return p.cur.Load() }
+
+// Version returns how many snapshots have been published.
+func (p *Publisher[T]) Version() uint64 { return p.version.Load() }

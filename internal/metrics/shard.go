@@ -1,0 +1,114 @@
+package metrics
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// ShardStats collects the per-shard serving counters of the multi-stream
+// engine: events ingested, batch and error counts, writer busy time, and
+// snapshot publishes. All methods are safe for concurrent use — the shard
+// writer records, HTTP readers report — and recording is a handful of
+// atomic adds so it stays off the critical path.
+type ShardStats struct {
+	start          time.Time
+	ingested       atomic.Uint64
+	batches        atomic.Uint64
+	errors         atomic.Uint64
+	publishes      atomic.Uint64
+	busyNanos      atomic.Int64
+	lastBatchNanos atomic.Int64
+}
+
+// NewShardStats returns a recorder whose ingest rate is measured from now.
+func NewShardStats() *ShardStats {
+	return &ShardStats{start: time.Now()}
+}
+
+// RecordBatch folds one applied batch of n events taking d into the
+// counters.
+func (s *ShardStats) RecordBatch(n int, d time.Duration) {
+	s.ingested.Add(uint64(n))
+	s.batches.Add(1)
+	s.busyNanos.Add(int64(d))
+	s.lastBatchNanos.Store(int64(d))
+}
+
+// RecordErrors counts n rejected events (bad coordinates, time regressions).
+func (s *ShardStats) RecordErrors(n int) { s.errors.Add(uint64(n)) }
+
+// RecordPublish counts one snapshot publish.
+func (s *ShardStats) RecordPublish() { s.publishes.Add(1) }
+
+// Ingested returns the number of events applied.
+func (s *ShardStats) Ingested() uint64 { return s.ingested.Load() }
+
+// Batches returns the number of batches applied.
+func (s *ShardStats) Batches() uint64 { return s.batches.Load() }
+
+// Errors returns the number of rejected events.
+func (s *ShardStats) Errors() uint64 { return s.errors.Load() }
+
+// Publishes returns the number of snapshots published.
+func (s *ShardStats) Publishes() uint64 { return s.publishes.Load() }
+
+// BusyTime returns the cumulative wall time the writer spent applying
+// batches.
+func (s *ShardStats) BusyTime() time.Duration {
+	return time.Duration(s.busyNanos.Load())
+}
+
+// LastBatchLatency returns the duration of the most recent batch.
+func (s *ShardStats) LastBatchLatency() time.Duration {
+	return time.Duration(s.lastBatchNanos.Load())
+}
+
+// MeanBatchLatency returns average batch apply time (0 with no batches).
+func (s *ShardStats) MeanBatchLatency() time.Duration {
+	b := s.batches.Load()
+	if b == 0 {
+		return 0
+	}
+	return time.Duration(uint64(s.busyNanos.Load()) / b)
+}
+
+// Uptime returns the time since the recorder was created.
+func (s *ShardStats) Uptime() time.Duration { return time.Since(s.start) }
+
+// IngestRate returns events applied per second of uptime.
+func (s *ShardStats) IngestRate() float64 {
+	up := s.Uptime().Seconds()
+	if up <= 0 {
+		return 0
+	}
+	return float64(s.ingested.Load()) / up
+}
+
+// ShardReport is a JSON-friendly copy of the counters for status
+// endpoints.
+type ShardReport struct {
+	Ingested        uint64  `json:"ingested"`
+	Batches         uint64  `json:"batches"`
+	Errors          uint64  `json:"errors"`
+	Publishes       uint64  `json:"publishes"`
+	BusyMillis      float64 `json:"busyMillis"`
+	MeanBatchMicros float64 `json:"meanBatchMicros"`
+	IngestPerSec    float64 `json:"ingestPerSec"`
+	UptimeSeconds   float64 `json:"uptimeSeconds"`
+	LastBatchMicros float64 `json:"lastBatchMicros"`
+}
+
+// Report snapshots the counters.
+func (s *ShardStats) Report() ShardReport {
+	return ShardReport{
+		Ingested:        s.Ingested(),
+		Batches:         s.Batches(),
+		Errors:          s.Errors(),
+		Publishes:       s.Publishes(),
+		BusyMillis:      float64(s.BusyTime().Microseconds()) / 1e3,
+		MeanBatchMicros: float64(s.MeanBatchLatency().Nanoseconds()) / 1e3,
+		IngestPerSec:    s.IngestRate(),
+		UptimeSeconds:   s.Uptime().Seconds(),
+		LastBatchMicros: float64(s.LastBatchLatency().Nanoseconds()) / 1e3,
+	}
+}

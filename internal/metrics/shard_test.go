@@ -1,0 +1,61 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestShardStatsCounters(t *testing.T) {
+	s := NewShardStats()
+	s.RecordBatch(10, 2*time.Millisecond)
+	s.RecordBatch(5, 4*time.Millisecond)
+	s.RecordErrors(2)
+	s.RecordPublish()
+	if s.Ingested() != 15 || s.Batches() != 2 || s.Errors() != 2 || s.Publishes() != 1 {
+		t.Fatalf("counters: %+v", s.Report())
+	}
+	if got := s.MeanBatchLatency(); got != 3*time.Millisecond {
+		t.Fatalf("MeanBatchLatency = %v", got)
+	}
+	if got := s.LastBatchLatency(); got != 4*time.Millisecond {
+		t.Fatalf("LastBatchLatency = %v", got)
+	}
+	if s.BusyTime() != 6*time.Millisecond {
+		t.Fatalf("BusyTime = %v", s.BusyTime())
+	}
+	if s.IngestRate() <= 0 {
+		t.Fatal("IngestRate should be positive after ingesting")
+	}
+	r := s.Report()
+	if r.Ingested != 15 || r.MeanBatchMicros != 3000 {
+		t.Fatalf("Report = %+v", r)
+	}
+}
+
+func TestShardStatsZeroValueSafety(t *testing.T) {
+	s := NewShardStats()
+	if s.MeanBatchLatency() != 0 || s.IngestRate() != 0 {
+		t.Fatal("empty stats should report zeros")
+	}
+}
+
+func TestShardStatsConcurrent(t *testing.T) {
+	s := NewShardStats()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				s.RecordBatch(1, time.Microsecond)
+				s.RecordPublish()
+				_ = s.Report()
+			}
+		}()
+	}
+	wg.Wait()
+	if s.Ingested() != 800 || s.Publishes() != 800 {
+		t.Fatalf("Ingested=%d Publishes=%d", s.Ingested(), s.Publishes())
+	}
+}

@@ -3,130 +3,208 @@ package slicenstitch
 import (
 	"io"
 	"sync"
+
+	"slicenstitch/internal/engine"
 )
 
-// SafeTracker wraps a Tracker with a mutex so one goroutine can push
-// events while others read fitness, predictions, or factor snapshots. All
-// methods mirror Tracker's. Pushes are still serialized — the continuous
-// tensor model is inherently sequential — so use SafeTracker for
-// concurrent *readers*, not to parallelize ingestion.
+// defaultPublishEvery is how many writes may elapse between snapshot
+// republications on a SafeTracker.
+const defaultPublishEvery = 256
+
+// SafeTracker wraps a Tracker for one writer and many readers using
+// snapshot isolation instead of a lock around every read. Writes (Push,
+// AdvanceTo, Start, Checkpoint) are serialized by a mutex — the
+// continuous tensor model is inherently sequential — and publish an
+// immutable snapshot via an atomic pointer. Reads (Fitness, Factors,
+// Predict, Events, …) load the snapshot wait-free, so readers never
+// stall ingestion and ingestion never stalls readers.
+//
+// Snapshots are published every publish interval (default 256 writes —
+// see SetPublishInterval) and on Start/Refresh, not on every write: the
+// per-event hot path stays a plain tracker update plus a counter bump,
+// and the O(nnz) fitness recomputation is amortized over the interval.
+// Readers may therefore observe counters and model up to one interval
+// stale; call Refresh to force an exact republish. Observed still reads
+// the live window under the write lock.
 type SafeTracker struct {
-	mu sync.Mutex
-	tr *Tracker
+	mu  sync.Mutex
+	tr  *Tracker
+	pub engine.Publisher[trackerSnap]
+
+	// Guarded by mu.
+	publishEvery int
+	sinceWrite   int
 }
 
-// NewSafe builds a mutex-guarded tracker.
+// trackerSnap is the immutable published view.
+type trackerSnap struct {
+	now       int64
+	started   bool
+	events    uint64
+	nnz       int
+	fitness   float64
+	algorithm string
+	params    int
+	factors   *Factors
+}
+
+// NewSafe builds a snapshot-isolated tracker.
 func NewSafe(cfg Config) (*SafeTracker, error) {
 	tr, err := New(cfg)
 	if err != nil {
 		return nil, err
 	}
-	return &SafeTracker{tr: tr}, nil
+	return newSafe(tr), nil
 }
 
-// Push forwards to Tracker.Push under the lock.
+func newSafe(tr *Tracker) *SafeTracker {
+	s := &SafeTracker{tr: tr, publishEvery: defaultPublishEvery}
+	s.mu.Lock()
+	s.publishLocked()
+	s.mu.Unlock()
+	return s
+}
+
+// SetPublishInterval sets how many writes may elapse between snapshot
+// republications (minimum 1). Call it before sharing the tracker across
+// goroutines.
+func (s *SafeTracker) SetPublishInterval(n int) {
+	if n < 1 {
+		n = 1
+	}
+	s.mu.Lock()
+	s.publishEvery = n
+	s.mu.Unlock()
+}
+
+// publishLocked installs a fresh snapshot — counters, fitness, and a
+// factor deep copy. Callers hold s.mu.
+func (s *SafeTracker) publishLocked() {
+	snap := &trackerSnap{
+		now:       s.tr.Now(),
+		started:   s.tr.Started(),
+		events:    s.tr.Events(),
+		nnz:       s.tr.NNZ(),
+		algorithm: s.tr.AlgorithmName(),
+		params:    s.tr.ParamCount(),
+	}
+	if snap.started {
+		snap.fitness = s.tr.Fitness()
+		snap.factors = s.tr.Factors()
+	}
+	s.pub.Publish(snap)
+	s.sinceWrite = 0
+}
+
+// afterWriteLocked republishes once publishEvery writes have accumulated,
+// keeping the per-event cost of the hot path to a counter bump. Callers
+// hold s.mu.
+func (s *SafeTracker) afterWriteLocked() {
+	s.sinceWrite++
+	if s.sinceWrite >= s.publishEvery {
+		s.publishLocked()
+	}
+}
+
+// Push forwards to Tracker.Push under the write lock, republishing once
+// per publish interval.
 func (s *SafeTracker) Push(coord []int, value float64, tm int64) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.tr.Push(coord, value, tm)
+	err := s.tr.Push(coord, value, tm)
+	s.afterWriteLocked()
+	return err
 }
 
-// AdvanceTo forwards to Tracker.AdvanceTo under the lock.
+// AdvanceTo forwards to Tracker.AdvanceTo under the write lock,
+// republishing once per publish interval.
 func (s *SafeTracker) AdvanceTo(tm int64) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.tr.AdvanceTo(tm)
+	err := s.tr.AdvanceTo(tm)
+	s.afterWriteLocked()
+	return err
 }
 
-// Start forwards to Tracker.Start under the lock.
+// Start forwards to Tracker.Start under the write lock and publishes a
+// fresh snapshot including the warm-started model.
 func (s *SafeTracker) Start() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.tr.Start()
+	err := s.tr.Start()
+	s.publishLocked()
+	return err
 }
 
-// Started reports whether the tracker is online.
-func (s *SafeTracker) Started() bool {
+// Refresh forces an exact republish of every snapshot field, including
+// fitness and factors.
+func (s *SafeTracker) Refresh() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.tr.Started()
+	s.publishLocked()
 }
 
-// Now returns the current stream time.
-func (s *SafeTracker) Now() int64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.tr.Now()
-}
+// Started reports whether the tracker is online (wait-free).
+func (s *SafeTracker) Started() bool { return s.pub.Load().started }
 
-// Events returns the number of factor updates applied since Start.
-func (s *SafeTracker) Events() uint64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.tr.Events()
-}
+// Now returns the published stream time (wait-free).
+func (s *SafeTracker) Now() int64 { return s.pub.Load().now }
 
-// NNZ returns the number of nonzeros in the current window.
-func (s *SafeTracker) NNZ() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.tr.NNZ()
-}
+// Events returns the published update count (wait-free).
+func (s *SafeTracker) Events() uint64 { return s.pub.Load().events }
 
-// Fitness returns the current fitness.
-func (s *SafeTracker) Fitness() float64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.tr.Fitness()
-}
+// NNZ returns the published window nonzero count (wait-free).
+func (s *SafeTracker) NNZ() int { return s.pub.Load().nnz }
 
-// Predict evaluates the model at the coordinates and time index.
+// Fitness returns the published fitness (wait-free; at most one publish
+// interval stale).
+func (s *SafeTracker) Fitness() float64 { return s.pub.Load().fitness }
+
+// Predict evaluates the published model (wait-free; at most one publish
+// interval stale).
 func (s *SafeTracker) Predict(coord []int, timeIdx int) (float64, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.tr.Predict(coord, timeIdx)
+	snap := s.pub.Load()
+	if snap.factors == nil {
+		return 0, errPredictBeforeStart
+	}
+	if err := s.tr.checkIndex(coord, timeIdx); err != nil {
+		return 0, err
+	}
+	return snap.factors.Predict(fullIndex(coord, timeIdx)), nil
 }
 
-// Observed returns the window entry at the coordinates and time index.
+// Observed returns the live window entry under the write lock (the
+// window has no snapshot; this is the one read that can contend with the
+// writer).
 func (s *SafeTracker) Observed(coord []int, timeIdx int) (float64, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.tr.Observed(coord, timeIdx)
 }
 
-// Factors snapshots the model.
-func (s *SafeTracker) Factors() *Factors {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.tr.Factors()
-}
+// Factors returns the published factor snapshot (wait-free; shared and
+// immutable — do not mutate).
+func (s *SafeTracker) Factors() *Factors { return s.pub.Load().factors }
 
-// AlgorithmName returns the active algorithm's name.
-func (s *SafeTracker) AlgorithmName() string {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.tr.AlgorithmName()
-}
+// AlgorithmName returns the published algorithm name (wait-free).
+func (s *SafeTracker) AlgorithmName() string { return s.pub.Load().algorithm }
 
-// ParamCount returns the model parameter count.
-func (s *SafeTracker) ParamCount() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.tr.ParamCount()
-}
+// ParamCount returns the model parameter count (wait-free).
+func (s *SafeTracker) ParamCount() int { return s.pub.Load().params }
 
-// Checkpoint serializes the tracker under the lock.
+// Checkpoint serializes the tracker under the write lock.
 func (s *SafeTracker) Checkpoint(w io.Writer) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.tr.Checkpoint(w)
 }
 
-// RestoreSafe rebuilds a mutex-guarded tracker from a Checkpoint stream.
+// RestoreSafe rebuilds a snapshot-isolated tracker from a Checkpoint
+// stream.
 func RestoreSafe(r io.Reader) (*SafeTracker, error) {
 	tr, err := Restore(r)
 	if err != nil {
 		return nil, err
 	}
-	return &SafeTracker{tr: tr}, nil
+	return newSafe(tr), nil
 }

@@ -276,37 +276,59 @@ func (t *Tracker) Events() uint64 { return t.events }
 // NNZ returns the number of nonzero entries in the current tensor window.
 func (t *Tracker) NNZ() int { return t.win.X().NNZ() }
 
+var errPredictBeforeStart = errors.New("slicenstitch: Predict before Start")
+
+// checkIndex validates categorical coordinates and a time-mode index
+// against mode sizes dims and window length w. Shared by every predict
+// path (Tracker, SafeTracker, Engine).
+func checkIndex(dims []int, w int, coord []int, timeIdx int) error {
+	if len(coord) != len(dims) {
+		return fmt.Errorf("slicenstitch: coord has %d indices, want %d", len(coord), len(dims))
+	}
+	for m, i := range coord {
+		if i < 0 || i >= dims[m] {
+			return fmt.Errorf("slicenstitch: coord[%d] = %d out of range [0,%d)", m, i, dims[m])
+		}
+	}
+	if timeIdx < 0 || timeIdx >= w {
+		return fmt.Errorf("slicenstitch: timeIdx %d out of range [0,%d)", timeIdx, w)
+	}
+	return nil
+}
+
+// fullIndex appends the time-mode index to the categorical coordinates.
+func fullIndex(coord []int, timeIdx int) []int {
+	full := make([]int, len(coord)+1)
+	copy(full, coord)
+	full[len(coord)] = timeIdx
+	return full
+}
+
+// checkIndex validates against the tracker's configuration. It reads only
+// immutable config, so it is safe without synchronization.
+func (t *Tracker) checkIndex(coord []int, timeIdx int) error {
+	return checkIndex(t.cfg.Dims, t.cfg.W, coord, timeIdx)
+}
+
 // Predict evaluates the current model at categorical coordinates and a
 // time-mode index in [0, W): W−1 is the newest (current) tensor unit.
 func (t *Tracker) Predict(coord []int, timeIdx int) (float64, error) {
 	if !t.started {
-		return 0, errors.New("slicenstitch: Predict before Start")
+		return 0, errPredictBeforeStart
 	}
-	if len(coord) != len(t.cfg.Dims) {
-		return 0, fmt.Errorf("slicenstitch: coord has %d indices, want %d", len(coord), len(t.cfg.Dims))
+	if err := t.checkIndex(coord, timeIdx); err != nil {
+		return 0, err
 	}
-	if timeIdx < 0 || timeIdx >= t.cfg.W {
-		return 0, fmt.Errorf("slicenstitch: timeIdx %d out of range [0,%d)", timeIdx, t.cfg.W)
-	}
-	full := make([]int, len(coord)+1)
-	copy(full, coord)
-	full[len(coord)] = timeIdx
-	return t.dec.Model().Predict(full), nil
+	return t.dec.Model().Predict(fullIndex(coord, timeIdx)), nil
 }
 
 // Observed returns the actual window entry at categorical coordinates and
 // a time-mode index (0 when absent).
 func (t *Tracker) Observed(coord []int, timeIdx int) (float64, error) {
-	if len(coord) != len(t.cfg.Dims) {
-		return 0, fmt.Errorf("slicenstitch: coord has %d indices, want %d", len(coord), len(t.cfg.Dims))
+	if err := t.checkIndex(coord, timeIdx); err != nil {
+		return 0, err
 	}
-	if timeIdx < 0 || timeIdx >= t.cfg.W {
-		return 0, fmt.Errorf("slicenstitch: timeIdx %d out of range [0,%d)", timeIdx, t.cfg.W)
-	}
-	full := make([]int, len(coord)+1)
-	copy(full, coord)
-	full[len(coord)] = timeIdx
-	return t.win.X().At(full), nil
+	return t.win.X().At(fullIndex(coord, timeIdx)), nil
 }
 
 // Fitness returns 1 − ‖X−X̃‖_F/‖X‖_F for the current window and model —
