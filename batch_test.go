@@ -1,0 +1,154 @@
+package slicenstitch
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// genBatchEvents builds a mostly-valid chronological event stream with a
+// sprinkle of invalid events (bad arity, out-of-range coordinate, time
+// regression) so the equivalence test also covers the rejection paths.
+func genBatchEvents(rng *rand.Rand, dims []int, n int, startTime int64) []Event {
+	events := make([]Event, 0, n)
+	tm := startTime
+	for i := 0; i < n; i++ {
+		tm += int64(rng.Intn(3))
+		ev := Event{Coord: make([]int, len(dims)), Value: float64(rng.Intn(4)), Time: tm}
+		for m := range ev.Coord {
+			ev.Coord[m] = rng.Intn(dims[m])
+		}
+		switch rng.Intn(20) {
+		case 0:
+			ev.Coord[0] = dims[0] + 3 // out of range
+		case 1:
+			ev.Coord = ev.Coord[:len(dims)-1] // wrong arity
+		case 2:
+			ev.Time = startTime - 1 // time regression (once the clock moved)
+		}
+		events = append(events, ev)
+	}
+	return events
+}
+
+// pushAll replays events one Push at a time, returning how many were
+// accepted — the reference behaviour PushBatch must reproduce.
+func pushAll(t *testing.T, tr *Tracker, events []Event) int {
+	t.Helper()
+	applied := 0
+	for _, ev := range events {
+		if err := tr.Push(ev.Coord, ev.Value, ev.Time); err == nil {
+			applied++
+		}
+	}
+	return applied
+}
+
+// pushChunks replays events through PushBatch in random-size chunks.
+func pushChunks(t *testing.T, rng *rand.Rand, tr *Tracker, events []Event) int {
+	t.Helper()
+	applied := 0
+	for len(events) > 0 {
+		n := 1 + rng.Intn(7)
+		if n > len(events) {
+			n = len(events)
+		}
+		a, _ := tr.PushBatch(events[:n])
+		applied += a
+		events = events[n:]
+	}
+	return applied
+}
+
+// The batch fast path must be indistinguishable from event-at-a-time
+// ingestion: same accepted-event count and bit-identical checkpoint bytes
+// (config, window entries, pending schedule, factor matrices) for every
+// update algorithm, including the sampled ones (identical RNG draws).
+func TestPushBatchEquivalentToPush(t *testing.T) {
+	dims := []int{5, 4}
+	for _, alg := range []Algorithm{SNSRndPlus, SNSVecPlus, SNSRnd, SNSVec} {
+		for seed := int64(1); seed <= 3; seed++ {
+			cfg := Config{
+				Dims: dims, W: 3, Period: 5, Rank: 3,
+				Algorithm: alg, Seed: seed, Theta: 2, ALSIters: 3,
+			}
+			seq, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bat, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			fillRng := rand.New(rand.NewSource(seed))
+			fill := genBatchEvents(fillRng, dims, 80, 0)
+			chunkRng := rand.New(rand.NewSource(seed + 100))
+			if a, b := pushAll(t, seq, fill), pushChunks(t, chunkRng, bat, fill); a != b {
+				t.Fatalf("%s/%d fill: %d vs %d events applied", alg, seed, a, b)
+			}
+			if err := seq.Start(); err != nil {
+				t.Fatal(err)
+			}
+			if err := bat.Start(); err != nil {
+				t.Fatal(err)
+			}
+
+			streamRng := rand.New(rand.NewSource(seed + 200))
+			live := genBatchEvents(streamRng, dims, 120, seq.Now())
+			if a, b := pushAll(t, seq, live), pushChunks(t, chunkRng, bat, live); a != b {
+				t.Fatalf("%s/%d live: %d vs %d events applied", alg, seed, a, b)
+			}
+
+			var cpSeq, cpBat bytes.Buffer
+			if err := seq.Checkpoint(&cpSeq); err != nil {
+				t.Fatal(err)
+			}
+			if err := bat.Checkpoint(&cpBat); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(cpSeq.Bytes(), cpBat.Bytes()) {
+				t.Fatalf("%s/%d: batch and sequential checkpoints differ (window or factors diverged)", alg, seed)
+			}
+			if sf, bf := seq.Fitness(), bat.Fitness(); sf != bf {
+				t.Fatalf("%s/%d: fitness %v vs %v", alg, seed, sf, bf)
+			}
+		}
+	}
+}
+
+// The steady-state hot path — post-Start event apply with the default
+// SNS-Rnd+ algorithm — must be allocation-free: window maintenance, heap
+// churn, sampling, and row updates all run out of reusable buffers.
+func TestHotPathAllocationFree(t *testing.T) {
+	tr, err := New(Config{Dims: []int{32, 32}, W: 4, Period: 8, Rank: 8, Theta: 4, Seed: 1, ALSIters: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coords := make([][]int, 256)
+	for i := range coords {
+		coords[i] = []int{i % 32, (i * 11) % 32}
+	}
+	tm := int64(0)
+	i := 0
+	step := func(n int) {
+		for k := 0; k < n; k++ {
+			if i%4 == 0 {
+				tm++
+			}
+			if err := tr.Push(coords[i%len(coords)], 1, tm); err != nil {
+				t.Fatal(err)
+			}
+			i++
+		}
+	}
+	step(4 * 8 * 4) // fill the window
+	if err := tr.Start(); err != nil {
+		t.Fatal(err)
+	}
+	step(20000) // steady the heap, registries, and pool capacities
+	avg := testing.AllocsPerRun(10, func() { step(200) })
+	if avg > 1 {
+		t.Fatalf("steady-state hot path averaged %.2f allocs per 200 events, want 0", avg)
+	}
+}

@@ -72,7 +72,7 @@ func Restore(r io.Reader) (*Tracker, error) {
 	if err != nil {
 		return nil, err
 	}
-	t := &Tracker{cfg: h.Config, win: win, events: h.Events}
+	t := &Tracker{cfg: h.Config, win: win, events: h.Events, idxBuf: make([]int, len(h.Config.Dims)+1)}
 	if !h.Started {
 		return t, nil
 	}
@@ -117,7 +117,7 @@ func (t *Tracker) adopt(model *cpd.Model) error {
 	default:
 		return fmt.Errorf("slicenstitch: unknown algorithm %q", t.cfg.Algorithm)
 	}
-	t.started = true
+	t.goOnline()
 	return nil
 }
 

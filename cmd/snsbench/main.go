@@ -1,0 +1,206 @@
+// Command snsbench turns `go test -bench -benchmem` output into the
+// committed benchmark-trajectory artifact (BENCH_ingest.json) and gates CI
+// on allocation regressions.
+//
+// Usage:
+//
+//	go test -run '^$' -bench 'IngestHotPath|EnginePushBatch' -benchmem . \
+//	    | go run ./cmd/snsbench -out BENCH_ingest.ci.json \
+//	          -baseline BENCH_ingest.json -max-alloc-regress 0.20
+//
+// The tool parses every benchmark line on stdin (or -in), writes the
+// parsed results as JSON, and — when a baseline file is given — fails
+// (exit 1) if any benchmark's allocs/op regressed by more than the
+// allowed fraction over the committed baseline. A baseline of 0 allocs/op
+// therefore tolerates no allocation at all, which is how the
+// zero-allocation ingestion fast path stays zero.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"nsPerOp"`
+	BytesPerOp  float64 `json:"bytesPerOp"`
+	AllocsPerOp float64 `json:"allocsPerOp"`
+}
+
+// File is the serialized artifact: a flat result list plus context.
+type File struct {
+	Version    int      `json:"version"`
+	GoVersion  string   `json:"goVersion,omitempty"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+func main() {
+	in := flag.String("in", "", "bench output file (default stdin)")
+	out := flag.String("out", "", "write parsed results as JSON to this path")
+	baseline := flag.String("baseline", "", "baseline JSON to compare against")
+	maxAllocRegress := flag.Float64("max-alloc-regress", 0.20, "allowed fractional allocs/op regression over baseline")
+	goVersion := flag.String("go-version", "", "annotate the artifact with a toolchain version")
+	flag.Parse()
+
+	var r io.Reader = os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	results, err := parse(r)
+	if err != nil {
+		fatal(err)
+	}
+	if len(results) == 0 {
+		fatal(fmt.Errorf("no benchmark lines found in input"))
+	}
+	for _, b := range results {
+		fmt.Printf("parsed %-24s %12.1f ns/op %10.1f B/op %8.1f allocs/op\n",
+			b.Name, b.NsPerOp, b.BytesPerOp, b.AllocsPerOp)
+	}
+
+	// Load the baseline before writing -out: the two may be the same path
+	// (the README's self-update flow), and comparing against a baseline we
+	// just overwrote would make the gate vacuously green.
+	var base File
+	if *baseline != "" {
+		var err error
+		base, err = load(*baseline)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	if *out != "" {
+		f := File{Version: 1, GoVersion: *goVersion, Benchmarks: results}
+		data, err := json.MarshalIndent(f, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+
+	if *baseline != "" {
+		if err := compare(base, results, *maxAllocRegress); err != nil {
+			fmt.Fprintf(os.Stderr, "REGRESSION: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("allocs/op within baseline tolerance")
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "snsbench:", err)
+	os.Exit(2)
+}
+
+// parse extracts Benchmark lines from `go test -bench -benchmem` output.
+func parse(r io.Reader) ([]Result, error) {
+	var out []Result
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// Name  N  ns/op-value "ns/op" [B/op-value "B/op" allocs-value "allocs/op"]
+		if len(fields) < 4 {
+			continue
+		}
+		res := Result{Name: normalizeName(fields[0])}
+		n, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		res.Iterations = n
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				res.NsPerOp = v
+			case "B/op":
+				res.BytesPerOp = v
+			case "allocs/op":
+				res.AllocsPerOp = v
+			}
+		}
+		out = append(out, res)
+	}
+	return out, sc.Err()
+}
+
+// normalizeName strips the trailing -GOMAXPROCS suffix so results compare
+// across machines with different core counts.
+func normalizeName(name string) string {
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			return name[:i]
+		}
+	}
+	return name
+}
+
+func load(path string) (File, error) {
+	var f File
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return f, err
+	}
+	if err := json.Unmarshal(data, &f); err != nil {
+		return f, fmt.Errorf("%s: %w", path, err)
+	}
+	return f, nil
+}
+
+// compare fails when a benchmark present in the baseline regressed its
+// allocs/op beyond the allowed fraction, or did not run at all — a bench
+// regex slip or rename must not silently disable the gate; update the
+// committed baseline alongside the rename instead. Absolute slack below
+// one alloc is granted only when the baseline itself is nonzero; a zero
+// baseline is a hard zero. Current results without a baseline entry are
+// new benchmarks and only noted.
+func compare(base File, cur []Result, maxRegress float64) error {
+	byName := make(map[string]Result, len(cur))
+	for _, c := range cur {
+		byName[c.Name] = c
+	}
+	for _, b := range base.Benchmarks {
+		c, ok := byName[b.Name]
+		if !ok {
+			return fmt.Errorf("%s is in the baseline but produced no result — bench pattern or name drifted", b.Name)
+		}
+		limit := b.AllocsPerOp * (1 + maxRegress)
+		if b.AllocsPerOp > 0 {
+			limit = math.Max(limit, b.AllocsPerOp+1) // never fail on sub-alloc noise
+		}
+		if c.AllocsPerOp > limit {
+			return fmt.Errorf("%s: %.1f allocs/op exceeds baseline %.1f (+%.0f%% allowed)",
+				c.Name, c.AllocsPerOp, b.AllocsPerOp, maxRegress*100)
+		}
+		delete(byName, b.Name)
+	}
+	for name := range byName {
+		fmt.Printf("note: %s has no baseline entry yet\n", name)
+	}
+	return nil
+}

@@ -7,9 +7,16 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"time"
 
 	"slicenstitch"
 )
+
+// observedWait bounds how long the predict endpoint waits for the live
+// window reading before serving "observed": null. Well under the server's
+// write timeout, so a backlogged shard degrades the response instead of
+// hanging it.
+const observedWait = 250 * time.Millisecond
 
 // newMux builds the HTTP API over a multi-stream engine. All read
 // endpoints serve the shard's published snapshot, so they are wait-free
@@ -24,6 +31,13 @@ import (
 //	POST /streams/{name}/events     JSON [{"coord":[i,j],"value":v,"time":t},…]
 //	POST /streams/{name}/start      warm-start (window must be full)
 //	POST /streams/{name}/flush      wait until queued batches are applied
+//
+// Predict semantics: "predicted" always comes from the published snapshot
+// (wait-free). "observed" is ground truth from the live window and is
+// best-effort: the reading travels through the shard mailbox, so when the
+// writer is backlogged the server waits at most observedWait and then
+// returns "observed": null with "observedTimedOut": true instead of
+// stalling the endpoint past its write timeout.
 func newMux(e *slicenstitch.Engine) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /streams", func(rw http.ResponseWriter, _ *http.Request) {
@@ -79,12 +93,20 @@ func newMux(e *slicenstitch.Engine) *http.ServeMux {
 			http.Error(rw, err.Error(), http.StatusBadRequest)
 			return
 		}
-		// Ground truth from the live window (waits behind queued batches).
-		obs, _ := e.Observed(name, coord, timeIdx)
-		writeJSON(rw, map[string]interface{}{
+		// Ground truth from the live window, best-effort: bounded wait so
+		// a backlogged writer cannot hang the read endpoint.
+		resp := map[string]interface{}{
 			"stream": name, "coord": coord, "timeIdx": timeIdx,
-			"predicted": pred, "observed": obs,
-		})
+			"predicted": pred, "observed": nil,
+		}
+		if obs, ok, err := e.ObservedWithin(name, coord, timeIdx, observedWait); err == nil {
+			if ok {
+				resp["observed"] = obs
+			} else {
+				resp["observedTimedOut"] = true
+			}
+		}
+		writeJSON(rw, resp)
 	})
 	mux.HandleFunc("POST /streams/{name}/events", func(rw http.ResponseWriter, req *http.Request) {
 		name := req.PathValue("name")

@@ -138,8 +138,18 @@ type Snapshot struct {
 	Dims      []int    `json:"dims"`
 	W         int      `json:"w"`
 	Factors   *Factors `json:"-"`
-	// LastError is the most recent per-event ingestion error, if any.
+	// LastError is the most recent per-event ingestion error of the
+	// current publish interval (errored batches refresh it immediately,
+	// so it is visible even on a stream whose events are all rejected).
+	// Each model publish closes the interval and clears it, so a healthy
+	// stream stops reporting a long-gone error after at most one
+	// interval; ErrorsSincePublish says how many rejections the interval
+	// has seen.
 	LastError string `json:"lastError,omitempty"`
+	// ErrorsSincePublish counts the events rejected in the current
+	// publish interval (0 on a healthy stream). The lifetime total is in
+	// IngestErrors.
+	ErrorsSincePublish uint64 `json:"errorsSincePublish"`
 	// Serving-side counters, stamped at read time rather than publish
 	// time so they are always current.
 	Ingested     uint64              `json:"ingested"`
@@ -172,6 +182,10 @@ type shardMsg struct {
 	idx   int
 	val   *float64
 	done  chan error
+	// bestEffort marks a message whose sender waits with a timeout and
+	// tolerates never being answered; under DropOldest it is evictable
+	// like a batch, so queued bounded reads are shed before data is.
+	bestEffort bool
 }
 
 // shard pairs a Tracker with its mailbox, writer goroutine, and snapshot
@@ -188,6 +202,7 @@ type shard struct {
 
 	// Writer-local state.
 	sincePublish int
+	errsSince    int
 	lastErr      string
 }
 
@@ -219,7 +234,7 @@ func (e *Engine) addShard(name string, cfg StreamConfig, tr *Tracker) error {
 		name:  name,
 		cfg:   cfg,
 		tr:    tr,
-		mb:    engine.NewMailbox(cfg.MailboxCapacity, cfg.Backpressure.policy(), func(m shardMsg) bool { return m.op == opBatch }),
+		mb:    engine.NewMailbox(cfg.MailboxCapacity, cfg.Backpressure.policy(), func(m shardMsg) bool { return m.op == opBatch || m.bestEffort }),
 		stats: metrics.NewShardStats(),
 	}
 	// Fully initialize — initial snapshot, writer goroutine — before the
@@ -416,18 +431,77 @@ func (e *Engine) Predict(name string, coord []int, timeIdx int) (float64, error)
 	if err := checkIndex(snap.Dims, snap.W, coord, timeIdx); err != nil {
 		return 0, err
 	}
-	return snap.Factors.Predict(fullIndex(coord, timeIdx)), nil
+	return snap.Factors.PredictAt(coord, timeIdx), nil
 }
 
 // Observed returns the named stream's live window entry at categorical
 // coordinates and a time-mode index. Unlike Predict it must consult the
 // writer's window, so it travels through the mailbox and waits behind
-// previously queued batches — use it for ground-truth comparison, not on
-// latency-critical read paths.
+// previously queued batches — under BackpressureBlock with a full queue
+// that wait is unbounded. Use it for ground-truth comparison on idle or
+// test streams; latency-critical read paths (the HTTP predict endpoint)
+// should use ObservedWithin.
 func (e *Engine) Observed(name string, coord []int, timeIdx int) (float64, error) {
 	var v float64
 	err := e.control(name, shardMsg{op: opObserved, coord: coord, idx: timeIdx, val: &v})
 	return v, err
+}
+
+// ObservedWithin is Observed with a bounded wait: when the mailbox is
+// full it gives up immediately, and when the queued query is not answered
+// within timeout it gives up waiting — both return ok=false with no
+// error, and the caller should treat the observation as unavailable
+// rather than stale. Validation errors and unknown streams return
+// immediately with err set. A timeout ≤ 0 means wait indefinitely
+// (identical to Observed).
+//
+// Bounded reads are second-class mailbox citizens by design: the query
+// never blocks for space, never evicts queued batches, always leaves at
+// least one free slot for producers, and is itself evictable under
+// BackpressureDropOldest (an evicted query simply times out). Sustained
+// bounded reads against a backlogged shard therefore cannot stall or
+// starve ingestion, though under BackpressureError a burst of queued
+// reads can still occupy ring slots until the writer answers them. A
+// query that outlives its timeout is eventually answered (or evicted)
+// and discarded, so the engine briefly retains coord; callers must not
+// mutate it afterwards.
+func (e *Engine) ObservedWithin(name string, coord []int, timeIdx int, timeout time.Duration) (v float64, ok bool, err error) {
+	if timeout <= 0 {
+		v, err = e.Observed(name, coord, timeIdx)
+		return v, err == nil, err
+	}
+	s, err := e.shard(name)
+	if err != nil {
+		return 0, false, err
+	}
+	// Fail fast on bad indices without involving the writer.
+	snap := s.pub.Load()
+	if err := checkIndex(snap.Dims, snap.W, coord, timeIdx); err != nil {
+		return 0, false, err
+	}
+	done := make(chan error, 1) // buffered: the writer never blocks answering an abandoned query
+	val := new(float64)
+	msg := shardMsg{op: opObserved, coord: coord, idx: timeIdx, val: val, done: done, bestEffort: true}
+	switch perr := s.mb.TryPut(msg, 1); perr {
+	case nil:
+	case engine.ErrFull:
+		return 0, false, nil // backlogged: observation unavailable
+	case engine.ErrClosed:
+		return 0, false, e.goneErr(name)
+	default:
+		return 0, false, perr
+	}
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case err := <-done:
+		if err != nil {
+			return 0, false, err
+		}
+		return *val, true, nil
+	case <-timer.C:
+		return 0, false, nil
+	}
 }
 
 // Close shuts every stream down: mailboxes stop accepting work, queued
@@ -459,22 +533,28 @@ func (e *Engine) Close() error {
 func (s *shard) handle(msg shardMsg) {
 	switch msg.op {
 	case opBatch:
+		// The batch fast path: one Tracker.PushBatch call validates and
+		// applies the whole batch — no per-event closure, coord copy, or
+		// repeated dispatch — and is allocation-free in steady state.
 		start := time.Now()
-		errs := 0
-		for i := range msg.batch {
-			ev := &msg.batch[i]
-			if err := s.tr.Push(ev.Coord, ev.Value, ev.Time); err != nil {
-				errs++
-				s.lastErr = err.Error()
-			}
-		}
-		s.stats.RecordBatch(len(msg.batch)-errs, time.Since(start))
+		applied, err := s.tr.PushBatch(msg.batch)
+		s.stats.RecordBatch(applied, time.Since(start))
+		errs := len(msg.batch) - applied
 		if errs > 0 {
 			s.stats.RecordErrors(errs)
+			s.errsSince += errs
+			s.lastErr = err.Error()
 		}
-		s.sincePublish += len(msg.batch)
+		// Only applied events advance the publish clock: a stream of
+		// rejected events must not trigger the O(nnz) fitness recompute.
+		s.sincePublish += applied
 		if s.sincePublish >= s.cfg.PublishEvery {
 			s.publish()
+		} else if errs > 0 {
+			// No model publish is due, but the error must still surface —
+			// otherwise a stream whose events are all rejected would never
+			// report LastError at all. O(1): model fields are inherited.
+			s.publishErrState()
 		}
 	case opStart:
 		err := s.tr.Start()
@@ -487,6 +567,8 @@ func (s *shard) handle(msg shardMsg) {
 		if err == nil {
 			s.publish()
 		} else {
+			// Surfaced synchronously to the caller; not counted in
+			// ErrorsSincePublish, which tracks rejected *events* only.
 			s.lastErr = err.Error()
 		}
 		msg.done <- err
@@ -503,20 +585,24 @@ func (s *shard) handle(msg shardMsg) {
 }
 
 // publish builds and installs a fresh immutable snapshot. Called from the
-// writer goroutine (and once from addShard before the writer starts).
+// writer goroutine (and once from addShard before the writer starts). The
+// per-interval error state (LastError, ErrorsSincePublish) is stamped into
+// the snapshot and then reset, so errors age out after one interval
+// instead of sticking forever.
 func (s *shard) publish() {
 	t := s.tr
 	snap := &Snapshot{
-		Stream:    s.name,
-		Now:       t.Now(),
-		Started:   t.Started(),
-		Events:    t.Events(),
-		NNZ:       t.NNZ(),
-		Algorithm: t.AlgorithmName(),
-		Params:    t.ParamCount(),
-		Dims:      s.cfg.Dims,
-		W:         s.cfg.W,
-		LastError: s.lastErr,
+		Stream:             s.name,
+		Now:                t.Now(),
+		Started:            t.Started(),
+		Events:             t.Events(),
+		NNZ:                t.NNZ(),
+		Algorithm:          t.AlgorithmName(),
+		Params:             t.ParamCount(),
+		Dims:               s.cfg.Dims,
+		W:                  s.cfg.W,
+		LastError:          s.lastErr,
+		ErrorsSincePublish: uint64(s.errsSince),
 	}
 	if t.Started() {
 		snap.Fitness = t.Fitness()
@@ -525,6 +611,23 @@ func (s *shard) publish() {
 	s.pub.Publish(snap)
 	s.stats.RecordPublish()
 	s.sincePublish = 0
+	s.errsSince = 0
+	s.lastErr = ""
+}
+
+// publishErrState refreshes the published snapshot's cheap fields and
+// error state without recomputing fitness or re-copying factors (both are
+// inherited from the previous snapshot, which is immutable and shared).
+// It neither counts as a model publish nor resets the per-interval error
+// state — a subsequent full publish still closes the interval.
+func (s *shard) publishErrState() {
+	snap := *s.pub.Load()
+	snap.Now = s.tr.Now()
+	snap.Events = s.tr.Events()
+	snap.NNZ = s.tr.NNZ()
+	snap.LastError = s.lastErr
+	snap.ErrorsSincePublish = uint64(s.errsSince)
+	s.pub.Publish(&snap)
 }
 
 // Predict evaluates the CP model held in a Factors snapshot at a full
@@ -538,6 +641,26 @@ func (f *Factors) Predict(idx []int) float64 {
 	for r := range f.Lambda {
 		p := f.Lambda[r]
 		for m, i := range idx {
+			p *= f.Matrices[m][i][r]
+		}
+		total += p
+	}
+	return total
+}
+
+// PredictAt evaluates the model at categorical coordinates plus a
+// time-mode index without materializing the full index — the
+// allocation-free form concurrent read paths use. Out-of-range indices
+// are the caller's responsibility.
+func (f *Factors) PredictAt(coord []int, timeIdx int) float64 {
+	if f == nil || len(coord)+1 != len(f.Matrices) {
+		return 0
+	}
+	timeRows := f.Matrices[len(f.Matrices)-1]
+	total := 0.0
+	for r := range f.Lambda {
+		p := f.Lambda[r] * timeRows[timeIdx][r]
+		for m, i := range coord {
 			p *= f.Matrices[m][i][r]
 		}
 		total += p

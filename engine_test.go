@@ -8,6 +8,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func validStreamConfig() StreamConfig {
@@ -243,6 +244,108 @@ func TestEngineIngestErrorsSurfaceInSnapshot(t *testing.T) {
 	if snap.LastError == "" {
 		t.Fatal("LastError empty after rejected event")
 	}
+	if snap.ErrorsSincePublish != 1 {
+		t.Fatalf("ErrorsSincePublish = %d, want 1", snap.ErrorsSincePublish)
+	}
+	// The error belongs to the interval that saw it: after a healthy
+	// interval the next publish clears it instead of reporting the stale
+	// error forever.
+	if err := e.PushBatch("s", []Event{{Coord: []int{0, 0}, Value: 1, Time: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Flush("s"); err != nil {
+		t.Fatal(err)
+	}
+	snap, _ = e.Snapshot("s")
+	if snap.LastError != "" || snap.ErrorsSincePublish != 0 {
+		t.Fatalf("error state not aged out: lastError=%q errorsSincePublish=%d",
+			snap.LastError, snap.ErrorsSincePublish)
+	}
+	// The lifetime counter keeps the history.
+	if snap.IngestErrors != 1 || snap.Ingested != 2 {
+		t.Fatalf("lifetime errors = %d ingested = %d, want 1 and 2", snap.IngestErrors, snap.Ingested)
+	}
+}
+
+// Rejected events must not advance the publish clock: a batch of pure
+// garbage never triggers the O(nnz) fitness recompute, while the same
+// number of applied events does.
+func TestEngineRejectedEventsDoNotCountTowardPublish(t *testing.T) {
+	e := NewEngine()
+	defer e.Close()
+	cfg := validStreamConfig()
+	cfg.PublishEvery = 4
+	if err := e.AddStream("s", cfg); err != nil {
+		t.Fatal(err)
+	}
+	base, _ := e.Snapshot("s")
+	basePub := base.Stats.Publishes
+	// Three batches of all-rejected events: 12 events ≥ PublishEvery, yet
+	// no publish may fire.
+	for i := 0; i < 3; i++ {
+		bad := []Event{
+			{Coord: []int{99, 0}, Value: 1, Time: 0},
+			{Coord: []int{99, 0}, Value: 1, Time: 0},
+			{Coord: []int{99, 0}, Value: 1, Time: 0},
+			{Coord: []int{99, 0}, Value: 1, Time: 0},
+		}
+		if err := e.PushBatch("s", bad); err != nil {
+			t.Fatal(err)
+		}
+	}
+	drain(t, e, "s")
+	snap := mustSnap(t, e, "s")
+	if got := snap.Stats.Publishes; got != basePub {
+		t.Fatalf("all-error batches triggered %d publishes", got-basePub)
+	}
+	// … yet the error state still surfaces (cheap error-state refresh, not
+	// a model publish), even though no event was ever applied.
+	if snap.LastError == "" || snap.ErrorsSincePublish != 12 {
+		t.Fatalf("all-error stream hides its errors: lastError=%q errorsSincePublish=%d",
+			snap.LastError, snap.ErrorsSincePublish)
+	}
+	// The same volume of applied events does publish.
+	good := make([]Event, 4)
+	for i := range good {
+		good[i] = Event{Coord: []int{0, 0}, Value: 1, Time: int64(i)}
+	}
+	if err := e.PushBatch("s", good); err != nil {
+		t.Fatal(err)
+	}
+	drain(t, e, "s")
+	if got := mustSnap(t, e, "s").Stats.Publishes; got <= basePub {
+		t.Fatal("applied events did not trigger a publish")
+	}
+}
+
+// drain waits until the shard's queue is empty and the writer idle,
+// without forcing a publish the way Flush does.
+func drain(t *testing.T, e *Engine, name string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		snap := mustSnap(t, e, name)
+		if snap.QueueDepth == 0 {
+			// One control round-trip guarantees the in-flight batch (if
+			// any) finished before we read counters. Observed is the only
+			// control op that does not publish.
+			if _, err := e.Observed(name, []int{0, 0}, 0); err != nil {
+				t.Fatal(err)
+			}
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("queue never drained")
+}
+
+func mustSnap(t *testing.T, e *Engine, name string) Snapshot {
+	t.Helper()
+	snap, err := e.Snapshot(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return snap
 }
 
 func TestEngineCheckpointRestore(t *testing.T) {

@@ -1,0 +1,132 @@
+// Ingest hot-path benchmarks — the numbers behind BENCH_ingest.json.
+//
+// BenchmarkIngestHotPath measures the steady-state public Tracker path
+// (validation + window maintenance + SNS-Rnd+ factor update per event);
+// BenchmarkEnginePushBatch measures the same events flowing through the
+// multi-stream engine's mailbox and shard writer in batches. Both must
+// report 0 allocs/op under -benchmem; CI gates on a >20% allocs/op
+// regression versus the committed BENCH_ingest.json baseline (see
+// cmd/snsbench).
+package slicenstitch
+
+import (
+	"testing"
+)
+
+// benchCoords is a fixed ring of coordinate slices so the driver loop
+// performs no per-event allocation of its own.
+func benchCoords(n, d0, d1 int) [][]int {
+	coords := make([][]int, n)
+	for i := range coords {
+		coords[i] = []int{i % d0, (i * 11) % d1}
+	}
+	return coords
+}
+
+// BenchmarkIngestHotPath: one op = one steady-state Push on a started
+// tracker (default SNS-Rnd+), time advancing every 4 events.
+func BenchmarkIngestHotPath(b *testing.B) {
+	tr, err := New(Config{Dims: []int{64, 64}, W: 8, Period: 16, Rank: 8, Theta: 8, Seed: 1, ALSIters: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	coords := benchCoords(512, 64, 64)
+	tm := int64(0)
+	i := 0
+	push := func() {
+		if i%4 == 0 {
+			tm++
+		}
+		if err := tr.Push(coords[i%len(coords)], 1, tm); err != nil {
+			b.Fatal(err)
+		}
+		i++
+	}
+	for i < 8*16*4 {
+		push()
+	}
+	if err := tr.Start(); err != nil {
+		b.Fatal(err)
+	}
+	for k := 0; k < 4096; k++ { // settle buffer and heap capacities
+		push()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		push()
+	}
+}
+
+// BenchmarkEnginePushBatch: one op = one event ingested through the
+// engine's batched path (mailbox → shard writer → Tracker.PushBatch).
+// Publishing is effectively disabled so the measurement isolates the
+// ingest pipeline from the amortized snapshot/fitness cost.
+func BenchmarkEnginePushBatch(b *testing.B) {
+	const (
+		batchSize = 256
+		nBatches  = 128 // rotating pool; far exceeds the mailbox capacity
+	)
+	e := NewEngine()
+	defer e.Close()
+	cfg := StreamConfig{
+		Config:          Config{Dims: []int{64, 64}, W: 8, Period: 16, Rank: 8, Theta: 8, Seed: 1, ALSIters: 2},
+		MailboxCapacity: 32,
+		PublishEvery:    1 << 30,
+	}
+	if err := e.AddStream("bench", cfg); err != nil {
+		b.Fatal(err)
+	}
+	coords := benchCoords(512, 64, 64)
+	batches := make([][]Event, nBatches)
+	for j := range batches {
+		batches[j] = make([]Event, batchSize)
+	}
+	tm := int64(0)
+	i := 0
+	// fill builds the next batch in the rotating pool. A slot is reused
+	// only after the writer has long consumed it (pool ≫ mailbox cap).
+	fill := func(j int) []Event {
+		bt := batches[j%nBatches]
+		for k := range bt {
+			if i%4 == 0 {
+				tm++
+			}
+			bt[k] = Event{Coord: coords[i%len(coords)], Value: 1, Time: tm}
+			i++
+		}
+		return bt
+	}
+	j := 0
+	for i < 8*16*4 {
+		if err := e.PushBatch("bench", fill(j)); err != nil {
+			b.Fatal(err)
+		}
+		j++
+	}
+	if err := e.Start("bench"); err != nil {
+		b.Fatal(err)
+	}
+	for k := 0; k < 16; k++ { // settle capacities
+		if err := e.PushBatch("bench", fill(j)); err != nil {
+			b.Fatal(err)
+		}
+		j++
+	}
+	if err := e.Flush("bench"); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	pushed := 0
+	for pushed < b.N {
+		if err := e.PushBatch("bench", fill(j)); err != nil {
+			b.Fatal(err)
+		}
+		j++
+		pushed += batchSize
+	}
+	if err := e.Flush("bench"); err != nil {
+		b.Fatal(err)
+	}
+}

@@ -34,10 +34,18 @@ type base struct {
 	win   *window.Window
 	model *cpd.Model
 	grams []*mat.Dense
-	// scratch buffers reused across events to keep updates allocation-free
-	// on the hot path.
-	krBuf  []float64
-	rowBuf []float64
+	// Scratch reused across events so that steady-state row updates are
+	// allocation-free (the hot-path requirement behind the per-event
+	// complexity claims): R-vectors for Khatri-Rao rows, delta/data terms
+	// and event-start row backups, an R×R Hadamard-of-Grams workspace, a
+	// decoded-coordinate buffer, and a Cholesky solver workspace.
+	krBuf    []float64
+	rowBuf   []float64
+	dataBuf  []float64
+	pBuf     []float64
+	hBuf     *mat.Dense
+	coordBuf []int
+	solver   *mat.SymSolver
 }
 
 func newBase(win *window.Window, init *cpd.Model) base {
@@ -54,12 +62,25 @@ func newBase(win *window.Window, init *cpd.Model) base {
 	}
 	r := model.Rank()
 	return base{
-		win:    win,
-		model:  model,
-		grams:  model.Grams(),
-		krBuf:  make([]float64, r),
-		rowBuf: make([]float64, r),
+		win:      win,
+		model:    model,
+		grams:    model.Grams(),
+		krBuf:    make([]float64, r),
+		rowBuf:   make([]float64, r),
+		dataBuf:  make([]float64, r),
+		pBuf:     make([]float64, r),
+		hBuf:     mat.New(r, r),
+		coordBuf: make([]int, len(wantShape)),
+		solver:   mat.NewSymSolver(r),
 	}
+}
+
+// savePrev copies row into the shared event-start backup buffer pBuf and
+// returns it — the lightweight backup used by the variants without a
+// prevTracker (valid until the next updateRow).
+func (b *base) savePrev(row []float64) []float64 {
+	copy(b.pBuf, row)
+	return b.pBuf
 }
 
 // Model returns the live model.

@@ -31,7 +31,7 @@ func TestSNSRndPlusSampledMatchesBruteForce(t *testing.T) {
 		// Predict the exact sample set with an identically-seeded RNG (the
 		// decomposer has not consumed any draws yet).
 		shadowRng := rand.New(rand.NewSource(seed))
-		sampleKeys := sampleSliceCells(win.X(), m, i, theta, shadowRng, map[uint64]struct{}{})
+		sampleKeys := sampleCellsForTest(win.X(), m, i, theta, shadowRng, nil)
 		sampled := map[uint64]struct{}{}
 		for _, k := range sampleKeys {
 			sampled[k] = struct{}{}
@@ -107,7 +107,7 @@ func TestSNSRndSampledMatchesBruteForce(t *testing.T) {
 		}
 
 		shadowRng := rand.New(rand.NewSource(seed))
-		sampleKeys := sampleSliceCells(win.X(), m, i, theta, shadowRng, map[uint64]struct{}{})
+		sampleKeys := sampleCellsForTest(win.X(), m, i, theta, shadowRng, nil)
 		sampled := map[uint64]struct{}{}
 		for _, k := range sampleKeys {
 			sampled[k] = struct{}{}

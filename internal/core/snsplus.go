@@ -102,11 +102,12 @@ func (s *SNSVecPlus) Apply(ch window.Change) {
 
 func (s *SNSVecPlus) beginEvent(window.Change) {}
 
-// updateRow is updateRowVec+ of Algorithm 5.
+// updateRow is updateRowVec+ of Algorithm 5. Intermediates live in the
+// base scratch buffers, so steady-state updates allocate nothing.
 func (s *SNSVecPlus) updateRow(m, i int, ch window.Change) {
 	row := s.model.Factors[m].Row(i)
-	p := mat.CloneVec(row)
-	h := cpd.GramsExcept(s.grams, m)
+	p := s.savePrev(row)
+	h := cpd.GramsExceptInto(s.hBuf, s.grams, m)
 	timeMode := m == s.timeMode()
 	// The per-coordinate data term is constant across the coordinate loop:
 	// Σ_J Δx_J·Π_{n≠m} a_{j_n k} for the time mode (Eq. (22)), and
@@ -115,7 +116,7 @@ func (s *SNSVecPlus) updateRow(m, i int, ch window.Change) {
 	if timeMode {
 		data = s.deltaTerm(ch, m, i, s.rowBuf)
 	} else {
-		data = cpd.MTTKRPRow(s.win.X(), s.model.Factors, m, i)
+		data = cpd.MTTKRPRowInto(s.win.X(), s.model.Factors, m, i, s.dataBuf, s.krBuf)
 	}
 	lo := -s.eta
 	if s.NonNegative {
@@ -197,12 +198,14 @@ func (s *SNSRndPlus) beginEvent(ch window.Change) {
 	s.begin(&s.base, ch)
 }
 
-// updateRow is updateRowRan+ of Algorithm 5.
+// updateRow is updateRowRan+ of Algorithm 5. Intermediates live in the
+// shared scratch buffers, so steady-state updates allocate nothing — the
+// property behind the zero-allocs/op hot-path benchmark.
 func (s *SNSRndPlus) updateRow(m, i int, ch window.Change) {
 	row := s.model.Factors[m].Row(i)
 	p := s.saveRow(m, i, row)
 	x := s.win.X()
-	h := cpd.GramsExcept(s.grams, m)
+	h := cpd.GramsExceptInto(s.hBuf, s.grams, m)
 	sampled := x.Deg(m, i) > s.theta
 	lo := -s.eta
 	if s.NonNegative {
@@ -212,15 +215,14 @@ func (s *SNSRndPlus) updateRow(m, i int, ch window.Change) {
 	var hu *mat.Dense
 	if !sampled {
 		// Exact data term of Eq. (21).
-		data = cpd.MTTKRPRow(x, s.model.Factors, m, i)
+		data = cpd.MTTKRPRowInto(x, s.model.Factors, m, i, s.dataBuf, s.krBuf)
 	} else {
 		// Sampled residual + ΔX term of Eq. (23), plus
 		// H_u = ∗_{n≠m} U⁽ⁿ⁾ for the e-term.
-		hu = cpd.GramsExcept(s.prevGrams, m)
-		data = mat.CloneVec(s.deltaTerm(ch, m, i, s.rowBuf))
-		coord := make([]int, x.Order())
-		for _, key := range sampleSliceCells(x, m, i, s.theta, s.rng, s.exclude) {
-			x.Coord(key, coord)
+		hu = cpd.GramsExceptInto(s.huBuf, s.prevGrams, m)
+		data = s.deltaTerm(ch, m, i, s.dataBuf)
+		for _, key := range s.sample(&s.base, m, i, s.theta, s.rng) {
+			coord := x.Coord(key, s.coordBuf)
 			resid := x.AtKey(key) - s.predictPrev(&s.base, coord)
 			kr := cpd.KRRow(s.model.Factors, coord, m, s.krBuf)
 			for k := range data {

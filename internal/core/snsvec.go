@@ -39,23 +39,24 @@ func (s *SNSVec) Apply(ch window.Change) {
 
 func (s *SNSVec) beginEvent(window.Change) {}
 
-// updateRow is updateRowVec of Algorithm 4.
+// updateRow is updateRowVec of Algorithm 4. All intermediates live in the
+// base scratch buffers, so steady-state updates allocate nothing.
 func (s *SNSVec) updateRow(m, i int, ch window.Change) {
 	f := s.model.Factors[m]
 	row := f.Row(i)
-	p := mat.CloneVec(row)
-	h := cpd.GramsExcept(s.grams, m)
+	p := s.savePrev(row)
+	h := cpd.GramsExceptInto(s.hBuf, s.grams, m)
 	if m == s.timeMode() {
 		// Eq. (9): A⁽ᴹ⁾(i,:) += ΔX_(M)(i,:) K⁽ᴹ⁾ H⁽ᴹ⁾†.
 		u := s.deltaTerm(ch, m, i, s.rowBuf)
-		delta := mat.SolveSym(h, u)
+		delta := s.solver.Solve(h, u)
 		for k := range row {
 			row[k] = p[k] + delta[k]
 		}
 	} else {
 		// Eq. (12): A⁽ᵐ⁾(i,:) ← (X+ΔX)_(m)(i,:) K⁽ᵐ⁾ H⁽ᵐ⁾†.
-		u := cpd.MTTKRPRow(s.win.X(), s.model.Factors, m, i)
-		copy(row, mat.SolveSym(h, u))
+		u := cpd.MTTKRPRowInto(s.win.X(), s.model.Factors, m, i, s.dataBuf, s.krBuf)
+		copy(row, s.solver.Solve(h, u))
 	}
 	updateGram(s.grams[m], p, row)
 }
@@ -76,55 +77,65 @@ type savedRow struct {
 // sparse streams. Keys in exclude (the ΔX cells, footnote 2) are skipped.
 // When the slice has no more than theta cells, all (non-excluded) cells are
 // returned, making X̃+X̄ exact on the slice.
-func sampleSliceCells(x *tensor.Sparse, m, i, theta int, rng *rand.Rand, exclude map[uint64]struct{}) []uint64 {
-	shape := x.Shape()
+//
+// The caller supplies reusable workspace: keys are appended to dst[:0]
+// (returned), seen tracks rejection-sampling duplicates (cleared here) and
+// coord is an order-M coordinate scratch — so the sampler allocates nothing
+// in steady state.
+func sampleSliceCells(x *tensor.Sparse, m, i, theta int, rng *rand.Rand, exclude map[uint64]struct{}, dst []uint64, seen map[uint64]struct{}, coord []int) []uint64 {
+	order := x.Order()
 	total := 1
-	for n, d := range shape {
+	for n := 0; n < order; n++ {
 		if n == m {
 			continue
 		}
-		total *= d
+		total *= x.Dim(n)
 		if total > 1<<30 {
 			total = 1 << 30 // cap: plenty to guarantee the sampling path
 			break
 		}
 	}
-	coord := make([]int, len(shape))
+	out := dst[:0]
+	for n := range coord {
+		coord[n] = 0
+	}
 	coord[m] = i
 	if total <= theta {
-		// Enumerate the whole slice.
-		out := make([]uint64, 0, total)
-		var walk func(n int)
-		walk = func(n int) {
-			if n == len(shape) {
-				k := x.Key(coord)
-				if _, ex := exclude[k]; !ex {
-					out = append(out, k)
+		// Enumerate the whole slice in lexicographic order (last mode
+		// fastest) with an odometer — closure-free so nothing escapes.
+		for {
+			k := x.Key(coord)
+			if _, ex := exclude[k]; !ex {
+				out = append(out, k)
+			}
+			n := order - 1
+			for n >= 0 {
+				if n == m {
+					n--
+					continue
 				}
-				return
+				coord[n]++
+				if coord[n] < x.Dim(n) {
+					break
+				}
+				coord[n] = 0
+				n--
 			}
-			if n == m {
-				walk(n + 1)
-				return
-			}
-			for j := 0; j < shape[n]; j++ {
-				coord[n] = j
-				walk(n + 1)
+			if n < 0 {
+				break
 			}
 		}
-		walk(0)
 		return out
 	}
 	// Rejection sampling without replacement.
-	seen := make(map[uint64]struct{}, theta)
-	out := make([]uint64, 0, theta)
+	clear(seen)
 	attempts := 0
 	maxAttempts := 20*theta + 64
 	for len(out) < theta && attempts < maxAttempts {
 		attempts++
-		for n := range shape {
+		for n := 0; n < order; n++ {
 			if n != m {
-				coord[n] = rng.Intn(shape[n])
+				coord[n] = rng.Intn(x.Dim(n))
 			}
 		}
 		k := x.Key(coord)
@@ -143,18 +154,28 @@ func sampleSliceCells(x *tensor.Sparse, m, i, theta int, rng *rand.Rand, exclude
 // prevTracker maintains the per-event A_prev view required by the sampling
 // variants: U⁽ᵐ⁾ = A_prev⁽ᵐ⁾ᵀA⁽ᵐ⁾ (reset to Q⁽ᵐ⁾ at event start,
 // Algorithm 3 line 1, then advanced by Eq. (17)/(26)) plus lazy backups of
-// the few rows that change within the event.
+// the few rows that change within the event. Backup rows come from a
+// per-tracker pool (an event touches at most order+1 rows), and the sample
+// workspace (huBuf, sampleBuf, seenBuf) is reused across events, keeping
+// the sampled update allocation-free in steady state.
 type prevTracker struct {
-	prevGrams []*mat.Dense
-	backups   []savedRow
-	exclude   map[uint64]struct{}
-	rowsBuf   [][]float64 // scratch for predictPrev
+	prevGrams  []*mat.Dense
+	backups    []savedRow
+	backupPool [][]float64
+	exclude    map[uint64]struct{}
+	rowsBuf    [][]float64 // scratch for predictPrev
+	huBuf      *mat.Dense  // GramsExceptInto scratch for H_u = ∗ U⁽ⁿ⁾
+	sampleBuf  []uint64    // sampled cell keys
+	seenBuf    map[uint64]struct{}
 }
 
 func newPrevTracker(b *base) prevTracker {
+	r := b.model.Rank()
 	pt := prevTracker{
 		exclude: make(map[uint64]struct{}, 4),
 		rowsBuf: make([][]float64, b.model.Order()),
+		huBuf:   mat.New(r, r),
+		seenBuf: make(map[uint64]struct{}, 64),
 	}
 	for _, g := range b.grams {
 		pt.prevGrams = append(pt.prevGrams, g.Clone())
@@ -169,20 +190,32 @@ func (pt *prevTracker) begin(b *base, ch window.Change) {
 		pt.prevGrams[m].CopyFrom(g)
 	}
 	pt.backups = pt.backups[:0]
-	for k := range pt.exclude {
-		delete(pt.exclude, k)
-	}
+	clear(pt.exclude)
 	x := b.win.X()
 	for _, cell := range ch.Cells {
 		pt.exclude[x.Key(cell.Coord)] = struct{}{}
 	}
 }
 
-// saveRow snapshots a row before its update and returns the snapshot.
+// saveRow snapshots a row before its update into a pooled buffer and
+// returns the snapshot (valid until the next begin).
 func (pt *prevTracker) saveRow(m, i int, row []float64) []float64 {
-	p := mat.CloneVec(row)
+	var p []float64
+	if n := len(pt.backups); n < len(pt.backupPool) {
+		p = pt.backupPool[n]
+	} else {
+		p = make([]float64, len(row))
+		pt.backupPool = append(pt.backupPool, p)
+	}
+	copy(p, row)
 	pt.backups = append(pt.backups, savedRow{mode: m, idx: i, vals: p})
 	return p
+}
+
+// sample draws the θ-sample for row (m,i) into the reusable workspace.
+func (pt *prevTracker) sample(b *base, m, i, theta int, rng *rand.Rand) []uint64 {
+	pt.sampleBuf = sampleSliceCells(b.win.X(), m, i, theta, rng, pt.exclude, pt.sampleBuf, pt.seenBuf, b.coordBuf)
+	return pt.sampleBuf
 }
 
 // prevRow returns A_prev⁽ᵐ⁾(i,:): the backed-up copy when the row changed
@@ -251,25 +284,26 @@ func (s *SNSRnd) beginEvent(ch window.Change) {
 	s.begin(&s.base, ch)
 }
 
-// updateRow is updateRowRan of Algorithm 4.
+// updateRow is updateRowRan of Algorithm 4. Intermediates live in the
+// shared scratch buffers; steady-state updates allocate nothing (only the
+// rare singular-system pseudoinverse fallback does).
 func (s *SNSRnd) updateRow(m, i int, ch window.Change) {
 	f := s.model.Factors[m]
 	row := f.Row(i)
 	p := s.saveRow(m, i, row)
 	x := s.win.X()
-	h := cpd.GramsExcept(s.grams, m)
+	h := cpd.GramsExceptInto(s.hBuf, s.grams, m)
 	if x.Deg(m, i) <= s.theta {
 		// Exact path, Eq. (12).
-		u := cpd.MTTKRPRow(x, s.model.Factors, m, i)
-		copy(row, mat.SolveSym(h, u))
+		u := cpd.MTTKRPRowInto(x, s.model.Factors, m, i, s.dataBuf, s.krBuf)
+		copy(row, s.solver.Solve(h, u))
 	} else {
 		// Sampled path, Eq. (16):
 		// A⁽ᵐ⁾(i,:) ← A⁽ᵐ⁾(i,:) H_prev H† + (X̄+ΔX)_(m)(i,:) K⁽ᵐ⁾ H†.
-		hPrev := cpd.GramsExcept(s.prevGrams, m)
-		u := mat.VecMul(p, hPrev)
-		coord := make([]int, x.Order())
-		for _, key := range sampleSliceCells(x, m, i, s.theta, s.rng, s.exclude) {
-			x.Coord(key, coord)
+		hPrev := cpd.GramsExceptInto(s.huBuf, s.prevGrams, m)
+		u := mat.VecMulInto(s.dataBuf, p, hPrev)
+		for _, key := range s.sample(&s.base, m, i, s.theta, s.rng) {
+			coord := x.Coord(key, s.coordBuf)
 			resid := x.AtKey(key) - s.predictPrev(&s.base, coord)
 			kr := cpd.KRRow(s.model.Factors, coord, m, s.krBuf)
 			for k := range u {
@@ -280,7 +314,7 @@ func (s *SNSRnd) updateRow(m, i int, ch window.Change) {
 		for k := range u {
 			u[k] += dt[k]
 		}
-		copy(row, mat.SolveSym(h, u))
+		copy(row, s.solver.Solve(h, u))
 	}
 	updateGram(s.grams[m], p, row)
 	updatePrevGram(s.prevGrams[m], p, row)

@@ -65,6 +65,34 @@ func MTTKRPRow(x *tensor.Sparse, factors []*mat.Dense, mode, idx int) []float64 
 	return out
 }
 
+// MTTKRPRowInto is MTTKRPRow into preallocated buffers: dst receives the
+// result, scratch holds the per-nonzero Khatri-Rao row. Both must have
+// length R; dst and scratch must not alias. Allocation-free — this is the
+// hot-path form used by the per-event row updates.
+func MTTKRPRowInto(x *tensor.Sparse, factors []*mat.Dense, mode, idx int, dst, scratch []float64) []float64 {
+	for k := range dst {
+		dst[k] = 0
+	}
+	x.ForEachInSlice(mode, idx, func(coord []int, v float64) {
+		for k := range scratch {
+			scratch[k] = v
+		}
+		for n, f := range factors {
+			if n == mode {
+				continue
+			}
+			fr := f.Row(coord[n])
+			for k := range scratch {
+				scratch[k] *= fr[k]
+			}
+		}
+		for k := range dst {
+			dst[k] += scratch[k]
+		}
+	})
+	return dst
+}
+
 // KRRow returns the Khatri-Rao row ∗_{n≠mode} A⁽ⁿ⁾(coord[n],:): the row of
 // ⊙_{n≠mode} A⁽ⁿ⁾ selected by the coordinate. dst is reused when non-nil.
 func KRRow(factors []*mat.Dense, coord []int, mode int, dst []float64) []float64 {
@@ -105,4 +133,25 @@ func GramsExcept(grams []*mat.Dense, mode int) *mat.Dense {
 		panic("cpd: GramsExcept with a single mode")
 	}
 	return h
+}
+
+// GramsExceptInto computes GramsExcept into a preallocated R×R dst and
+// returns it — the allocation-free form used per event on the hot path.
+func GramsExceptInto(dst *mat.Dense, grams []*mat.Dense, mode int) *mat.Dense {
+	first := true
+	for n, g := range grams {
+		if n == mode {
+			continue
+		}
+		if first {
+			dst.CopyFrom(g)
+			first = false
+		} else {
+			mat.HadamardInPlace(dst, g)
+		}
+	}
+	if first {
+		panic("cpd: GramsExceptInto with a single mode")
+	}
+	return dst
 }

@@ -85,6 +85,27 @@ func (m *Mailbox[T]) Put(v T) error { return m.put(v, m.policy) }
 // Error or DropOldest still accepts (and eventually answers) them.
 func (m *Mailbox[T]) PutBlocking(v T) error { return m.put(v, Block) }
 
+// TryPut enqueues v only when the put would leave at least spare slots
+// free, failing fast with ErrFull otherwise regardless of the configured
+// policy — it never blocks and never evicts. Bounded-wait readers use it
+// (with spare ≥ 1) so a backlogged mailbox sheds their queries instead of
+// accumulating blocked producers, and so read traffic can never occupy
+// the last slot producers need.
+func (m *Mailbox[T]) TryPut(v T, spare int) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return ErrClosed
+	}
+	if m.n+1+spare > len(m.buf) {
+		return ErrFull
+	}
+	m.buf[(m.head+m.n)%len(m.buf)] = v
+	m.n++
+	m.notEmpty.Signal()
+	return nil
+}
+
 func (m *Mailbox[T]) put(v T, policy Policy) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()

@@ -1,0 +1,106 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// propMsg is the message type for the model-checked DropOldest property
+// test: an id for order tracking and a droppable flag mirroring the
+// engine's batch-vs-control distinction.
+type propMsg struct {
+	id        int
+	droppable bool
+}
+
+// refMailbox is the obviously-correct reference DropOldest mailbox: a
+// plain slice with linear-scan eviction of the oldest droppable entry.
+type refMailbox struct {
+	buf     []propMsg
+	cap     int
+	dropped []int
+}
+
+// put mirrors Mailbox.Put under DropOldest for the non-blocking cases.
+// It reports false when the real Put would block (full queue, nothing
+// droppable) so the single-threaded driver can avoid deadlocking.
+func (r *refMailbox) put(m propMsg) bool {
+	if len(r.buf) == r.cap {
+		evict := -1
+		for i, q := range r.buf {
+			if q.droppable {
+				evict = i
+				break
+			}
+		}
+		if evict == -1 {
+			return false // would block
+		}
+		r.dropped = append(r.dropped, r.buf[evict].id)
+		r.buf = append(r.buf[:evict], r.buf[evict+1:]...)
+	}
+	r.buf = append(r.buf, m)
+	return true
+}
+
+// DropOldest must (a) evict only droppable messages, (b) evict the oldest
+// droppable one, (c) preserve FIFO order among survivors, and (d) account
+// every eviction in Dropped() — checked against the reference model over
+// randomized put/get interleavings.
+func TestMailboxDropOldestEvictionOrderProperty(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		capacity := 1 + rng.Intn(5)
+		mb := NewMailbox(capacity, DropOldest, func(m propMsg) bool { return m.droppable })
+		ref := &refMailbox{cap: capacity}
+		nextID := 0
+
+		for step := 0; step < 300; step++ {
+			if rng.Intn(2) == 0 {
+				m := propMsg{id: nextID, droppable: rng.Intn(4) > 0}
+				if !ref.put(m) {
+					continue // real Put would block; skip the op
+				}
+				nextID++
+				if err := mb.Put(m); err != nil {
+					t.Fatalf("seed %d: Put: %v", seed, err)
+				}
+			} else {
+				if len(ref.buf) == 0 {
+					continue // real Get would block
+				}
+				want := ref.buf[0]
+				ref.buf = ref.buf[1:]
+				got, ok := mb.Get()
+				if !ok {
+					t.Fatalf("seed %d: Get on non-empty mailbox failed", seed)
+				}
+				if got.id != want.id {
+					t.Fatalf("seed %d step %d: got id %d want %d (eviction order diverged)",
+						seed, step, got.id, want.id)
+				}
+			}
+			if got, want := mb.Len(), len(ref.buf); got != want {
+				t.Fatalf("seed %d step %d: len %d want %d", seed, step, got, want)
+			}
+			if got, want := mb.Dropped(), uint64(len(ref.dropped)); got != want {
+				t.Fatalf("seed %d step %d: dropped %d want %d", seed, step, got, want)
+			}
+		}
+
+		// Drain and compare the survivors.
+		mb.Close()
+		for _, want := range ref.buf {
+			got, ok := mb.Get()
+			if !ok || got.id != want.id {
+				t.Fatalf("seed %d drain: got (%v,%v) want id %d", seed, got, ok, want.id)
+			}
+		}
+		if _, ok := mb.Get(); ok {
+			t.Fatalf("seed %d: mailbox had extra messages", seed)
+		}
+		// Droppable-only eviction is implied: had the real mailbox ever
+		// evicted an undroppable message, the FIFO comparison against the
+		// reference (which only evicts droppables) would have diverged.
+	}
+}

@@ -349,6 +349,30 @@ func VecMul(x []float64, a *Dense) []float64 {
 	return out
 }
 
+// VecMulInto computes xᵀ·A into dst (length a.Cols) and returns dst. dst
+// must not alias x.
+func VecMulInto(dst, x []float64, a *Dense) []float64 {
+	if a.rows != len(x) {
+		panic(fmt.Sprintf("mat: VecMulInto len %d · %d×%d", len(x), a.rows, a.cols))
+	}
+	if len(dst) != a.cols {
+		panic(fmt.Sprintf("mat: VecMulInto dst len %d != cols %d", len(dst), a.cols))
+	}
+	for j := range dst {
+		dst[j] = 0
+	}
+	for i, xv := range x {
+		if xv == 0 {
+			continue
+		}
+		ai := a.Row(i)
+		for j, av := range ai {
+			dst[j] += xv * av
+		}
+	}
+	return dst
+}
+
 // FrobeniusNorm returns √(Σ m(i,j)²).
 func (m *Dense) FrobeniusNorm() float64 {
 	s := 0.0

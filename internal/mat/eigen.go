@@ -136,11 +136,24 @@ func PseudoInverseSym(a *Dense) *Dense {
 // (numerically) positive definite, in which case callers should fall back to
 // PseudoInverseSym.
 func Cholesky(a *Dense) (*Dense, error) {
+	l := New(a.rows, a.rows)
+	if err := choleskyInto(l, a); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// choleskyInto factorizes into a preallocated n×n l (every lower-triangle
+// entry is overwritten; the upper triangle must already be zero, which New
+// guarantees and the factorization never disturbs).
+func choleskyInto(l, a *Dense) error {
 	n := a.rows
 	if a.cols != n {
 		panic(fmt.Sprintf("mat: Cholesky of non-square %d×%d", a.rows, a.cols))
 	}
-	l := New(n, n)
+	if l.rows != n || l.cols != n {
+		panic(fmt.Sprintf("mat: choleskyInto dst %d×%d != %d×%d", l.rows, l.cols, n, n))
+	}
 	for i := 0; i < n; i++ {
 		for j := 0; j <= i; j++ {
 			s := a.data[i*n+j]
@@ -149,7 +162,7 @@ func Cholesky(a *Dense) (*Dense, error) {
 			}
 			if i == j {
 				if s <= 0 || math.IsNaN(s) {
-					return nil, fmt.Errorf("mat: matrix not positive definite at pivot %d (%g)", i, s)
+					return fmt.Errorf("mat: matrix not positive definite at pivot %d (%g)", i, s)
 				}
 				l.data[i*n+i] = math.Sqrt(s)
 			} else {
@@ -157,7 +170,7 @@ func Cholesky(a *Dense) (*Dense, error) {
 			}
 		}
 	}
-	return l, nil
+	return nil
 }
 
 // SolveCholesky solves A·x = b given the Cholesky factor L of A.
@@ -196,6 +209,54 @@ func SolveSym(a *Dense, b []float64) []float64 {
 		x := SolveCholesky(l, b)
 		if !VecHasNaN(x) {
 			return x
+		}
+	}
+	return VecMul(b, PseudoInverseSym(a))
+}
+
+// SymSolver is SolveSym with a preallocated workspace: the Cholesky fast
+// path performs zero heap allocations, so per-event row updates can sit on
+// the ingestion hot path. Only the pseudoinverse fallback for singular or
+// indefinite systems allocates (it is rare and already O(n³)).
+//
+// A SymSolver is not safe for concurrent use, and Solve's result is valid
+// only until the next Solve call.
+type SymSolver struct {
+	l    *Dense
+	y, x []float64
+}
+
+// NewSymSolver returns a solver for n×n symmetric systems.
+func NewSymSolver(n int) *SymSolver {
+	return &SymSolver{l: New(n, n), y: make([]float64, n), x: make([]float64, n)}
+}
+
+// Solve solves x·A = b, returning an internal buffer overwritten by the
+// next call. b must have length n.
+func (s *SymSolver) Solve(a *Dense, b []float64) []float64 {
+	n := s.l.rows
+	if a.rows != n || a.cols != n || len(b) != n {
+		panic(fmt.Sprintf("mat: SymSolver(%d) on %d×%d system, b len %d", n, a.rows, a.cols, len(b)))
+	}
+	if choleskyInto(s.l, a) == nil {
+		// Forward substitution L·y = b, then back substitution Lᵀ·x = y.
+		l := s.l.data
+		for i := 0; i < n; i++ {
+			sum := b[i]
+			for k := 0; k < i; k++ {
+				sum -= l[i*n+k] * s.y[k]
+			}
+			s.y[i] = sum / l[i*n+i]
+		}
+		for i := n - 1; i >= 0; i-- {
+			sum := s.y[i]
+			for k := i + 1; k < n; k++ {
+				sum -= l[k*n+i] * s.x[k]
+			}
+			s.x[i] = sum / l[i*n+i]
+		}
+		if !VecHasNaN(s.x) {
+			return s.x
 		}
 	}
 	return VecMul(b, PseudoInverseSym(a))

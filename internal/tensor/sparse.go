@@ -35,6 +35,10 @@ type Sparse struct {
 	// MTTKRP and fitness — is reproducible for a fixed operation sequence.
 	all    *keySet
 	normSq float64 // maintained Σ x_J², see NormSquared.
+	// coordScratch backs the coord slice handed to ForEach* callbacks,
+	// keeping per-event slice iteration allocation-free. Like mutation,
+	// iteration is single-goroutine by contract.
+	coordScratch []int
 }
 
 // NewSparse returns an all-zero sparse tensor with the given shape. The
@@ -62,7 +66,14 @@ func NewSparse(shape []int) *Sparse {
 	}
 	sh := make([]int, len(shape))
 	copy(sh, shape)
-	return &Sparse{shape: sh, strides: strides, vals: make(map[uint64]float64), fibers: fibers, all: newKeySet()}
+	return &Sparse{
+		shape:        sh,
+		strides:      strides,
+		vals:         make(map[uint64]float64),
+		fibers:       fibers,
+		all:          newKeySet(),
+		coordScratch: make([]int, len(sh)),
+	}
 }
 
 // Order returns the number of modes M.
@@ -170,9 +181,10 @@ func (t *Sparse) unregister(k uint64) {
 		i := int(k / t.strides[m] % uint64(t.shape[m]))
 		if s := t.fibers[m][i]; s != nil {
 			s.Remove(k)
-			if s.Len() == 0 {
-				delete(t.fibers[m], i)
-			}
+			// Emptied registries are kept (not deleted) so an index whose
+			// degree oscillates around zero — common under windowed expiry —
+			// does not reallocate a keySet on every reappearance. Memory is
+			// bounded by the distinct indices ever touched, at most Σ N_m.
 		}
 	}
 }
@@ -187,13 +199,15 @@ func (t *Sparse) Deg(m, i int) int {
 
 // ForEachInSlice calls fn(coord, value) for every nonzero whose mode-m index
 // is i — the nonzeros of the matricized row X_(m)(i,:). The coord slice is
-// reused across calls; fn must not retain it.
+// the tensor's shared scratch, reused across calls and across ForEach*
+// invocations; fn must not retain it or start another ForEach* on the same
+// tensor.
 func (t *Sparse) ForEachInSlice(m, i int, fn func(coord []int, v float64)) {
 	s := t.fibers[m][i]
 	if s == nil {
 		return
 	}
-	coord := make([]int, len(t.shape))
+	coord := t.coordScratch
 	s.ForEach(func(k uint64) {
 		t.Coord(k, coord)
 		fn(coord, t.vals[k])
@@ -220,9 +234,11 @@ func (t *Sparse) SampleSlice(m, i, n int, rng *rand.Rand, exclude map[uint64]str
 
 // ForEachNonzero calls fn(coord, value) over all nonzeros in a
 // deterministic order (fixed for a given operation history). The coord
-// slice is reused across calls; fn must not retain it.
+// slice is the tensor's shared scratch, reused across calls and across
+// ForEach* invocations; fn must not retain it or start another ForEach* on
+// the same tensor.
 func (t *Sparse) ForEachNonzero(fn func(coord []int, v float64)) {
-	coord := make([]int, len(t.shape))
+	coord := t.coordScratch
 	t.all.ForEach(func(k uint64) {
 		t.Coord(k, coord)
 		fn(coord, t.vals[k])

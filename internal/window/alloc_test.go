@@ -1,0 +1,85 @@
+package window
+
+import (
+	"testing"
+
+	"slicenstitch/internal/stream"
+)
+
+// The reuse contract: a Change's cell slices belong to the window and are
+// overwritten by the next event; Clone detaches them.
+func TestChangeBufferReuseContract(t *testing.T) {
+	win := New([]int{4, 4}, 2, 10)
+	ch1, ok := win.Ingest(stream.Tuple{Coord: []int{1, 2}, Value: 3, Time: 0})
+	if !ok {
+		t.Fatal("ingest rejected")
+	}
+	kept := ch1.Cells
+	cloned := ch1.Clone()
+	ch2, _ := win.Ingest(stream.Tuple{Coord: []int{3, 0}, Value: 7, Time: 1})
+	// The retained slice was overwritten in place by the second event …
+	if kept[0].Delta != 7 || kept[0].Coord[0] != 3 {
+		t.Fatalf("expected buffer reuse, kept = %+v", kept[0])
+	}
+	// … while the clone still describes the first event.
+	if cloned.Cells[0].Delta != 3 || cloned.Cells[0].Coord[0] != 1 || cloned.Cells[0].Coord[1] != 2 {
+		t.Fatalf("clone corrupted: %+v", cloned.Cells[0])
+	}
+	if ch2.Cells[0].Delta != 7 {
+		t.Fatalf("second change wrong: %+v", ch2.Cells[0])
+	}
+}
+
+// Ingest must not retain the caller's coordinate slice: mutating it after
+// the call must not corrupt later scheduled events.
+func TestIngestDoesNotRetainCoord(t *testing.T) {
+	win := New([]int{4}, 2, 10)
+	coord := []int{2}
+	win.Ingest(stream.Tuple{Coord: coord, Value: 5, Time: 0})
+	coord[0] = 0 // caller reuses the slice
+	var kinds []Kind
+	var coords []int
+	win.AdvanceTo(100, func(c Change) {
+		kinds = append(kinds, c.Kind)
+		coords = append(coords, c.Tuple.Coord[0])
+	})
+	if len(kinds) != 2 || kinds[0] != Shift || kinds[1] != Expiry {
+		t.Fatalf("kinds = %v", kinds)
+	}
+	for _, c := range coords {
+		if c != 2 {
+			t.Fatalf("scheduled event saw coord %d, want 2 (caller mutation leaked)", c)
+		}
+	}
+	if got := win.X().NNZ(); got != 0 {
+		t.Fatalf("window not empty after expiry: nnz=%d", got)
+	}
+}
+
+// Steady-state event processing must be allocation-free: after a warmup
+// that stabilizes the heap, tensor registries, and map capacities, driving
+// more events through the window allocates (amortized) nothing.
+func TestWindowSteadyStateNoAllocs(t *testing.T) {
+	win := New([]int{16, 16}, 4, 8)
+	coords := make([][]int, 64)
+	for i := range coords {
+		coords[i] = []int{i % 16, (i * 7) % 16}
+	}
+	tm := int64(0)
+	step := func(n int) {
+		for i := 0; i < n; i++ {
+			if i%2 == 0 {
+				tm++
+			}
+			win.AdvanceTo(tm, func(Change) {})
+			win.Ingest(stream.Tuple{Coord: coords[i%len(coords)], Value: 1, Time: tm})
+		}
+	}
+	step(4096) // warmup: grow heap/backing storage to steady-state capacity
+	avg := testing.AllocsPerRun(20, func() { step(100) })
+	// Zero in practice; allow a whisker of slack for rare map-internal
+	// growth so the test is not flaky across runtime versions.
+	if avg > 1 {
+		t.Fatalf("steady-state window averaged %.2f allocs per 100 events, want ~0", avg)
+	}
+}

@@ -1,7 +1,6 @@
 package window
 
 import (
-	"container/heap"
 	"encoding/gob"
 	"fmt"
 	"io"
@@ -16,8 +15,8 @@ type windowDTO struct {
 	Dims   []int
 	W      int
 	Period int64
-	Now    int64
 	Seq    uint64
+	Now    int64
 	// Keys/Vals are the nonzeros of D(t,W) in deterministic order.
 	Keys []uint64
 	Vals []float64
@@ -25,6 +24,9 @@ type windowDTO struct {
 	Pending []scheduledDTO
 }
 
+// scheduledDTO is the wire form of one pending event. The in-memory
+// schedule packs the coordinate into a key; the wire format keeps the
+// explicit Tuple so checkpoints stay readable and geometry-checked.
 type scheduledDTO struct {
 	Time  int64
 	Seq   uint64
@@ -46,8 +48,11 @@ func (win *Window) Encode(w io.Writer) error {
 		dto.Vals = append(dto.Vals, v)
 	})
 	for _, ev := range win.pq {
+		coord := make([]int, len(win.dims))
+		win.decodeCat(ev.key, coord)
 		dto.Pending = append(dto.Pending, scheduledDTO{
-			Time: ev.time, Seq: ev.seq, W: ev.w, Tuple: ev.tuple,
+			Time: ev.time, Seq: ev.seq, W: ev.w,
+			Tuple: stream.Tuple{Coord: coord, Value: ev.value, Time: ev.birth},
 		})
 	}
 	return gob.NewEncoder(w).Encode(dto)
@@ -72,9 +77,20 @@ func DecodeWindow(r io.Reader) (*Window, error) {
 	for i, k := range dto.Keys {
 		win.x.SetKey(k, dto.Vals[i])
 	}
-	for _, ev := range dto.Pending {
-		win.pq = append(win.pq, scheduled{time: ev.Time, seq: ev.Seq, w: ev.W, tuple: ev.Tuple})
+	for n, ev := range dto.Pending {
+		if len(ev.Tuple.Coord) != len(win.dims) {
+			return nil, fmt.Errorf("window: decode: pending %d arity %d != %d", n, len(ev.Tuple.Coord), len(win.dims))
+		}
+		for m, i := range ev.Tuple.Coord {
+			if i < 0 || i >= win.dims[m] {
+				return nil, fmt.Errorf("window: decode: pending %d coord %d = %d out of range [0,%d)", n, m, i, win.dims[m])
+			}
+		}
+		win.pq = append(win.pq, scheduled{
+			time: ev.Time, seq: ev.Seq, w: ev.W,
+			key: win.catKey(ev.Tuple.Coord), value: ev.Tuple.Value, birth: ev.Tuple.Time,
+		})
 	}
-	heap.Init(&win.pq)
+	win.heapify()
 	return win, nil
 }

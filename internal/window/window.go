@@ -11,10 +11,15 @@
 // Future events are held in a binary heap keyed by (time, sequence), so the
 // model advances in O(log |active|) per event and O(M) per cell touch,
 // matching Theorems 1 and 2.
+//
+// The event loop is allocation-free in steady state: scheduled events store
+// a packed coordinate key rather than a coordinate slice, the heap is a
+// hand-rolled sift (no container/heap interface boxing), and every Change
+// is built from buffers owned by the Window — see the Change reuse
+// contract below.
 package window
 
 import (
-	"container/heap"
 	"fmt"
 
 	"slicenstitch/internal/stream"
@@ -56,6 +61,13 @@ type CellDelta struct {
 
 // Change is the input change ΔX of Definition 6 caused by one event,
 // together with its provenance. Cells holds ΔX's one or two nonzeros.
+//
+// Reuse contract: Cells (including every Cells[i].Coord) and, for
+// Shift/Expiry events, Tuple.Coord point into buffers owned by the Window
+// that the next event overwrites. A Change is therefore valid only until
+// the next Ingest/AdvanceTo call on its window — exactly the lifetime a
+// Decomposer.Apply call needs. Consumers that retain a Change beyond the
+// event must deep-copy it with Clone.
 type Change struct {
 	Kind  Kind
 	Tuple stream.Tuple
@@ -66,31 +78,40 @@ type Change struct {
 	Cells []CellDelta
 }
 
-// scheduled is a pending S.2/S.3 event.
+// Clone returns a deep copy of the change whose slices are independent of
+// the window's reusable event buffers, safe to retain across events.
+func (ch Change) Clone() Change {
+	out := ch
+	out.Tuple.Coord = append([]int(nil), ch.Tuple.Coord...)
+	out.Cells = make([]CellDelta, len(ch.Cells))
+	for i, c := range ch.Cells {
+		out.Cells[i] = CellDelta{Coord: append([]int(nil), c.Coord...), Delta: c.Delta}
+	}
+	return out
+}
+
+// scheduled is a pending S.2/S.3 event. It is deliberately slice-free: the
+// tuple's categorical coordinate is packed into key (see catKey), so the
+// schedule retains no caller memory and heap churn allocates nothing.
 type scheduled struct {
 	time  int64
 	seq   uint64 // FIFO tiebreaker for equal times
 	w     int    // which update (1..W) fires
-	tuple stream.Tuple
+	key   uint64 // packed categorical coordinate
+	value float64
+	birth int64 // the tuple's arrival time t_n
 }
 
+// scheduleHeap is a binary min-heap ordered by (time, seq). Push/pop are
+// methods on Window (pushScheduled/popScheduled) rather than container/heap
+// so hot-path events avoid the interface{} boxing allocation.
 type scheduleHeap []scheduled
 
-func (h scheduleHeap) Len() int { return len(h) }
-func (h scheduleHeap) Less(i, j int) bool {
+func (h scheduleHeap) less(i, j int) bool {
 	if h[i].time != h[j].time {
 		return h[i].time < h[j].time
 	}
 	return h[i].seq < h[j].seq
-}
-func (h scheduleHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *scheduleHeap) Push(x interface{}) { *h = append(*h, x.(scheduled)) }
-func (h *scheduleHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
-	return it
 }
 
 // Window maintains the tensor window D(t,W) event-driven.
@@ -102,8 +123,15 @@ type Window struct {
 	pq   scheduleHeap
 	now  int64
 	seq  uint64
-	// scratch buffers reused across events
-	coordBuf []int
+	// catStrides pack/unpack a categorical coordinate into a uint64 key
+	// (row-major over dims, time mode excluded).
+	catStrides []uint64
+	// Reusable event buffers backing every returned Change — the "valid
+	// until next event" contract documented on Change.
+	tupleCoordBuf []int // Tuple.Coord of scheduled events
+	fromBuf       []int // full coord a value leaves (or enters, for S.1)
+	toBuf         []int // full coord a value enters (S.2)
+	cellsBuf      [2]CellDelta
 }
 
 // New returns an empty window over categorical dims with W time indices and
@@ -120,12 +148,91 @@ func New(dims []int, w int, t int64) *Window {
 	shape[len(dims)] = w
 	d := make([]int, len(dims))
 	copy(d, dims)
+	strides := make([]uint64, len(d))
+	acc := uint64(1)
+	for m := len(d) - 1; m >= 0; m-- {
+		strides[m] = acc
+		acc *= uint64(d[m]) // overflow guarded by tensor.NewSparse below
+	}
 	return &Window{
-		dims:     d,
-		w:        w,
-		t:        t,
-		x:        tensor.NewSparse(shape),
-		coordBuf: make([]int, len(dims)+1),
+		dims:          d,
+		w:             w,
+		t:             t,
+		x:             tensor.NewSparse(shape),
+		catStrides:    strides,
+		tupleCoordBuf: make([]int, len(d)),
+		fromBuf:       make([]int, len(d)+1),
+		toBuf:         make([]int, len(d)+1),
+	}
+}
+
+// catKey packs a categorical coordinate into its schedule key.
+func (win *Window) catKey(coord []int) uint64 {
+	var k uint64
+	for m, i := range coord {
+		k += uint64(i) * win.catStrides[m]
+	}
+	return k
+}
+
+// decodeCat unpacks a schedule key into dst (len(dims)).
+func (win *Window) decodeCat(k uint64, dst []int) {
+	for m := range win.dims {
+		dst[m] = int(k / win.catStrides[m] % uint64(win.dims[m]))
+	}
+}
+
+// pushScheduled inserts ev maintaining the (time, seq) heap order.
+func (win *Window) pushScheduled(ev scheduled) {
+	win.pq = append(win.pq, ev)
+	i := len(win.pq) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !win.pq.less(i, parent) {
+			break
+		}
+		win.pq[i], win.pq[parent] = win.pq[parent], win.pq[i]
+		i = parent
+	}
+}
+
+// popScheduled removes and returns the earliest scheduled event.
+func (win *Window) popScheduled() scheduled {
+	h := win.pq
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	win.pq = h[:n]
+	win.siftDown(0)
+	return top
+}
+
+// siftDown restores the heap property below index i.
+func (win *Window) siftDown(i int) {
+	h := win.pq
+	n := len(h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		min := l
+		if r := l + 1; r < n && h.less(r, l) {
+			min = r
+		}
+		if !h.less(min, i) {
+			return
+		}
+		h[i], h[min] = h[min], h[i]
+		i = min
+	}
+}
+
+// heapify establishes the heap property over an arbitrarily ordered pq
+// (used by Prime and DecodeWindow, which bulk-load the schedule).
+func (win *Window) heapify() {
+	for i := len(win.pq)/2 - 1; i >= 0; i-- {
+		win.siftDown(i)
 	}
 }
 
@@ -165,19 +272,14 @@ func (win *Window) NextScheduled() (t int64, ok bool) {
 	return win.pq[0].time, true
 }
 
-// fullCoord builds the M-mode coordinate for a tuple at time index ti using
-// the shared scratch buffer.
-func (win *Window) fullCoord(coord []int, ti int) []int {
-	copy(win.coordBuf, coord)
-	win.coordBuf[len(win.dims)] = ti
-	return win.coordBuf
-}
-
 // Ingest processes the arrival (S.1) of a tuple. The caller must first
 // drain earlier scheduled events with AdvanceTo(tp.Time). Tuples with zero
 // value produce no change and are not scheduled; ok is false for them.
 // Ingesting a tuple older than the current model time is an error under
 // Definition 1's chronological assumption.
+//
+// Ingest does not retain tp.Coord (the schedule stores a packed key), and
+// the returned Change follows the reuse contract documented on Change.
 func (win *Window) Ingest(tp stream.Tuple) (Change, bool) {
 	if len(tp.Coord) != len(win.dims) {
 		panic(fmt.Sprintf("window: tuple arity %d != %d", len(tp.Coord), len(win.dims)))
@@ -189,27 +291,35 @@ func (win *Window) Ingest(tp stream.Tuple) (Change, bool) {
 	if tp.Value == 0 {
 		return Change{}, false
 	}
-	full := win.fullCoord(tp.Coord, win.w-1)
-	win.x.Add(full, tp.Value)
+	copy(win.fromBuf, tp.Coord)
+	win.fromBuf[len(win.dims)] = win.w - 1
+	win.x.Add(win.fromBuf, tp.Value)
 	win.seq++
-	heap.Push(&win.pq, scheduled{time: tp.Time + win.t, seq: win.seq, w: 1, tuple: tp})
-	cellCoord := make([]int, len(full))
-	copy(cellCoord, full)
+	win.pushScheduled(scheduled{
+		time:  tp.Time + win.t,
+		seq:   win.seq,
+		w:     1,
+		key:   win.catKey(tp.Coord),
+		value: tp.Value,
+		birth: tp.Time,
+	})
+	win.cellsBuf[0] = CellDelta{Coord: win.fromBuf, Delta: tp.Value}
 	return Change{
 		Kind:  Arrival,
 		Tuple: tp,
 		W:     0,
 		Time:  tp.Time,
-		Cells: []CellDelta{{Coord: cellCoord, Delta: tp.Value}},
+		Cells: win.cellsBuf[:1],
 	}, true
 }
 
 // AdvanceTo processes every scheduled event with time ≤ t, in deterministic
 // (time, ingestion) order, applying each to the window and invoking fn with
-// its Change. It then advances the model time to t.
+// its Change. It then advances the model time to t. Each Change passed to
+// fn is valid only for the duration of the callback (see Change).
 func (win *Window) AdvanceTo(t int64, fn func(Change)) {
 	for len(win.pq) > 0 && win.pq[0].time <= t {
-		ev := heap.Pop(&win.pq).(scheduled)
+		ev := win.popScheduled()
 		ch := win.applyScheduled(ev)
 		if fn != nil {
 			fn(ch)
@@ -224,30 +334,38 @@ func (win *Window) AdvanceTo(t int64, fn func(Change)) {
 // and schedules the next update.
 func (win *Window) applyScheduled(ev scheduled) Change {
 	win.now = ev.time
-	tp := ev.tuple
-	ch := Change{Tuple: tp, W: ev.w, Time: ev.time}
+	win.decodeCat(ev.key, win.tupleCoordBuf)
+	ch := Change{
+		Tuple: stream.Tuple{Coord: win.tupleCoordBuf, Value: ev.value, Time: ev.birth},
+		W:     ev.w,
+		Time:  ev.time,
+	}
 	// The value leaves 0-based time index W−w …
-	from := win.fullCoord(tp.Coord, win.w-ev.w)
-	win.x.Add(from, -tp.Value)
-	fromCoord := make([]int, len(from))
-	copy(fromCoord, from)
+	copy(win.fromBuf, win.tupleCoordBuf)
+	win.fromBuf[len(win.dims)] = win.w - ev.w
+	win.x.Add(win.fromBuf, -ev.value)
+	win.cellsBuf[0] = CellDelta{Coord: win.fromBuf, Delta: -ev.value}
 	if ev.w < win.w {
 		// … and enters index W−w−1 (S.2).
 		ch.Kind = Shift
-		to := win.fullCoord(tp.Coord, win.w-ev.w-1)
-		win.x.Add(to, tp.Value)
-		toCoord := make([]int, len(to))
-		copy(toCoord, to)
-		ch.Cells = []CellDelta{
-			{Coord: fromCoord, Delta: -tp.Value},
-			{Coord: toCoord, Delta: tp.Value},
-		}
+		copy(win.toBuf, win.tupleCoordBuf)
+		win.toBuf[len(win.dims)] = win.w - ev.w - 1
+		win.x.Add(win.toBuf, ev.value)
+		win.cellsBuf[1] = CellDelta{Coord: win.toBuf, Delta: ev.value}
+		ch.Cells = win.cellsBuf[:2]
 		win.seq++
-		heap.Push(&win.pq, scheduled{time: tp.Time + int64(ev.w+1)*win.t, seq: win.seq, w: ev.w + 1, tuple: tp})
+		win.pushScheduled(scheduled{
+			time:  ev.birth + int64(ev.w+1)*win.t,
+			seq:   win.seq,
+			w:     ev.w + 1,
+			key:   ev.key,
+			value: ev.value,
+			birth: ev.birth,
+		})
 	} else {
 		// S.3: the tuple expires.
 		ch.Kind = Expiry
-		ch.Cells = []CellDelta{{Coord: fromCoord, Delta: -tp.Value}}
+		ch.Cells = win.cellsBuf[:1]
 	}
 	return ch
 }
@@ -289,17 +407,20 @@ func Prime(dims []int, w int, period int64, tuples []stream.Tuple, t int64) *Win
 		if k >= int64(w) {
 			continue // already expired
 		}
-		full := win.fullCoord(tp.Coord, w-1-int(k))
-		win.x.Add(full, tp.Value)
+		copy(win.fromBuf, tp.Coord)
+		win.fromBuf[len(dims)] = w - 1 - int(k)
+		win.x.Add(win.fromBuf, tp.Value)
 		win.seq++
 		win.pq = append(win.pq, scheduled{
 			time:  tp.Time + (k+1)*period,
 			seq:   win.seq,
 			w:     int(k) + 1,
-			tuple: tp,
+			key:   win.catKey(tp.Coord),
+			value: tp.Value,
+			birth: tp.Time,
 		})
 	}
-	heap.Init(&win.pq)
+	win.heapify()
 	return win
 }
 

@@ -235,10 +235,12 @@ func TestQuickPrimeEquivalentToDrive(t *testing.T) {
 			return false
 		}
 		// Continue both to full expiry and compare the event sequences.
+		// Changes are valid only until the next event (reuse contract), so
+		// retaining them requires Clone.
 		horizon := tm + int64(w+1)*period
 		var a, b []Change
-		driven.Drive(tuples[split:], horizon, func(c Change) { a = append(a, c) })
-		primed.Drive(tuples[split:], horizon, func(c Change) { b = append(b, c) })
+		driven.Drive(tuples[split:], horizon, func(c Change) { a = append(a, c.Clone()) })
+		primed.Drive(tuples[split:], horizon, func(c Change) { b = append(b, c.Clone()) })
 		if len(a) != len(b) {
 			return false
 		}
@@ -250,6 +252,11 @@ func TestQuickPrimeEquivalentToDrive(t *testing.T) {
 			for c := range a[i].Cells {
 				if a[i].Cells[c].Delta != b[i].Cells[c].Delta {
 					return false
+				}
+				for m, idx := range a[i].Cells[c].Coord {
+					if b[i].Cells[c].Coord[m] != idx {
+						return false
+					}
 				}
 			}
 		}

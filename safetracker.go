@@ -170,7 +170,7 @@ func (s *SafeTracker) Predict(coord []int, timeIdx int) (float64, error) {
 	if err := s.tr.checkIndex(coord, timeIdx); err != nil {
 		return 0, err
 	}
-	return snap.factors.Predict(fullIndex(coord, timeIdx)), nil
+	return snap.factors.PredictAt(coord, timeIdx), nil
 }
 
 // Observed returns the live window entry under the write lock (the

@@ -166,6 +166,12 @@ type Tracker struct {
 	dec     core.Decomposer
 	started bool
 	events  uint64
+	// apply is the cached event sink (decomposer update + counter), built
+	// once at Start so the per-event hot path creates no closures. Nil
+	// while filling.
+	apply func(window.Change)
+	// idxBuf is the reusable full-index scratch for Predict/Observed.
+	idxBuf []int
 }
 
 // New builds a Tracker in the filling phase: Push only feeds the tensor
@@ -176,16 +182,14 @@ func New(cfg Config) (*Tracker, error) {
 		return nil, err
 	}
 	return &Tracker{
-		cfg: cfg,
-		win: window.New(cfg.Dims, cfg.W, cfg.Period),
+		cfg:    cfg,
+		win:    window.New(cfg.Dims, cfg.W, cfg.Period),
+		idxBuf: make([]int, len(cfg.Dims)+1),
 	}, nil
 }
 
-// Push feeds one stream tuple. Before Start it only maintains the window;
-// after Start every resulting event (the arrival plus any scheduled shifts
-// or expirations that came due) also updates the factor matrices. Tuples
-// must arrive in chronological order.
-func (t *Tracker) Push(coord []int, value float64, tm int64) error {
+// checkCoord validates a categorical coordinate against the configuration.
+func (t *Tracker) checkCoord(coord []int) error {
 	if len(coord) != len(t.cfg.Dims) {
 		return fmt.Errorf("slicenstitch: coord has %d indices, want %d", len(coord), len(t.cfg.Dims))
 	}
@@ -194,17 +198,56 @@ func (t *Tracker) Push(coord []int, value float64, tm int64) error {
 			return fmt.Errorf("slicenstitch: coord[%d] = %d out of range [0,%d)", m, i, t.cfg.Dims[m])
 		}
 	}
+	return nil
+}
+
+// pushOne is the per-event core shared by Push and PushBatch — validate,
+// drain due scheduled events, ingest, apply — so the two ingestion paths
+// cannot diverge. Allocation-free in steady state.
+func (t *Tracker) pushOne(coord []int, value float64, tm int64) error {
+	if err := t.checkCoord(coord); err != nil {
+		return err
+	}
 	if tm < t.win.Now() {
 		return fmt.Errorf("slicenstitch: timestamp %d precedes stream time %d", tm, t.win.Now())
 	}
-	t.win.AdvanceTo(tm, t.onChange())
-	c := make([]int, len(coord))
-	copy(c, coord)
-	if ch, ok := t.win.Ingest(stream.Tuple{Coord: c, Value: value, Time: tm}); ok && t.started {
-		t.dec.Apply(ch)
-		t.events++
+	t.win.AdvanceTo(tm, t.apply)
+	if ch, ok := t.win.Ingest(stream.Tuple{Coord: coord, Value: value, Time: tm}); ok && t.apply != nil {
+		t.apply(ch)
 	}
 	return nil
+}
+
+// Push feeds one stream tuple. Before Start it only maintains the window;
+// after Start every resulting event (the arrival plus any scheduled shifts
+// or expirations that came due) also updates the factor matrices. Tuples
+// must arrive in chronological order.
+//
+// Push does not retain coord (the window schedule stores a packed key), so
+// callers may reuse the slice across calls. The steady-state path —
+// validation, window maintenance, factor update — is allocation-free.
+func (t *Tracker) Push(coord []int, value float64, tm int64) error {
+	return t.pushOne(coord, value, tm)
+}
+
+// PushBatch feeds a chronological batch of events in one pass, interleaving
+// due scheduled shift/expiry events with the arrivals exactly as repeated
+// Push calls would — the batch and event-at-a-time paths are equivalence-
+// tested to produce bit-identical window and factor state. Events that fail
+// validation (arity, range, time regression) are skipped; applied is the
+// number accepted and lastErr the most recent rejection (nil when all
+// events were accepted). This is the engine shard writer's ingestion path:
+// one call per mailbox batch instead of one per event.
+func (t *Tracker) PushBatch(events []Event) (applied int, lastErr error) {
+	for i := range events {
+		ev := &events[i]
+		if err := t.pushOne(ev.Coord, ev.Value, ev.Time); err != nil {
+			lastErr = err
+			continue
+		}
+		applied++
+	}
+	return applied, lastErr
 }
 
 // AdvanceTo moves stream time forward without a new tuple, processing any
@@ -214,18 +257,8 @@ func (t *Tracker) AdvanceTo(tm int64) error {
 	if tm < t.win.Now() {
 		return fmt.Errorf("slicenstitch: timestamp %d precedes stream time %d", tm, t.win.Now())
 	}
-	t.win.AdvanceTo(tm, t.onChange())
+	t.win.AdvanceTo(tm, t.apply)
 	return nil
-}
-
-func (t *Tracker) onChange() func(window.Change) {
-	if !t.started {
-		return nil
-	}
-	return func(ch window.Change) {
-		t.dec.Apply(ch)
-		t.events++
-	}
 }
 
 // Start warm-starts the factor matrices with ALS on the current window
@@ -252,8 +285,19 @@ func (t *Tracker) Start() error {
 		dec.NonNegative = t.cfg.NonNegative
 		t.dec = wrapAuto(dec, t.cfg.LatencyBudget)
 	}
-	t.started = true
+	t.goOnline()
 	return nil
+}
+
+// goOnline marks the tracker started and installs the cached per-event
+// apply sink. Shared by Start and checkpoint restore (adopt) so the two
+// transitions cannot drift.
+func (t *Tracker) goOnline() {
+	t.started = true
+	t.apply = func(ch window.Change) {
+		t.dec.Apply(ch)
+		t.events++
+	}
 }
 
 // wrapAuto attaches the auto-θ controller when a latency budget is set.
@@ -296,18 +340,19 @@ func checkIndex(dims []int, w int, coord []int, timeIdx int) error {
 	return nil
 }
 
-// fullIndex appends the time-mode index to the categorical coordinates.
-func fullIndex(coord []int, timeIdx int) []int {
-	full := make([]int, len(coord)+1)
-	copy(full, coord)
-	full[len(coord)] = timeIdx
-	return full
-}
-
 // checkIndex validates against the tracker's configuration. It reads only
 // immutable config, so it is safe without synchronization.
 func (t *Tracker) checkIndex(coord []int, timeIdx int) error {
 	return checkIndex(t.cfg.Dims, t.cfg.W, coord, timeIdx)
+}
+
+// fullIndex builds the M-mode index in the tracker's reusable scratch
+// (valid until the next Predict/Observed; the Tracker is single-goroutine
+// by contract, so sharing the buffer is safe).
+func (t *Tracker) fullIndex(coord []int, timeIdx int) []int {
+	copy(t.idxBuf, coord)
+	t.idxBuf[len(coord)] = timeIdx
+	return t.idxBuf
 }
 
 // Predict evaluates the current model at categorical coordinates and a
@@ -319,7 +364,7 @@ func (t *Tracker) Predict(coord []int, timeIdx int) (float64, error) {
 	if err := t.checkIndex(coord, timeIdx); err != nil {
 		return 0, err
 	}
-	return t.dec.Model().Predict(fullIndex(coord, timeIdx)), nil
+	return t.dec.Model().Predict(t.fullIndex(coord, timeIdx)), nil
 }
 
 // Observed returns the actual window entry at categorical coordinates and
@@ -328,7 +373,7 @@ func (t *Tracker) Observed(coord []int, timeIdx int) (float64, error) {
 	if err := t.checkIndex(coord, timeIdx); err != nil {
 		return 0, err
 	}
-	return t.win.X().At(fullIndex(coord, timeIdx)), nil
+	return t.win.X().At(t.fullIndex(coord, timeIdx)), nil
 }
 
 // Fitness returns 1 − ‖X−X̃‖_F/‖X‖_F for the current window and model —
