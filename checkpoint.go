@@ -2,6 +2,7 @@ package slicenstitch
 
 import (
 	"bytes"
+	"context"
 	"encoding/gob"
 	"errors"
 	"fmt"
@@ -143,8 +144,10 @@ type engineHeader struct {
 // after a restart with RestoreEngine. Each shard's state is captured on
 // its own writer goroutine after all batches queued before the call, so
 // every stream is internally consistent; streams are captured one after
-// another, not at a single cross-stream instant.
-func (e *Engine) Checkpoint(w io.Writer) error {
+// another, not at a single cross-stream instant. ctx bounds the whole
+// capture — on cancellation the checkpoint stream is left incomplete and
+// must be discarded.
+func (e *Engine) Checkpoint(ctx context.Context, w io.Writer) error {
 	// The header needs only each shard's serving config, so it is written
 	// first and the tracker blobs are captured one at a time — the engine
 	// never holds more than one shard's serialized state in memory.
@@ -167,8 +170,12 @@ func (e *Engine) Checkpoint(w io.Writer) error {
 		return fmt.Errorf("slicenstitch: engine checkpoint header: %w", err)
 	}
 	for _, name := range names {
+		s, err := e.shard(name)
+		if err != nil {
+			return fmt.Errorf("slicenstitch: checkpoint stream %q: %w", name, err)
+		}
 		var buf bytes.Buffer
-		if err := e.control(name, shardMsg{op: opCheckpoint, w: &buf}); err != nil {
+		if err := s.control(ctx, shardMsg{op: opCheckpoint, w: &buf}); err != nil {
 			return fmt.Errorf("slicenstitch: checkpoint stream %q: %w", name, err)
 		}
 		if err := enc.Encode(buf.Bytes()); err != nil {
@@ -218,7 +225,7 @@ func RestoreEngine(r io.Reader) (*Engine, error) {
 		if err := cfg.validate(); err != nil {
 			return nil, fmt.Errorf("slicenstitch: restore stream %q: %w", meta.Name, err)
 		}
-		if err := e.addShard(meta.Name, cfg, tr); err != nil {
+		if _, err := e.addShard(meta.Name, cfg, tr); err != nil {
 			return nil, err
 		}
 	}

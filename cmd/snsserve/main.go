@@ -94,11 +94,12 @@ func run(streams, addr string, speed float64, rank, w, mailbox int, backpressure
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	// One feeder per simulated stream, each batching a tick's tuples into
-	// a single PushBatch. Restored streams serve their checkpointed models
-	// and HTTP ingestion only — the simulators' clock positions are gone —
-	// but -streams entries absent from the checkpoint are created fresh
-	// and fed as usual.
+	// One feeder per simulated stream, each holding the stream's *Stream
+	// handle (one registry lookup at startup, none per batch) and batching
+	// a tick's tuples into a single PushBatch. Restored streams serve
+	// their checkpointed models and HTTP ingestion only — the simulators'
+	// clock positions are gone — but -streams entries absent from the
+	// checkpoint are created fresh and fed as usual.
 	existing := map[string]bool{}
 	for _, n := range e.Streams() {
 		existing[n] = true
@@ -110,15 +111,20 @@ func run(streams, addr string, speed float64, rank, w, mailbox int, backpressure
 			// the stream still comes online. Warm-up length and pacing
 			// come from the shard's checkpointed config (snapshot W and
 			// queue capacity), not the current flags.
-			if snap, serr := e.Snapshot(sp.name); serr == nil && !snap.Started {
+			st, serr := e.Stream(sp.name)
+			if serr != nil {
+				return serr
+			}
+			if snap := st.Snapshot(); !snap.Started {
 				log.Printf("snsserve: restored stream %q is unstarted, resuming warm-up", sp.name)
-				go feed(ctx, e, sp.name, sp.preset, speed,
+				go feed(ctx, st, sp.preset, speed,
 					int64(snap.W)*sp.preset.DefaultPeriod, snap.QueueCap, snap.Now+1)
 			}
 			continue
 		}
+		var st *slicenstitch.Stream
 		if !existing[sp.name] {
-			err := e.AddStream(sp.name, slicenstitch.StreamConfig{
+			st, err = e.AddStream(sp.name, slicenstitch.StreamConfig{
 				Config: slicenstitch.Config{
 					Dims:   sp.preset.Dims,
 					W:      w,
@@ -136,8 +142,10 @@ func run(streams, addr string, speed float64, rank, w, mailbox int, backpressure
 			if restored {
 				log.Printf("snsserve: stream %q not in checkpoint, created fresh", sp.name)
 			}
+		} else if st, err = e.Stream(sp.name); err != nil {
+			return err
 		}
-		go feed(ctx, e, sp.name, sp.preset, speed, int64(w)*sp.preset.DefaultPeriod, mailbox, 0)
+		go feed(ctx, st, sp.preset, speed, int64(w)*sp.preset.DefaultPeriod, mailbox, 0)
 	}
 
 	srv := &http.Server{
@@ -179,7 +187,7 @@ func saveCheckpoint(e *slicenstitch.Engine, path string) error {
 	if err != nil {
 		return err
 	}
-	err = e.Checkpoint(f)
+	err = e.Checkpoint(context.Background(), f)
 	if err == nil {
 		// The rename below is only crash-safe if the data reaches disk
 		// first; otherwise it can replace the old good checkpoint with a
@@ -250,12 +258,15 @@ func parseBackpressure(s string) (slicenstitch.Backpressure, error) {
 	return 0, fmt.Errorf("unknown backpressure policy %q (want block, drop-oldest, or error)", s)
 }
 
-// feed simulates one stream: fills the initial window in per-tick batches
-// (starting at tick `from` — nonzero when resuming a restored warm-up, so
-// already-applied ticks are neither replayed nor double-counted),
-// warm-starts the shard, then pushes batches paced to `speed` ticks per
-// wall second until the context is cancelled.
-func feed(ctx context.Context, e *slicenstitch.Engine, name string, p datagen.Preset, speed float64, t0 int64, mailbox int, from int64) {
+// feed simulates one stream through its handle: fills the initial window
+// in per-tick batches (starting at tick `from` — nonzero when resuming a
+// restored warm-up, so already-applied ticks are neither replayed nor
+// double-counted), warm-starts the shard, then pushes batches paced to
+// `speed` ticks per wall second until the context is cancelled. All
+// blocking calls carry ctx, so shutdown interrupts even a feeder stuck on
+// a full mailbox under BackpressureBlock.
+func feed(ctx context.Context, st *slicenstitch.Stream, p datagen.Preset, speed float64, t0 int64, mailbox int, from int64) {
+	name := st.Name()
 	gen := datagen.NewGenerator(p, 42)
 	push := func(t int64) bool {
 		tuples := gen.Tick(t)
@@ -263,7 +274,7 @@ func feed(ctx context.Context, e *slicenstitch.Engine, name string, p datagen.Pr
 		for i, tp := range tuples {
 			batch[i] = slicenstitch.Event{Coord: tp.Coord, Value: tp.Value, Time: tp.Time}
 		}
-		if err := e.PushBatch(name, batch); err != nil {
+		if err := st.PushBatch(ctx, batch); err != nil {
 			if !errors.Is(err, slicenstitch.ErrBackpressure) {
 				log.Printf("feed %s: %v", name, err)
 				return false
@@ -289,19 +300,18 @@ func feed(ctx context.Context, e *slicenstitch.Engine, name string, p datagen.Pr
 			return
 		}
 		if t%flushEvery == 0 {
-			if err := e.Flush(name); err != nil {
+			if err := st.Flush(ctx); err != nil {
 				log.Printf("feed %s: %v", name, err)
 				return
 			}
 		}
 	}
-	if err := e.Start(name); err != nil {
+	if err := st.Start(ctx); err != nil {
 		log.Printf("feed %s: %v", name, err)
 		return
 	}
-	if snap, err := e.Snapshot(name); err == nil {
-		log.Printf("feed %s: online at stream time %d, fitness %.4f", name, snap.Now, snap.Fitness)
-	}
+	snap := st.Snapshot()
+	log.Printf("feed %s: online at stream time %d, fitness %.4f", name, snap.Now, snap.Fitness)
 	interval := time.Duration(float64(time.Second) / speed)
 	ticker := time.NewTicker(interval)
 	defer ticker.Stop()

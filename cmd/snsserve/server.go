@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -18,30 +19,58 @@ import (
 // hanging it.
 const observedWait = 250 * time.Millisecond
 
-// newMux builds the HTTP API over a multi-stream engine. All read
-// endpoints serve the shard's published snapshot, so they are wait-free
-// with respect to ingestion; POST /streams/{name}/events feeds the shard's
-// mailbox and returns before the batch is applied.
+// maxPredictQueries caps one batch-predict request.
+const maxPredictQueries = 4096
+
+// newMux builds the versioned HTTP API over a multi-stream engine. All
+// read endpoints serve the shard's published snapshot, so they are
+// wait-free with respect to ingestion; POST /v1/streams/{name}/events
+// feeds the shard's mailbox and returns before the batch is applied.
 //
-//	GET  /                          plain-text dashboard
-//	GET  /streams                   all stream snapshots
-//	GET  /streams/{name}/status     one stream's snapshot
-//	GET  /streams/{name}/factors    factor matrices + λ
-//	GET  /streams/{name}/predict    ?coord=3,5&t=9 → model vs observed value
-//	POST /streams/{name}/events     JSON [{"coord":[i,j],"value":v,"time":t},…]
-//	POST /streams/{name}/start      warm-start (window must be full)
-//	POST /streams/{name}/flush      wait until queued batches are applied
+//	GET  /                             plain-text dashboard
+//	GET  /v1/streams                   all stream snapshots (sorted by name)
+//	GET  /v1/streams/{name}/status     one stream's snapshot
+//	GET  /v1/streams/{name}/factors    factor matrices + λ
+//	GET  /v1/streams/{name}/predict    ?coord=3,5&t=9 → model vs observed value
+//	POST /v1/streams/{name}/predict    JSON {"queries":[{"coord":[i,j],"t":k},…]} → batch predictions
+//	POST /v1/streams/{name}/events     JSON [{"coord":[i,j],"value":v,"time":t},…]
+//	POST /v1/streams/{name}/start      warm-start (window must be full)
+//	POST /v1/streams/{name}/flush      wait until queued batches are applied
+//
+// Every non-2xx response carries the uniform JSON error envelope
+//
+//	{"error": {"code": "<machine-readable>", "message": "<human-readable>"}}
+//
+// with codes mapped one-to-one from the package error taxonomy (see
+// mapError). The pre-v1 unversioned routes remain as thin aliases for one
+// release; they serve the same handlers (envelope included) and mark
+// themselves with a "Deprecation: true" header plus a Link to the /v1
+// successor.
 //
 // Predict semantics: "predicted" always comes from the published snapshot
 // (wait-free). "observed" is ground truth from the live window and is
 // best-effort: the reading travels through the shard mailbox, so when the
-// writer is backlogged the server waits at most observedWait and then
-// returns "observed": null with "observedTimedOut": true instead of
-// stalling the endpoint past its write timeout.
+// writer is backlogged the request's context is given observedWait to
+// produce it and the response degrades to "observed": null with
+// "observedTimedOut": true instead of stalling past the write timeout.
 func newMux(e *slicenstitch.Engine) *http.ServeMux {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /streams", func(rw http.ResponseWriter, _ *http.Request) {
-		names := e.Streams()
+	// route registers a handler under /v1 and as a deprecated unversioned
+	// alias, so existing clients keep working for one release while new
+	// ones pin the version.
+	route := func(method, path string, h http.HandlerFunc) {
+		mux.HandleFunc(method+" /v1"+path, h)
+		mux.HandleFunc(method+" "+path, func(rw http.ResponseWriter, req *http.Request) {
+			rw.Header().Set("Deprecation", "true")
+			// The successor link is the request's own path under /v1 —
+			// a concrete URI, not the route pattern.
+			rw.Header().Set("Link", "</v1"+req.URL.Path+`>; rel="successor-version"`)
+			h(rw, req)
+		})
+	}
+
+	route("GET", "/streams", func(rw http.ResponseWriter, _ *http.Request) {
+		names := e.Streams() // sorted: the listing is deterministic
 		snaps := make([]slicenstitch.Snapshot, 0, len(names))
 		for _, n := range names {
 			if snap, err := e.Snapshot(n); err == nil {
@@ -50,95 +79,163 @@ func newMux(e *slicenstitch.Engine) *http.ServeMux {
 		}
 		writeJSON(rw, map[string]interface{}{"streams": snaps})
 	})
-	mux.HandleFunc("GET /streams/{name}/status", func(rw http.ResponseWriter, req *http.Request) {
-		snap, err := e.Snapshot(req.PathValue("name"))
+
+	route("GET", "/streams/{name}/status", func(rw http.ResponseWriter, req *http.Request) {
+		st, err := e.Stream(req.PathValue("name"))
 		if err != nil {
-			httpError(rw, err)
+			writeError(rw, err)
 			return
 		}
-		writeJSON(rw, snap)
+		writeJSON(rw, st.Snapshot())
 	})
-	mux.HandleFunc("GET /streams/{name}/factors", func(rw http.ResponseWriter, req *http.Request) {
-		snap, err := e.Snapshot(req.PathValue("name"))
+
+	route("GET", "/streams/{name}/factors", func(rw http.ResponseWriter, req *http.Request) {
+		st, err := e.Stream(req.PathValue("name"))
 		if err != nil {
-			httpError(rw, err)
+			writeError(rw, err)
 			return
 		}
+		snap := st.Snapshot()
 		if snap.Factors == nil {
-			http.Error(rw, "warming up", http.StatusServiceUnavailable)
+			writeError(rw, slicenstitch.ErrNotStarted)
 			return
 		}
 		writeJSON(rw, snap.Factors)
 	})
-	mux.HandleFunc("GET /streams/{name}/predict", func(rw http.ResponseWriter, req *http.Request) {
-		name := req.PathValue("name")
-		snap, err := e.Snapshot(name)
+
+	route("GET", "/streams/{name}/predict", func(rw http.ResponseWriter, req *http.Request) {
+		st, err := e.Stream(req.PathValue("name"))
 		if err != nil {
-			httpError(rw, err)
+			writeError(rw, err)
 			return
 		}
-		coord, timeIdx, err := parsePredict(req, len(snap.Dims), snap.W)
+		snap := st.Snapshot()
+		coord, timeIdx, err := parsePredictQuery(req, len(snap.Dims), snap.W)
 		if err != nil {
-			http.Error(rw, err.Error(), http.StatusBadRequest)
+			writeAPIError(rw, http.StatusBadRequest, "bad_request", err.Error())
 			return
 		}
-		if snap.Factors == nil {
-			http.Error(rw, "warming up", http.StatusServiceUnavailable)
-			return
-		}
-		pred, err := e.Predict(name, coord, timeIdx)
+		pred, err := st.Predict(coord, timeIdx)
 		if err != nil {
-			// The stream exists and is started, so what's left is a bad
-			// coordinate or time index.
-			http.Error(rw, err.Error(), http.StatusBadRequest)
+			writeError(rw, err)
 			return
 		}
-		// Ground truth from the live window, best-effort: bounded wait so
-		// a backlogged writer cannot hang the read endpoint.
+		// Ground truth from the live window, best-effort: the bounded
+		// context keeps a backlogged writer from hanging the endpoint.
 		resp := map[string]interface{}{
-			"stream": name, "coord": coord, "timeIdx": timeIdx,
+			"stream": st.Name(), "coord": coord, "timeIdx": timeIdx,
 			"predicted": pred, "observed": nil,
 		}
-		if obs, ok, err := e.ObservedWithin(name, coord, timeIdx, observedWait); err == nil {
-			if ok {
-				resp["observed"] = obs
-			} else {
-				resp["observedTimedOut"] = true
-			}
+		ctx, cancel := context.WithTimeout(req.Context(), observedWait)
+		obs, err := st.Observed(ctx, coord, timeIdx)
+		cancel()
+		switch {
+		case err == nil:
+			resp["observed"] = obs
+		case errors.Is(err, slicenstitch.ErrObservedUnavailable),
+			errors.Is(err, context.DeadlineExceeded),
+			errors.Is(err, context.Canceled):
+			// Shed, evicted, or deadline-expired: the observation is
+			// unavailable, not wrong — degrade instead of failing.
+			resp["observedTimedOut"] = true
 		}
 		writeJSON(rw, resp)
 	})
-	mux.HandleFunc("POST /streams/{name}/events", func(rw http.ResponseWriter, req *http.Request) {
-		name := req.PathValue("name")
-		var events []slicenstitch.Event
-		if err := json.NewDecoder(http.MaxBytesReader(rw, req.Body, 8<<20)).Decode(&events); err != nil {
-			http.Error(rw, fmt.Sprintf("bad events payload: %v", err), http.StatusBadRequest)
+
+	route("POST", "/streams/{name}/predict", func(rw http.ResponseWriter, req *http.Request) {
+		st, err := e.Stream(req.PathValue("name"))
+		if err != nil {
+			writeError(rw, err)
 			return
 		}
-		if err := e.PushBatch(name, events); err != nil {
-			httpError(rw, err)
+		var body struct {
+			Queries []predictQuery `json:"queries"`
+		}
+		if err := json.NewDecoder(http.MaxBytesReader(rw, req.Body, 8<<20)).Decode(&body); err != nil {
+			writeAPIError(rw, http.StatusBadRequest, "bad_request", fmt.Sprintf("bad predict payload: %v", err))
+			return
+		}
+		if len(body.Queries) == 0 {
+			writeAPIError(rw, http.StatusBadRequest, "bad_request", "queries must be non-empty")
+			return
+		}
+		if len(body.Queries) > maxPredictQueries {
+			writeAPIError(rw, http.StatusBadRequest, "bad_request",
+				fmt.Sprintf("%d queries exceeds the limit of %d", len(body.Queries), maxPredictQueries))
+			return
+		}
+		snap := st.Snapshot()
+		if snap.Factors == nil {
+			writeError(rw, slicenstitch.ErrNotStarted)
+			return
+		}
+		// One snapshot serves the whole batch (Snapshot.Predict, not
+		// Stream.Predict): every result is evaluated against the same
+		// published model version even if the writer publishes mid-loop.
+		results := make([]predictResult, len(body.Queries))
+		for i, q := range body.Queries {
+			timeIdx := snap.W - 1
+			if q.T != nil {
+				timeIdx = *q.T
+			}
+			res := predictResult{Coord: q.Coord, TimeIdx: timeIdx}
+			if v, err := snap.Predict(q.Coord, timeIdx); err != nil {
+				_, code := mapError(err)
+				res.Error = &apiError{Code: code, Message: err.Error()}
+			} else {
+				res.Predicted = &v
+			}
+			results[i] = res
+		}
+		writeJSON(rw, map[string]interface{}{"stream": st.Name(), "results": results})
+	})
+
+	route("POST", "/streams/{name}/events", func(rw http.ResponseWriter, req *http.Request) {
+		st, err := e.Stream(req.PathValue("name"))
+		if err != nil {
+			writeError(rw, err)
+			return
+		}
+		var events []slicenstitch.Event
+		if err := json.NewDecoder(http.MaxBytesReader(rw, req.Body, 8<<20)).Decode(&events); err != nil {
+			writeAPIError(rw, http.StatusBadRequest, "bad_request", fmt.Sprintf("bad events payload: %v", err))
+			return
+		}
+		if err := st.PushBatch(req.Context(), events); err != nil {
+			writeError(rw, err)
 			return
 		}
 		rw.Header().Set("Content-Type", "application/json")
 		rw.WriteHeader(http.StatusAccepted)
-		json.NewEncoder(rw).Encode(map[string]interface{}{"stream": name, "queued": len(events)})
+		json.NewEncoder(rw).Encode(map[string]interface{}{"stream": st.Name(), "queued": len(events)})
 	})
-	mux.HandleFunc("POST /streams/{name}/start", func(rw http.ResponseWriter, req *http.Request) {
-		name := req.PathValue("name")
-		if err := e.Start(name); err != nil {
-			httpError(rw, err)
+
+	route("POST", "/streams/{name}/start", func(rw http.ResponseWriter, req *http.Request) {
+		st, err := e.Stream(req.PathValue("name"))
+		if err != nil {
+			writeError(rw, err)
 			return
 		}
-		writeJSON(rw, map[string]interface{}{"stream": name, "started": true})
-	})
-	mux.HandleFunc("POST /streams/{name}/flush", func(rw http.ResponseWriter, req *http.Request) {
-		name := req.PathValue("name")
-		if err := e.Flush(name); err != nil {
-			httpError(rw, err)
+		if err := st.Start(req.Context()); err != nil {
+			writeError(rw, err)
 			return
 		}
-		writeJSON(rw, map[string]interface{}{"stream": name, "flushed": true})
+		writeJSON(rw, map[string]interface{}{"stream": st.Name(), "started": true})
 	})
+
+	route("POST", "/streams/{name}/flush", func(rw http.ResponseWriter, req *http.Request) {
+		st, err := e.Stream(req.PathValue("name"))
+		if err != nil {
+			writeError(rw, err)
+			return
+		}
+		if err := st.Flush(req.Context()); err != nil {
+			writeError(rw, err)
+			return
+		}
+		writeJSON(rw, map[string]interface{}{"stream": st.Name(), "flushed": true})
+	})
+
 	mux.HandleFunc("GET /{$}", func(rw http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintf(rw, "slicenstitch multi-stream monitor — %d streams\n\n", len(e.Streams()))
 		for _, n := range e.Streams() {
@@ -150,34 +247,90 @@ func newMux(e *slicenstitch.Engine) *http.ServeMux {
 				n, snap.Now, snap.Ingested, snap.NNZ, snap.Fitness, snap.Algorithm,
 				snap.QueueDepth, snap.QueueCap)
 		}
-		fmt.Fprintf(rw, "\nendpoints: /streams /streams/{name}/status|factors|predict  POST /streams/{name}/events\n")
+		fmt.Fprintf(rw, "\nendpoints: /v1/streams /v1/streams/{name}/status|factors|predict  POST /v1/streams/{name}/events|predict\n")
 	})
 	return mux
 }
 
-// httpError maps engine errors to status codes.
-func httpError(rw http.ResponseWriter, err error) {
-	code := http.StatusInternalServerError
+// predictQuery is one entry of a batch-predict request. T defaults to the
+// newest tensor unit (W−1) when omitted.
+type predictQuery struct {
+	Coord []int `json:"coord"`
+	T     *int  `json:"t,omitempty"`
+}
+
+// predictResult is one entry of a batch-predict response: either a
+// predicted value or a per-query error, never both.
+type predictResult struct {
+	Coord     []int     `json:"coord"`
+	TimeIdx   int       `json:"timeIdx"`
+	Predicted *float64  `json:"predicted,omitempty"`
+	Error     *apiError `json:"error,omitempty"`
+}
+
+// apiError is the body of the uniform error envelope:
+// {"error":{"code":..., "message":...}}.
+type apiError struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// writeAPIError writes the uniform envelope with an explicit status/code.
+func writeAPIError(rw http.ResponseWriter, status int, code, msg string) {
+	rw.Header().Set("Content-Type", "application/json")
+	rw.WriteHeader(status)
+	json.NewEncoder(rw).Encode(map[string]*apiError{"error": {Code: code, Message: msg}})
+}
+
+// writeError maps a package error onto the envelope via the taxonomy.
+func writeError(rw http.ResponseWriter, err error) {
+	status, code := mapError(err)
+	writeAPIError(rw, status, code, err.Error())
+}
+
+// mapError translates the package error taxonomy into HTTP status codes
+// and stable machine-readable error codes. Every sentinel and structured
+// type in slicenstitch's errors.go has exactly one row here.
+func mapError(err error) (status int, code string) {
+	var coordErr *slicenstitch.CoordError
 	switch {
-	case errors.Is(err, slicenstitch.ErrUnknownStream):
-		code = http.StatusNotFound
+	case errors.Is(err, slicenstitch.ErrStreamNotFound):
+		return http.StatusNotFound, "stream_not_found"
+	case errors.Is(err, slicenstitch.ErrStreamStopped):
+		return http.StatusGone, "stream_stopped"
+	case errors.Is(err, slicenstitch.ErrNotStarted):
+		return http.StatusServiceUnavailable, "not_started"
+	case errors.Is(err, slicenstitch.ErrAlreadyStarted):
+		return http.StatusConflict, "already_started"
 	case errors.Is(err, slicenstitch.ErrBackpressure):
-		code = http.StatusTooManyRequests
+		return http.StatusTooManyRequests, "backpressure"
+	case errors.Is(err, slicenstitch.ErrStaleTimestamp):
+		return http.StatusConflict, "stale_timestamp"
+	case errors.Is(err, slicenstitch.ErrObservedUnavailable):
+		return http.StatusServiceUnavailable, "observed_unavailable"
 	case errors.Is(err, slicenstitch.ErrEngineClosed):
-		code = http.StatusServiceUnavailable
+		return http.StatusServiceUnavailable, "engine_closed"
+	case errors.As(err, &coordErr):
+		return http.StatusBadRequest, "bad_coord"
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout, "timeout"
+	case errors.Is(err, context.Canceled):
+		return 499, "canceled" // nginx's client-closed-request; no stdlib constant
+	default:
+		return http.StatusInternalServerError, "internal"
 	}
-	http.Error(rw, err.Error(), code)
 }
 
 func writeJSON(rw http.ResponseWriter, v interface{}) {
 	rw.Header().Set("Content-Type", "application/json")
 	if err := json.NewEncoder(rw).Encode(v); err != nil {
-		http.Error(rw, err.Error(), http.StatusInternalServerError)
+		writeAPIError(rw, http.StatusInternalServerError, "internal", err.Error())
 	}
 }
 
-// parsePredict extracts ?coord=i,j&t=k (t defaults to the newest unit).
-func parsePredict(req *http.Request, arity, w int) (coord []int, timeIdx int, err error) {
+// parsePredictQuery extracts ?coord=i,j&t=k (t defaults to the newest
+// unit).
+func parsePredictQuery(req *http.Request, arity, w int) (coord []int, timeIdx int, err error) {
 	raw := req.URL.Query().Get("coord")
 	parts := strings.Split(raw, ",")
 	if raw == "" || len(parts) != arity {

@@ -2,7 +2,9 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"io"
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
@@ -15,7 +17,7 @@ import (
 func newTestServer(t *testing.T) (*slicenstitch.Engine, *httptest.Server) {
 	t.Helper()
 	e := slicenstitch.NewEngine()
-	err := e.AddStream("test", slicenstitch.StreamConfig{
+	_, err := e.AddStream("test", slicenstitch.StreamConfig{
 		Config:       slicenstitch.Config{Dims: []int{5, 4}, W: 3, Period: 10, Rank: 3},
 		PublishEvery: 1,
 	})
@@ -58,13 +60,28 @@ func getJSON(t *testing.T, url string, out interface{}) *http.Response {
 	return resp
 }
 
-// TestServerLifecycle drives the whole HTTP surface: batch ingestion fills
-// the window, start flips the stream online, and the read endpoints serve
-// the published snapshot.
-func TestServerLifecycle(t *testing.T) {
-	_, srv := newTestServer(t)
+// errorCode decodes the uniform envelope and returns its machine code.
+func errorCode(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	var env struct {
+		Error struct {
+			Code    string `json:"code"`
+			Message string `json:"message"`
+		} `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+		t.Fatalf("response is not the error envelope: %v", err)
+	}
+	if env.Error.Code == "" || env.Error.Message == "" {
+		t.Fatalf("incomplete envelope: %+v", env)
+	}
+	return env.Error.Code
+}
 
-	// Ingest a window's worth of events over HTTP.
+// fillWindow ingests a window's worth of events over HTTP on the given
+// route prefix ("" for legacy, "/v1" for versioned) and flushes.
+func fillWindow(t *testing.T, srv *httptest.Server, prefix string) {
+	t.Helper()
 	rng := rand.New(rand.NewSource(1))
 	events := make([]slicenstitch.Event, 0, 60)
 	tm := int64(0)
@@ -72,12 +89,22 @@ func TestServerLifecycle(t *testing.T) {
 		tm += int64(rng.Intn(2))
 		events = append(events, slicenstitch.Event{Coord: []int{rng.Intn(5), rng.Intn(4)}, Value: 1, Time: tm})
 	}
-	if resp := postJSON(t, srv.URL+"/streams/test/events", events); resp.StatusCode != http.StatusAccepted {
+	if resp := postJSON(t, srv.URL+prefix+"/streams/test/events", events); resp.StatusCode != http.StatusAccepted {
 		t.Fatalf("events status = %d", resp.StatusCode)
 	}
-	if resp := postJSON(t, srv.URL+"/streams/test/flush", nil); resp.StatusCode != http.StatusOK {
+	if resp := postJSON(t, srv.URL+prefix+"/streams/test/flush", nil); resp.StatusCode != http.StatusOK {
 		t.Fatalf("flush status = %d", resp.StatusCode)
 	}
+}
+
+// TestServerLifecycle drives the whole legacy (unversioned) HTTP surface:
+// batch ingestion fills the window, start flips the stream online, and
+// the read endpoints serve the published snapshot. These are the pre-v1
+// flows the deprecated aliases must keep serving for one release.
+func TestServerLifecycle(t *testing.T) {
+	_, srv := newTestServer(t)
+
+	fillWindow(t, srv, "")
 
 	// Factors and predict are 503 until the warm start.
 	if resp := getJSON(t, srv.URL+"/streams/test/factors", nil); resp.StatusCode != http.StatusServiceUnavailable {
@@ -136,6 +163,157 @@ func TestServerLifecycle(t *testing.T) {
 	}
 }
 
+// TestServerV1Lifecycle runs the same flow on the versioned routes and
+// checks the /v1 responses carry no deprecation marker while the legacy
+// aliases do.
+func TestServerV1Lifecycle(t *testing.T) {
+	_, srv := newTestServer(t)
+
+	fillWindow(t, srv, "/v1")
+
+	if resp := postJSON(t, srv.URL+"/v1/streams/test/start", nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("v1 start = %d", resp.StatusCode)
+	}
+	var status slicenstitch.Snapshot
+	if resp := getJSON(t, srv.URL+"/v1/streams/test/status", &status); resp.StatusCode != http.StatusOK {
+		t.Fatalf("v1 status = %d", resp.StatusCode)
+	} else if resp.Header.Get("Deprecation") != "" {
+		t.Fatal("v1 route marked deprecated")
+	}
+	if !status.Started || status.Ingested != 60 {
+		t.Fatalf("v1 status payload: %+v", status)
+	}
+	if resp := getJSON(t, srv.URL+"/v1/streams/test/predict?coord=1,2&t=0", nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("v1 predict = %d", resp.StatusCode)
+	}
+
+	// The legacy alias answers identically but flags its deprecation and
+	// links the successor.
+	resp := getJSON(t, srv.URL+"/streams/test/status", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("legacy status = %d", resp.StatusCode)
+	}
+	if resp.Header.Get("Deprecation") != "true" {
+		t.Fatal("legacy route not marked deprecated")
+	}
+	// The Link target is the concrete /v1 URI for this request, not the
+	// route pattern.
+	if link := resp.Header.Get("Link"); link != `</v1/streams/test/status>; rel="successor-version"` {
+		t.Fatalf("legacy successor Link = %q", link)
+	}
+}
+
+// TestServerBatchPredict covers the new POST /v1/streams/{name}/predict
+// endpoint: many coordinates per request against one published model
+// version, with per-query errors that don't fail the batch.
+func TestServerBatchPredict(t *testing.T) {
+	_, srv := newTestServer(t)
+	fillWindow(t, srv, "/v1")
+
+	// Before the warm start the whole batch is 503/not_started.
+	if resp := postJSON(t, srv.URL+"/v1/streams/test/predict",
+		map[string]interface{}{"queries": []map[string]interface{}{{"coord": []int{1, 1}}}}); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("batch predict before start = %d", resp.StatusCode)
+	} else if code := errorCode(t, resp); code != "not_started" {
+		t.Fatalf("batch predict before start code = %q", code)
+	}
+
+	if resp := postJSON(t, srv.URL+"/v1/streams/test/start", nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("start = %d", resp.StatusCode)
+	}
+
+	t0 := 0
+	resp := postJSON(t, srv.URL+"/v1/streams/test/predict", map[string]interface{}{
+		"queries": []predictQuery{
+			{Coord: []int{1, 2}, T: &t0},
+			{Coord: []int{3, 3}}, // t omitted → newest unit
+			{Coord: []int{99, 0}},
+			{Coord: []int{1}},
+		},
+	})
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("batch predict = %d: %s", resp.StatusCode, body)
+	}
+	var out struct {
+		Stream  string          `json:"stream"`
+		Results []predictResult `json:"results"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Stream != "test" || len(out.Results) != 4 {
+		t.Fatalf("batch payload: %+v", out)
+	}
+	if out.Results[0].Predicted == nil || out.Results[0].TimeIdx != 0 {
+		t.Fatalf("result 0: %+v", out.Results[0])
+	}
+	if out.Results[1].Predicted == nil || out.Results[1].TimeIdx != 2 { // W-1
+		t.Fatalf("result 1: %+v", out.Results[1])
+	}
+	for i := 2; i < 4; i++ {
+		r := out.Results[i]
+		if r.Predicted != nil || r.Error == nil || r.Error.Code != "bad_coord" {
+			t.Fatalf("result %d: %+v", i, r)
+		}
+	}
+
+	// Malformed and empty bodies are envelope'd 400s.
+	for _, body := range []interface{}{
+		map[string]interface{}{"queries": []predictQuery{}},
+		map[string]interface{}{},
+	} {
+		if resp := postJSON(t, srv.URL+"/v1/streams/test/predict", body); resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("empty queries = %d", resp.StatusCode)
+		}
+	}
+}
+
+// TestServerErrorEnvelope pins the taxonomy → HTTP mapping: every error
+// response is the uniform envelope with a stable machine-readable code.
+func TestServerErrorEnvelope(t *testing.T) {
+	e, srv := newTestServer(t)
+
+	if resp := getJSON(t, srv.URL+"/v1/streams/nope/status", nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown stream = %d", resp.StatusCode)
+	} else if code := errorCode(t, resp); code != "stream_not_found" {
+		t.Fatalf("unknown stream code = %q", code)
+	}
+	if resp := getJSON(t, srv.URL+"/v1/streams/test/factors", nil); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("factors before start = %d", resp.StatusCode)
+	} else if code := errorCode(t, resp); code != "not_started" {
+		t.Fatalf("factors before start code = %q", code)
+	}
+	if resp := getJSON(t, srv.URL+"/v1/streams/test/predict?coord=zzz", nil); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad coord = %d", resp.StatusCode)
+	} else if code := errorCode(t, resp); code != "bad_request" {
+		t.Fatalf("bad coord code = %q", code)
+	}
+	// Double-start maps ErrAlreadyStarted onto 409/already_started.
+	fillWindow(t, srv, "/v1")
+	if resp := postJSON(t, srv.URL+"/v1/streams/test/start", nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("start = %d", resp.StatusCode)
+	}
+	if resp := postJSON(t, srv.URL+"/v1/streams/test/start", nil); resp.StatusCode != http.StatusConflict {
+		t.Fatalf("second start = %d", resp.StatusCode)
+	} else if code := errorCode(t, resp); code != "already_started" {
+		t.Fatalf("second start code = %q", code)
+	}
+	// A removed stream is 404 through the registry…
+	if err := e.RemoveStream("test"); err != nil {
+		t.Fatal(err)
+	}
+	if resp := getJSON(t, srv.URL+"/v1/streams/test/status", nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("removed stream = %d", resp.StatusCode)
+	}
+	// …and the legacy aliases wear the same envelope.
+	if resp := getJSON(t, srv.URL+"/streams/test/status", nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("legacy removed stream = %d", resp.StatusCode)
+	} else if code := errorCode(t, resp); code != "stream_not_found" {
+		t.Fatalf("legacy removed stream code = %q", code)
+	}
+}
+
 func TestServerErrorMapping(t *testing.T) {
 	_, srv := newTestServer(t)
 
@@ -162,6 +340,35 @@ func TestServerErrorMapping(t *testing.T) {
 	}
 	if resp := getJSON(t, srv.URL+"/streams/test/predict?coord=1", nil); resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("short coord = %d", resp.StatusCode)
+	}
+}
+
+// mapError must track the package taxonomy exactly — a new sentinel that
+// falls through to "internal" is a bug.
+func TestMapError(t *testing.T) {
+	cases := []struct {
+		err    error
+		status int
+		code   string
+	}{
+		{slicenstitch.ErrStreamNotFound, http.StatusNotFound, "stream_not_found"},
+		{slicenstitch.ErrStreamStopped, http.StatusGone, "stream_stopped"},
+		{slicenstitch.ErrNotStarted, http.StatusServiceUnavailable, "not_started"},
+		{slicenstitch.ErrAlreadyStarted, http.StatusConflict, "already_started"},
+		{slicenstitch.ErrBackpressure, http.StatusTooManyRequests, "backpressure"},
+		{slicenstitch.ErrStaleTimestamp, http.StatusConflict, "stale_timestamp"},
+		{slicenstitch.ErrObservedUnavailable, http.StatusServiceUnavailable, "observed_unavailable"},
+		{slicenstitch.ErrEngineClosed, http.StatusServiceUnavailable, "engine_closed"},
+		{&slicenstitch.CoordError{Mode: 0, Got: 9, Limit: 4}, http.StatusBadRequest, "bad_coord"},
+		{&slicenstitch.RejectError{Index: 1, Err: &slicenstitch.CoordError{}}, http.StatusBadRequest, "bad_coord"},
+		{context.DeadlineExceeded, http.StatusGatewayTimeout, "timeout"},
+		{io.ErrUnexpectedEOF, http.StatusInternalServerError, "internal"},
+	}
+	for _, tc := range cases {
+		status, code := mapError(tc.err)
+		if status != tc.status || code != tc.code {
+			t.Errorf("mapError(%v) = (%d, %q), want (%d, %q)", tc.err, status, code, tc.status, tc.code)
+		}
 	}
 }
 

@@ -1,6 +1,7 @@
 package slicenstitch
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -20,12 +21,19 @@ import (
 // publishes an immutable Snapshot, so reads (Snapshot, Predict, Streams)
 // are wait-free and never touch the ingestion hot path.
 //
+// The primary client surface is the *Stream handle: AddStream and Stream
+// return one, and its methods pin the shard once so the per-call cost is
+// a mailbox operation with no registry lookup. The name-keyed Engine
+// methods remain as a convenience; they perform one read-locked map
+// lookup per call and then run the same code the handle does.
+//
 // Ingestion is asynchronous: PushBatch hands a batch to the shard's
 // mailbox and returns. What happens when the mailbox is full is the
 // stream's Backpressure policy; per-event validation errors surface in
 // the shard's stats and the snapshot's LastError rather than from
 // PushBatch. Use Flush to wait for everything queued so far to be
-// applied.
+// applied. Every blocking operation takes a context.Context and unblocks
+// with ctx.Err() on cancellation.
 type Engine struct {
 	mu     sync.RWMutex
 	shards map[string]*shard
@@ -59,16 +67,6 @@ func (b Backpressure) policy() engine.Policy {
 
 // String names the policy for status output.
 func (b Backpressure) String() string { return b.policy().String() }
-
-// Errors returned by Engine methods.
-var (
-	// ErrBackpressure reports a full mailbox under BackpressureError.
-	ErrBackpressure = errors.New("slicenstitch: stream mailbox full")
-	// ErrEngineClosed reports use after Close.
-	ErrEngineClosed = errors.New("slicenstitch: engine closed")
-	// ErrUnknownStream reports a name with no registered stream.
-	ErrUnknownStream = errors.New("slicenstitch: unknown stream")
-)
 
 // StreamConfig configures one engine shard: the embedded tracker Config
 // plus the serving knobs.
@@ -150,8 +148,13 @@ type Snapshot struct {
 	// publish interval (0 on a healthy stream). The lifetime total is in
 	// IngestErrors.
 	ErrorsSincePublish uint64 `json:"errorsSincePublish"`
+	// LastBatchRejected is how many events of the most recently applied
+	// batch were rejected (0 for a clean batch) — the per-batch view of
+	// the rejection counters, refreshed on every batch.
+	LastBatchRejected int `json:"lastBatchRejected"`
 	// Serving-side counters, stamped at read time rather than publish
-	// time so they are always current.
+	// time so they are always current. IngestErrors is the lifetime
+	// rejected-event count.
 	Ingested     uint64              `json:"ingested"`
 	IngestErrors uint64              `json:"ingestErrors"`
 	Dropped      uint64              `json:"droppedBatches"`
@@ -182,7 +185,7 @@ type shardMsg struct {
 	idx   int
 	val   *float64
 	done  chan error
-	// bestEffort marks a message whose sender waits with a timeout and
+	// bestEffort marks a message whose sender waits with a deadline and
 	// tolerates never being answered; under DropOldest it is evictable
 	// like a batch, so queued bounded reads are shed before data is.
 	bestEffort bool
@@ -192,6 +195,7 @@ type shardMsg struct {
 // publisher. After spawn only the writer goroutine touches tr and the
 // writer-local fields.
 type shard struct {
+	eng   *Engine
 	name  string
 	cfg   StreamConfig
 	tr    *Tracker
@@ -201,9 +205,10 @@ type shard struct {
 	done  <-chan struct{}
 
 	// Writer-local state.
-	sincePublish int
-	errsSince    int
-	lastErr      string
+	sincePublish      int
+	errsSince         int
+	lastBatchRejected int
+	lastErr           string
 }
 
 // NewEngine returns an empty engine. Add streams with AddStream.
@@ -211,26 +216,45 @@ func NewEngine() *Engine {
 	return &Engine{shards: make(map[string]*shard)}
 }
 
-// AddStream registers a new named stream and spawns its writer. The name
-// must be unique and non-empty.
-func (e *Engine) AddStream(name string, cfg StreamConfig) error {
+// AddStream registers a new named stream, spawns its writer, and returns
+// the stream's handle. The name must be unique and non-empty.
+func (e *Engine) AddStream(name string, cfg StreamConfig) (*Stream, error) {
 	if name == "" {
-		return errors.New("slicenstitch: stream name must be non-empty")
+		return nil, errors.New("slicenstitch: stream name must be non-empty")
 	}
 	cfg = cfg.withDefaults()
 	if err := cfg.validate(); err != nil {
-		return err
+		return nil, err
 	}
 	tr, err := New(cfg.Config)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	return e.addShard(name, cfg, tr)
+	s, err := e.addShard(name, cfg, tr)
+	if err != nil {
+		return nil, err
+	}
+	return &Stream{sh: s}, nil
+}
+
+// Stream returns a handle to the named stream. The handle pins the
+// shard, so its methods skip the per-call registry lookup the name-keyed
+// Engine methods pay; hold it for the lifetime of your use of the
+// stream. A handle outlives RemoveStream gracefully: snapshot reads keep
+// serving the last published state, while ingestion and control calls
+// return ErrStreamStopped.
+func (e *Engine) Stream(name string) (*Stream, error) {
+	s, err := e.shard(name)
+	if err != nil {
+		return nil, err
+	}
+	return &Stream{sh: s}, nil
 }
 
 // addShard wires a tracker (fresh or restored) into the engine.
-func (e *Engine) addShard(name string, cfg StreamConfig, tr *Tracker) error {
+func (e *Engine) addShard(name string, cfg StreamConfig, tr *Tracker) (*shard, error) {
 	s := &shard{
+		eng:   e,
 		name:  name,
 		cfg:   cfg,
 		tr:    tr,
@@ -246,16 +270,16 @@ func (e *Engine) addShard(name string, cfg StreamConfig, tr *Tracker) error {
 	if e.closed {
 		e.mu.Unlock()
 		s.stop()
-		return ErrEngineClosed
+		return nil, ErrEngineClosed
 	}
 	if _, dup := e.shards[name]; dup {
 		e.mu.Unlock()
 		s.stop()
-		return fmt.Errorf("slicenstitch: stream %q already exists", name)
+		return nil, fmt.Errorf("slicenstitch: stream %q already exists", name)
 	}
 	e.shards[name] = s
 	e.mu.Unlock()
-	return nil
+	return s, nil
 }
 
 // stop shuts the shard's writer down and waits for it to drain.
@@ -265,7 +289,8 @@ func (s *shard) stop() {
 }
 
 // RemoveStream closes a stream's mailbox, waits for its writer to drain,
-// and forgets it. The stream's last snapshot becomes unreachable.
+// and forgets it. Held handles see ErrStreamStopped from then on; their
+// snapshot reads keep serving the stream's last published state.
 func (e *Engine) RemoveStream(name string) error {
 	e.mu.Lock()
 	s, ok := e.shards[name]
@@ -274,13 +299,17 @@ func (e *Engine) RemoveStream(name string) error {
 	}
 	e.mu.Unlock()
 	if !ok {
-		return fmt.Errorf("%w %q", ErrUnknownStream, name)
+		return fmt.Errorf("%w: %q", ErrStreamNotFound, name)
 	}
 	s.stop()
 	return nil
 }
 
-// Streams lists the registered stream names, sorted.
+// Streams lists the registered stream names in sorted (ascending
+// lexicographic) order. The ordering is part of the API contract:
+// repeated calls over an unchanged engine return identical slices, so
+// listings (and the HTTP GET /v1/streams endpoint built on this) are
+// deterministic.
 func (e *Engine) Streams() []string {
 	e.mu.RLock()
 	names := make([]string, 0, len(e.shards))
@@ -300,89 +329,103 @@ func (e *Engine) shard(name string) (*shard, error) {
 	}
 	s, ok := e.shards[name]
 	if !ok {
-		return nil, fmt.Errorf("%w %q", ErrUnknownStream, name)
+		return nil, fmt.Errorf("%w: %q", ErrStreamNotFound, name)
 	}
 	return s, nil
 }
 
-// PushBatch queues events for asynchronous ingestion on the named stream.
-// The engine takes ownership of the slice. Under BackpressureError a full
-// mailbox returns an error wrapping ErrBackpressure; per-event validation
-// errors are reported via the snapshot, not here.
-func (e *Engine) PushBatch(name string, events []Event) error {
-	s, err := e.shard(name)
-	if err != nil {
-		return err
-	}
-	if len(events) == 0 {
-		return nil
-	}
-	switch err := s.mb.Put(shardMsg{op: opBatch, batch: events}); err {
-	case nil:
-		return nil
-	case engine.ErrFull:
-		return fmt.Errorf("%w: stream %q", ErrBackpressure, name)
-	case engine.ErrClosed:
-		return e.goneErr(name)
-	default:
-		return err
-	}
+// isClosed reports whether Close/Shutdown ran.
+func (e *Engine) isClosed() bool {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.closed
 }
 
 // goneErr explains a closed mailbox: the whole engine shut down, or just
-// this stream was removed.
-func (e *Engine) goneErr(name string) error {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	if e.closed {
+// this stream was stopped.
+func (s *shard) goneErr() error {
+	if s.eng.isClosed() {
 		return ErrEngineClosed
 	}
-	return fmt.Errorf("%w %q", ErrUnknownStream, name)
+	return fmt.Errorf("%w: %q", ErrStreamStopped, s.name)
 }
 
-// Push queues a single event (a one-element PushBatch).
-func (e *Engine) Push(name string, coord []int, value float64, tm int64) error {
-	return e.PushBatch(name, []Event{{Coord: coord, Value: value, Time: tm}})
-}
-
-// control runs an op on the shard's writer goroutine and waits for its
-// reply. Control messages always block for mailbox space (never dropped,
-// never rejected) so they stay ordered after previously queued batches.
-func (e *Engine) control(name string, msg shardMsg) error {
+// PushBatch queues events for asynchronous ingestion on the named stream.
+// The engine takes ownership of the slice. Under BackpressureError a full
+// mailbox returns an error wrapping ErrBackpressure; under
+// BackpressureBlock a blocked put honors ctx cancellation. Per-event
+// validation errors are reported via the snapshot, not here.
+func (e *Engine) PushBatch(ctx context.Context, name string, events []Event) error {
 	s, err := e.shard(name)
 	if err != nil {
 		return err
 	}
-	msg.done = make(chan error, 1)
-	if err := s.mb.PutBlocking(msg); err != nil {
-		return e.goneErr(name)
+	return (&Stream{sh: s}).PushBatch(ctx, events)
+}
+
+// Push queues a single event (a one-element PushBatch).
+func (e *Engine) Push(ctx context.Context, name string, coord []int, value float64, tm int64) error {
+	return e.PushBatch(ctx, name, []Event{{Coord: coord, Value: value, Time: tm}})
+}
+
+// control runs an op on the shard's writer goroutine and waits for its
+// reply, honoring ctx both while queueing and while waiting. Control
+// messages always block for mailbox space (never dropped, never rejected)
+// so they stay ordered after previously queued batches. Cancellation
+// abandons the wait, not the operation: a control message already queued
+// is still executed by the writer.
+func (s *shard) control(ctx context.Context, msg shardMsg) error {
+	msg.done = make(chan error, 1) // buffered: the writer never blocks answering an abandoned op
+	if err := s.mb.PutBlockingCtx(ctx, msg); err != nil {
+		if err == engine.ErrClosed {
+			return s.goneErr()
+		}
+		return err
 	}
-	return <-msg.done
+	select {
+	case err := <-msg.done:
+		return err
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
 
 // Start warm-starts the named stream's tracker (ALS on the window built
 // from everything queued before the call) and switches it online. It
 // waits for the warm start to finish.
-func (e *Engine) Start(name string) error {
-	return e.control(name, shardMsg{op: opStart})
+func (e *Engine) Start(ctx context.Context, name string) error {
+	s, err := e.shard(name)
+	if err != nil {
+		return err
+	}
+	return s.control(ctx, shardMsg{op: opStart})
 }
 
 // AdvanceTo moves the named stream's clock forward without a tuple,
 // after all previously queued batches.
-func (e *Engine) AdvanceTo(name string, tm int64) error {
-	return e.control(name, shardMsg{op: opAdvance, tm: tm})
+func (e *Engine) AdvanceTo(ctx context.Context, name string, tm int64) error {
+	s, err := e.shard(name)
+	if err != nil {
+		return err
+	}
+	return s.control(ctx, shardMsg{op: opAdvance, tm: tm})
 }
 
 // Flush blocks until every batch queued before the call has been applied,
 // then publishes a fresh snapshot.
-func (e *Engine) Flush(name string) error {
-	return e.control(name, shardMsg{op: opFlush})
+func (e *Engine) Flush(ctx context.Context, name string) error {
+	s, err := e.shard(name)
+	if err != nil {
+		return err
+	}
+	return s.control(ctx, shardMsg{op: opFlush})
 }
 
-// FlushAll flushes every stream.
-func (e *Engine) FlushAll() error {
+// FlushAll flushes every stream, stopping at the first error (including
+// ctx cancellation).
+func (e *Engine) FlushAll(ctx context.Context) error {
 	for _, name := range e.Streams() {
-		if err := e.Flush(name); err != nil {
+		if err := e.Flush(ctx, name); err != nil {
 			return err
 		}
 	}
@@ -399,6 +442,23 @@ func (e *Engine) Snapshot(name string) (Snapshot, error) {
 		return Snapshot{}, err
 	}
 	return s.read(), nil
+}
+
+// Predict evaluates this snapshot's model at categorical coordinates and
+// a time-mode index in [0, W). Unlike Stream.Predict — which reloads the
+// latest published snapshot on every call — all Predict calls on one
+// Snapshot value are answered from the same model version, which is what
+// batch-serving paths need for internally consistent responses. Returns
+// ErrNotStarted before the warm start and a *CoordError for invalid
+// indices.
+func (s *Snapshot) Predict(coord []int, timeIdx int) (float64, error) {
+	if s.Factors == nil {
+		return 0, ErrNotStarted
+	}
+	if err := checkIndex(s.Dims, s.W, coord, timeIdx); err != nil {
+		return 0, err
+	}
+	return s.Factors.PredictAt(coord, timeIdx), nil
 }
 
 // read copies the published snapshot and stamps the live queue counters.
@@ -418,95 +478,36 @@ func (s *shard) read() Snapshot {
 
 // Predict evaluates the named stream's published model at categorical
 // coordinates and a time-mode index in [0, W). Like Snapshot it is
-// wait-free and reflects the last published factors.
+// wait-free and reflects the last published factors. Before the warm
+// start it returns ErrNotStarted.
 func (e *Engine) Predict(name string, coord []int, timeIdx int) (float64, error) {
 	s, err := e.shard(name)
 	if err != nil {
 		return 0, err
 	}
-	snap := s.pub.Load()
-	if snap.Factors == nil {
-		return 0, errPredictBeforeStart
-	}
-	if err := checkIndex(snap.Dims, snap.W, coord, timeIdx); err != nil {
-		return 0, err
-	}
-	return snap.Factors.PredictAt(coord, timeIdx), nil
+	return (&Stream{sh: s}).Predict(coord, timeIdx)
 }
 
 // Observed returns the named stream's live window entry at categorical
 // coordinates and a time-mode index. Unlike Predict it must consult the
 // writer's window, so it travels through the mailbox and waits behind
-// previously queued batches — under BackpressureBlock with a full queue
-// that wait is unbounded. Use it for ground-truth comparison on idle or
-// test streams; latency-critical read paths (the HTTP predict endpoint)
-// should use ObservedWithin.
-func (e *Engine) Observed(name string, coord []int, timeIdx int) (float64, error) {
-	var v float64
-	err := e.control(name, shardMsg{op: opObserved, coord: coord, idx: timeIdx, val: &v})
-	return v, err
-}
-
-// ObservedWithin is Observed with a bounded wait: when the mailbox is
-// full it gives up immediately, and when the queued query is not answered
-// within timeout it gives up waiting — both return ok=false with no
-// error, and the caller should treat the observation as unavailable
-// rather than stale. Validation errors and unknown streams return
-// immediately with err set. A timeout ≤ 0 means wait indefinitely
-// (identical to Observed).
-//
-// Bounded reads are second-class mailbox citizens by design: the query
-// never blocks for space, never evicts queued batches, always leaves at
-// least one free slot for producers, and is itself evictable under
-// BackpressureDropOldest (an evicted query simply times out). Sustained
-// bounded reads against a backlogged shard therefore cannot stall or
-// starve ingestion, though under BackpressureError a burst of queued
-// reads can still occupy ring slots until the writer answers them. A
-// query that outlives its timeout is eventually answered (or evicted)
-// and discarded, so the engine briefly retains coord; callers must not
-// mutate it afterwards.
-func (e *Engine) ObservedWithin(name string, coord []int, timeIdx int, timeout time.Duration) (v float64, ok bool, err error) {
-	if timeout <= 0 {
-		v, err = e.Observed(name, coord, timeIdx)
-		return v, err == nil, err
-	}
+// previously queued batches; bound that wait with a context deadline —
+// see Stream.Observed for the full bounded-read contract
+// (ErrObservedUnavailable on a full mailbox, ctx.Err() at the deadline,
+// reads shed before data under DropOldest).
+func (e *Engine) Observed(ctx context.Context, name string, coord []int, timeIdx int) (float64, error) {
 	s, err := e.shard(name)
 	if err != nil {
-		return 0, false, err
+		return 0, err
 	}
-	// Fail fast on bad indices without involving the writer.
-	snap := s.pub.Load()
-	if err := checkIndex(snap.Dims, snap.W, coord, timeIdx); err != nil {
-		return 0, false, err
-	}
-	done := make(chan error, 1) // buffered: the writer never blocks answering an abandoned query
-	val := new(float64)
-	msg := shardMsg{op: opObserved, coord: coord, idx: timeIdx, val: val, done: done, bestEffort: true}
-	switch perr := s.mb.TryPut(msg, 1); perr {
-	case nil:
-	case engine.ErrFull:
-		return 0, false, nil // backlogged: observation unavailable
-	case engine.ErrClosed:
-		return 0, false, e.goneErr(name)
-	default:
-		return 0, false, perr
-	}
-	timer := time.NewTimer(timeout)
-	defer timer.Stop()
-	select {
-	case err := <-done:
-		if err != nil {
-			return 0, false, err
-		}
-		return *val, true, nil
-	case <-timer.C:
-		return 0, false, nil
-	}
+	return (&Stream{sh: s}).Observed(ctx, coord, timeIdx)
 }
 
-// Close shuts every stream down: mailboxes stop accepting work, queued
-// batches are drained, writers exit. The engine cannot be reused.
-func (e *Engine) Close() error {
+// Shutdown shuts every stream down: mailboxes stop accepting work,
+// queued batches are drained, writers exit. It returns ctx.Err() if the
+// context expires first — the writers keep draining in the background,
+// but the engine is already unusable. The engine cannot be reused.
+func (e *Engine) Shutdown(ctx context.Context) error {
 	e.mu.Lock()
 	if e.closed {
 		e.mu.Unlock()
@@ -523,10 +524,18 @@ func (e *Engine) Close() error {
 		s.mb.Close()
 	}
 	for _, s := range shards {
-		<-s.done
+		select {
+		case <-s.done:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
 	}
 	return nil
 }
+
+// Close is Shutdown without a deadline: it waits for every writer to
+// drain. Idempotent.
+func (e *Engine) Close() error { return e.Shutdown(context.Background()) }
 
 // handle runs on the shard's writer goroutine — the only place s.tr is
 // touched after spawn.
@@ -539,21 +548,25 @@ func (s *shard) handle(msg shardMsg) {
 		start := time.Now()
 		applied, err := s.tr.PushBatch(msg.batch)
 		s.stats.RecordBatch(applied, time.Since(start))
-		errs := len(msg.batch) - applied
+		errs := countRejects(err)
+		s.lastBatchRejected = errs
 		if errs > 0 {
 			s.stats.RecordErrors(errs)
 			s.errsSince += errs
-			s.lastErr = err.Error()
+			s.lastErr = lastReject(err).Error()
 		}
 		// Only applied events advance the publish clock: a stream of
 		// rejected events must not trigger the O(nnz) fitness recompute.
 		s.sincePublish += applied
 		if s.sincePublish >= s.cfg.PublishEvery {
 			s.publish()
-		} else if errs > 0 {
-			// No model publish is due, but the error must still surface —
-			// otherwise a stream whose events are all rejected would never
-			// report LastError at all. O(1): model fields are inherited.
+		} else if errs > 0 || s.pub.Load().LastBatchRejected != errs {
+			// No model publish is due, but the error state must still
+			// surface — otherwise a stream whose events are all rejected
+			// would never report LastError at all, and a clean batch after
+			// a bad one would keep advertising the stale LastBatchRejected
+			// until the next full publish. O(1): model fields are
+			// inherited.
 			s.publishErrState()
 		}
 	case opStart:
@@ -603,6 +616,7 @@ func (s *shard) publish() {
 		W:                  s.cfg.W,
 		LastError:          s.lastErr,
 		ErrorsSincePublish: uint64(s.errsSince),
+		LastBatchRejected:  s.lastBatchRejected,
 	}
 	if t.Started() {
 		snap.Fitness = t.Fitness()
@@ -627,6 +641,7 @@ func (s *shard) publishErrState() {
 	snap.NNZ = s.tr.NNZ()
 	snap.LastError = s.lastErr
 	snap.ErrorsSincePublish = uint64(s.errsSince)
+	snap.LastBatchRejected = s.lastBatchRejected
 	s.pub.Publish(&snap)
 }
 

@@ -2,6 +2,7 @@ package slicenstitch
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"io"
 	"sync"
@@ -9,45 +10,45 @@ import (
 	"time"
 )
 
-func TestEngineObservedWithinValidation(t *testing.T) {
+func TestEngineObservedValidation(t *testing.T) {
 	e := NewEngine()
 	defer e.Close()
-	if err := e.AddStream("s", validStreamConfig()); err != nil {
+	if _, err := e.AddStream("s", validStreamConfig()); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := e.ObservedWithin("nope", []int{0, 0}, 0, time.Second); !errors.Is(err, ErrUnknownStream) {
+	if _, err := e.Observed(bg, "nope", []int{0, 0}, 0); !errors.Is(err, ErrStreamNotFound) {
 		t.Fatalf("unknown stream err = %v", err)
 	}
-	if _, _, err := e.ObservedWithin("s", []int{99, 0}, 0, time.Second); err == nil {
-		t.Fatal("bad coord accepted")
+	var coordErr *CoordError
+	if _, err := e.Observed(bg, "s", []int{99, 0}, 0); !errors.As(err, &coordErr) {
+		t.Fatalf("bad coord err = %v, want *CoordError", err)
 	}
-	// Idle stream: the bounded read answers like Observed.
-	if err := e.Push("s", []int{2, 3}, 7, 0); err != nil {
+	// Idle stream: the read answers after the queued push.
+	if err := e.Push(bg, "s", []int{2, 3}, 7, 0); err != nil {
 		t.Fatal(err)
 	}
-	v, ok, err := e.ObservedWithin("s", []int{2, 3}, 2, 5*time.Second)
-	if err != nil || !ok {
-		t.Fatalf("ObservedWithin = (%v, %v, %v)", v, ok, err)
+	ctx, cancel := context.WithTimeout(bg, 5*time.Second)
+	defer cancel()
+	v, err := e.Observed(ctx, "s", []int{2, 3}, 2)
+	if err != nil {
+		t.Fatalf("Observed = (%v, %v)", v, err)
 	}
 	if v != 7 {
 		t.Fatalf("observed %v want 7", v)
 	}
-	// timeout ≤ 0 falls back to the unbounded path.
-	v, ok, err = e.ObservedWithin("s", []int{2, 3}, 2, 0)
-	if err != nil || !ok || v != 7 {
-		t.Fatalf("blocking fallback = (%v, %v, %v)", v, ok, err)
-	}
 }
 
-// The predict-serving bugfix: a bounded observed read must return promptly
-// even when the shard writer is buried under queued batches, instead of
-// hanging behind the mailbox until the backlog drains.
-func TestEngineObservedWithinBoundedUnderBacklog(t *testing.T) {
+// The predict-serving guarantee: an Observed read bounded by a context
+// deadline must return promptly even when the shard writer is buried
+// under queued batches, instead of hanging behind the mailbox until the
+// backlog drains.
+func TestEngineObservedBoundedUnderBacklog(t *testing.T) {
 	e := NewEngine()
 	defer e.Close()
 	cfg := validStreamConfig()
 	cfg.MailboxCapacity = 2
-	if err := e.AddStream("s", cfg); err != nil {
+	st, err := e.AddStream("s", cfg)
+	if err != nil {
 		t.Fatal(err)
 	}
 	tm := fillAndStart(t, e, "s", 11)
@@ -66,7 +67,7 @@ func TestEngineObservedWithinBoundedUnderBacklog(t *testing.T) {
 				}
 				batch[k] = Event{Coord: []int{k % 5, k % 4}, Value: 1, Time: tm}
 			}
-			if err := e.PushBatch("s", batch); err != nil {
+			if err := st.PushBatch(bg, batch); err != nil {
 				return
 			}
 		}
@@ -82,18 +83,117 @@ func TestEngineObservedWithinBoundedUnderBacklog(t *testing.T) {
 	}
 
 	start := time.Now()
-	_, ok, err := e.ObservedWithin("s", []int{0, 0}, 0, 30*time.Millisecond)
+	ctx, cancel := context.WithTimeout(bg, 30*time.Millisecond)
+	_, err = st.Observed(ctx, []int{0, 0}, 0)
+	cancel()
 	elapsed := time.Since(start)
-	if err != nil {
+	// Either outcome is valid: the query was shed on arrival (full
+	// mailbox → ErrObservedUnavailable), it queued but the deadline fired
+	// first, or the writer happened to answer in time. What may not
+	// happen is a stall behind the backlog.
+	if err != nil && !errors.Is(err, context.DeadlineExceeded) && !errors.Is(err, ErrObservedUnavailable) {
 		t.Fatal(err)
 	}
 	if elapsed > 2*time.Second {
 		t.Fatalf("bounded read took %v", elapsed)
 	}
-	t.Logf("ObservedWithin under backlog: ok=%v in %v", ok, elapsed)
+	t.Logf("Observed under backlog: err=%v in %v", err, elapsed)
 	wg.Wait()
-	// Once the backlog drains, the blocking variant still works.
-	if _, err := e.Observed("s", []int{0, 0}, 0); err != nil {
+	// Once the backlog drains, the unbounded variant still works.
+	if _, err := st.Observed(bg, []int{0, 0}, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A deadline-bounded Observed read must never take the mailbox slots
+// producers need: with a capacity-1 mailbox there is no spare slot to
+// leave, so the bounded read is always shed with ErrObservedUnavailable —
+// immediately, regardless of backlog. The unbounded form still works.
+func TestEngineObservedShedsWhenNoSpareSlot(t *testing.T) {
+	e := NewEngine()
+	defer e.Close()
+	cfg := validStreamConfig()
+	cfg.MailboxCapacity = 1
+	st, err := e.AddStream("s", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Push(bg, []int{2, 3}, 7, 0); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(bg, time.Second)
+	defer cancel()
+	start := time.Now()
+	_, err = st.Observed(ctx, []int{2, 3}, 2)
+	if !errors.Is(err, ErrObservedUnavailable) {
+		t.Fatalf("bounded read on capacity-1 mailbox = %v, want ErrObservedUnavailable", err)
+	}
+	if time.Since(start) > 500*time.Millisecond {
+		t.Fatal("shed read waited instead of failing fast")
+	}
+	// The deadline-free form queues as a control message and answers.
+	if v, err := st.Observed(bg, []int{2, 3}, 2); err != nil || v != 7 {
+		t.Fatalf("unbounded Observed = (%v, %v), want 7", v, err)
+	}
+}
+
+// Context cancellation must unblock every blocking client call: a
+// PushBatch blocked on a full mailbox under BackpressureBlock, and a
+// control op (Flush) waiting behind a jammed writer.
+func TestEngineContextCancellationUnblocks(t *testing.T) {
+	e := NewEngine()
+	defer e.Close()
+	cfg := validStreamConfig()
+	cfg.MailboxCapacity = 1
+	st, err := e.AddStream("s", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm := fillAndStart(t, e, "s", 13)
+	stallWriter(t, e, "s", tm) // writer busy for a while
+	// Fill the single mailbox slot so the next put must block.
+	for deadline := time.Now().Add(2 * time.Second); ; {
+		if err := func() error {
+			ctx, cancel := context.WithTimeout(bg, time.Millisecond)
+			defer cancel()
+			return st.PushBatch(ctx, []Event{{Coord: []int{0, 0}, Value: 1, Time: tm}})
+		}(); err != nil {
+			if !errors.Is(err, context.DeadlineExceeded) {
+				t.Fatalf("blocked PushBatch err = %v, want DeadlineExceeded", err)
+			}
+			break // the mailbox is full and the put blocked: cancellation worked
+		}
+		if !time.Now().Before(deadline) {
+			t.Skip("writer drained too fast to observe a blocked put")
+		}
+	}
+
+	// A control op queued behind the backlog must also honor its context
+	// while waiting for the writer's answer.
+	start := time.Now()
+	ctx, cancel := context.WithTimeout(bg, 5*time.Millisecond)
+	err = st.Flush(ctx)
+	cancel()
+	if err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Flush err = %v", err)
+	}
+	if err == nil {
+		t.Log("writer caught up before the deadline; flush completed")
+	} else if time.Since(start) > 2*time.Second {
+		t.Fatalf("cancelled Flush took %v", time.Since(start))
+	}
+
+	// An already-cancelled context fails fast on every path.
+	done, cancelNow := context.WithCancel(bg)
+	cancelNow()
+	if err := st.PushBatch(done, []Event{{Coord: []int{0, 0}, Value: 1, Time: tm}}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled PushBatch err = %v, want Canceled", err)
+	}
+	if err := st.Flush(done); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled Flush err = %v", err)
+	}
+	// The engine is still healthy afterwards.
+	if err := e.Flush(bg, "s"); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -112,7 +212,8 @@ func TestEngineDropOldestAccounting(t *testing.T) {
 	cfg := validStreamConfig()
 	cfg.MailboxCapacity = 1
 	cfg.Backpressure = BackpressureDropOldest
-	if err := e.AddStream("s", cfg); err != nil {
+	st, err := e.AddStream("s", cfg)
+	if err != nil {
 		t.Fatal(err)
 	}
 	// All events at time 0: always valid, cheap to apply, order-free.
@@ -121,14 +222,14 @@ func TestEngineDropOldestAccounting(t *testing.T) {
 		batch[k] = Event{Coord: []int{k % 5, k % 4}, Value: 1, Time: 0}
 	}
 	for b := 0; b < nBatches; b++ {
-		if err := e.PushBatch("s", batch); err != nil {
+		if err := st.PushBatch(bg, batch); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if err := e.Flush("s"); err != nil {
+	if err := st.Flush(bg); err != nil {
 		t.Fatal(err)
 	}
-	snap := mustSnap(t, e, "s")
+	snap := st.Snapshot()
 	if snap.IngestErrors != 0 {
 		t.Fatalf("IngestErrors = %d, want 0", snap.IngestErrors)
 	}
@@ -151,10 +252,10 @@ func TestEngineDropOldestAccounting(t *testing.T) {
 func TestEngineCheckpointConcurrentWithIngestAndRemove(t *testing.T) {
 	e := NewEngine()
 	defer e.Close()
-	if err := e.AddStream("steady", validStreamConfig()); err != nil {
+	if _, err := e.AddStream("steady", validStreamConfig()); err != nil {
 		t.Fatal(err)
 	}
-	if err := e.AddStream("churn", validStreamConfig()); err != nil {
+	if _, err := e.AddStream("churn", validStreamConfig()); err != nil {
 		t.Fatal(err)
 	}
 	fillAndStart(t, e, "steady", 5)
@@ -177,7 +278,7 @@ func TestEngineCheckpointConcurrentWithIngestAndRemove(t *testing.T) {
 				tm++
 				batch[k] = Event{Coord: []int{k % 5, k % 4}, Value: 1, Time: tm}
 			}
-			if err := e.PushBatch("steady", batch); err != nil {
+			if err := e.PushBatch(bg, "steady", batch); err != nil {
 				return
 			}
 		}
@@ -193,19 +294,19 @@ func TestEngineCheckpointConcurrentWithIngestAndRemove(t *testing.T) {
 			default:
 			}
 			_ = e.RemoveStream("churn")
-			_ = e.AddStream("churn", validStreamConfig())
+			_, _ = e.AddStream("churn", validStreamConfig())
 		}
 	}()
 
 	for i := 0; i < 15; i++ {
-		_ = e.Checkpoint(io.Discard) // unknown-stream errors are fine
+		_ = e.Checkpoint(bg, io.Discard) // unknown-stream errors are fine
 	}
 	close(stop)
 	wg.Wait()
 
 	// With the churn settled, a final checkpoint must round-trip.
 	var buf bytes.Buffer
-	if err := e.Checkpoint(&buf); err != nil {
+	if err := e.Checkpoint(bg, &buf); err != nil {
 		t.Fatal(err)
 	}
 	restored, err := RestoreEngine(&buf)

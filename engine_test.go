@@ -2,6 +2,7 @@ package slicenstitch
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -10,6 +11,10 @@ import (
 	"testing"
 	"time"
 )
+
+// bg is the no-deadline context the package tests thread through blocking
+// engine calls.
+var bg = context.Background()
 
 func validStreamConfig() StreamConfig {
 	return StreamConfig{Config: validConfig()}
@@ -26,10 +31,10 @@ func fillAndStart(t testing.TB, e *Engine, name string, seed int64) int64 {
 		tm += int64(rng.Intn(2))
 		events = append(events, Event{Coord: []int{rng.Intn(5), rng.Intn(4)}, Value: 1, Time: tm})
 	}
-	if err := e.PushBatch(name, events); err != nil {
+	if err := e.PushBatch(bg, name, events); err != nil {
 		t.Fatal(err)
 	}
-	if err := e.Start(name); err != nil {
+	if err := e.Start(bg, name); err != nil {
 		t.Fatal(err)
 	}
 	return tm
@@ -39,29 +44,36 @@ func TestEngineLifecycle(t *testing.T) {
 	e := NewEngine()
 	defer e.Close()
 
-	if err := e.AddStream("", validStreamConfig()); err == nil {
+	if _, err := e.AddStream("", validStreamConfig()); err == nil {
 		t.Fatal("empty name accepted")
 	}
-	if err := e.AddStream("taxi", StreamConfig{}); err == nil {
+	if _, err := e.AddStream("taxi", StreamConfig{}); err == nil {
 		t.Fatal("invalid config accepted")
 	}
-	if err := e.AddStream("taxi", validStreamConfig()); err != nil {
+	st, err := e.AddStream("taxi", validStreamConfig())
+	if err != nil {
 		t.Fatal(err)
 	}
-	if err := e.AddStream("taxi", validStreamConfig()); err == nil {
+	if st == nil || st.Name() != "taxi" {
+		t.Fatalf("AddStream handle = %+v", st)
+	}
+	if _, err := e.AddStream("taxi", validStreamConfig()); err == nil {
 		t.Fatal("duplicate name accepted")
 	}
-	if err := e.AddStream("bikes", validStreamConfig()); err != nil {
+	if _, err := e.AddStream("bikes", validStreamConfig()); err != nil {
 		t.Fatal(err)
 	}
 	if got := e.Streams(); len(got) != 2 || got[0] != "bikes" || got[1] != "taxi" {
 		t.Fatalf("Streams = %v", got)
 	}
 
-	if _, err := e.Snapshot("nope"); !errors.Is(err, ErrUnknownStream) {
+	if _, err := e.Snapshot("nope"); !errors.Is(err, ErrStreamNotFound) {
 		t.Fatalf("Snapshot(unknown) err = %v", err)
 	}
-	if err := e.PushBatch("nope", []Event{{Coord: []int{0, 0}, Value: 1}}); !errors.Is(err, ErrUnknownStream) {
+	if _, err := e.Stream("nope"); !errors.Is(err, ErrStreamNotFound) {
+		t.Fatalf("Stream(unknown) err = %v", err)
+	}
+	if err := e.PushBatch(bg, "nope", []Event{{Coord: []int{0, 0}, Value: 1}}); !errors.Is(err, ErrStreamNotFound) {
 		t.Fatalf("PushBatch(unknown) err = %v", err)
 	}
 
@@ -88,11 +100,11 @@ func TestEngineLifecycle(t *testing.T) {
 	if _, err := e.Predict("taxi", []int{1}, 0); err == nil {
 		t.Fatal("short coord accepted")
 	}
-	if _, err := e.Predict("bikes", []int{1, 1}, 0); err == nil {
-		t.Fatal("Predict before Start accepted")
+	if _, err := e.Predict("bikes", []int{1, 1}, 0); !errors.Is(err, ErrNotStarted) {
+		t.Fatalf("Predict before Start err = %v", err)
 	}
 
-	if err := e.AdvanceTo("taxi", tm+20); err != nil {
+	if err := e.AdvanceTo(bg, "taxi", tm+20); err != nil {
 		t.Fatal(err)
 	}
 	if snap, _ = e.Snapshot("taxi"); snap.Now != tm+20 {
@@ -102,7 +114,7 @@ func TestEngineLifecycle(t *testing.T) {
 	if err := e.RemoveStream("taxi"); err != nil {
 		t.Fatal(err)
 	}
-	if err := e.RemoveStream("taxi"); !errors.Is(err, ErrUnknownStream) {
+	if err := e.RemoveStream("taxi"); !errors.Is(err, ErrStreamNotFound) {
 		t.Fatalf("second remove err = %v", err)
 	}
 	if err := e.Close(); err != nil {
@@ -114,8 +126,33 @@ func TestEngineLifecycle(t *testing.T) {
 	if _, err := e.Snapshot("bikes"); !errors.Is(err, ErrEngineClosed) {
 		t.Fatalf("Snapshot after Close err = %v", err)
 	}
-	if err := e.AddStream("late", validStreamConfig()); !errors.Is(err, ErrEngineClosed) {
+	if _, err := e.AddStream("late", validStreamConfig()); !errors.Is(err, ErrEngineClosed) {
 		t.Fatalf("AddStream after Close err = %v", err)
+	}
+}
+
+// Streams must list names in sorted order regardless of insertion order —
+// the documented determinism guarantee behind GET /v1/streams.
+func TestEngineStreamsSorted(t *testing.T) {
+	e := NewEngine()
+	defer e.Close()
+	names := []string{"zebra", "alpha", "mid", "beta", "omega"}
+	for _, n := range names {
+		if _, err := e.AddStream(n, validStreamConfig()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := []string{"alpha", "beta", "mid", "omega", "zebra"}
+	for i := 0; i < 5; i++ { // repeated calls must agree exactly
+		got := e.Streams()
+		if len(got) != len(want) {
+			t.Fatalf("Streams = %v", got)
+		}
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("Streams = %v, want %v", got, want)
+			}
+		}
 	}
 }
 
@@ -128,7 +165,7 @@ func stallWriter(t testing.TB, e *Engine, name string, tm int64) {
 	for i := range heavy {
 		heavy[i] = Event{Coord: []int{i % 5, i % 4}, Value: 1, Time: tm}
 	}
-	if err := e.PushBatch(name, heavy); err != nil {
+	if err := e.PushBatch(bg, name, heavy); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -139,7 +176,7 @@ func TestEngineBackpressureError(t *testing.T) {
 	cfg := validStreamConfig()
 	cfg.MailboxCapacity = 1
 	cfg.Backpressure = BackpressureError
-	if err := e.AddStream("s", cfg); err != nil {
+	if _, err := e.AddStream("s", cfg); err != nil {
 		t.Fatal(err)
 	}
 	tm := fillAndStart(t, e, "s", 3)
@@ -147,7 +184,7 @@ func TestEngineBackpressureError(t *testing.T) {
 
 	var got error
 	for i := 0; i < 10000; i++ {
-		if err := e.PushBatch("s", []Event{{Coord: []int{0, 0}, Value: 1, Time: tm}}); err != nil {
+		if err := e.PushBatch(bg, "s", []Event{{Coord: []int{0, 0}, Value: 1, Time: tm}}); err != nil {
 			got = err
 			break
 		}
@@ -156,7 +193,7 @@ func TestEngineBackpressureError(t *testing.T) {
 		t.Fatalf("flooding a capacity-1 mailbox under BackpressureError: err = %v", got)
 	}
 	// Control messages still get through (blocking put) and drain the queue.
-	if err := e.Flush("s"); err != nil {
+	if err := e.Flush(bg, "s"); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -167,18 +204,18 @@ func TestEngineBackpressureDropOldest(t *testing.T) {
 	cfg := validStreamConfig()
 	cfg.MailboxCapacity = 1
 	cfg.Backpressure = BackpressureDropOldest
-	if err := e.AddStream("s", cfg); err != nil {
+	if _, err := e.AddStream("s", cfg); err != nil {
 		t.Fatal(err)
 	}
 	tm := fillAndStart(t, e, "s", 4)
 	stallWriter(t, e, "s", tm)
 
 	for i := 0; i < 1000; i++ {
-		if err := e.PushBatch("s", []Event{{Coord: []int{0, 0}, Value: 1, Time: tm}}); err != nil {
+		if err := e.PushBatch(bg, "s", []Event{{Coord: []int{0, 0}, Value: 1, Time: tm}}); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if err := e.Flush("s"); err != nil {
+	if err := e.Flush(bg, "s"); err != nil {
 		t.Fatal(err)
 	}
 	snap, err := e.Snapshot("s")
@@ -196,26 +233,26 @@ func TestEngineBackpressureDropOldest(t *testing.T) {
 func TestEngineObserved(t *testing.T) {
 	e := NewEngine()
 	defer e.Close()
-	if err := e.AddStream("s", validStreamConfig()); err != nil {
+	if _, err := e.AddStream("s", validStreamConfig()); err != nil {
 		t.Fatal(err)
 	}
 	tm := fillAndStart(t, e, "s", 7)
-	if err := e.Push("s", []int{2, 3}, 7, tm); err != nil {
+	if err := e.Push(bg, "s", []int{2, 3}, 7, tm); err != nil {
 		t.Fatal(err)
 	}
 	// Observed is a control op: it queues behind the push above, so no
 	// explicit Flush is needed for it to see the event.
-	v, err := e.Observed("s", []int{2, 3}, 2)
+	v, err := e.Observed(bg, "s", []int{2, 3}, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if v < 7 {
 		t.Fatalf("Observed = %v, want >= 7", v)
 	}
-	if _, err := e.Observed("s", []int{99, 0}, 0); err == nil {
+	if _, err := e.Observed(bg, "s", []int{99, 0}, 0); err == nil {
 		t.Fatal("bad coord accepted")
 	}
-	if _, err := e.Observed("nope", []int{0, 0}, 0); !errors.Is(err, ErrUnknownStream) {
+	if _, err := e.Observed(bg, "nope", []int{0, 0}, 0); !errors.Is(err, ErrStreamNotFound) {
 		t.Fatalf("Observed(unknown) err = %v", err)
 	}
 }
@@ -223,18 +260,18 @@ func TestEngineObserved(t *testing.T) {
 func TestEngineIngestErrorsSurfaceInSnapshot(t *testing.T) {
 	e := NewEngine()
 	defer e.Close()
-	if err := e.AddStream("s", validStreamConfig()); err != nil {
+	if _, err := e.AddStream("s", validStreamConfig()); err != nil {
 		t.Fatal(err)
 	}
 	// PushBatch accepts the batch; the out-of-range coordinate is rejected
 	// by the writer and surfaces via the snapshot, not the call.
-	if err := e.PushBatch("s", []Event{
+	if err := e.PushBatch(bg, "s", []Event{
 		{Coord: []int{0, 0}, Value: 1, Time: 0},
 		{Coord: []int{99, 0}, Value: 1, Time: 0},
 	}); err != nil {
 		t.Fatal(err)
 	}
-	if err := e.Flush("s"); err != nil {
+	if err := e.Flush(bg, "s"); err != nil {
 		t.Fatal(err)
 	}
 	snap, _ := e.Snapshot("s")
@@ -247,19 +284,26 @@ func TestEngineIngestErrorsSurfaceInSnapshot(t *testing.T) {
 	if snap.ErrorsSincePublish != 1 {
 		t.Fatalf("ErrorsSincePublish = %d, want 1", snap.ErrorsSincePublish)
 	}
+	if snap.LastBatchRejected != 1 {
+		t.Fatalf("LastBatchRejected = %d, want 1", snap.LastBatchRejected)
+	}
 	// The error belongs to the interval that saw it: after a healthy
 	// interval the next publish clears it instead of reporting the stale
 	// error forever.
-	if err := e.PushBatch("s", []Event{{Coord: []int{0, 0}, Value: 1, Time: 1}}); err != nil {
+	if err := e.PushBatch(bg, "s", []Event{{Coord: []int{0, 0}, Value: 1, Time: 1}}); err != nil {
 		t.Fatal(err)
 	}
-	if err := e.Flush("s"); err != nil {
+	if err := e.Flush(bg, "s"); err != nil {
 		t.Fatal(err)
 	}
 	snap, _ = e.Snapshot("s")
 	if snap.LastError != "" || snap.ErrorsSincePublish != 0 {
 		t.Fatalf("error state not aged out: lastError=%q errorsSincePublish=%d",
 			snap.LastError, snap.ErrorsSincePublish)
+	}
+	// A clean batch resets the per-batch rejection count.
+	if snap.LastBatchRejected != 0 {
+		t.Fatalf("LastBatchRejected = %d after clean batch, want 0", snap.LastBatchRejected)
 	}
 	// The lifetime counter keeps the history.
 	if snap.IngestErrors != 1 || snap.Ingested != 2 {
@@ -275,7 +319,7 @@ func TestEngineRejectedEventsDoNotCountTowardPublish(t *testing.T) {
 	defer e.Close()
 	cfg := validStreamConfig()
 	cfg.PublishEvery = 4
-	if err := e.AddStream("s", cfg); err != nil {
+	if _, err := e.AddStream("s", cfg); err != nil {
 		t.Fatal(err)
 	}
 	base, _ := e.Snapshot("s")
@@ -289,7 +333,7 @@ func TestEngineRejectedEventsDoNotCountTowardPublish(t *testing.T) {
 			{Coord: []int{99, 0}, Value: 1, Time: 0},
 			{Coord: []int{99, 0}, Value: 1, Time: 0},
 		}
-		if err := e.PushBatch("s", bad); err != nil {
+		if err := e.PushBatch(bg, "s", bad); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -304,12 +348,29 @@ func TestEngineRejectedEventsDoNotCountTowardPublish(t *testing.T) {
 		t.Fatalf("all-error stream hides its errors: lastError=%q errorsSincePublish=%d",
 			snap.LastError, snap.ErrorsSincePublish)
 	}
+	if snap.LastBatchRejected != 4 {
+		t.Fatalf("LastBatchRejected = %d, want 4", snap.LastBatchRejected)
+	}
+	// A clean batch too small to trigger a publish still clears the
+	// per-batch rejection count via the cheap error-state refresh — the
+	// stale 4 must not stick around until the next full publish.
+	if err := e.PushBatch(bg, "s", []Event{{Coord: []int{0, 0}, Value: 1, Time: 0}}); err != nil {
+		t.Fatal(err)
+	}
+	drain(t, e, "s")
+	snap = mustSnap(t, e, "s")
+	if snap.Stats.Publishes != basePub {
+		t.Fatalf("small clean batch triggered a model publish")
+	}
+	if snap.LastBatchRejected != 0 {
+		t.Fatalf("LastBatchRejected = %d after clean batch, want 0", snap.LastBatchRejected)
+	}
 	// The same volume of applied events does publish.
 	good := make([]Event, 4)
 	for i := range good {
 		good[i] = Event{Coord: []int{0, 0}, Value: 1, Time: int64(i)}
 	}
-	if err := e.PushBatch("s", good); err != nil {
+	if err := e.PushBatch(bg, "s", good); err != nil {
 		t.Fatal(err)
 	}
 	drain(t, e, "s")
@@ -329,7 +390,7 @@ func drain(t *testing.T, e *Engine, name string) {
 			// One control round-trip guarantees the in-flight batch (if
 			// any) finished before we read counters. Observed is the only
 			// control op that does not publish.
-			if _, err := e.Observed(name, []int{0, 0}, 0); err != nil {
+			if _, err := e.Observed(bg, name, []int{0, 0}, 0); err != nil {
 				t.Fatal(err)
 			}
 			return
@@ -355,20 +416,20 @@ func TestEngineCheckpointRestore(t *testing.T) {
 	cfgA.MailboxCapacity = 17
 	cfgA.Backpressure = BackpressureDropOldest
 	cfgA.PublishEvery = 33
-	if err := e.AddStream("a", cfgA); err != nil {
+	if _, err := e.AddStream("a", cfgA); err != nil {
 		t.Fatal(err)
 	}
-	if err := e.AddStream("b", validStreamConfig()); err != nil {
+	if _, err := e.AddStream("b", validStreamConfig()); err != nil {
 		t.Fatal(err)
 	}
 	fillAndStart(t, e, "a", 5)
 	// Stream b stays offline — restore must handle both phases.
-	if err := e.PushBatch("b", []Event{{Coord: []int{1, 1}, Value: 2, Time: 0}}); err != nil {
+	if err := e.PushBatch(bg, "b", []Event{{Coord: []int{1, 1}, Value: 2, Time: 0}}); err != nil {
 		t.Fatal(err)
 	}
 
 	var buf bytes.Buffer
-	if err := e.Checkpoint(&buf); err != nil {
+	if err := e.Checkpoint(bg, &buf); err != nil {
 		t.Fatal(err)
 	}
 	got, err := RestoreEngine(&buf)
@@ -396,10 +457,10 @@ func TestEngineCheckpointRestore(t *testing.T) {
 		t.Fatalf("restored b = %+v", snapB)
 	}
 	// The restored engine is live: it accepts and applies new work.
-	if err := got.Push("a", []int{0, 0}, 1, want.Now); err != nil {
+	if err := got.Push(bg, "a", []int{0, 0}, 1, want.Now); err != nil {
 		t.Fatal(err)
 	}
-	if err := got.Flush("a"); err != nil {
+	if err := got.Flush(bg, "a"); err != nil {
 		t.Fatal(err)
 	}
 	if snap, _ = got.Snapshot("a"); snap.Events != want.Events+1 {
@@ -412,7 +473,7 @@ func TestEngineCheckpointRestore(t *testing.T) {
 	// A checkpoint truncated mid-stream fails cleanly (and shuts down the
 	// shards restored before the corruption).
 	var buf2 bytes.Buffer
-	if err := e.Checkpoint(&buf2); err != nil {
+	if err := e.Checkpoint(bg, &buf2); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := RestoreEngine(bytes.NewReader(buf2.Bytes()[:buf2.Len()-50])); err == nil {
@@ -422,7 +483,8 @@ func TestEngineCheckpointRestore(t *testing.T) {
 
 // TestEngineConcurrentShardsAndReaders is the engine-level race test: all
 // shards ingest batches in parallel while reader goroutines hammer the
-// wait-free snapshot and predict paths across every stream.
+// wait-free snapshot and predict paths across every stream — half through
+// name-keyed calls, half through pinned Stream handles.
 func TestEngineConcurrentShardsAndReaders(t *testing.T) {
 	const (
 		shards  = 4
@@ -432,13 +494,16 @@ func TestEngineConcurrentShardsAndReaders(t *testing.T) {
 	e := NewEngine()
 	defer e.Close()
 	names := make([]string, shards)
+	handles := make([]*Stream, shards)
 	for i := range names {
 		names[i] = fmt.Sprintf("s%d", i)
 		cfg := validStreamConfig()
 		cfg.PublishEvery = 8 // publish often so readers see fresh models
-		if err := e.AddStream(names[i], cfg); err != nil {
+		st, err := e.AddStream(names[i], cfg)
+		if err != nil {
 			t.Fatal(err)
 		}
+		handles[i] = st
 		fillAndStart(t, e, names[i], int64(100+i))
 	}
 	var baseline uint64
@@ -460,28 +525,36 @@ func TestEngineConcurrentShardsAndReaders(t *testing.T) {
 					return
 				default:
 				}
-				for _, n := range names {
-					snap, err := e.Snapshot(n)
-					if err != nil {
-						t.Error(err)
-						return
+				for i, n := range names {
+					var snap Snapshot
+					if r%2 == 0 {
+						snap = handles[i].Snapshot()
+						_, _ = handles[i].Predict([]int{r % 5, r % 4}, 0)
+					} else {
+						var err error
+						snap, err = e.Snapshot(n)
+						if err != nil {
+							t.Error(err)
+							return
+						}
+						_, _ = e.Predict(n, []int{r % 5, r % 4}, 0)
 					}
 					if snap.Started && snap.Factors == nil {
 						t.Error("started snapshot without factors")
 						return
 					}
-					_, _ = e.Predict(n, []int{r % 5, r % 4}, 0)
 				}
 				_ = e.Streams()
 			}
 		}(r)
 	}
 	// One producer per shard: per-stream order stays sequential while the
-	// shards ingest fully in parallel.
+	// shards ingest fully in parallel. Even shards push through the handle,
+	// odd shards through the name-keyed path — same pipeline underneath.
 	var pushed atomic.Uint64
 	for i, n := range names {
 		producers.Add(1)
-		go func(name string, seed int64) {
+		go func(i int, name string, seed int64) {
 			defer producers.Done()
 			rng := rand.New(rand.NewSource(seed))
 			tm := int64(1000)
@@ -491,19 +564,25 @@ func TestEngineConcurrentShardsAndReaders(t *testing.T) {
 					tm += int64(rng.Intn(2))
 					batch[j] = Event{Coord: []int{rng.Intn(5), rng.Intn(4)}, Value: 1, Time: tm}
 				}
-				if err := e.PushBatch(name, batch); err != nil {
+				var err error
+				if i%2 == 0 {
+					err = handles[i].PushBatch(bg, batch)
+				} else {
+					err = e.PushBatch(bg, name, batch)
+				}
+				if err != nil {
 					t.Error(err)
 					return
 				}
 				pushed.Add(batchSz)
 			}
-		}(n, int64(200+i))
+		}(i, n, int64(200+i))
 	}
 	producers.Wait()
 	close(stop)
 	readers.Wait()
 
-	if err := e.FlushAll(); err != nil {
+	if err := e.FlushAll(bg); err != nil {
 		t.Fatal(err)
 	}
 	var total uint64
@@ -534,7 +613,7 @@ func BenchmarkEngineShards(b *testing.B) {
 				cfg := validStreamConfig()
 				cfg.MailboxCapacity = 1024
 				cfg.PublishEvery = 4096
-				if err := e.AddStream(names[i], cfg); err != nil {
+				if _, err := e.AddStream(names[i], cfg); err != nil {
 					b.Fatal(err)
 				}
 				fillAndStart(b, e, names[i], int64(i))
@@ -568,7 +647,7 @@ func BenchmarkEngineShards(b *testing.B) {
 				go func(name string, batches [][]Event) {
 					defer wg.Done()
 					for _, batch := range batches {
-						if err := e.PushBatch(name, batch); err != nil {
+						if err := e.PushBatch(bg, name, batch); err != nil {
 							b.Error(err)
 							return
 						}
@@ -576,7 +655,7 @@ func BenchmarkEngineShards(b *testing.B) {
 				}(names[i], all[i])
 			}
 			wg.Wait()
-			if err := e.FlushAll(); err != nil {
+			if err := e.FlushAll(bg); err != nil {
 				b.Fatal(err)
 			}
 			b.StopTimer()

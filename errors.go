@@ -1,0 +1,144 @@
+package slicenstitch
+
+import (
+	"errors"
+	"fmt"
+)
+
+// This file is the package's complete error taxonomy. Every error a
+// Tracker, SafeTracker, Engine, or Stream returns either IS one of the
+// sentinels below, WRAPS one (matchable with errors.Is), or is one of the
+// structured types (matchable with errors.As) — so callers branch on
+// values, never on error strings. The HTTP layer in cmd/snsserve maps the
+// same taxonomy onto its uniform JSON error envelope.
+var (
+	// ErrStreamNotFound reports a stream name with no registered stream.
+	ErrStreamNotFound = errors.New("slicenstitch: stream not found")
+
+	// ErrStreamStopped reports an operation on a stream that was removed
+	// (or whose engine shut down mid-operation) after the caller obtained
+	// its handle. Reads of the last published snapshot keep working on a
+	// stopped handle; ingestion and control operations return this.
+	ErrStreamStopped = errors.New("slicenstitch: stream stopped")
+
+	// ErrNotStarted reports a model read (Predict, Factors over HTTP)
+	// before the warm start brought the stream online.
+	ErrNotStarted = errors.New("slicenstitch: not started")
+
+	// ErrAlreadyStarted reports a second Start on the same tracker or
+	// stream.
+	ErrAlreadyStarted = errors.New("slicenstitch: already started")
+
+	// ErrBackpressure reports a full mailbox under BackpressureError.
+	ErrBackpressure = errors.New("slicenstitch: stream mailbox full")
+
+	// ErrStaleTimestamp reports an event or advance whose timestamp
+	// precedes the stream's current time. Tuples must arrive in
+	// chronological order.
+	ErrStaleTimestamp = errors.New("slicenstitch: timestamp precedes stream time")
+
+	// ErrObservedUnavailable reports that a deadline-bounded Observed
+	// read was shed because the stream's mailbox is full: bounded reads
+	// never queue behind a backlog or take the slots producers need.
+	// Treat the observation as unavailable rather than stale and retry
+	// later.
+	ErrObservedUnavailable = errors.New("slicenstitch: observation unavailable (stream backlogged)")
+
+	// ErrEngineClosed reports use of an engine after Close/Shutdown.
+	ErrEngineClosed = errors.New("slicenstitch: engine closed")
+)
+
+// ErrUnknownStream is the pre-v1 name for ErrStreamNotFound.
+//
+// Deprecated: match ErrStreamNotFound instead. The alias is kept for one
+// release so existing errors.Is checks keep working.
+var ErrUnknownStream = ErrStreamNotFound
+
+// CoordError reports an invalid coordinate or time-mode index: wrong
+// arity, an out-of-range categorical index, or an out-of-range time index.
+// It is returned (possibly wrapped in a *RejectError) by every validation
+// path — Push, PushBatch, Predict, Observed — and matchable with
+// errors.As.
+type CoordError struct {
+	// Mode is the offending categorical mode, or -1 for arity and
+	// time-index errors (see Time).
+	Mode int
+	// Time is true when the time-mode index was out of range.
+	Time bool
+	// Got is the offending index — or, for arity errors, the number of
+	// indices supplied.
+	Got int
+	// Limit is the exclusive valid bound: the mode size, the window
+	// length W for time indices, or the required arity.
+	Limit int
+}
+
+func (e *CoordError) Error() string {
+	switch {
+	case e.Time:
+		return fmt.Sprintf("slicenstitch: timeIdx %d out of range [0,%d)", e.Got, e.Limit)
+	case e.Mode < 0:
+		return fmt.Sprintf("slicenstitch: coord has %d indices, want %d", e.Got, e.Limit)
+	default:
+		return fmt.Sprintf("slicenstitch: coord[%d] = %d out of range [0,%d)", e.Mode, e.Got, e.Limit)
+	}
+}
+
+// RejectError reports one rejected event of a batch, carrying the event's
+// position so callers can retry or discard exactly the failed entries.
+// Tracker.PushBatch joins all rejections of a batch with errors.Join, so
+// errors.As finds the first and a type switch over
+// err.(interface{ Unwrap() []error }) walks them all.
+type RejectError struct {
+	// Index is the event's position in the batch passed to PushBatch.
+	Index int
+	// Err is the cause: a *CoordError or an ErrStaleTimestamp wrap.
+	Err error
+}
+
+func (e *RejectError) Error() string {
+	return fmt.Sprintf("slicenstitch: event %d rejected: %v", e.Index, e.Err)
+}
+
+// Unwrap exposes the cause to errors.Is/As.
+func (e *RejectError) Unwrap() error { return e.Err }
+
+// staleErr builds the standard chronological-order violation, wrapping
+// ErrStaleTimestamp with the concrete times.
+func staleErr(tm, now int64) error {
+	return fmt.Errorf("%w: %d < %d", ErrStaleTimestamp, tm, now)
+}
+
+// rejects collects the per-event failures of one batch. A nil slice joins
+// to a nil error, so the accept path pays nothing.
+type rejects []error
+
+func (r rejects) join() error { return errors.Join(r...) }
+
+// lastReject returns the most recent *RejectError inside a joined batch
+// error (or err itself when it is not a join) — the engine's snapshot
+// reports it as LastError so operators see the latest failure, not an
+// ever-growing join string.
+func lastReject(err error) error {
+	if err == nil {
+		return nil
+	}
+	if u, ok := err.(interface{ Unwrap() []error }); ok {
+		if errs := u.Unwrap(); len(errs) > 0 {
+			return errs[len(errs)-1]
+		}
+	}
+	return err
+}
+
+// countRejects returns how many individual rejections a PushBatch error
+// carries (1 for a bare error, 0 for nil).
+func countRejects(err error) int {
+	if err == nil {
+		return 0
+	}
+	if u, ok := err.(interface{ Unwrap() []error }); ok {
+		return len(u.Unwrap())
+	}
+	return 1
+}

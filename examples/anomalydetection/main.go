@@ -8,6 +8,7 @@
 package main
 
 import (
+	"errors"
 	"fmt"
 	"log"
 	"math"
@@ -118,10 +119,17 @@ func main() {
 		var coord []int
 		var v float64
 		t, coord, v = next(t)
-		// Planted anomaly due at or before this timestamp?
+		// Planted anomaly due at or before this timestamp? A replayed
+		// burst can land behind the stream clock; that rejection is a
+		// typed ErrStaleTimestamp, so it is skipped by value — never by
+		// matching the error text.
 		for at, c := range injectAt {
 			if at <= t {
 				if err := tr.Push(c, 12, at0(at, t)); err != nil {
+					if errors.Is(err, slicenstitch.ErrStaleTimestamp) {
+						delete(injectAt, at)
+						continue
+					}
 					log.Fatal(err)
 				}
 				observe(t, c, 12)

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"errors"
 	"fmt"
 	"log"
 	"math/rand"
@@ -68,9 +69,23 @@ func run(alg slicenstitch.Algorithm, theta int) (fitness float64, microsPerUpdat
 		log.Fatal(err)
 	}
 	start := time.Now()
+	// The online phase flows through PushBatch — one call per chunk, the
+	// engine's ingestion path. Rejected events (none in this clean sweep)
+	// would arrive as errors.Join-ed *RejectError values carrying their
+	// batch index, so a real pipeline can retry or drop exactly those.
+	const chunk = 512
+	batch := make([]slicenstitch.Event, 0, chunk)
 	for ; i < len(times); i++ {
-		if err := tr.Push(coords[i], 1, times[i]); err != nil {
-			log.Fatal(err)
+		batch = append(batch, slicenstitch.Event{Coord: coords[i], Value: 1, Time: times[i]})
+		if len(batch) == chunk || i == len(times)-1 {
+			if _, err := tr.PushBatch(batch); err != nil {
+				var rej *slicenstitch.RejectError
+				if errors.As(err, &rej) {
+					log.Fatalf("event %d of batch rejected: %v", rej.Index, rej.Err)
+				}
+				log.Fatal(err)
+			}
+			batch = batch[:0]
 		}
 	}
 	elapsed := time.Since(start)

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"errors"
 	"fmt"
 	"log"
 	"math/rand"
@@ -72,4 +73,15 @@ func main() {
 	// Factor matrices are available as plain slices.
 	f := tr.Factors()
 	fmt.Printf("factors: %d modes, rank %d\n", len(f.Matrices), len(f.Lambda))
+
+	// Every failure is a typed error: branch with errors.Is / errors.As
+	// instead of matching message text.
+	if err := tr.Push([]int{2, 4}, 1, t-120); errors.Is(err, slicenstitch.ErrStaleTimestamp) {
+		fmt.Println("out-of-order event rejected: tuples must arrive chronologically")
+	}
+	var coordErr *slicenstitch.CoordError
+	if err := tr.Push([]int{2, 99}, 1, t); errors.As(err, &coordErr) {
+		fmt.Printf("bad coordinate rejected: mode %d index %d exceeds size %d\n",
+			coordErr.Mode, coordErr.Got, coordErr.Limit)
+	}
 }

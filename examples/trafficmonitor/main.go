@@ -1,14 +1,18 @@
 // Trafficmonitor: a New-York-Taxi-style continuous monitoring loop — the
-// motivating workload of the paper's introduction. Trips arrive every few
-// seconds as (pickup zone, dropoff zone) pairs with a daily demand cycle;
-// the tracker maintains an hourly tensor window and the monitor reports
-// model quality and the strongest traffic patterns once per simulated hour,
-// while the factors themselves refresh on every trip.
+// motivating workload of the paper's introduction, built on the
+// handle-based client API. Trips arrive every few seconds as (pickup
+// zone, dropoff zone) pairs with a daily demand cycle; an engine shard
+// maintains an hourly tensor window behind a *slicenstitch.Stream
+// handle, hourly trip batches flow through Stream.PushBatch, and the
+// monitor reads model quality and the strongest traffic patterns from
+// the published snapshot once per simulated hour — no lock shared with
+// ingestion, no per-call registry lookup.
 //
 //	go run ./examples/trafficmonitor
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -50,14 +54,21 @@ func (c *city) trip() []int {
 }
 
 func main() {
-	tr, err := slicenstitch.New(slicenstitch.Config{
-		Dims:      []int{zones, zones},
-		W:         w,
-		Period:    period,
-		Rank:      rank,
-		Algorithm: slicenstitch.SNSRndPlus,
-		Theta:     20,
-		Seed:      3,
+	ctx := context.Background()
+	e := slicenstitch.NewEngine()
+	defer e.Close()
+	// AddStream returns the stream handle; every later call goes through
+	// it — the registry is never consulted again.
+	st, err := e.AddStream("taxi", slicenstitch.StreamConfig{
+		Config: slicenstitch.Config{
+			Dims:      []int{zones, zones},
+			W:         w,
+			Period:    period,
+			Rank:      rank,
+			Algorithm: slicenstitch.SNSRndPlus,
+			Theta:     20,
+			Seed:      3,
+		},
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -65,42 +76,59 @@ func main() {
 
 	c := newCity(11)
 	t := int64(0)
-
-	// Warm-up: fill the 6-hour window, then ALS.
-	for t < w*period {
-		t += c.nextGap(t)
-		if err := tr.Push(c.trip(), 1, t); err != nil {
+	batch := make([]slicenstitch.Event, 0, 4096)
+	flush := func() {
+		// The engine takes ownership of the pushed slice, so hand it a
+		// copy and reuse the buffer.
+		if len(batch) == 0 {
+			return
+		}
+		if err := st.PushBatch(ctx, append([]slicenstitch.Event(nil), batch...)); err != nil {
 			log.Fatal(err)
 		}
+		batch = batch[:0]
 	}
-	if err := tr.Start(); err != nil {
+
+	// Warm-up: fill the 6-hour window, then ALS. Start waits for every
+	// batch queued before it, so no explicit barrier is needed.
+	for t < w*period {
+		t += c.nextGap(t)
+		batch = append(batch, slicenstitch.Event{Coord: c.trip(), Value: 1, Time: t})
+	}
+	flush()
+	if err := st.Start(ctx); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("online after warm-up: fitness %.3f, window nnz %d\n\n", tr.Fitness(), tr.NNZ())
+	snap := st.Snapshot()
+	fmt.Printf("online after warm-up: fitness %.3f, window nnz %d\n\n", snap.Fitness, snap.NNZ)
 	fmt.Printf("%-6s %-10s %-10s %-12s %s\n", "hour", "fitness", "nnz", "events", "top pattern (pickup→dropoff strength)")
 
 	horizon := t + hours*period
 	nextReport := t + period
 	for t < horizon {
 		t += c.nextGap(t)
-		if err := tr.Push(c.trip(), 1, t); err != nil {
-			log.Fatal(err)
-		}
+		batch = append(batch, slicenstitch.Event{Coord: c.trip(), Value: 1, Time: t})
 		if t >= nextReport {
+			// Flush applies the hour's batch and publishes a fresh
+			// snapshot, so the report reads exact counters and factors.
+			flush()
+			if err := st.Flush(ctx); err != nil {
+				log.Fatal(err)
+			}
+			snap := st.Snapshot()
 			hour := nextReport / period
-			pick, drop, strength := topPattern(tr)
+			pick, drop, strength := topPattern(snap.Factors)
 			fmt.Printf("%-6d %-10.3f %-10d %-12d %d→%d (%.2f)\n",
-				hour, tr.Fitness(), tr.NNZ(), tr.Events(), pick, drop, strength)
+				hour, snap.Fitness, snap.NNZ, snap.Events, pick, drop, strength)
 			nextReport += period
 		}
 	}
 }
 
-// topPattern inspects the factor matrices: the dominant rank-1 component's
-// strongest pickup and dropoff zones, a direct read of what CP
-// decomposition "means" on traffic data.
-func topPattern(tr *slicenstitch.Tracker) (pickup, dropoff int, strength float64) {
-	f := tr.Factors()
+// topPattern inspects a published factor snapshot: the dominant rank-1
+// component's strongest pickup and dropoff zones, a direct read of what
+// CP decomposition "means" on traffic data.
+func topPattern(f *slicenstitch.Factors) (pickup, dropoff int, strength float64) {
 	// Rank components by the product of their factor column norms.
 	r := len(f.Lambda)
 	norms := make([]float64, r)

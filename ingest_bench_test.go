@@ -3,10 +3,12 @@
 // BenchmarkIngestHotPath measures the steady-state public Tracker path
 // (validation + window maintenance + SNS-Rnd+ factor update per event);
 // BenchmarkEnginePushBatch measures the same events flowing through the
-// multi-stream engine's mailbox and shard writer in batches. Both must
-// report 0 allocs/op under -benchmem; CI gates on a >20% allocs/op
-// regression versus the committed BENCH_ingest.json baseline (see
-// cmd/snsbench).
+// multi-stream engine's mailbox and shard writer in batches.
+// BenchmarkStreamHandlePush vs BenchmarkEnginePushByName isolate the
+// client-side enqueue cost of the pinned *Stream handle against the
+// name-keyed lookup path. All must report 0 allocs/op under -benchmem;
+// CI gates on a >20% allocs/op regression versus the committed
+// BENCH_ingest.json baseline (see cmd/snsbench).
 package slicenstitch
 
 import (
@@ -58,23 +60,22 @@ func BenchmarkIngestHotPath(b *testing.B) {
 	}
 }
 
-// BenchmarkEnginePushBatch: one op = one event ingested through the
-// engine's batched path (mailbox → shard writer → Tracker.PushBatch).
-// Publishing is effectively disabled so the measurement isolates the
-// ingest pipeline from the amortized snapshot/fitness cost.
-func BenchmarkEnginePushBatch(b *testing.B) {
-	const (
-		batchSize = 256
-		nBatches  = 128 // rotating pool; far exceeds the mailbox capacity
-	)
+// benchEngine builds a started single-stream engine plus a rotating pool
+// of pre-sized batches, shared by the engine-side ingest benchmarks. The
+// returned fill func writes the next batch into the pool slot j and
+// returns it; a slot is reused only long after the writer consumed it
+// (pool ≫ mailbox capacity).
+func benchEngine(b *testing.B, batchSize, nBatches int) (*Engine, *Stream, func(j int) []Event) {
+	b.Helper()
 	e := NewEngine()
-	defer e.Close()
+	b.Cleanup(func() { e.Close() })
 	cfg := StreamConfig{
 		Config:          Config{Dims: []int{64, 64}, W: 8, Period: 16, Rank: 8, Theta: 8, Seed: 1, ALSIters: 2},
 		MailboxCapacity: 32,
 		PublishEvery:    1 << 30,
 	}
-	if err := e.AddStream("bench", cfg); err != nil {
+	st, err := e.AddStream("bench", cfg)
+	if err != nil {
 		b.Fatal(err)
 	}
 	coords := benchCoords(512, 64, 64)
@@ -84,8 +85,6 @@ func BenchmarkEnginePushBatch(b *testing.B) {
 	}
 	tm := int64(0)
 	i := 0
-	// fill builds the next batch in the rotating pool. A slot is reused
-	// only after the writer has long consumed it (pool ≫ mailbox cap).
 	fill := func(j int) []Event {
 		bt := batches[j%nBatches]
 		for k := range bt {
@@ -99,34 +98,112 @@ func BenchmarkEnginePushBatch(b *testing.B) {
 	}
 	j := 0
 	for i < 8*16*4 {
-		if err := e.PushBatch("bench", fill(j)); err != nil {
+		if err := st.PushBatch(bg, fill(j)); err != nil {
 			b.Fatal(err)
 		}
 		j++
 	}
-	if err := e.Start("bench"); err != nil {
+	if err := st.Start(bg); err != nil {
 		b.Fatal(err)
 	}
 	for k := 0; k < 16; k++ { // settle capacities
-		if err := e.PushBatch("bench", fill(j)); err != nil {
+		if err := st.PushBatch(bg, fill(j)); err != nil {
 			b.Fatal(err)
 		}
 		j++
 	}
-	if err := e.Flush("bench"); err != nil {
+	if err := st.Flush(bg); err != nil {
 		b.Fatal(err)
 	}
+	// Continue the rotating pool where the warm-up left off.
+	next := j
+	return e, st, func(int) []Event { n := next; next++; return fill(n) }
+}
+
+// BenchmarkEnginePushBatch: one op = one event ingested through the
+// engine's batched path (mailbox → shard writer → Tracker.PushBatch).
+// Publishing is effectively disabled so the measurement isolates the
+// ingest pipeline from the amortized snapshot/fitness cost.
+func BenchmarkEnginePushBatch(b *testing.B) {
+	const batchSize = 256
+	e, _, fill := benchEngine(b, batchSize, 128)
 	b.ReportAllocs()
 	b.ResetTimer()
 	pushed := 0
 	for pushed < b.N {
-		if err := e.PushBatch("bench", fill(j)); err != nil {
+		if err := e.PushBatch(bg, "bench", fill(0)); err != nil {
 			b.Fatal(err)
 		}
-		j++
 		pushed += batchSize
 	}
-	if err := e.Flush("bench"); err != nil {
+	if err := e.Flush(bg, "bench"); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// benchClientSide builds an engine whose stream sheds load (DropOldest,
+// single-event batches) so the caller never blocks on the shard writer:
+// what the benchmark times is purely the client-side submit path —
+// registry lookup (or not), message construction, mailbox put. That is
+// the cost the *Stream handle redesign targets, and it would be invisible
+// behind the ~100µs/event factor update the writer performs.
+func benchClientSide(b *testing.B) (*Engine, *Stream, [][]Event) {
+	b.Helper()
+	e := NewEngine()
+	b.Cleanup(func() { e.Close() })
+	cfg := StreamConfig{
+		Config:          Config{Dims: []int{64, 64}, W: 8, Period: 16, Rank: 8, Theta: 8, Seed: 1, ALSIters: 2},
+		MailboxCapacity: 64,
+		Backpressure:    BackpressureDropOldest,
+		PublishEvery:    1 << 30,
+	}
+	st, err := e.AddStream("bench", cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	coords := benchCoords(512, 64, 64)
+	// A large rotating pool of single-event batches, all at time 0 so the
+	// writer's work per event is minimal and order-free under eviction.
+	pool := make([][]Event, 4096)
+	for j := range pool {
+		pool[j] = []Event{{Coord: coords[j%len(coords)], Value: 1, Time: 0}}
+	}
+	return e, st, pool
+}
+
+// BenchmarkStreamHandlePush: one op = one single-event PushBatch through
+// a pinned *Stream handle — zero per-call registry lookups. Compare
+// against BenchmarkEnginePushByName, which pays the read-locked map
+// lookup on every call; the delta is the lookup cost the handle
+// amortizes away.
+func BenchmarkStreamHandlePush(b *testing.B) {
+	_, st, pool := benchClientSide(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		if err := st.PushBatch(bg, pool[n%len(pool)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if err := st.Flush(bg); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkEnginePushByName: the same workload as
+// BenchmarkStreamHandlePush through the name-keyed convenience path.
+func BenchmarkEnginePushByName(b *testing.B) {
+	e, _, pool := benchClientSide(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		if err := e.PushBatch(bg, "bench", pool[n%len(pool)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if err := e.Flush(bg, "bench"); err != nil {
 		b.Fatal(err)
 	}
 }

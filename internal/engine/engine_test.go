@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"sync"
 	"testing"
 	"time"
@@ -154,5 +155,97 @@ func TestLoopDrainsThenFinalizes(t *testing.T) {
 		if v != i {
 			t.Fatalf("out of order: %v", got)
 		}
+	}
+}
+
+func TestMailboxPutCtxCancellation(t *testing.T) {
+	mb := NewMailbox[int](1, Block, nil)
+	mb.Put(0)
+
+	// A blocked put unblocks with the context's error on cancellation.
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- mb.PutCtx(ctx, 1) }()
+	time.Sleep(10 * time.Millisecond)
+	select {
+	case err := <-done:
+		t.Fatalf("put returned early: %v", err)
+	default:
+	}
+	cancel()
+	if err := <-done; err != context.Canceled {
+		t.Fatalf("cancelled put = %v, want context.Canceled", err)
+	}
+
+	// An already-cancelled context fails fast even with space available.
+	if v, ok := mb.Get(); !ok || v != 0 {
+		t.Fatalf("Get = %d,%v", v, ok)
+	}
+	if err := mb.PutCtx(ctx, 2); err != context.Canceled {
+		t.Fatalf("pre-cancelled put = %v, want context.Canceled", err)
+	}
+	// A live context still gets through, and Background costs nothing.
+	if err := mb.PutCtx(context.Background(), 3); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := mb.Get(); !ok || v != 3 {
+		t.Fatalf("Get = %d,%v want 3", v, ok)
+	}
+}
+
+func TestMailboxPutCtxDeadline(t *testing.T) {
+	mb := NewMailbox[int](1, Block, nil)
+	mb.Put(0)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := mb.PutCtx(ctx, 1)
+	if err != context.DeadlineExceeded {
+		t.Fatalf("expired put = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("expired put took %v", elapsed)
+	}
+	// The mailbox still works for other producers afterwards.
+	if v, ok := mb.Get(); !ok || v != 0 {
+		t.Fatalf("Get = %d,%v", v, ok)
+	}
+	if err := mb.Put(2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMailboxPutBlockingCtxOnFullErrorPolicy(t *testing.T) {
+	// PutBlockingCtx must wait (not ErrFull) under the Error policy, and
+	// honor cancellation while waiting.
+	mb := NewMailbox[int](1, Error, nil)
+	mb.Put(0)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := mb.PutBlockingCtx(ctx, 1); err != context.DeadlineExceeded {
+		t.Fatalf("blocking put under Error policy = %v, want context.DeadlineExceeded", err)
+	}
+	// Plain PutCtx under Error still fails fast with ErrFull.
+	if err := mb.PutCtx(context.Background(), 1); err != ErrFull {
+		t.Fatalf("PutCtx under Error = %v, want ErrFull", err)
+	}
+}
+
+func TestMailboxClosed(t *testing.T) {
+	mb := NewMailbox[int](1, Block, nil)
+	if mb.Closed() {
+		t.Fatal("fresh mailbox reports closed")
+	}
+	mb.Put(7)
+	mb.Close()
+	if !mb.Closed() {
+		t.Fatal("closed mailbox reports open")
+	}
+	if err := mb.PutCtx(context.Background(), 1); err != ErrClosed {
+		t.Fatalf("put after close = %v, want ErrClosed", err)
+	}
+	// Queued messages still drain.
+	if v, ok := mb.Get(); !ok || v != 7 {
+		t.Fatalf("Get = %d,%v", v, ok)
 	}
 }

@@ -6,6 +6,7 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"sync"
 )
@@ -78,12 +79,21 @@ func NewMailbox[T any](capacity int, policy Policy, droppable func(T) bool) *Mai
 }
 
 // Put enqueues v, applying the configured backpressure policy when full.
-func (m *Mailbox[T]) Put(v T) error { return m.put(v, m.policy) }
+func (m *Mailbox[T]) Put(v T) error { return m.put(context.Background(), v, m.policy) }
+
+// PutCtx is Put with cancellation: a put blocked on a full mailbox
+// (under Block, or under DropOldest with nothing droppable) returns
+// ctx.Err() when the context is cancelled. A context that cannot be
+// cancelled costs nothing over Put.
+func (m *Mailbox[T]) PutCtx(ctx context.Context, v T) error { return m.put(ctx, v, m.policy) }
 
 // PutBlocking enqueues v with Block semantics regardless of the
 // configured policy. Control messages use it so a loaded mailbox under
 // Error or DropOldest still accepts (and eventually answers) them.
-func (m *Mailbox[T]) PutBlocking(v T) error { return m.put(v, Block) }
+func (m *Mailbox[T]) PutBlocking(v T) error { return m.put(context.Background(), v, Block) }
+
+// PutBlockingCtx is PutBlocking with cancellation (see PutCtx).
+func (m *Mailbox[T]) PutBlockingCtx(ctx context.Context, v T) error { return m.put(ctx, v, Block) }
 
 // TryPut enqueues v only when the put would leave at least spare slots
 // free, failing fast with ErrFull otherwise regardless of the configured
@@ -106,12 +116,25 @@ func (m *Mailbox[T]) TryPut(v T, spare int) error {
 	return nil
 }
 
-func (m *Mailbox[T]) put(v T, policy Policy) error {
+func (m *Mailbox[T]) put(ctx context.Context, v T, policy Policy) error {
+	cancellable := ctx.Done() != nil
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	// An already-cancelled context fails fast even when the mailbox has
+	// space, so callers get uniform semantics regardless of load.
+	if cancellable {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
 	for m.n == len(m.buf) {
 		if m.closed {
 			return ErrClosed
+		}
+		if cancellable {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 		}
 		switch policy {
 		case Error:
@@ -122,7 +145,13 @@ func (m *Mailbox[T]) put(v T, policy Policy) error {
 			}
 			fallthrough // nothing droppable: wait like Block
 		default:
-			m.notFull.Wait()
+			if cancellable {
+				// The watcher closures live in the helper so the
+				// non-blocking fast path stays allocation-free.
+				m.waitNotFullCancellable(ctx)
+			} else {
+				m.notFull.Wait()
+			}
 		}
 	}
 	if m.closed {
@@ -132,6 +161,27 @@ func (m *Mailbox[T]) put(v T, policy Policy) error {
 	m.n++
 	m.notEmpty.Signal()
 	return nil
+}
+
+// waitNotFullCancellable is one cancellation-aware wait on notFull: a
+// watcher goroutine wakes every waiter when ctx fires, and the caller's
+// put loop sorts out whose context it was via ctx.Err(). Broadcast takes
+// the mutex, so a wake-up cannot slip between the caller's Err check and
+// its Wait. Called with m.mu held; allocates only on this blocked slow
+// path.
+func (m *Mailbox[T]) waitNotFullCancellable(ctx context.Context) {
+	stop := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+			m.mu.Lock()
+			m.notFull.Broadcast()
+			m.mu.Unlock()
+		case <-stop:
+		}
+	}()
+	m.notFull.Wait()
+	close(stop)
 }
 
 // evictOldestLocked removes the oldest droppable message, reporting
@@ -187,6 +237,14 @@ func (m *Mailbox[T]) Len() int {
 
 // Cap returns the configured capacity.
 func (m *Mailbox[T]) Cap() int { return len(m.buf) }
+
+// Closed reports whether Close has been called. A closed mailbox still
+// drains for its consumer, but producers are rejected.
+func (m *Mailbox[T]) Closed() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.closed
+}
 
 // Dropped returns how many messages DropOldest has evicted.
 func (m *Mailbox[T]) Dropped() uint64 {

@@ -116,6 +116,19 @@ func (s *SafeTracker) Push(coord []int, value float64, tm int64) error {
 	return err
 }
 
+// PushBatch forwards to Tracker.PushBatch under the write lock. Like the
+// Tracker form it returns the number of applied events plus an
+// errors.Join of per-index *RejectError values; the whole batch counts as
+// one write toward the publish interval (it is applied atomically with
+// respect to readers of the live window anyway).
+func (s *SafeTracker) PushBatch(events []Event) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	applied, err := s.tr.PushBatch(events)
+	s.afterWriteLocked()
+	return applied, err
+}
+
 // AdvanceTo forwards to Tracker.AdvanceTo under the write lock,
 // republishing once per publish interval.
 func (s *SafeTracker) AdvanceTo(tm int64) error {
@@ -165,7 +178,7 @@ func (s *SafeTracker) Fitness() float64 { return s.pub.Load().fitness }
 func (s *SafeTracker) Predict(coord []int, timeIdx int) (float64, error) {
 	snap := s.pub.Load()
 	if snap.factors == nil {
-		return 0, errPredictBeforeStart
+		return 0, ErrNotStarted
 	}
 	if err := s.tr.checkIndex(coord, timeIdx); err != nil {
 		return 0, err

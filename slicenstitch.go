@@ -191,11 +191,11 @@ func New(cfg Config) (*Tracker, error) {
 // checkCoord validates a categorical coordinate against the configuration.
 func (t *Tracker) checkCoord(coord []int) error {
 	if len(coord) != len(t.cfg.Dims) {
-		return fmt.Errorf("slicenstitch: coord has %d indices, want %d", len(coord), len(t.cfg.Dims))
+		return &CoordError{Mode: -1, Got: len(coord), Limit: len(t.cfg.Dims)}
 	}
 	for m, i := range coord {
 		if i < 0 || i >= t.cfg.Dims[m] {
-			return fmt.Errorf("slicenstitch: coord[%d] = %d out of range [0,%d)", m, i, t.cfg.Dims[m])
+			return &CoordError{Mode: m, Got: i, Limit: t.cfg.Dims[m]}
 		}
 	}
 	return nil
@@ -209,7 +209,7 @@ func (t *Tracker) pushOne(coord []int, value float64, tm int64) error {
 		return err
 	}
 	if tm < t.win.Now() {
-		return fmt.Errorf("slicenstitch: timestamp %d precedes stream time %d", tm, t.win.Now())
+		return staleErr(tm, t.win.Now())
 	}
 	t.win.AdvanceTo(tm, t.apply)
 	if ch, ok := t.win.Ingest(stream.Tuple{Coord: coord, Value: value, Time: tm}); ok && t.apply != nil {
@@ -235,19 +235,22 @@ func (t *Tracker) Push(coord []int, value float64, tm int64) error {
 // Push calls would — the batch and event-at-a-time paths are equivalence-
 // tested to produce bit-identical window and factor state. Events that fail
 // validation (arity, range, time regression) are skipped; applied is the
-// number accepted and lastErr the most recent rejection (nil when all
-// events were accepted). This is the engine shard writer's ingestion path:
-// one call per mailbox batch instead of one per event.
-func (t *Tracker) PushBatch(events []Event) (applied int, lastErr error) {
+// number accepted and err joins one *RejectError per rejected event
+// (errors.Join), each carrying the event's batch index and the underlying
+// cause — nil when every event was accepted, so the accept path allocates
+// nothing. This is the engine shard writer's ingestion path: one call per
+// mailbox batch instead of one per event.
+func (t *Tracker) PushBatch(events []Event) (applied int, err error) {
+	var rej rejects
 	for i := range events {
 		ev := &events[i]
-		if err := t.pushOne(ev.Coord, ev.Value, ev.Time); err != nil {
-			lastErr = err
+		if perr := t.pushOne(ev.Coord, ev.Value, ev.Time); perr != nil {
+			rej = append(rej, &RejectError{Index: i, Err: perr})
 			continue
 		}
 		applied++
 	}
-	return applied, lastErr
+	return applied, rej.join()
 }
 
 // AdvanceTo moves stream time forward without a new tuple, processing any
@@ -255,7 +258,7 @@ func (t *Tracker) PushBatch(events []Event) (applied int, lastErr error) {
 // each).
 func (t *Tracker) AdvanceTo(tm int64) error {
 	if tm < t.win.Now() {
-		return fmt.Errorf("slicenstitch: timestamp %d precedes stream time %d", tm, t.win.Now())
+		return staleErr(tm, t.win.Now())
 	}
 	t.win.AdvanceTo(tm, t.apply)
 	return nil
@@ -266,7 +269,7 @@ func (t *Tracker) AdvanceTo(tm int64) error {
 // error to call it twice.
 func (t *Tracker) Start() error {
 	if t.started {
-		return errors.New("slicenstitch: Start called twice")
+		return ErrAlreadyStarted
 	}
 	init := als.Run(t.win.X(), als.Options{Rank: t.cfg.Rank, MaxIters: t.cfg.ALSIters, Seed: t.cfg.Seed})
 	switch t.cfg.Algorithm {
@@ -320,22 +323,20 @@ func (t *Tracker) Events() uint64 { return t.events }
 // NNZ returns the number of nonzero entries in the current tensor window.
 func (t *Tracker) NNZ() int { return t.win.X().NNZ() }
 
-var errPredictBeforeStart = errors.New("slicenstitch: Predict before Start")
-
 // checkIndex validates categorical coordinates and a time-mode index
 // against mode sizes dims and window length w. Shared by every predict
 // path (Tracker, SafeTracker, Engine).
 func checkIndex(dims []int, w int, coord []int, timeIdx int) error {
 	if len(coord) != len(dims) {
-		return fmt.Errorf("slicenstitch: coord has %d indices, want %d", len(coord), len(dims))
+		return &CoordError{Mode: -1, Got: len(coord), Limit: len(dims)}
 	}
 	for m, i := range coord {
 		if i < 0 || i >= dims[m] {
-			return fmt.Errorf("slicenstitch: coord[%d] = %d out of range [0,%d)", m, i, dims[m])
+			return &CoordError{Mode: m, Got: i, Limit: dims[m]}
 		}
 	}
 	if timeIdx < 0 || timeIdx >= w {
-		return fmt.Errorf("slicenstitch: timeIdx %d out of range [0,%d)", timeIdx, w)
+		return &CoordError{Mode: -1, Time: true, Got: timeIdx, Limit: w}
 	}
 	return nil
 }
@@ -359,7 +360,7 @@ func (t *Tracker) fullIndex(coord []int, timeIdx int) []int {
 // time-mode index in [0, W): W−1 is the newest (current) tensor unit.
 func (t *Tracker) Predict(coord []int, timeIdx int) (float64, error) {
 	if !t.started {
-		return 0, errPredictBeforeStart
+		return 0, ErrNotStarted
 	}
 	if err := t.checkIndex(coord, timeIdx); err != nil {
 		return 0, err
