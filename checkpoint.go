@@ -23,18 +23,30 @@ type checkpointHeader struct {
 }
 
 // checkpointVersion is bumped on incompatible format changes.
-const checkpointVersion = 1
+//
+// Version history:
+//
+//	1 — config + window + factor model. Restore recomputes Gram matrices
+//	    from the factors and restarts the sampler from the seed, so a
+//	    resumed run matches an uninterrupted one only to round-off.
+//	2 — additionally carries the decomposer's auxiliary state (live Gram
+//	    matrices, sampler draw position, current θ), making restore exact:
+//	    a restored tracker continues bit-identically to the uninterrupted
+//	    one. This is the property WAL crash recovery is built on.
+const checkpointVersion = 2
 
 // Checkpoint serializes the tracker — configuration, tensor window with
-// its pending schedule, and (once started) the factor model — so tracking
-// can resume after a restart with Restore.
+// its pending schedule, and (once started) the factor model plus the
+// decomposer's auxiliary state — so tracking can resume after a restart
+// with Restore.
 //
-// The restored tracker continues from the exact window and factor state,
-// with Gram matrices recomputed from the factors (the live tracker
-// maintains them incrementally, so a resumed run matches an uninterrupted
-// one to floating-point round-off rather than bit-for-bit). The sampling
-// variants (SNSRnd, SNSRndPlus) additionally restart their sampler from
-// the configured seed.
+// The restored tracker continues bit-identically to an uninterrupted one:
+// the incrementally maintained Gram matrices and the sampler's exact draw
+// position travel in the checkpoint (format version 2), so subsequent
+// identical inputs produce identical factors down to the last bit. The
+// only exception is the auto-θ controller (Config.LatencyBudget > 0),
+// whose adaptation depends on wall-clock measurements; its current θ is
+// carried over but its timing counters restart.
 func (t *Tracker) Checkpoint(w io.Writer) error {
 	enc := gob.NewEncoder(w)
 	if err := enc.Encode(checkpointHeader{
@@ -52,18 +64,25 @@ func (t *Tracker) Checkpoint(w io.Writer) error {
 		if err := t.dec.Model().Encode(w); err != nil {
 			return fmt.Errorf("slicenstitch: checkpoint model: %w", err)
 		}
+		aux := core.CaptureAux(t.dec)
+		if err := gob.NewEncoder(w).Encode(aux); err != nil {
+			return fmt.Errorf("slicenstitch: checkpoint aux state: %w", err)
+		}
 	}
 	return nil
 }
 
-// Restore rebuilds a tracker from a Checkpoint stream.
+// Restore rebuilds a tracker from a Checkpoint stream. Version-2
+// checkpoints restore the exact decomposer state (see Checkpoint);
+// version-1 checkpoints are still readable, with Gram matrices recomputed
+// from the factors and the sampler restarted from the configured seed.
 func Restore(r io.Reader) (*Tracker, error) {
 	dec := gob.NewDecoder(r)
 	var h checkpointHeader
 	if err := dec.Decode(&h); err != nil {
 		return nil, fmt.Errorf("slicenstitch: restore header: %w", err)
 	}
-	if h.Version != checkpointVersion {
+	if h.Version != 1 && h.Version != checkpointVersion {
 		return nil, fmt.Errorf("slicenstitch: unsupported checkpoint version %d", h.Version)
 	}
 	if err := h.Config.validate(); err != nil {
@@ -84,11 +103,22 @@ func Restore(r io.Reader) (*Tracker, error) {
 	if err := t.adopt(model); err != nil {
 		return nil, err
 	}
+	if h.Version >= 2 {
+		var aux core.Aux
+		if err := gob.NewDecoder(r).Decode(&aux); err != nil {
+			return nil, fmt.Errorf("slicenstitch: restore aux state: %w", err)
+		}
+		if err := core.RestoreAux(t.dec, aux); err != nil {
+			return nil, fmt.Errorf("slicenstitch: restore aux state: %w", err)
+		}
+	}
 	return t, nil
 }
 
-// adopt installs a model as the live decomposition state (Gram matrices
-// are recomputed from the factors).
+// adopt installs a model as the live decomposition state. The caller
+// overlays the exact auxiliary state afterwards when the checkpoint
+// carries it; until then the Gram matrices are the factor-derived
+// recompute the constructors produce.
 func (t *Tracker) adopt(model *cpd.Model) error {
 	want := append(append([]int{}, t.cfg.Dims...), t.cfg.W)
 	got := model.Shape()
@@ -100,22 +130,8 @@ func (t *Tracker) adopt(model *cpd.Model) error {
 			return fmt.Errorf("slicenstitch: checkpoint model mode %d size %d != config %d", i, got[i], want[i])
 		}
 	}
-	switch t.cfg.Algorithm {
-	case SNSMat:
-		t.dec = core.NewSNSMat(t.win, model)
-	case SNSVec:
-		t.dec = core.NewSNSVec(t.win, model)
-	case SNSRnd:
-		t.dec = core.NewSNSRnd(t.win, model, t.cfg.Theta, t.cfg.Seed)
-	case SNSVecPlus:
-		dec := core.NewSNSVecPlus(t.win, model, t.cfg.Eta)
-		dec.NonNegative = t.cfg.NonNegative
-		t.dec = dec
-	case SNSRndPlus:
-		dec := core.NewSNSRndPlus(t.win, model, t.cfg.Theta, t.cfg.Eta, t.cfg.Seed)
-		dec.NonNegative = t.cfg.NonNegative
-		t.dec = dec
-	default:
+	t.dec = t.newDecomposer(model)
+	if t.dec == nil {
 		return fmt.Errorf("slicenstitch: unknown algorithm %q", t.cfg.Algorithm)
 	}
 	t.goOnline()
@@ -123,7 +139,12 @@ func (t *Tracker) adopt(model *cpd.Model) error {
 }
 
 // engineCheckpointVersion is bumped on incompatible engine-format changes.
-const engineCheckpointVersion = 1
+//
+//	1 — header + raw per-stream tracker blobs.
+//	2 — per-stream blobs carry the shard's WAL position (LSN) at capture,
+//	    and the embedded tracker checkpoints are format version 2 (exact
+//	    decomposer state).
+const engineCheckpointVersion = 2
 
 // engineStreamMeta records one shard's serving configuration; the tracker
 // Config travels inside the per-stream tracker checkpoint.
@@ -138,6 +159,16 @@ type engineStreamMeta struct {
 type engineHeader struct {
 	Version int
 	Streams []engineStreamMeta
+}
+
+// engineStreamBlob is one shard's captured state: the tracker checkpoint
+// bytes plus the shard's WAL position at the instant of capture. LSN is
+// the next log sequence number the shard would append (zero when the
+// engine runs without durability), so a checkpoint stamped LSN=n contains
+// exactly the effects of WAL records [0, n).
+type engineStreamBlob struct {
+	LSN  uint64
+	Data []byte
 }
 
 // Checkpoint serializes every stream of the engine so serving can resume
@@ -175,10 +206,11 @@ func (e *Engine) Checkpoint(ctx context.Context, w io.Writer) error {
 			return fmt.Errorf("slicenstitch: checkpoint stream %q: %w", name, err)
 		}
 		var buf bytes.Buffer
-		if err := s.control(ctx, shardMsg{op: opCheckpoint, w: &buf}); err != nil {
+		var lsn uint64
+		if err := s.control(ctx, shardMsg{op: opCheckpoint, w: &buf, lsn: &lsn}); err != nil {
 			return fmt.Errorf("slicenstitch: checkpoint stream %q: %w", name, err)
 		}
-		if err := enc.Encode(buf.Bytes()); err != nil {
+		if err := enc.Encode(engineStreamBlob{LSN: lsn, Data: buf.Bytes()}); err != nil {
 			return fmt.Errorf("slicenstitch: engine checkpoint stream %q: %w", name, err)
 		}
 	}
@@ -188,14 +220,16 @@ func (e *Engine) Checkpoint(ctx context.Context, w io.Writer) error {
 // RestoreEngine rebuilds a running engine — every stream with its tracker
 // state, mailbox sizing, and backpressure policy — from a Checkpoint
 // stream. Restored shards resume exactly where their checkpoint left off
-// and publish an initial snapshot immediately.
+// and publish an initial snapshot immediately. Version-1 checkpoints
+// (written before the LSN-stamped format) are still readable, like their
+// embedded version-1 tracker blobs.
 func RestoreEngine(r io.Reader) (*Engine, error) {
 	dec := gob.NewDecoder(r)
 	var h engineHeader
 	if err := dec.Decode(&h); err != nil {
 		return nil, fmt.Errorf("slicenstitch: restore engine header: %w", err)
 	}
-	if h.Version != engineCheckpointVersion {
+	if h.Version != 1 && h.Version != engineCheckpointVersion {
 		return nil, fmt.Errorf("slicenstitch: unsupported engine checkpoint version %d", h.Version)
 	}
 	e := NewEngine()
@@ -208,11 +242,16 @@ func RestoreEngine(r io.Reader) (*Engine, error) {
 		}
 	}()
 	for _, meta := range h.Streams {
-		var blob []byte
-		if err := dec.Decode(&blob); err != nil {
+		var blob engineStreamBlob
+		if h.Version == 1 {
+			// v1 wrote bare tracker blobs with no LSN stamp.
+			if err := dec.Decode(&blob.Data); err != nil {
+				return nil, fmt.Errorf("slicenstitch: restore stream %q: %w", meta.Name, err)
+			}
+		} else if err := dec.Decode(&blob); err != nil {
 			return nil, fmt.Errorf("slicenstitch: restore stream %q: %w", meta.Name, err)
 		}
-		tr, err := Restore(bytes.NewReader(blob))
+		tr, err := Restore(bytes.NewReader(blob.Data))
 		if err != nil {
 			return nil, fmt.Errorf("slicenstitch: restore stream %q: %w", meta.Name, err)
 		}
@@ -225,7 +264,7 @@ func RestoreEngine(r io.Reader) (*Engine, error) {
 		if err := cfg.validate(); err != nil {
 			return nil, fmt.Errorf("slicenstitch: restore stream %q: %w", meta.Name, err)
 		}
-		if _, err := e.addShard(meta.Name, cfg, tr); err != nil {
+		if _, err := e.addShard(meta.Name, cfg, tr, nil); err != nil {
 			return nil, err
 		}
 	}

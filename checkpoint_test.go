@@ -2,7 +2,6 @@ package slicenstitch
 
 import (
 	"bytes"
-	"math"
 	"math/rand"
 	"testing"
 )
@@ -30,13 +29,19 @@ func TestCheckpointBeforeStart(t *testing.T) {
 	}
 }
 
-// A deterministic variant (SNSVecPlus) must resume equivalently up to
-// floating-point round-off (the restored Grams are recomputed rather than
-// carried incrementally): checkpoint mid-stream, restore, continue both
-// trackers with identical input, and compare factors.
+// Restore must be exact (checkpoint format v2 carries the live Gram
+// matrices and sampler state): checkpoint mid-stream, restore, continue
+// both trackers with identical input, and the factors stay bit-identical
+// — for the deterministic variant and the sampled default alike.
 func TestCheckpointResumeBitExact(t *testing.T) {
+	for _, alg := range []Algorithm{SNSVecPlus, SNSRndPlus} {
+		t.Run(string(alg), func(t *testing.T) { testResumeBitExact(t, alg) })
+	}
+}
+
+func testResumeBitExact(t *testing.T, alg Algorithm) {
 	cfg := validConfig()
-	cfg.Algorithm = SNSVecPlus
+	cfg.Algorithm = alg
 	tr, _ := New(cfg)
 	last := fill(t, tr, 50, 2)
 	if err := tr.Start(); err != nil {
@@ -80,14 +85,21 @@ func TestCheckpointResumeBitExact(t *testing.T) {
 		for i := range fa.Matrices[m] {
 			for k := range fa.Matrices[m][i] {
 				a, b := fa.Matrices[m][i][k], fb.Matrices[m][i][k]
-				if math.Abs(a-b) > 1e-9*(1+math.Abs(a)) {
+				if a != b {
 					t.Fatalf("factor[%d][%d][%d] diverged: %g vs %g", m, i, k, a, b)
 				}
 			}
 		}
 	}
-	if math.Abs(tr.Fitness()-resumed.Fitness()) > 1e-9 {
-		t.Fatalf("fitness diverged: %g vs %g", tr.Fitness(), resumed.Fitness())
+	var ca, cb bytes.Buffer
+	if err := tr.Checkpoint(&ca); err != nil {
+		t.Fatal(err)
+	}
+	if err := resumed.Checkpoint(&cb); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ca.Bytes(), cb.Bytes()) {
+		t.Fatal("continued checkpoints diverged — restore is not exact")
 	}
 }
 

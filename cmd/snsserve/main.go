@@ -12,7 +12,18 @@
 //
 //	snsserve -streams NewYorkTaxi,ChicagoCrime -addr :8080 -speed 1000
 //	snsserve -streams "taxi=NewYorkTaxi,bikes=DivvyBikes" -backpressure drop-oldest
-//	snsserve -checkpoint /var/lib/sns.ckpt   # restore if present, save on shutdown
+//	snsserve -data-dir /var/lib/sns -fsync interval   # WAL + crash recovery
+//	snsserve -checkpoint /var/lib/sns.ckpt            # restore if present, save on shutdown
+//
+// With -data-dir the engine runs its durability subsystem: every ingested
+// batch is written ahead to a per-stream segmented WAL, background
+// checkpoints bound recovery time, and a restarted snsserve recovers all
+// stream state from the data directory — a crash loses at most the
+// unsynced WAL tail (none under -fsync always) instead of everything
+// since the last shutdown checkpoint. When a data dir is configured the
+// -checkpoint file is no longer the recovery story: it is still written
+// at shutdown as a portable export, but best-effort (an error is logged,
+// not fatal).
 package main
 
 import (
@@ -43,15 +54,17 @@ func main() {
 		mailbox      = flag.Int("mailbox", 256, "per-stream mailbox capacity in batches")
 		backpressure = flag.String("backpressure", "block", "full-mailbox policy: block, drop-oldest, or error")
 		publishEvery = flag.Int("publish-every", 256, "events between snapshot publishes")
-		checkpoint   = flag.String("checkpoint", "", "engine checkpoint path: restore from it if present, save on shutdown")
+		checkpoint   = flag.String("checkpoint", "", "engine checkpoint path: restore from it if present, save on shutdown (best-effort when -data-dir is set)")
+		dataDir      = flag.String("data-dir", "", "durability directory: per-stream WAL + background checkpoints, crash recovery on boot")
+		fsync        = flag.String("fsync", "interval", "WAL fsync policy with -data-dir: always, interval, or never")
 	)
 	flag.Parse()
-	if err := run(*streams, *addr, *speed, *rank, *w, *mailbox, *backpressure, *publishEvery, *checkpoint); err != nil {
+	if err := run(*streams, *addr, *speed, *rank, *w, *mailbox, *backpressure, *publishEvery, *checkpoint, *dataDir, *fsync); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(streams, addr string, speed float64, rank, w, mailbox int, backpressure string, publishEvery int, checkpoint string) error {
+func run(streams, addr string, speed float64, rank, w, mailbox int, backpressure string, publishEvery int, checkpoint, dataDir, fsync string) error {
 	bp, err := parseBackpressure(backpressure)
 	if err != nil {
 		return err
@@ -61,15 +74,35 @@ func run(streams, addr string, speed float64, rank, w, mailbox int, backpressure
 		return fmt.Errorf("speed must be in [1e-9, 1e9], got %g", speed)
 	}
 
-	// Restore the whole engine if a checkpoint exists; otherwise build the
-	// configured streams fresh.
+	// Boot order: a data dir is the primary durability story — WAL
+	// recovery rebuilds every stream the previous process ever added.
+	// Without one, a -checkpoint file restore is the legacy fallback.
 	var e *slicenstitch.Engine
 	restored := false
 	specs, err := parseStreams(streams)
 	if err != nil {
 		return err
 	}
-	if checkpoint != "" {
+	switch {
+	case dataDir != "":
+		policy, perr := slicenstitch.ParseFsyncPolicy(fsync)
+		if perr != nil {
+			return perr
+		}
+		e, err = slicenstitch.Open(slicenstitch.Options{Durability: &slicenstitch.DurabilityOptions{
+			Dir:   dataDir,
+			Fsync: policy,
+		}})
+		if err != nil {
+			return fmt.Errorf("recover %s: %w", dataDir, err)
+		}
+		if n := len(e.Streams()); n > 0 {
+			restored = true
+			log.Printf("snsserve: recovered %d streams from %s (fsync=%s)", n, dataDir, policy)
+		} else {
+			log.Printf("snsserve: durable data dir %s initialized (fsync=%s)", dataDir, policy)
+		}
+	case checkpoint != "":
 		f, ferr := os.Open(checkpoint)
 		switch {
 		case ferr == nil:
@@ -173,9 +206,17 @@ func run(streams, addr string, speed float64, rank, w, mailbox int, backpressure
 	}
 	if checkpoint != "" {
 		if err := saveCheckpoint(e, checkpoint); err != nil {
-			return err
+			if dataDir != "" {
+				// The WAL already made the state durable; the export file
+				// is a convenience and must not turn shutdown into a
+				// failure.
+				log.Printf("snsserve: shutdown checkpoint to %s failed (state is WAL-durable): %v", checkpoint, err)
+			} else {
+				return err
+			}
+		} else {
+			log.Printf("snsserve: checkpointed %d streams to %s", len(e.Streams()), checkpoint)
 		}
-		log.Printf("snsserve: checkpointed %d streams to %s", len(e.Streams()), checkpoint)
 	}
 	return e.Close()
 }

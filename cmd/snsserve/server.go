@@ -310,6 +310,8 @@ func mapError(err error) (status int, code string) {
 		return http.StatusServiceUnavailable, "observed_unavailable"
 	case errors.Is(err, slicenstitch.ErrEngineClosed):
 		return http.StatusServiceUnavailable, "engine_closed"
+	case errors.Is(err, slicenstitch.ErrDurability):
+		return http.StatusInternalServerError, "durability_failure"
 	case errors.As(err, &coordErr):
 		return http.StatusBadRequest, "bad_coord"
 	case errors.Is(err, context.DeadlineExceeded):

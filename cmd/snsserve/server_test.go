@@ -359,6 +359,7 @@ func TestMapError(t *testing.T) {
 		{slicenstitch.ErrStaleTimestamp, http.StatusConflict, "stale_timestamp"},
 		{slicenstitch.ErrObservedUnavailable, http.StatusServiceUnavailable, "observed_unavailable"},
 		{slicenstitch.ErrEngineClosed, http.StatusServiceUnavailable, "engine_closed"},
+		{slicenstitch.ErrDurability, http.StatusInternalServerError, "durability_failure"},
 		{&slicenstitch.CoordError{Mode: 0, Got: 9, Limit: 4}, http.StatusBadRequest, "bad_coord"},
 		{&slicenstitch.RejectError{Index: 1, Err: &slicenstitch.CoordError{}}, http.StatusBadRequest, "bad_coord"},
 		{context.DeadlineExceeded, http.StatusGatewayTimeout, "timeout"},

@@ -1,6 +1,7 @@
 package slicenstitch
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
@@ -38,6 +39,9 @@ type Engine struct {
 	mu     sync.RWMutex
 	shards map[string]*shard
 	closed bool
+	// dur is the engine-level durability state (nil when the engine runs
+	// purely in memory). See Open and DurabilityOptions.
+	dur *durEngine
 }
 
 // Backpressure selects what PushBatch does when a stream's mailbox is
@@ -162,6 +166,12 @@ type Snapshot struct {
 	QueueCap     int                 `json:"queueCap"`
 	Backpressure string              `json:"backpressure"`
 	Stats        metrics.ShardReport `json:"stats"`
+	// DurabilityError surfaces a failed WAL append/commit or background
+	// checkpoint on a durable engine: ingestion keeps running in memory,
+	// but state changes after the failure may not survive a crash, so
+	// operators should treat a non-empty value as an incident. Empty on
+	// a healthy or non-durable stream.
+	DurabilityError string `json:"durabilityError,omitempty"`
 }
 
 // shardOp is a mailbox message kind.
@@ -184,7 +194,10 @@ type shardMsg struct {
 	coord []int
 	idx   int
 	val   *float64
-	done  chan error
+	// lsn, when non-nil on an opCheckpoint, receives the shard's WAL
+	// position at capture (0 on a non-durable engine).
+	lsn  *uint64
+	done chan error
 	// bestEffort marks a message whose sender waits with a deadline and
 	// tolerates never being answered; under DropOldest it is evictable
 	// like a batch, so queued bounded reads are shed before data is.
@@ -203,12 +216,17 @@ type shard struct {
 	pub   engine.Publisher[Snapshot]
 	stats *metrics.ShardStats
 	done  <-chan struct{}
+	// dur is the shard's durability attachment (nil on an in-memory
+	// engine): the WAL appender plus the background checkpointer.
+	dur *shardDur
 
 	// Writer-local state.
 	sincePublish      int
 	errsSince         int
 	lastBatchRejected int
 	lastErr           string
+	walErr            error
+	sinceCkpt         int
 }
 
 // NewEngine returns an empty engine. Add streams with AddStream.
@@ -217,7 +235,10 @@ func NewEngine() *Engine {
 }
 
 // AddStream registers a new named stream, spawns its writer, and returns
-// the stream's handle. The name must be unique and non-empty.
+// the stream's handle. The name must be unique and non-empty. On a
+// durable engine the stream's directory (config file plus empty WAL) is
+// created before the stream becomes reachable, so a crash right after
+// AddStream returns recovers the stream.
 func (e *Engine) AddStream(name string, cfg StreamConfig) (*Stream, error) {
 	if name == "" {
 		return nil, errors.New("slicenstitch: stream name must be non-empty")
@@ -230,8 +251,30 @@ func (e *Engine) AddStream(name string, cfg StreamConfig) (*Stream, error) {
 	if err != nil {
 		return nil, err
 	}
-	s, err := e.addShard(name, cfg, tr)
+	var sd *shardDur
+	if e.dur != nil {
+		// The admin lock serializes directory create/remove for a name:
+		// without it two racing AddStream("x") calls could both open WAL
+		// appenders over the same files before the registry rejects one.
+		e.dur.mu.Lock()
+		defer e.dur.mu.Unlock()
+		if _, err := e.Stream(name); err == nil {
+			return nil, fmt.Errorf("slicenstitch: stream %q already exists", name)
+		}
+		sd, err = e.dur.createStream(name, cfg)
+		if err != nil {
+			// Clear any partially created directory: a config file without
+			// a live stream would resurrect a ghost stream on recovery.
+			e.dur.removeStream(name)
+			return nil, err
+		}
+	}
+	s, err := e.addShard(name, cfg, tr, sd)
 	if err != nil {
+		if sd != nil {
+			sd.wal.Close()
+			e.dur.removeStream(name)
+		}
 		return nil, err
 	}
 	return &Stream{sh: s}, nil
@@ -251,8 +294,10 @@ func (e *Engine) Stream(name string) (*Stream, error) {
 	return &Stream{sh: s}, nil
 }
 
-// addShard wires a tracker (fresh or restored) into the engine.
-func (e *Engine) addShard(name string, cfg StreamConfig, tr *Tracker) (*shard, error) {
+// addShard wires a tracker (fresh or restored) into the engine. sd — the
+// stream's WAL and checkpointer attachment — is nil on an in-memory
+// engine.
+func (e *Engine) addShard(name string, cfg StreamConfig, tr *Tracker, sd *shardDur) (*shard, error) {
 	s := &shard{
 		eng:   e,
 		name:  name,
@@ -260,12 +305,16 @@ func (e *Engine) addShard(name string, cfg StreamConfig, tr *Tracker) (*shard, e
 		tr:    tr,
 		mb:    engine.NewMailbox(cfg.MailboxCapacity, cfg.Backpressure.policy(), func(m shardMsg) bool { return m.op == opBatch || m.bestEffort }),
 		stats: metrics.NewShardStats(),
+		dur:   sd,
+	}
+	if sd != nil {
+		go sd.run()
 	}
 	// Fully initialize — initial snapshot, writer goroutine — before the
 	// shard becomes reachable, so a concurrent Snapshot never loads a nil
 	// snapshot and a concurrent Close never waits on a nil done channel.
 	s.publish()
-	s.done = engine.Loop(s.mb, s.handle, s.publish)
+	s.done = engine.Loop(s.mb, s.handle, s.finish)
 	e.mu.Lock()
 	if e.closed {
 		e.mu.Unlock()
@@ -290,8 +339,14 @@ func (s *shard) stop() {
 
 // RemoveStream closes a stream's mailbox, waits for its writer to drain,
 // and forgets it. Held handles see ErrStreamStopped from then on; their
-// snapshot reads keep serving the stream's last published state.
+// snapshot reads keep serving the stream's last published state. On a
+// durable engine the stream's on-disk state (WAL and checkpoints) is
+// deleted — removal is permanent, not a shutdown.
 func (e *Engine) RemoveStream(name string) error {
+	if e.dur != nil {
+		e.dur.mu.Lock()
+		defer e.dur.mu.Unlock()
+	}
 	e.mu.Lock()
 	s, ok := e.shards[name]
 	if ok {
@@ -302,6 +357,11 @@ func (e *Engine) RemoveStream(name string) error {
 		return fmt.Errorf("%w: %q", ErrStreamNotFound, name)
 	}
 	s.stop()
+	if e.dur != nil {
+		if err := e.dur.removeStream(name); err != nil {
+			return fmt.Errorf("slicenstitch: remove stream %q data: %w", name, err)
+		}
+	}
 	return nil
 }
 
@@ -473,6 +533,14 @@ func (s *shard) read() Snapshot {
 	snap.QueueDepth = s.mb.Len()
 	snap.QueueCap = s.mb.Cap()
 	snap.Backpressure = s.cfg.Backpressure.String()
+	// Background-checkpointer failures are stamped at read time (the
+	// checkpointer cannot publish); writer-side WAL failures arrive via
+	// the published snapshot.
+	if snap.DurabilityError == "" && s.dur != nil {
+		if err := s.dur.ckptErr.get(); err != nil {
+			snap.DurabilityError = err.Error()
+		}
+	}
 	return snap
 }
 
@@ -539,9 +607,19 @@ func (e *Engine) Close() error { return e.Shutdown(context.Background()) }
 
 // handle runs on the shard's writer goroutine — the only place s.tr is
 // touched after spawn.
+//
+// On a durable engine every state-changing message is appended to the
+// shard's WAL before it is applied (write-ahead with respect to both the
+// tracker and any checkpoint capture, which also happen on this
+// goroutine). The append goes into a writer-owned buffer — no lock, no
+// syscall, no allocation in steady state — and reaches the OS at group-
+// commit points: when the mailbox runs dry (end of a drain burst) and
+// before any control acknowledgement, with fsync per the configured
+// policy.
 func (s *shard) handle(msg shardMsg) {
 	switch msg.op {
 	case opBatch:
+		s.logBatch(msg.batch)
 		// The batch fast path: one Tracker.PushBatch call validates and
 		// applies the whole batch — no per-event closure, coord copy, or
 		// repeated dispatch — and is allocation-free in steady state.
@@ -555,6 +633,8 @@ func (s *shard) handle(msg shardMsg) {
 			s.errsSince += errs
 			s.lastErr = lastReject(err).Error()
 		}
+		s.maybeCommit()
+		s.maybeCheckpoint(applied)
 		// Only applied events advance the publish clock: a stream of
 		// rejected events must not trigger the O(nnz) fitness recompute.
 		s.sincePublish += applied
@@ -570,13 +650,19 @@ func (s *shard) handle(msg shardMsg) {
 			s.publishErrState()
 		}
 	case opStart:
+		s.logRecord([]byte{recStart})
 		err := s.tr.Start()
+		s.commit()
 		if err == nil {
 			s.publish()
 		}
 		msg.done <- err
 	case opAdvance:
+		if s.dur != nil {
+			s.logRecord(appendZigzag(append(s.dur.buf[:0], recAdvance), msg.tm))
+		}
 		err := s.tr.AdvanceTo(msg.tm)
+		s.commit()
 		if err == nil {
 			s.publish()
 		} else {
@@ -586,14 +672,162 @@ func (s *shard) handle(msg shardMsg) {
 		}
 		msg.done <- err
 	case opFlush:
+		// Flush doubles as the durability barrier: everything applied so
+		// far is forced to stable storage regardless of fsync policy, and
+		// a failed (or already-latched-broken) barrier is an error — a
+		// nil reply here is a durability promise.
+		var ferr error
+		if s.dur != nil && !s.dur.crashed.Load() {
+			if s.walErr == nil {
+				if err := s.dur.wal.Sync(); err != nil {
+					s.walErr = err
+				}
+			}
+			if s.walErr != nil {
+				ferr = fmt.Errorf("%w: %v", ErrDurability, s.walErr)
+			}
+		}
 		s.publish()
-		msg.done <- nil
+		msg.done <- ferr
 	case opCheckpoint:
+		if msg.lsn != nil {
+			*msg.lsn = s.nextLSN()
+		}
 		msg.done <- s.tr.Checkpoint(msg.w)
 	case opObserved:
 		v, err := s.tr.Observed(msg.coord, msg.idx)
 		*msg.val = v
 		msg.done <- err
+	}
+}
+
+// nextLSN returns the shard's WAL position (0 when not durable). Writer
+// goroutine only.
+func (s *shard) nextLSN() uint64 {
+	if s.dur == nil {
+		return 0
+	}
+	return s.dur.wal.NextLSN()
+}
+
+// logBatch appends a batch record, encoding into the shard's reusable
+// scratch. Writer goroutine only; no-op when not durable.
+func (s *shard) logBatch(events []Event) {
+	if s.dur == nil {
+		return
+	}
+	s.dur.buf = encodeBatchRecord(s.dur.buf, events)
+	s.logRecord(s.dur.buf)
+}
+
+// durActive reports whether the shard should keep touching its WAL:
+// durability configured, no latched failure, and no simulated crash in
+// progress (the crash flag freezes the on-disk state mid-flight, which
+// is the whole point of the simulation).
+func (s *shard) durActive() bool {
+	return s.dur != nil && s.walErr == nil && !s.dur.crashed.Load()
+}
+
+// logRecord appends one encoded record, latching the first failure:
+// after a WAL error the shard keeps serving from memory but stops
+// appending (the log's tail position no longer matches the applied
+// state), and the error is surfaced via Snapshot.DurabilityError.
+func (s *shard) logRecord(payload []byte) {
+	if !s.durActive() {
+		return
+	}
+	if _, err := s.dur.wal.Append(payload); err != nil {
+		s.walErr = err
+		s.publishErrState()
+	}
+}
+
+// maybeCommit group-commits at the end of a mailbox drain burst — and
+// also mid-burst whenever the fsync policy says a sync is due, so a
+// sustained backlog (mailbox never empty) cannot starve durability:
+// under FsyncAlways every batch still commits, and under FsyncInterval
+// the interval clock keeps firing even while producers outrun the drain.
+func (s *shard) maybeCommit() {
+	if !s.durActive() {
+		return
+	}
+	if s.mb.Len() > 0 && !s.dur.wal.SyncDue() {
+		return
+	}
+	s.commit()
+}
+
+// commit group-commits before a control acknowledgement, so a successful
+// Start/AdvanceTo reply implies the operation (and everything before it)
+// has reached the OS — and stable storage under FsyncAlways.
+func (s *shard) commit() {
+	if !s.durActive() {
+		return
+	}
+	if err := s.dur.wal.Commit(); err != nil {
+		s.walErr = err
+		s.publishErrState()
+	}
+}
+
+// maybeCheckpoint captures a background checkpoint once enough events
+// have been applied since the last one. The capture — serializing the
+// tracker into a fresh buffer, stamped with the WAL position — runs on
+// the writer goroutine so it is trivially consistent; the expensive part
+// (fsync, rename, WAL truncation) happens on the shard's checkpointer
+// goroutine. A busy checkpointer skips the capture and retries after the
+// next batch rather than stalling ingestion.
+func (s *shard) maybeCheckpoint(applied int) {
+	if s.dur == nil {
+		return
+	}
+	s.sinceCkpt += applied
+	if s.sinceCkpt < s.dur.opts.CheckpointEvery || !s.durActive() {
+		return
+	}
+	var buf bytes.Buffer
+	if err := s.tr.Checkpoint(&buf); err != nil {
+		s.dur.ckptErr.set(err)
+		s.sinceCkpt = 0
+		return
+	}
+	select {
+	case s.dur.ckptC <- ckptReq{lsn: s.dur.wal.NextLSN(), data: buf.Bytes()}:
+		s.sinceCkpt = 0
+	default:
+		// Checkpointer still busy with the previous capture; retry later.
+	}
+}
+
+// finish runs on the writer goroutine after the mailbox drains: it
+// publishes the final snapshot and tears down the durability attachment.
+// A clean shutdown captures one last checkpoint first — restart then
+// recovers from the checkpoint alone instead of replaying the WAL tail —
+// and closes the checkpointer (which may still truncate) before the WAL
+// is flushed, synced, and closed. A simulated crash abandons everything
+// instead.
+func (s *shard) finish() {
+	s.publish()
+	if s.dur == nil {
+		return
+	}
+	if s.durActive() && s.sinceCkpt > 0 {
+		var buf bytes.Buffer
+		if err := s.tr.Checkpoint(&buf); err == nil {
+			// Blocking send: the checkpointer is alive until ckptC closes,
+			// so a pending capture just delays shutdown by one write.
+			s.dur.ckptC <- ckptReq{lsn: s.dur.wal.NextLSN(), data: buf.Bytes()}
+		}
+	}
+	close(s.dur.ckptC)
+	<-s.dur.ckptDone
+	if s.dur.crashed.Load() {
+		s.dur.wal.Abandon()
+		return
+	}
+	if err := s.dur.wal.Close(); err != nil && s.walErr == nil {
+		s.walErr = err
+		s.publishErrState()
 	}
 }
 
@@ -617,6 +851,7 @@ func (s *shard) publish() {
 		LastError:          s.lastErr,
 		ErrorsSincePublish: uint64(s.errsSince),
 		LastBatchRejected:  s.lastBatchRejected,
+		DurabilityError:    s.durErrString(),
 	}
 	if t.Started() {
 		snap.Fitness = t.Fitness()
@@ -642,7 +877,23 @@ func (s *shard) publishErrState() {
 	snap.LastError = s.lastErr
 	snap.ErrorsSincePublish = uint64(s.errsSince)
 	snap.LastBatchRejected = s.lastBatchRejected
+	snap.DurabilityError = s.durErrString()
 	s.pub.Publish(&snap)
+}
+
+// durErrString folds the writer-latched WAL error and the background
+// checkpointer's latest error into the snapshot field. Writer goroutine
+// only (the checkpointer side is read through its own mutex).
+func (s *shard) durErrString() string {
+	if s.walErr != nil {
+		return s.walErr.Error()
+	}
+	if s.dur != nil {
+		if err := s.dur.ckptErr.get(); err != nil {
+			return err.Error()
+		}
+	}
+	return ""
 }
 
 // Predict evaluates the CP model held in a Factors snapshot at a full

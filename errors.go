@@ -46,6 +46,14 @@ var (
 
 	// ErrEngineClosed reports use of an engine after Close/Shutdown.
 	ErrEngineClosed = errors.New("slicenstitch: engine closed")
+
+	// ErrDurability reports that a durable stream's write-ahead log or
+	// checkpointing failed: the stream keeps serving from memory, but
+	// state changes since the failure may not survive a crash. Flush —
+	// the explicit durability barrier — returns an error wrapping this
+	// sentinel instead of claiming success; the latched condition also
+	// surfaces in Snapshot.DurabilityError.
+	ErrDurability = errors.New("slicenstitch: durability failure")
 )
 
 // ErrUnknownStream is the pre-v1 name for ErrStreamNotFound.

@@ -13,6 +13,7 @@ package slicenstitch
 
 import (
 	"testing"
+	"time"
 )
 
 // benchCoords is a fixed ring of coordinate slices so the driver loop
@@ -64,10 +65,14 @@ func BenchmarkIngestHotPath(b *testing.B) {
 // of pre-sized batches, shared by the engine-side ingest benchmarks. The
 // returned fill func writes the next batch into the pool slot j and
 // returns it; a slot is reused only long after the writer consumed it
-// (pool ≫ mailbox capacity).
-func benchEngine(b *testing.B, batchSize, nBatches int) (*Engine, *Stream, func(j int) []Event) {
+// (pool ≫ mailbox capacity). opts selects the engine construction, so the
+// durable benchmark reuses the exact same workload.
+func benchEngine(b *testing.B, batchSize, nBatches int, opts Options) (*Engine, *Stream, func(j int) []Event) {
 	b.Helper()
-	e := NewEngine()
+	e, err := Open(opts)
+	if err != nil {
+		b.Fatal(err)
+	}
 	b.Cleanup(func() { e.Close() })
 	cfg := StreamConfig{
 		Config:          Config{Dims: []int{64, 64}, W: 8, Period: 16, Rank: 8, Theta: 8, Seed: 1, ALSIters: 2},
@@ -126,7 +131,37 @@ func benchEngine(b *testing.B, batchSize, nBatches int) (*Engine, *Stream, func(
 // ingest pipeline from the amortized snapshot/fitness cost.
 func BenchmarkEnginePushBatch(b *testing.B) {
 	const batchSize = 256
-	e, _, fill := benchEngine(b, batchSize, 128)
+	e, _, fill := benchEngine(b, batchSize, 128, Options{})
+	b.ReportAllocs()
+	b.ResetTimer()
+	pushed := 0
+	for pushed < b.N {
+		if err := e.PushBatch(bg, "bench", fill(0)); err != nil {
+			b.Fatal(err)
+		}
+		pushed += batchSize
+	}
+	if err := e.Flush(bg, "bench"); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkIngestDurable: the BenchmarkEnginePushBatch workload with the
+// write-ahead log on (interval fsync — the default production policy), so
+// the WAL's per-event overhead is measured rather than guessed. The
+// append path encodes into the shard's reusable scratch and lands in the
+// log's writer-owned buffer, so the durable path must stay at 0 allocs/op
+// like the in-memory one; the ns/op delta against BenchmarkEnginePushBatch
+// is the durability tax. Checkpointing is effectively disabled so the
+// measurement isolates the append+commit path.
+func BenchmarkIngestDurable(b *testing.B) {
+	const batchSize = 256
+	e, _, fill := benchEngine(b, batchSize, 128, Options{Durability: &DurabilityOptions{
+		Dir:             b.TempDir(),
+		Fsync:           FsyncInterval,
+		FsyncEvery:      100 * time.Millisecond,
+		CheckpointEvery: 1 << 30,
+	}})
 	b.ReportAllocs()
 	b.ResetTimer()
 	pushed := 0

@@ -1,0 +1,122 @@
+package core
+
+import "fmt"
+
+// Aux is the decomposer state beyond the factor model that a checkpoint
+// must carry for a restored tracker to continue bit-identically to an
+// uninterrupted one: the incrementally maintained Gram matrices (a
+// recompute from the factors is equal only up to round-off) and, for the
+// sampled variants, the sampler's exact draw position and current θ. It
+// is a plain exported-field struct so the checkpoint layer can gob it.
+type Aux struct {
+	// Grams holds one row-major R×R Gram matrix per mode, in mode order.
+	Grams [][]float64
+	// RNG is the sampler state (empty for variants without a sampler).
+	RNG []uint64
+	// Theta is the current sampling threshold (0 when not applicable).
+	// Under the auto-θ controller this is the adapted live value, not the
+	// configured starting point.
+	Theta int
+}
+
+// rngCarrier is implemented by the sampled variants.
+type rngCarrier interface {
+	rngState() []uint64
+	setRNGState(ws []uint64) error
+}
+
+func (s *SNSRnd) rngState() []uint64 { return s.rng.State() }
+func (s *SNSRnd) setRNGState(ws []uint64) error {
+	return s.rng.SetState(ws)
+}
+
+func (s *SNSRndPlus) rngState() []uint64 { return s.rng.State() }
+func (s *SNSRndPlus) setRNGState(ws []uint64) error {
+	return s.rng.SetState(ws)
+}
+
+// unwrap peels the AutoTheta controller off a decomposer so aux capture
+// and restore see the concrete variant underneath.
+func unwrap(d Decomposer) Decomposer {
+	if at, ok := d.(*AutoTheta); ok {
+		return at.inner
+	}
+	return d
+}
+
+// baseOf returns the shared base state of any concrete variant.
+func baseOf(d Decomposer) *base {
+	switch v := unwrap(d).(type) {
+	case *SNSMat:
+		return &v.base
+	case *SNSVec:
+		return &v.base
+	case *SNSRnd:
+		return &v.base
+	case *SNSVecPlus:
+		return &v.base
+	case *SNSRndPlus:
+		return &v.base
+	}
+	return nil
+}
+
+// CaptureAux snapshots the auxiliary state of a decomposer. The returned
+// struct owns fresh copies — it stays valid while the decomposer keeps
+// updating.
+func CaptureAux(d Decomposer) Aux {
+	var aux Aux
+	b := baseOf(d)
+	if b == nil {
+		return aux
+	}
+	for _, g := range b.grams {
+		aux.Grams = append(aux.Grams, append([]float64(nil), g.Data()...))
+	}
+	inner := unwrap(d)
+	if rc, ok := inner.(rngCarrier); ok {
+		aux.RNG = rc.rngState()
+	}
+	if ta, ok := inner.(ThetaAdjustable); ok {
+		aux.Theta = ta.Theta()
+	}
+	return aux
+}
+
+// RestoreAux installs auxiliary state captured by CaptureAux onto a
+// freshly constructed decomposer of the same configuration. The Gram
+// matrices overwrite the constructor's factor-derived recompute, and the
+// sampler resumes at the captured draw position, so the restored
+// decomposer's next update is bit-identical to the uninterrupted one's.
+func RestoreAux(d Decomposer, aux Aux) error {
+	b := baseOf(d)
+	if b == nil {
+		return fmt.Errorf("core: cannot restore aux state onto %T", d)
+	}
+	if len(aux.Grams) != len(b.grams) {
+		return fmt.Errorf("core: aux has %d gram matrices, want %d", len(aux.Grams), len(b.grams))
+	}
+	r := b.model.Rank()
+	for m, data := range aux.Grams {
+		if len(data) != r*r {
+			return fmt.Errorf("core: aux gram %d has %d entries, want %d", m, len(data), r*r)
+		}
+		// Copy into the existing matrices in place: prevTracker (and any
+		// other workspace) may already alias them via begin()'s per-event
+		// CopyFrom, and in-place restore keeps every alias consistent.
+		copy(b.grams[m].Data(), data)
+	}
+	inner := unwrap(d)
+	if rc, ok := inner.(rngCarrier); ok {
+		if len(aux.RNG) == 0 {
+			return fmt.Errorf("core: aux has no sampler state for %s", inner.Name())
+		}
+		if err := rc.setRNGState(aux.RNG); err != nil {
+			return err
+		}
+	}
+	if ta, ok := inner.(ThetaAdjustable); ok && aux.Theta > 0 {
+		ta.SetTheta(aux.Theta)
+	}
+	return nil
+}

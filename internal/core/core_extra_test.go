@@ -6,6 +6,7 @@ import (
 
 	"slicenstitch/internal/cpd"
 	"slicenstitch/internal/mat"
+	"slicenstitch/internal/rng"
 	"slicenstitch/internal/stream"
 	"slicenstitch/internal/tensor"
 	"slicenstitch/internal/window"
@@ -13,8 +14,8 @@ import (
 
 // sampleCellsForTest calls sampleSliceCells with throwaway workspace — the
 // tests care about the draw, not the buffer reuse.
-func sampleCellsForTest(x *tensor.Sparse, m, i, theta int, rng *rand.Rand, exclude map[uint64]struct{}) []uint64 {
-	return sampleSliceCells(x, m, i, theta, rng, exclude, nil, map[uint64]struct{}{}, make([]int, x.Order()))
+func sampleCellsForTest(x *tensor.Sparse, m, i, theta int, r *rng.RNG, exclude map[uint64]struct{}) []uint64 {
+	return sampleSliceCells(x, m, i, theta, r, exclude, nil, map[uint64]struct{}{}, make([]int, x.Order()))
 }
 
 // The SNS_VEC time-mode update must be exactly Eq. (9):
@@ -97,10 +98,10 @@ func TestPrevTrackerExcludesDeltaCells(t *testing.T) {
 func TestSampleSliceCells(t *testing.T) {
 	win, _, _ := primedSetup(rand.New(rand.NewSource(8)), []int{4, 3}, 3, 4, 3)
 	x := win.X()
-	rng := rand.New(rand.NewSource(9))
+	r := rng.New(9)
 
 	// Slice {J : j0 = 1} has 3×3 = 9 cells. θ=4 < 9: random sampling.
-	keys := sampleCellsForTest(x, 0, 1, 4, rng, nil)
+	keys := sampleCellsForTest(x, 0, 1, 4, r, nil)
 	if len(keys) != 4 {
 		t.Fatalf("sampled %d cells want 4", len(keys))
 	}
@@ -118,7 +119,7 @@ func TestSampleSliceCells(t *testing.T) {
 	}
 
 	// θ ≥ slice size: exhaustive enumeration.
-	all := sampleCellsForTest(x, 0, 1, 100, rng, nil)
+	all := sampleCellsForTest(x, 0, 1, 100, r, nil)
 	if len(all) != 9 {
 		t.Fatalf("enumerated %d cells want 9", len(all))
 	}
@@ -126,12 +127,12 @@ func TestSampleSliceCells(t *testing.T) {
 	// Exclusion honored in both regimes.
 	exCoord := []int{1, 0, 0}
 	exclude := map[uint64]struct{}{x.Key(exCoord): {}}
-	all = sampleCellsForTest(x, 0, 1, 100, rng, exclude)
+	all = sampleCellsForTest(x, 0, 1, 100, r, exclude)
 	if len(all) != 8 {
 		t.Fatalf("enumeration with exclusion: %d cells want 8", len(all))
 	}
 	for trial := 0; trial < 30; trial++ {
-		for _, k := range sampleCellsForTest(x, 0, 1, 4, rng, exclude) {
+		for _, k := range sampleCellsForTest(x, 0, 1, 4, r, exclude) {
 			if k == x.Key(exCoord) {
 				t.Fatal("excluded cell sampled")
 			}

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"slicenstitch/internal/rng"
 	"slicenstitch/internal/stream"
 	"slicenstitch/internal/window"
 )
@@ -30,7 +31,7 @@ func TestSNSRndPlusSampledMatchesBruteForce(t *testing.T) {
 
 		// Predict the exact sample set with an identically-seeded RNG (the
 		// decomposer has not consumed any draws yet).
-		shadowRng := rand.New(rand.NewSource(seed))
+		shadowRng := rng.New(seed)
 		sampleKeys := sampleCellsForTest(win.X(), m, i, theta, shadowRng, nil)
 		sampled := map[uint64]struct{}{}
 		for _, k := range sampleKeys {
@@ -106,7 +107,7 @@ func TestSNSRndSampledMatchesBruteForce(t *testing.T) {
 			continue
 		}
 
-		shadowRng := rand.New(rand.NewSource(seed))
+		shadowRng := rng.New(seed)
 		sampleKeys := sampleCellsForTest(win.X(), m, i, theta, shadowRng, nil)
 		sampled := map[uint64]struct{}{}
 		for _, k := range sampleKeys {

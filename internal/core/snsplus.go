@@ -2,10 +2,10 @@ package core
 
 import (
 	"math"
-	"math/rand"
 
 	"slicenstitch/internal/cpd"
 	"slicenstitch/internal/mat"
+	"slicenstitch/internal/rng"
 	"slicenstitch/internal/window"
 )
 
@@ -163,7 +163,7 @@ type SNSRndPlus struct {
 	prevTracker
 	theta int
 	eta   float64
-	rng   *rand.Rand
+	rng   *rng.RNG
 	// NonNegative constrains every updated entry to [0, η]; see
 	// SNSVecPlus.NonNegative.
 	NonNegative bool
@@ -181,7 +181,7 @@ func NewSNSRndPlus(win *window.Window, init *cpd.Model, theta int, eta float64, 
 	b := newBase(win, init)
 	foldLambda(b.model)
 	b.grams = b.model.Grams()
-	s := &SNSRndPlus{base: b, theta: theta, eta: eta, rng: rand.New(rand.NewSource(seed))}
+	s := &SNSRndPlus{base: b, theta: theta, eta: eta, rng: rng.New(seed)}
 	s.prevTracker = newPrevTracker(&s.base)
 	return s
 }

@@ -1,10 +1,9 @@
 package core
 
 import (
-	"math/rand"
-
 	"slicenstitch/internal/cpd"
 	"slicenstitch/internal/mat"
+	"slicenstitch/internal/rng"
 	"slicenstitch/internal/tensor"
 	"slicenstitch/internal/window"
 )
@@ -82,7 +81,7 @@ type savedRow struct {
 // (returned), seen tracks rejection-sampling duplicates (cleared here) and
 // coord is an order-M coordinate scratch — so the sampler allocates nothing
 // in steady state.
-func sampleSliceCells(x *tensor.Sparse, m, i, theta int, rng *rand.Rand, exclude map[uint64]struct{}, dst []uint64, seen map[uint64]struct{}, coord []int) []uint64 {
+func sampleSliceCells(x *tensor.Sparse, m, i, theta int, rng *rng.RNG, exclude map[uint64]struct{}, dst []uint64, seen map[uint64]struct{}, coord []int) []uint64 {
 	order := x.Order()
 	total := 1
 	for n := 0; n < order; n++ {
@@ -213,7 +212,7 @@ func (pt *prevTracker) saveRow(m, i int, row []float64) []float64 {
 }
 
 // sample draws the θ-sample for row (m,i) into the reusable workspace.
-func (pt *prevTracker) sample(b *base, m, i, theta int, rng *rand.Rand) []uint64 {
+func (pt *prevTracker) sample(b *base, m, i, theta int, rng *rng.RNG) []uint64 {
 	pt.sampleBuf = sampleSliceCells(b.win.X(), m, i, theta, rng, pt.exclude, pt.sampleBuf, pt.seenBuf, b.coordBuf)
 	return pt.sampleBuf
 }
@@ -255,11 +254,12 @@ type SNSRnd struct {
 	base
 	prevTracker
 	theta int
-	rng   *rand.Rand
+	rng   *rng.RNG
 }
 
 // NewSNSRnd builds an SNS_RND tracker. theta is the sampling threshold θ;
-// seed drives the sampler.
+// seed drives the sampler (a serializable internal/rng generator, so
+// checkpoints can capture the exact draw position).
 func NewSNSRnd(win *window.Window, init *cpd.Model, theta int, seed int64) *SNSRnd {
 	if theta < 1 {
 		panic("core: SNSRnd theta must be ≥ 1")
@@ -267,7 +267,7 @@ func NewSNSRnd(win *window.Window, init *cpd.Model, theta int, seed int64) *SNSR
 	b := newBase(win, init)
 	foldLambda(b.model)
 	b.grams = b.model.Grams()
-	s := &SNSRnd{base: b, theta: theta, rng: rand.New(rand.NewSource(seed))}
+	s := &SNSRnd{base: b, theta: theta, rng: rng.New(seed)}
 	s.prevTracker = newPrevTracker(&s.base)
 	return s
 }

@@ -1,0 +1,118 @@
+// Package rng provides the deterministic, serializable random number
+// generator behind the sampled SliceNStitch variants (SNS-Rnd, SNS-Rnd+).
+//
+// The sampler's draw sequence is part of the tracker's recoverable state:
+// a checkpoint that restarts the sampler from its seed would make a
+// restored tracker draw a different sample sequence than the uninterrupted
+// one, breaking the bit-identical crash-recovery guarantee of the
+// durability subsystem. math/rand sources hide their state, so this
+// package implements xoshiro256** (Blackman & Vigna) with an explicitly
+// exportable 4-word state: State/SetState round-trip the generator
+// exactly, and the algorithm is fixed independent of the Go toolchain, so
+// a WAL replay on a different Go version still reproduces the same draws.
+package rng
+
+import (
+	"errors"
+	"fmt"
+)
+
+// stateWords is the xoshiro256** state size in uint64 words.
+const stateWords = 4
+
+// RNG is a xoshiro256** generator. It is not safe for concurrent use —
+// like the decomposers that own one, it is single-goroutine by contract.
+type RNG struct {
+	s [stateWords]uint64
+}
+
+// New returns a generator seeded via splitmix64, matching the reference
+// recommendation for initializing xoshiro state from a single word.
+func New(seed int64) *RNG {
+	r := &RNG{}
+	x := uint64(seed)
+	for i := range r.s {
+		// splitmix64 step.
+		x += 0x9e3779b97f4a7c15
+		z := x
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		r.s[i] = z ^ (z >> 31)
+	}
+	return r
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 random bits.
+func (r *RNG) Uint64() uint64 {
+	s := &r.s
+	result := rotl(s[1]*5, 7) * 9
+	t := s[1] << 17
+	s[2] ^= s[0]
+	s[3] ^= s[1]
+	s[1] ^= s[2]
+	s[0] ^= s[3]
+	s[2] ^= t
+	s[3] = rotl(s[3], 45)
+	return result
+}
+
+// Int63 returns a non-negative 63-bit value (the math/rand.Source
+// contract, kept so an *RNG can stand in where a Source is expected).
+func (r *RNG) Int63() int64 { return int64(r.Uint64() >> 1) }
+
+// Seed resets the generator as if built by New(seed).
+func (r *RNG) Seed(seed int64) { r.s = New(seed).s }
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0 — the same
+// contract as math/rand.Intn, which it replaces in the samplers. Bias is
+// removed by rejection on the 2⁶⁴ % n residue (Lemire-style threshold
+// would save a division; the sampler draws a handful of values per event,
+// so the simple form is plenty).
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	un := uint64(n)
+	if un&(un-1) == 0 { // power of two: mask, no bias
+		return int(r.Uint64() & (un - 1))
+	}
+	max := ^uint64(0) - ^uint64(0)%un
+	for {
+		v := r.Uint64()
+		if v < max {
+			return int(v % un)
+		}
+	}
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *RNG) Float64() float64 { return float64(r.Uint64()>>11) / (1 << 53) }
+
+// State returns a copy of the generator's state words. Feeding them to
+// SetState reproduces the draw sequence exactly from this point.
+func (r *RNG) State() []uint64 {
+	out := make([]uint64, stateWords)
+	copy(out, r.s[:])
+	return out
+}
+
+// SetState installs state words captured by State.
+func (r *RNG) SetState(ws []uint64) error {
+	if len(ws) != stateWords {
+		return fmt.Errorf("rng: state has %d words, want %d", len(ws), stateWords)
+	}
+	all := uint64(0)
+	for _, w := range ws {
+		all |= w
+	}
+	if all == 0 {
+		// The all-zero state is xoshiro's single fixed point: the
+		// generator would emit zeros forever. No State() call can produce
+		// it (New never seeds to zero), so reject it as corruption.
+		return errors.New("rng: all-zero state")
+	}
+	copy(r.s[:], ws)
+	return nil
+}

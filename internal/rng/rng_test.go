@@ -1,0 +1,124 @@
+package rng
+
+import "testing"
+
+// The generator must be deterministic per seed and distinct across seeds.
+func TestDeterministicPerSeed(t *testing.T) {
+	a, b := New(7), New(7)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+	c := New(8)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if New(7).Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("seeds 7 and 8 collided on %d/100 draws", same)
+	}
+}
+
+// State/SetState must reproduce the draw sequence exactly mid-stream —
+// the property checkpoint restore depends on.
+func TestStateRoundTrip(t *testing.T) {
+	r := New(42)
+	for i := 0; i < 137; i++ {
+		r.Uint64()
+	}
+	st := r.State()
+	want := make([]uint64, 64)
+	for i := range want {
+		want[i] = r.Uint64()
+	}
+	clone := New(0)
+	if err := clone.SetState(st); err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got := clone.Uint64(); got != want[i] {
+			t.Fatalf("draw %d after SetState: got %d want %d", i, got, want[i])
+		}
+	}
+	// State returns a copy: mutating the returned slice must not perturb
+	// the generator's own sequence.
+	st3 := clone.State()
+	twin := New(0)
+	if err := twin.SetState(clone.State()); err != nil {
+		t.Fatal(err)
+	}
+	st3[0] = ^st3[0]
+	if clone.Uint64() != twin.Uint64() {
+		t.Fatal("mutating a State() copy perturbed the generator")
+	}
+}
+
+func TestSetStateRejectsBadInput(t *testing.T) {
+	r := New(1)
+	if err := r.SetState([]uint64{1, 2, 3}); err == nil {
+		t.Fatal("short state accepted")
+	}
+	if err := r.SetState([]uint64{0, 0, 0, 0}); err == nil {
+		t.Fatal("all-zero state accepted")
+	}
+	// A failed SetState must leave the generator usable.
+	r.Uint64()
+}
+
+// Intn must stay in range and hit every residue class; power-of-two and
+// general moduli take different paths.
+func TestIntnRangeAndCoverage(t *testing.T) {
+	r := New(3)
+	for _, n := range []int{1, 2, 7, 16, 100} {
+		seen := make([]bool, n)
+		for i := 0; i < 200*n; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+			seen[v] = true
+		}
+		for v, ok := range seen {
+			if !ok {
+				t.Fatalf("Intn(%d) never produced %d", n, v)
+			}
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	r.Intn(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(5)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64() = %g out of [0,1)", v)
+		}
+	}
+}
+
+// Known-answer test pinning the algorithm: xoshiro256** from an explicit
+// state. Reference values computed from the published reference
+// implementation's update rule; they also lock the Go implementation
+// against accidental drift (a drifted sampler would silently change every
+// sampled decomposition).
+func TestKnownSequenceStability(t *testing.T) {
+	r := &RNG{}
+	if err := r.SetState([]uint64{1, 2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	want := []uint64{11520, 0, 1509978240, 1215971899390074240, 1216172134540287360, 607988272756665600}
+	for i, w := range want {
+		if got := r.Uint64(); got != w {
+			t.Fatalf("draw %d: got %d want %d", i, got, w)
+		}
+	}
+}

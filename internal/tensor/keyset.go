@@ -3,20 +3,40 @@ package tensor
 import "math/rand"
 
 // keySet is a set of encoded coordinates supporting O(1) insert, O(1)
-// delete, and O(1) uniform sampling. It backs the per-(mode,index) nonzero
-// registries that make deg(m,i_m) lookups and SNS_RND sampling constant
-// time.
+// amortized delete, O(1) expected uniform sampling, and — crucially —
+// order-preserving iteration: keys are visited in insertion order, with
+// deletions leaving the relative order of the survivors untouched.
+//
+// Order preservation is a durability requirement, not a nicety. Checkpoints
+// serialize the tensor in iteration order and restore re-inserts in that
+// order, so iteration order must be a pure function of the surviving key
+// sequence for a restored tensor to iterate — and therefore accumulate
+// MTTKRP/fitness sums — bit-identically to the live one. A swap-with-last
+// delete (the previous implementation) breaks that: the order it produces
+// depends on where deletions happened, which the surviving sequence alone
+// cannot reproduce.
+//
+// Deletions therefore tombstone their slot and a compaction sweep (which
+// preserves order) reclaims slots once half the backing array is dead,
+// keeping every operation O(1) amortized and allocation-free in steady
+// state.
 type keySet struct {
-	keys []uint64
+	keys []uint64 // insertion order; dead slots hold tombstone
 	pos  map[uint64]int
+	dead int
 }
+
+// tombstone marks a deleted slot. No real key can collide with it: keys
+// are strictly below the tensor capacity, whose computation panics on
+// uint64 overflow, so a stored key never equals ^uint64(0).
+const tombstone = ^uint64(0)
 
 func newKeySet() *keySet {
 	return &keySet{pos: make(map[uint64]int)}
 }
 
 // Len returns the number of keys in the set.
-func (s *keySet) Len() int { return len(s.keys) }
+func (s *keySet) Len() int { return len(s.keys) - s.dead }
 
 // Add inserts k if absent.
 func (s *keySet) Add(k uint64) {
@@ -27,18 +47,35 @@ func (s *keySet) Add(k uint64) {
 	s.keys = append(s.keys, k)
 }
 
-// Remove deletes k if present, using swap-with-last.
+// Remove deletes k if present, tombstoning its slot so the surviving
+// iteration order is unchanged. When half the slots are dead a compaction
+// sweep (order-preserving, in place) reclaims them, so the amortized cost
+// stays O(1) and iteration overhead is bounded at 2×.
 func (s *keySet) Remove(k uint64) {
 	i, ok := s.pos[k]
 	if !ok {
 		return
 	}
-	last := len(s.keys) - 1
-	moved := s.keys[last]
-	s.keys[i] = moved
-	s.pos[moved] = i
-	s.keys = s.keys[:last]
+	s.keys[i] = tombstone
 	delete(s.pos, k)
+	s.dead++
+	if 2*s.dead >= len(s.keys) {
+		s.compact()
+	}
+}
+
+// compact squeezes tombstones out in place, preserving order.
+func (s *keySet) compact() {
+	live := s.keys[:0]
+	for _, k := range s.keys {
+		if k == tombstone {
+			continue
+		}
+		s.pos[k] = len(live)
+		live = append(live, k)
+	}
+	s.keys = live
+	s.dead = 0
 }
 
 // Contains reports membership.
@@ -47,9 +84,13 @@ func (s *keySet) Contains(k uint64) bool {
 	return ok
 }
 
-// ForEach calls fn for every key. fn must not mutate the set.
+// ForEach calls fn for every key in insertion order. fn must not mutate
+// the set.
 func (s *keySet) ForEach(fn func(k uint64)) {
 	for _, k := range s.keys {
+		if k == tombstone {
+			continue
+		}
 		fn(k)
 	}
 }
@@ -61,13 +102,13 @@ func (s *keySet) ForEach(fn func(k uint64)) {
 // size — the regime the paper's guidance θ < deg/2 puts us in — and O(Len)
 // otherwise.
 func (s *keySet) Sample(dst []uint64, n int, rng *rand.Rand, skip func(uint64) bool) []uint64 {
-	total := len(s.keys)
+	total := s.Len()
 	if n <= 0 || total == 0 {
 		return dst
 	}
 	if n >= total {
 		for _, k := range s.keys {
-			if skip != nil && skip(k) {
+			if k == tombstone || (skip != nil && skip(k)) {
 				continue
 			}
 			dst = append(dst, k)
@@ -75,13 +116,18 @@ func (s *keySet) Sample(dst []uint64, n int, rng *rand.Rand, skip func(uint64) b
 		return dst
 	}
 	if 2*n <= total {
-		// Rejection sampling: expected < 2 draws per accepted key.
+		// Rejection sampling over the backing array: at most half the
+		// slots are tombstones (compaction invariant), so the expected
+		// draw count stays O(n).
 		seen := make(map[uint64]struct{}, n)
 		attempts := 0
-		maxAttempts := 20*n + 64
+		maxAttempts := 40*n + 128
 		for len(seen) < n && attempts < maxAttempts {
 			attempts++
-			k := s.keys[rng.Intn(total)]
+			k := s.keys[rng.Intn(len(s.keys))]
+			if k == tombstone {
+				continue
+			}
 			if skip != nil && skip(k) {
 				continue
 			}
@@ -97,12 +143,16 @@ func (s *keySet) Sample(dst []uint64, n int, rng *rand.Rand, skip func(uint64) b
 		// Pathological skip sets: fall through to partial shuffle below.
 		dst = dst[:len(dst)-len(seen)]
 	}
-	// Partial Fisher-Yates over a copy.
-	cp := make([]uint64, total)
-	copy(cp, s.keys)
+	// Partial Fisher-Yates over a copy of the live keys.
+	cp := make([]uint64, 0, total)
+	for _, k := range s.keys {
+		if k != tombstone {
+			cp = append(cp, k)
+		}
+	}
 	picked := 0
-	for i := 0; i < total && picked < n; i++ {
-		j := i + rng.Intn(total-i)
+	for i := 0; i < len(cp) && picked < n; i++ {
+		j := i + rng.Intn(len(cp)-i)
 		cp[i], cp[j] = cp[j], cp[i]
 		if skip != nil && skip(cp[i]) {
 			continue

@@ -1,0 +1,115 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+)
+
+// errTorn marks a segment whose final record is cut short or corrupt —
+// recoverable at the tail, fatal elsewhere.
+var errTorn = errors.New("wal: torn record")
+
+// scanSegment walks one segment, calling fn (when non-nil) with each
+// record's LSN and payload. It returns the number of valid records and
+// the byte offset just past the last one. A short, oversized, or
+// CRC-failing frame stops the scan with errTorn; the caller decides
+// whether that is a recoverable tail or corruption. Errors from fn abort
+// the scan unwrapped.
+func scanSegment(dir string, first uint64, fn func(lsn uint64, payload []byte) error) (int, int64, error) {
+	data, err := os.ReadFile(segPath(dir, first))
+	if err != nil {
+		return 0, 0, fmt.Errorf("wal: %w", err)
+	}
+	if len(data) < headerSize {
+		return 0, 0, fmt.Errorf("%w: segment %016x header cut short", errTorn, first)
+	}
+	if got := binary.LittleEndian.Uint32(data[0:]); got != magic {
+		return 0, 0, fmt.Errorf("wal: segment %016x: bad magic %#x", first, got)
+	}
+	if v := binary.LittleEndian.Uint32(data[4:]); v != formatV1 {
+		return 0, 0, fmt.Errorf("wal: segment %016x: unsupported format version %d", first, v)
+	}
+	if hdrFirst := binary.LittleEndian.Uint64(data[8:]); hdrFirst != first {
+		return 0, 0, fmt.Errorf("wal: segment %016x: header claims first LSN %d", first, hdrFirst)
+	}
+	off := int64(headerSize)
+	n := 0
+	for {
+		rest := data[off:]
+		if len(rest) == 0 {
+			return n, off, nil
+		}
+		if len(rest) < frameSize {
+			return n, off, fmt.Errorf("%w: segment %016x offset %d", errTorn, first, off)
+		}
+		length := binary.LittleEndian.Uint32(rest[0:])
+		crc := binary.LittleEndian.Uint32(rest[4:])
+		if length > MaxRecordBytes || int64(len(rest)) < frameSize+int64(length) {
+			return n, off, fmt.Errorf("%w: segment %016x offset %d", errTorn, first, off)
+		}
+		payload := rest[frameSize : frameSize+int(length)]
+		if crc32.Checksum(payload, castagnoli) != crc {
+			return n, off, fmt.Errorf("%w: segment %016x offset %d (crc mismatch)", errTorn, first, off)
+		}
+		if fn != nil {
+			if err := fn(first+uint64(n), payload); err != nil {
+				return n, off, err
+			}
+		}
+		off += frameSize + int64(length)
+		n++
+	}
+}
+
+// Replay walks every record with LSN >= from in order, calling fn with
+// the record's LSN and payload (valid only during the call). It tolerates
+// a torn final record in the final segment — the expected shape of a
+// crash — and returns the next LSN after the last valid record. A torn or
+// corrupt record anywhere else is an error, as is a gap between `from`
+// and the oldest retained record (a checkpoint/truncation mismatch that
+// cannot be replayed to a consistent state).
+func Replay(dir string, from uint64, fn func(lsn uint64, payload []byte) error) (uint64, error) {
+	firsts, err := segmentFirsts(dir)
+	if err != nil {
+		return 0, err
+	}
+	if len(firsts) == 0 {
+		if from > 0 {
+			return 0, fmt.Errorf("wal: no segments but replay requested from LSN %d", from)
+		}
+		return 0, nil
+	}
+	if firsts[0] > from {
+		return 0, fmt.Errorf("wal: oldest retained record is %d, cannot replay from %d", firsts[0], from)
+	}
+	next := firsts[0]
+	for i, first := range firsts {
+		final := i == len(firsts)-1
+		cb := fn
+		if cb != nil {
+			cb = func(lsn uint64, payload []byte) error {
+				if lsn < from {
+					return nil
+				}
+				return fn(lsn, payload)
+			}
+		}
+		n, _, err := scanSegment(dir, first, cb)
+		switch {
+		case err == nil:
+		case errors.Is(err, errTorn) && final:
+			// The torn tail: everything before it replayed fine.
+		default:
+			return 0, err
+		}
+		next = first + uint64(n)
+		if !final && next != firsts[i+1] {
+			return 0, fmt.Errorf("wal: segment %016x ends at LSN %d but next segment starts at %d",
+				first, next, firsts[i+1])
+		}
+	}
+	return next, nil
+}

@@ -1,0 +1,448 @@
+// Package wal implements the segmented, CRC-framed write-ahead log behind
+// the engine's durability subsystem.
+//
+// A log is a directory of segment files, each named for the LSN (log
+// sequence number) of its first record:
+//
+//	<dir>/0000000000000000.wal
+//	<dir>/00000000000003e8.wal
+//	...
+//
+// Every segment starts with a 16-byte header (magic, format version,
+// first LSN) followed by length-prefixed records:
+//
+//	[4B little-endian payload length][4B CRC-32C of payload][payload]
+//
+// Records carry opaque payloads; LSNs are implicit (the header's first
+// LSN plus the record's ordinal in the segment), so the framing overhead
+// stays at 8 bytes per record.
+//
+// The appender is single-owner: exactly one goroutine (the engine's shard
+// writer) calls Append/Commit, which is what keeps the log off the
+// ingestion hot path's critical section — records are encoded into the
+// writer-owned buffer with no locking, and the buffered bytes reach the
+// OS in bursts (group commit). TruncateBefore may run concurrently from a
+// background checkpointer; it only touches sealed segments.
+//
+// Torn tails are expected, not exceptional: a crash can cut the final
+// record mid-frame. Open and Replay both stop at the first frame that is
+// short, oversized, or fails its CRC — in the final segment that marks
+// the recovered tail (Open truncates it so appends continue cleanly); in
+// any earlier segment it is real corruption and an error.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// SyncPolicy selects when Commit pushes buffered records to stable
+// storage.
+type SyncPolicy int
+
+const (
+	// SyncInterval (the default) fsyncs at most once per SyncEvery: a
+	// commit flushes the buffer to the OS and syncs only when the
+	// interval has elapsed since the last sync. A process crash loses at
+	// most the unsynced tail only if the OS also goes down; a bare
+	// process kill loses only the unflushed buffer.
+	SyncInterval SyncPolicy = iota
+	// SyncAlways fsyncs on every Commit — full durability, one
+	// fsync per mailbox drain burst (group commit), not per record.
+	SyncAlways
+	// SyncNever leaves syncing entirely to the OS.
+	SyncNever
+)
+
+// String names the policy for logs and flags.
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncNever:
+		return "never"
+	case SyncInterval:
+		return "interval"
+	}
+	return "unknown"
+}
+
+// Options configures a Log.
+type Options struct {
+	// SegmentBytes is the size at which the active segment is sealed and
+	// a new one started (default 8 MiB). Truncation operates on whole
+	// segments, so smaller segments reclaim space sooner at the cost of
+	// more files.
+	SegmentBytes int64
+	// Sync is the fsync policy applied by Commit.
+	Sync SyncPolicy
+	// SyncEvery is the SyncInterval period (default 100ms).
+	SyncEvery time.Duration
+	// BufferBytes sizes the append buffer (default 256 KiB).
+	BufferBytes int
+}
+
+func (o Options) withDefaults() Options {
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 8 << 20
+	}
+	if o.SyncEvery <= 0 {
+		o.SyncEvery = 100 * time.Millisecond
+	}
+	if o.BufferBytes <= 0 {
+		o.BufferBytes = 256 << 10
+	}
+	return o
+}
+
+const (
+	segSuffix  = ".wal"
+	headerSize = 16
+	frameSize  = 8          // length + crc
+	magic      = 0x534e5357 // "SNSW"
+	formatV1   = 1
+	// MaxRecordBytes bounds a single record; a frame announcing more is
+	// treated as corruption rather than an allocation request.
+	MaxRecordBytes = 64 << 20
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrClosed is returned by Append/Commit after Close or Abandon.
+var ErrClosed = errors.New("wal: log closed")
+
+// Log is a single-owner appender over a segment directory.
+type Log struct {
+	dir  string
+	opts Options
+
+	// Writer-goroutine state.
+	f        *os.File // active segment
+	buf      []byte   // unflushed appended bytes
+	size     int64    // bytes written + buffered in the active segment
+	next     uint64   // LSN the next Append returns
+	lastSync time.Time
+	closed   bool
+	scratch  [frameSize]byte
+
+	// sealed is the list of sealed segments (first LSNs, ascending),
+	// shared with TruncateBefore.
+	mu       sync.Mutex
+	sealed   []uint64
+	activeAt uint64 // first LSN of the active segment
+}
+
+// Open opens (creating if necessary) the log directory, validates the
+// existing segments, truncates a torn final record, and positions the log
+// to append after the last valid record.
+func Open(dir string, opts Options) (*Log, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	firsts, err := segmentFirsts(dir)
+	if err != nil {
+		return nil, err
+	}
+	l := &Log{dir: dir, opts: opts, buf: make([]byte, 0, opts.BufferBytes)}
+	if len(firsts) == 0 {
+		if err := l.startSegment(0); err != nil {
+			return nil, err
+		}
+		return l, nil
+	}
+	l.sealed = firsts[:len(firsts)-1]
+	active := firsts[len(firsts)-1]
+	// Earlier segments must be fully valid; only the final one may be
+	// torn. Scanning them here also surfaces mid-log corruption at open
+	// time instead of replay time.
+	for _, first := range l.sealed {
+		if _, _, err := scanSegment(dir, first, nil); err != nil {
+			return nil, err
+		}
+	}
+	n, validLen, err := scanSegment(dir, active, nil)
+	switch {
+	case err == nil || errors.Is(err, errTorn):
+		// A torn tail is the crash case Open exists to absorb: cut the
+		// segment back to its last whole record and continue from there.
+	default:
+		return nil, err
+	}
+	if validLen < headerSize {
+		// The crash cut the segment's own 16-byte header short (it died
+		// between creating the file and writing the header). Truncating
+		// to the tear would leave a header-less file that the NEXT Open
+		// rejects with "bad magic" — recreate the segment instead; it
+		// held no records.
+		if err := os.Remove(segPath(dir, active)); err != nil {
+			return nil, fmt.Errorf("wal: recreate torn-header segment: %w", err)
+		}
+		if err := l.startSegment(active); err != nil {
+			return nil, err
+		}
+		return l, nil
+	}
+	f, ferr := os.OpenFile(segPath(dir, active), os.O_WRONLY, 0o644)
+	if ferr != nil {
+		return nil, fmt.Errorf("wal: %w", ferr)
+	}
+	if err := f.Truncate(validLen); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: truncate torn tail: %w", err)
+	}
+	if _, err := f.Seek(validLen, io.SeekStart); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	l.f = f
+	l.size = validLen
+	l.activeAt = active
+	l.next = active + uint64(n)
+	return l, nil
+}
+
+// segPath names the segment whose first record is lsn.
+func segPath(dir string, lsn uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("%016x%s", lsn, segSuffix))
+}
+
+// segmentFirsts lists the first-LSNs of the segments in dir, ascending.
+func segmentFirsts(dir string) ([]uint64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	var firsts []uint64
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, segSuffix) {
+			continue
+		}
+		v, perr := strconv.ParseUint(strings.TrimSuffix(name, segSuffix), 16, 64)
+		if perr != nil {
+			return nil, fmt.Errorf("wal: alien segment name %q", name)
+		}
+		firsts = append(firsts, v)
+	}
+	sort.Slice(firsts, func(i, j int) bool { return firsts[i] < firsts[j] })
+	return firsts, nil
+}
+
+// startSegment seals the current segment (if any) and opens a fresh one
+// whose first record will be first.
+func (l *Log) startSegment(first uint64) error {
+	sealing := l.f != nil
+	if sealing {
+		if err := l.flush(); err != nil {
+			return err
+		}
+		if err := l.f.Sync(); err != nil {
+			return fmt.Errorf("wal: seal segment: %w", err)
+		}
+		if err := l.f.Close(); err != nil {
+			return fmt.Errorf("wal: seal segment: %w", err)
+		}
+	}
+	f, err := os.OpenFile(segPath(l.dir, first), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	var hdr [headerSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:], magic)
+	binary.LittleEndian.PutUint32(hdr[4:], formatV1)
+	binary.LittleEndian.PutUint64(hdr[8:], first)
+	if _, err := f.Write(hdr[:]); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: segment header: %w", err)
+	}
+	l.f = f
+	l.size = headerSize
+	l.next = first
+	// Seal-list append and activeAt move MUST be one critical section: a
+	// concurrent TruncateBefore that saw the old segment already sealed
+	// but activeAt still pointing at it would compute that segment's end
+	// as its own first LSN and could delete live records. (Between the
+	// file close above and this registration the old segment is simply
+	// invisible to truncation — it cannot be deleted, only kept.)
+	l.mu.Lock()
+	if sealing {
+		l.sealed = append(l.sealed, l.activeAt)
+	}
+	l.activeAt = first
+	l.mu.Unlock()
+	return nil
+}
+
+// NextLSN returns the LSN the next Append will be assigned. A checkpoint
+// stamped with this value contains the effects of every record below it.
+func (l *Log) NextLSN() uint64 { return l.next }
+
+// Append buffers one record and returns its LSN. The payload is copied;
+// the caller may reuse it immediately. Nothing reaches the OS until the
+// buffer fills or Commit/Sync runs, which is what keeps the append cheap
+// enough for the ingestion path (no syscall, no lock, no allocation in
+// steady state).
+func (l *Log) Append(payload []byte) (uint64, error) {
+	if l.closed {
+		return 0, ErrClosed
+	}
+	if len(payload) > MaxRecordBytes {
+		return 0, fmt.Errorf("wal: record of %d bytes exceeds limit %d", len(payload), MaxRecordBytes)
+	}
+	if l.size >= l.opts.SegmentBytes {
+		if err := l.startSegment(l.next); err != nil {
+			return 0, err
+		}
+	}
+	binary.LittleEndian.PutUint32(l.scratch[0:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(l.scratch[4:], crc32.Checksum(payload, castagnoli))
+	l.buf = append(l.buf, l.scratch[:]...)
+	l.buf = append(l.buf, payload...)
+	l.size += int64(frameSize + len(payload))
+	lsn := l.next
+	l.next++
+	if len(l.buf) >= l.opts.BufferBytes {
+		if err := l.flush(); err != nil {
+			return 0, err
+		}
+	}
+	return lsn, nil
+}
+
+// flush writes buffered bytes to the OS without syncing.
+func (l *Log) flush() error {
+	if len(l.buf) == 0 {
+		return nil
+	}
+	if _, err := l.f.Write(l.buf); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	l.buf = l.buf[:0]
+	return nil
+}
+
+// SyncDue reports whether the SyncInterval period has elapsed since the
+// last fsync — the caller's cue to Commit even mid-burst, so a sustained
+// backlog cannot starve the interval policy. Always false for SyncNever
+// (no sync is ever due) and always true for SyncAlways.
+func (l *Log) SyncDue() bool {
+	switch l.opts.Sync {
+	case SyncAlways:
+		return true
+	case SyncNever:
+		return false
+	}
+	return time.Since(l.lastSync) >= l.opts.SyncEvery
+}
+
+// Commit is the group-commit point, called once per mailbox drain burst:
+// it flushes the buffer and fsyncs per the configured policy.
+func (l *Log) Commit() error {
+	if l.closed {
+		return ErrClosed
+	}
+	if err := l.flush(); err != nil {
+		return err
+	}
+	switch l.opts.Sync {
+	case SyncAlways:
+		return l.sync()
+	case SyncInterval:
+		if time.Since(l.lastSync) >= l.opts.SyncEvery {
+			return l.sync()
+		}
+	}
+	return nil
+}
+
+// Sync flushes and fsyncs regardless of policy — the durability barrier
+// behind an explicit Flush.
+func (l *Log) Sync() error {
+	if l.closed {
+		return ErrClosed
+	}
+	if err := l.flush(); err != nil {
+		return err
+	}
+	return l.sync()
+}
+
+func (l *Log) sync() error {
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	l.lastSync = time.Now()
+	return nil
+}
+
+// Close flushes, syncs, and closes the log.
+func (l *Log) Close() error {
+	if l.closed {
+		return nil
+	}
+	err := l.Sync()
+	l.closed = true
+	if cerr := l.f.Close(); err == nil && cerr != nil {
+		err = fmt.Errorf("wal: %w", cerr)
+	}
+	return err
+}
+
+// Abandon closes the log without flushing the append buffer — the
+// simulated process kill used by crash tests. Buffered records are lost,
+// exactly as they would be in a real crash.
+func (l *Log) Abandon() {
+	if l.closed {
+		return
+	}
+	l.closed = true
+	l.buf = l.buf[:0]
+	l.f.Close()
+}
+
+// TruncateBefore deletes sealed segments every record of which is below
+// lsn — the space reclamation step after a checkpoint at lsn. The active
+// segment and any segment containing records >= lsn are kept. Safe to
+// call from a goroutine other than the appender's.
+func (l *Log) TruncateBefore(lsn uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	keep := l.sealed[:0]
+	for i, first := range l.sealed {
+		// A sealed segment's records end where the next segment begins.
+		end := l.activeAt
+		if i+1 < len(l.sealed) {
+			end = l.sealed[i+1]
+		}
+		if end <= lsn {
+			if err := os.Remove(segPath(l.dir, first)); err != nil && !os.IsNotExist(err) {
+				// Keep the registry consistent with the directory.
+				keep = append(keep, l.sealed[i:]...)
+				l.sealed = keep
+				return fmt.Errorf("wal: truncate: %w", err)
+			}
+			continue
+		}
+		keep = append(keep, first)
+	}
+	l.sealed = keep
+	return nil
+}
+
+// SegmentCount returns how many segment files the log currently spans.
+func (l *Log) SegmentCount() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.sealed) + 1
+}

@@ -1,0 +1,281 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// collect replays the whole log into a slice of (lsn, payload copies).
+func collect(t *testing.T, dir string, from uint64) (map[uint64][]byte, uint64) {
+	t.Helper()
+	got := map[uint64][]byte{}
+	next, err := Replay(dir, from, func(lsn uint64, payload []byte) error {
+		got[lsn] = append([]byte(nil), payload...)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got, next
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{Sync: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want [][]byte
+	for i := 0; i < 100; i++ {
+		p := []byte(fmt.Sprintf("record-%d", i))
+		want = append(want, p)
+		lsn, err := l.Append(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lsn != uint64(i) {
+			t.Fatalf("append %d got lsn %d", i, lsn)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, next := collect(t, dir, 0)
+	if next != 100 {
+		t.Fatalf("next = %d want 100", next)
+	}
+	for i, p := range want {
+		if string(got[uint64(i)]) != string(p) {
+			t.Fatalf("record %d = %q want %q", i, got[uint64(i)], p)
+		}
+	}
+	// Replay from the middle skips the prefix.
+	got, _ = collect(t, dir, 60)
+	if len(got) != 40 {
+		t.Fatalf("replay from 60 returned %d records, want 40", len(got))
+	}
+	if _, ok := got[59]; ok {
+		t.Fatal("record below `from` replayed")
+	}
+}
+
+func TestSegmentRollAndTruncate(t *testing.T) {
+	dir := t.TempDir()
+	// Tiny segments force rolls every few records.
+	l, err := Open(dir, Options{Sync: SyncNever, SegmentBytes: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, 40)
+	for i := 0; i < 30; i++ {
+		if _, err := l.Append(payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if n := l.SegmentCount(); n < 3 {
+		t.Fatalf("expected several segments, got %d", n)
+	}
+	_, next := collect(t, dir, 0)
+	if next != 30 {
+		t.Fatalf("next = %d want 30", next)
+	}
+
+	// Truncation keeps every record >= the checkpoint LSN replayable.
+	if err := l.TruncateBefore(17); err != nil {
+		t.Fatal(err)
+	}
+	got, next := collect(t, dir, 17)
+	if next != 30 {
+		t.Fatalf("after truncate: next = %d want 30", next)
+	}
+	for lsn := uint64(17); lsn < 30; lsn++ {
+		if _, ok := got[lsn]; !ok {
+			t.Fatalf("record %d lost by truncation", lsn)
+		}
+	}
+	// Replaying from below the oldest retained record must fail loudly —
+	// silently resuming from a gap would serve a hole in the stream.
+	if _, err := Replay(dir, 0, nil); err == nil {
+		t.Fatal("replay across truncated gap succeeded")
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A crash can cut the final record anywhere. Whatever the cut point,
+// Replay must return every whole record before it and Open must truncate
+// the tear and continue appending cleanly.
+func TestTornTailToleratedAtEveryOffset(t *testing.T) {
+	build := func(t *testing.T) (string, []byte) {
+		dir := t.TempDir()
+		l, err := Open(dir, Options{Sync: SyncNever})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 5; i++ {
+			if _, err := l.Append([]byte(fmt.Sprintf("payload-%d", i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := l.Close(); err != nil {
+			t.Fatal(err)
+		}
+		seg := segPath(dir, 0)
+		data, err := os.ReadFile(seg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return dir, data
+	}
+
+	dir, data := build(t)
+	// cut < headerSize tears the segment's own header (crash between
+	// file create and header write): zero records recoverable, and Open
+	// must recreate the segment rather than leave a header-less file.
+	for cut := 0; cut < len(data); cut++ {
+		if err := os.WriteFile(segPath(dir, 0), data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		var n int
+		next, err := Replay(dir, 0, func(lsn uint64, p []byte) error {
+			if want := fmt.Sprintf("payload-%d", lsn); string(p) != want {
+				t.Fatalf("cut %d: record %d = %q want %q", cut, lsn, p, want)
+			}
+			n++
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		if uint64(n) != next {
+			t.Fatalf("cut %d: %d records but next %d", cut, n, next)
+		}
+		// Open truncates the tear and appends after the last whole record.
+		l, err := Open(dir, Options{Sync: SyncNever})
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		if l.NextLSN() != next {
+			t.Fatalf("cut %d: open at lsn %d, replay said %d", cut, l.NextLSN(), next)
+		}
+		if _, err := l.Append([]byte("after-recovery")); err != nil {
+			t.Fatal(err)
+		}
+		if err := l.Close(); err != nil {
+			t.Fatal(err)
+		}
+		got, _ := collect(t, dir, 0)
+		if string(got[next]) != "after-recovery" {
+			t.Fatalf("cut %d: post-recovery append lost", cut)
+		}
+	}
+}
+
+// A flipped byte in a non-final segment is corruption, not a tail.
+func TestMidLogCorruptionIsAnError(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{Sync: SyncNever, SegmentBytes: 96})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if _, err := l.Append(make([]byte, 32)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	firsts, err := segmentFirsts(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(firsts) < 2 {
+		t.Fatalf("need >= 2 segments, got %d", len(firsts))
+	}
+	seg := segPath(dir, firsts[0])
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[headerSize+frameSize+3] ^= 0xff // flip a payload byte in segment 0
+	if err := os.WriteFile(seg, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Replay(dir, 0, nil); err == nil {
+		t.Fatal("corrupt non-final segment replayed without error")
+	}
+	if _, err := Open(dir, Options{Sync: SyncNever}); err == nil {
+		t.Fatal("corrupt non-final segment opened without error")
+	}
+}
+
+func TestAbandonDropsBufferedRecords(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{Sync: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append([]byte("flushed")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append([]byte("buffered-only")); err != nil {
+		t.Fatal(err)
+	}
+	l.Abandon()
+	if _, err := l.Append([]byte("x")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("append after abandon: %v", err)
+	}
+	got, next := collect(t, dir, 0)
+	if next != 1 || string(got[0]) != "flushed" {
+		t.Fatalf("abandon kept %d records (%q), want only the flushed one", next, got[0])
+	}
+}
+
+func TestOpenContinuesAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	for round := 0; round < 3; round++ {
+		l, err := Open(dir, Options{Sync: SyncAlways})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if l.NextLSN() != uint64(round*10) {
+			t.Fatalf("round %d opens at %d", round, l.NextLSN())
+		}
+		for i := 0; i < 10; i++ {
+			if _, err := l.Append([]byte{byte(round), byte(i)}); err != nil {
+				t.Fatal(err)
+			}
+			if err := l.Commit(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := l.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, next := collect(t, dir, 0)
+	if next != 30 {
+		t.Fatalf("next = %d want 30", next)
+	}
+}
+
+func TestAlienFilesRejected(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "zz.wal"), []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{}); err == nil {
+		t.Fatal("alien segment name accepted")
+	}
+}

@@ -272,23 +272,33 @@ func (t *Tracker) Start() error {
 		return ErrAlreadyStarted
 	}
 	init := als.Run(t.win.X(), als.Options{Rank: t.cfg.Rank, MaxIters: t.cfg.ALSIters, Seed: t.cfg.Seed})
+	t.dec = t.newDecomposer(init)
+	t.goOnline()
+	return nil
+}
+
+// newDecomposer builds the configured algorithm's decomposer around model.
+// Shared by Start and checkpoint restore (adopt) so the two construction
+// paths — including the auto-θ wrapping — cannot drift. The config is
+// validated at construction, so the switch is exhaustive; nil is returned
+// only for a corrupted Algorithm value and callers treat it as an error.
+func (t *Tracker) newDecomposer(model *cpd.Model) core.Decomposer {
 	switch t.cfg.Algorithm {
 	case SNSMat:
-		t.dec = core.NewSNSMat(t.win, init)
+		return core.NewSNSMat(t.win, model)
 	case SNSVec:
-		t.dec = core.NewSNSVec(t.win, init)
+		return core.NewSNSVec(t.win, model)
 	case SNSRnd:
-		t.dec = wrapAuto(core.NewSNSRnd(t.win, init, t.cfg.Theta, t.cfg.Seed), t.cfg.LatencyBudget)
+		return wrapAuto(core.NewSNSRnd(t.win, model, t.cfg.Theta, t.cfg.Seed), t.cfg.LatencyBudget)
 	case SNSVecPlus:
-		dec := core.NewSNSVecPlus(t.win, init, t.cfg.Eta)
+		dec := core.NewSNSVecPlus(t.win, model, t.cfg.Eta)
 		dec.NonNegative = t.cfg.NonNegative
-		t.dec = dec
+		return dec
 	case SNSRndPlus:
-		dec := core.NewSNSRndPlus(t.win, init, t.cfg.Theta, t.cfg.Eta, t.cfg.Seed)
+		dec := core.NewSNSRndPlus(t.win, model, t.cfg.Theta, t.cfg.Eta, t.cfg.Seed)
 		dec.NonNegative = t.cfg.NonNegative
-		t.dec = wrapAuto(dec, t.cfg.LatencyBudget)
+		return wrapAuto(dec, t.cfg.LatencyBudget)
 	}
-	t.goOnline()
 	return nil
 }
 
