@@ -31,8 +31,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -44,28 +45,84 @@ import (
 	"slicenstitch/internal/datagen"
 )
 
+// serveConfig carries everything run needs; one struct instead of a dozen
+// positional parameters.
+type serveConfig struct {
+	streams      string
+	addr         string
+	speed        float64
+	rank         int
+	w            int
+	mailbox      int
+	backpressure string
+	publishEvery int
+	checkpoint   string
+	dataDir      string
+	fsync        string
+	pprofAddr    string
+}
+
 func main() {
-	var (
-		streams      = flag.String("streams", "NewYorkTaxi", "comma-separated streams, each `preset` or `name=preset`")
-		addr         = flag.String("addr", ":8080", "HTTP listen address")
-		speed        = flag.Float64("speed", 1000, "stream ticks simulated per wall second, per stream")
-		rank         = flag.Int("rank", 12, "CP rank")
-		w            = flag.Int("w", 10, "window length")
-		mailbox      = flag.Int("mailbox", 256, "per-stream mailbox capacity in batches")
-		backpressure = flag.String("backpressure", "block", "full-mailbox policy: block, drop-oldest, or error")
-		publishEvery = flag.Int("publish-every", 256, "events between snapshot publishes")
-		checkpoint   = flag.String("checkpoint", "", "engine checkpoint path: restore from it if present, save on shutdown (best-effort when -data-dir is set)")
-		dataDir      = flag.String("data-dir", "", "durability directory: per-stream WAL + background checkpoints, crash recovery on boot")
-		fsync        = flag.String("fsync", "interval", "WAL fsync policy with -data-dir: always, interval, or never")
-	)
+	var cfg serveConfig
+	flag.StringVar(&cfg.streams, "streams", "NewYorkTaxi", "comma-separated streams, each `preset` or `name=preset`")
+	flag.StringVar(&cfg.addr, "addr", ":8080", "HTTP listen address")
+	flag.Float64Var(&cfg.speed, "speed", 1000, "stream ticks simulated per wall second, per stream")
+	flag.IntVar(&cfg.rank, "rank", 12, "CP rank")
+	flag.IntVar(&cfg.w, "w", 10, "window length")
+	flag.IntVar(&cfg.mailbox, "mailbox", 256, "per-stream mailbox capacity in batches")
+	flag.StringVar(&cfg.backpressure, "backpressure", "block", "full-mailbox policy: block, drop-oldest, or error")
+	flag.IntVar(&cfg.publishEvery, "publish-every", 256, "events between snapshot publishes")
+	flag.StringVar(&cfg.checkpoint, "checkpoint", "", "engine checkpoint path: restore from it if present, save on shutdown (best-effort when -data-dir is set)")
+	flag.StringVar(&cfg.dataDir, "data-dir", "", "durability directory: per-stream WAL + background checkpoints, crash recovery on boot")
+	flag.StringVar(&cfg.fsync, "fsync", "interval", "WAL fsync policy with -data-dir: always, interval, or never")
+	flag.StringVar(&cfg.pprofAddr, "pprof", "", "serve net/http/pprof on this separate address (e.g. localhost:6060); off when empty")
+	logFormat := flag.String("log-format", "text", "log output format: text or json")
 	flag.Parse()
-	if err := run(*streams, *addr, *speed, *rank, *w, *mailbox, *backpressure, *publishEvery, *checkpoint, *dataDir, *fsync); err != nil {
-		log.Fatal(err)
+
+	logger, err := newLogger(os.Stderr, *logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	slog.SetDefault(logger)
+
+	if err := run(cfg); err != nil {
+		slog.Error("snsserve exiting", "err", err)
+		os.Exit(1)
 	}
 }
 
-func run(streams, addr string, speed float64, rank, w, mailbox int, backpressure string, publishEvery int, checkpoint, dataDir, fsync string) error {
-	bp, err := parseBackpressure(backpressure)
+// newLogger builds the process logger. JSON is for log pipelines, text
+// for humans; both carry the same structured fields.
+func newLogger(w *os.File, format string) (*slog.Logger, error) {
+	switch format {
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, nil)), nil
+	case "text":
+		return slog.New(slog.NewTextHandler(w, nil)), nil
+	}
+	return nil, fmt.Errorf("unknown -log-format %q (want text or json)", format)
+}
+
+// pprofMux mounts the net/http/pprof handlers on a private mux, so the
+// profiling surface binds its own listener (typically loopback) instead
+// of riding the public API's DefaultServeMux.
+func pprofMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+func run(cfg serveConfig) error {
+	streams, addr, speed := cfg.streams, cfg.addr, cfg.speed
+	rank, w, mailbox := cfg.rank, cfg.w, cfg.mailbox
+	publishEvery := cfg.publishEvery
+	checkpoint, dataDir, fsync := cfg.checkpoint, cfg.dataDir, cfg.fsync
+	bp, err := parseBackpressure(cfg.backpressure)
 	if err != nil {
 		return err
 	}
@@ -98,9 +155,10 @@ func run(streams, addr string, speed float64, rank, w, mailbox int, backpressure
 		}
 		if n := len(e.Streams()); n > 0 {
 			restored = true
-			log.Printf("snsserve: recovered %d streams from %s (fsync=%s)", n, dataDir, policy)
+			slog.Info("recovered streams from data dir",
+				"streams", n, "dir", dataDir, "fsync", policy.String())
 		} else {
-			log.Printf("snsserve: durable data dir %s initialized (fsync=%s)", dataDir, policy)
+			slog.Info("durable data dir initialized", "dir", dataDir, "fsync", policy.String())
 		}
 	case checkpoint != "":
 		f, ferr := os.Open(checkpoint)
@@ -112,7 +170,8 @@ func run(streams, addr string, speed float64, rank, w, mailbox int, backpressure
 				return fmt.Errorf("restore %s: %w", checkpoint, err)
 			}
 			restored = true
-			log.Printf("snsserve: restored %d streams from %s", len(e.Streams()), checkpoint)
+			slog.Info("restored streams from checkpoint",
+				"streams", len(e.Streams()), "path", checkpoint)
 		case !os.IsNotExist(ferr):
 			// Anything but "no checkpoint yet" must not silently start
 			// fresh — shutdown would overwrite the unreadable file.
@@ -149,7 +208,7 @@ func run(streams, addr string, speed float64, rank, w, mailbox int, backpressure
 				return serr
 			}
 			if snap := st.Snapshot(); !snap.Started {
-				log.Printf("snsserve: restored stream %q is unstarted, resuming warm-up", sp.name)
+				slog.Info("restored stream is unstarted, resuming warm-up", "stream", sp.name)
 				go feed(ctx, st, sp.preset, speed,
 					int64(snap.W)*sp.preset.DefaultPeriod, snap.QueueCap, snap.Now+1)
 			}
@@ -173,7 +232,7 @@ func run(streams, addr string, speed float64, rank, w, mailbox int, backpressure
 				return err
 			}
 			if restored {
-				log.Printf("snsserve: stream %q not in checkpoint, created fresh", sp.name)
+				slog.Info("stream not in checkpoint, created fresh", "stream", sp.name)
 			}
 		} else if st, err = e.Stream(sp.name); err != nil {
 			return err
@@ -191,18 +250,31 @@ func run(streams, addr string, speed float64, rank, w, mailbox int, backpressure
 	}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	log.Printf("snsserve: %d streams on %s (x%g speed, %s backpressure)", len(e.Streams()), addr, speed, bp)
+	slog.Info("serving", "streams", len(e.Streams()), "addr", addr,
+		"speed", speed, "backpressure", bp.String())
+
+	if cfg.pprofAddr != "" {
+		// The profiling surface gets its own listener so it can bind
+		// loopback while the API binds the world, and so a runaway profile
+		// download cannot occupy an API server connection.
+		go func() {
+			slog.Info("pprof listening", "addr", cfg.pprofAddr)
+			if err := http.ListenAndServe(cfg.pprofAddr, pprofMux()); err != nil {
+				slog.Error("pprof listener failed", "addr", cfg.pprofAddr, "err", err)
+			}
+		}()
+	}
 
 	select {
 	case err := <-errc:
 		return err
 	case <-ctx.Done():
 	}
-	log.Print("snsserve: shutting down")
+	slog.Info("shutting down")
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil {
-		log.Printf("snsserve: shutdown: %v", err)
+		slog.Warn("http shutdown", "err", err)
 	}
 	if checkpoint != "" {
 		if err := saveCheckpoint(e, checkpoint); err != nil {
@@ -210,12 +282,13 @@ func run(streams, addr string, speed float64, rank, w, mailbox int, backpressure
 				// The WAL already made the state durable; the export file
 				// is a convenience and must not turn shutdown into a
 				// failure.
-				log.Printf("snsserve: shutdown checkpoint to %s failed (state is WAL-durable): %v", checkpoint, err)
+				slog.Warn("shutdown checkpoint failed (state is WAL-durable)",
+					"path", checkpoint, "err", err)
 			} else {
 				return err
 			}
 		} else {
-			log.Printf("snsserve: checkpointed %d streams to %s", len(e.Streams()), checkpoint)
+			slog.Info("checkpointed streams", "streams", len(e.Streams()), "path", checkpoint)
 		}
 	}
 	return e.Close()
@@ -317,10 +390,10 @@ func feed(ctx context.Context, st *slicenstitch.Stream, p datagen.Preset, speed 
 		}
 		if err := st.PushBatch(ctx, batch); err != nil {
 			if !errors.Is(err, slicenstitch.ErrBackpressure) {
-				log.Printf("feed %s: %v", name, err)
+				slog.Error("feeder stopping", "stream", name, "err", err)
 				return false
 			}
-			log.Printf("feed %s: batch rejected (backpressure)", name)
+			slog.Warn("batch rejected (backpressure)", "stream", name)
 		}
 		return true
 	}
@@ -342,17 +415,17 @@ func feed(ctx context.Context, st *slicenstitch.Stream, p datagen.Preset, speed 
 		}
 		if t%flushEvery == 0 {
 			if err := st.Flush(ctx); err != nil {
-				log.Printf("feed %s: %v", name, err)
+				slog.Error("warm-up flush failed", "stream", name, "err", err)
 				return
 			}
 		}
 	}
 	if err := st.Start(ctx); err != nil {
-		log.Printf("feed %s: %v", name, err)
+		slog.Error("warm-start failed", "stream", name, "err", err)
 		return
 	}
 	snap := st.Snapshot()
-	log.Printf("feed %s: online at stream time %d, fitness %.4f", name, snap.Now, snap.Fitness)
+	slog.Info("stream online", "stream", name, "time", snap.Now, "fitness", snap.Fitness)
 	interval := time.Duration(float64(time.Second) / speed)
 	ticker := time.NewTicker(interval)
 	defer ticker.Stop()

@@ -1,0 +1,514 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"slicenstitch"
+)
+
+// ---- exposition parser -------------------------------------------------
+//
+// A strict line-by-line parser for the Prometheus text format 0.0.4: it is
+// the conformance oracle for /metrics, so it rejects anything a real
+// scraper would (samples before their headers, malformed label escapes,
+// unparseable values) instead of skipping it.
+
+type promSample struct {
+	name   string
+	labels map[string]string
+	value  float64
+}
+
+type promFamily struct {
+	help, typ string
+	samples   []promSample
+}
+
+// labelKey canonicalizes a label set minus the given key, for grouping
+// histogram bucket series.
+func labelKey(labels map[string]string, drop string) string {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		if k != drop {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%s=%q;", k, labels[k])
+	}
+	return b.String()
+}
+
+// parseLabels parses `k="v",…}` (the text after the opening brace),
+// undoing the exposition escapes, and returns the label map plus the rest
+// of the line after the closing brace.
+func parseLabels(t *testing.T, line, rest string) (map[string]string, string) {
+	t.Helper()
+	labels := map[string]string{}
+	for {
+		eq := strings.IndexByte(rest, '=')
+		if eq < 0 || len(rest) < eq+2 || rest[eq+1] != '"' {
+			t.Fatalf("malformed labels in %q", line)
+		}
+		name := rest[:eq]
+		rest = rest[eq+2:]
+		var val strings.Builder
+		for {
+			if rest == "" {
+				t.Fatalf("unterminated label value in %q", line)
+			}
+			c := rest[0]
+			rest = rest[1:]
+			if c == '"' {
+				break
+			}
+			if c == '\\' {
+				if rest == "" {
+					t.Fatalf("dangling escape in %q", line)
+				}
+				e := rest[0]
+				rest = rest[1:]
+				switch e {
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					t.Fatalf("invalid escape \\%c in %q", e, line)
+				}
+				continue
+			}
+			val.WriteByte(c)
+		}
+		labels[name] = val.String()
+		if strings.HasPrefix(rest, ",") {
+			rest = rest[1:]
+			continue
+		}
+		if strings.HasPrefix(rest, "}") {
+			return labels, rest[1:]
+		}
+		t.Fatalf("expected , or } in %q", line)
+	}
+}
+
+// familyOf maps a sample name to its family name: histogram series use
+// the _bucket/_sum/_count suffixes of their family.
+func familyOf(name string, families map[string]*promFamily) (string, bool) {
+	if _, ok := families[name]; ok {
+		return name, true
+	}
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		base, found := strings.CutSuffix(name, suf)
+		if !found {
+			continue
+		}
+		if f, ok := families[base]; ok && f.typ == "histogram" {
+			return base, true
+		}
+	}
+	return "", false
+}
+
+// parseExposition parses a whole scrape, failing the test on any format
+// violation: duplicate or missing HELP/TYPE, samples preceding their
+// headers, malformed lines.
+func parseExposition(t *testing.T, body string) map[string]*promFamily {
+	t.Helper()
+	families := map[string]*promFamily{}
+	sc := bufio.NewScanner(strings.NewReader(body))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# ") {
+			parts := strings.SplitN(line[2:], " ", 3)
+			if len(parts) < 3 {
+				t.Fatalf("malformed comment line %q", line)
+			}
+			kind, name, text := parts[0], parts[1], parts[2]
+			f := families[name]
+			if f == nil {
+				f = &promFamily{}
+				families[name] = f
+			}
+			switch kind {
+			case "HELP":
+				if f.help != "" {
+					t.Fatalf("duplicate HELP for %s", name)
+				}
+				f.help = text
+			case "TYPE":
+				if f.typ != "" {
+					t.Fatalf("duplicate TYPE for %s", name)
+				}
+				if len(f.samples) > 0 {
+					t.Fatalf("TYPE for %s after its samples", name)
+				}
+				f.typ = text
+			default:
+				t.Fatalf("unknown comment kind %q in %q", kind, line)
+			}
+			continue
+		}
+		// Sample line: name[{labels}] value
+		var name, rest string
+		if brace := strings.IndexByte(line, '{'); brace >= 0 {
+			name = line[:brace]
+			rest = line[brace+1:]
+		} else if sp := strings.IndexByte(line, ' '); sp >= 0 {
+			name = line[:sp]
+			rest = "" // labels absent; value parsed below from the suffix
+		} else {
+			t.Fatalf("malformed sample line %q", line)
+		}
+		s := promSample{name: name, labels: map[string]string{}}
+		if rest != "" {
+			s.labels, rest = parseLabels(t, line, rest)
+		} else {
+			rest = line[len(name):]
+		}
+		rest = strings.TrimSpace(rest)
+		v, err := strconv.ParseFloat(rest, 64)
+		if err != nil {
+			t.Fatalf("bad value in %q: %v", line, err)
+		}
+		s.value = v
+
+		famName, ok := familyOf(name, families)
+		if !ok {
+			t.Fatalf("sample %q has no preceding HELP/TYPE", line)
+		}
+		f := families[famName]
+		if f.help == "" || f.typ == "" {
+			t.Fatalf("family %s incomplete at sample %q (help=%q type=%q)", famName, line, f.help, f.typ)
+		}
+		f.samples = append(f.samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	for name, f := range families {
+		if len(f.samples) == 0 && f.typ != "counter" && f.typ != "histogram" {
+			t.Fatalf("family %s declared but empty", name)
+		}
+	}
+	return families
+}
+
+// checkHistogram verifies one histogram family: per label set, cumulative
+// buckets that never decrease, a terminal +Inf bucket whose count equals
+// _count, and a _sum sample.
+func checkHistogram(t *testing.T, name string, f *promFamily) {
+	t.Helper()
+	type hist struct {
+		bounds []float64
+		counts []uint64
+		sum    *float64
+		count  *uint64
+	}
+	byLabel := map[string]*hist{}
+	get := func(s promSample) *hist {
+		k := labelKey(s.labels, "le")
+		h := byLabel[k]
+		if h == nil {
+			h = &hist{}
+			byLabel[k] = h
+		}
+		return h
+	}
+	for _, s := range f.samples {
+		switch s.name {
+		case name + "_bucket":
+			le, ok := s.labels["le"]
+			if !ok {
+				t.Fatalf("%s bucket without le label", name)
+			}
+			bound, err := strconv.ParseFloat(le, 64)
+			if err != nil {
+				t.Fatalf("%s: bad le %q", name, le)
+			}
+			h := get(s)
+			h.bounds = append(h.bounds, bound)
+			h.counts = append(h.counts, uint64(s.value))
+		case name + "_sum":
+			v := s.value
+			get(s).sum = &v
+		case name + "_count":
+			c := uint64(s.value)
+			get(s).count = &c
+		default:
+			t.Fatalf("%s: unexpected sample name %s", name, s.name)
+		}
+	}
+	if len(byLabel) == 0 {
+		t.Fatalf("%s: histogram family with no series", name)
+	}
+	for k, h := range byLabel {
+		if h.sum == nil || h.count == nil {
+			t.Fatalf("%s{%s}: missing _sum or _count", name, k)
+		}
+		if len(h.bounds) == 0 {
+			t.Fatalf("%s{%s}: no buckets", name, k)
+		}
+		for i := 1; i < len(h.bounds); i++ {
+			if h.bounds[i] <= h.bounds[i-1] {
+				t.Fatalf("%s{%s}: bounds not increasing at %d", name, k, i)
+			}
+			if h.counts[i] < h.counts[i-1] {
+				t.Fatalf("%s{%s}: cumulative counts decrease at le=%g", name, k, h.bounds[i])
+			}
+		}
+		last := len(h.bounds) - 1
+		if !math.IsInf(h.bounds[last], 1) {
+			t.Fatalf("%s{%s}: terminal bucket is le=%g, want +Inf", name, k, h.bounds[last])
+		}
+		if h.counts[last] != *h.count {
+			t.Fatalf("%s{%s}: +Inf bucket %d != _count %d", name, k, h.counts[last], *h.count)
+		}
+	}
+}
+
+// ---- tests -------------------------------------------------------------
+
+func scrape(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("scrape = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("scrape content type = %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}
+
+// TestMetricsExpositionConformance scrapes a durable engine under load
+// and validates the whole document: every line parses, every family is
+// headed, histograms are well-formed, and the headline series carry the
+// values the workload implies.
+func TestMetricsExpositionConformance(t *testing.T) {
+	e, err := slicenstitch.Open(slicenstitch.Options{Durability: &slicenstitch.DurabilityOptions{
+		Dir:             t.TempDir(),
+		CheckpointEvery: 16, // small, so the scrape sees checkpoints
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.AddStream("test", slicenstitch.StreamConfig{
+		Config:       slicenstitch.Config{Dims: []int{5, 4}, W: 3, Period: 10, Rank: 3},
+		PublishEvery: 1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(newMux(e))
+	t.Cleanup(func() { srv.Close(); e.Close() })
+
+	fillWindow(t, srv, "/v1") // 60 events + flush through HTTP
+
+	families := parseExposition(t, scrape(t, srv.URL))
+
+	// The full catalog must be present — a metric silently dropped from
+	// the exposition is an observability regression even if the rest of
+	// the document stays valid.
+	for _, name := range []string{
+		"sns_up", "sns_process_uptime_seconds", "sns_streams", "sns_engine_durable",
+		"sns_recovery_seconds", "sns_ingest_events_total", "sns_ingest_errors_total",
+		"sns_ingest_batches_total", "sns_ingest_rate_events_per_second",
+		"sns_publishes_total", "sns_publish_lag_seconds", "sns_writer_busy_seconds_total",
+		"sns_mailbox_depth", "sns_mailbox_capacity", "sns_mailbox_dropped_total",
+		"sns_batch_apply_seconds", "sns_wal_appends_total", "sns_wal_append_bytes_total",
+		"sns_wal_fsyncs_total", "sns_wal_segments_created_total",
+		"sns_wal_segments_truncated_total", "sns_checkpoints_total",
+		"sns_checkpoint_failures_total", "sns_checkpoint_last_bytes",
+		"sns_checkpoint_age_seconds", "sns_stream_recovery_seconds",
+		"sns_wal_append_seconds", "sns_wal_fsync_seconds", "sns_checkpoint_duration_seconds",
+		"sns_http_requests_total", "sns_http_request_duration_seconds",
+	} {
+		if families[name] == nil {
+			t.Errorf("family %s missing from scrape", name)
+		}
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	for name, f := range families {
+		if f.typ == "histogram" {
+			checkHistogram(t, name, f)
+		}
+		if f.typ == "counter" {
+			for _, s := range f.samples {
+				if s.value < 0 {
+					t.Errorf("%s: negative counter %g", name, s.value)
+				}
+			}
+		}
+	}
+
+	// Headline values: the HTTP workload above is exactly 60 events in
+	// one batch on one stream.
+	find := func(fam, stream string) float64 {
+		f := families[fam]
+		for _, s := range f.samples {
+			if stream == "" || s.labels["stream"] == stream {
+				return s.value
+			}
+		}
+		t.Fatalf("%s{stream=%q}: no sample", fam, stream)
+		return 0
+	}
+	if v := find("sns_ingest_events_total", "test"); v != 60 {
+		t.Errorf("ingest events = %g, want 60", v)
+	}
+	if v := find("sns_ingest_batches_total", "test"); v != 1 {
+		t.Errorf("ingest batches = %g, want 1", v)
+	}
+	if v := find("sns_streams", ""); v != 1 {
+		t.Errorf("streams gauge = %g, want 1", v)
+	}
+	if v := find("sns_engine_durable", ""); v != 1 {
+		t.Errorf("durable gauge = %g, want 1", v)
+	}
+	if v := find("sns_wal_appends_total", "test"); v < 1 {
+		t.Errorf("wal appends = %g, want ≥ 1", v)
+	}
+	if f := families["sns_batch_apply_seconds"]; f != nil {
+		var count float64
+		for _, s := range f.samples {
+			if s.name == "sns_batch_apply_seconds_count" && s.labels["stream"] == "test" {
+				count = s.value
+			}
+		}
+		if count != 1 {
+			t.Errorf("apply histogram count = %g, want 1", count)
+		}
+	}
+	// The middleware saw the ingest POST on its /v1 route label.
+	var httpHits float64
+	for _, s := range families["sns_http_requests_total"].samples {
+		if s.labels["route"] == "/v1/streams/{name}/events" && s.labels["code"] == "2xx" {
+			httpHits = s.value
+		}
+	}
+	if httpHits != 1 {
+		t.Errorf("http requests on events route = %g, want 1", httpHits)
+	}
+}
+
+// TestMetricsCounterMonotonicity scrapes twice around more traffic and
+// checks no counter series ever decreases — the property recording rules
+// and rates depend on.
+func TestMetricsCounterMonotonicity(t *testing.T) {
+	_, srv := newTestServer(t)
+	fillWindow(t, srv, "/v1")
+	first := parseExposition(t, scrape(t, srv.URL))
+
+	fillWindow(t, srv, "/v1") // more events, more HTTP requests
+
+	second := parseExposition(t, scrape(t, srv.URL))
+	for name, f1 := range first {
+		if f1.typ != "counter" && f1.typ != "histogram" {
+			continue
+		}
+		f2 := second[name]
+		if f2 == nil {
+			t.Errorf("family %s disappeared between scrapes", name)
+			continue
+		}
+		// Histogram buckets and _count are counters too; _sum of a
+		// duration histogram only grows as well.
+		prev := map[string]float64{}
+		for _, s := range f2.samples {
+			prev[s.name+"|"+labelKey(s.labels, "")] = s.value
+		}
+		for _, s := range f1.samples {
+			now, ok := prev[s.name+"|"+labelKey(s.labels, "")]
+			if !ok {
+				// A series may appear between scrapes, never vanish.
+				t.Errorf("%s series %v disappeared", name, s.labels)
+				continue
+			}
+			if now < s.value {
+				t.Errorf("%s%v went backwards: %g -> %g", s.name, s.labels, s.value, now)
+			}
+		}
+	}
+	// Sanity: the second fill actually moved the headline counter.
+	var v1, v2 float64
+	for _, s := range first["sns_ingest_events_total"].samples {
+		v1 = s.value
+	}
+	for _, s := range second["sns_ingest_events_total"].samples {
+		v2 = s.value
+	}
+	if v2 <= v1 {
+		t.Fatalf("ingest counter did not advance: %g -> %g", v1, v2)
+	}
+}
+
+// TestMetricsLabelEscaping registers a stream whose name needs every
+// escape the format defines and checks the scrape both emits the escaped
+// form and round-trips through the parser.
+func TestMetricsLabelEscaping(t *testing.T) {
+	e := slicenstitch.NewEngine()
+	name := "we\"ird\\str\neam"
+	if _, err := e.AddStream(name, slicenstitch.StreamConfig{
+		Config: slicenstitch.Config{Dims: []int{5, 4}, W: 3, Period: 10, Rank: 3},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(newMux(e))
+	t.Cleanup(func() { srv.Close(); e.Close() })
+
+	body := scrape(t, srv.URL)
+	want := `stream="we\"ird\\str\neam"`
+	if !strings.Contains(body, want) {
+		t.Fatalf("scrape does not contain escaped label %s", want)
+	}
+	families := parseExposition(t, body)
+	for _, s := range families["sns_ingest_events_total"].samples {
+		if s.labels["stream"] != name {
+			t.Fatalf("round-tripped stream label = %q, want %q", s.labels["stream"], name)
+		}
+	}
+}
+
+func TestEscapeLabel(t *testing.T) {
+	cases := map[string]string{
+		`plain`:          `plain`,
+		`back\slash`:     `back\\slash`,
+		`quo"te`:         `quo\"te`,
+		"new\nline":      `new\nline`,
+		"\\\"\n":         `\\\"\n`,
+		`taxi_manhattan`: `taxi_manhattan`,
+	}
+	for in, want := range cases {
+		if got := escapeLabel(in); got != want {
+			t.Errorf("escapeLabel(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -55,19 +55,30 @@ const maxPredictQueries = 4096
 // "observedTimedOut": true instead of stalling past the write timeout.
 func newMux(e *slicenstitch.Engine) *http.ServeMux {
 	mux := http.NewServeMux()
+	hs := &httpStats{}
 	// route registers a handler under /v1 and as a deprecated unversioned
 	// alias, so existing clients keep working for one release while new
-	// ones pin the version.
+	// ones pin the version. Both registrations run through the metrics
+	// middleware under their own route label (the pattern, never the raw
+	// URL, so label cardinality stays bounded); the alias keeping a
+	// separate label is what lets a dashboard watch deprecated traffic
+	// drain to zero.
 	route := func(method, path string, h http.HandlerFunc) {
-		mux.HandleFunc(method+" /v1"+path, h)
-		mux.HandleFunc(method+" "+path, func(rw http.ResponseWriter, req *http.Request) {
+		mux.HandleFunc(method+" /v1"+path, hs.middleware(hs.register(method, "/v1"+path), h))
+		alias := hs.register(method, path)
+		mux.HandleFunc(method+" "+path, hs.middleware(alias, func(rw http.ResponseWriter, req *http.Request) {
 			rw.Header().Set("Deprecation", "true")
 			// The successor link is the request's own path under /v1 —
 			// a concrete URI, not the route pattern.
 			rw.Header().Set("Link", "</v1"+req.URL.Path+`>; rel="successor-version"`)
 			h(rw, req)
-		})
+		}))
 	}
+
+	// The scrape endpoint instruments itself too: each scrape's series
+	// reflect the previous scrapes, which is exactly what a counter is.
+	mux.HandleFunc("GET /metrics",
+		hs.middleware(hs.register("GET", "/metrics"), metricsHandler(e, hs, processStart)))
 
 	route("GET", "/streams", func(rw http.ResponseWriter, _ *http.Request) {
 		names := e.Streams() // sorted: the listing is deterministic
@@ -236,7 +247,7 @@ func newMux(e *slicenstitch.Engine) *http.ServeMux {
 		writeJSON(rw, map[string]interface{}{"stream": st.Name(), "flushed": true})
 	})
 
-	mux.HandleFunc("GET /{$}", func(rw http.ResponseWriter, _ *http.Request) {
+	mux.HandleFunc("GET /{$}", hs.middleware(hs.register("GET", "/"), func(rw http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintf(rw, "slicenstitch multi-stream monitor — %d streams\n\n", len(e.Streams()))
 		for _, n := range e.Streams() {
 			snap, err := e.Snapshot(n)
@@ -247,8 +258,8 @@ func newMux(e *slicenstitch.Engine) *http.ServeMux {
 				n, snap.Now, snap.Ingested, snap.NNZ, snap.Fitness, snap.Algorithm,
 				snap.QueueDepth, snap.QueueCap)
 		}
-		fmt.Fprintf(rw, "\nendpoints: /v1/streams /v1/streams/{name}/status|factors|predict  POST /v1/streams/{name}/events|predict\n")
-	})
+		fmt.Fprintf(rw, "\nendpoints: /v1/streams /v1/streams/{name}/status|factors|predict  POST /v1/streams/{name}/events|predict  /metrics\n")
+	}))
 	return mux
 }
 

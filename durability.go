@@ -17,6 +17,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"slicenstitch/internal/metrics"
 	"slicenstitch/internal/wal"
 )
 
@@ -149,10 +150,12 @@ func Open(opts Options) (*Engine, error) {
 		return nil, fmt.Errorf("slicenstitch: open data dir: %w", err)
 	}
 	e.dur = &durEngine{opts: d}
+	start := time.Now()
 	if err := e.recoverStreams(); err != nil {
 		e.Close()
 		return nil, err
 	}
+	e.dur.recoveryNanos = time.Since(start).Nanoseconds()
 	return e, nil
 }
 
@@ -165,6 +168,10 @@ func OpenDurable(dir string) (*Engine, error) {
 // durEngine is the engine-level durability state.
 type durEngine struct {
 	opts DurabilityOptions
+	// recoveryNanos is how long Open spent recovering every stream from
+	// the data directory — 0 for a fresh directory. Written once at Open,
+	// read by Engine.Metrics.
+	recoveryNanos int64
 	// mu serializes stream-directory create/remove against each other;
 	// without it two racing AddStream("x") calls could both open
 	// appenders over the same WAL files before the registry rejects the
@@ -276,6 +283,14 @@ type shardDur struct {
 	opts DurabilityOptions
 	buf  []byte // record-encode scratch, writer-owned
 
+	// walStats receives the log's counters (the same instance the wal.Log
+	// records into); ckptStats the background checkpointer's. recoverNanos
+	// is how long this stream's recovery (checkpoint restore + WAL replay)
+	// took at Open, 0 for a stream created fresh.
+	walStats     *metrics.WALStats
+	ckptStats    *metrics.CheckpointStats
+	recoverNanos int64
+
 	ckptC    chan ckptReq
 	ckptDone chan struct{}
 	ckptErr  atomicErr
@@ -338,20 +353,25 @@ func (d *durEngine) createStream(name string, cfg StreamConfig) (*shardDur, erro
 	if err := frameFile(filepath.Join(dir, "config"), buf.Bytes()); err != nil {
 		return nil, fmt.Errorf("slicenstitch: write stream config: %w", err)
 	}
-	l, err := wal.Open(filepath.Join(dir, "wal"), d.opts.walOptions())
+	ws := &metrics.WALStats{}
+	wopts := d.opts.walOptions()
+	wopts.Stats = ws
+	l, err := wal.Open(filepath.Join(dir, "wal"), wopts)
 	if err != nil {
 		return nil, err
 	}
-	return d.newShardDur(dir, l), nil
+	return d.newShardDur(dir, l, ws), nil
 }
 
-func (d *durEngine) newShardDur(dir string, l *wal.Log) *shardDur {
+func (d *durEngine) newShardDur(dir string, l *wal.Log, ws *metrics.WALStats) *shardDur {
 	return &shardDur{
-		dir:      dir,
-		wal:      l,
-		opts:     d.opts,
-		ckptC:    make(chan ckptReq, 1),
-		ckptDone: make(chan struct{}),
+		dir:       dir,
+		wal:       l,
+		opts:      d.opts,
+		walStats:  ws,
+		ckptStats: &metrics.CheckpointStats{},
+		ckptC:     make(chan ckptReq, 1),
+		ckptDone:  make(chan struct{}),
 	}
 }
 
@@ -370,11 +390,14 @@ func (sd *shardDur) run() {
 		if sd.crashed.Load() {
 			continue
 		}
+		start := time.Now()
 		floor, err := sd.persistCheckpoint(req)
 		if err != nil {
+			sd.ckptStats.RecordFailure()
 			sd.ckptErr.set(err)
 			continue
 		}
+		sd.ckptStats.RecordCheckpoint(len(req.data), time.Since(start))
 		sd.ckptErr.set(nil)
 		// Reclaim up to the OLDEST retained checkpoint, not the newest:
 		// the retained fallback checkpoint is only a usable fallback while
@@ -551,15 +574,20 @@ func (e *Engine) recoverStreams() error {
 		if err := cfg.validate(); err != nil {
 			return fmt.Errorf("slicenstitch: recover %q: %w", dto.Name, err)
 		}
+		streamStart := time.Now()
 		tr, err := recoverTracker(dir, cfg)
 		if err != nil {
 			return fmt.Errorf("slicenstitch: recover %q: %w", dto.Name, err)
 		}
-		l, err := wal.Open(filepath.Join(dir, "wal"), e.dur.opts.walOptions())
+		ws := &metrics.WALStats{}
+		wopts := e.dur.opts.walOptions()
+		wopts.Stats = ws
+		l, err := wal.Open(filepath.Join(dir, "wal"), wopts)
 		if err != nil {
 			return fmt.Errorf("slicenstitch: recover %q: %w", dto.Name, err)
 		}
-		sd := e.dur.newShardDur(dir, l)
+		sd := e.dur.newShardDur(dir, l, ws)
+		sd.recoverNanos = time.Since(streamStart).Nanoseconds()
 		if _, err := e.addShard(dto.Name, cfg, tr, sd); err != nil {
 			l.Close()
 			return fmt.Errorf("slicenstitch: recover %q: %w", dto.Name, err)

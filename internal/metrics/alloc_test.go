@@ -1,0 +1,46 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+)
+
+// The shard writer records every one of these on the ingestion hot path,
+// which PR 3 proved allocation-free and CI gates via BENCH_ingest.json.
+// This test pins the recording side directly: if any Record path starts
+// allocating, it fails here before the benchmark gate has to catch the
+// regression downstream.
+func TestRecordingAllocationFree(t *testing.T) {
+	s := NewShardStats()
+	var w WALStats
+	var c CheckpointStats
+	var h Histogram
+	avg := testing.AllocsPerRun(100, func() {
+		s.RecordBatch(256, 40*time.Microsecond)
+		s.RecordErrors(1)
+		s.RecordPublish()
+		h.Record(17 * time.Microsecond)
+		w.RecordAppend(512)
+		w.RecordFsync(3 * time.Millisecond)
+		w.RecordTruncation(1)
+		w.RecordSegment()
+		c.RecordCheckpoint(1<<20, 5*time.Millisecond)
+	})
+	if avg != 0 {
+		t.Fatalf("metric recording averaged %.2f allocs/op, want 0", avg)
+	}
+}
+
+// Snapshot reads run on scrape paths, not the hot path, but they must
+// still be cheap enough to hammer: one scrape per second per stream. A
+// snapshot allocates only when the caller asks for cumulative buckets.
+func TestSnapshotIsValueCopy(t *testing.T) {
+	var h Histogram
+	h.Record(time.Millisecond)
+	s1 := h.Snapshot()
+	h.Record(time.Millisecond)
+	s2 := h.Snapshot()
+	if s1.Count != 1 || s2.Count != 2 {
+		t.Fatalf("snapshots not independent: %d, %d", s1.Count, s2.Count)
+	}
+}

@@ -1,0 +1,138 @@
+package metrics
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// WALStats collects one stream's write-ahead-log counters. The shard
+// writer records appends and append latency; the log itself records
+// flushes, fsyncs (with latency), segment churn, and truncations (the
+// last two from the background checkpointer's goroutine). Everything is
+// atomic adds and a histogram record — allocation-free and safe for
+// concurrent use.
+type WALStats struct {
+	appends     atomic.Uint64
+	appendBytes atomic.Uint64
+	syncs       atomic.Uint64
+	truncations atomic.Uint64
+	segments    atomic.Uint64
+
+	// Append is the latency of one engine-side WAL append (buffer encode
+	// + copy, including the occasional flush when the buffer fills),
+	// recorded on the shard writer goroutine.
+	Append Histogram
+	// Fsync is the latency of one fsync syscall, recorded wherever the
+	// log syncs (group commit, explicit barrier, segment seal).
+	Fsync Histogram
+}
+
+// RecordAppend counts one appended record of n payload bytes.
+func (w *WALStats) RecordAppend(n int) {
+	w.appends.Add(1)
+	w.appendBytes.Add(uint64(n))
+}
+
+// RecordFsync counts one fsync taking d.
+func (w *WALStats) RecordFsync(d time.Duration) {
+	w.syncs.Add(1)
+	w.Fsync.Record(d)
+}
+
+// RecordTruncation counts one TruncateBefore pass that deleted n segments.
+func (w *WALStats) RecordTruncation(n int) {
+	if n > 0 {
+		w.truncations.Add(uint64(n))
+	}
+}
+
+// RecordSegment counts one segment creation.
+func (w *WALStats) RecordSegment() { w.segments.Add(1) }
+
+// WALReport is the JSON-friendly snapshot of the counters.
+type WALReport struct {
+	Appends          uint64            `json:"appends"`
+	AppendBytes      uint64            `json:"appendBytes"`
+	Fsyncs           uint64            `json:"fsyncs"`
+	TruncatedSegs    uint64            `json:"truncatedSegments"`
+	SegmentsCreated  uint64            `json:"segmentsCreated"`
+	AppendLatency    HistogramSnapshot `json:"appendLatency"`
+	FsyncLatency     HistogramSnapshot `json:"fsyncLatency"`
+	FsyncP99Millis   float64           `json:"fsyncP99Millis"`
+	AppendP99Micros  float64           `json:"appendP99Micros"`
+	FsyncMeanMillis  float64           `json:"fsyncMeanMillis"`
+	AppendMeanMicros float64           `json:"appendMeanMicros"`
+}
+
+// Report snapshots the counters.
+func (w *WALStats) Report() WALReport {
+	app := w.Append.Snapshot()
+	fs := w.Fsync.Snapshot()
+	return WALReport{
+		Appends:          w.appends.Load(),
+		AppendBytes:      w.appendBytes.Load(),
+		Fsyncs:           w.syncs.Load(),
+		TruncatedSegs:    w.truncations.Load(),
+		SegmentsCreated:  w.segments.Load(),
+		AppendLatency:    app,
+		FsyncLatency:     fs,
+		FsyncP99Millis:   fs.Quantile(0.99) * 1e3,
+		AppendP99Micros:  app.Quantile(0.99) * 1e6,
+		FsyncMeanMillis:  fs.MeanSeconds() * 1e3,
+		AppendMeanMicros: app.MeanSeconds() * 1e6,
+	}
+}
+
+// CheckpointStats collects one stream's background-checkpoint counters,
+// recorded on the checkpointer goroutine (persist duration, size) and at
+// recovery (replay duration). Safe for concurrent use.
+type CheckpointStats struct {
+	count     atomic.Uint64
+	failures  atomic.Uint64
+	lastBytes atomic.Uint64
+	lastUnix  atomic.Int64 // unix nanos of the last successful persist
+
+	// Duration is the latency of persisting one checkpoint (frame, fsync,
+	// rename, directory fsync — not WAL truncation).
+	Duration Histogram
+}
+
+// RecordCheckpoint counts one persisted checkpoint of n bytes taking d.
+func (c *CheckpointStats) RecordCheckpoint(n int, d time.Duration) {
+	c.count.Add(1)
+	c.lastBytes.Store(uint64(n))
+	c.lastUnix.Store(time.Now().UnixNano())
+	c.Duration.Record(d)
+}
+
+// RecordFailure counts one failed checkpoint persist.
+func (c *CheckpointStats) RecordFailure() { c.failures.Add(1) }
+
+// CheckpointReport is the JSON-friendly snapshot of the counters.
+// SecondsSince is 0 before the first checkpoint.
+type CheckpointReport struct {
+	Checkpoints   uint64            `json:"checkpoints"`
+	Failures      uint64            `json:"failures"`
+	LastBytes     uint64            `json:"lastBytes"`
+	SecondsSince  float64           `json:"secondsSinceLast"`
+	Duration      HistogramSnapshot `json:"duration"`
+	LastP99Millis float64           `json:"p99Millis"`
+	MeanMillis    float64           `json:"meanMillis"`
+}
+
+// Report snapshots the counters.
+func (c *CheckpointStats) Report() CheckpointReport {
+	d := c.Duration.Snapshot()
+	r := CheckpointReport{
+		Checkpoints:   c.count.Load(),
+		Failures:      c.failures.Load(),
+		LastBytes:     c.lastBytes.Load(),
+		Duration:      d,
+		LastP99Millis: d.Quantile(0.99) * 1e3,
+		MeanMillis:    d.MeanSeconds() * 1e3,
+	}
+	if last := c.lastUnix.Load(); last > 0 {
+		r.SecondsSince = time.Since(time.Unix(0, last)).Seconds()
+	}
+	return r
+}

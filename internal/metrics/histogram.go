@@ -1,0 +1,170 @@
+package metrics
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram bucket layout: log-spaced (power-of-two) latency buckets.
+//
+// Bucket i (0 ≤ i < histBuckets) counts observations with
+// nanos < 1<<(histMinShift+i+1); the final slot is the overflow (+Inf)
+// bucket. histMinShift 9 puts the first boundary at 1.024µs — below the
+// cheapest operation we time (a WAL buffer append) — and histBuckets 26
+// puts the last finite boundary at 1<<35 ns ≈ 34s, past any latency the
+// engine could survive. Power-of-two boundaries make Record a bits.Len64
+// plus one atomic add: no loop, no comparison ladder, no allocation.
+const (
+	histMinShift = 9
+	histBuckets  = 26
+	histSlots    = histBuckets + 1 // + overflow
+)
+
+// Histogram is a lock-free fixed-bucket latency histogram. Any number of
+// goroutines may Record concurrently; Snapshot is wait-free and sees a
+// (bucket-wise) consistent-enough view for monitoring: each counter is
+// individually atomic, so a scrape racing a record may be off by the
+// in-flight observation but never corrupt.
+//
+// The zero value is ready to use. A Histogram must not be copied after
+// first use.
+type Histogram struct {
+	counts [histSlots]atomic.Uint64
+	sum    atomic.Int64 // total observed nanos
+}
+
+// histBucket maps a duration to its bucket index. Boundaries are
+// inclusive upper bounds (Prometheus `le` semantics): a value exactly at
+// 1<<(histMinShift+i+1) ns lands in bucket i.
+func histBucket(d time.Duration) int {
+	if d <= 0 {
+		return 0
+	}
+	b := bits.Len64(uint64(d) - 1) // smallest b with d ≤ 1<<b
+	switch {
+	case b <= histMinShift+1:
+		return 0
+	case b >= histMinShift+1+histBuckets:
+		return histBuckets // overflow
+	default:
+		return b - histMinShift - 1
+	}
+}
+
+// histBound returns bucket i's inclusive upper bound in seconds
+// (+Inf for the overflow bucket).
+func histBound(i int) float64 {
+	if i >= histBuckets {
+		return math.Inf(1)
+	}
+	return float64(uint64(1)<<(histMinShift+i+1)) / 1e9
+}
+
+// Record folds one observation into the histogram. Allocation-free.
+func (h *Histogram) Record(d time.Duration) {
+	h.counts[histBucket(d)].Add(1)
+	h.sum.Add(int64(d))
+}
+
+// Snapshot copies the current counters into an immutable, mergeable view.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		s.Counts[i] = c
+		s.Count += c
+	}
+	s.SumSeconds = float64(h.sum.Load()) / 1e9
+	return s
+}
+
+// HistogramSnapshot is a point-in-time copy of a Histogram: per-bucket
+// (non-cumulative) counts, the total count, and the observed sum.
+type HistogramSnapshot struct {
+	// Counts holds one non-cumulative count per bucket; the final slot is
+	// the overflow (+Inf) bucket.
+	Counts [histSlots]uint64 `json:"counts"`
+	// Count is the total number of observations.
+	Count uint64 `json:"count"`
+	// SumSeconds is the sum of all observed durations in seconds.
+	SumSeconds float64 `json:"sumSeconds"`
+}
+
+// Bucket is one cumulative exposition bucket: the count of observations
+// at or below UpperSeconds (math.Inf(1) for the terminal bucket).
+type Bucket struct {
+	UpperSeconds float64
+	CumCount     uint64
+}
+
+// Buckets returns the snapshot in cumulative (Prometheus `le`) form:
+// monotonically non-decreasing counts ending in the +Inf bucket, whose
+// count equals Count.
+func (s HistogramSnapshot) Buckets() []Bucket {
+	out := make([]Bucket, histSlots)
+	cum := uint64(0)
+	for i, c := range s.Counts {
+		cum += c
+		out[i] = Bucket{UpperSeconds: histBound(i), CumCount: cum}
+	}
+	return out
+}
+
+// Merge adds another snapshot's counts into this one — the cross-shard
+// aggregation primitive.
+func (s *HistogramSnapshot) Merge(o HistogramSnapshot) {
+	for i, c := range o.Counts {
+		s.Counts[i] += c
+	}
+	s.Count += o.Count
+	s.SumSeconds += o.SumSeconds
+}
+
+// Quantile estimates the q-th quantile (0 < q ≤ 1) in seconds by linear
+// interpolation inside the bucket holding the q-th observation. Returns 0
+// for an empty histogram; observations in the overflow bucket report the
+// last finite boundary (the estimate saturates rather than inventing a
+// value beyond what was measured).
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	cum := 0.0
+	for i, c := range s.Counts {
+		if c == 0 {
+			continue
+		}
+		next := cum + float64(c)
+		if next >= rank {
+			if i >= histBuckets {
+				return histBound(histBuckets - 1)
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = histBound(i - 1)
+			}
+			hi := histBound(i)
+			frac := (rank - cum) / float64(c)
+			return lo + (hi-lo)*frac
+		}
+		cum = next
+	}
+	return histBound(histBuckets - 1)
+}
+
+// MeanSeconds returns the average observation in seconds (0 when empty).
+func (s HistogramSnapshot) MeanSeconds() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.SumSeconds / float64(s.Count)
+}

@@ -1,0 +1,166 @@
+package metrics
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramBucketing(t *testing.T) {
+	var h Histogram
+	h.Record(0) // below the first boundary
+	h.Record(500 * time.Nanosecond)
+	h.Record(time.Microsecond)     // still bucket 0 (≤ 1.024µs)
+	h.Record(2 * time.Microsecond) // bucket 1 (≤ 2.048µs)
+	h.Record(time.Millisecond)
+	h.Record(time.Hour) // overflow
+	h.Record(-time.Second)
+
+	s := h.Snapshot()
+	if s.Count != 7 {
+		t.Fatalf("Count = %d, want 7", s.Count)
+	}
+	if s.Counts[0] != 4 { // 0, 500ns, 1µs, -1s
+		t.Fatalf("bucket 0 = %d, want 4", s.Counts[0])
+	}
+	if s.Counts[1] != 1 {
+		t.Fatalf("bucket 1 = %d, want 1", s.Counts[1])
+	}
+	if s.Counts[histBuckets] != 1 {
+		t.Fatalf("overflow = %d, want 1", s.Counts[histBuckets])
+	}
+}
+
+func TestHistogramBucketBoundariesExact(t *testing.T) {
+	// A value exactly at a power-of-two boundary must land in the bucket
+	// whose inclusive upper bound it is, matching Prometheus `le`
+	// semantics (cumulative count at `le=b` includes observations == b).
+	for i := 0; i < histBuckets; i++ {
+		bound := time.Duration(uint64(1) << (histMinShift + i + 1))
+		if got := histBucket(bound); got != i {
+			t.Fatalf("histBucket(%v) = %d, want %d", bound, got, i)
+		}
+		if got := histBucket(bound + 1); got != i+1 {
+			t.Fatalf("histBucket(%v+1) = %d, want %d", bound, got, i+1)
+		}
+	}
+}
+
+func TestHistogramCumulativeMonotone(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 1000; i++ {
+		h.Record(time.Duration(i) * 7 * time.Microsecond)
+	}
+	bs := h.Snapshot().Buckets()
+	prev := uint64(0)
+	for i, b := range bs {
+		if b.CumCount < prev {
+			t.Fatalf("bucket %d: cumulative count %d < previous %d", i, b.CumCount, prev)
+		}
+		prev = b.CumCount
+	}
+	last := bs[len(bs)-1]
+	if !math.IsInf(last.UpperSeconds, 1) {
+		t.Fatalf("terminal bucket bound = %v, want +Inf", last.UpperSeconds)
+	}
+	if last.CumCount != 1000 {
+		t.Fatalf("terminal cumulative count = %d, want 1000", last.CumCount)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	var h Histogram
+	if q := h.Snapshot().Quantile(0.5); q != 0 {
+		t.Fatalf("empty quantile = %v, want 0", q)
+	}
+	// 1000 samples at ~100µs: every quantile must be inside the bucket
+	// holding 100µs (65.536µs, 131.072µs].
+	for i := 0; i < 1000; i++ {
+		h.Record(100 * time.Microsecond)
+	}
+	s := h.Snapshot()
+	for _, q := range []float64{0.01, 0.5, 0.99, 1} {
+		v := s.Quantile(q)
+		if v <= 65e-6 || v > 132e-6 {
+			t.Fatalf("Quantile(%v) = %v, want within (65.536µs, 131.072µs]", q, v)
+		}
+	}
+	if p50, p99 := s.Quantile(0.5), s.Quantile(0.99); p99 < p50 {
+		t.Fatalf("p99 %v < p50 %v", p99, p50)
+	}
+	// A clearly bimodal distribution separates the quantiles.
+	var h2 Histogram
+	for i := 0; i < 99; i++ {
+		h2.Record(10 * time.Microsecond)
+	}
+	h2.Record(50 * time.Millisecond)
+	s2 := h2.Snapshot()
+	if p50 := s2.Quantile(0.5); p50 > 20e-6 {
+		t.Fatalf("bimodal p50 = %v, want ~10µs", p50)
+	}
+	if p999 := s2.Quantile(0.999); p999 < 20e-3 {
+		t.Fatalf("bimodal p999 = %v, want ~50ms", p999)
+	}
+}
+
+func TestHistogramQuantileOverflowSaturates(t *testing.T) {
+	var h Histogram
+	h.Record(2 * time.Hour)
+	got := h.Snapshot().Quantile(0.5)
+	want := histBound(histBuckets - 1)
+	if got != want {
+		t.Fatalf("overflow quantile = %v, want saturated bound %v", got, want)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b Histogram
+	for i := 0; i < 10; i++ {
+		a.Record(time.Microsecond)
+		b.Record(time.Millisecond)
+	}
+	sa, sb := a.Snapshot(), b.Snapshot()
+	sa.Merge(sb)
+	if sa.Count != 20 {
+		t.Fatalf("merged Count = %d, want 20", sa.Count)
+	}
+	wantSum := 10*1e-6 + 10*1e-3
+	if math.Abs(sa.SumSeconds-wantSum) > 1e-12 {
+		t.Fatalf("merged Sum = %v, want %v", sa.SumSeconds, wantSum)
+	}
+	if sa.Counts[histBucket(time.Microsecond)] != 10 || sa.Counts[histBucket(time.Millisecond)] != 10 {
+		t.Fatal("merged per-bucket counts wrong")
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Record(time.Duration(g*i) * time.Microsecond)
+				_ = h.Snapshot()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := h.Snapshot().Count; got != 8000 {
+		t.Fatalf("Count = %d, want 8000", got)
+	}
+}
+
+func TestHistogramMeanSeconds(t *testing.T) {
+	var h Histogram
+	if m := h.Snapshot().MeanSeconds(); m != 0 {
+		t.Fatalf("empty mean = %v", m)
+	}
+	h.Record(time.Millisecond)
+	h.Record(3 * time.Millisecond)
+	if m := h.Snapshot().MeanSeconds(); math.Abs(m-2e-3) > 1e-12 {
+		t.Fatalf("mean = %v, want 2ms", m)
+	}
+}

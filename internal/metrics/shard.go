@@ -1,15 +1,29 @@
 package metrics
 
 import (
+	"math"
 	"sync/atomic"
 	"time"
 )
 
+// Ingest-rate EWMA parameters: the writer folds the per-window event
+// count into an exponentially weighted moving average once per
+// rateWindow. rateAlpha is the per-window smoothing weight, giving a
+// half-life of about two windows — fast enough that a load change is
+// visible within seconds, smooth enough that a scrape doesn't see
+// per-batch noise.
+const (
+	rateWindow = time.Second
+	rateAlpha  = 0.3
+)
+
 // ShardStats collects the per-shard serving counters of the multi-stream
-// engine: events ingested, batch and error counts, writer busy time, and
-// snapshot publishes. All methods are safe for concurrent use — the shard
+// engine: events ingested, batch and error counts, writer busy time,
+// snapshot publishes, a batch-apply latency histogram, and a windowed
+// (EWMA) ingest rate. All methods are safe for concurrent use — the shard
 // writer records, HTTP readers report — and recording is a handful of
-// atomic adds so it stays off the critical path.
+// atomic adds so it stays off the critical path (0 allocs/op; see
+// TestRecordingAllocationFree).
 type ShardStats struct {
 	start          time.Time
 	ingested       atomic.Uint64
@@ -18,27 +32,68 @@ type ShardStats struct {
 	publishes      atomic.Uint64
 	busyNanos      atomic.Int64
 	lastBatchNanos atomic.Int64
+	lastPublish    atomic.Int64 // unix nanos of the last snapshot publish
+
+	// EWMA ingest rate. In the engine a single shard writer mutates
+	// rateCount / rateMark / rateBits (readers just Load), so the fold
+	// needs no CAS; concurrent recorders are merely approximate (a racing
+	// fold can misattribute one window's events), never unsafe.
+	rateCount atomic.Uint64 // events since the window opened
+	rateMark  atomic.Int64  // unix nanos the window opened
+	rateBits  atomic.Uint64 // math.Float64bits of the EWMA events/sec
+
+	// Apply is the batch-apply latency histogram (one observation per
+	// applied batch), recorded on the shard writer goroutine.
+	Apply Histogram
 }
 
 // NewShardStats returns a recorder whose ingest rate is measured from now.
 func NewShardStats() *ShardStats {
-	return &ShardStats{start: time.Now()}
+	s := &ShardStats{start: time.Now()}
+	now := s.start.UnixNano()
+	s.rateMark.Store(now)
+	s.lastPublish.Store(now)
+	return s
 }
 
 // RecordBatch folds one applied batch of n events taking d into the
-// counters.
+// counters, the apply histogram, and the windowed ingest rate.
 func (s *ShardStats) RecordBatch(n int, d time.Duration) {
 	s.ingested.Add(uint64(n))
 	s.batches.Add(1)
 	s.busyNanos.Add(int64(d))
 	s.lastBatchNanos.Store(int64(d))
+	s.Apply.Record(d)
+
+	s.rateCount.Add(uint64(n))
+	now := time.Now().UnixNano()
+	mark := s.rateMark.Load()
+	if elapsed := now - mark; elapsed >= int64(rateWindow) {
+		// Single writer: nobody else swaps rateCount or moves the mark,
+		// so load-and-store is race-free; readers see either window.
+		cnt := s.rateCount.Swap(0)
+		s.rateMark.Store(now)
+		inst := float64(cnt) / (float64(elapsed) / 1e9)
+		old := math.Float64frombits(s.rateBits.Load())
+		// A gap of k windows decays the old average as if k-1 empty
+		// windows had been folded, so a stalled-then-resumed stream does
+		// not resume at its ancient rate.
+		if k := elapsed / int64(rateWindow); k > 1 {
+			old *= math.Pow(1-rateAlpha, float64(k-1))
+		}
+		s.rateBits.Store(math.Float64bits(rateAlpha*inst + (1-rateAlpha)*old))
+	}
 }
 
 // RecordErrors counts n rejected events (bad coordinates, time regressions).
 func (s *ShardStats) RecordErrors(n int) { s.errors.Add(uint64(n)) }
 
-// RecordPublish counts one snapshot publish.
-func (s *ShardStats) RecordPublish() { s.publishes.Add(1) }
+// RecordPublish counts one snapshot publish and resets the publish-lag
+// clock.
+func (s *ShardStats) RecordPublish() {
+	s.publishes.Add(1)
+	s.lastPublish.Store(time.Now().UnixNano())
+}
 
 // Ingested returns the number of events applied.
 func (s *ShardStats) Ingested() uint64 { return s.ingested.Load() }
@@ -75,8 +130,52 @@ func (s *ShardStats) MeanBatchLatency() time.Duration {
 // Uptime returns the time since the recorder was created.
 func (s *ShardStats) Uptime() time.Duration { return time.Since(s.start) }
 
-// IngestRate returns events applied per second of uptime.
+// PublishLag returns the wall time since the last snapshot publish — how
+// stale the published model view currently is. Before the first publish
+// it measures from the recorder's creation.
+func (s *ShardStats) PublishLag() time.Duration {
+	return time.Duration(time.Now().UnixNano() - s.lastPublish.Load())
+}
+
+// IngestRate returns the windowed (EWMA) events-per-second rate: recent
+// windows dominate, so a load change shows within seconds instead of
+// being averaged into the whole process uptime. Read-side decay handles
+// an idle stream — with no events folding the average, the reported rate
+// decays toward 0 as windows elapse. The lifetime average is
+// LifetimeIngestRate; the raw total is Ingested.
 func (s *ShardStats) IngestRate() float64 {
+	rate := math.Float64frombits(s.rateBits.Load())
+	elapsed := time.Now().UnixNano() - s.rateMark.Load()
+	if elapsed <= 0 {
+		return rate
+	}
+	if k := elapsed / int64(rateWindow); k > 1 {
+		// The writer has not folded for k windows (idle or slow): decay
+		// as the folds themselves would have, so a stalled stream's rate
+		// sinks toward 0 instead of freezing at its last value.
+		rate *= math.Pow(1-rateAlpha, float64(k-1))
+	}
+	if cnt := s.rateCount.Load(); cnt > 0 {
+		// Blend the pending (partial) window in, weighted by how much of
+		// it has elapsed: a freshly started stream reports immediately,
+		// and mid-window reads track the live rate rather than lagging a
+		// full window behind.
+		inst := float64(cnt) / (float64(elapsed) / 1e9)
+		w := rateAlpha
+		if elapsed < int64(rateWindow) {
+			w *= float64(elapsed) / float64(rateWindow)
+		}
+		rate = (1-w)*rate + w*inst
+	}
+	if rate < 1e-9 {
+		return 0
+	}
+	return rate
+}
+
+// LifetimeIngestRate returns events applied per second of total uptime —
+// the long-run average, kept alongside the windowed IngestRate.
+func (s *ShardStats) LifetimeIngestRate() float64 {
 	up := s.Uptime().Seconds()
 	if up <= 0 {
 		return 0
@@ -85,7 +184,8 @@ func (s *ShardStats) IngestRate() float64 {
 }
 
 // ShardReport is a JSON-friendly copy of the counters for status
-// endpoints.
+// endpoints. The mailbox fields (Dropped, QueueDepth, QueueCap) are
+// stamped by the engine, which owns the mailbox.
 type ShardReport struct {
 	Ingested        uint64  `json:"ingested"`
 	Batches         uint64  `json:"batches"`
@@ -93,22 +193,41 @@ type ShardReport struct {
 	Publishes       uint64  `json:"publishes"`
 	BusyMillis      float64 `json:"busyMillis"`
 	MeanBatchMicros float64 `json:"meanBatchMicros"`
-	IngestPerSec    float64 `json:"ingestPerSec"`
-	UptimeSeconds   float64 `json:"uptimeSeconds"`
-	LastBatchMicros float64 `json:"lastBatchMicros"`
+	// IngestPerSec is the windowed (EWMA) rate; LifetimePerSec the
+	// uptime-wide average that IngestPerSec used to be.
+	IngestPerSec     float64 `json:"ingestPerSec"`
+	LifetimePerSec   float64 `json:"lifetimeIngestPerSec"`
+	UptimeSeconds    float64 `json:"uptimeSeconds"`
+	LastBatchMicros  float64 `json:"lastBatchMicros"`
+	PublishLagMillis float64 `json:"publishLagMillis"`
+	ApplyP50Micros   float64 `json:"applyP50Micros"`
+	ApplyP99Micros   float64 `json:"applyP99Micros"`
+	// Mailbox view, stamped by the engine.
+	Dropped    uint64 `json:"droppedBatches"`
+	QueueDepth int    `json:"queueDepth"`
+	QueueCap   int    `json:"queueCap"`
+	// ApplyLatency is the full batch-apply histogram snapshot (omitted
+	// from status JSON; the /metrics exposition renders it).
+	ApplyLatency HistogramSnapshot `json:"-"`
 }
 
 // Report snapshots the counters.
 func (s *ShardStats) Report() ShardReport {
+	apply := s.Apply.Snapshot()
 	return ShardReport{
-		Ingested:        s.Ingested(),
-		Batches:         s.Batches(),
-		Errors:          s.Errors(),
-		Publishes:       s.Publishes(),
-		BusyMillis:      float64(s.BusyTime().Microseconds()) / 1e3,
-		MeanBatchMicros: float64(s.MeanBatchLatency().Nanoseconds()) / 1e3,
-		IngestPerSec:    s.IngestRate(),
-		UptimeSeconds:   s.Uptime().Seconds(),
-		LastBatchMicros: float64(s.LastBatchLatency().Nanoseconds()) / 1e3,
+		Ingested:         s.Ingested(),
+		Batches:          s.Batches(),
+		Errors:           s.Errors(),
+		Publishes:        s.Publishes(),
+		BusyMillis:       float64(s.BusyTime().Microseconds()) / 1e3,
+		MeanBatchMicros:  float64(s.MeanBatchLatency().Nanoseconds()) / 1e3,
+		IngestPerSec:     s.IngestRate(),
+		LifetimePerSec:   s.LifetimeIngestRate(),
+		UptimeSeconds:    s.Uptime().Seconds(),
+		LastBatchMicros:  float64(s.LastBatchLatency().Nanoseconds()) / 1e3,
+		PublishLagMillis: float64(s.PublishLag().Nanoseconds()) / 1e6,
+		ApplyP50Micros:   apply.Quantile(0.50) * 1e6,
+		ApplyP99Micros:   apply.Quantile(0.99) * 1e6,
+		ApplyLatency:     apply,
 	}
 }

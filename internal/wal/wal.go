@@ -44,6 +44,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"slicenstitch/internal/metrics"
 )
 
 // SyncPolicy selects when Commit pushes buffered records to stable
@@ -90,6 +92,12 @@ type Options struct {
 	SyncEvery time.Duration
 	// BufferBytes sizes the append buffer (default 256 KiB).
 	BufferBytes int
+	// Stats, when non-nil, receives the log's observability counters:
+	// appends and appended bytes, fsync count and latency, segment
+	// creations, and truncated segments. Recording is atomic adds plus a
+	// histogram record — allocation-free — so it is safe to leave on in
+	// production.
+	Stats *metrics.WALStats
 }
 
 func (o Options) withDefaults() Options {
@@ -247,8 +255,12 @@ func (l *Log) startSegment(first uint64) error {
 		if err := l.flush(); err != nil {
 			return err
 		}
+		start := time.Now()
 		if err := l.f.Sync(); err != nil {
 			return fmt.Errorf("wal: seal segment: %w", err)
+		}
+		if l.opts.Stats != nil {
+			l.opts.Stats.RecordFsync(time.Since(start))
 		}
 		if err := l.f.Close(); err != nil {
 			return fmt.Errorf("wal: seal segment: %w", err)
@@ -281,6 +293,9 @@ func (l *Log) startSegment(first uint64) error {
 	}
 	l.activeAt = first
 	l.mu.Unlock()
+	if l.opts.Stats != nil {
+		l.opts.Stats.RecordSegment()
+	}
 	return nil
 }
 
@@ -312,6 +327,9 @@ func (l *Log) Append(payload []byte) (uint64, error) {
 	l.size += int64(frameSize + len(payload))
 	lsn := l.next
 	l.next++
+	if l.opts.Stats != nil {
+		l.opts.Stats.RecordAppend(len(payload))
+	}
 	if len(l.buf) >= l.opts.BufferBytes {
 		if err := l.flush(); err != nil {
 			return 0, err
@@ -379,10 +397,14 @@ func (l *Log) Sync() error {
 }
 
 func (l *Log) sync() error {
+	start := time.Now()
 	if err := l.f.Sync(); err != nil {
 		return fmt.Errorf("wal: %w", err)
 	}
 	l.lastSync = time.Now()
+	if l.opts.Stats != nil {
+		l.opts.Stats.RecordFsync(l.lastSync.Sub(start))
+	}
 	return nil
 }
 
@@ -419,6 +441,12 @@ func (l *Log) TruncateBefore(lsn uint64) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	keep := l.sealed[:0]
+	removed := 0
+	defer func() {
+		if l.opts.Stats != nil {
+			l.opts.Stats.RecordTruncation(removed)
+		}
+	}()
 	for i, first := range l.sealed {
 		// A sealed segment's records end where the next segment begins.
 		end := l.activeAt
@@ -432,6 +460,7 @@ func (l *Log) TruncateBefore(lsn uint64) error {
 				l.sealed = keep
 				return fmt.Errorf("wal: truncate: %w", err)
 			}
+			removed++
 			continue
 		}
 		keep = append(keep, first)

@@ -6,6 +6,8 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"slicenstitch/internal/metrics"
 )
 
 // collect replays the whole log into a slice of (lsn, payload copies).
@@ -277,5 +279,51 @@ func TestAlienFilesRejected(t *testing.T) {
 	}
 	if _, err := Open(dir, Options{}); err == nil {
 		t.Fatal("alien segment name accepted")
+	}
+}
+
+func TestStatsRecording(t *testing.T) {
+	dir := t.TempDir()
+	var stats metrics.WALStats
+	// Tiny segments so appends roll segments and truncation has sealed
+	// segments to reclaim.
+	l, err := Open(dir, Options{Sync: SyncAlways, SegmentBytes: 64, Stats: &stats})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("0123456789abcdef0123456789abcdef") // 32B + 8B frame
+	var last uint64
+	for i := 0; i < 10; i++ {
+		if last, err = l.Append(payload); err != nil {
+			t.Fatal(err)
+		}
+		if err := l.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := stats.Report()
+	if r.Appends != 10 {
+		t.Fatalf("Appends = %d, want 10", r.Appends)
+	}
+	if r.AppendBytes != 10*uint64(len(payload)) {
+		t.Fatalf("AppendBytes = %d, want %d", r.AppendBytes, 10*len(payload))
+	}
+	if r.Fsyncs == 0 {
+		t.Fatal("SyncAlways commits must record fsyncs")
+	}
+	if r.FsyncLatency.Count != r.Fsyncs {
+		t.Fatalf("fsync histogram count %d != fsync counter %d", r.FsyncLatency.Count, r.Fsyncs)
+	}
+	if r.SegmentsCreated < 2 {
+		t.Fatalf("SegmentsCreated = %d, want ≥ 2 with 64-byte segments", r.SegmentsCreated)
+	}
+	if err := l.TruncateBefore(last); err != nil {
+		t.Fatal(err)
+	}
+	if got := stats.Report().TruncatedSegs; got == 0 {
+		t.Fatal("TruncateBefore reclaimed nothing into the stats")
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
 	}
 }
