@@ -92,7 +92,7 @@ func Restore(r io.Reader) (*Tracker, error) {
 	if err != nil {
 		return nil, err
 	}
-	t := &Tracker{cfg: h.Config, win: win, events: h.Events, idxBuf: make([]int, len(h.Config.Dims)+1)}
+	t := &Tracker{cfg: h.Config, win: win, events: h.Events, idxBuf: make([]int, len(h.Config.Dims)+1), pool: newTrackerPool(h.Config)}
 	if !h.Started {
 		return t, nil
 	}

@@ -1,19 +1,22 @@
 // Command snsbench turns `go test -bench -benchmem` output into the
 // committed benchmark-trajectory artifact (BENCH_ingest.json) and gates CI
-// on allocation regressions.
+// on allocation and latency regressions.
 //
 // Usage:
 //
 //	go test -run '^$' -bench 'IngestHotPath|EnginePushBatch' -benchmem . \
 //	    | go run ./cmd/snsbench -out BENCH_ingest.ci.json \
-//	          -baseline BENCH_ingest.json -max-alloc-regress 0.20
+//	          -baseline BENCH_ingest.json -max-alloc-regress 0.20 -ns-tolerance 0.15
 //
 // The tool parses every benchmark line on stdin (or -in), writes the
-// parsed results as JSON, and — when a baseline file is given — fails
-// (exit 1) if any benchmark's allocs/op regressed by more than the
-// allowed fraction over the committed baseline. A baseline of 0 allocs/op
-// therefore tolerates no allocation at all, which is how the
-// zero-allocation ingestion fast path stays zero.
+// parsed results as JSON, and — when a baseline file is given — prints a
+// benchstat-style old→new table and fails (exit 1) if any benchmark
+// regressed beyond tolerance: allocs/op by more than -max-alloc-regress,
+// or ns/op by more than -ns-tolerance (default 15%; set negative to
+// disable the time gate, e.g. on heavily shared runners). A baseline of 0
+// allocs/op tolerates no allocation at all, which is how the
+// zero-allocation ingestion fast path stays zero. All violations are
+// reported, not just the first.
 package main
 
 import (
@@ -24,6 +27,7 @@ import (
 	"io"
 	"math"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -49,6 +53,7 @@ func main() {
 	out := flag.String("out", "", "write parsed results as JSON to this path")
 	baseline := flag.String("baseline", "", "baseline JSON to compare against")
 	maxAllocRegress := flag.Float64("max-alloc-regress", 0.20, "allowed fractional allocs/op regression over baseline")
+	nsTolerance := flag.Float64("ns-tolerance", 0.15, "allowed fractional ns/op regression over baseline; negative disables the time gate")
 	goVersion := flag.String("go-version", "", "annotate the artifact with a toolchain version")
 	flag.Parse()
 
@@ -97,11 +102,11 @@ func main() {
 	}
 
 	if *baseline != "" {
-		if err := compare(base, results, *maxAllocRegress); err != nil {
-			fmt.Fprintf(os.Stderr, "REGRESSION: %v\n", err)
+		if err := compare(os.Stdout, base, results, *maxAllocRegress, *nsTolerance); err != nil {
+			fmt.Fprintf(os.Stderr, "REGRESSION:\n%v\n", err)
 			os.Exit(1)
 		}
-		fmt.Println("allocs/op within baseline tolerance")
+		fmt.Println("allocs/op and ns/op within baseline tolerance")
 	}
 }
 
@@ -172,35 +177,62 @@ func load(path string) (File, error) {
 	return f, nil
 }
 
-// compare fails when a benchmark present in the baseline regressed its
-// allocs/op beyond the allowed fraction, or did not run at all — a bench
-// regex slip or rename must not silently disable the gate; update the
-// committed baseline alongside the rename instead. Absolute slack below
-// one alloc is granted only when the baseline itself is nonzero; a zero
-// baseline is a hard zero. Current results without a baseline entry are
+// compare prints a benchstat-style old→new table for every baselined
+// benchmark and fails when one regressed beyond tolerance or did not run
+// at all — a bench regex slip or rename must not silently disable the
+// gate; update the committed baseline alongside the rename instead. Two
+// gates run per benchmark: allocs/op against maxRegress (absolute slack
+// below one alloc is granted only when the baseline itself is nonzero; a
+// zero baseline is a hard zero) and ns/op against nsTolerance (skipped
+// when negative). Every violation is collected so one run reports the
+// full regression picture. Current results without a baseline entry are
 // new benchmarks and only noted.
-func compare(base File, cur []Result, maxRegress float64) error {
+func compare(w io.Writer, base File, cur []Result, maxRegress, nsTolerance float64) error {
 	byName := make(map[string]Result, len(cur))
 	for _, c := range cur {
 		byName[c.Name] = c
 	}
+	var failures []string
+	fmt.Fprintf(w, "%-36s %14s %14s %9s %12s %12s\n",
+		"benchmark", "old ns/op", "new ns/op", "delta", "old allocs", "new allocs")
 	for _, b := range base.Benchmarks {
 		c, ok := byName[b.Name]
 		if !ok {
-			return fmt.Errorf("%s is in the baseline but produced no result — bench pattern or name drifted", b.Name)
+			failures = append(failures,
+				fmt.Sprintf("%s is in the baseline but produced no result — bench pattern or name drifted", b.Name))
+			continue
 		}
+		delta := "~"
+		if b.NsPerOp > 0 {
+			delta = fmt.Sprintf("%+.1f%%", (c.NsPerOp-b.NsPerOp)/b.NsPerOp*100)
+		}
+		fmt.Fprintf(w, "%-36s %14.1f %14.1f %9s %12.1f %12.1f\n",
+			b.Name, b.NsPerOp, c.NsPerOp, delta, b.AllocsPerOp, c.AllocsPerOp)
+
 		limit := b.AllocsPerOp * (1 + maxRegress)
 		if b.AllocsPerOp > 0 {
 			limit = math.Max(limit, b.AllocsPerOp+1) // never fail on sub-alloc noise
 		}
 		if c.AllocsPerOp > limit {
-			return fmt.Errorf("%s: %.1f allocs/op exceeds baseline %.1f (+%.0f%% allowed)",
-				c.Name, c.AllocsPerOp, b.AllocsPerOp, maxRegress*100)
+			failures = append(failures, fmt.Sprintf("%s: %.1f allocs/op exceeds baseline %.1f (+%.0f%% allowed)",
+				c.Name, c.AllocsPerOp, b.AllocsPerOp, maxRegress*100))
+		}
+		if nsTolerance >= 0 && b.NsPerOp > 0 && c.NsPerOp > b.NsPerOp*(1+nsTolerance) {
+			failures = append(failures, fmt.Sprintf("%s: %.1f ns/op exceeds baseline %.1f (+%.0f%% allowed)",
+				c.Name, c.NsPerOp, b.NsPerOp, nsTolerance*100))
 		}
 		delete(byName, b.Name)
 	}
+	extra := make([]string, 0, len(byName))
 	for name := range byName {
-		fmt.Printf("note: %s has no baseline entry yet\n", name)
+		extra = append(extra, name)
+	}
+	sort.Strings(extra)
+	for _, name := range extra {
+		fmt.Fprintf(w, "note: %s has no baseline entry yet\n", name)
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("  %s", strings.Join(failures, "\n  "))
 	}
 	return nil
 }

@@ -1,0 +1,108 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseAndNormalize(t *testing.T) {
+	out, err := parse(strings.NewReader(`
+goos: linux
+BenchmarkIngestHotPath-4   	   33684	     35550 ns/op	       0 B/op	       0 allocs/op
+BenchmarkMTTKRPRow3R8   	30000000	        38.2 ns/op	       0 B/op	       0 allocs/op
+not a benchmark line
+PASS
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("parsed %d results, want 2", len(out))
+	}
+	if out[0].Name != "BenchmarkIngestHotPath" {
+		t.Errorf("GOMAXPROCS suffix not stripped: %q", out[0].Name)
+	}
+	if out[0].NsPerOp != 35550 || out[0].AllocsPerOp != 0 {
+		t.Errorf("bad parse: %+v", out[0])
+	}
+	if out[1].Name != "BenchmarkMTTKRPRow3R8" || out[1].NsPerOp != 38.2 {
+		t.Errorf("bad parse: %+v", out[1])
+	}
+}
+
+func gate(t *testing.T, base, cur Result, maxAlloc, nsTol float64) (string, error) {
+	t.Helper()
+	var sb strings.Builder
+	err := compare(&sb, File{Benchmarks: []Result{base}}, []Result{cur}, maxAlloc, nsTol)
+	return sb.String(), err
+}
+
+func TestCompareNsGate(t *testing.T) {
+	b := Result{Name: "BenchmarkX", NsPerOp: 1000, AllocsPerOp: 0}
+	cases := []struct {
+		ns     float64
+		tol    float64
+		wantOK bool
+	}{
+		{1100, 0.15, true},  // +10% within tolerance
+		{1149, 0.15, true},  // just under the limit
+		{1200, 0.15, false}, // +20% exceeds 15%
+		{5000, -1, true},    // gate disabled
+		{900, 0.15, true},   // improvement
+	}
+	for _, tc := range cases {
+		_, err := gate(t, b, Result{Name: "BenchmarkX", NsPerOp: tc.ns, AllocsPerOp: 0}, 0.20, tc.tol)
+		if (err == nil) != tc.wantOK {
+			t.Errorf("ns=%g tol=%g: err=%v, wantOK=%v", tc.ns, tc.tol, err, tc.wantOK)
+		}
+	}
+}
+
+func TestCompareAllocGate(t *testing.T) {
+	zero := Result{Name: "BenchmarkZ", NsPerOp: 1000, AllocsPerOp: 0}
+	if _, err := gate(t, zero, Result{Name: "BenchmarkZ", NsPerOp: 1000, AllocsPerOp: 1}, 0.20, 0.15); err == nil {
+		t.Error("zero-alloc baseline must reject any allocation")
+	}
+	some := Result{Name: "BenchmarkZ", NsPerOp: 1000, AllocsPerOp: 10}
+	if _, err := gate(t, some, Result{Name: "BenchmarkZ", NsPerOp: 1000, AllocsPerOp: 11}, 0.20, 0.15); err != nil {
+		t.Errorf("within +20%% alloc tolerance: %v", err)
+	}
+	if _, err := gate(t, some, Result{Name: "BenchmarkZ", NsPerOp: 1000, AllocsPerOp: 13}, 0.20, 0.15); err == nil {
+		t.Error("+30% allocs must fail a 20% gate")
+	}
+}
+
+func TestCompareMissingBenchmark(t *testing.T) {
+	base := File{Benchmarks: []Result{{Name: "BenchmarkGone", NsPerOp: 10}}}
+	var sb strings.Builder
+	err := compare(&sb, base, []Result{{Name: "BenchmarkNew", NsPerOp: 5}}, 0.20, 0.15)
+	if err == nil || !strings.Contains(err.Error(), "BenchmarkGone") {
+		t.Errorf("missing baselined benchmark must fail, got %v", err)
+	}
+	if !strings.Contains(sb.String(), "BenchmarkNew has no baseline entry yet") {
+		t.Errorf("new benchmark not noted:\n%s", sb.String())
+	}
+}
+
+func TestCompareCollectsAllFailures(t *testing.T) {
+	base := File{Benchmarks: []Result{
+		{Name: "BenchmarkA", NsPerOp: 100, AllocsPerOp: 0},
+		{Name: "BenchmarkB", NsPerOp: 100, AllocsPerOp: 0},
+	}}
+	cur := []Result{
+		{Name: "BenchmarkA", NsPerOp: 500, AllocsPerOp: 0},
+		{Name: "BenchmarkB", NsPerOp: 100, AllocsPerOp: 3},
+	}
+	var sb strings.Builder
+	err := compare(&sb, base, cur, 0.20, 0.15)
+	if err == nil {
+		t.Fatal("want failure")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "BenchmarkA") || !strings.Contains(msg, "BenchmarkB") {
+		t.Errorf("both violations should be reported, got:\n%s", msg)
+	}
+	if !strings.Contains(sb.String(), "+400.0%") {
+		t.Errorf("table should show the ns delta:\n%s", sb.String())
+	}
+}

@@ -53,6 +53,7 @@ type serveConfig struct {
 	speed        float64
 	rank         int
 	w            int
+	parallelism  int
 	mailbox      int
 	backpressure string
 	publishEvery int
@@ -69,6 +70,7 @@ func main() {
 	flag.Float64Var(&cfg.speed, "speed", 1000, "stream ticks simulated per wall second, per stream")
 	flag.IntVar(&cfg.rank, "rank", 12, "CP rank")
 	flag.IntVar(&cfg.w, "w", 10, "window length")
+	flag.IntVar(&cfg.parallelism, "parallelism", 0, "row-solve workers per stream; 0 or 1 is sequential (bit-identical either way)")
 	flag.IntVar(&cfg.mailbox, "mailbox", 256, "per-stream mailbox capacity in batches")
 	flag.StringVar(&cfg.backpressure, "backpressure", "block", "full-mailbox policy: block, drop-oldest, or error")
 	flag.IntVar(&cfg.publishEvery, "publish-every", 256, "events between snapshot publishes")
@@ -218,11 +220,12 @@ func run(cfg serveConfig) error {
 		if !existing[sp.name] {
 			st, err = e.AddStream(sp.name, slicenstitch.StreamConfig{
 				Config: slicenstitch.Config{
-					Dims:   sp.preset.Dims,
-					W:      w,
-					Period: sp.preset.DefaultPeriod,
-					Rank:   rank,
-					Seed:   1,
+					Dims:        sp.preset.Dims,
+					W:           w,
+					Period:      sp.preset.DefaultPeriod,
+					Rank:        rank,
+					Seed:        1,
+					Parallelism: cfg.parallelism,
 				},
 				MailboxCapacity: mailbox,
 				Backpressure:    bp,

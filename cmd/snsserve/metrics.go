@@ -216,6 +216,30 @@ func writeMetrics(w io.Writer, m slicenstitch.EngineMetrics, hs *httpStats, proc
 	p.family("sns_mailbox_dropped_total", "Batches evicted by the drop-oldest backpressure policy.", "counter",
 		streamSeries(func(sm slicenstitch.StreamMetrics) float64 { return float64(sm.Stats.Dropped) })...)
 
+	// Pool families, present only for streams running the parallel
+	// row-solve pool (Config.Parallelism > 1).
+	var poolStreams []slicenstitch.StreamMetrics
+	for _, sm := range m.Streams {
+		if sm.Pool != nil {
+			poolStreams = append(poolStreams, sm)
+		}
+	}
+	if len(poolStreams) > 0 {
+		poolSeries := func(f pick) []series {
+			out := make([]series, 0, len(poolStreams))
+			for _, sm := range poolStreams {
+				out = append(out, series{labels: labels("stream", sm.Name), value: f(sm)})
+			}
+			return out
+		}
+		p.family("sns_pool_workers", "Row-solve worker goroutines in the stream's parallel pool.", "gauge",
+			poolSeries(func(sm slicenstitch.StreamMetrics) float64 { return float64(sm.Pool.Workers) })...)
+		p.family("sns_pool_pair_events_total", "Shift events whose independent time-mode row pair was solved in parallel.", "counter",
+			poolSeries(func(sm slicenstitch.StreamMetrics) float64 { return float64(sm.Pool.PairEvents) })...)
+		p.family("sns_pool_rows_solved_total", "Row solves executed on pool workers.", "counter",
+			poolSeries(func(sm slicenstitch.StreamMetrics) float64 { return float64(sm.Pool.RowsSolved) })...)
+	}
+
 	applyHists := make([]histSeries, 0, len(m.Streams))
 	for _, sm := range m.Streams {
 		applyHists = append(applyHists, histSeries{labels: []string{"stream", sm.Name}, snap: sm.Apply})

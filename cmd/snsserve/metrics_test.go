@@ -2,6 +2,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -324,10 +325,38 @@ func TestMetricsExpositionConformance(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
+	// A second stream with the parallel row-solve pool on, so the
+	// sns_pool_* families appear in the scrape. The short period makes
+	// every other event a shift, exercising the parallel pair path.
+	par, err := e.AddStream("par", slicenstitch.StreamConfig{
+		Config:       slicenstitch.Config{Dims: []int{5, 4}, W: 3, Period: 2, Rank: 3, Parallelism: 2},
+		PublishEvery: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	srv := httptest.NewServer(newMux(e))
 	t.Cleanup(func() { srv.Close(); e.Close() })
 
 	fillWindow(t, srv, "/v1") // 60 events + flush through HTTP
+
+	ctx := context.Background()
+	for tm := int64(0); tm < 20; tm++ {
+		if err := par.Push(ctx, []int{int(tm) % 5, int(tm) % 4}, 1, tm); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := par.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	for tm := int64(20); tm < 60; tm++ {
+		if err := par.Push(ctx, []int{int(tm) % 5, int(tm) % 4}, 1, tm); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := par.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
 
 	families := parseExposition(t, scrape(t, srv.URL))
 
@@ -346,6 +375,7 @@ func TestMetricsExpositionConformance(t *testing.T) {
 		"sns_checkpoint_failures_total", "sns_checkpoint_last_bytes",
 		"sns_checkpoint_age_seconds", "sns_stream_recovery_seconds",
 		"sns_wal_append_seconds", "sns_wal_fsync_seconds", "sns_checkpoint_duration_seconds",
+		"sns_pool_workers", "sns_pool_pair_events_total", "sns_pool_rows_solved_total",
 		"sns_http_requests_total", "sns_http_request_duration_seconds",
 	} {
 		if families[name] == nil {
@@ -387,8 +417,18 @@ func TestMetricsExpositionConformance(t *testing.T) {
 	if v := find("sns_ingest_batches_total", "test"); v != 1 {
 		t.Errorf("ingest batches = %g, want 1", v)
 	}
-	if v := find("sns_streams", ""); v != 1 {
-		t.Errorf("streams gauge = %g, want 1", v)
+	if v := find("sns_streams", ""); v != 2 {
+		t.Errorf("streams gauge = %g, want 2", v)
+	}
+	if v := find("sns_pool_workers", "par"); v != 2 {
+		t.Errorf("pool workers = %g, want 2", v)
+	}
+	pairs := find("sns_pool_pair_events_total", "par")
+	if pairs < 1 {
+		t.Errorf("pool pair events = %g, want ≥ 1", pairs)
+	}
+	if v := find("sns_pool_rows_solved_total", "par"); v != 2*pairs {
+		t.Errorf("pool rows solved = %g, want %g", v, 2*pairs)
 	}
 	if v := find("sns_engine_durable", ""); v != 1 {
 		t.Errorf("durable gauge = %g, want 1", v)

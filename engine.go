@@ -821,6 +821,10 @@ func (s *shard) maybeCheckpoint(applied int) {
 // instead.
 func (s *shard) finish() {
 	s.publish()
+	// Release the tracker's row-solve pool (if any) before durability
+	// teardown: the writer goroutine is done applying events, so no
+	// solve can be in flight.
+	s.tr.Close()
 	if s.dur == nil {
 		return
 	}

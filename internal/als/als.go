@@ -40,6 +40,26 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+// Workspace holds the MTTKRP outputs (one per mode — row counts differ),
+// the Hadamard-of-Grams buffer, and the per-nonzero Khatri-Rao scratch an
+// ALS sweep reuses, so repeated sweeps over the same shape (Run's
+// iterations, SNS_MAT's per-event sweep, PeriodicALS's refits) stop
+// re-allocating their two largest intermediates every mode.
+type Workspace struct {
+	u       []*mat.Dense
+	h       *mat.Dense
+	scratch []float64
+}
+
+// NewWorkspace sizes a Workspace for tensors of the given shape and rank.
+func NewWorkspace(shape []int, rank int) *Workspace {
+	u := make([]*mat.Dense, len(shape))
+	for m, n := range shape {
+		u[m] = mat.New(n, rank)
+	}
+	return &Workspace{u: u, h: mat.New(rank, rank), scratch: make([]float64, rank)}
+}
+
 // Run factorizes x with ALS and returns a model with column-normalized
 // factors and weights λ.
 func Run(x *tensor.Sparse, opt Options) *cpd.Model {
@@ -51,9 +71,10 @@ func Run(x *tensor.Sparse, opt Options) *cpd.Model {
 		model = cpd.NewRandomModel(x.Shape(), opt.Rank, rand.New(rand.NewSource(opt.Seed)))
 	}
 	grams := model.Grams()
+	ws := NewWorkspace(x.Shape(), model.Rank())
 	prevFit := math.Inf(-1)
 	for it := 0; it < opt.MaxIters; it++ {
-		Sweep(x, model, grams)
+		SweepWS(x, model, grams, ws)
 		if opt.Tol >= 0 {
 			fit := cpd.Fitness(x, model)
 			if fit-prevFit < opt.Tol {
@@ -68,19 +89,33 @@ func Run(x *tensor.Sparse, opt Options) *cpd.Model {
 // Sweep performs one full ALS sweep over all modes, updating the model's
 // factors (kept column-normalized), its λ, and the provided Gram matrices
 // in place. This is exactly the per-event procedure of SNS_MAT
-// (Algorithm 2).
+// (Algorithm 2). It allocates a transient Workspace; repeated sweepers
+// hold one and call SweepWS.
 func Sweep(x *tensor.Sparse, model *cpd.Model, grams []*mat.Dense) {
+	SweepWS(x, model, grams, NewWorkspace(x.Shape(), model.Rank()))
+}
+
+// SweepWS is Sweep with a caller-held Workspace.
+func SweepWS(x *tensor.Sparse, model *cpd.Model, grams []*mat.Dense, ws *Workspace) {
 	for m := range model.Factors {
-		UpdateMode(x, model, grams, m)
+		UpdateModeWS(x, model, grams, m, ws)
 	}
 }
 
 // UpdateMode solves Eq. (4) for one mode:
 // A⁽ᵐ⁾ ← X_(m) (⊙_{n≠m} A⁽ⁿ⁾) (∗_{n≠m} A⁽ⁿ⁾ᵀA⁽ⁿ⁾)†, then column-normalizes
 // A⁽ᵐ⁾ into the model (footnote 1 of the paper) and refreshes grams[m].
+// It allocates a transient Workspace; repeated callers use UpdateModeWS.
 func UpdateMode(x *tensor.Sparse, model *cpd.Model, grams []*mat.Dense, m int) {
-	u := cpd.MTTKRP(x, model.Factors, m)
-	h := cpd.GramsExcept(grams, m)
+	UpdateModeWS(x, model, grams, m, NewWorkspace(x.Shape(), model.Rank()))
+}
+
+// UpdateModeWS is UpdateMode with a caller-held Workspace: the MTTKRP and
+// the Hadamard product of Grams land in the workspace buffers instead of
+// fresh matrices.
+func UpdateModeWS(x *tensor.Sparse, model *cpd.Model, grams []*mat.Dense, m int, ws *Workspace) {
+	u := cpd.MTTKRPInto(ws.u[m], x, model.Factors, m, ws.scratch)
+	h := cpd.GramsExceptInto(ws.h, grams, m)
 	hp := mat.PseudoInverseSym(h)
 	a := mat.Mul(u, hp)
 	Normalize(a, model.Lambda)

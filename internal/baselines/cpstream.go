@@ -27,6 +27,8 @@ type CPStream struct {
 	// Mu is the forgetting factor μ ∈ (0,1].
 	Mu    float64
 	krBuf []float64
+	uBuf  []float64
+	hBuf  *mat.Dense
 }
 
 // NewCPStream builds the baseline from the initial window and model.
@@ -44,13 +46,16 @@ func NewCPStream(x0 *tensor.Sparse, init *cpd.Model, mu float64) *CPStream {
 		grams: m.Grams(),
 		Mu:    mu,
 		krBuf: make([]float64, m.Rank()),
+		uBuf:  make([]float64, m.Rank()),
+		hBuf:  mat.New(m.Rank(), m.Rank()),
 	}
 	s.c = make([]*mat.Dense, m.Order())
 	s.g = make([]*mat.Dense, m.Order())
 	for mode := 0; mode < tm; mode++ {
-		// Start the history from the initial window (exact accumulators).
-		s.c[mode] = cpd.MTTKRP(x0, m.Factors, mode)
-		s.g[mode] = cpd.GramsExcept(s.grams, mode)
+		// Start the history from the initial window; the Into targets
+		// become the owned accumulators.
+		s.c[mode] = cpd.MTTKRPInto(mat.New(m.Factors[mode].Rows(), m.Rank()), x0, m.Factors, mode, s.krBuf)
+		s.g[mode] = cpd.GramsExceptInto(mat.New(m.Rank(), m.Rank()), s.grams, mode)
 	}
 	return s
 }
@@ -68,8 +73,8 @@ func (s *CPStream) OnPeriod(x *tensor.Sparse) {
 	at := s.model.Factors[tm]
 
 	// 1. Newest temporal row from the entering slice.
-	h := cpd.GramsExcept(s.grams, tm)
-	u := cpd.MTTKRPRow(x, s.model.Factors, tm, w-1)
+	h := cpd.GramsExceptInto(s.hBuf, s.grams, tm)
+	u := cpd.MTTKRPRowInto(x, s.model.Factors, tm, w-1, s.uBuf, s.krBuf)
 	st := mat.SolveSym(h, u)
 
 	// 2. Shift the temporal ring and append s_t.

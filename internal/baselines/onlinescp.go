@@ -37,6 +37,8 @@ type OnlineSCP struct {
 	p     []*mat.Dense     // running accumulators (nil at the temporal mode)
 	ring  [][](*mat.Dense) // ring[w][mode]: contribution of the unit at temporal index w
 	krBuf []float64
+	uBuf  []float64
+	hBuf  *mat.Dense
 	// RefreshEvery ≥ 1: recompute contributions exactly every k periods.
 	RefreshEvery int
 	periods      int
@@ -54,6 +56,8 @@ func NewOnlineSCP(x0 *tensor.Sparse, init *cpd.Model) *OnlineSCP {
 		model:        m,
 		grams:        m.Grams(),
 		krBuf:        make([]float64, m.Rank()),
+		uBuf:         make([]float64, m.Rank()),
+		hBuf:         mat.New(m.Rank(), m.Rank()),
 		RefreshEvery: 1,
 	}
 	o.p = make([]*mat.Dense, m.Order())
@@ -123,8 +127,8 @@ func (o *OnlineSCP) OnPeriod(x *tensor.Sparse) {
 	for k := range at.Row(w - 1) {
 		at.Row(w - 1)[k] = 0
 	}
-	h := ridge(cpd.GramsExcept(o.grams, tm))
-	u := cpd.MTTKRPRow(x, o.model.Factors, tm, w-1)
+	h := ridge(cpd.GramsExceptInto(o.hBuf, o.grams, tm))
+	u := cpd.MTTKRPRowInto(x, o.model.Factors, tm, w-1, o.uBuf, o.krBuf)
 	at.SetRow(w-1, mat.SolveSym(h, u))
 	o.grams[tm] = mat.Gram(at)
 
@@ -136,8 +140,8 @@ func (o *OnlineSCP) OnPeriod(x *tensor.Sparse) {
 		// Jacobi-style parallel update; on dense windows it overshoots and
 		// oscillates, which is why the sequential order is the default.)
 		for mode := 0; mode < tm; mode++ {
-			o.p[mode] = cpd.MTTKRP(x, o.model.Factors, mode)
-			hm := ridge(cpd.GramsExcept(o.grams, mode))
+			cpd.MTTKRPInto(o.p[mode], x, o.model.Factors, mode, o.krBuf)
+			hm := ridge(cpd.GramsExceptInto(o.hBuf, o.grams, mode))
 			hp := mat.PseudoInverseSym(hm)
 			o.model.Factors[mode] = mat.Mul(o.p[mode], hp)
 			o.grams[mode] = mat.Gram(o.model.Factors[mode])
@@ -160,7 +164,7 @@ func (o *OnlineSCP) OnPeriod(x *tensor.Sparse) {
 		o.ring[w-1] = o.sliceContribution(x, w-1)
 		o.addContribution(o.ring[w-1], 1)
 		for mode := 0; mode < tm; mode++ {
-			hm := ridge(cpd.GramsExcept(o.grams, mode))
+			hm := ridge(cpd.GramsExceptInto(o.hBuf, o.grams, mode))
 			hp := mat.PseudoInverseSym(hm)
 			o.model.Factors[mode] = mat.Mul(o.p[mode], hp)
 			o.grams[mode] = mat.Gram(o.model.Factors[mode])

@@ -14,6 +14,7 @@ import (
 type PeriodicALS struct {
 	model *cpd.Model
 	grams []*mat.Dense
+	ws    *als.Workspace
 	// Sweeps is the number of ALS sweeps per period (default 5).
 	Sweeps int
 }
@@ -24,7 +25,7 @@ func NewPeriodicALS(init *cpd.Model, sweeps int) *PeriodicALS {
 		sweeps = 5
 	}
 	m := init.Clone()
-	return &PeriodicALS{model: m, grams: m.Grams(), Sweeps: sweeps}
+	return &PeriodicALS{model: m, grams: m.Grams(), ws: als.NewWorkspace(m.Shape(), m.Rank()), Sweeps: sweeps}
 }
 
 // Name returns "ALS".
@@ -36,6 +37,6 @@ func (p *PeriodicALS) Model() *cpd.Model { return p.model }
 // OnPeriod re-fits the window with warm-started sweeps.
 func (p *PeriodicALS) OnPeriod(x *tensor.Sparse) {
 	for i := 0; i < p.Sweeps; i++ {
-		als.Sweep(x, p.model, p.grams)
+		als.SweepWS(x, p.model, p.grams, p.ws)
 	}
 }

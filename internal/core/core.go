@@ -34,18 +34,28 @@ type base struct {
 	win   *window.Window
 	model *cpd.Model
 	grams []*mat.Dense
-	// Scratch reused across events so that steady-state row updates are
-	// allocation-free (the hot-path requirement behind the per-event
-	// complexity claims): R-vectors for Khatri-Rao rows, delta/data terms
-	// and event-start row backups, an R×R Hadamard-of-Grams workspace, a
-	// decoded-coordinate buffer, and a Cholesky solver workspace.
-	krBuf    []float64
-	rowBuf   []float64
-	dataBuf  []float64
-	pBuf     []float64
-	hBuf     *mat.Dense
-	coordBuf []int
-	solver   *mat.SymSolver
+	// ws is the sequential row-solve workspace, reused across events so
+	// that steady-state row updates are allocation-free (the hot-path
+	// requirement behind the per-event complexity claims). Parallel solves
+	// use per-worker workspaces of the same shape instead (see rowWS).
+	ws rowWS
+	// pBufs is the rotating pair of event-start row backups handed out by
+	// savePrev. Two suffice: at most the two time-mode rows of an event
+	// have overlapping backup lifetimes (the parallel prepare→commit
+	// span); every other backup is consumed before the next is taken.
+	pBufs [2][]float64
+	pIdx  int
+	// replayBuf reconstructs the live-row states of a coordinate-descent
+	// pass during the commit-phase Gram replay (see replayBumps).
+	replayBuf []float64
+	// kern holds the (order, rank)-specialized row kernels selected once
+	// at construction — fixed-rank for the shapes the repo runs hot,
+	// bit-identical generic fallbacks otherwise.
+	kern *cpd.Kernels
+	// pool, when non-nil, solves the independent time-mode row pair of
+	// shift events on worker goroutines (see parallel.go). Nil means
+	// fully sequential execution; results are bit-identical either way.
+	pool *Pool
 }
 
 func newBase(win *window.Window, init *cpd.Model) base {
@@ -62,25 +72,30 @@ func newBase(win *window.Window, init *cpd.Model) base {
 	}
 	r := model.Rank()
 	return base{
-		win:      win,
-		model:    model,
-		grams:    model.Grams(),
-		krBuf:    make([]float64, r),
-		rowBuf:   make([]float64, r),
-		dataBuf:  make([]float64, r),
-		pBuf:     make([]float64, r),
-		hBuf:     mat.New(r, r),
-		coordBuf: make([]int, len(wantShape)),
-		solver:   mat.NewSymSolver(r),
+		win:       win,
+		model:     model,
+		grams:     model.Grams(),
+		ws:        newRowWS(len(wantShape), r),
+		pBufs:     [2][]float64{make([]float64, r), make([]float64, r)},
+		replayBuf: make([]float64, r),
+		kern:      cpd.ForShape(len(wantShape), r),
 	}
 }
 
-// savePrev copies row into the shared event-start backup buffer pBuf and
-// returns it — the lightweight backup used by the variants without a
-// prevTracker (valid until the next updateRow).
+// EnablePool attaches a worker pool; subsequent shift events solve their
+// time-mode row pair in parallel (bit-identically to the sequential
+// path). The caller owns the pool's lifecycle.
+func (b *base) EnablePool(p *Pool) { b.pool = p }
+
+// savePrev copies row into the next rotating event-start backup buffer
+// and returns it — the lightweight backup used by the variants without a
+// prevTracker. A backup stays valid until savePrev runs twice more; the
+// outline consumes each one before that (see base.pBufs).
 func (b *base) savePrev(row []float64) []float64 {
-	copy(b.pBuf, row)
-	return b.pBuf
+	p := b.pBufs[b.pIdx&1]
+	b.pIdx++
+	copy(p, row)
+	return p
 }
 
 // Model returns the live model.
@@ -95,11 +110,14 @@ func foldLambda(m *cpd.Model) { cpd.FoldLambda(m) }
 
 // updateGram applies Eq. (13): Q ← Q − pᵀp + aᵀa after row p became row a.
 func updateGram(q *mat.Dense, p, a []float64) {
-	r := len(p)
+	r := len(a)
+	p = p[:r]
+	qd := q.Data()
 	for i := 0; i < r; i++ {
-		qi := q.Row(i)
-		for j := 0; j < r; j++ {
-			qi[j] += a[i]*a[j] - p[i]*p[j]
+		ai, pi := a[i], p[i]
+		qi := qd[i*r : i*r+r]
+		for j, aj := range a {
+			qi[j] += ai*aj - pi*p[j]
 		}
 	}
 }
@@ -108,19 +126,40 @@ func updateGram(q *mat.Dense, p, a []float64) {
 // update of U = A_prevᵀA after the current row moved from p to a while the
 // prev row stays p.
 func updatePrevGram(u *mat.Dense, p, a []float64) {
-	r := len(p)
+	r := len(a)
+	p = p[:r]
+	ud := u.Data()
 	for i := 0; i < r; i++ {
-		ui := u.Row(i)
-		for j := 0; j < r; j++ {
-			ui[j] += p[i] * (a[j] - p[j])
+		pi := p[i]
+		ui := ud[i*r : i*r+r]
+		for j, aj := range a {
+			ui[j] += pi * (aj - p[j])
 		}
+	}
+}
+
+// krAxpy accumulates dst[k] += s·(∗_{n≠m} A⁽ⁿ⁾(coord[n],:))[k] — one
+// Khatri-Rao term of a data/delta row. Order-3 models run the fused
+// kernel (no scratch pass); other orders fall back to KRRow + axpy into
+// the caller's kr scratch. The two produce bit-identical sums.
+func (b *base) krAxpy(dst []float64, s float64, coord []int, m int, kr []float64) {
+	if kr3 := b.kern.KRAxpy3; kr3 != nil {
+		ma, mb := cpd.OtherModes3(m)
+		kr3(dst, s, b.model.Factors[ma].Row(coord[ma]), b.model.Factors[mb].Row(coord[mb]))
+		return
+	}
+	kr = cpd.KRRow(b.model.Factors, coord, m, kr)
+	for k := range dst {
+		dst[k] += s * kr[k]
 	}
 }
 
 // deltaTerm accumulates Σ Δx_J · (∗_{n≠m} A⁽ⁿ⁾(j_n,:)) over the ΔX cells
 // whose mode-m index is i — the "ΔX_(m) K⁽ᵐ⁾" row appearing in
-// Eqs. (9), (16), (22) and (23). dst is overwritten and returned.
-func (b *base) deltaTerm(ch window.Change, m, i int, dst []float64) []float64 {
+// Eqs. (9), (16), (22) and (23). dst is overwritten and returned; kr is
+// Khatri-Rao scratch (from the executing workspace, so concurrent row
+// solves never share it).
+func (b *base) deltaTerm(ch window.Change, m, i int, dst, kr []float64) []float64 {
 	for k := range dst {
 		dst[k] = 0
 	}
@@ -128,10 +167,7 @@ func (b *base) deltaTerm(ch window.Change, m, i int, dst []float64) []float64 {
 		if cell.Coord[m] != i {
 			continue
 		}
-		kr := cpd.KRRow(b.model.Factors, cell.Coord, m, b.krBuf)
-		for k := range dst {
-			dst[k] += cell.Delta * kr[k]
-		}
+		b.krAxpy(dst, cell.Delta, cell.Coord, m, kr)
 	}
 	return dst
 }
@@ -145,19 +181,28 @@ type rowUpdater interface {
 
 // applyOutline runs the common outline of Algorithm 3: for an event with
 // shift count w, refresh the affected time-mode rows (0-based indices W−w
-// and W−w−1), then the i_m-th row of every non-time factor.
-func applyOutline(win *window.Window, order int, ru rowUpdater, ch window.Change) {
+// and W−w−1), then the i_m-th row of every non-time factor. When a pool
+// is attached and the event touches both time-mode rows, the pair — the
+// only mutually independent rows of the outline — is solved in parallel
+// (see parallel.go); the categorical rows always run sequentially because
+// each reads the Grams and factor rows its predecessors wrote.
+func applyOutline(b *base, ru rowUpdater, ch window.Change) {
 	ru.beginEvent(ch)
-	tm := order - 1
+	tm := b.model.Order() - 1
 	w := ch.W
-	bigW := win.W()
-	if w > 0 {
-		ru.updateRow(tm, bigW-w, ch)
+	bigW := b.win.W()
+	ps, canPar := ru.(parallelSolver)
+	if b.pool != nil && canPar && w > 0 && w < bigW && b.pool.active() {
+		b.pool.runTimePair(b, ps, ch, bigW-w, bigW-w-1)
+	} else {
+		if w > 0 {
+			ru.updateRow(tm, bigW-w, ch)
+		}
+		if w < bigW {
+			ru.updateRow(tm, bigW-w-1, ch)
+		}
 	}
-	if w < bigW {
-		ru.updateRow(tm, bigW-w-1, ch)
-	}
-	for m := 0; m < order-1; m++ {
+	for m := 0; m < tm; m++ {
 		ru.updateRow(m, ch.Tuple.Coord[m], ch)
 	}
 }

@@ -14,8 +14,8 @@ import (
 
 // sampleCellsForTest calls sampleSliceCells with throwaway workspace — the
 // tests care about the draw, not the buffer reuse.
-func sampleCellsForTest(x *tensor.Sparse, m, i, theta int, r *rng.RNG, exclude map[uint64]struct{}) []uint64 {
-	return sampleSliceCells(x, m, i, theta, r, exclude, nil, map[uint64]struct{}{}, make([]int, x.Order()))
+func sampleCellsForTest(x *tensor.Sparse, m, i, theta int, r *rng.RNG, exclude []uint64) []uint64 {
+	return sampleSliceCells(x, m, i, theta, r, exclude, nil, make([]int, x.Order()))
 }
 
 // The SNS_VEC time-mode update must be exactly Eq. (9):
@@ -78,7 +78,7 @@ func TestPrevTrackerExcludesDeltaCells(t *testing.T) {
 		t.Fatalf("exclude size %d != cells %d", len(dec.exclude), len(ch.Cells))
 	}
 	for _, cell := range ch.Cells {
-		if _, found := dec.exclude[win.X().Key(cell.Coord)]; !found {
+		if !containsKey(dec.exclude, win.X().Key(cell.Coord)) {
 			t.Fatalf("cell %v not excluded", cell.Coord)
 		}
 	}
@@ -126,7 +126,7 @@ func TestSampleSliceCells(t *testing.T) {
 
 	// Exclusion honored in both regimes.
 	exCoord := []int{1, 0, 0}
-	exclude := map[uint64]struct{}{x.Key(exCoord): {}}
+	exclude := []uint64{x.Key(exCoord)}
 	all = sampleCellsForTest(x, 0, 1, 100, r, exclude)
 	if len(all) != 8 {
 		t.Fatalf("enumeration with exclusion: %d cells want 8", len(all))

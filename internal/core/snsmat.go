@@ -13,12 +13,18 @@ import (
 // family member (Theorem 3).
 type SNSMat struct {
 	base
+	// alsWS holds the sweep's MTTKRP and Hadamard-of-Grams buffers across
+	// events; SNS_MAT pays one full sweep per event, so the workspace
+	// removes its two largest per-event allocations.
+	alsWS *als.Workspace
 }
 
 // NewSNSMat builds an SNS_MAT tracker from an initial model (typically the
 // output of ALS on the initial window; it is cloned).
 func NewSNSMat(win *window.Window, init *cpd.Model) *SNSMat {
-	return &SNSMat{base: newBase(win, init)}
+	s := &SNSMat{base: newBase(win, init)}
+	s.alsWS = als.NewWorkspace(s.model.Shape(), s.model.Rank())
+	return s
 }
 
 // Name returns "SNS-Mat".
@@ -28,5 +34,5 @@ func (s *SNSMat) Name() string { return "SNS-Mat" }
 // itself is not consulted beyond having already been applied to the window:
 // SNS_MAT re-reads every nonzero, which is exactly why it is expensive.
 func (s *SNSMat) Apply(ch window.Change) {
-	als.Sweep(s.win.X(), s.model, s.grams)
+	als.SweepWS(s.win.X(), s.model, s.grams, s.alsWS)
 }

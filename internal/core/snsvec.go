@@ -33,31 +33,49 @@ func (s *SNSVec) Name() string { return "SNS-Vec" }
 
 // Apply runs the common outline of Algorithm 3.
 func (s *SNSVec) Apply(ch window.Change) {
-	applyOutline(s.win, s.model.Order(), s, ch)
+	applyOutline(&s.base, s, ch)
 }
 
 func (s *SNSVec) beginEvent(window.Change) {}
 
-// updateRow is updateRowVec of Algorithm 4. All intermediates live in the
-// base scratch buffers, so steady-state updates allocate nothing.
+// updateRow is updateRowVec of Algorithm 4 as the staged sequence
+// prepare → solve → commit. All intermediates live in the shared
+// sequential workspace, so steady-state updates allocate nothing.
 func (s *SNSVec) updateRow(m, i int, ch window.Change) {
-	f := s.model.Factors[m]
-	row := f.Row(i)
-	p := s.savePrev(row)
-	h := cpd.GramsExceptInto(s.hBuf, s.grams, m)
+	p := s.prepareRow(m, i)
+	s.solveRow(m, i, ch, p, nil, false, &s.ws)
+	s.commitRow(m, i, p)
+}
+
+func (s *SNSVec) prepareRow(m, i int) []float64 {
+	return s.savePrev(s.model.Factors[m].Row(i))
+}
+
+func (s *SNSVec) sampleFor(_, _ int, dst []uint64) ([]uint64, bool) {
+	return dst, false
+}
+
+// solveRow computes the new row values in place without touching the
+// Grams (commitRow applies those).
+func (s *SNSVec) solveRow(m, i int, ch window.Change, p []float64, _ []uint64, _ bool, ws *rowWS) {
+	row := s.model.Factors[m].Row(i)
+	h := cpd.GramsExceptInto(ws.hBuf, s.grams, m)
 	if m == s.timeMode() {
 		// Eq. (9): A⁽ᴹ⁾(i,:) += ΔX_(M)(i,:) K⁽ᴹ⁾ H⁽ᴹ⁾†.
-		u := s.deltaTerm(ch, m, i, s.rowBuf)
-		delta := s.solver.Solve(h, u)
+		u := s.deltaTerm(ch, m, i, ws.rowBuf, ws.krBuf)
+		delta := ws.solver.Solve(h, u)
 		for k := range row {
 			row[k] = p[k] + delta[k]
 		}
 	} else {
 		// Eq. (12): A⁽ᵐ⁾(i,:) ← (X+ΔX)_(m)(i,:) K⁽ᵐ⁾ H⁽ᵐ⁾†.
-		u := cpd.MTTKRPRowInto(s.win.X(), s.model.Factors, m, i, s.dataBuf, s.krBuf)
-		copy(row, s.solver.Solve(h, u))
+		u := s.kern.MTTKRPRow(s.win.X(), s.model.Factors, m, i, ws.dataBuf, ws.krBuf)
+		copy(row, ws.solver.Solve(h, u))
 	}
-	updateGram(s.grams[m], p, row)
+}
+
+func (s *SNSVec) commitRow(m, i int, p []float64) {
+	updateGram(s.grams[m], p, s.model.Factors[m].Row(i))
 }
 
 // savedRow is a per-event backup of one factor row, used to evaluate the
@@ -65,6 +83,18 @@ func (s *SNSVec) updateRow(m, i int, ch window.Change) {
 type savedRow struct {
 	mode, idx int
 	vals      []float64
+}
+
+// containsKey reports whether k is among keys — the membership test for
+// the tiny key lists of the sampler (an event's ΔX cells, a θ-sample).
+// A linear scan beats a map for lists this small and allocates nothing.
+func containsKey(keys []uint64, k uint64) bool {
+	for _, e := range keys {
+		if e == k {
+			return true
+		}
+	}
+	return false
 }
 
 // sampleSliceCells draws up to theta distinct cell keys uniformly at random
@@ -78,10 +108,12 @@ type savedRow struct {
 // returned, making X̃+X̄ exact on the slice.
 //
 // The caller supplies reusable workspace: keys are appended to dst[:0]
-// (returned), seen tracks rejection-sampling duplicates (cleared here) and
-// coord is an order-M coordinate scratch — so the sampler allocates nothing
-// in steady state.
-func sampleSliceCells(x *tensor.Sparse, m, i, theta int, rng *rng.RNG, exclude map[uint64]struct{}, dst []uint64, seen map[uint64]struct{}, coord []int) []uint64 {
+// (returned) and coord is an order-M coordinate scratch — so the sampler
+// allocates nothing in steady state. Rejection-sampling duplicates are
+// detected by scanning the accepted keys themselves (≤ θ of them, and
+// excluded keys never enter the accepted list), which draws and rejects in
+// exactly the same sequence the former seen-map implementation did.
+func sampleSliceCells(x *tensor.Sparse, m, i, theta int, rng *rng.RNG, exclude []uint64, dst []uint64, coord []int) []uint64 {
 	order := x.Order()
 	total := 1
 	for n := 0; n < order; n++ {
@@ -104,7 +136,7 @@ func sampleSliceCells(x *tensor.Sparse, m, i, theta int, rng *rng.RNG, exclude m
 		// fastest) with an odometer — closure-free so nothing escapes.
 		for {
 			k := x.Key(coord)
-			if _, ex := exclude[k]; !ex {
+			if !containsKey(exclude, k) {
 				out = append(out, k)
 			}
 			n := order - 1
@@ -127,7 +159,6 @@ func sampleSliceCells(x *tensor.Sparse, m, i, theta int, rng *rng.RNG, exclude m
 		return out
 	}
 	// Rejection sampling without replacement.
-	clear(seen)
 	attempts := 0
 	maxAttempts := 20*theta + 64
 	for len(out) < theta && attempts < maxAttempts {
@@ -138,13 +169,12 @@ func sampleSliceCells(x *tensor.Sparse, m, i, theta int, rng *rng.RNG, exclude m
 			}
 		}
 		k := x.Key(coord)
-		if _, dup := seen[k]; dup {
+		if containsKey(out, k) {
 			continue
 		}
-		if _, ex := exclude[k]; ex {
+		if containsKey(exclude, k) {
 			continue
 		}
-		seen[k] = struct{}{}
 		out = append(out, k)
 	}
 	return out
@@ -154,27 +184,20 @@ func sampleSliceCells(x *tensor.Sparse, m, i, theta int, rng *rng.RNG, exclude m
 // variants: U⁽ᵐ⁾ = A_prev⁽ᵐ⁾ᵀA⁽ᵐ⁾ (reset to Q⁽ᵐ⁾ at event start,
 // Algorithm 3 line 1, then advanced by Eq. (17)/(26)) plus lazy backups of
 // the few rows that change within the event. Backup rows come from a
-// per-tracker pool (an event touches at most order+1 rows), and the sample
-// workspace (huBuf, sampleBuf, seenBuf) is reused across events, keeping
-// the sampled update allocation-free in steady state.
+// per-tracker pool (an event touches at most order+1 rows); sampling and
+// prediction scratch lives in the executing workspace (rowWS), keeping
+// the sampled update allocation-free in steady state and race-free under
+// the parallel time-pair path.
 type prevTracker struct {
 	prevGrams  []*mat.Dense
 	backups    []savedRow
 	backupPool [][]float64
-	exclude    map[uint64]struct{}
-	rowsBuf    [][]float64 // scratch for predictPrev
-	huBuf      *mat.Dense  // GramsExceptInto scratch for H_u = ∗ U⁽ⁿ⁾
-	sampleBuf  []uint64    // sampled cell keys
-	seenBuf    map[uint64]struct{}
+	exclude    []uint64 // the event's ΔX cell keys (tiny; scanned)
 }
 
 func newPrevTracker(b *base) prevTracker {
-	r := b.model.Rank()
 	pt := prevTracker{
-		exclude: make(map[uint64]struct{}, 4),
-		rowsBuf: make([][]float64, b.model.Order()),
-		huBuf:   mat.New(r, r),
-		seenBuf: make(map[uint64]struct{}, 64),
+		exclude: make([]uint64, 0, 4),
 	}
 	for _, g := range b.grams {
 		pt.prevGrams = append(pt.prevGrams, g.Clone())
@@ -189,10 +212,10 @@ func (pt *prevTracker) begin(b *base, ch window.Change) {
 		pt.prevGrams[m].CopyFrom(g)
 	}
 	pt.backups = pt.backups[:0]
-	clear(pt.exclude)
+	pt.exclude = pt.exclude[:0]
 	x := b.win.X()
 	for _, cell := range ch.Cells {
-		pt.exclude[x.Key(cell.Coord)] = struct{}{}
+		pt.exclude = append(pt.exclude, x.Key(cell.Coord))
 	}
 }
 
@@ -211,12 +234,6 @@ func (pt *prevTracker) saveRow(m, i int, row []float64) []float64 {
 	return p
 }
 
-// sample draws the θ-sample for row (m,i) into the reusable workspace.
-func (pt *prevTracker) sample(b *base, m, i, theta int, rng *rng.RNG) []uint64 {
-	pt.sampleBuf = sampleSliceCells(b.win.X(), m, i, theta, rng, pt.exclude, pt.sampleBuf, pt.seenBuf, b.coordBuf)
-	return pt.sampleBuf
-}
-
 // prevRow returns A_prev⁽ᵐ⁾(i,:): the backed-up copy when the row changed
 // earlier in this event, the live row otherwise.
 func (pt *prevTracker) prevRow(b *base, m, i int) []float64 {
@@ -230,15 +247,21 @@ func (pt *prevTracker) prevRow(b *base, m, i int) []float64 {
 
 // predictPrev evaluates x̃_J under the event-start factors. Row lookups are
 // hoisted out of the rank loop — this sits on the θ-sampling hot path.
-func (pt *prevTracker) predictPrev(b *base, coord []int) float64 {
+// Order-3 models run the selected (possibly fixed-rank) fused kernel; the
+// multiply chain is the generic loop's exactly. rows is order-length
+// lookup scratch from the executing workspace (unused on the fused path).
+func (pt *prevTracker) predictPrev(b *base, coord []int, rows [][]float64) float64 {
+	if p3 := b.kern.Predict3; p3 != nil {
+		return p3(pt.prevRow(b, 0, coord[0]), pt.prevRow(b, 1, coord[1]), pt.prevRow(b, 2, coord[2]))
+	}
 	for m := range b.model.Factors {
-		pt.rowsBuf[m] = pt.prevRow(b, m, coord[m])
+		rows[m] = pt.prevRow(b, m, coord[m])
 	}
 	r := b.model.Rank()
 	s := 0.0
 	for k := 0; k < r; k++ {
 		p := 1.0
-		for _, row := range pt.rowsBuf {
+		for _, row := range rows {
 			p *= row[k]
 		}
 		s += p
@@ -277,45 +300,70 @@ func (s *SNSRnd) Name() string { return "SNS-Rnd" }
 
 // Apply runs the common outline of Algorithm 3.
 func (s *SNSRnd) Apply(ch window.Change) {
-	applyOutline(s.win, s.model.Order(), s, ch)
+	applyOutline(&s.base, s, ch)
 }
 
 func (s *SNSRnd) beginEvent(ch window.Change) {
 	s.begin(&s.base, ch)
 }
 
-// updateRow is updateRowRan of Algorithm 4. Intermediates live in the
-// shared scratch buffers; steady-state updates allocate nothing (only the
+// updateRow is updateRowRan of Algorithm 4 as the staged sequence
+// prepare → sample → solve → commit. Intermediates live in the shared
+// sequential workspace; steady-state updates allocate nothing (only the
 // rare singular-system pseudoinverse fallback does).
 func (s *SNSRnd) updateRow(m, i int, ch window.Change) {
-	f := s.model.Factors[m]
-	row := f.Row(i)
-	p := s.saveRow(m, i, row)
+	p := s.prepareRow(m, i)
+	sample, sampled := s.sampleFor(m, i, s.ws.sampleBuf[:0])
+	s.ws.sampleBuf = sample
+	s.solveRow(m, i, ch, p, sample, sampled, &s.ws)
+	s.commitRow(m, i, p)
+}
+
+func (s *SNSRnd) prepareRow(m, i int) []float64 {
+	return s.saveRow(m, i, s.model.Factors[m].Row(i))
+}
+
+// sampleFor draws the θ-sample when row (m,i)'s degree exceeds θ — the
+// sole RNG consumer of the row update, so pre-drawing for the parallel
+// pair in row order reproduces the sequential RNG stream exactly.
+func (s *SNSRnd) sampleFor(m, i int, dst []uint64) ([]uint64, bool) {
 	x := s.win.X()
-	h := cpd.GramsExceptInto(s.hBuf, s.grams, m)
 	if x.Deg(m, i) <= s.theta {
+		return dst, false
+	}
+	return sampleSliceCells(x, m, i, s.theta, s.rng, s.exclude, dst, s.ws.coordBuf), true
+}
+
+// solveRow computes the new row values in place without touching the
+// Grams or the RNG (commitRow and sampleFor own those).
+func (s *SNSRnd) solveRow(m, i int, ch window.Change, p []float64, sample []uint64, sampled bool, ws *rowWS) {
+	row := s.model.Factors[m].Row(i)
+	x := s.win.X()
+	h := cpd.GramsExceptInto(ws.hBuf, s.grams, m)
+	if !sampled {
 		// Exact path, Eq. (12).
-		u := cpd.MTTKRPRowInto(x, s.model.Factors, m, i, s.dataBuf, s.krBuf)
-		copy(row, s.solver.Solve(h, u))
+		u := s.kern.MTTKRPRow(x, s.model.Factors, m, i, ws.dataBuf, ws.krBuf)
+		copy(row, ws.solver.Solve(h, u))
 	} else {
 		// Sampled path, Eq. (16):
 		// A⁽ᵐ⁾(i,:) ← A⁽ᵐ⁾(i,:) H_prev H† + (X̄+ΔX)_(m)(i,:) K⁽ᵐ⁾ H†.
-		hPrev := cpd.GramsExceptInto(s.huBuf, s.prevGrams, m)
-		u := mat.VecMulInto(s.dataBuf, p, hPrev)
-		for _, key := range s.sample(&s.base, m, i, s.theta, s.rng) {
-			coord := x.Coord(key, s.coordBuf)
-			resid := x.AtKey(key) - s.predictPrev(&s.base, coord)
-			kr := cpd.KRRow(s.model.Factors, coord, m, s.krBuf)
-			for k := range u {
-				u[k] += resid * kr[k]
-			}
+		hPrev := cpd.GramsExceptInto(ws.huBuf, s.prevGrams, m)
+		u := mat.VecMulInto(ws.dataBuf, p, hPrev)
+		for _, key := range sample {
+			coord := x.Coord(key, ws.coordBuf)
+			resid := x.AtKey(key) - s.predictPrev(&s.base, coord, ws.rowsBuf)
+			s.krAxpy(u, resid, coord, m, ws.krBuf)
 		}
-		dt := s.deltaTerm(ch, m, i, s.rowBuf)
+		dt := s.deltaTerm(ch, m, i, ws.rowBuf, ws.krBuf)
 		for k := range u {
 			u[k] += dt[k]
 		}
-		copy(row, s.solver.Solve(h, u))
+		copy(row, ws.solver.Solve(h, u))
 	}
+}
+
+func (s *SNSRnd) commitRow(m, i int, p []float64) {
+	row := s.model.Factors[m].Row(i)
 	updateGram(s.grams[m], p, row)
 	updatePrevGram(s.prevGrams[m], p, row)
 }

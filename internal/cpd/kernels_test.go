@@ -1,0 +1,130 @@
+package cpd
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"slicenstitch/internal/mat"
+	"slicenstitch/internal/tensor"
+)
+
+// kernelTestSetup builds a small order-3 tensor with mixed-sign values and
+// wildly varying magnitudes (1e-30..1e+3) plus matching random factors —
+// adversarial inputs for floating-point identity.
+func kernelTestSetup(t *testing.T, r int, seed int64) (*tensor.Sparse, []*mat.Dense) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	dims := []int{13, 9, 5}
+	x := tensor.NewSparse(dims)
+	for i := 0; i < 150; i++ {
+		coord := []int{rng.Intn(13), rng.Intn(9), rng.Intn(5)}
+		mag := math.Pow(10, float64(rng.Intn(34))-30)
+		x.Set(coord, (rng.Float64()*2-1)*mag)
+	}
+	factors := make([]*mat.Dense, 3)
+	for m, n := range dims {
+		factors[m] = mat.New(n, r)
+		for i := 0; i < n; i++ {
+			row := factors[m].Row(i)
+			for k := range row {
+				row[k] = rng.NormFloat64()
+			}
+		}
+	}
+	return x, factors
+}
+
+// TestKernelsBitIdentical holds the contract stated on Kernels: every
+// shape-specialized kernel ForShape selects — the fixed-rank stamps for
+// R ∈ {8, 10, 16, 20} and the runtime-rank order-3 forms for every other
+// rank — produces results bit-identical (math.Float64bits equal) to the
+// generic reference implementations.
+func TestKernelsBitIdentical(t *testing.T) {
+	for _, r := range []int{7, 8, 10, 16, 20} {
+		x, factors := kernelTestSetup(t, r, int64(100+r))
+		kern := ForShape(3, r)
+		wantFixed := r == 8 || r == 10 || r == 16 || r == 20
+		if kern.Fixed != wantFixed {
+			t.Fatalf("R=%d: Fixed=%v want %v", r, kern.Fixed, wantFixed)
+		}
+
+		// MTTKRPRow vs the any-order reference, every mode and row.
+		got := make([]float64, r)
+		scratch := make([]float64, r)
+		want := make([]float64, r)
+		wScratch := make([]float64, r)
+		for m := 0; m < 3; m++ {
+			for i := 0; i < x.Dim(m); i++ {
+				kern.MTTKRPRow(x, factors, m, i, got, scratch)
+				MTTKRPRowInto(x, factors, m, i, want, wScratch)
+				for k := range got {
+					if math.Float64bits(got[k]) != math.Float64bits(want[k]) {
+						t.Fatalf("R=%d MTTKRPRow mode=%d row=%d k=%d: %x != %x (%g vs %g)",
+							r, m, i, k, math.Float64bits(got[k]), math.Float64bits(want[k]), got[k], want[k])
+					}
+				}
+			}
+		}
+
+		// KRAxpy3 vs KRRow followed by an explicit axpy.
+		rng := rand.New(rand.NewSource(int64(200 + r)))
+		coord := make([]int, 3)
+		for m := 0; m < 3; m++ {
+			for trial := 0; trial < 25; trial++ {
+				for n := 0; n < 3; n++ {
+					coord[n] = rng.Intn(x.Dim(n))
+				}
+				s := rng.NormFloat64()
+				for k := 0; k < r; k++ {
+					got[k] = rng.NormFloat64()
+					want[k] = got[k]
+				}
+				ma, mb := OtherModes3(m)
+				kern.KRAxpy3(got, s, factors[ma].Row(coord[ma]), factors[mb].Row(coord[mb]))
+				kr := KRRow(factors, coord, m, wScratch)
+				for k := range want {
+					want[k] += s * kr[k]
+				}
+				for k := range got {
+					if math.Float64bits(got[k]) != math.Float64bits(want[k]) {
+						t.Fatalf("R=%d KRAxpy3 mode=%d k=%d: %g != %g", r, m, k, got[k], want[k])
+					}
+				}
+			}
+		}
+
+		// Predict3 vs the scratch-buffer product chain (KRRow over two
+		// modes then a dot with the third, as the generic predict performs).
+		for trial := 0; trial < 50; trial++ {
+			for n := 0; n < 3; n++ {
+				coord[n] = rng.Intn(x.Dim(n))
+			}
+			a := factors[0].Row(coord[0])
+			b := factors[1].Row(coord[1])
+			c := factors[2].Row(coord[2])
+			gotV := kern.Predict3(a, b, c)
+			wantV := 0.0
+			for k := 0; k < r; k++ {
+				tt := a[k] * b[k]
+				tt *= c[k]
+				wantV += tt
+			}
+			if math.Float64bits(gotV) != math.Float64bits(wantV) {
+				t.Fatalf("R=%d Predict3: %g != %g", r, gotV, wantV)
+			}
+		}
+	}
+}
+
+// TestForShapeFallbacks: non-order-3 shapes get the any-order reference
+// and nil fused kernels.
+func TestForShapeFallbacks(t *testing.T) {
+	k := ForShape(4, 8)
+	if k.Fixed || k.KRAxpy3 != nil || k.Predict3 != nil {
+		t.Fatal("order-4 shape must not select order-3 kernels")
+	}
+	if k.MTTKRPRow == nil {
+		t.Fatal("order-4 shape must still provide MTTKRPRow")
+	}
+}

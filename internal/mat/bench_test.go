@@ -78,6 +78,25 @@ func BenchmarkSolveSymCholeskyPath(b *testing.B) {
 	}
 }
 
+// BenchmarkSymSolver: the workspace-reusing solver behind every SNS-Vec /
+// SNS-Rnd row update — SolveSymCholeskyPath without the per-call
+// allocations, at the ingest benchmark's R=8.
+func BenchmarkSymSolver(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	base := benchMat(rng, 40, 8)
+	spd := MulTA(base, base)
+	rhs := make([]float64, 8)
+	for i := range rhs {
+		rhs[i] = rng.NormFloat64()
+	}
+	s := NewSymSolver(8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Solve(spd, rhs)
+	}
+}
+
 func BenchmarkSolveSymPinvFallback(b *testing.B) {
 	rng := rand.New(rand.NewSource(7))
 	base := benchMat(rng, 5, 20)

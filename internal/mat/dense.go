@@ -259,8 +259,23 @@ func Hadamard(a, b *Dense) *Dense {
 // HadamardInPlace sets dst = dst ∗ b.
 func HadamardInPlace(dst, b *Dense) {
 	sameDims(dst, b, "HadamardInPlace")
+	d := dst.data[:len(b.data)]
 	for i, v := range b.data {
-		dst.data[i] *= v
+		d[i] *= v
+	}
+}
+
+// HadamardInto sets dst = a ∗ b in one pass — the fused form of
+// CopyFrom+HadamardInPlace used per event to rebuild the Hadamard of
+// Grams. Bit-identical to the two-pass form (a[i]·b[i] either way).
+func HadamardInto(dst, a, b *Dense) {
+	sameDims(dst, a, "HadamardInto")
+	sameDims(dst, b, "HadamardInto")
+	d := dst.data
+	av := a.data[:len(d)]
+	bv := b.data[:len(d)]
+	for i := range d {
+		d[i] = av[i] * bv[i]
 	}
 }
 

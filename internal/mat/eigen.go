@@ -155,18 +155,22 @@ func choleskyInto(l, a *Dense) error {
 		panic(fmt.Sprintf("mat: choleskyInto dst %d×%d != %d×%d", l.rows, l.cols, n, n))
 	}
 	for i := 0; i < n; i++ {
+		li := l.data[i*n : i*n+n]
+		ai := a.data[i*n : i*n+n]
 		for j := 0; j <= i; j++ {
-			s := a.data[i*n+j]
-			for k := 0; k < j; k++ {
-				s -= l.data[i*n+k] * l.data[j*n+k]
+			s := ai[j]
+			lik := li[:j]
+			ljk := l.data[j*n : j*n+j]
+			for k, lv := range lik {
+				s -= lv * ljk[k]
 			}
 			if i == j {
 				if s <= 0 || math.IsNaN(s) {
 					return fmt.Errorf("mat: matrix not positive definite at pivot %d (%g)", i, s)
 				}
-				l.data[i*n+i] = math.Sqrt(s)
+				li[i] = math.Sqrt(s)
 			} else {
-				l.data[i*n+j] = s / l.data[j*n+j]
+				li[j] = s / l.data[j*n+j]
 			}
 		}
 	}
@@ -243,8 +247,10 @@ func (s *SymSolver) Solve(a *Dense, b []float64) []float64 {
 		l := s.l.data
 		for i := 0; i < n; i++ {
 			sum := b[i]
-			for k := 0; k < i; k++ {
-				sum -= l[i*n+k] * s.y[k]
+			lik := l[i*n : i*n+i]
+			yk := s.y[:i]
+			for k, lv := range lik {
+				sum -= lv * yk[k]
 			}
 			s.y[i] = sum / l[i*n+i]
 		}

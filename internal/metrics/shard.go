@@ -231,3 +231,13 @@ func (s *ShardStats) Report() ShardReport {
 		ApplyLatency:     apply,
 	}
 }
+
+// PoolReport describes a stream's parallel row-solve pool (the
+// Parallelism knob): how many workers it runs and how much of the event
+// stream actually exercised the parallel path. Absent (nil in
+// StreamMetrics) for sequential trackers.
+type PoolReport struct {
+	Workers    int    `json:"workers"`
+	PairEvents uint64 `json:"pairEvents"`
+	RowsSolved uint64 `json:"rowsSolved"`
+}

@@ -197,6 +197,30 @@ func (t *Sparse) Deg(m, i int) int {
 	return 0
 }
 
+// Tombstone is the sentinel marking dead slots in the raw key spans
+// returned by SliceSpan. No live key ever equals it (the keyspace
+// computation panics on uint64 overflow, so stored keys are strictly
+// below ^uint64(0)).
+const Tombstone = tombstone
+
+// Stride returns the mode-m stride of the key encoding: coordinate i in
+// mode m contributes i·Stride(m) to the key, so mode-m of a key k decodes
+// as k/Stride(m) mod Dim(m).
+func (t *Sparse) Stride(m int) uint64 { return t.strides[m] }
+
+// SliceSpan returns the raw backing key span of the (m,i) slice registry:
+// the keys of X_(m)(i,:) in the same deterministic order ForEachInSlice
+// visits them, interleaved with Tombstone entries that callers must skip.
+// The span is a live view — valid only until the tensor's next mutation,
+// and must not be modified. It exists so the per-event MTTKRP kernels can
+// iterate a matricized row without a closure call per nonzero.
+func (t *Sparse) SliceSpan(m, i int) []uint64 {
+	if s := t.fibers[m][i]; s != nil {
+		return s.keys
+	}
+	return nil
+}
+
 // ForEachInSlice calls fn(coord, value) for every nonzero whose mode-m index
 // is i — the nonzeros of the matricized row X_(m)(i,:). The coord slice is
 // the tensor's shared scratch, reused across calls and across ForEach*

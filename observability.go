@@ -13,6 +13,9 @@ type StreamMetrics struct {
 	// Apply is the batch-apply latency histogram recorded on the shard
 	// writer goroutine (one observation per applied batch).
 	Apply metrics.HistogramSnapshot `json:"apply"`
+	// Pool is the parallel row-solve pool's health view; nil for
+	// sequential streams (Config.Parallelism ≤ 1).
+	Pool *metrics.PoolReport `json:"pool,omitempty"`
 	// WAL and Checkpoint are nil on a non-durable engine.
 	WAL        *metrics.WALReport        `json:"wal,omitempty"`
 	Checkpoint *metrics.CheckpointReport `json:"checkpoint,omitempty"`
@@ -59,6 +62,15 @@ func (e *Engine) Metrics() EngineMetrics {
 		sm.Stats.Dropped = s.mb.Dropped()
 		sm.Stats.QueueDepth = s.mb.Len()
 		sm.Stats.QueueCap = s.mb.Cap()
+		if ps, ok := s.tr.PoolStats(); ok {
+			// The pool pointer is fixed at tracker construction and its
+			// counters are atomics, so this read never touches the writer.
+			sm.Pool = &metrics.PoolReport{
+				Workers:    ps.Workers,
+				PairEvents: ps.PairEvents,
+				RowsSolved: ps.RowsSolved,
+			}
+		}
 		if s.dur != nil {
 			wr := s.dur.walStats.Report()
 			cr := s.dur.ckptStats.Report()

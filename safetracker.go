@@ -212,6 +212,22 @@ func (s *SafeTracker) Checkpoint(w io.Writer) error {
 	return s.tr.Checkpoint(w)
 }
 
+// Close releases the underlying tracker's background resources (see
+// Tracker.Close). Idempotent; readers stay wait-free throughout.
+func (s *SafeTracker) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tr.Close()
+}
+
+// PoolStats reports the underlying tracker's parallel row-solve pool
+// counters; ok is false for sequential trackers.
+func (s *SafeTracker) PoolStats() (stats PoolStats, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tr.PoolStats()
+}
+
 // RestoreSafe rebuilds a snapshot-isolated tracker from a Checkpoint
 // stream.
 func RestoreSafe(r io.Reader) (*SafeTracker, error) {

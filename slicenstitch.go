@@ -99,6 +99,14 @@ type Config struct {
 	// entries to [0, Eta] — an extension for count data where negative
 	// loadings have no interpretation. Ignored by the other algorithms.
 	NonNegative bool
+	// Parallelism, when greater than 1, solves the two independent
+	// time-mode row updates of each shift event concurrently on a
+	// persistent worker pool of that size. Results are bit-identical to
+	// the sequential execution (the default, 0 or 1): backups, sampling
+	// and Gram updates keep their sequential order, only the independent
+	// row solves overlap. Trackers with a pool should be released with
+	// Close. Ignored by SNSMat (which has no per-row outline).
+	Parallelism int
 }
 
 func (c Config) withDefaults() Config {
@@ -155,6 +163,12 @@ func (c Config) validate() error {
 	default:
 		return fmt.Errorf("slicenstitch: unknown algorithm %q", c.Algorithm)
 	}
+	if c.Parallelism < 0 {
+		return fmt.Errorf("slicenstitch: Config.Parallelism = %d must be non-negative", c.Parallelism)
+	}
+	if c.Parallelism > 1024 {
+		return fmt.Errorf("slicenstitch: Config.Parallelism = %d exceeds the 1024 cap", c.Parallelism)
+	}
 	return nil
 }
 
@@ -166,6 +180,10 @@ type Tracker struct {
 	dec     core.Decomposer
 	started bool
 	events  uint64
+	// pool is the shared row-solve worker pool (nil unless
+	// Config.Parallelism > 1), created with the first decomposer and
+	// released by Close.
+	pool *core.Pool
 	// apply is the cached event sink (decomposer update + counter), built
 	// once at Start so the per-event hot path creates no closures. Nil
 	// while filling.
@@ -185,7 +203,19 @@ func New(cfg Config) (*Tracker, error) {
 		cfg:    cfg,
 		win:    window.New(cfg.Dims, cfg.W, cfg.Period),
 		idxBuf: make([]int, len(cfg.Dims)+1),
+		pool:   newTrackerPool(cfg),
 	}, nil
+}
+
+// newTrackerPool builds the row-solve worker pool for a configuration, or
+// nil for the sequential default. Created at construction — not lazily at
+// Start — so the field is immutable once the tracker escapes to an engine
+// shard and concurrent Metrics scrapes can read it without a lock.
+func newTrackerPool(cfg Config) *core.Pool {
+	if cfg.Parallelism <= 1 {
+		return nil
+	}
+	return core.NewPool(cfg.Parallelism, len(cfg.Dims)+1, cfg.Rank)
 }
 
 // checkCoord validates a categorical coordinate against the configuration.
@@ -287,19 +317,68 @@ func (t *Tracker) newDecomposer(model *cpd.Model) core.Decomposer {
 	case SNSMat:
 		return core.NewSNSMat(t.win, model)
 	case SNSVec:
-		return core.NewSNSVec(t.win, model)
+		dec := core.NewSNSVec(t.win, model)
+		t.attachPool(dec)
+		return dec
 	case SNSRnd:
-		return wrapAuto(core.NewSNSRnd(t.win, model, t.cfg.Theta, t.cfg.Seed), t.cfg.LatencyBudget)
+		dec := core.NewSNSRnd(t.win, model, t.cfg.Theta, t.cfg.Seed)
+		t.attachPool(dec)
+		return wrapAuto(dec, t.cfg.LatencyBudget)
 	case SNSVecPlus:
 		dec := core.NewSNSVecPlus(t.win, model, t.cfg.Eta)
 		dec.NonNegative = t.cfg.NonNegative
+		t.attachPool(dec)
 		return dec
 	case SNSRndPlus:
 		dec := core.NewSNSRndPlus(t.win, model, t.cfg.Theta, t.cfg.Eta, t.cfg.Seed)
 		dec.NonNegative = t.cfg.NonNegative
+		t.attachPool(dec)
 		return wrapAuto(dec, t.cfg.LatencyBudget)
 	}
 	return nil
+}
+
+// attachPool hands the tracker's worker pool (from newTrackerPool, when
+// Config.Parallelism > 1) to a freshly built decomposer. Attachment
+// happens before any auto-θ wrapping, on the concrete variant; both the
+// Start and checkpoint-restore construction paths flow through here.
+func (t *Tracker) attachPool(dec interface{ EnablePool(*core.Pool) }) {
+	if t.pool != nil {
+		dec.EnablePool(t.pool)
+	}
+}
+
+// Close releases the tracker's background resources — today, the
+// Parallelism worker pool. It is idempotent, safe before Start, and a
+// no-op for sequential trackers. The tracker itself remains usable
+// afterward, but further events apply sequentially (a decomposer still
+// holding the closed pool falls back on its own).
+func (t *Tracker) Close() {
+	if t.pool != nil {
+		t.pool.Close()
+	}
+}
+
+// PoolStats is a snapshot of the health counters of a tracker's parallel
+// row-solve pool (Config.Parallelism).
+type PoolStats struct {
+	// Workers is the configured pool size.
+	Workers int
+	// PairEvents counts shift events whose independent time-mode row
+	// pair was solved in parallel.
+	PairEvents uint64
+	// RowsSolved counts row solves executed on pool workers.
+	RowsSolved uint64
+}
+
+// PoolStats reports the parallel row-solve pool's health counters; ok is
+// false for sequential trackers (Parallelism ≤ 1).
+func (t *Tracker) PoolStats() (stats PoolStats, ok bool) {
+	if t.pool == nil {
+		return PoolStats{}, false
+	}
+	ps := t.pool.Stats()
+	return PoolStats{Workers: ps.Workers, PairEvents: ps.PairEvents, RowsSolved: ps.RowsSolved}, true
 }
 
 // goOnline marks the tracker started and installs the cached per-event
