@@ -4,7 +4,6 @@ import (
 	"bytes"
 	"context"
 	"encoding/gob"
-	"errors"
 	"fmt"
 	"io"
 
@@ -83,7 +82,7 @@ func Restore(r io.Reader) (*Tracker, error) {
 		return nil, fmt.Errorf("slicenstitch: restore header: %w", err)
 	}
 	if h.Version != 1 && h.Version != checkpointVersion {
-		return nil, fmt.Errorf("slicenstitch: unsupported checkpoint version %d", h.Version)
+		return nil, fmt.Errorf("%w: unsupported checkpoint version %d", ErrCorruptCheckpoint, h.Version)
 	}
 	if err := h.Config.validate(); err != nil {
 		return nil, err
@@ -123,16 +122,16 @@ func (t *Tracker) adopt(model *cpd.Model) error {
 	want := append(append([]int{}, t.cfg.Dims...), t.cfg.W)
 	got := model.Shape()
 	if len(got) != len(want) {
-		return errors.New("slicenstitch: checkpoint model order mismatch")
+		return fmt.Errorf("%w: model order mismatch", ErrCorruptCheckpoint)
 	}
 	for i := range want {
 		if got[i] != want[i] {
-			return fmt.Errorf("slicenstitch: checkpoint model mode %d size %d != config %d", i, got[i], want[i])
+			return fmt.Errorf("%w: model mode %d size %d != config %d", ErrCorruptCheckpoint, i, got[i], want[i])
 		}
 	}
 	t.dec = t.newDecomposer(model)
 	if t.dec == nil {
-		return fmt.Errorf("slicenstitch: unknown algorithm %q", t.cfg.Algorithm)
+		return fmt.Errorf("%w: unknown algorithm %q", ErrCorruptCheckpoint, t.cfg.Algorithm)
 	}
 	t.goOnline()
 	return nil
@@ -230,7 +229,7 @@ func RestoreEngine(r io.Reader) (*Engine, error) {
 		return nil, fmt.Errorf("slicenstitch: restore engine header: %w", err)
 	}
 	if h.Version != 1 && h.Version != engineCheckpointVersion {
-		return nil, fmt.Errorf("slicenstitch: unsupported engine checkpoint version %d", h.Version)
+		return nil, fmt.Errorf("%w: unsupported engine checkpoint version %d", ErrCorruptCheckpoint, h.Version)
 	}
 	e := NewEngine()
 	// Shards restored before a failure have live writer goroutines; shut

@@ -323,6 +323,14 @@ func mapError(err error) (status int, code string) {
 		return http.StatusServiceUnavailable, "engine_closed"
 	case errors.Is(err, slicenstitch.ErrDurability):
 		return http.StatusInternalServerError, "durability_failure"
+	case errors.Is(err, slicenstitch.ErrConfig):
+		return http.StatusBadRequest, "invalid_config"
+	case errors.Is(err, slicenstitch.ErrStreamExists):
+		return http.StatusConflict, "stream_exists"
+	case errors.Is(err, slicenstitch.ErrCorruptCheckpoint):
+		return http.StatusInternalServerError, "corrupt_checkpoint"
+	case errors.Is(err, slicenstitch.ErrCorruptWAL):
+		return http.StatusInternalServerError, "corrupt_wal"
 	case errors.As(err, &coordErr):
 		return http.StatusBadRequest, "bad_coord"
 	case errors.Is(err, context.DeadlineExceeded):

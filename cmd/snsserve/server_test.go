@@ -360,6 +360,10 @@ func TestMapError(t *testing.T) {
 		{slicenstitch.ErrObservedUnavailable, http.StatusServiceUnavailable, "observed_unavailable"},
 		{slicenstitch.ErrEngineClosed, http.StatusServiceUnavailable, "engine_closed"},
 		{slicenstitch.ErrDurability, http.StatusInternalServerError, "durability_failure"},
+		{slicenstitch.ErrConfig, http.StatusBadRequest, "invalid_config"},
+		{slicenstitch.ErrStreamExists, http.StatusConflict, "stream_exists"},
+		{slicenstitch.ErrCorruptCheckpoint, http.StatusInternalServerError, "corrupt_checkpoint"},
+		{slicenstitch.ErrCorruptWAL, http.StatusInternalServerError, "corrupt_wal"},
 		{&slicenstitch.CoordError{Mode: 0, Got: 9, Limit: 4}, http.StatusBadRequest, "bad_coord"},
 		{&slicenstitch.RejectError{Index: 1, Err: &slicenstitch.CoordError{}}, http.StatusBadRequest, "bad_coord"},
 		{context.DeadlineExceeded, http.StatusGatewayTimeout, "timeout"},

@@ -1,0 +1,203 @@
+// Command snsvet runs the project's invariant analyzers (internal/lint)
+// over the module and reports violations.
+//
+// Usage:
+//
+//	go run ./cmd/snsvet [flags] [packages]
+//
+// Packages are module-relative path patterns: "./..." (the default)
+// checks everything; "./internal/wal" or "internal/wal/..." restricts the
+// reported findings to files under that directory. The whole module is
+// always loaded and type-checked — the patterns filter output, because
+// cross-package invariants (hotpath transitivity, the error taxonomy)
+// need the full program either way.
+//
+// Flags:
+//
+//	-json        emit the machine-readable report on stdout
+//	-out FILE    also write the JSON report to FILE (for CI artifacts)
+//	-enable  LIST run only the named analyzers (comma-separated)
+//	-disable LIST run all but the named analyzers
+//	-list        print the analyzer names and docs, then exit
+//	-C DIR       module root to analyze (default ".")
+//
+// Exit status: 0 when clean, 1 when findings were reported, 2 on usage or
+// load errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"slicenstitch/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(argv []string) int {
+	fs := flag.NewFlagSet("snsvet", flag.ContinueOnError)
+	var (
+		jsonOut = fs.Bool("json", false, "emit the machine-readable report on stdout")
+		outFile = fs.String("out", "", "also write the JSON report to this file")
+		enable  = fs.String("enable", "", "comma-separated analyzer names to run exclusively")
+		disable = fs.String("disable", "", "comma-separated analyzer names to skip")
+		list    = fs.Bool("list", false, "print analyzer names and docs, then exit")
+		dir     = fs.String("C", ".", "module root to analyze")
+	)
+	fs.Usage = func() {
+		fmt.Fprintln(fs.Output(), "usage: snsvet [flags] [packages]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
+
+	prog, err := lint.Load(lint.LoadConfig{Dir: *dir})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "snsvet:", err)
+		return 2
+	}
+
+	analyzers := lint.DefaultAnalyzers(prog.Module)
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name(), a.Doc())
+		}
+		return 0
+	}
+	analyzers, err = selectAnalyzers(analyzers, *enable, *disable)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "snsvet:", err)
+		return 2
+	}
+
+	diags := lint.Run(prog, analyzers)
+	diags = filterByPatterns(diags, fs.Args())
+
+	if *outFile != "" {
+		f, err := os.Create(*outFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "snsvet:", err)
+			return 2
+		}
+		werr := lint.WriteJSON(f, diags)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintln(os.Stderr, "snsvet:", werr)
+			return 2
+		}
+	}
+	if *jsonOut {
+		if err := lint.WriteJSON(os.Stdout, diags); err != nil {
+			fmt.Fprintln(os.Stderr, "snsvet:", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+	}
+	if len(diags) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(os.Stderr, "snsvet: %d finding(s)\n", len(diags))
+		}
+		return 1
+	}
+	return 0
+}
+
+// selectAnalyzers applies -enable/-disable, rejecting unknown names so a
+// typo cannot silently disable enforcement.
+func selectAnalyzers(all []lint.Analyzer, enable, disable string) ([]lint.Analyzer, error) {
+	if enable != "" && disable != "" {
+		return nil, fmt.Errorf("-enable and -disable are mutually exclusive")
+	}
+	byName := make(map[string]lint.Analyzer, len(all))
+	for _, a := range all {
+		byName[a.Name()] = a
+	}
+	pick := func(csv string) ([]string, error) {
+		var names []string
+		for _, n := range strings.Split(csv, ",") {
+			n = strings.TrimSpace(n)
+			if n == "" {
+				continue
+			}
+			if byName[n] == nil {
+				return nil, fmt.Errorf("unknown analyzer %q (see -list)", n)
+			}
+			names = append(names, n)
+		}
+		return names, nil
+	}
+	switch {
+	case enable != "":
+		names, err := pick(enable)
+		if err != nil {
+			return nil, err
+		}
+		var out []lint.Analyzer
+		for _, a := range all {
+			for _, n := range names {
+				if a.Name() == n {
+					out = append(out, a)
+				}
+			}
+		}
+		return out, nil
+	case disable != "":
+		names, err := pick(disable)
+		if err != nil {
+			return nil, err
+		}
+		skip := make(map[string]bool, len(names))
+		for _, n := range names {
+			skip[n] = true
+		}
+		var out []lint.Analyzer
+		for _, a := range all {
+			if !skip[a.Name()] {
+				out = append(out, a)
+			}
+		}
+		return out, nil
+	}
+	return all, nil
+}
+
+// filterByPatterns keeps only findings under the given module-relative
+// path patterns. No patterns, or any "...", "./...", or "." pattern,
+// keeps everything.
+func filterByPatterns(diags []lint.Diagnostic, patterns []string) []lint.Diagnostic {
+	if len(patterns) == 0 {
+		return diags
+	}
+	var prefixes []string
+	for _, p := range patterns {
+		p = filepath.ToSlash(p)
+		p = strings.TrimPrefix(p, "./")
+		p = strings.TrimSuffix(p, "...")
+		p = strings.TrimSuffix(p, "/")
+		if p == "" || p == "." {
+			return diags
+		}
+		prefixes = append(prefixes, p+"/")
+	}
+	var out []lint.Diagnostic
+	for _, d := range diags {
+		for _, pre := range prefixes {
+			if strings.HasPrefix(d.Pos.Filename, pre) {
+				out = append(out, d)
+				break
+			}
+		}
+	}
+	return out
+}

@@ -61,7 +61,7 @@ func ParseFsyncPolicy(s string) (FsyncPolicy, error) {
 	case "never":
 		return FsyncNever, nil
 	}
-	return 0, fmt.Errorf("slicenstitch: unknown fsync policy %q (want always, interval, or never)", s)
+	return 0, fmt.Errorf("%w: unknown fsync policy %q (want always, interval, or never)", ErrConfig, s)
 }
 
 // DurabilityOptions configures the engine's write-ahead log and
@@ -106,12 +106,12 @@ func (o DurabilityOptions) withDefaults() DurabilityOptions {
 
 func (o DurabilityOptions) validate() error {
 	if o.Dir == "" {
-		return errors.New("slicenstitch: DurabilityOptions.Dir is required")
+		return fmt.Errorf("%w: DurabilityOptions.Dir is required", ErrConfig)
 	}
 	switch o.Fsync {
 	case FsyncInterval, FsyncAlways, FsyncNever:
 	default:
-		return fmt.Errorf("slicenstitch: unknown fsync policy %d", o.Fsync)
+		return fmt.Errorf("%w: unknown fsync policy %d", ErrConfig, o.Fsync)
 	}
 	return nil
 }
@@ -261,16 +261,16 @@ func readFrameFile(path string) ([]byte, error) {
 		return nil, err
 	}
 	if len(data) < 8 {
-		return nil, fmt.Errorf("%s: truncated header", path)
+		return nil, fmt.Errorf("%w: %s: truncated header", ErrCorruptCheckpoint, path)
 	}
 	n := binary.LittleEndian.Uint32(data[0:])
 	crc := binary.LittleEndian.Uint32(data[4:])
 	if uint64(len(data)) != 8+uint64(n) {
-		return nil, fmt.Errorf("%s: %d payload bytes, header claims %d", path, len(data)-8, n)
+		return nil, fmt.Errorf("%w: %s: %d payload bytes, header claims %d", ErrCorruptCheckpoint, path, len(data)-8, n)
 	}
 	payload := data[8:]
 	if crc32.Checksum(payload, durCRC) != crc {
-		return nil, fmt.Errorf("%s: checksum mismatch", path)
+		return nil, fmt.Errorf("%w: %s: checksum mismatch", ErrCorruptCheckpoint, path)
 	}
 	return payload, nil
 }
@@ -501,36 +501,36 @@ func encodeBatchRecord(dst []byte, events []Event) []byte {
 func decodeBatchRecord(src []byte) ([]Event, error) {
 	count, n := binary.Uvarint(src)
 	if n <= 0 {
-		return nil, errors.New("slicenstitch: wal batch record: bad count")
+		return nil, fmt.Errorf("%w: batch record: bad count", ErrCorruptWAL)
 	}
 	src = src[n:]
 	if count > uint64(wal.MaxRecordBytes) {
-		return nil, fmt.Errorf("slicenstitch: wal batch record: absurd count %d", count)
+		return nil, fmt.Errorf("%w: batch record: absurd count %d", ErrCorruptWAL, count)
 	}
 	events := make([]Event, 0, count)
 	for i := uint64(0); i < count; i++ {
 		arity, n := binary.Uvarint(src)
 		if n <= 0 || arity > 1024 {
-			return nil, errors.New("slicenstitch: wal batch record: bad arity")
+			return nil, fmt.Errorf("%w: batch record: bad arity", ErrCorruptWAL)
 		}
 		src = src[n:]
 		coord := make([]int, arity)
 		for m := range coord {
 			v, n := readZigzag(src)
 			if n <= 0 {
-				return nil, errors.New("slicenstitch: wal batch record: bad coord")
+				return nil, fmt.Errorf("%w: batch record: bad coord", ErrCorruptWAL)
 			}
 			coord[m] = int(v)
 			src = src[n:]
 		}
 		if len(src) < 8 {
-			return nil, errors.New("slicenstitch: wal batch record: bad value")
+			return nil, fmt.Errorf("%w: batch record: bad value", ErrCorruptWAL)
 		}
 		value := math.Float64frombits(binary.LittleEndian.Uint64(src))
 		src = src[8:]
 		tm, n := readZigzag(src)
 		if n <= 0 {
-			return nil, errors.New("slicenstitch: wal batch record: bad time")
+			return nil, fmt.Errorf("%w: batch record: bad time", ErrCorruptWAL)
 		}
 		src = src[n:]
 		events = append(events, Event{Coord: coord, Value: value, Time: tm})
@@ -690,7 +690,7 @@ func (e *Engine) crash() {
 // writer could never have produced — is an error.
 func applyRecord(tr *Tracker, payload []byte) error {
 	if len(payload) == 0 {
-		return errors.New("slicenstitch: empty wal record")
+		return fmt.Errorf("%w: empty record", ErrCorruptWAL)
 	}
 	switch payload[0] {
 	case recBatch:
@@ -704,11 +704,11 @@ func applyRecord(tr *Tracker, payload []byte) error {
 	case recAdvance:
 		tm, n := readZigzag(payload[1:])
 		if n <= 0 {
-			return errors.New("slicenstitch: wal advance record: bad time")
+			return fmt.Errorf("%w: advance record: bad time", ErrCorruptWAL)
 		}
 		tr.AdvanceTo(tm)
 	default:
-		return fmt.Errorf("slicenstitch: unknown wal record type %d", payload[0])
+		return fmt.Errorf("%w: unknown record type %d", ErrCorruptWAL, payload[0])
 	}
 	return nil
 }

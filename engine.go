@@ -3,7 +3,6 @@ package slicenstitch
 import (
 	"bytes"
 	"context"
-	"errors"
 	"fmt"
 	"io"
 	"sort"
@@ -105,15 +104,15 @@ func (c StreamConfig) validate() error {
 		return err
 	}
 	if c.MailboxCapacity < 1 {
-		return errors.New("slicenstitch: StreamConfig.MailboxCapacity must be positive")
+		return fmt.Errorf("%w: StreamConfig.MailboxCapacity must be positive", ErrConfig)
 	}
 	if c.PublishEvery < 1 {
-		return errors.New("slicenstitch: StreamConfig.PublishEvery must be positive")
+		return fmt.Errorf("%w: StreamConfig.PublishEvery must be positive", ErrConfig)
 	}
 	switch c.Backpressure {
 	case BackpressureBlock, BackpressureDropOldest, BackpressureError:
 	default:
-		return fmt.Errorf("slicenstitch: unknown backpressure policy %d", c.Backpressure)
+		return fmt.Errorf("%w: unknown backpressure policy %d", ErrConfig, c.Backpressure)
 	}
 	return nil
 }
@@ -220,13 +219,23 @@ type shard struct {
 	// engine): the WAL appender plus the background checkpointer.
 	dur *shardDur
 
-	// Writer-local state.
-	sincePublish      int
-	errsSince         int
+	// Writer-local state: owned by the shard's writer goroutine, crossing
+	// to readers only inside published snapshots. snsvet's writeronly
+	// analyzer enforces that nothing outside a //sns:writer function
+	// mutates these.
+
+	//sns:writer-only
+	sincePublish int
+	//sns:writer-only
+	errsSince int
+	//sns:writer-only
 	lastBatchRejected int
-	lastErr           string
-	walErr            error
-	sinceCkpt         int
+	//sns:writer-only
+	lastErr string
+	//sns:writer-only
+	walErr error
+	//sns:writer-only
+	sinceCkpt int
 }
 
 // NewEngine returns an empty engine. Add streams with AddStream.
@@ -241,7 +250,7 @@ func NewEngine() *Engine {
 // AddStream returns recovers the stream.
 func (e *Engine) AddStream(name string, cfg StreamConfig) (*Stream, error) {
 	if name == "" {
-		return nil, errors.New("slicenstitch: stream name must be non-empty")
+		return nil, fmt.Errorf("%w: stream name must be non-empty", ErrConfig)
 	}
 	cfg = cfg.withDefaults()
 	if err := cfg.validate(); err != nil {
@@ -259,7 +268,7 @@ func (e *Engine) AddStream(name string, cfg StreamConfig) (*Stream, error) {
 		e.dur.mu.Lock()
 		defer e.dur.mu.Unlock()
 		if _, err := e.Stream(name); err == nil {
-			return nil, fmt.Errorf("slicenstitch: stream %q already exists", name)
+			return nil, fmt.Errorf("%w: %q", ErrStreamExists, name)
 		}
 		sd, err = e.dur.createStream(name, cfg)
 		if err != nil {
@@ -324,7 +333,7 @@ func (e *Engine) addShard(name string, cfg StreamConfig, tr *Tracker, sd *shardD
 	if _, dup := e.shards[name]; dup {
 		e.mu.Unlock()
 		s.stop()
-		return nil, fmt.Errorf("slicenstitch: stream %q already exists", name)
+		return nil, fmt.Errorf("%w: %q", ErrStreamExists, name)
 	}
 	e.shards[name] = s
 	e.mu.Unlock()
@@ -609,6 +618,8 @@ func (e *Engine) Shutdown(ctx context.Context) error {
 
 // Close is Shutdown without a deadline: it waits for every writer to
 // drain. Idempotent.
+//
+//lint:ignore ctxfirst Close satisfies io.Closer, which has no context; Shutdown is the context-first form
 func (e *Engine) Close() error { return e.Shutdown(context.Background()) }
 
 // handle runs on the shard's writer goroutine — the only place s.tr is
@@ -622,46 +633,60 @@ func (e *Engine) Close() error { return e.Shutdown(context.Background()) }
 // commit points: when the mailbox runs dry (end of a drain burst) and
 // before any control acknowledgement, with fsync per the configured
 // policy.
+// handleBatch is the data-plane path of the writer loop: one mailbox
+// batch logged, applied, and accounted. Split from handle so the 0-alloc
+// contract is scoped to the path that runs per batch, not the per-stream
+// control ops.
+//
+//sns:hotpath
+//sns:writer
+func (s *shard) handleBatch(msg shardMsg) {
+	if s.dur != nil {
+		// Timed so the /metrics WAL-append histogram reflects what the
+		// hot path actually pays (buffer encode + copy, occasionally a
+		// flush); two clock reads and a histogram record, 0 allocs.
+		walStart := time.Now()
+		s.logBatch(msg.batch)
+		s.dur.walStats.Append.Record(time.Since(walStart))
+	}
+	// The batch fast path: one Tracker.PushBatch call validates and
+	// applies the whole batch — no per-event closure, coord copy, or
+	// repeated dispatch — and is allocation-free in steady state.
+	start := time.Now()
+	applied, err := s.tr.PushBatch(msg.batch)
+	s.stats.RecordBatch(applied, time.Since(start))
+	errs := countRejects(err)
+	s.lastBatchRejected = errs
+	if errs > 0 {
+		s.stats.RecordErrors(errs)
+		s.errsSince += errs
+		s.lastErr = lastReject(err).Error()
+	}
+	s.maybeCommit()
+	//lint:ignore hotpath amortized: one checkpoint serialization per CheckpointEvery applied events
+	s.maybeCheckpoint(applied)
+	// Only applied events advance the publish clock: a stream of
+	// rejected events must not trigger the O(nnz) fitness recompute.
+	s.sincePublish += applied
+	if s.sincePublish >= s.cfg.PublishEvery {
+		//lint:ignore hotpath amortized: one snapshot allocation per PublishEvery applied events
+		s.publish()
+	} else if errs > 0 || s.pub.Load().LastBatchRejected != errs {
+		// No model publish is due, but the error state must still
+		// surface — otherwise a stream whose events are all rejected
+		// would never report LastError at all, and a clean batch after
+		// a bad one would keep advertising the stale LastBatchRejected
+		// until the next full publish. O(1): model fields are
+		// inherited.
+		s.publishErrState()
+	}
+}
+
+//sns:writer
 func (s *shard) handle(msg shardMsg) {
 	switch msg.op {
 	case opBatch:
-		if s.dur != nil {
-			// Timed so the /metrics WAL-append histogram reflects what the
-			// hot path actually pays (buffer encode + copy, occasionally a
-			// flush); two clock reads and a histogram record, 0 allocs.
-			walStart := time.Now()
-			s.logBatch(msg.batch)
-			s.dur.walStats.Append.Record(time.Since(walStart))
-		}
-		// The batch fast path: one Tracker.PushBatch call validates and
-		// applies the whole batch — no per-event closure, coord copy, or
-		// repeated dispatch — and is allocation-free in steady state.
-		start := time.Now()
-		applied, err := s.tr.PushBatch(msg.batch)
-		s.stats.RecordBatch(applied, time.Since(start))
-		errs := countRejects(err)
-		s.lastBatchRejected = errs
-		if errs > 0 {
-			s.stats.RecordErrors(errs)
-			s.errsSince += errs
-			s.lastErr = lastReject(err).Error()
-		}
-		s.maybeCommit()
-		s.maybeCheckpoint(applied)
-		// Only applied events advance the publish clock: a stream of
-		// rejected events must not trigger the O(nnz) fitness recompute.
-		s.sincePublish += applied
-		if s.sincePublish >= s.cfg.PublishEvery {
-			s.publish()
-		} else if errs > 0 || s.pub.Load().LastBatchRejected != errs {
-			// No model publish is due, but the error state must still
-			// surface — otherwise a stream whose events are all rejected
-			// would never report LastError at all, and a clean batch after
-			// a bad one would keep advertising the stale LastBatchRejected
-			// until the next full publish. O(1): model fields are
-			// inherited.
-			s.publishErrState()
-		}
+		s.handleBatch(msg)
 	case opStart:
 		s.logRecord([]byte{recStart})
 		err := s.tr.Start()
@@ -716,6 +741,8 @@ func (s *shard) handle(msg shardMsg) {
 
 // nextLSN returns the shard's WAL position (0 when not durable). Writer
 // goroutine only.
+//
+//sns:writer
 func (s *shard) nextLSN() uint64 {
 	if s.dur == nil {
 		return 0
@@ -725,6 +752,8 @@ func (s *shard) nextLSN() uint64 {
 
 // logBatch appends a batch record, encoding into the shard's reusable
 // scratch. Writer goroutine only; no-op when not durable.
+//
+//sns:writer
 func (s *shard) logBatch(events []Event) {
 	if s.dur == nil {
 		return
@@ -745,6 +774,8 @@ func (s *shard) durActive() bool {
 // after a WAL error the shard keeps serving from memory but stops
 // appending (the log's tail position no longer matches the applied
 // state), and the error is surfaced via Snapshot.DurabilityError.
+//
+//sns:writer
 func (s *shard) logRecord(payload []byte) {
 	if !s.durActive() {
 		return
@@ -760,6 +791,8 @@ func (s *shard) logRecord(payload []byte) {
 // sustained backlog (mailbox never empty) cannot starve durability:
 // under FsyncAlways every batch still commits, and under FsyncInterval
 // the interval clock keeps firing even while producers outrun the drain.
+//
+//sns:writer
 func (s *shard) maybeCommit() {
 	if !s.durActive() {
 		return
@@ -773,6 +806,8 @@ func (s *shard) maybeCommit() {
 // commit group-commits before a control acknowledgement, so a successful
 // Start/AdvanceTo reply implies the operation (and everything before it)
 // has reached the OS — and stable storage under FsyncAlways.
+//
+//sns:writer
 func (s *shard) commit() {
 	if !s.durActive() {
 		return
@@ -790,6 +825,8 @@ func (s *shard) commit() {
 // (fsync, rename, WAL truncation) happens on the shard's checkpointer
 // goroutine. A busy checkpointer skips the capture and retries after the
 // next batch rather than stalling ingestion.
+//
+//sns:writer
 func (s *shard) maybeCheckpoint(applied int) {
 	if s.dur == nil {
 		return
@@ -819,6 +856,8 @@ func (s *shard) maybeCheckpoint(applied int) {
 // and closes the checkpointer (which may still truncate) before the WAL
 // is flushed, synced, and closed. A simulated crash abandons everything
 // instead.
+//
+//sns:writer
 func (s *shard) finish() {
 	s.publish()
 	// Release the tracker's row-solve pool (if any) before durability
@@ -853,6 +892,8 @@ func (s *shard) finish() {
 // per-interval error state (LastError, ErrorsSincePublish) is stamped into
 // the snapshot and then reset, so errors age out after one interval
 // instead of sticking forever.
+//
+//sns:writer
 func (s *shard) publish() {
 	t := s.tr
 	snap := &Snapshot{
@@ -886,6 +927,8 @@ func (s *shard) publish() {
 // inherited from the previous snapshot, which is immutable and shared).
 // It neither counts as a model publish nor resets the per-interval error
 // state — a subsequent full publish still closes the interval.
+//
+//sns:writer
 func (s *shard) publishErrState() {
 	snap := *s.pub.Load()
 	snap.Now = s.tr.Now()
@@ -901,6 +944,8 @@ func (s *shard) publishErrState() {
 // durErrString folds the writer-latched WAL error and the background
 // checkpointer's latest error into the snapshot field. Writer goroutine
 // only (the checkpointer side is read through its own mutex).
+//
+//sns:writer
 func (s *shard) durErrString() string {
 	if s.walErr != nil {
 		return s.walErr.Error()

@@ -54,6 +54,29 @@ var (
 	// sentinel instead of claiming success; the latched condition also
 	// surfaces in Snapshot.DurabilityError.
 	ErrDurability = errors.New("slicenstitch: durability failure")
+
+	// ErrConfig reports an invalid configuration: a Config, StreamConfig,
+	// or DurabilityOptions field out of range, an unknown algorithm or
+	// policy name, or a malformed argument (empty stream name). The
+	// wrapped message names the offending field.
+	ErrConfig = errors.New("slicenstitch: invalid config")
+
+	// ErrStreamExists reports AddStream with a name that is already
+	// registered (or whose durability directory already exists).
+	ErrStreamExists = errors.New("slicenstitch: stream already exists")
+
+	// ErrCorruptCheckpoint reports durable state on disk — a checkpoint,
+	// an engine manifest, or a config sidecar frame — that fails
+	// validation on restore: bad checksum, truncated frame, unsupported
+	// version, or a model shape that contradicts its config.
+	ErrCorruptCheckpoint = errors.New("slicenstitch: corrupt checkpoint")
+
+	// ErrCorruptWAL reports a write-ahead-log record that fails to decode
+	// during recovery: a malformed frame the original writer could never
+	// have produced. Torn tails are not corruption — recovery truncates
+	// them silently; this sentinel means bytes inside the valid prefix
+	// are wrong.
+	ErrCorruptWAL = errors.New("slicenstitch: corrupt wal record")
 )
 
 // ErrUnknownStream is the pre-v1 name for ErrStreamNotFound.

@@ -145,6 +145,8 @@ func NewSNSVecPlus(win *window.Window, init *cpd.Model, eta float64) *SNSVecPlus
 func (s *SNSVecPlus) Name() string { return "SNS-Vec+" }
 
 // Apply runs the common outline of Algorithm 3.
+//
+//sns:hotpath
 func (s *SNSVecPlus) Apply(ch window.Change) {
 	applyOutline(&s.base, s, ch)
 }
@@ -266,6 +268,8 @@ func NewSNSRndPlus(win *window.Window, init *cpd.Model, theta int, eta float64, 
 func (s *SNSRndPlus) Name() string { return "SNS-Rnd+" }
 
 // Apply runs the common outline of Algorithm 3.
+//
+//sns:hotpath
 func (s *SNSRndPlus) Apply(ch window.Change) {
 	applyOutline(&s.base, s, ch)
 }

@@ -32,6 +32,8 @@ func NewSNSVec(win *window.Window, init *cpd.Model) *SNSVec {
 func (s *SNSVec) Name() string { return "SNS-Vec" }
 
 // Apply runs the common outline of Algorithm 3.
+//
+//sns:hotpath
 func (s *SNSVec) Apply(ch window.Change) {
 	applyOutline(&s.base, s, ch)
 }
@@ -299,6 +301,8 @@ func NewSNSRnd(win *window.Window, init *cpd.Model, theta int, seed int64) *SNSR
 func (s *SNSRnd) Name() string { return "SNS-Rnd" }
 
 // Apply runs the common outline of Algorithm 3.
+//
+//sns:hotpath
 func (s *SNSRnd) Apply(ch window.Change) {
 	applyOutline(&s.base, s, ch)
 }

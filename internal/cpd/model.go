@@ -7,11 +7,18 @@ package cpd
 import (
 	"fmt"
 	"math"
-	"math/rand"
 
 	"slicenstitch/internal/mat"
 	"slicenstitch/internal/tensor"
 )
+
+// Rand is the randomness NewRandomModel needs. Both internal/rng.RNG and
+// math/rand.Rand satisfy it; state-bearing callers must pass the former
+// (its state serializes into checkpoints), while the one-shot ALS warm
+// start may keep a seeded math/rand source.
+type Rand interface {
+	Float64() float64
+}
 
 // Model is a rank-R CP model of an M-mode tensor: factor matrices
 // A⁽ᵐ⁾ ∈ R^{N_m×R} and column weights λ ∈ R^R, approximating
@@ -43,7 +50,7 @@ func NewModel(shape []int, rank int) *Model {
 
 // NewRandomModel allocates a model with entries drawn uniformly from [0,1),
 // the standard CP-ALS initialization.
-func NewRandomModel(shape []int, rank int, rng *rand.Rand) *Model {
+func NewRandomModel(shape []int, rank int, rng Rand) *Model {
 	m := NewModel(shape, rank)
 	for _, f := range m.Factors {
 		d := f.Data()

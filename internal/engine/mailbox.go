@@ -79,6 +79,8 @@ func NewMailbox[T any](capacity int, policy Policy, droppable func(T) bool) *Mai
 }
 
 // Put enqueues v, applying the configured backpressure policy when full.
+//
+//lint:ignore ctxfirst Put is the documented non-cancellable convenience; PutCtx is the context-first form
 func (m *Mailbox[T]) Put(v T) error { return m.put(context.Background(), v, m.policy) }
 
 // PutCtx is Put with cancellation: a put blocked on a full mailbox
@@ -90,6 +92,8 @@ func (m *Mailbox[T]) PutCtx(ctx context.Context, v T) error { return m.put(ctx, 
 // PutBlocking enqueues v with Block semantics regardless of the
 // configured policy. Control messages use it so a loaded mailbox under
 // Error or DropOldest still accepts (and eventually answers) them.
+//
+//lint:ignore ctxfirst PutBlocking is the documented non-cancellable convenience; PutBlockingCtx is the context-first form
 func (m *Mailbox[T]) PutBlocking(v T) error { return m.put(context.Background(), v, Block) }
 
 // PutBlockingCtx is PutBlocking with cancellation (see PutCtx).

@@ -1,0 +1,113 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// CtxFirst enforces the public API's cancellation contract:
+//
+//   - an exported function or method in a library package that accepts a
+//     context.Context must take it as the first parameter (the universal
+//     Go convention, and what keeps call sites greppable);
+//   - library packages never manufacture their own contexts with
+//     context.Background() or context.TODO() — the caller owns
+//     cancellation. Binaries under cmd/ are roots and may create
+//     contexts; deliberate library conveniences (Close wrapping Shutdown)
+//     carry a reasoned //lint:ignore.
+type CtxFirst struct{}
+
+// Name implements Analyzer.
+func (*CtxFirst) Name() string { return "ctxfirst" }
+
+// Doc implements Analyzer.
+func (*CtxFirst) Doc() string {
+	return "exported library functions take context.Context first and never call context.Background/TODO"
+}
+
+// Run implements Analyzer.
+func (a *CtxFirst) Run(prog *Program) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range prog.Packages {
+		if isCommandPackage(prog, pkg.Path) {
+			continue
+		}
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				if fd.Name.IsExported() {
+					if pos, name, ok := misplacedContextParam(pkg.Info, fd); ok {
+						diags = append(diags, Diagnostic{
+							Analyzer: a.Name(), Pos: prog.Position(pos),
+							Message: name + " takes context.Context but not as the first parameter",
+						})
+					}
+				}
+				if fd.Body == nil {
+					continue
+				}
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					fn := calleeFunc(pkg.Info, call)
+					if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+						return true
+					}
+					if fn.Name() == "Background" || fn.Name() == "TODO" {
+						diags = append(diags, Diagnostic{
+							Analyzer: a.Name(), Pos: prog.Position(call.Pos()),
+							Message: "context." + fn.Name() + "() in a library package; thread the caller's context instead",
+						})
+					}
+					return true
+				})
+			}
+		}
+	}
+	return diags
+}
+
+// isCommandPackage reports whether an import path is a binary under the
+// module's cmd or examples tree (context roots live there).
+func isCommandPackage(prog *Program, path string) bool {
+	rel := strings.TrimPrefix(path, prog.Module)
+	return rel == "/cmd" || strings.HasPrefix(rel, "/cmd/") ||
+		rel == "/examples" || strings.HasPrefix(rel, "/examples/")
+}
+
+// misplacedContextParam reports a context.Context parameter that is not
+// first in an exported function's signature.
+func misplacedContextParam(info *types.Info, fd *ast.FuncDecl) (pos token.Pos, name string, found bool) {
+	if fd.Type.Params == nil {
+		return token.NoPos, "", false
+	}
+	idx := 0
+	for _, field := range fd.Type.Params.List {
+		n := len(field.Names)
+		if n == 0 {
+			n = 1
+		}
+		if isContextType(info.TypeOf(field.Type)) && idx > 0 {
+			return field.Pos(), fd.Name.Name, true
+		}
+		idx += n
+	}
+	return token.NoPos, "", false
+}
+
+// isContextType reports the context.Context interface type.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}

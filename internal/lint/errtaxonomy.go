@@ -1,0 +1,235 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"strings"
+)
+
+// ErrTaxonomy enforces the error-taxonomy contract between the library
+// and the HTTP surface:
+//
+//   - every error born in the root package wraps a sentinel: errors.New
+//     and fmt.Errorf-without-%w are banned outside the taxonomy file
+//     (errors.go), so callers can always branch with errors.Is;
+//   - every exported Err* sentinel declared in the taxonomy file has a
+//     matching errors.Is row in the server's error-envelope mapper
+//     (cmd/snsserve's mapError), checked against the AST so the table
+//     cannot silently fall behind the taxonomy.
+//
+// Aliases (one sentinel assigned to another name for compatibility) are
+// not separate sentinels and need no row of their own.
+type ErrTaxonomy struct {
+	// RootPkg is the import path of the package holding the taxonomy
+	// (defaults to the module root).
+	RootPkg string
+	// TaxonomyFile is the base name of the file allowed to mint errors
+	// (default "errors.go").
+	TaxonomyFile string
+	// ServerPkg is the import path of the package holding the envelope
+	// mapper (default <module>/cmd/snsserve).
+	ServerPkg string
+	// MapFunc is the mapper function's name (default "mapError").
+	MapFunc string
+}
+
+// Name implements Analyzer.
+func (*ErrTaxonomy) Name() string { return "errtaxonomy" }
+
+// Doc implements Analyzer.
+func (*ErrTaxonomy) Doc() string {
+	return "root-package errors wrap errors.go sentinels; every sentinel has a mapError row in snsserve"
+}
+
+// Run implements Analyzer.
+func (a *ErrTaxonomy) Run(prog *Program) []Diagnostic {
+	rootPath := a.RootPkg
+	if rootPath == "" {
+		rootPath = prog.Module
+	}
+	taxFile := a.TaxonomyFile
+	if taxFile == "" {
+		taxFile = "errors.go"
+	}
+	serverPath := a.ServerPkg
+	if serverPath == "" {
+		serverPath = prog.Module + "/cmd/snsserve"
+	}
+	mapFunc := a.MapFunc
+	if mapFunc == "" {
+		mapFunc = "mapError"
+	}
+
+	var diags []Diagnostic
+	root := prog.Package(rootPath)
+	if root == nil {
+		return nil
+	}
+	sentinels := collectSentinels(prog, root, taxFile)
+	diags = append(diags, a.checkAdHocErrors(prog, root, taxFile)...)
+
+	server := prog.Package(serverPath)
+	if server == nil {
+		return diags
+	}
+	covered, mapperFound := mapperRows(server, mapFunc)
+	if !mapperFound {
+		diags = append(diags, Diagnostic{
+			Analyzer: a.Name(), Pos: prog.Position(server.Files[0].Pos()),
+			Message: serverPath + " has no " + mapFunc + " function to map sentinels to error envelopes",
+		})
+		return diags
+	}
+	for _, s := range sentinels {
+		if !covered[s.obj] {
+			diags = append(diags, Diagnostic{
+				Analyzer: a.Name(), Pos: prog.Position(s.pos),
+				Message: "sentinel " + s.obj.Name() + " has no errors.Is row in " + serverPath + "." + mapFunc + "; add one so the HTTP envelope stays exhaustive",
+			})
+		}
+	}
+	return diags
+}
+
+// sentinel is one exported Err* variable minted in the taxonomy file.
+type sentinel struct {
+	obj *types.Var
+	pos token.Pos
+}
+
+// collectSentinels gathers the exported Err* error variables declared in
+// the taxonomy file. A ValueSpec whose initializer is a bare identifier
+// (an alias like ErrUnknownStream = ErrStreamNotFound) is skipped: it is
+// the same sentinel under a compatibility name.
+func collectSentinels(prog *Program, root *Package, taxFile string) []sentinel {
+	var out []sentinel
+	for _, f := range root.Files {
+		if filepath.Base(prog.Fset.Position(f.Pos()).Filename) != taxFile {
+			continue
+		}
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					if !strings.HasPrefix(name.Name, "Err") || !name.IsExported() {
+						continue
+					}
+					if i < len(vs.Values) {
+						if _, isAlias := ast.Unparen(vs.Values[i]).(*ast.Ident); isAlias {
+							continue
+						}
+					}
+					v, ok := root.Info.Defs[name].(*types.Var)
+					if !ok || !isErrorType(v.Type()) {
+						continue
+					}
+					out = append(out, sentinel{obj: v, pos: name.Pos()})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// checkAdHocErrors flags errors.New and non-wrapping fmt.Errorf calls in
+// the root package outside the taxonomy file.
+func (a *ErrTaxonomy) checkAdHocErrors(prog *Program, root *Package, taxFile string) []Diagnostic {
+	var diags []Diagnostic
+	for _, f := range root.Files {
+		if filepath.Base(prog.Fset.Position(f.Pos()).Filename) == taxFile {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(root.Info, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			switch fn.Pkg().Path() + "." + fn.Name() {
+			case "errors.New":
+				diags = append(diags, Diagnostic{
+					Analyzer: a.Name(), Pos: prog.Position(call.Pos()),
+					Message: "ad-hoc errors.New in the root package; wrap a sentinel from " + taxFile + " so callers can errors.Is",
+				})
+			case "fmt.Errorf":
+				if !errorfWraps(root.Info, call) {
+					diags = append(diags, Diagnostic{
+						Analyzer: a.Name(), Pos: prog.Position(call.Pos()),
+						Message: "fmt.Errorf without %w in the root package; wrap a sentinel from " + taxFile,
+					})
+				}
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+// errorfWraps reports whether a fmt.Errorf call's format string contains
+// a %w verb (conservatively true when the format is not a constant).
+func errorfWraps(info *types.Info, call *ast.CallExpr) bool {
+	if len(call.Args) == 0 {
+		return false
+	}
+	tv, ok := info.Types[call.Args[0]]
+	if !ok || tv.Value == nil {
+		return true
+	}
+	format := tv.Value.String()
+	return strings.Contains(format, "%w")
+}
+
+// mapperRows returns the set of sentinel objects referenced via
+// errors.Is(err, X) inside the named mapper function.
+func mapperRows(server *Package, mapFunc string) (map[*types.Var]bool, bool) {
+	covered := make(map[*types.Var]bool)
+	found := false
+	for _, f := range server.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Name.Name != mapFunc || fd.Body == nil {
+				continue
+			}
+			found = true
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || len(call.Args) != 2 {
+					return true
+				}
+				fn := calleeFunc(server.Info, call)
+				if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "errors" || fn.Name() != "Is" {
+					return true
+				}
+				if sel, ok := ast.Unparen(call.Args[1]).(*ast.SelectorExpr); ok {
+					if v, ok := server.Info.Uses[sel.Sel].(*types.Var); ok {
+						covered[v] = true
+					}
+				}
+				if id, ok := ast.Unparen(call.Args[1]).(*ast.Ident); ok {
+					if v, ok := server.Info.Uses[id].(*types.Var); ok {
+						covered[v] = true
+					}
+				}
+				return true
+			})
+		}
+	}
+	return covered, found
+}
+
+// isErrorType reports the built-in error interface.
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}

@@ -1,0 +1,453 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HotPath enforces the 0-alloc ingest contract. Functions annotated with
+// //sns:hotpath in their doc comment — the Push/PushBatch path, the window
+// event loop, and the update kernels, all gated by allocs/op benchmarks —
+// may not contain steady-state allocation constructs:
+//
+//   - make/new, slice or map literals, &T{} composite literals
+//   - append into a fresh or foreign slice (x = append(x, …) growth of a
+//     steady-state slice is amortized and allowed)
+//   - fmt.Sprintf and friends (the stdlib formatting/allocating denylist)
+//   - interface boxing of non-pointer values at call sites
+//   - stored capturing closures (a closure passed directly as a call
+//     argument is allowed — the kernels' ForEach callbacks are proven
+//     non-escaping by the compiler and by the alloc gate)
+//   - string concatenation and string<->[]byte conversions
+//
+// Calls are checked transitively: a hotpath function may call another
+// module function only if that callee is itself annotated (and therefore
+// checked) or is allocation-free by the same rules all the way down.
+// Interface method calls are a checked boundary: the dynamic callee
+// cannot be resolved statically, so the concrete implementations carry
+// their own annotations.
+//
+// Allocations inside an if/case block that ends by returning, panicking,
+// continuing, or breaking are treated as cold (validation and error
+// paths); deliberate amortized allocations (pool growth, once-per-interval
+// publishes) are suppressed in place with a reasoned //lint:ignore.
+type HotPath struct{}
+
+// Name implements Analyzer.
+func (*HotPath) Name() string { return "hotpath" }
+
+// Doc implements Analyzer.
+func (*HotPath) Doc() string {
+	return "//sns:hotpath functions must be allocation-free in steady state, transitively"
+}
+
+// hotPathDirective marks a function as part of the 0-alloc hot path.
+const hotPathDirective = "sns:hotpath"
+
+// allocDenyPkgs are stdlib packages whose every call allocates (or exists
+// to format).
+var allocDenyPkgs = map[string]bool{
+	"fmt": true, "log": true, "log/slog": true,
+}
+
+// allocDenyFuncs are individual stdlib functions and methods that
+// allocate on every call.
+var allocDenyFuncs = map[string]bool{
+	"errors.New":                     true,
+	"sort.Sort":                      true,
+	"sort.Stable":                    true,
+	"sort.Slice":                     true,
+	"sort.SliceStable":               true,
+	"strconv.Itoa":                   true,
+	"strconv.FormatInt":              true,
+	"strconv.FormatUint":             true,
+	"strconv.FormatFloat":            true,
+	"strconv.Quote":                  true,
+	"strings.Join":                   true,
+	"strings.Split":                  true,
+	"strings.Repeat":                 true,
+	"strings.Replace":                true,
+	"strings.ReplaceAll":             true,
+	"strings.ToUpper":                true,
+	"strings.ToLower":                true,
+	"strings.Fields":                 true,
+	"strings.Clone":                  true,
+	"bytes.Join":                     true,
+	"bytes.Split":                    true,
+	"bytes.Repeat":                   true,
+	"(*bytes.Buffer).WriteString":    true,
+	"(*strings.Builder).WriteString": true,
+	"(*strings.Builder).String":      true,
+}
+
+// Run implements Analyzer.
+func (a *HotPath) Run(prog *Program) []Diagnostic {
+	// The transitive classifier needs the suppression index up front: an
+	// amortized allocation suppressed in place inside an un-annotated
+	// helper must not leak back out as a finding at every caller.
+	sup, _ := parseIgnores(prog, nil)
+	h := &hotChecker{prog: prog, memo: make(map[*types.Func]*hotVerdict), sup: sup}
+	for _, pkg := range prog.Packages {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || !hasDirective(fd.Doc, hotPathDirective) || fd.Body == nil {
+					continue
+				}
+				h.scan(pkg, f, fd, func(pos token.Pos, msg string) {
+					h.diags = append(h.diags, Diagnostic{
+						Analyzer: "hotpath", Pos: prog.Position(pos), Message: msg,
+					})
+				})
+			}
+		}
+	}
+	return h.diags
+}
+
+// hotVerdict memoizes the classification of an un-annotated function.
+type hotVerdict struct {
+	safe bool
+	// why describes the first allocation found (for unsafe verdicts).
+	why string
+}
+
+type hotChecker struct {
+	prog  *Program
+	memo  map[*types.Func]*hotVerdict
+	sup   *suppressor
+	diags []Diagnostic
+	// visiting breaks call-graph cycles: a function currently being
+	// classified is assumed safe in its own recursion.
+	visiting map[*types.Func]bool
+}
+
+// scan reports every steady-state allocation construct in fd's body via
+// report, including transitive verdicts at call sites.
+func (h *hotChecker) scan(pkg *Package, file *ast.File, fd *ast.FuncDecl, report func(token.Pos, string)) {
+	parents := h.prog.Parents(file)
+	info := pkg.Info
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		if isCold(parents, n, fd.Body) {
+			return true // keep walking: nested nodes recheck coldness cheaply
+		}
+		switch node := n.(type) {
+		case *ast.CallExpr:
+			h.checkCall(pkg, info, node, parents, report)
+		case *ast.CompositeLit:
+			if t := info.TypeOf(node); t != nil {
+				switch t.Underlying().(type) {
+				case *types.Slice:
+					report(node.Pos(), "slice literal allocates; reuse a scratch buffer")
+				case *types.Map:
+					report(node.Pos(), "map literal allocates")
+				}
+			}
+			if u, ok := parents[n].(*ast.UnaryExpr); ok && u.Op == token.AND {
+				report(node.Pos(), "&composite literal allocates; reuse a scratch value")
+			}
+		case *ast.FuncLit:
+			h.checkFuncLit(info, node, fd, parents, report)
+		case *ast.BinaryExpr:
+			if node.Op == token.ADD && isStringType(info.TypeOf(node)) && info.Types[node].Value == nil {
+				report(node.Pos(), "string concatenation allocates")
+			}
+		case *ast.AssignStmt:
+			if node.Tok == token.ADD_ASSIGN && len(node.Lhs) == 1 && isStringType(info.TypeOf(node.Lhs[0])) {
+				report(node.Pos(), "string concatenation allocates")
+			}
+		}
+		return true
+	})
+}
+
+// checkCall handles every allocation rule that lives at a call site:
+// make/new, denylisted stdlib, string conversions, interface boxing,
+// fresh-slice append, and the transitive module-callee verdict.
+func (h *hotChecker) checkCall(pkg *Package, info *types.Info, call *ast.CallExpr, parents map[ast.Node]ast.Node, report func(token.Pos, string)) {
+	// Conversions: string <-> []byte/[]rune copy their operand.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		to, from := tv.Type, info.TypeOf(call.Args[0])
+		if isStringByteConversion(to, from) {
+			report(call.Pos(), "string conversion allocates")
+		}
+		return
+	}
+	// Builtins.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if obj, ok := info.Uses[id].(*types.Builtin); ok {
+			switch obj.Name() {
+			case "make":
+				report(call.Pos(), "make allocates; reuse a scratch buffer")
+			case "new":
+				report(call.Pos(), "new allocates; reuse a scratch value")
+			case "append":
+				if !isSelfAppend(call, parents) {
+					report(call.Pos(), "append into a fresh or foreign slice allocates; only x = append(x, …) growth is amortized")
+				}
+			}
+			return
+		}
+	}
+	fn := calleeFunc(info, call)
+	if fn != nil && fn.Pkg() != nil {
+		path := fn.Pkg().Path()
+		switch {
+		case allocDenyPkgs[path]:
+			report(call.Pos(), "call to "+path+"."+fn.Name()+" allocates (formatting); hot paths must not format")
+		case allocDenyFuncs[path+"."+fn.Name()] || allocDenyFuncs[fn.FullName()]:
+			report(call.Pos(), "call to "+fn.FullName()+" allocates")
+		case h.prog.InModule(path):
+			if declPkg, decl := h.prog.FuncDecl(fn); decl != nil {
+				if !hasDirective(decl.Doc, hotPathDirective) {
+					if v := h.classify(fn, declPkg, decl); !v.safe {
+						report(call.Pos(), "calls un-annotated allocating helper "+fn.FullName()+" ("+v.why+"); annotate it //sns:hotpath or hoist the allocation")
+					}
+				}
+			}
+		}
+	}
+	// Interface boxing of arguments.
+	h.checkBoxing(info, call, report)
+}
+
+// checkBoxing flags call arguments whose assignment to an interface-typed
+// parameter boxes a non-pointer concrete value onto the heap.
+func (h *hotChecker) checkBoxing(info *types.Info, call *ast.CallExpr, report func(token.Pos, string)) {
+	sig, ok := typeAsSignature(info.TypeOf(call.Fun))
+	if !ok || call.Ellipsis.IsValid() {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case i < params.Len()-1 || (i < params.Len() && !sig.Variadic()):
+			pt = params.At(i).Type()
+		case sig.Variadic():
+			last := params.At(params.Len() - 1).Type()
+			if sl, ok := last.(*types.Slice); ok {
+				pt = sl.Elem()
+			}
+		}
+		if pt == nil || !types.IsInterface(pt) {
+			continue
+		}
+		at := info.TypeOf(arg)
+		if at == nil || types.IsInterface(at) || isUntypedNil(info, arg) || isPointerShaped(at) {
+			continue
+		}
+		report(arg.Pos(), "interface boxing: passing non-pointer "+at.String()+" as "+pt.String()+" allocates")
+	}
+}
+
+// checkFuncLit flags stored capturing closures. A closure passed directly
+// as a call argument (the ForEach callback pattern) is allowed: the
+// compiler's escape analysis keeps those on the stack, and the alloc-gate
+// benchmarks hold that proof.
+func (h *hotChecker) checkFuncLit(info *types.Info, lit *ast.FuncLit, encl *ast.FuncDecl, parents map[ast.Node]ast.Node, report func(token.Pos, string)) {
+	parent := parents[lit]
+	if call, ok := parent.(*ast.CallExpr); ok {
+		if call.Fun == lit {
+			return // immediately invoked
+		}
+		for _, arg := range call.Args {
+			if arg == lit {
+				return // passed straight down as a callback
+			}
+		}
+	}
+	if capturesLocals(info, lit, encl) {
+		report(lit.Pos(), "stored capturing closure allocates; hoist it to a field built off the hot path")
+	}
+}
+
+// classify decides whether an un-annotated module function is
+// allocation-free by the hotpath rules, memoized across the whole run.
+func (h *hotChecker) classify(fn *types.Func, pkg *Package, decl *ast.FuncDecl) *hotVerdict {
+	if v, ok := h.memo[fn]; ok {
+		return v
+	}
+	if h.visiting == nil {
+		h.visiting = make(map[*types.Func]bool)
+	}
+	if h.visiting[fn] {
+		return &hotVerdict{safe: true} // cycle: the first pass settles it
+	}
+	h.visiting[fn] = true
+	defer delete(h.visiting, fn)
+	v := &hotVerdict{safe: true}
+	if decl.Body != nil {
+		file := h.prog.FileOf(pkg, decl.Pos())
+		h.scan(pkg, file, decl, func(pos token.Pos, msg string) {
+			p := h.prog.Position(pos)
+			if h.sup != nil && h.sup.suppressed(Diagnostic{Analyzer: "hotpath", Pos: p}) {
+				return
+			}
+			if v.safe {
+				v.safe = false
+				v.why = msg + " at " + p.String()
+			}
+		})
+	}
+	h.memo[fn] = v
+	return v
+}
+
+// isCold reports whether node sits inside an if/else block or switch case
+// that ends by leaving the function or the surrounding loop iteration —
+// the shape of validation and error paths, which may allocate.
+func isCold(parents map[ast.Node]ast.Node, node ast.Node, body *ast.BlockStmt) bool {
+	for n := node; n != nil && n != body; n = parents[n] {
+		var stmts []ast.Stmt
+		switch blk := n.(type) {
+		case *ast.BlockStmt:
+			if blk == body || !isBranchBlock(parents[blk]) {
+				continue
+			}
+			stmts = blk.List
+		case *ast.CaseClause:
+			stmts = blk.Body
+		default:
+			continue
+		}
+		if len(stmts) > 0 && terminates(stmts[len(stmts)-1]) {
+			return true
+		}
+	}
+	return false
+}
+
+// isBranchBlock reports whether a block's parent makes it a conditional
+// branch (if/else) rather than a loop or function body.
+func isBranchBlock(parent ast.Node) bool {
+	switch parent.(type) {
+	case *ast.IfStmt:
+		return true
+	}
+	return false
+}
+
+// terminates reports whether a statement unconditionally leaves the
+// enclosing block's fallthrough path.
+func terminates(s ast.Stmt) bool {
+	switch st := s.(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.BranchStmt:
+		return st.Tok == token.CONTINUE || st.Tok == token.BREAK || st.Tok == token.GOTO
+	case *ast.ExprStmt:
+		if call, ok := st.X.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// isSelfAppend reports the amortized x = append(x, …) form, including
+// the reset variant x = append(x[:k], …) that reuses x's backing array.
+func isSelfAppend(call *ast.CallExpr, parents map[ast.Node]ast.Node) bool {
+	if len(call.Args) == 0 {
+		return false
+	}
+	assign, ok := parents[call].(*ast.AssignStmt)
+	if !ok || len(assign.Lhs) != 1 || len(assign.Rhs) != 1 || assign.Rhs[0] != call {
+		return false
+	}
+	dst := call.Args[0]
+	// x[:k] (no new backing array, any bounds) counts as x itself.
+	if sl, ok := dst.(*ast.SliceExpr); ok && !sl.Slice3 {
+		dst = sl.X
+	}
+	return types.ExprString(assign.Lhs[0]) == types.ExprString(dst)
+}
+
+// capturesLocals reports whether lit references variables declared in the
+// enclosing function outside the literal itself.
+func capturesLocals(info *types.Info, lit *ast.FuncLit, encl *ast.FuncDecl) bool {
+	captured := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || captured {
+			return !captured
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok {
+			return true
+		}
+		pos := v.Pos()
+		if pos >= lit.Pos() && pos < lit.End() {
+			return true // declared inside the literal
+		}
+		if pos >= encl.Pos() && pos < encl.End() {
+			captured = true
+			return false
+		}
+		return true
+	})
+	return captured
+}
+
+func isStringType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isStringByteConversion(to, from types.Type) bool {
+	if to == nil || from == nil {
+		return false
+	}
+	return (isStringType(to) && isByteOrRuneSlice(from)) ||
+		(isByteOrRuneSlice(to) && isStringType(from))
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := sl.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune ||
+		b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}
+
+func isUntypedNil(info *types.Info, e ast.Expr) bool {
+	t := info.TypeOf(e)
+	if t == nil {
+		return true
+	}
+	b, ok := t.(*types.Basic)
+	return ok && b.Kind() == types.UntypedNil
+}
+
+// isPointerShaped reports types whose interface representation stores the
+// value directly in the data word, so converting them to an interface
+// does not allocate.
+func isPointerShaped(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		b := t.Underlying().(*types.Basic)
+		return b.Kind() == types.UnsafePointer
+	}
+	return false
+}
+
+// typeAsSignature unwraps a call target's type to its signature.
+func typeAsSignature(t types.Type) (*types.Signature, bool) {
+	if t == nil {
+		return nil, false
+	}
+	sig, ok := t.Underlying().(*types.Signature)
+	return sig, ok
+}

@@ -1,0 +1,127 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// ignorePrefix introduces a suppression directive:
+//
+//	//lint:ignore <analyzer>[,<analyzer>] <reason>
+//
+// A directive suppresses matching findings on its own line and on the
+// line directly below it (so it works both as a trailing comment and as a
+// whole-line comment above the offending statement). The reason is
+// mandatory and the analyzer list must name real analyzers — a malformed
+// directive is itself reported, so suppressions cannot rot silently.
+const ignorePrefix = "lint:ignore"
+
+// suppressor indexes parsed directives by file and line.
+type suppressor struct {
+	// byLine maps filename -> line -> analyzer set that is ignored when a
+	// finding lands on that line.
+	byLine map[string]map[int]map[string]bool
+}
+
+// suppressed reports whether a diagnostic is covered by a directive.
+// Findings from the "lint" pseudo-analyzer (malformed directives) are
+// never suppressible.
+func (s *suppressor) suppressed(d Diagnostic) bool {
+	if d.Analyzer == "lint" {
+		return false
+	}
+	lines := s.byLine[d.Pos.Filename]
+	if lines == nil {
+		return false
+	}
+	set := lines[d.Pos.Line]
+	return set != nil && (set[d.Analyzer] || set["all"])
+}
+
+// parseIgnores walks every comment of the program, builds the suppression
+// index, and returns diagnostics for malformed directives. A nil known set
+// accepts any analyzer name without validating — used by analyzers that
+// consult suppressions mid-run (transitive hotpath classification), where
+// the authoritative validation pass happens later in Run.
+func parseIgnores(prog *Program, known map[string]bool) (*suppressor, []Diagnostic) {
+	s := &suppressor{byLine: make(map[string]map[int]map[string]bool)}
+	var diags []Diagnostic
+	for _, pkg := range prog.Packages {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text, ok := directiveText(c)
+					if !ok {
+						continue
+					}
+					pos := prog.Position(c.Pos())
+					fields := strings.Fields(text)
+					if len(fields) == 0 {
+						diags = append(diags, Diagnostic{
+							Analyzer: "lint", Pos: pos,
+							Message: "lint:ignore needs an analyzer list and a reason",
+						})
+						continue
+					}
+					names := strings.Split(fields[0], ",")
+					bad := ""
+					if known != nil {
+						for _, n := range names {
+							if n != "all" && !known[n] {
+								bad = n
+								break
+							}
+						}
+					}
+					if bad != "" {
+						diags = append(diags, Diagnostic{
+							Analyzer: "lint", Pos: pos,
+							Message: "lint:ignore names unknown analyzer \"" + bad + "\"",
+						})
+						continue
+					}
+					if len(fields) < 2 {
+						diags = append(diags, Diagnostic{
+							Analyzer: "lint", Pos: pos,
+							Message: "lint:ignore requires a reason after the analyzer list",
+						})
+						continue
+					}
+					file := pos.Filename
+					if s.byLine[file] == nil {
+						s.byLine[file] = make(map[int]map[string]bool)
+					}
+					for _, line := range []int{pos.Line, pos.Line + 1} {
+						set := s.byLine[file][line]
+						if set == nil {
+							set = make(map[string]bool)
+							s.byLine[file][line] = set
+						}
+						for _, n := range names {
+							set[n] = true
+						}
+					}
+				}
+			}
+		}
+	}
+	return s, diags
+}
+
+// directiveText extracts the payload after //lint:ignore, reporting ok
+// only for line comments carrying the directive.
+func directiveText(c *ast.Comment) (string, bool) {
+	body, ok := strings.CutPrefix(c.Text, "//")
+	if !ok {
+		return "", false
+	}
+	body = strings.TrimSpace(body)
+	rest, ok := strings.CutPrefix(body, ignorePrefix)
+	if !ok {
+		return "", false
+	}
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		return "", false
+	}
+	return strings.TrimSpace(rest), true
+}

@@ -1,0 +1,75 @@
+package lint
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// jsonVersion is the schema version of the machine-readable report. Bump
+// only on breaking changes; CI archives these reports as build artifacts
+// and downstream tooling keys on the version field.
+const jsonVersion = 1
+
+// Report is the stable machine-readable form of a lint run.
+type Report struct {
+	Version  int       `json:"version"`
+	Findings []Finding `json:"findings"`
+	Count    int       `json:"count"`
+}
+
+// Finding is one diagnostic in the JSON report.
+type Finding struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+}
+
+// NewReport converts diagnostics (already sorted by Run) to the stable
+// report form. Findings is never null in the encoded output.
+func NewReport(diags []Diagnostic) Report {
+	findings := make([]Finding, 0, len(diags))
+	for _, d := range diags {
+		findings = append(findings, Finding{
+			Analyzer: d.Analyzer,
+			File:     d.Pos.Filename,
+			Line:     d.Pos.Line,
+			Col:      d.Pos.Column,
+			Message:  d.Message,
+		})
+	}
+	return Report{Version: jsonVersion, Findings: findings, Count: len(findings)}
+}
+
+// WriteJSON encodes the report for diags to w, indented for artifact
+// readability.
+func WriteJSON(w io.Writer, diags []Diagnostic) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(NewReport(diags))
+}
+
+// DefaultAnalyzers is the project's analyzer suite, configured for the
+// given module path. The determinism set covers every package whose state
+// a checkpoint serializes or a WAL replay re-executes; internal/rng is
+// the sanctioned randomness source and is exempt.
+func DefaultAnalyzers(module string) []Analyzer {
+	sub := func(p string) string { return module + "/" + p }
+	return []Analyzer{
+		&Determinism{
+			Packages: []string{
+				sub("internal/core"),
+				sub("internal/cpd"),
+				sub("internal/tensor"),
+				sub("internal/wal"),
+				sub("internal/window"),
+			},
+			Exempt: []string{sub("internal/rng")},
+		},
+		&HotPath{},
+		&WriterOnly{},
+		&CtxFirst{},
+		&ErrTaxonomy{},
+	}
+}

@@ -1,0 +1,76 @@
+package lint
+
+import (
+	"bytes"
+	"go/token"
+	"testing"
+)
+
+// TestJSONSchemaStable pins the exact serialized form of a report. CI
+// archives these reports and downstream tooling keys on the field names
+// and the version, so any drift here is a breaking change that must bump
+// jsonVersion.
+func TestJSONSchemaStable(t *testing.T) {
+	diags := []Diagnostic{{
+		Analyzer: "determinism",
+		Pos:      token.Position{Filename: "pkg/a.go", Line: 12, Column: 3},
+		Message:  "map iteration in a state-bearing package",
+	}}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, diags); err != nil {
+		t.Fatal(err)
+	}
+	want := `{
+  "version": 1,
+  "findings": [
+    {
+      "analyzer": "determinism",
+      "file": "pkg/a.go",
+      "line": 12,
+      "col": 3,
+      "message": "map iteration in a state-bearing package"
+    }
+  ],
+  "count": 1
+}
+`
+	if got := buf.String(); got != want {
+		t.Errorf("JSON schema drifted:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestJSONEmptyFindings checks findings encodes as [], never null — a
+// clean run must stay parseable by schema-strict consumers.
+func TestJSONEmptyFindings(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	want := `{
+  "version": 1,
+  "findings": [],
+  "count": 0
+}
+`
+	if got := buf.String(); got != want {
+		t.Errorf("empty report drifted:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestDefaultAnalyzersNames pins the analyzer suite names — the -enable
+// and -disable flags of cmd/snsvet are keyed on them.
+func TestDefaultAnalyzersNames(t *testing.T) {
+	want := []string{"determinism", "hotpath", "writeronly", "ctxfirst", "errtaxonomy"}
+	got := DefaultAnalyzers("example.com/m")
+	if len(got) != len(want) {
+		t.Fatalf("want %d analyzers, got %d", len(want), len(got))
+	}
+	for i, a := range got {
+		if a.Name() != want[i] {
+			t.Errorf("analyzer %d: want %q, got %q", i, want[i], a.Name())
+		}
+		if a.Doc() == "" {
+			t.Errorf("analyzer %q has no doc", a.Name())
+		}
+	}
+}

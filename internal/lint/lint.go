@@ -1,0 +1,128 @@
+// Package lint is the project's static-analysis framework: a stdlib-only
+// (go/ast, go/parser, go/types, go/importer — no external modules, matching
+// the repository's no-dependency ethos) analyzer harness that turns the
+// invariants the compiler cannot see into mechanically enforced law.
+//
+// The system's correctness rests on rules that were established by hand
+// and would otherwise erode one new call site at a time:
+//
+//   - bit-identical crash recovery requires that the state-bearing
+//     packages never consult math/rand, the wall clock, or map iteration
+//     order (the determinism analyzer);
+//   - ingest throughput rests on 0-alloc hot paths (hotpath, driven by
+//     //sns:hotpath annotations and checked transitively);
+//   - the sharded engine rests on writer-only mutation discipline
+//     (writeronly, driven by //sns:writer-only and //sns:writer);
+//   - the public API's blocking surface is context-first and never
+//     manufactures its own contexts (ctxfirst);
+//   - every error crossing the public API wraps a sentinel from
+//     errors.go, and every sentinel has a row in snsserve's error
+//     envelope table (errtaxonomy).
+//
+// Diagnostics are position-accurate and suppressible in place with
+//
+//	//lint:ignore <analyzer>[,<analyzer>] <reason>
+//
+// on the offending line or the line directly above it. The reason is
+// mandatory: a suppression without one is itself a diagnostic.
+// cmd/snsvet is the command-line driver; CI runs it as a blocking job.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one analyzer finding at an exact source position.
+type Diagnostic struct {
+	// Analyzer is the name of the analyzer that produced the finding.
+	Analyzer string
+	// Pos is the finding's position (file is module-relative when the
+	// loader knows the module root).
+	Pos token.Position
+	// Message states the violated invariant and the offending construct.
+	Message string
+}
+
+// String renders the diagnostic in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Analyzer is one invariant checker. Run receives the fully type-checked
+// program and returns findings; the harness applies suppression and
+// ordering afterwards.
+type Analyzer interface {
+	// Name is the analyzer's stable identifier, used on the command line
+	// (-enable/-disable), in JSON output, and in //lint:ignore directives.
+	Name() string
+	// Doc is a one-line description of the enforced invariant.
+	Doc() string
+	// Run analyzes the program and returns raw findings.
+	Run(prog *Program) []Diagnostic
+}
+
+// Run executes the analyzers over the program, drops suppressed findings,
+// validates the suppression directives themselves, and returns the
+// surviving diagnostics sorted by position. Malformed //lint:ignore
+// directives (no reason, unknown analyzer) are reported under the
+// pseudo-analyzer "lint".
+func Run(prog *Program, analyzers []Analyzer) []Diagnostic {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name()] = true
+	}
+	sup, diags := parseIgnores(prog, known)
+	for _, a := range analyzers {
+		for _, d := range a.Run(prog) {
+			if sup.suppressed(d) {
+				continue
+			}
+			diags = append(diags, d)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}
+
+// funcDoc returns the doc comment text of a function declaration ("" when
+// absent). Directives like //sns:hotpath live in doc comments.
+func funcDoc(fd *ast.FuncDecl) string {
+	if fd.Doc == nil {
+		return ""
+	}
+	return fd.Doc.Text()
+}
+
+// hasDirective reports whether a comment group carries the given //sns:
+// directive as a whole word (so //sns:writer does not match
+// //sns:writer-only).
+func hasDirective(cg *ast.CommentGroup, directive string) bool {
+	if cg == nil {
+		return false
+	}
+	for _, c := range cg.List {
+		text := strings.TrimPrefix(c.Text, "//")
+		for _, field := range strings.Fields(text) {
+			if field == directive {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,175 @@
+package lint
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// loadFixture type-checks one mini-module under testdata.
+func loadFixture(t *testing.T, name string) *Program {
+	t.Helper()
+	prog, err := Load(LoadConfig{Dir: "testdata/" + name})
+	if err != nil {
+		t.Fatalf("Load(%s): %v", name, err)
+	}
+	return prog
+}
+
+// wantRe matches expectation comments in fixture sources:
+//
+//	// want <analyzer> "substring"
+var wantRe = regexp.MustCompile(`^want\s+(\w+)\s+"(.*)"$`)
+
+type expectation struct {
+	file     string
+	line     int
+	analyzer string
+	substr   string
+	hit      bool
+}
+
+// collectWants scans every fixture comment for expectation markers.
+func collectWants(prog *Program) []*expectation {
+	var wants []*expectation
+	for _, pkg := range prog.Packages {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+					m := wantRe.FindStringSubmatch(text)
+					if m == nil {
+						continue
+					}
+					pos := prog.Position(c.Pos())
+					wants = append(wants, &expectation{
+						file: pos.Filename, line: pos.Line,
+						analyzer: m[1], substr: m[2],
+					})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// checkGolden runs the analyzers over a fixture and requires the
+// diagnostics to match the fixture's want comments exactly: every
+// diagnostic consumed by a want on its line, every want hit once.
+func checkGolden(t *testing.T, fixture string, analyzers []Analyzer) {
+	t.Helper()
+	prog := loadFixture(t, fixture)
+	diags := Run(prog, analyzers)
+	wants := collectWants(prog)
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if w.hit || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+				continue
+			}
+			if w.analyzer != d.Analyzer || !strings.Contains(d.Message, w.substr) {
+				continue
+			}
+			w.hit = true
+			matched = true
+			break
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("missing diagnostic: %s:%d: %s: ...%s...", w.file, w.line, w.analyzer, w.substr)
+		}
+	}
+}
+
+func TestDeterminismGolden(t *testing.T) {
+	checkGolden(t, "determinism", []Analyzer{
+		&Determinism{Packages: []string{"fixture.example/det"}},
+	})
+}
+
+func TestDeterminismExempt(t *testing.T) {
+	prog := loadFixture(t, "determinism")
+	diags := Run(prog, []Analyzer{&Determinism{
+		Packages: []string{"fixture.example/det"},
+		Exempt:   []string{"fixture.example/det"},
+	}})
+	if len(diags) != 0 {
+		t.Fatalf("exempt package still produced %d findings, first: %s", len(diags), diags[0])
+	}
+}
+
+func TestHotPathGolden(t *testing.T) {
+	checkGolden(t, "hotpath", []Analyzer{&HotPath{}})
+}
+
+func TestWriterOnlyGolden(t *testing.T) {
+	checkGolden(t, "writeronly", []Analyzer{&WriterOnly{}})
+}
+
+func TestCtxFirstGolden(t *testing.T) {
+	checkGolden(t, "ctxfirst", []Analyzer{&CtxFirst{}})
+}
+
+func TestErrTaxonomyGolden(t *testing.T) {
+	checkGolden(t, "errtaxonomy", []Analyzer{&ErrTaxonomy{
+		ServerPkg: "fixture.example/errt/cmd/srv",
+	}})
+}
+
+// TestSuppression checks the directive semantics end to end: reasoned
+// ignores (trailing and above-line) silence findings, malformed
+// directives surface as never-suppressible "lint" findings, and exactly
+// one live finding survives.
+func TestSuppression(t *testing.T) {
+	prog := loadFixture(t, "suppress")
+	diags := Run(prog, []Analyzer{
+		&Determinism{Packages: []string{"fixture.example/sup"}},
+	})
+	var got []string
+	for _, d := range diags {
+		got = append(got, d.Analyzer+": "+d.Message)
+	}
+	joined := strings.Join(got, "\n")
+	mustContain := []string{
+		"determinism: wall-clock read time.Now",
+		"lint: lint:ignore needs an analyzer list and a reason",
+		"lint: lint:ignore requires a reason after the analyzer list",
+		`lint: lint:ignore names unknown analyzer "nosuchanalyzer"`,
+	}
+	for _, want := range mustContain {
+		if !strings.Contains(joined, want) {
+			t.Errorf("missing finding %q in:\n%s", want, joined)
+		}
+	}
+	if strings.Contains(joined, "map iteration") {
+		t.Errorf("suppressed map-range finding leaked:\n%s", joined)
+	}
+	if n := strings.Count(joined, "wall-clock"); n != 1 {
+		t.Errorf("want exactly 1 live wall-clock finding, got %d:\n%s", n, joined)
+	}
+	if len(diags) != len(mustContain) {
+		t.Errorf("want %d findings total, got %d:\n%s", len(mustContain), len(diags), joined)
+	}
+}
+
+// TestDiagnosticOrdering checks the stable sort contract: findings come
+// out ordered by file, line, column, analyzer.
+func TestDiagnosticOrdering(t *testing.T) {
+	prog := loadFixture(t, "determinism")
+	diags := Run(prog, []Analyzer{
+		&Determinism{Packages: []string{"fixture.example/det"}},
+	})
+	for i := 1; i < len(diags); i++ {
+		a, b := diags[i-1], diags[i]
+		ka := fmt.Sprintf("%s:%06d:%06d:%s", a.Pos.Filename, a.Pos.Line, a.Pos.Column, a.Analyzer)
+		kb := fmt.Sprintf("%s:%06d:%06d:%s", b.Pos.Filename, b.Pos.Line, b.Pos.Column, b.Analyzer)
+		if ka > kb {
+			t.Fatalf("diagnostics out of order: %s before %s", a, b)
+		}
+	}
+}

@@ -1,0 +1,330 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked module package.
+type Package struct {
+	// Path is the package's import path.
+	Path string
+	// Dir is the package's directory on disk.
+	Dir string
+	// Files are the package's parsed non-test source files, in
+	// deterministic (name-sorted) order.
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// Info holds the type-checker's expression, object, and selection
+	// facts for the package's files.
+	Info *types.Info
+}
+
+// Program is a fully loaded and type-checked module: every non-test
+// package under the module root, with shared position information.
+type Program struct {
+	Fset *token.FileSet
+	// Module is the module path from go.mod.
+	Module string
+	// Dir is the module root directory.
+	Dir string
+	// Packages holds the module's packages sorted by import path.
+	Packages []*Package
+
+	byPath  map[string]*Package
+	parents map[*ast.File]map[ast.Node]ast.Node
+	fnIndex map[*types.Func]*funcSite
+}
+
+// funcSite pairs a function declaration with its defining package.
+type funcSite struct {
+	pkg  *Package
+	decl *ast.FuncDecl
+}
+
+// LoadConfig configures Load. The zero Dir means the current directory;
+// the zero Module means "read it from go.mod".
+type LoadConfig struct {
+	Dir    string
+	Module string
+}
+
+// loader resolves imports during type checking: module-internal paths are
+// loaded recursively from source, everything else (the standard library)
+// goes through go/importer's source importer — no compiled export data,
+// no external tooling.
+type loader struct {
+	fset    *token.FileSet
+	root    string
+	module  string
+	std     types.ImporterFrom
+	pkgs    map[string]*Package
+	loading map[string]bool
+}
+
+// Load parses and type-checks every non-test package of the module rooted
+// at cfg.Dir. Vendor, testdata, hidden, and underscore-prefixed
+// directories are skipped.
+func Load(cfg LoadConfig) (*Program, error) {
+	dir := cfg.Dir
+	if dir == "" {
+		dir = "."
+	}
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	module := cfg.Module
+	if module == "" {
+		module, err = modulePath(abs)
+		if err != nil {
+			return nil, err
+		}
+	}
+	fset := token.NewFileSet()
+	l := &loader{
+		fset:    fset,
+		root:    abs,
+		module:  module,
+		std:     importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+		pkgs:    make(map[string]*Package),
+		loading: make(map[string]bool),
+	}
+	dirs, err := packageDirs(abs)
+	if err != nil {
+		return nil, err
+	}
+	prog := &Program{
+		Fset:    fset,
+		Module:  module,
+		Dir:     abs,
+		byPath:  make(map[string]*Package),
+		parents: make(map[*ast.File]map[ast.Node]ast.Node),
+		fnIndex: nil,
+	}
+	for _, d := range dirs {
+		rel, err := filepath.Rel(abs, d)
+		if err != nil {
+			return nil, err
+		}
+		path := module
+		if rel != "." {
+			path = module + "/" + filepath.ToSlash(rel)
+		}
+		if _, err := l.ImportFrom(path, "", 0); err != nil {
+			return nil, fmt.Errorf("lint: load %s: %w", path, err)
+		}
+	}
+	for _, p := range l.pkgs {
+		prog.Packages = append(prog.Packages, p)
+		prog.byPath[p.Path] = p
+	}
+	sort.Slice(prog.Packages, func(i, j int) bool { return prog.Packages[i].Path < prog.Packages[j].Path })
+	return prog, nil
+}
+
+// modulePath extracts the module path from go.mod under root.
+func modulePath(root string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return "", fmt.Errorf("lint: %w", err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module directive in %s/go.mod", root)
+}
+
+// packageDirs lists every directory under root that holds at least one
+// non-test Go file.
+func packageDirs(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if p != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+			name == "testdata" || name == "vendor") {
+			return filepath.SkipDir
+		}
+		ents, err := os.ReadDir(p)
+		if err != nil {
+			return err
+		}
+		for _, e := range ents {
+			if isSourceFile(e.Name()) {
+				dirs = append(dirs, p)
+				break
+			}
+		}
+		return nil
+	})
+	return dirs, err
+}
+
+func isSourceFile(name string) bool {
+	return strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go")
+}
+
+// Import implements types.Importer.
+func (l *loader) Import(path string) (*types.Package, error) { return l.importPkg(path) }
+
+// ImportFrom implements types.ImporterFrom.
+func (l *loader) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	return l.importPkg(path)
+}
+
+func (l *loader) importPkg(path string) (*types.Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p.Pkg, nil
+	}
+	if path == l.module || strings.HasPrefix(path, l.module+"/") {
+		if l.loading[path] {
+			return nil, fmt.Errorf("import cycle through %s", path)
+		}
+		l.loading[path] = true
+		defer delete(l.loading, path)
+		p, err := l.loadModulePkg(path)
+		if err != nil {
+			return nil, err
+		}
+		l.pkgs[path] = p
+		return p.Pkg, nil
+	}
+	return l.std.ImportFrom(path, l.root, 0)
+}
+
+// loadModulePkg parses and type-checks one module package from source.
+func (l *loader) loadModulePkg(path string) (*Package, error) {
+	rel := strings.TrimPrefix(strings.TrimPrefix(path, l.module), "/")
+	dir := filepath.Join(l.root, filepath.FromSlash(rel))
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range ents {
+		if !e.IsDir() && isSourceFile(e.Name()) {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	var files []*ast.File
+	for _, n := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, n), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	conf := types.Config{Importer: l}
+	pkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	return &Package{Path: path, Dir: dir, Files: files, Pkg: pkg, Info: info}, nil
+}
+
+// Package returns the loaded package at the given import path (nil when
+// absent).
+func (p *Program) Package(path string) *Package { return p.byPath[path] }
+
+// Position resolves a token.Pos with the filename made module-relative,
+// so diagnostics are stable across checkouts.
+func (p *Program) Position(pos token.Pos) token.Position {
+	tp := p.Fset.Position(pos)
+	if rel, err := filepath.Rel(p.Dir, tp.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+		tp.Filename = filepath.ToSlash(rel)
+	}
+	return tp
+}
+
+// InModule reports whether an import path belongs to the loaded module.
+func (p *Program) InModule(path string) bool {
+	return path == p.Module || strings.HasPrefix(path, p.Module+"/")
+}
+
+// Parents returns (building on first use) the parent map of a file's AST:
+// for every node, the enclosing node. The file's own parent is nil.
+func (p *Program) Parents(file *ast.File) map[ast.Node]ast.Node {
+	if m, ok := p.parents[file]; ok {
+		return m
+	}
+	m := make(map[ast.Node]ast.Node)
+	var stack []ast.Node
+	ast.Inspect(file, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return false
+		}
+		if len(stack) > 0 {
+			m[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	p.parents[file] = m
+	return m
+}
+
+// FuncDecl returns the declaration site of a module function or method
+// (nil when fn is not declared in the module — e.g. stdlib functions).
+func (p *Program) FuncDecl(fn *types.Func) (*Package, *ast.FuncDecl) {
+	if p.fnIndex == nil {
+		p.fnIndex = make(map[*types.Func]*funcSite)
+		for _, pkg := range p.Packages {
+			for _, f := range pkg.Files {
+				for _, decl := range f.Decls {
+					fd, ok := decl.(*ast.FuncDecl)
+					if !ok {
+						continue
+					}
+					if obj, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+						p.fnIndex[obj] = &funcSite{pkg: pkg, decl: fd}
+					}
+				}
+			}
+		}
+	}
+	site := p.fnIndex[fn]
+	if site == nil {
+		return nil, nil
+	}
+	return site.pkg, site.decl
+}
+
+// FileOf returns the file of pkg containing pos (nil when none does).
+func (p *Program) FileOf(pkg *Package, pos token.Pos) *ast.File {
+	for _, f := range pkg.Files {
+		if f.FileStart <= pos && pos < f.FileEnd {
+			return f
+		}
+	}
+	return nil
+}

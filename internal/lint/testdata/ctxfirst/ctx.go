@@ -1,0 +1,25 @@
+// Package ctx is the ctxfirst analyzer's fixture: exported library
+// functions must take context.Context first, and library code must not
+// mint context.Background.
+package ctx
+
+import "context"
+
+// Fetch misplaces its context.
+func Fetch(name string, ctx context.Context) error { // want ctxfirst "Fetch takes context.Context but not as the first parameter"
+	return ctx.Err()
+}
+
+// Get is the correct shape.
+func Get(ctx context.Context, name string) error { return ctx.Err() }
+
+// Plain takes no context at all, which is fine.
+func Plain(name string) string { return name }
+
+// helper is unexported; parameter order is the author's business.
+func helper(name string, ctx context.Context) error { return ctx.Err() }
+
+// Detach hides a fresh root context inside a library.
+func Detach() context.Context {
+	return context.Background() // want ctxfirst "context.Background() in a library package"
+}

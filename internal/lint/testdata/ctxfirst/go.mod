@@ -1,0 +1,3 @@
+module fixture.example/ctx
+
+go 1.23

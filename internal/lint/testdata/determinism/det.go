@@ -1,0 +1,37 @@
+// Package det is the determinism analyzer's positive/negative fixture: a
+// state-bearing package that reads wall clocks, imports math/rand, and
+// folds map iteration order into state.
+package det
+
+import (
+	"math/rand" // want determinism "import of math/rand"
+	"time"
+)
+
+// State accumulates values; its content must be reproducible by replay.
+type State struct {
+	sum   float64
+	stamp int64
+}
+
+// Mix folds nondeterministic sources into state.
+func (s *State) Mix(m map[string]float64) {
+	s.stamp = time.Now().UnixNano() // want determinism "wall-clock read time.Now"
+	for _, v := range m {           // want determinism "map iteration in a state-bearing package"
+		s.sum += v
+	}
+	s.sum += rand.Float64()
+}
+
+// Sleeps is fine: time.Sleep is not a wall-clock read.
+func Sleeps() {
+	time.Sleep(time.Millisecond)
+}
+
+// SortedFold is the sanctioned shape: iterate a deterministic index, not
+// the map.
+func (s *State) SortedFold(keys []string, m map[string]float64) {
+	for _, k := range keys {
+		s.sum += m[k]
+	}
+}

@@ -1,0 +1,3 @@
+module fixture.example/det
+
+go 1.23

@@ -1,0 +1,19 @@
+// Command srv is the fixture's envelope mapper: it has a row for
+// ErrMapped but forgot ErrOrphan.
+package main
+
+import (
+	"errors"
+
+	errt "fixture.example/errt"
+)
+
+func mapError(err error) (int, string) {
+	switch {
+	case errors.Is(err, errt.ErrMapped):
+		return 400, "mapped"
+	}
+	return 500, "internal"
+}
+
+func main() { _, _ = mapError(nil) }

@@ -1,0 +1,16 @@
+// errors.go is the taxonomy file: the one place allowed to mint root
+// sentinels. ErrMapped has an envelope row in cmd/srv; ErrOrphan does
+// not, which the analyzer must report as a gap.
+package errt
+
+import "errors"
+
+var (
+	// ErrMapped is a sentinel with an envelope row.
+	ErrMapped = errors.New("errt: mapped")
+	// ErrOrphan is a sentinel the server mapper forgot.
+	ErrOrphan = errors.New("errt: orphan") // want errtaxonomy "sentinel ErrOrphan has no errors.Is row"
+	// ErrAlias re-exports ErrMapped under an older name; aliases need no
+	// row of their own.
+	ErrAlias = ErrMapped
+)

@@ -1,0 +1,3 @@
+module fixture.example/errt
+
+go 1.23

@@ -1,0 +1,24 @@
+package errt
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Do wraps a sentinel properly.
+func Do(fail bool) error {
+	if fail {
+		return fmt.Errorf("%w: do failed", ErrMapped)
+	}
+	return nil
+}
+
+// Adhoc mints an unclassifiable error outside the taxonomy file.
+func Adhoc() error {
+	return errors.New("surprise") // want errtaxonomy "ad-hoc errors.New in the root package"
+}
+
+// Bare formats without wrapping, so errors.Is can never match it.
+func Bare(n int) error {
+	return fmt.Errorf("bare failure %d", n) // want errtaxonomy "fmt.Errorf without %w in the root package"
+}

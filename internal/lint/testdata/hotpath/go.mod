@@ -1,0 +1,3 @@
+module fixture.example/hot
+
+go 1.23

@@ -1,0 +1,47 @@
+// Package hot is the hotpath analyzer's fixture: one annotated function
+// exercising every allocation construct, the amortized/cold shapes that
+// must NOT be flagged, and a transitive call into an un-annotated helper.
+package hot
+
+import "fmt"
+
+type sink struct{ buf []byte }
+
+// Hot is on the 0-alloc path.
+//
+//sns:hotpath
+func Hot(s *sink, n int) {
+	m := make([]int, n) // want hotpath "make allocates"
+	_ = m
+	s.buf = append(s.buf, 1)     // self-append: amortized growth, allowed
+	s.buf = append(s.buf[:0], 2) // reset self-append: reuses backing array, allowed
+	fresh := append(s.buf, 3)    // want hotpath "append into a fresh or foreign slice"
+	_ = fresh
+	msg := fmt.Sprintf("hi") // want hotpath "call to fmt.Sprintf allocates"
+	_ = msg
+	box(n) // want hotpath "interface boxing: passing non-pointer int"
+	if n < 0 {
+		// Cold: the branch leaves the function, so validation may allocate.
+		_ = make([]int, 1)
+		return
+	}
+	leaky(n)     // want hotpath "calls un-annotated allocating helper"
+	harmless(n)  // transitively allocation-free: allowed
+	amortized(s) // allocation suppressed in place inside the helper: allowed
+}
+
+func box(v any) bool { return v != nil }
+
+func leaky(n int) []int { return make([]int, n) }
+
+func harmless(n int) int { return n * 2 }
+
+func amortized(s *sink) {
+	if s.buf == nil {
+		//lint:ignore hotpath amortized: one buffer allocation over the sink's lifetime
+		s.buf = make([]byte, 0, 64)
+	}
+}
+
+// Cold has no annotation, so nothing here is checked.
+func Cold() []int { return make([]int, 8) }

@@ -1,0 +1,3 @@
+module fixture.example/sup
+
+go 1.23

@@ -1,0 +1,32 @@
+// Package sup exercises the suppression directive: a reasoned ignore
+// silences a finding on its own line or the line below, malformed
+// directives are themselves findings, and the "lint" pseudo-analyzer can
+// never be silenced.
+package sup
+
+import "time"
+
+type state struct{ sum float64 }
+
+// Fold has two suppressed findings (trailing and above-line forms) and
+// one live finding.
+func (s *state) Fold(m map[int]float64) {
+	//lint:ignore determinism fixture: order-independent sum, any visit order gives the same total
+	for _, v := range m {
+		s.sum += v
+	}
+	now := time.Now().Unix() //lint:ignore determinism fixture: telemetry only
+	_ = now
+	later := time.Now() // live finding; the test expects it to survive
+	_ = later
+}
+
+// Malformed directives below: each is a "lint" finding.
+func bad() {
+	//lint:ignore
+	_ = 0
+	//lint:ignore determinism
+	_ = 1
+	//lint:ignore nosuchanalyzer some reason
+	_ = 2
+}

@@ -1,0 +1,3 @@
+module fixture.example/wo
+
+go 1.23

@@ -1,0 +1,51 @@
+// Package wo is the writeronly analyzer's fixture: a struct with a
+// writer-goroutine-owned counter and an atomic-bearing field that must
+// never be copied by value.
+package wo
+
+import "sync/atomic"
+
+type shard struct {
+	applied int //sns:writer-only
+	hits    atomic.Uint64
+	name    string
+}
+
+// loop is the writer goroutine body.
+//
+//sns:writer
+func (s *shard) loop() {
+	s.applied++
+	s.applied = s.applied + 1
+	s.hits.Add(1)
+}
+
+// Reset is NOT a writer: every mutation below must be flagged.
+func (s *shard) Reset() {
+	s.applied = 0   // want writeronly "writer-only field applied assigned outside"
+	s.applied++     // want writeronly "writer-only field applied mutated outside"
+	p := &s.applied // want writeronly "address of writer-only field applied taken outside"
+	_ = p
+}
+
+// Read-only access from a non-writer is fine.
+func (s *shard) Applied() int { return s.applied }
+
+// Snapshot copies the atomic-bearing field by value.
+func (s *shard) Snapshot() atomic.Uint64 {
+	v := s.hits // want writeronly "atomic-bearing field hits used as a value"
+	return v
+}
+
+// Sanctioned atomic uses: method calls, address-of, len over arrays.
+type table struct {
+	counts [4]atomic.Int64
+}
+
+func (t *table) bump(i int) {
+	t.counts[i].Add(1)
+	for i := range t.counts {
+		_ = t.counts[i].Load()
+	}
+	_ = len(t.counts)
+}

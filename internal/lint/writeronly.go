@@ -1,0 +1,219 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// WriterOnly enforces the sharded engine's single-writer discipline.
+//
+// Each shard's mutable state is owned by exactly one goroutine — the
+// shard writer — and crosses to readers only through published snapshots.
+// Two annotations make the ownership machine-checkable:
+//
+//   - a struct field tagged //sns:writer-only may be written (assigned,
+//     incremented, or address-taken) only inside functions tagged
+//     //sns:writer — the shard event loop and its helpers;
+//   - any field whose type transitively contains sync/atomic state (the
+//     Publisher's atomic.Pointer, wait groups, counters) must be used
+//     solely as a method-call receiver or via its address. Copying such a
+//     field as a value tears the atomic and detaches the copy from the
+//     published state.
+type WriterOnly struct{}
+
+// Directives recognized by WriterOnly.
+const (
+	writerOnlyDirective = "sns:writer-only"
+	writerDirective     = "sns:writer"
+)
+
+// Name implements Analyzer.
+func (*WriterOnly) Name() string { return "writeronly" }
+
+// Doc implements Analyzer.
+func (*WriterOnly) Doc() string {
+	return "//sns:writer-only fields are written only by //sns:writer functions; atomic-bearing fields are never copied"
+}
+
+// Run implements Analyzer.
+func (a *WriterOnly) Run(prog *Program) []Diagnostic {
+	var diags []Diagnostic
+	fields := collectWriterOnlyFields(prog)
+	atomicMemo := make(map[types.Type]bool)
+	for _, pkg := range prog.Packages {
+		for _, f := range pkg.Files {
+			parents := prog.Parents(f)
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				isWriter := hasDirective(fd.Doc, writerDirective)
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					switch node := n.(type) {
+					case *ast.AssignStmt:
+						for _, lhs := range node.Lhs {
+							if fv := fieldVar(pkg.Info, lhs); fv != nil && fields[fv] && !isWriter {
+								diags = append(diags, Diagnostic{
+									Analyzer: a.Name(), Pos: prog.Position(lhs.Pos()),
+									Message: "writer-only field " + fv.Name() + " assigned outside a //sns:writer function",
+								})
+							}
+						}
+					case *ast.IncDecStmt:
+						if fv := fieldVar(pkg.Info, node.X); fv != nil && fields[fv] && !isWriter {
+							diags = append(diags, Diagnostic{
+								Analyzer: a.Name(), Pos: prog.Position(node.Pos()),
+								Message: "writer-only field " + fv.Name() + " mutated outside a //sns:writer function",
+							})
+						}
+					case *ast.UnaryExpr:
+						if node.Op != token.AND {
+							return true
+						}
+						if fv := fieldVar(pkg.Info, node.X); fv != nil && fields[fv] && !isWriter {
+							diags = append(diags, Diagnostic{
+								Analyzer: a.Name(), Pos: prog.Position(node.Pos()),
+								Message: "address of writer-only field " + fv.Name() + " taken outside a //sns:writer function",
+							})
+						}
+					case *ast.SelectorExpr:
+						fv := fieldVar(pkg.Info, node)
+						if fv == nil || !containsAtomic(fv.Type(), atomicMemo) {
+							return true
+						}
+						if !atomicFieldUseOK(pkg.Info, parents, node) {
+							diags = append(diags, Diagnostic{
+								Analyzer: a.Name(), Pos: prog.Position(node.Pos()),
+								Message: "atomic-bearing field " + fv.Name() + " used as a value; call its methods or take its address",
+							})
+						}
+					}
+					return true
+				})
+			}
+		}
+	}
+	return diags
+}
+
+// collectWriterOnlyFields gathers every struct field annotated
+// //sns:writer-only (doc comment above the field or trailing line
+// comment).
+func collectWriterOnlyFields(prog *Program) map[*types.Var]bool {
+	fields := make(map[*types.Var]bool)
+	for _, pkg := range prog.Packages {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				st, ok := n.(*ast.StructType)
+				if !ok {
+					return true
+				}
+				for _, field := range st.Fields.List {
+					if !hasDirective(field.Doc, writerOnlyDirective) && !hasDirective(field.Comment, writerOnlyDirective) {
+						continue
+					}
+					for _, name := range field.Names {
+						if v, ok := pkg.Info.Defs[name].(*types.Var); ok {
+							fields[v] = true
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	return fields
+}
+
+// fieldVar resolves an expression to the struct field it selects (nil for
+// anything that is not a field selection).
+func fieldVar(info *types.Info, e ast.Expr) *types.Var {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	if s, ok := info.Selections[sel]; ok && s.Kind() == types.FieldVal {
+		if v, ok := s.Obj().(*types.Var); ok {
+			return v
+		}
+	}
+	return nil
+}
+
+// atomicFieldUseOK reports whether a selection of an atomic-bearing field
+// is a sanctioned shape: further selection (method call on the field),
+// address-of, element indexing that itself leads to a sanctioned use
+// (counts[i].Add(1)), an index-only range, or len/cap.
+func atomicFieldUseOK(info *types.Info, parents map[ast.Node]ast.Node, e ast.Expr) bool {
+	parent := parents[e]
+	for {
+		p, ok := parent.(*ast.ParenExpr)
+		if !ok {
+			break
+		}
+		e = p
+		parent = parents[p]
+	}
+	switch p := parent.(type) {
+	case *ast.SelectorExpr:
+		return ast.Unparen(p.X) == ast.Unparen(e)
+	case *ast.UnaryExpr:
+		return p.Op == token.AND
+	case *ast.IndexExpr:
+		// Indexing an array of atomics is fine as long as the element is
+		// used in a sanctioned way in turn.
+		return ast.Unparen(p.X) == ast.Unparen(e) && atomicFieldUseOK(info, parents, p)
+	case *ast.RangeStmt:
+		// for i := range h.counts reads only the length; binding element
+		// values would copy the atomics.
+		return p.X == e && p.Value == nil
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(p.Fun).(*ast.Ident); ok {
+			if b, ok := info.Uses[id].(*types.Builtin); ok {
+				return b.Name() == "len" || b.Name() == "cap"
+			}
+		}
+	}
+	return false
+}
+
+// containsAtomic reports whether a type transitively embeds state from
+// sync/atomic (or a sync type built on it), recursing through named
+// types, structs, and arrays.
+func containsAtomic(t types.Type, memo map[types.Type]bool) bool {
+	if t == nil {
+		return false
+	}
+	if v, ok := memo[t]; ok {
+		return v
+	}
+	memo[t] = false // breaks recursive types; settled below
+	result := false
+	switch tt := t.(type) {
+	case *types.Named:
+		if pkg := tt.Obj().Pkg(); pkg != nil {
+			switch pkg.Path() {
+			case "sync/atomic":
+				result = true
+			case "sync":
+				// sync.WaitGroup, Once, Map, etc. carry state that must
+				// not be copied; Mutex is plain ints but copying it is
+				// equally wrong, so treat the whole package as atomic.
+				result = true
+			}
+		}
+		if !result {
+			result = containsAtomic(tt.Underlying(), memo)
+		}
+	case *types.Struct:
+		for i := 0; i < tt.NumFields() && !result; i++ {
+			result = containsAtomic(tt.Field(i).Type(), memo)
+		}
+	case *types.Array:
+		result = containsAtomic(tt.Elem(), memo)
+	}
+	memo[t] = result
+	return result
+}

@@ -1,6 +1,11 @@
 package tensor
 
-import "math/rand"
+// Rand is the randomness the samplers need. internal/rng.RNG satisfies it
+// (and is what state-bearing callers must use, since its state serializes
+// into checkpoints); math/rand.Rand also satisfies it for tests.
+type Rand interface {
+	Intn(n int) int
+}
 
 // keySet is a set of encoded coordinates supporting O(1) insert, O(1)
 // amortized delete, O(1) expected uniform sampling, and — crucially —
@@ -101,7 +106,7 @@ func (s *keySet) ForEach(fn func(k uint64)) {
 // them. The expected cost is O(n) when n is at most about half the set
 // size — the regime the paper's guidance θ < deg/2 puts us in — and O(Len)
 // otherwise.
-func (s *keySet) Sample(dst []uint64, n int, rng *rand.Rand, skip func(uint64) bool) []uint64 {
+func (s *keySet) Sample(dst []uint64, n int, rng Rand, skip func(uint64) bool) []uint64 {
 	total := s.Len()
 	if n <= 0 || total == 0 {
 		return dst

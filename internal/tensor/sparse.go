@@ -12,7 +12,6 @@ package tensor
 import (
 	"fmt"
 	"math"
-	"math/rand"
 )
 
 // zeroEps is the magnitude below which an entry is considered zero and
@@ -117,8 +116,11 @@ func (t *Sparse) Key(coord []int) uint64 {
 }
 
 // Coord decodes a key into dst (allocated when nil) and returns it.
+//
+//sns:hotpath
 func (t *Sparse) Coord(k uint64, dst []int) []int {
 	if dst == nil {
+		//lint:ignore hotpath allocates only for a nil dst; every hot caller passes the tensor's shared coordScratch
 		dst = make([]int, len(t.shape))
 	}
 	for m := range t.shape {
@@ -155,6 +157,8 @@ func (t *Sparse) SetKey(k uint64, v float64) {
 }
 
 // Add adds v to the entry at coord and returns the new value.
+//
+//sns:hotpath
 func (t *Sparse) Add(coord []int, v float64) float64 {
 	k := t.Key(coord)
 	nv := t.vals[k] + v
@@ -162,12 +166,14 @@ func (t *Sparse) Add(coord []int, v float64) float64 {
 	return nv
 }
 
+//sns:hotpath
 func (t *Sparse) register(k uint64) {
 	t.all.Add(k)
 	for m := range t.shape {
 		i := int(k / t.strides[m] % uint64(t.shape[m]))
 		s := t.fibers[m][i]
 		if s == nil {
+			//lint:ignore hotpath amortized: one registry allocation per distinct (mode,index) ever touched, bounded by the mode sizes
 			s = newKeySet()
 			t.fibers[m][i] = s
 		}
@@ -175,6 +181,7 @@ func (t *Sparse) register(k uint64) {
 	}
 }
 
+//sns:hotpath
 func (t *Sparse) unregister(k uint64) {
 	t.all.Remove(k)
 	for m := range t.shape {
@@ -241,7 +248,7 @@ func (t *Sparse) ForEachInSlice(m, i int, fn func(coord []int, v float64)) {
 // SampleSlice draws up to n distinct nonzero keys uniformly at random from
 // the nonzeros whose mode-m index is i, skipping keys in exclude (which may
 // be nil). It returns encoded keys; decode with Coord.
-func (t *Sparse) SampleSlice(m, i, n int, rng *rand.Rand, exclude map[uint64]struct{}) []uint64 {
+func (t *Sparse) SampleSlice(m, i, n int, rng Rand, exclude map[uint64]struct{}) []uint64 {
 	s := t.fibers[m][i]
 	if s == nil {
 		return nil
@@ -291,12 +298,15 @@ func (t *Sparse) FrobeniusNorm() float64 { return math.Sqrt(t.NormSquared()) }
 
 // RecomputeNormSquared resums ‖X‖_F² from the stored entries and refreshes
 // the maintained accumulator. Useful after very long update sequences to
-// shed floating-point drift.
+// shed floating-point drift. The resum walks the order-preserving key
+// registry, not the value map: float addition is order-dependent, and a
+// map-order resum would make the accumulator — which checkpoints capture —
+// differ bit-for-bit between a process and its crash-recovered successor.
 func (t *Sparse) RecomputeNormSquared() float64 {
 	s := 0.0
-	for _, v := range t.vals {
+	t.ForEachKey(func(_ uint64, v float64) {
 		s += v * v
-	}
+	})
 	t.normSq = s
 	return s
 }
@@ -321,11 +331,13 @@ func (t *Sparse) EqualApprox(o *Sparse, tol float64) bool {
 			return false
 		}
 	}
+	//lint:ignore determinism per-key comparison is order-independent; any visit order yields the same boolean
 	for k, v := range t.vals {
 		if math.Abs(v-o.vals[k]) > tol {
 			return false
 		}
 	}
+	//lint:ignore determinism per-key comparison is order-independent; any visit order yields the same boolean
 	for k, v := range o.vals {
 		if _, ok := t.vals[k]; !ok && math.Abs(v) > tol {
 			return false

@@ -1,0 +1,160 @@
+package wal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// segBytes builds a well-formed segment image: header for first LSN 0
+// followed by one frame per payload.
+func segBytes(payloads ...[]byte) []byte {
+	var buf bytes.Buffer
+	var hdr [headerSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:], magic)
+	binary.LittleEndian.PutUint32(hdr[4:], formatV1)
+	binary.LittleEndian.PutUint64(hdr[8:], 0)
+	buf.Write(hdr[:])
+	for _, p := range payloads {
+		var frame [frameSize]byte
+		binary.LittleEndian.PutUint32(frame[0:], uint32(len(p)))
+		binary.LittleEndian.PutUint32(frame[4:], crc32.Checksum(p, castagnoli))
+		buf.Write(frame[:])
+		buf.Write(p)
+	}
+	return buf.Bytes()
+}
+
+// FuzzScanSegment throws arbitrary bytes at the segment scanner and
+// checks the crash-recovery contract Open depends on: the scanner never
+// panics, never reads past the image, hands out only CRC-valid payloads,
+// and the (records, validLen) it reports is a fixed point — truncating
+// the image at validLen and rescanning yields the same records with no
+// error, which is exactly the torn-tail repair Open performs.
+func FuzzScanSegment(f *testing.F) {
+	f.Add(segBytes())
+	f.Add(segBytes([]byte("alpha"), []byte("beta")))
+	f.Add(segBytes(nil, []byte{0xff, 0x00}))
+	f.Add(segBytes([]byte("tornbelow"))[:headerSize+frameSize+3]) // torn mid-payload
+	f.Add([]byte("not a segment at all"))
+	f.Add(make([]byte, headerSize-1)) // header cut short
+	corrupt := segBytes([]byte("good"), []byte("bad"))
+	corrupt[len(corrupt)-1] ^= 0x01 // CRC mismatch in the final record
+	f.Add(corrupt)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dir := t.TempDir()
+		if err := os.WriteFile(segPath(dir, 0), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		var seen [][]byte
+		n, validLen, err := scanSegment(dir, 0, func(lsn uint64, payload []byte) error {
+			if lsn != uint64(len(seen)) {
+				t.Fatalf("non-contiguous LSN %d at record %d", lsn, len(seen))
+			}
+			seen = append(seen, append([]byte(nil), payload...))
+			return nil
+		})
+		if n != len(seen) {
+			t.Fatalf("scan reported %d records but delivered %d", n, len(seen))
+		}
+		if validLen < 0 || validLen > int64(len(data)) {
+			t.Fatalf("validLen %d outside [0, %d]", validLen, len(data))
+		}
+		if err != nil && !errors.Is(err, errTorn) {
+			// Structural rejection (bad magic, alien version, wrong first
+			// LSN): nothing to re-verify.
+			return
+		}
+		if validLen < headerSize {
+			// A header cut short is torn with nothing replayable; Open
+			// recreates the segment rather than truncating.
+			return
+		}
+		// Truncate at the reported tear and rescan: the repaired segment
+		// must parse clean with the same records.
+		if werr := os.WriteFile(segPath(dir, 0), data[:validLen], 0o644); werr != nil {
+			t.Fatal(werr)
+		}
+		var again int
+		n2, len2, err2 := scanSegment(dir, 0, func(lsn uint64, payload []byte) error {
+			if !bytes.Equal(payload, seen[again]) {
+				t.Fatalf("record %d changed across truncate+rescan", again)
+			}
+			again++
+			return nil
+		})
+		if err2 != nil {
+			t.Fatalf("rescan of truncated segment failed: %v", err2)
+		}
+		if n2 != n || len2 != validLen {
+			t.Fatalf("rescan disagrees: records %d→%d, validLen %d→%d", n, n2, validLen, len2)
+		}
+	})
+}
+
+// FuzzReplayTornTail drives the multi-segment replay entry point with a
+// fuzzed final segment behind a known-good sealed one: replay must never
+// panic, must deliver the sealed records intact, and must stop cleanly at
+// the fuzzed segment's tear instead of propagating garbage.
+func FuzzReplayTornTail(f *testing.F) {
+	f.Add(segBytes([]byte("tail"))) // valid continuation
+	f.Add([]byte{})                 // empty active segment file
+	f.Add(segBytes()[:headerSize])  // header only
+	f.Fuzz(func(t *testing.T, tail []byte) {
+		dir := t.TempDir()
+		sealed := segBytes([]byte("r0"), []byte("r1"))
+		if err := os.WriteFile(segPath(dir, 0), sealed, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		// The active segment must claim first LSN 2 to line up behind the
+		// sealed one; patch that header field when the fuzzed bytes are
+		// long enough to carry it (magic and version stay fuzzed).
+		if len(tail) >= headerSize {
+			tail = append([]byte(nil), tail...)
+			binary.LittleEndian.PutUint64(tail[8:], 2)
+		}
+		if err := os.WriteFile(segPath(dir, 2), tail, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		var got []string
+		next, err := Replay(dir, 0, func(lsn uint64, payload []byte) error {
+			got = append(got, string(payload))
+			return nil
+		})
+		if err != nil {
+			// Structural corruption of the tail segment is a legitimate
+			// rejection; the sealed segment alone must still replay.
+			if rmErr := os.Remove(segPath(dir, 2)); rmErr != nil {
+				t.Fatal(rmErr)
+			}
+			got = got[:0]
+			next, err = Replay(dir, 0, func(lsn uint64, payload []byte) error {
+				got = append(got, string(payload))
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("sealed-only replay failed: %v", err)
+			}
+		}
+		if len(got) < 2 || got[0] != "r0" || got[1] != "r1" {
+			t.Fatalf("sealed records lost: %q", got)
+		}
+		if next < 2 {
+			t.Fatalf("next LSN %d went backwards past the sealed segment", next)
+		}
+	})
+}
+
+// TestSegPathRoundTrip pins the segment naming scheme the fuzz targets
+// rely on when planting files.
+func TestSegPathRoundTrip(t *testing.T) {
+	p := segPath("d", 0x2a)
+	if filepath.Base(p) != "000000000000002a"+segSuffix {
+		t.Fatalf("unexpected segment name %s", p)
+	}
+}

@@ -280,6 +280,8 @@ func (win *Window) NextScheduled() (t int64, ok bool) {
 //
 // Ingest does not retain tp.Coord (the schedule stores a packed key), and
 // the returned Change follows the reuse contract documented on Change.
+//
+//sns:hotpath
 func (win *Window) Ingest(tp stream.Tuple) (Change, bool) {
 	if len(tp.Coord) != len(win.dims) {
 		panic(fmt.Sprintf("window: tuple arity %d != %d", len(tp.Coord), len(win.dims)))
@@ -317,6 +319,8 @@ func (win *Window) Ingest(tp stream.Tuple) (Change, bool) {
 // (time, ingestion) order, applying each to the window and invoking fn with
 // its Change. It then advances the model time to t. Each Change passed to
 // fn is valid only for the duration of the callback (see Change).
+//
+//sns:hotpath
 func (win *Window) AdvanceTo(t int64, fn func(Change)) {
 	for len(win.pq) > 0 && win.pq[0].time <= t {
 		ev := win.popScheduled()
@@ -332,6 +336,8 @@ func (win *Window) AdvanceTo(t int64, fn func(Change)) {
 
 // applyScheduled performs the w-th update (S.2) or expiry (S.3) for a tuple
 // and schedules the next update.
+//
+//sns:hotpath
 func (win *Window) applyScheduled(ev scheduled) Change {
 	win.now = ev.time
 	win.decodeCat(ev.key, win.tupleCoordBuf)

@@ -102,12 +102,15 @@ func (s *SafeTracker) publishLocked() {
 func (s *SafeTracker) afterWriteLocked() {
 	s.sinceWrite++
 	if s.sinceWrite >= s.publishEvery {
+		//lint:ignore hotpath amortized: one snapshot allocation per publish interval
 		s.publishLocked()
 	}
 }
 
 // Push forwards to Tracker.Push under the write lock, republishing once
 // per publish interval.
+//
+//sns:hotpath
 func (s *SafeTracker) Push(coord []int, value float64, tm int64) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -121,6 +124,8 @@ func (s *SafeTracker) Push(coord []int, value float64, tm int64) error {
 // errors.Join of per-index *RejectError values; the whole batch counts as
 // one write toward the publish interval (it is applied atomically with
 // respect to readers of the live window anyway).
+//
+//sns:hotpath
 func (s *SafeTracker) PushBatch(events []Event) (int, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -131,6 +136,8 @@ func (s *SafeTracker) PushBatch(events []Event) (int, error) {
 
 // AdvanceTo forwards to Tracker.AdvanceTo under the write lock,
 // republishing once per publish interval.
+//
+//sns:hotpath
 func (s *SafeTracker) AdvanceTo(tm int64) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()

@@ -34,7 +34,6 @@
 package slicenstitch
 
 import (
-	"errors"
 	"fmt"
 	"time"
 
@@ -136,38 +135,38 @@ func (c Config) withDefaults() Config {
 
 func (c Config) validate() error {
 	if len(c.Dims) == 0 {
-		return errors.New("slicenstitch: Config.Dims is required")
+		return fmt.Errorf("%w: Config.Dims is required", ErrConfig)
 	}
 	for m, d := range c.Dims {
 		if d <= 0 {
-			return fmt.Errorf("slicenstitch: Dims[%d] = %d must be positive", m, d)
+			return fmt.Errorf("%w: Dims[%d] = %d must be positive", ErrConfig, m, d)
 		}
 	}
 	if c.Period <= 0 {
-		return errors.New("slicenstitch: Config.Period must be positive")
+		return fmt.Errorf("%w: Config.Period must be positive", ErrConfig)
 	}
 	if c.W <= 0 {
-		return errors.New("slicenstitch: Config.W must be positive")
+		return fmt.Errorf("%w: Config.W must be positive", ErrConfig)
 	}
 	if c.Rank <= 0 {
-		return errors.New("slicenstitch: Config.Rank must be positive")
+		return fmt.Errorf("%w: Config.Rank must be positive", ErrConfig)
 	}
 	if c.Theta <= 0 {
-		return errors.New("slicenstitch: Config.Theta must be positive")
+		return fmt.Errorf("%w: Config.Theta must be positive", ErrConfig)
 	}
 	if c.Eta <= 0 {
-		return errors.New("slicenstitch: Config.Eta must be positive")
+		return fmt.Errorf("%w: Config.Eta must be positive", ErrConfig)
 	}
 	switch c.Algorithm {
 	case SNSMat, SNSVec, SNSRnd, SNSVecPlus, SNSRndPlus:
 	default:
-		return fmt.Errorf("slicenstitch: unknown algorithm %q", c.Algorithm)
+		return fmt.Errorf("%w: unknown algorithm %q", ErrConfig, c.Algorithm)
 	}
 	if c.Parallelism < 0 {
-		return fmt.Errorf("slicenstitch: Config.Parallelism = %d must be non-negative", c.Parallelism)
+		return fmt.Errorf("%w: Config.Parallelism = %d must be non-negative", ErrConfig, c.Parallelism)
 	}
 	if c.Parallelism > 1024 {
-		return fmt.Errorf("slicenstitch: Config.Parallelism = %d exceeds the 1024 cap", c.Parallelism)
+		return fmt.Errorf("%w: Config.Parallelism = %d exceeds the 1024 cap", ErrConfig, c.Parallelism)
 	}
 	return nil
 }
@@ -234,6 +233,8 @@ func (t *Tracker) checkCoord(coord []int) error {
 // pushOne is the per-event core shared by Push and PushBatch — validate,
 // drain due scheduled events, ingest, apply — so the two ingestion paths
 // cannot diverge. Allocation-free in steady state.
+//
+//sns:hotpath
 func (t *Tracker) pushOne(coord []int, value float64, tm int64) error {
 	if err := t.checkCoord(coord); err != nil {
 		return err
@@ -256,6 +257,8 @@ func (t *Tracker) pushOne(coord []int, value float64, tm int64) error {
 // Push does not retain coord (the window schedule stores a packed key), so
 // callers may reuse the slice across calls. The steady-state path —
 // validation, window maintenance, factor update — is allocation-free.
+//
+//sns:hotpath
 func (t *Tracker) Push(coord []int, value float64, tm int64) error {
 	return t.pushOne(coord, value, tm)
 }
@@ -270,6 +273,8 @@ func (t *Tracker) Push(coord []int, value float64, tm int64) error {
 // cause — nil when every event was accepted, so the accept path allocates
 // nothing. This is the engine shard writer's ingestion path: one call per
 // mailbox batch instead of one per event.
+//
+//sns:hotpath
 func (t *Tracker) PushBatch(events []Event) (applied int, err error) {
 	var rej rejects
 	for i := range events {
@@ -286,6 +291,8 @@ func (t *Tracker) PushBatch(events []Event) (applied int, err error) {
 // AdvanceTo moves stream time forward without a new tuple, processing any
 // scheduled shift/expiry events (and, after Start, updating factors for
 // each).
+//
+//sns:hotpath
 func (t *Tracker) AdvanceTo(tm int64) error {
 	if tm < t.win.Now() {
 		return staleErr(tm, t.win.Now())
