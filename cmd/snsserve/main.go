@@ -14,6 +14,14 @@
 //	snsserve -streams "taxi=NewYorkTaxi,bikes=DivvyBikes" -backpressure drop-oldest
 //	snsserve -data-dir /var/lib/sns -fsync interval   # WAL + crash recovery
 //	snsserve -checkpoint /var/lib/sns.ckpt            # restore if present, save on shutdown
+//	snsserve -follow http://leader:8080 -data-dir /var/lib/sns-replica   # read replica
+//
+// With -follow the process is a read replica: it mirrors the leader's
+// stream set, bootstraps each stream from the leader's newest checkpoint,
+// tails the leader's WAL over /v1/streams/{name}/wal, and serves all read
+// endpoints from the replicated state while write endpoints return 403
+// "read_only". /readyz reports ready only once every stream is tailing
+// within -ready-max-lag records of the leader.
 //
 // With -data-dir the engine runs its durability subsystem: every ingested
 // batch is written ahead to a per-stream segmented WAL, background
@@ -61,6 +69,8 @@ type serveConfig struct {
 	dataDir      string
 	fsync        string
 	pprofAddr    string
+	follow       string
+	readyMaxLag  uint64
 }
 
 func main() {
@@ -78,6 +88,8 @@ func main() {
 	flag.StringVar(&cfg.dataDir, "data-dir", "", "durability directory: per-stream WAL + background checkpoints, crash recovery on boot")
 	flag.StringVar(&cfg.fsync, "fsync", "interval", "WAL fsync policy with -data-dir: always, interval, or never")
 	flag.StringVar(&cfg.pprofAddr, "pprof", "", "serve net/http/pprof on this separate address (e.g. localhost:6060); off when empty")
+	flag.StringVar(&cfg.follow, "follow", "", "run as a read replica of this leader base URL (e.g. http://leader:8080); requires -data-dir, ignores -streams")
+	flag.Uint64Var(&cfg.readyMaxLag, "ready-max-lag", 1024, "follower /readyz threshold: maximum replication lag in WAL records before the replica reports not-ready")
 	logFormat := flag.String("log-format", "text", "log output format: text or json")
 	flag.Parse()
 
@@ -143,6 +155,26 @@ func run(cfg serveConfig) error {
 		return err
 	}
 	switch {
+	case cfg.follow != "":
+		// Follower mode: the engine is a read replica — it mirrors the
+		// leader's stream set, bootstraps from checkpoints, and tails the
+		// leader's WAL. No feeders run; writes return ErrReadOnly.
+		if dataDir == "" {
+			return errors.New("-follow requires -data-dir (the replica persists its copy locally)")
+		}
+		policy, perr := slicenstitch.ParseFsyncPolicy(fsync)
+		if perr != nil {
+			return perr
+		}
+		e, err = slicenstitch.Open(slicenstitch.Options{
+			Durability: &slicenstitch.DurabilityOptions{Dir: dataDir, Fsync: policy},
+			Follower:   &slicenstitch.FollowerOptions{Leader: cfg.follow},
+		})
+		if err != nil {
+			return fmt.Errorf("open follower %s: %w", dataDir, err)
+		}
+		slog.Info("following leader", "leader", cfg.follow, "dir", dataDir,
+			"recovered", len(e.Streams()), "readyMaxLag", cfg.readyMaxLag)
 	case dataDir != "":
 		policy, perr := slicenstitch.ParseFsyncPolicy(fsync)
 		if perr != nil {
@@ -198,6 +230,9 @@ func run(cfg serveConfig) error {
 	for _, n := range e.Streams() {
 		existing[n] = true
 	}
+	if cfg.follow != "" {
+		specs = nil // a replica never feeds itself; streams come from the leader
+	}
 	for _, sp := range specs {
 		if restored && existing[sp.name] {
 			// A checkpoint taken mid-warm-up holds an unstarted stream;
@@ -245,7 +280,7 @@ func run(cfg serveConfig) error {
 
 	srv := &http.Server{
 		Addr:              addr,
-		Handler:           newMux(e),
+		Handler:           newMux(e, cfg.readyMaxLag),
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       30 * time.Second,
 		WriteTimeout:      30 * time.Second,

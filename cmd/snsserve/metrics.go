@@ -301,6 +301,50 @@ func writeMetrics(w io.Writer, m slicenstitch.EngineMetrics, hs *httpStats, proc
 			"Latency of persisting one background checkpoint (frame, fsync, rename).", ckptDur...)
 	}
 
+	// Replication families, present only on a follower engine (the
+	// engine-level synced gauge plus per-stream lag/bootstrap/reconnect
+	// series for every stream with a running tailer).
+	if m.Follower != nil {
+		p.family("sns_replication_synced", "1 once the follower has reconciled its stream set against the leader at least once.", "gauge",
+			series{value: b2f(m.Follower.Synced)})
+		var replStreams []slicenstitch.StreamMetrics
+		for _, sm := range m.Streams {
+			if sm.Repl != nil {
+				replStreams = append(replStreams, sm)
+			}
+		}
+		if len(replStreams) > 0 {
+			replSeries := func(f pick) []series {
+				out := make([]series, 0, len(replStreams))
+				for _, sm := range replStreams {
+					out = append(out, series{labels: labels("stream", sm.Name), value: f(sm)})
+				}
+				return out
+			}
+			p.family("sns_replication_lag_lsns", "WAL records the follower trails the leader's flushed position by.", "gauge",
+				replSeries(func(sm slicenstitch.StreamMetrics) float64 { return float64(sm.Repl.LagLSNs) })...)
+			p.family("sns_replication_lag_seconds", "Wall time since the follower was last caught up to the leader (0 while caught up).", "gauge",
+				replSeries(func(sm slicenstitch.StreamMetrics) float64 { return sm.Repl.LagSeconds })...)
+			p.family("sns_replication_applied_lsn", "The follower's local WAL position — records applied so far.", "gauge",
+				replSeries(func(sm slicenstitch.StreamMetrics) float64 { return float64(sm.Repl.AppliedLSN) })...)
+			p.family("sns_replication_records_applied_total", "WAL records fetched from the leader and applied locally.", "counter",
+				replSeries(func(sm slicenstitch.StreamMetrics) float64 { return float64(sm.Repl.RecordsApplied) })...)
+			p.family("sns_replication_chunks_total", "Tail chunks fetched from the leader.", "counter",
+				replSeries(func(sm slicenstitch.StreamMetrics) float64 { return float64(sm.Repl.Chunks) })...)
+			p.family("sns_replication_bootstraps_total", "Checkpoint bootstraps (initial plus every gap- or divergence-forced re-bootstrap).", "counter",
+				replSeries(func(sm slicenstitch.StreamMetrics) float64 { return float64(sm.Repl.Bootstraps) })...)
+			p.family("sns_replication_tail_reconnects_total", "Tail requests that failed in transport and were retried with backoff.", "counter",
+				replSeries(func(sm slicenstitch.StreamMetrics) float64 { return float64(sm.Repl.TailReconnects) })...)
+
+			bootHists := make([]histSeries, 0, len(replStreams))
+			for _, sm := range replStreams {
+				bootHists = append(bootHists, histSeries{labels: []string{"stream", sm.Name}, snap: sm.Repl.BootstrapDuration})
+			}
+			p.histogramFamily("sns_replication_bootstrap_duration_seconds",
+				"Latency of one checkpoint bootstrap (fetch + restore + local WAL reset).", bootHists...)
+		}
+	}
+
 	// HTTP middleware families. Routes enumerate in registration order,
 	// which is fixed at mux construction; codes ascend within a route.
 	if hs != nil && len(hs.routes) > 0 {

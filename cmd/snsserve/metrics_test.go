@@ -335,7 +335,7 @@ func TestMetricsExpositionConformance(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := httptest.NewServer(newMux(e))
+	srv := httptest.NewServer(newMux(e, 1024))
 	t.Cleanup(func() { srv.Close(); e.Close() })
 
 	fillWindow(t, srv, "/v1") // 60 events + flush through HTTP
@@ -521,7 +521,7 @@ func TestMetricsLabelEscaping(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	srv := httptest.NewServer(newMux(e))
+	srv := httptest.NewServer(newMux(e, 1024))
 	t.Cleanup(func() { srv.Close(); e.Close() })
 
 	body := scrape(t, srv.URL)

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"slicenstitch"
+	"slicenstitch/internal/repl"
 )
 
 // observedWait bounds how long the predict endpoint waits for the live
@@ -28,14 +29,26 @@ const maxPredictQueries = 4096
 // feeds the shard's mailbox and returns before the batch is applied.
 //
 //	GET  /                             plain-text dashboard
+//	GET  /healthz                      liveness: 200 while the process serves
+//	GET  /readyz                       readiness: follower lag/sync gated (see below)
 //	GET  /v1/streams                   all stream snapshots (sorted by name)
 //	GET  /v1/streams/{name}/status     one stream's snapshot
 //	GET  /v1/streams/{name}/factors    factor matrices + λ
 //	GET  /v1/streams/{name}/predict    ?coord=3,5&t=9 → model vs observed value
+//	GET  /v1/streams/{name}/wal        replication: tail WAL records from ?from=LSN
+//	GET  /v1/streams/{name}/checkpoint replication: bootstrap blob (config + newest checkpoint)
 //	POST /v1/streams/{name}/predict    JSON {"queries":[{"coord":[i,j],"t":k},…]} → batch predictions
 //	POST /v1/streams/{name}/events     JSON [{"coord":[i,j],"value":v,"time":t},…]
 //	POST /v1/streams/{name}/start      warm-start (window must be full)
 //	POST /v1/streams/{name}/flush      wait until queued batches are applied
+//
+// Readiness: on a leader, /readyz is ready as soon as the engine is open
+// (Open returns only after recovery). On a follower it reports 503 until
+// the stream set has synced from the leader at least once AND every
+// stream is in the tailing state with replication lag ≤ readyMaxLag
+// LSNs — so a load balancer only routes reads to replicas that are
+// caught up. The replication endpoints are /v1-only (no deprecated
+// aliases; the protocol is new).
 //
 // Every non-2xx response carries the uniform JSON error envelope
 //
@@ -53,7 +66,7 @@ const maxPredictQueries = 4096
 // writer is backlogged the request's context is given observedWait to
 // produce it and the response degrades to "observed": null with
 // "observedTimedOut": true instead of stalling past the write timeout.
-func newMux(e *slicenstitch.Engine) *http.ServeMux {
+func newMux(e *slicenstitch.Engine, readyMaxLag uint64) *http.ServeMux {
 	mux := http.NewServeMux()
 	hs := &httpStats{}
 	// route registers a handler under /v1 and as a deprecated unversioned
@@ -79,6 +92,36 @@ func newMux(e *slicenstitch.Engine) *http.ServeMux {
 	// reflect the previous scrapes, which is exactly what a counter is.
 	mux.HandleFunc("GET /metrics",
 		hs.middleware(hs.register("GET", "/metrics"), metricsHandler(e, hs, processStart)))
+
+	// Liveness and readiness. healthz answers as long as the process
+	// serves; readyz gates on recovery (implicit: the mux exists only
+	// after Open returned) and, on a follower, on sync + lag.
+	mux.HandleFunc("GET /healthz", hs.middleware(hs.register("GET", "/healthz"),
+		func(rw http.ResponseWriter, _ *http.Request) {
+			writeJSON(rw, map[string]string{"status": "ok"})
+		}))
+	mux.HandleFunc("GET /readyz", hs.middleware(hs.register("GET", "/readyz"),
+		readyHandler(e, readyMaxLag)))
+
+	// Replication endpoints: the leader side of WAL shipping. Bodies are
+	// CRC-framed record streams, positions ride in Sns-* headers, and
+	// errors use the same envelope + taxonomy as the rest of the API
+	// (ErrWALGap → 410 "wal_gap" is what tells a follower to re-bootstrap).
+	rsrv := &repl.Server{
+		Tail: func(ctx context.Context, stream string, from uint64, maxBytes int, wait time.Duration) (repl.Chunk, error) {
+			c, err := e.TailWAL(ctx, stream, from, maxBytes, wait)
+			if err != nil {
+				return repl.Chunk{}, err
+			}
+			return repl.Chunk{Records: c.Records, Next: c.Next, FlushedLSN: c.FlushedLSN, OldestLSN: c.OldestLSN, More: c.More}, nil
+		},
+		Bootstrap: e.WriteBootstrap,
+		MapError:  mapError,
+	}
+	mux.HandleFunc("GET /v1/streams/{name}/wal",
+		hs.middleware(hs.register("GET", "/v1/streams/{name}/wal"), rsrv.HandleTail))
+	mux.HandleFunc("GET /v1/streams/{name}/checkpoint",
+		hs.middleware(hs.register("GET", "/v1/streams/{name}/checkpoint"), rsrv.HandleBootstrap))
 
 	route("GET", "/streams", func(rw http.ResponseWriter, _ *http.Request) {
 		names := e.Streams() // sorted: the listing is deterministic
@@ -263,6 +306,39 @@ func newMux(e *slicenstitch.Engine) *http.ServeMux {
 	return mux
 }
 
+// readyHandler serves GET /readyz. A leader is ready as soon as it
+// serves (Open returns only after recovery). A follower is ready once
+// its stream set has synced from the leader and every stream is tailing
+// with lag ≤ maxLag LSNs; until then it answers 503 so load balancers
+// keep reads off a stale replica.
+func readyHandler(e *slicenstitch.Engine, maxLag uint64) http.HandlerFunc {
+	return func(rw http.ResponseWriter, _ *http.Request) {
+		m := e.Metrics()
+		notReady := func(reason string) {
+			rw.Header().Set("Content-Type", "application/json")
+			rw.WriteHeader(http.StatusServiceUnavailable)
+			json.NewEncoder(rw).Encode(map[string]interface{}{"ready": false, "reason": reason})
+		}
+		if m.Follower != nil {
+			if !m.Follower.Synced {
+				notReady("stream set not yet synced from leader")
+				return
+			}
+			for _, sm := range m.Streams {
+				if sm.Repl == nil || sm.Repl.State != "tailing" {
+					notReady(fmt.Sprintf("stream %q is bootstrapping", sm.Name))
+					return
+				}
+				if sm.Repl.LagLSNs > maxLag {
+					notReady(fmt.Sprintf("stream %q lags %d LSNs (max %d)", sm.Name, sm.Repl.LagLSNs, maxLag))
+					return
+				}
+			}
+		}
+		writeJSON(rw, map[string]interface{}{"ready": true})
+	}
+}
+
 // predictQuery is one entry of a batch-predict request. T defaults to the
 // newest tensor unit (W−1) when omitted.
 type predictQuery struct {
@@ -331,6 +407,10 @@ func mapError(err error) (status int, code string) {
 		return http.StatusInternalServerError, "corrupt_checkpoint"
 	case errors.Is(err, slicenstitch.ErrCorruptWAL):
 		return http.StatusInternalServerError, "corrupt_wal"
+	case errors.Is(err, slicenstitch.ErrReadOnly):
+		return http.StatusForbidden, "read_only"
+	case errors.Is(err, slicenstitch.ErrWALGap):
+		return http.StatusGone, "wal_gap"
 	case errors.As(err, &coordErr):
 		return http.StatusBadRequest, "bad_coord"
 	case errors.Is(err, context.DeadlineExceeded):

@@ -24,7 +24,7 @@ func newTestServer(t *testing.T) (*slicenstitch.Engine, *httptest.Server) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := httptest.NewServer(newMux(e))
+	srv := httptest.NewServer(newMux(e, 1024))
 	t.Cleanup(func() { srv.Close(); e.Close() })
 	return e, srv
 }
@@ -364,6 +364,8 @@ func TestMapError(t *testing.T) {
 		{slicenstitch.ErrStreamExists, http.StatusConflict, "stream_exists"},
 		{slicenstitch.ErrCorruptCheckpoint, http.StatusInternalServerError, "corrupt_checkpoint"},
 		{slicenstitch.ErrCorruptWAL, http.StatusInternalServerError, "corrupt_wal"},
+		{slicenstitch.ErrReadOnly, http.StatusForbidden, "read_only"},
+		{slicenstitch.ErrWALGap, http.StatusGone, "wal_gap"},
 		{&slicenstitch.CoordError{Mode: 0, Got: 9, Limit: 4}, http.StatusBadRequest, "bad_coord"},
 		{&slicenstitch.RejectError{Index: 1, Err: &slicenstitch.CoordError{}}, http.StatusBadRequest, "bad_coord"},
 		{context.DeadlineExceeded, http.StatusGatewayTimeout, "timeout"},

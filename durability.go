@@ -129,6 +129,13 @@ type Options struct {
 	// Durability enables the write-ahead log and crash recovery; nil runs
 	// the engine purely in memory (the NewEngine behaviour).
 	Durability *DurabilityOptions
+	// Follower turns the engine into a read replica of the given leader:
+	// it bootstraps every leader stream from the newest checkpoint, tails
+	// the leader's WAL, and serves reads while rejecting writes with
+	// ErrReadOnly. Requires Durability — the replica persists its copy
+	// locally, so a restart recovers and resumes tailing instead of
+	// re-bootstrapping.
+	Follower *FollowerOptions
 }
 
 // Open builds an engine from Options. With durability configured it
@@ -139,6 +146,16 @@ type Options struct {
 // same directory.
 func Open(opts Options) (*Engine, error) {
 	e := NewEngine()
+	if opts.Follower != nil {
+		if opts.Durability == nil {
+			return nil, fmt.Errorf("%w: FollowerOptions requires DurabilityOptions (the replica persists its copy locally)", ErrConfig)
+		}
+		f, err := newFollowerState(e, *opts.Follower)
+		if err != nil {
+			return nil, err
+		}
+		e.follower = f
+	}
 	if opts.Durability == nil {
 		return e, nil
 	}
@@ -156,6 +173,9 @@ func Open(opts Options) (*Engine, error) {
 		return nil, err
 	}
 	e.dur.recoveryNanos = time.Since(start).Nanoseconds()
+	if e.follower != nil {
+		e.follower.start()
+	}
 	return e, nil
 }
 
@@ -290,6 +310,11 @@ type shardDur struct {
 	walStats     *metrics.WALStats
 	ckptStats    *metrics.CheckpointStats
 	recoverNanos int64
+
+	// applied mirrors the WAL position just past the last record the
+	// writer has applied (stored by noteApplied on the writer goroutine,
+	// loaded wait-free by Snapshot and the replication protocol).
+	applied atomic.Uint64
 
 	ckptC    chan ckptReq
 	ckptDone chan struct{}
@@ -649,7 +674,8 @@ func recoverAttempt(dir, walDir string, cfg StreamConfig, lsn uint64) (*Tracker,
 		return tr, nil
 	}
 	_, err := wal.Replay(walDir, lsn, func(_ uint64, payload []byte) error {
-		return applyRecord(tr, payload)
+		_, aerr := applyRecord(tr, payload)
+		return aerr
 	})
 	if err != nil {
 		return nil, err
@@ -663,6 +689,9 @@ func recoverAttempt(dir, walDir string, cfg StreamConfig, lsn uint64) (*Tracker,
 // real mid-ingest kill would. The engine is unusable afterwards, like
 // after Shutdown.
 func (e *Engine) crash() {
+	if e.follower != nil {
+		e.follower.stop()
+	}
 	e.mu.Lock()
 	e.closed = true
 	shards := make([]*shard, 0, len(e.shards))
@@ -682,33 +711,36 @@ func (e *Engine) crash() {
 	}
 }
 
-// applyRecord replays one WAL record onto a tracker. Application errors
-// (rejected events, a stale advance, a redundant start) are deliberately
-// ignored: the original writer logged the record before applying it and
-// hit the same deterministic outcome, so the replayed state matches the
-// original either way. Only a malformed record — which the original
-// writer could never have produced — is an error.
-func applyRecord(tr *Tracker, payload []byte) error {
+// applyRecord replays one WAL record onto a tracker and returns how many
+// events it applied (for publish/checkpoint cadence on replicas).
+// Application errors (rejected events, a stale advance, a redundant
+// start) are deliberately ignored: the original writer logged the record
+// before applying it and hit the same deterministic outcome, so the
+// replayed state matches the original either way. Only a malformed
+// record — which the original writer could never have produced — is an
+// error.
+func applyRecord(tr *Tracker, payload []byte) (int, error) {
 	if len(payload) == 0 {
-		return fmt.Errorf("%w: empty record", ErrCorruptWAL)
+		return 0, fmt.Errorf("%w: empty record", ErrCorruptWAL)
 	}
 	switch payload[0] {
 	case recBatch:
 		events, err := decodeBatchRecord(payload[1:])
 		if err != nil {
-			return err
+			return 0, err
 		}
-		tr.PushBatch(events)
+		applied, _ := tr.PushBatch(events)
+		return applied, nil
 	case recStart:
 		tr.Start()
 	case recAdvance:
 		tm, n := readZigzag(payload[1:])
 		if n <= 0 {
-			return fmt.Errorf("%w: advance record: bad time", ErrCorruptWAL)
+			return 0, fmt.Errorf("%w: advance record: bad time", ErrCorruptWAL)
 		}
 		tr.AdvanceTo(tm)
 	default:
-		return fmt.Errorf("%w: unknown record type %d", ErrCorruptWAL, payload[0])
+		return 0, fmt.Errorf("%w: unknown record type %d", ErrCorruptWAL, payload[0])
 	}
-	return nil
+	return 0, nil
 }

@@ -7,6 +7,7 @@ import (
 	"io"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"slicenstitch/internal/engine"
@@ -41,6 +42,10 @@ type Engine struct {
 	// dur is the engine-level durability state (nil when the engine runs
 	// purely in memory). See Open and DurabilityOptions.
 	dur *durEngine
+	// follower is the replication state of a read replica (nil on a
+	// leader or standalone engine). Set once in Open before the engine is
+	// shared, read-only afterwards. See FollowerOptions.
+	follower *followerState
 }
 
 // Backpressure selects what PushBatch does when a stream's mailbox is
@@ -171,6 +176,17 @@ type Snapshot struct {
 	// operators should treat a non-empty value as an incident. Empty on
 	// a healthy or non-durable stream.
 	DurabilityError string `json:"durabilityError,omitempty"`
+	// Durable position, stamped at read time on a durable engine (all
+	// zero otherwise): AppliedLSN is the WAL position just past the last
+	// record whose effects are in the tracker, and the live WAL retains
+	// [WALOldestLSN, WALNextLSN) — the tailable range for replication and
+	// the operator's "where am I" for capacity planning.
+	AppliedLSN   uint64 `json:"appliedLSN,omitempty"`
+	WALOldestLSN uint64 `json:"walOldestLSN,omitempty"`
+	WALNextLSN   uint64 `json:"walNextLSN,omitempty"`
+	// Replication is the follower-side view of this stream's tailer —
+	// lag, bootstraps, reconnects. Nil on a leader or standalone engine.
+	Replication *metrics.ReplReport `json:"replication,omitempty"`
 }
 
 // shardOp is a mailbox message kind.
@@ -183,6 +199,7 @@ const (
 	opFlush
 	opCheckpoint
 	opObserved
+	opReplApply
 )
 
 type shardMsg struct {
@@ -195,8 +212,13 @@ type shardMsg struct {
 	val   *float64
 	// lsn, when non-nil on an opCheckpoint, receives the shard's WAL
 	// position at capture (0 on a non-durable engine).
-	lsn  *uint64
-	done chan error
+	lsn *uint64
+	// recs/first carry an opReplApply chunk: raw WAL record payloads
+	// whose first LSN is first, shipped from the leader by a follower's
+	// tailer.
+	recs  [][]byte
+	first uint64
+	done  chan error
 	// bestEffort marks a message whose sender waits with a deadline and
 	// tolerates never being answered; under DropOldest it is evictable
 	// like a batch, so queued bounded reads are shed before data is.
@@ -218,6 +240,9 @@ type shard struct {
 	// dur is the shard's durability attachment (nil on an in-memory
 	// engine): the WAL appender plus the background checkpointer.
 	dur *shardDur
+	// repl, on a follower, is the stream's replication stats, installed
+	// by the tailer and read wait-free by Snapshot/Metrics.
+	repl atomic.Pointer[metrics.ReplStats]
 
 	// Writer-local state: owned by the shard's writer goroutine, crossing
 	// to readers only inside published snapshots. snsvet's writeronly
@@ -249,6 +274,9 @@ func NewEngine() *Engine {
 // created before the stream becomes reachable, so a crash right after
 // AddStream returns recovers the stream.
 func (e *Engine) AddStream(name string, cfg StreamConfig) (*Stream, error) {
+	if e.follower != nil {
+		return nil, fmt.Errorf("%w: streams are defined on the leader", ErrReadOnly)
+	}
 	if name == "" {
 		return nil, fmt.Errorf("%w: stream name must be non-empty", ErrConfig)
 	}
@@ -317,6 +345,7 @@ func (e *Engine) addShard(name string, cfg StreamConfig, tr *Tracker, sd *shardD
 		dur:   sd,
 	}
 	if sd != nil {
+		sd.applied.Store(sd.wal.NextLSN())
 		go sd.run()
 	}
 	// Fully initialize — initial snapshot, writer goroutine — before the
@@ -352,6 +381,15 @@ func (s *shard) stop() {
 // durable engine the stream's on-disk state (WAL and checkpoints) is
 // deleted — removal is permanent, not a shutdown.
 func (e *Engine) RemoveStream(name string) error {
+	if e.follower != nil {
+		return fmt.Errorf("%w: streams are defined on the leader", ErrReadOnly)
+	}
+	return e.dropStream(name)
+}
+
+// dropStream is RemoveStream without the follower guard — the follower's
+// reconciler uses it to retire streams the leader deleted.
+func (e *Engine) dropStream(name string) error {
 	if e.dur != nil {
 		e.dur.mu.Lock()
 		defer e.dur.mu.Unlock()
@@ -467,7 +505,7 @@ func (e *Engine) Start(ctx context.Context, name string) error {
 	if err != nil {
 		return err
 	}
-	return s.control(ctx, shardMsg{op: opStart})
+	return (&Stream{sh: s}).Start(ctx)
 }
 
 // AdvanceTo moves the named stream's clock forward without a tuple,
@@ -477,7 +515,7 @@ func (e *Engine) AdvanceTo(ctx context.Context, name string, tm int64) error {
 	if err != nil {
 		return err
 	}
-	return s.control(ctx, shardMsg{op: opAdvance, tm: tm})
+	return (&Stream{sh: s}).AdvanceTo(ctx, tm)
 }
 
 // Flush blocks until every batch queued before the call has been applied,
@@ -556,6 +594,15 @@ func (s *shard) read() Snapshot {
 			snap.DurabilityError = err.Error()
 		}
 	}
+	if s.dur != nil {
+		snap.AppliedLSN = s.dur.applied.Load()
+		snap.WALOldestLSN = s.dur.wal.OldestLSN()
+		snap.WALNextLSN = s.dur.wal.FlushedLSN()
+	}
+	if rs := s.repl.Load(); rs != nil {
+		r := rs.Report()
+		snap.Replication = &r
+	}
 	return snap
 }
 
@@ -591,6 +638,11 @@ func (e *Engine) Observed(ctx context.Context, name string, coord []int, timeIdx
 // context expires first — the writers keep draining in the background,
 // but the engine is already unusable. The engine cannot be reused.
 func (e *Engine) Shutdown(ctx context.Context) error {
+	if e.follower != nil {
+		// Stop the tailers before closing mailboxes: an in-flight apply
+		// finishes (the writers are still draining), new ones stop coming.
+		e.follower.stop()
+	}
 	e.mu.Lock()
 	if e.closed {
 		e.mu.Unlock()
@@ -663,6 +715,7 @@ func (s *shard) handleBatch(msg shardMsg) {
 		s.lastErr = lastReject(err).Error()
 	}
 	s.maybeCommit()
+	s.noteApplied()
 	//lint:ignore hotpath amortized: one checkpoint serialization per CheckpointEvery applied events
 	s.maybeCheckpoint(applied)
 	// Only applied events advance the publish clock: a stream of
@@ -691,6 +744,7 @@ func (s *shard) handle(msg shardMsg) {
 		s.logRecord([]byte{recStart})
 		err := s.tr.Start()
 		s.commit()
+		s.noteApplied()
 		if err == nil {
 			s.publish()
 		}
@@ -701,6 +755,7 @@ func (s *shard) handle(msg shardMsg) {
 		}
 		err := s.tr.AdvanceTo(msg.tm)
 		s.commit()
+		s.noteApplied()
 		if err == nil {
 			s.publish()
 		} else {
@@ -736,6 +791,78 @@ func (s *shard) handle(msg shardMsg) {
 		v, err := s.tr.Observed(msg.coord, msg.idx)
 		*msg.val = v
 		msg.done <- err
+	case opReplApply:
+		msg.done <- s.applyRepl(msg.first, msg.recs)
+	}
+}
+
+// applyRepl appends and applies one replication chunk — raw WAL record
+// payloads shipped from the leader. Each record is applied through the
+// same decode path recovery uses and appended byte-for-byte to the local
+// WAL, so a restarted follower replays to the identical state and
+// checkpoint bytes stay a pure function of (leader history, LSN): the
+// bit-identity guarantee. The chunk must abut the local WAL exactly;
+// anything else is a gap the tailer answers by re-bootstrapping.
+//
+//sns:writer
+func (s *shard) applyRepl(first uint64, recs [][]byte) error {
+	if s.dur == nil {
+		return fmt.Errorf("%w: replication requires a durable stream", ErrConfig)
+	}
+	if s.walErr != nil {
+		return fmt.Errorf("%w: %v", ErrDurability, s.walErr)
+	}
+	if got := s.dur.wal.NextLSN(); got != first {
+		return fmt.Errorf("%w: chunk starts at LSN %d, local WAL at %d", ErrWALGap, first, got)
+	}
+	applied := 0
+	forcePublish := false
+	start := time.Now()
+	for _, rec := range recs {
+		// Decode-and-apply before append: a record the apply path rejects
+		// as malformed must never enter the local WAL, where it would
+		// poison recovery. The reverse crash window (applied in memory,
+		// not yet appended) is safe — the tracker state is volatile and
+		// the tailer resumes from the flushed WAL position.
+		n, err := applyRecord(s.tr, rec)
+		if err != nil {
+			s.commit()
+			return err
+		}
+		applied += n
+		// Start/advance records publish unconditionally on the leader
+		// (they change Started/window state without counting as events),
+		// so the replica must republish too or its snapshot goes stale.
+		if rec[0] != recBatch {
+			forcePublish = true
+		}
+		s.logRecord(rec)
+		if s.walErr != nil {
+			break
+		}
+	}
+	s.commit()
+	s.stats.RecordBatch(applied, time.Since(start))
+	if s.walErr != nil {
+		return fmt.Errorf("%w: %v", ErrDurability, s.walErr)
+	}
+	s.noteApplied()
+	s.maybeCheckpoint(applied)
+	s.sincePublish += applied
+	if forcePublish || s.sincePublish >= s.cfg.PublishEvery {
+		s.publish()
+	}
+	return nil
+}
+
+// noteApplied mirrors the WAL position just past the last applied record
+// into the shard's atomic, where Snapshot and the replication protocol
+// read it wait-free.
+//
+//sns:writer
+func (s *shard) noteApplied() {
+	if s.dur != nil {
+		s.dur.applied.Store(s.dur.wal.NextLSN())
 	}
 }
 

@@ -71,6 +71,18 @@ var (
 	// version, or a model shape that contradicts its config.
 	ErrCorruptCheckpoint = errors.New("slicenstitch: corrupt checkpoint")
 
+	// ErrReadOnly reports a write — ingest, Start/AdvanceTo, stream
+	// add/remove — on a follower engine. Replicas apply the leader's WAL
+	// and serve reads; the single writer for every stream is the leader.
+	ErrReadOnly = errors.New("slicenstitch: engine is a read-only follower")
+
+	// ErrWALGap reports a WAL position that is no longer (or not yet)
+	// available: a TailWAL read below the oldest record the leader still
+	// retains — the follower fell behind a post-checkpoint truncation and
+	// must re-bootstrap — or a replication apply whose chunk does not
+	// abut the local WAL's next LSN.
+	ErrWALGap = errors.New("slicenstitch: wal position not available")
+
 	// ErrCorruptWAL reports a write-ahead-log record that fails to decode
 	// during recovery: a malformed frame the original writer could never
 	// have produced. Torn tails are not corruption — recovery truncates

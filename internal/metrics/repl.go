@@ -1,0 +1,131 @@
+package metrics
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// ReplState is the coarse phase of a follower stream's tailer.
+type ReplState int32
+
+const (
+	// ReplBootstrapping: fetching (or re-fetching after a gap) the
+	// leader's newest checkpoint.
+	ReplBootstrapping ReplState = iota
+	// ReplTailing: applying the leader's WAL records as they arrive.
+	ReplTailing
+)
+
+// String names the state for JSON and the metrics exposition.
+func (s ReplState) String() string {
+	switch s {
+	case ReplTailing:
+		return "tailing"
+	case ReplBootstrapping:
+		return "bootstrapping"
+	}
+	return "unknown"
+}
+
+// ReplStats collects one follower stream's replication counters. The
+// tailer goroutine writes positions and events; snapshot readers load
+// them wait-free. Everything is atomics plus a histogram record, so it is
+// safe to leave on in production.
+type ReplStats struct {
+	applied    atomic.Uint64 // local WAL position (next LSN to apply)
+	leaderNext atomic.Uint64 // leader's flushed WAL position, last observed
+	bootstraps atomic.Uint64
+	reconnects atomic.Uint64
+	chunks     atomic.Uint64
+	records    atomic.Uint64
+	state      atomic.Int32
+	lastCaught atomic.Int64 // unix nanos of the last applied == leaderNext observation
+
+	// Bootstrap is the end-to-end latency of one bootstrap (checkpoint
+	// fetch + restore + local WAL creation).
+	Bootstrap Histogram
+}
+
+// NewReplStats returns stats whose lag clock starts now, so a follower
+// that has never caught up reports lag since it began, not since 1970.
+func NewReplStats() *ReplStats {
+	r := &ReplStats{}
+	r.lastCaught.Store(time.Now().UnixNano())
+	return r
+}
+
+// SetState records the tailer's phase.
+func (r *ReplStats) SetState(s ReplState) { r.state.Store(int32(s)) }
+
+// RecordBootstrap counts one completed bootstrap taking d.
+func (r *ReplStats) RecordBootstrap(d time.Duration) {
+	r.bootstraps.Add(1)
+	r.Bootstrap.Record(d)
+}
+
+// RecordReconnect counts one tail stream break (transport error or
+// timeout) that forced the tailer to back off and re-dial.
+func (r *ReplStats) RecordReconnect() { r.reconnects.Add(1) }
+
+// RecordChunk counts one applied chunk of n records.
+func (r *ReplStats) RecordChunk(n int) {
+	r.chunks.Add(1)
+	r.records.Add(uint64(n))
+}
+
+// SetPosition records the follower's applied position and the leader's
+// flushed position as of the same tail response. When the two meet, the
+// lag clock resets — LagSeconds measures time since the follower was
+// last at the leader's tip.
+func (r *ReplStats) SetPosition(applied, leaderNext uint64) {
+	r.applied.Store(applied)
+	r.leaderNext.Store(leaderNext)
+	if applied >= leaderNext {
+		r.lastCaught.Store(time.Now().UnixNano())
+	}
+}
+
+// ReplReport is the JSON-friendly snapshot of the counters.
+type ReplReport struct {
+	State             string            `json:"state"`
+	AppliedLSN        uint64            `json:"appliedLSN"`
+	LeaderNextLSN     uint64            `json:"leaderNextLSN"`
+	LagLSNs           uint64            `json:"lagLSNs"`
+	LagSeconds        float64           `json:"lagSeconds"`
+	Bootstraps        uint64            `json:"bootstraps"`
+	TailReconnects    uint64            `json:"tailReconnects"`
+	Chunks            uint64            `json:"chunks"`
+	RecordsApplied    uint64            `json:"recordsApplied"`
+	BootstrapDuration HistogramSnapshot `json:"bootstrapDuration"`
+}
+
+// Report snapshots the counters. Lag in LSNs is the distance to the
+// leader's last observed flushed position; lag in seconds is how long the
+// follower has been away from the tip (zero while caught up).
+func (r *ReplStats) Report() ReplReport {
+	applied := r.applied.Load()
+	leader := r.leaderNext.Load()
+	var lagLSNs uint64
+	if leader > applied {
+		lagLSNs = leader - applied
+	}
+	var lagSec float64
+	if lagLSNs > 0 {
+		lagSec = time.Since(time.Unix(0, r.lastCaught.Load())).Seconds()
+		if lagSec < 0 {
+			lagSec = 0
+		}
+	}
+	return ReplReport{
+		State:             ReplState(r.state.Load()).String(),
+		AppliedLSN:        applied,
+		LeaderNextLSN:     leader,
+		LagLSNs:           lagLSNs,
+		LagSeconds:        lagSec,
+		Bootstraps:        r.bootstraps.Load(),
+		TailReconnects:    r.reconnects.Load(),
+		Chunks:            r.chunks.Load(),
+		RecordsApplied:    r.records.Load(),
+		BootstrapDuration: r.Bootstrap.Snapshot(),
+	}
+}

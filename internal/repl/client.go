@@ -1,0 +1,157 @@
+package repl
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Client fetches the leader side of the protocol over HTTP.
+type Client struct {
+	// BaseURL is the leader's base URL, e.g. "http://leader:8080".
+	BaseURL string
+	// HTTP is the transport; the zero client (no global timeout — every
+	// call runs under a per-request context deadline) when nil.
+	HTTP *http.Client
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) streamURL(stream, tail string) string {
+	return strings.TrimSuffix(c.BaseURL, "/") + "/v1/streams/" + url.PathEscape(stream) + tail
+}
+
+// decodeError turns a non-2xx response into a typed error, recognizing
+// the wal_gap and stream_not_found envelope codes.
+func decodeError(resp *http.Response) error {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	var env struct {
+		Error struct {
+			Code    string `json:"code"`
+			Message string `json:"message"`
+		} `json:"error"`
+	}
+	if err := json.Unmarshal(body, &env); err == nil {
+		switch env.Error.Code {
+		case CodeGap:
+			return fmt.Errorf("%w: %s", ErrGap, env.Error.Message)
+		case CodeNotFound:
+			return fmt.Errorf("%w: %s", ErrNotFound, env.Error.Message)
+		}
+		if env.Error.Code != "" {
+			return fmt.Errorf("repl: leader status %d: %s: %s", resp.StatusCode, env.Error.Code, env.Error.Message)
+		}
+	}
+	return fmt.Errorf("repl: leader status %d", resp.StatusCode)
+}
+
+// Streams lists the leader's stream names.
+func (c *Client) Streams(ctx context.Context) ([]string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		strings.TrimSuffix(c.BaseURL, "/")+"/v1/streams", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeError(resp)
+	}
+	// The snsserve listing returns full snapshots keyed "stream"; accept
+	// a bare "name" too so lighter leaders stay compatible.
+	var body struct {
+		Streams []struct {
+			Name   string `json:"name"`
+			Stream string `json:"stream"`
+		} `json:"streams"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return nil, fmt.Errorf("repl: decode stream list: %w", err)
+	}
+	names := make([]string, 0, len(body.Streams))
+	for _, s := range body.Streams {
+		if s.Name != "" {
+			names = append(names, s.Name)
+		} else if s.Stream != "" {
+			names = append(names, s.Stream)
+		}
+	}
+	return names, nil
+}
+
+// Bootstrap fetches the stream's newest checkpoint blob.
+func (c *Client) Bootstrap(ctx context.Context, stream string) (lsn uint64, config, checkpoint []byte, err error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.streamURL(stream, "/checkpoint"), nil)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, nil, nil, decodeError(resp)
+	}
+	return ReadBootstrap(resp.Body)
+}
+
+// Tail fetches one chunk of WAL records starting at from, asking the
+// leader to long-poll up to wait when it is caught up. The request's
+// transport deadline is wait plus slack, derived from ctx.
+func (c *Client) Tail(ctx context.Context, stream string, from uint64, maxBytes int, wait time.Duration) (Chunk, error) {
+	q := url.Values{}
+	q.Set("from", strconv.FormatUint(from, 10))
+	if maxBytes > 0 {
+		q.Set("max_bytes", strconv.Itoa(maxBytes))
+	}
+	if wait > 0 {
+		q.Set("wait_ms", strconv.FormatInt(wait.Milliseconds(), 10))
+	}
+	rctx, cancel := context.WithTimeout(ctx, wait+15*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(rctx, http.MethodGet, c.streamURL(stream, "/wal")+"?"+q.Encode(), nil)
+	if err != nil {
+		return Chunk{}, err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return Chunk{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return Chunk{}, decodeError(resp)
+	}
+	var chunk Chunk
+	if chunk.Next, err = strconv.ParseUint(resp.Header.Get(HeaderNextLSN), 10, 64); err != nil {
+		return Chunk{}, fmt.Errorf("repl: bad %s header: %w", HeaderNextLSN, err)
+	}
+	if chunk.FlushedLSN, err = strconv.ParseUint(resp.Header.Get(HeaderFlushedLSN), 10, 64); err != nil {
+		return Chunk{}, fmt.Errorf("repl: bad %s header: %w", HeaderFlushedLSN, err)
+	}
+	if chunk.OldestLSN, err = strconv.ParseUint(resp.Header.Get(HeaderOldestLSN), 10, 64); err != nil {
+		return Chunk{}, fmt.Errorf("repl: bad %s header: %w", HeaderOldestLSN, err)
+	}
+	chunk.More = resp.Header.Get(HeaderMore) == "1"
+	if chunk.Records, err = ReadRecords(resp.Body); err != nil {
+		return Chunk{}, err
+	}
+	if got := from + uint64(len(chunk.Records)); got != chunk.Next {
+		return Chunk{}, fmt.Errorf("repl: chunk claims next %d but carries %d records from %d", chunk.Next, len(chunk.Records), from)
+	}
+	return chunk, nil
+}

@@ -1,0 +1,172 @@
+// Package repl implements WAL-shipping replication: a leader serves
+// per-stream WAL tail reads and checkpoint bootstraps over HTTP, and a
+// follower's tailer state machine applies what it fetches to a local
+// replica engine.
+//
+// The wire protocol reuses the WAL's own record framing — each record in
+// a tail response body is
+//
+//	[4B little-endian payload length][4B CRC-32C of payload][payload]
+//
+// so a chunk is a byte-exact slice of the leader's log and the follower
+// re-verifies every checksum before applying. Positions ride in response
+// headers (Sns-Next-Lsn, Sns-Flushed-Lsn, Sns-Oldest-Lsn, Sns-More). A
+// bootstrap response is a self-describing blob: magic "SNSB", a format
+// version, the checkpoint's LSN, then the stream's config bytes and
+// checkpoint bytes in the same frame format.
+//
+// Gap signaling: when a follower asks for an LSN the leader no longer
+// retains (truncated after checkpointing), the leader answers 410 with
+// error code "wal_gap"; the client surfaces that as ErrGap and the tailer
+// re-bootstraps from the newest checkpoint instead of retrying forever.
+package repl
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+const (
+	// HeaderNextLSN is the LSN just past the last record in the body.
+	HeaderNextLSN = "Sns-Next-Lsn"
+	// HeaderFlushedLSN is the leader's flushed WAL position at response
+	// time — the follower's lag denominator.
+	HeaderFlushedLSN = "Sns-Flushed-Lsn"
+	// HeaderOldestLSN is the oldest LSN the leader still retains.
+	HeaderOldestLSN = "Sns-Oldest-Lsn"
+	// HeaderMore reports ("1") that the chunk was cut short by the byte
+	// budget and more records are immediately available.
+	HeaderMore = "Sns-More"
+	// HeaderCheckpointLSN carries a bootstrap response's checkpoint LSN.
+	HeaderCheckpointLSN = "Sns-Checkpoint-Lsn"
+)
+
+const (
+	// CodeGap is the error envelope code for a tail read below the
+	// leader's retained WAL range.
+	CodeGap = "wal_gap"
+	// CodeNotFound is the error envelope code for an unknown stream.
+	CodeNotFound = "stream_not_found"
+)
+
+const (
+	frameSize      = 8
+	bootstrapMagic = 0x534e5342 // "SNSB"
+	bootstrapV1    = 1
+	// maxFrameBytes bounds a single framed payload on the read side; a
+	// frame announcing more is corruption, not an allocation request.
+	// Matches the WAL's record bound plus headroom for checkpoints.
+	maxFrameBytes = 256 << 20
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrGap reports that the requested LSN is below the leader's retained
+// WAL range; the follower must re-bootstrap from a checkpoint.
+var ErrGap = errors.New("repl: requested lsn no longer retained by the leader")
+
+// ErrNotFound reports that the leader does not have the stream.
+var ErrNotFound = errors.New("repl: stream not found on leader")
+
+// writeFrame writes one length+CRC framed payload.
+func writeFrame(w io.Writer, payload []byte) error {
+	var hdr [frameSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:], crc32.Checksum(payload, castagnoli))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readFrame reads one framed payload, verifying its CRC. io.EOF at a
+// frame boundary is returned as-is; a short frame is io.ErrUnexpectedEOF.
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [frameSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	length := binary.LittleEndian.Uint32(hdr[0:])
+	crc := binary.LittleEndian.Uint32(hdr[4:])
+	if length > maxFrameBytes {
+		return nil, fmt.Errorf("repl: frame of %d bytes exceeds limit", length)
+	}
+	payload := make([]byte, length)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	if crc32.Checksum(payload, castagnoli) != crc {
+		return nil, errors.New("repl: frame crc mismatch")
+	}
+	return payload, nil
+}
+
+// WriteRecords frames each record payload onto w in order.
+func WriteRecords(w io.Writer, records [][]byte) error {
+	for _, rec := range records {
+		if err := writeFrame(w, rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadRecords reads framed records until EOF, verifying every CRC.
+func ReadRecords(r io.Reader) ([][]byte, error) {
+	var out [][]byte
+	for {
+		payload, err := readFrame(r)
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, payload)
+	}
+}
+
+// WriteBootstrap writes the bootstrap blob: header, checkpoint LSN, then
+// the stream config and checkpoint as CRC frames.
+func WriteBootstrap(w io.Writer, lsn uint64, config, checkpoint []byte) error {
+	var hdr [16]byte
+	binary.LittleEndian.PutUint32(hdr[0:], bootstrapMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], bootstrapV1)
+	binary.LittleEndian.PutUint64(hdr[8:], lsn)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if err := writeFrame(w, config); err != nil {
+		return err
+	}
+	return writeFrame(w, checkpoint)
+}
+
+// ReadBootstrap parses a bootstrap blob.
+func ReadBootstrap(r io.Reader) (lsn uint64, config, checkpoint []byte, err error) {
+	var hdr [16]byte
+	if _, err = io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, nil, fmt.Errorf("repl: bootstrap header: %w", err)
+	}
+	if got := binary.LittleEndian.Uint32(hdr[0:]); got != bootstrapMagic {
+		return 0, nil, nil, fmt.Errorf("repl: bootstrap bad magic %#x", got)
+	}
+	if v := binary.LittleEndian.Uint32(hdr[4:]); v != bootstrapV1 {
+		return 0, nil, nil, fmt.Errorf("repl: bootstrap unsupported version %d", v)
+	}
+	lsn = binary.LittleEndian.Uint64(hdr[8:])
+	if config, err = readFrame(r); err != nil {
+		return 0, nil, nil, fmt.Errorf("repl: bootstrap config frame: %w", err)
+	}
+	if checkpoint, err = readFrame(r); err != nil {
+		return 0, nil, nil, fmt.Errorf("repl: bootstrap checkpoint frame: %w", err)
+	}
+	return lsn, config, checkpoint, nil
+}

@@ -1,0 +1,511 @@
+package repl
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"slicenstitch/internal/metrics"
+)
+
+// --- proto ---
+
+func TestRecordsRoundTrip(t *testing.T) {
+	recs := [][]byte{{1}, []byte("hello"), bytes.Repeat([]byte{0xab}, 4096), {}}
+	var buf bytes.Buffer
+	if err := WriteRecords(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadRecords(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("got %d records, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if !bytes.Equal(got[i], recs[i]) {
+			t.Fatalf("record %d mismatch", i)
+		}
+	}
+}
+
+func TestReadRecordsRejectsCorruption(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteRecords(&buf, [][]byte{[]byte("payload")}); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	b[len(b)-1] ^= 0xff // flip a payload byte under the CRC
+	if _, err := ReadRecords(bytes.NewReader(b)); err == nil {
+		t.Fatal("corrupted record passed CRC")
+	}
+	// A truncated frame is an error, not silent EOF.
+	if _, err := ReadRecords(bytes.NewReader(b[:len(b)-3])); err == nil {
+		t.Fatal("truncated record read cleanly")
+	}
+}
+
+func TestBootstrapRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	cfg, ckpt := []byte("config-bytes"), bytes.Repeat([]byte("state"), 100)
+	if err := WriteBootstrap(&buf, 12345, cfg, ckpt); err != nil {
+		t.Fatal(err)
+	}
+	lsn, gotCfg, gotCkpt, err := ReadBootstrap(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsn != 12345 || !bytes.Equal(gotCfg, cfg) || !bytes.Equal(gotCkpt, ckpt) {
+		t.Fatalf("round trip mismatch: lsn=%d", lsn)
+	}
+}
+
+func TestBootstrapRejectsBadMagic(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteBootstrap(&buf, 1, []byte("c"), []byte("k")); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	b[0] ^= 0xff
+	if _, _, _, err := ReadBootstrap(bytes.NewReader(b)); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+// --- server + client over httptest ---
+
+// testLeader wires a Server over an in-memory record log.
+type testLeader struct {
+	mu      sync.Mutex
+	records [][]byte // records[i] has LSN oldest+i
+	oldest  uint64
+	ckptLSN uint64
+	cfg     []byte
+	ckpt    []byte
+}
+
+func (l *testLeader) tail(_ context.Context, stream string, from uint64, maxBytes int, _ time.Duration) (Chunk, error) {
+	if stream != "s" {
+		return Chunk{}, errNotFoundTest
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if from < l.oldest {
+		return Chunk{}, errGapTest
+	}
+	end := l.oldest + uint64(len(l.records))
+	c := Chunk{Next: from, FlushedLSN: end, OldestLSN: l.oldest}
+	if from > end {
+		return c, nil
+	}
+	budget := maxBytes
+	for i := from - l.oldest; i < uint64(len(l.records)); i++ {
+		rec := l.records[i]
+		if len(c.Records) > 0 && budget < len(rec) {
+			c.More = true
+			break
+		}
+		c.Records = append(c.Records, rec)
+		c.Next++
+		budget -= len(rec)
+	}
+	return c, nil
+}
+
+func (l *testLeader) bootstrap(_ context.Context, stream string, w io.Writer) (uint64, error) {
+	if stream != "s" {
+		return 0, errNotFoundTest
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := WriteBootstrap(w, l.ckptLSN, l.cfg, l.ckpt); err != nil {
+		return 0, err
+	}
+	return l.ckptLSN, nil
+}
+
+var (
+	errGapTest      = errors.New("test gap")
+	errNotFoundTest = errors.New("test not found")
+)
+
+func mapTestErr(err error) (int, string) {
+	switch {
+	case errors.Is(err, errGapTest):
+		return http.StatusGone, CodeGap
+	case errors.Is(err, errNotFoundTest):
+		return http.StatusNotFound, CodeNotFound
+	}
+	return http.StatusInternalServerError, "internal"
+}
+
+func newTestServer(t *testing.T, l *testLeader) (*httptest.Server, *Client) {
+	t.Helper()
+	srv := &Server{Tail: l.tail, Bootstrap: l.bootstrap, MapError: mapTestErr}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/streams/{name}/wal", srv.HandleTail)
+	mux.HandleFunc("GET /v1/streams/{name}/checkpoint", srv.HandleBootstrap)
+	mux.HandleFunc("GET /v1/streams", func(rw http.ResponseWriter, _ *http.Request) {
+		rw.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(rw, `{"streams":[{"name":"s"}]}`)
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts, &Client{BaseURL: ts.URL, HTTP: ts.Client()}
+}
+
+func TestClientTailRoundTrip(t *testing.T) {
+	l := &testLeader{oldest: 10}
+	for i := 0; i < 5; i++ {
+		l.records = append(l.records, []byte{byte(i), byte(i), byte(i)})
+	}
+	_, c := newTestServer(t, l)
+	ctx := context.Background()
+
+	chunk, err := c.Tail(ctx, "s", 10, 1<<20, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chunk.Records) != 5 || chunk.Next != 15 || chunk.FlushedLSN != 15 || chunk.OldestLSN != 10 {
+		t.Fatalf("chunk = %+v", chunk)
+	}
+	if !bytes.Equal(chunk.Records[2], []byte{2, 2, 2}) {
+		t.Fatalf("record bytes mismatch: %v", chunk.Records[2])
+	}
+	// Mid-log start.
+	chunk, err = c.Tail(ctx, "s", 13, 1<<20, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chunk.Records) != 2 || chunk.Next != 15 {
+		t.Fatalf("mid-log chunk = %+v", chunk)
+	}
+	// Caught up: empty chunk, not an error.
+	chunk, err = c.Tail(ctx, "s", 15, 1<<20, 0)
+	if err != nil || len(chunk.Records) != 0 || chunk.Next != 15 {
+		t.Fatalf("caught-up chunk = %+v err = %v", chunk, err)
+	}
+}
+
+func TestClientTailBudgetSetsMore(t *testing.T) {
+	l := &testLeader{records: [][]byte{bytes.Repeat([]byte{1}, 100), bytes.Repeat([]byte{2}, 100)}}
+	_, c := newTestServer(t, l)
+	chunk, err := c.Tail(context.Background(), "s", 0, 50, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chunk.Records) != 1 || !chunk.More {
+		t.Fatalf("budgeted chunk = %d records, more=%v", len(chunk.Records), chunk.More)
+	}
+}
+
+func TestClientTailGapAndNotFound(t *testing.T) {
+	l := &testLeader{oldest: 100}
+	_, c := newTestServer(t, l)
+	if _, err := c.Tail(context.Background(), "s", 5, 0, 0); !errors.Is(err, ErrGap) {
+		t.Fatalf("below-retained tail: %v, want ErrGap", err)
+	}
+	if _, err := c.Tail(context.Background(), "nope", 0, 0, 0); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("unknown stream: %v, want ErrNotFound", err)
+	}
+	if _, _, _, err := c.Bootstrap(context.Background(), "nope"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("unknown stream bootstrap: %v, want ErrNotFound", err)
+	}
+}
+
+func TestClientBootstrapRoundTrip(t *testing.T) {
+	l := &testLeader{ckptLSN: 77, cfg: []byte("cfg"), ckpt: []byte("ckpt-state")}
+	_, c := newTestServer(t, l)
+	lsn, cfg, ckpt, err := c.Bootstrap(context.Background(), "s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsn != 77 || !bytes.Equal(cfg, []byte("cfg")) || !bytes.Equal(ckpt, []byte("ckpt-state")) {
+		t.Fatalf("bootstrap = lsn %d cfg %q ckpt %q", lsn, cfg, ckpt)
+	}
+}
+
+func TestClientStreams(t *testing.T) {
+	_, c := newTestServer(t, &testLeader{})
+	names, err := c.Streams(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 1 || names[0] != "s" {
+		t.Fatalf("streams = %v", names)
+	}
+}
+
+// --- tailer state machine over fakes ---
+
+// fakeClient scripts the leader side for the tailer.
+type fakeClient struct {
+	mu        sync.Mutex
+	tails     []func(from uint64) (Chunk, error)
+	bootLSN   uint64
+	bootErr   error
+	bootCalls int
+}
+
+func (f *fakeClient) Bootstrap(context.Context, string) (uint64, []byte, []byte, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.bootCalls++
+	if f.bootErr != nil {
+		return 0, nil, nil, f.bootErr
+	}
+	return f.bootLSN, []byte("cfg"), []byte("ckpt"), nil
+}
+
+func (f *fakeClient) Tail(ctx context.Context, _ string, from uint64, _ int, _ time.Duration) (Chunk, error) {
+	f.mu.Lock()
+	var fn func(uint64) (Chunk, error)
+	if len(f.tails) > 0 {
+		fn = f.tails[0]
+		f.tails = f.tails[1:]
+	}
+	f.mu.Unlock()
+	if fn == nil {
+		// Script exhausted: block until the test cancels.
+		<-ctx.Done()
+		return Chunk{}, ctx.Err()
+	}
+	return fn(from)
+}
+
+// fakeReplica records applies and bootstraps.
+type fakeReplica struct {
+	mu       sync.Mutex
+	next     uint64
+	applied  [][]byte
+	boots    int
+	applyErr error
+}
+
+func (r *fakeReplica) NextLSN() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.next
+}
+
+func (r *fakeReplica) Apply(_ context.Context, first uint64, records [][]byte) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.applyErr != nil {
+		return r.applyErr
+	}
+	if first != r.next {
+		return fmt.Errorf("apply at %d, next is %d", first, r.next)
+	}
+	r.applied = append(r.applied, records...)
+	r.next += uint64(len(records))
+	return nil
+}
+
+func (r *fakeReplica) Bootstrap(_ context.Context, lsn uint64, _, _ []byte) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.boots++
+	r.next = lsn
+	r.applied = nil
+	r.applyErr = nil // bootstrapping replaces the broken local state
+	return nil
+}
+
+// runTailer drives a tailer until done returns true or the deadline hits.
+func runTailer(t *testing.T, tl *Tailer, done func() bool) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		tl.Run(ctx)
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for !done() {
+		if time.Now().After(deadline) {
+			cancel()
+			<-finished
+			t.Fatal("tailer did not reach the expected state in time")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	<-finished
+}
+
+func fastOpts() TailerOptions {
+	return TailerOptions{PollTimeout: 10 * time.Millisecond, RetryMin: time.Millisecond, RetryMax: 5 * time.Millisecond}
+}
+
+func TestTailerBootstrapsThenTails(t *testing.T) {
+	recs := [][]byte{{1}, {2}, {3}}
+	client := &fakeClient{
+		bootLSN: 40,
+		tails: []func(uint64) (Chunk, error){
+			func(from uint64) (Chunk, error) {
+				return Chunk{Records: recs, Next: from + 3, FlushedLSN: from + 3}, nil
+			},
+		},
+	}
+	rep := &fakeReplica{}
+	stats := metrics.NewReplStats()
+	tl := &Tailer{Client: client, Stream: "s", Replica: rep, Stats: stats, Opts: fastOpts(), NeedBootstrap: true}
+	runTailer(t, tl, func() bool { return rep.NextLSN() == 43 })
+	if rep.boots != 1 {
+		t.Fatalf("boots = %d, want 1", rep.boots)
+	}
+	r := stats.Report()
+	if r.AppliedLSN != 43 || r.LeaderNextLSN != 43 || r.LagLSNs != 0 {
+		t.Fatalf("report = %+v", r)
+	}
+	if r.Bootstraps != 1 || r.RecordsApplied != 3 || r.State != "tailing" {
+		t.Fatalf("report = %+v", r)
+	}
+}
+
+func TestTailerGapTriggersRebootstrap(t *testing.T) {
+	client := &fakeClient{
+		bootLSN: 90,
+		tails: []func(uint64) (Chunk, error){
+			func(uint64) (Chunk, error) { return Chunk{}, fmt.Errorf("wrapped: %w", ErrGap) },
+			func(from uint64) (Chunk, error) {
+				return Chunk{Records: [][]byte{{9}}, Next: from + 1, FlushedLSN: from + 1}, nil
+			},
+		},
+	}
+	rep := &fakeReplica{next: 10}
+	stats := metrics.NewReplStats()
+	tl := &Tailer{Client: client, Stream: "s", Replica: rep, Stats: stats, Opts: fastOpts()}
+	runTailer(t, tl, func() bool { return rep.NextLSN() == 91 })
+	if rep.boots != 1 {
+		t.Fatalf("boots = %d, want 1 (gap must re-bootstrap)", rep.boots)
+	}
+}
+
+func TestTailerDivergenceTriggersRebootstrap(t *testing.T) {
+	// The replica sits at LSN 50; the leader's log now ends at 30 — it
+	// crashed and lost an unsynced tail. The tailer must re-bootstrap.
+	client := &fakeClient{
+		bootLSN: 30,
+		tails: []func(uint64) (Chunk, error){
+			func(from uint64) (Chunk, error) { return Chunk{Next: from, FlushedLSN: 30, OldestLSN: 0}, nil },
+		},
+	}
+	rep := &fakeReplica{next: 50}
+	stats := metrics.NewReplStats()
+	tl := &Tailer{Client: client, Stream: "s", Replica: rep, Stats: stats, Opts: fastOpts()}
+	runTailer(t, tl, func() bool {
+		rep.mu.Lock()
+		defer rep.mu.Unlock()
+		return rep.boots == 1 && rep.next == 30
+	})
+}
+
+func TestTailerApplyErrorTriggersRebootstrap(t *testing.T) {
+	client := &fakeClient{
+		bootLSN: 20,
+		tails: []func(uint64) (Chunk, error){
+			func(from uint64) (Chunk, error) {
+				return Chunk{Records: [][]byte{{1}}, Next: from + 1, FlushedLSN: from + 1}, nil
+			},
+			func(from uint64) (Chunk, error) {
+				return Chunk{Records: [][]byte{{2}}, Next: from + 1, FlushedLSN: from + 1}, nil
+			},
+		},
+	}
+	rep := &fakeReplica{next: 5, applyErr: errors.New("local wal failed")}
+	stats := metrics.NewReplStats()
+	tl := &Tailer{Client: client, Stream: "s", Replica: rep, Stats: stats, Opts: fastOpts()}
+	runTailer(t, tl, func() bool {
+		rep.mu.Lock()
+		defer rep.mu.Unlock()
+		return rep.boots == 1 && rep.next == 21
+	})
+}
+
+func TestTailerRetriesTransportErrors(t *testing.T) {
+	client := &fakeClient{
+		tails: []func(uint64) (Chunk, error){
+			func(uint64) (Chunk, error) { return Chunk{}, errors.New("conn refused") },
+			func(uint64) (Chunk, error) { return Chunk{}, errors.New("conn refused") },
+			func(from uint64) (Chunk, error) {
+				return Chunk{Records: [][]byte{{7}}, Next: from + 1, FlushedLSN: from + 1}, nil
+			},
+		},
+	}
+	rep := &fakeReplica{next: 3}
+	stats := metrics.NewReplStats()
+	tl := &Tailer{Client: client, Stream: "s", Replica: rep, Stats: stats, Opts: fastOpts()}
+	runTailer(t, tl, func() bool { return rep.NextLSN() == 4 })
+	if r := stats.Report(); r.TailReconnects != 2 {
+		t.Fatalf("reconnects = %d, want 2", r.TailReconnects)
+	}
+	if rep.boots != 0 {
+		t.Fatalf("transport errors must not bootstrap, got %d", rep.boots)
+	}
+}
+
+func TestTailerBootstrapFailureRetries(t *testing.T) {
+	client := &fakeClient{bootLSN: 60, bootErr: errors.New("leader down")}
+	rep := &fakeReplica{}
+	stats := metrics.NewReplStats()
+	tl := &Tailer{Client: client, Stream: "s", Replica: rep, Stats: stats, Opts: fastOpts(), NeedBootstrap: true}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { defer close(done); tl.Run(ctx) }()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		client.mu.Lock()
+		calls := client.bootCalls
+		if calls >= 3 {
+			client.bootErr = nil
+			client.mu.Unlock()
+			break
+		}
+		client.mu.Unlock()
+		if time.Now().After(deadline) {
+			cancel()
+			<-done
+			t.Fatal("bootstrap was not retried")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	for rep.NextLSN() != client.bootLSN {
+		if time.Now().After(deadline) {
+			cancel()
+			<-done
+			t.Fatal("tailer never recovered after bootstrap errors cleared")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	<-done
+	if r := stats.Report(); r.State == "bootstrapping" {
+		t.Fatalf("state = %q after successful bootstrap", r.State)
+	}
+}
+
+func TestTailerStopsOnCancel(t *testing.T) {
+	client := &fakeClient{} // empty script: Tail blocks on ctx
+	rep := &fakeReplica{next: 1}
+	tl := &Tailer{Client: client, Stream: "s", Replica: rep, Stats: metrics.NewReplStats(), Opts: fastOpts()}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { defer close(done); tl.Run(ctx) }()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("tailer did not stop on cancel")
+	}
+}

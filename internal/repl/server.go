@@ -1,0 +1,133 @@
+package repl
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Chunk is one tail response: a slice of the leader's WAL plus the
+// positions the follower needs for lag accounting and gap detection.
+type Chunk struct {
+	// Records are raw WAL record payloads in LSN order starting at the
+	// requested position.
+	Records [][]byte
+	// Next is the LSN just past the last record (== the request's from
+	// when the chunk is empty).
+	Next uint64
+	// FlushedLSN is the leader's flushed WAL position; OldestLSN its
+	// retained floor.
+	FlushedLSN, OldestLSN uint64
+	// More reports the byte budget cut the chunk short.
+	More bool
+}
+
+// Server serves the leader side of the protocol. The engine is injected
+// as plain functions so the package depends on neither the root package
+// nor net-specific engine types.
+type Server struct {
+	// Tail reads records starting at from, long-polling up to wait when
+	// the stream is caught up. Required.
+	Tail func(ctx context.Context, stream string, from uint64, maxBytes int, wait time.Duration) (Chunk, error)
+	// Bootstrap writes the stream's bootstrap blob (config + newest
+	// checkpoint) to w and returns the checkpoint's LSN. Required.
+	Bootstrap func(ctx context.Context, stream string, w io.Writer) (uint64, error)
+	// MapError translates an engine error into an HTTP status and error
+	// envelope code; a gap must map to code CodeGap for followers to
+	// re-bootstrap. When nil, every error is a 500 "internal".
+	MapError func(err error) (status int, code string)
+
+	// MaxWait caps the client-requested long-poll (default 20s); keep it
+	// under the HTTP server's write timeout.
+	MaxWait time.Duration
+	// MaxChunkBytes caps the client-requested chunk budget (default 8 MiB).
+	MaxChunkBytes int
+}
+
+func (s *Server) maxWait() time.Duration {
+	if s.MaxWait > 0 {
+		return s.MaxWait
+	}
+	return 20 * time.Second
+}
+
+func (s *Server) maxChunkBytes() int {
+	if s.MaxChunkBytes > 0 {
+		return s.MaxChunkBytes
+	}
+	return 8 << 20
+}
+
+func (s *Server) writeErr(rw http.ResponseWriter, err error) {
+	status, code := http.StatusInternalServerError, "internal"
+	if s.MapError != nil {
+		status, code = s.MapError(err)
+	}
+	rw.Header().Set("Content-Type", "application/json")
+	rw.WriteHeader(status)
+	json.NewEncoder(rw).Encode(map[string]map[string]string{
+		"error": {"code": code, "message": err.Error()},
+	})
+}
+
+// HandleTail serves GET with query params from, max_bytes, wait_ms; the
+// stream name comes from the request's "name" path value.
+func (s *Server) HandleTail(rw http.ResponseWriter, req *http.Request) {
+	name := req.PathValue("name")
+	q := req.URL.Query()
+	from, err := strconv.ParseUint(q.Get("from"), 10, 64)
+	if err != nil && q.Get("from") != "" {
+		http.Error(rw, "bad from", http.StatusBadRequest)
+		return
+	}
+	maxBytes := s.maxChunkBytes()
+	if v := q.Get("max_bytes"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 && n < maxBytes {
+			maxBytes = n
+		}
+	}
+	var wait time.Duration
+	if v := q.Get("wait_ms"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			wait = time.Duration(n) * time.Millisecond
+			if wait > s.maxWait() {
+				wait = s.maxWait()
+			}
+		}
+	}
+	chunk, err := s.Tail(req.Context(), name, from, maxBytes, wait)
+	if err != nil {
+		s.writeErr(rw, err)
+		return
+	}
+	h := rw.Header()
+	h.Set("Content-Type", "application/octet-stream")
+	h.Set(HeaderNextLSN, strconv.FormatUint(chunk.Next, 10))
+	h.Set(HeaderFlushedLSN, strconv.FormatUint(chunk.FlushedLSN, 10))
+	h.Set(HeaderOldestLSN, strconv.FormatUint(chunk.OldestLSN, 10))
+	if chunk.More {
+		h.Set(HeaderMore, "1")
+	}
+	WriteRecords(rw, chunk.Records)
+}
+
+// HandleBootstrap serves GET returning the stream's bootstrap blob. The
+// blob is staged in memory so an engine error still yields a clean JSON
+// envelope instead of a half-written body.
+func (s *Server) HandleBootstrap(rw http.ResponseWriter, req *http.Request) {
+	name := req.PathValue("name")
+	var buf bytes.Buffer
+	lsn, err := s.Bootstrap(req.Context(), name, &buf)
+	if err != nil {
+		s.writeErr(rw, err)
+		return
+	}
+	h := rw.Header()
+	h.Set("Content-Type", "application/octet-stream")
+	h.Set(HeaderCheckpointLSN, strconv.FormatUint(lsn, 10))
+	rw.Write(buf.Bytes())
+}

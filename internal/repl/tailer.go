@@ -1,0 +1,171 @@
+package repl
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"slicenstitch/internal/metrics"
+)
+
+// LeaderClient is the slice of Client the tailer needs; tests substitute
+// fakes to drive the state machine without HTTP.
+type LeaderClient interface {
+	Bootstrap(ctx context.Context, stream string) (lsn uint64, config, checkpoint []byte, err error)
+	Tail(ctx context.Context, stream string, from uint64, maxBytes int, wait time.Duration) (Chunk, error)
+}
+
+// Replica is the follower-side surface the tailer drives. All three
+// methods are called from the tailer's goroutine only.
+type Replica interface {
+	// NextLSN is the replica's local WAL position — the next record it
+	// needs. Zero means "no local state" only insofar as the caller set
+	// NeedBootstrap; the tailer itself never interprets zero specially.
+	NextLSN() uint64
+	// Apply appends and applies records whose first LSN is first. An
+	// error means the local state can no longer extend the leader's log
+	// (divergence, local WAL failure) and triggers a re-bootstrap.
+	Apply(ctx context.Context, first uint64, records [][]byte) error
+	// Bootstrap replaces all local state for the stream with the given
+	// checkpoint at lsn.
+	Bootstrap(ctx context.Context, lsn uint64, config, checkpoint []byte) error
+}
+
+// TailerOptions tunes one stream's tail loop.
+type TailerOptions struct {
+	// PollTimeout is the long-poll wait requested from the leader
+	// (default 5s).
+	PollTimeout time.Duration
+	// MaxChunkBytes is the per-request byte budget (default 1 MiB).
+	MaxChunkBytes int
+	// RetryMin/RetryMax bound the exponential backoff after transport
+	// errors (defaults 100ms / 5s).
+	RetryMin, RetryMax time.Duration
+}
+
+func (o TailerOptions) withDefaults() TailerOptions {
+	if o.PollTimeout <= 0 {
+		o.PollTimeout = 5 * time.Second
+	}
+	if o.MaxChunkBytes <= 0 {
+		o.MaxChunkBytes = 1 << 20
+	}
+	if o.RetryMin <= 0 {
+		o.RetryMin = 100 * time.Millisecond
+	}
+	if o.RetryMax <= 0 {
+		o.RetryMax = 5 * time.Second
+	}
+	return o
+}
+
+// Tailer is one stream's catch-up state machine: bootstrap when needed,
+// then tail the leader's WAL, applying chunks in order; on a gap (the
+// leader truncated past us) or divergence (the leader's log ends before
+// our position — it lost an unsynced tail in a crash) it discards local
+// state and re-bootstraps from the newest checkpoint.
+type Tailer struct {
+	Client  LeaderClient
+	Stream  string
+	Replica Replica
+	// Stats receives lag positions and event counts; required.
+	Stats *metrics.ReplStats
+	Opts  TailerOptions
+	// NeedBootstrap forces an initial bootstrap before tailing — set
+	// when the follower has no local state for the stream.
+	NeedBootstrap bool
+}
+
+// Run tails until ctx is done. It never returns an error: every failure
+// is retried with backoff (transport) or answered with a re-bootstrap
+// (gap, divergence, apply failure), because a replica's job is to keep
+// trying until told to stop.
+func (t *Tailer) Run(ctx context.Context) {
+	opts := t.Opts.withDefaults()
+	backoff := opts.RetryMin
+	bootstrap := t.NeedBootstrap
+	if bootstrap {
+		t.Stats.SetState(metrics.ReplBootstrapping)
+	} else {
+		t.Stats.SetState(metrics.ReplTailing)
+	}
+	for ctx.Err() == nil {
+		if bootstrap {
+			t.Stats.SetState(metrics.ReplBootstrapping)
+			start := time.Now()
+			lsn, config, checkpoint, err := t.Client.Bootstrap(ctx, t.Stream)
+			if err == nil {
+				err = t.Replica.Bootstrap(ctx, lsn, config, checkpoint)
+			}
+			if err != nil {
+				if ctx.Err() != nil {
+					return
+				}
+				backoff = t.sleep(ctx, backoff, opts)
+				continue
+			}
+			t.Stats.RecordBootstrap(time.Since(start))
+			t.Stats.SetPosition(lsn, lsn)
+			t.Stats.SetState(metrics.ReplTailing)
+			bootstrap = false
+			backoff = opts.RetryMin
+		}
+		from := t.Replica.NextLSN()
+		chunk, err := t.Client.Tail(ctx, t.Stream, from, opts.MaxChunkBytes, opts.PollTimeout)
+		if err != nil {
+			if ctx.Err() != nil {
+				return
+			}
+			if errors.Is(err, ErrGap) {
+				// The leader truncated past our position: local history
+				// cannot be extended, start over from a checkpoint.
+				bootstrap = true
+				continue
+			}
+			t.Stats.RecordReconnect()
+			backoff = t.sleep(ctx, backoff, opts)
+			continue
+		}
+		if len(chunk.Records) == 0 && chunk.FlushedLSN < from {
+			// Divergence: the leader's log ends before our position (an
+			// empty chunk echoes Next == from, so the flushed header is
+			// the authoritative end). The leader crashed and lost an
+			// unsynced tail we had already applied; our copy extends a
+			// history that no longer exists.
+			bootstrap = true
+			continue
+		}
+		// leaderNext from the flushed header, but never behind the chunk
+		// itself (the flushed mirror may trail the bytes we just read).
+		leaderNext := chunk.FlushedLSN
+		if chunk.Next > leaderNext {
+			leaderNext = chunk.Next
+		}
+		if len(chunk.Records) > 0 {
+			if err := t.Replica.Apply(ctx, from, chunk.Records); err != nil {
+				if ctx.Err() != nil {
+					return
+				}
+				bootstrap = true
+				continue
+			}
+			t.Stats.RecordChunk(len(chunk.Records))
+		}
+		t.Stats.SetPosition(t.Replica.NextLSN(), leaderNext)
+		backoff = opts.RetryMin
+	}
+}
+
+// sleep waits for the current backoff (or ctx) and returns the next one.
+func (t *Tailer) sleep(ctx context.Context, backoff time.Duration, opts TailerOptions) time.Duration {
+	timer := time.NewTimer(backoff)
+	defer timer.Stop()
+	select {
+	case <-ctx.Done():
+	case <-timer.C:
+	}
+	if backoff *= 2; backoff > opts.RetryMax {
+		backoff = opts.RetryMax
+	}
+	return backoff
+}

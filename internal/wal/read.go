@@ -1,0 +1,102 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+)
+
+// ErrGap reports a read whose start LSN is below the oldest record the
+// log still retains — the reader fell behind a TruncateBefore and must
+// restart from a checkpoint at or above the retained range.
+var ErrGap = errors.New("wal: requested lsn below the oldest retained record")
+
+// Chunk is one bounded slice of the log returned by ReadChunk.
+type Chunk struct {
+	// Records holds the payloads in LSN order starting at From. Each
+	// payload aliases a private read of the segment file; the caller owns
+	// them until the next ReadChunk.
+	Records [][]byte
+	// From is the requested start LSN; Next is From plus the number of
+	// records returned (the position to resume from).
+	From, Next uint64
+	// More reports that the budget cut the read short with at least one
+	// further valid record on disk.
+	More bool
+}
+
+// ReadChunk reads records with LSN >= from, in order, until roughly
+// maxBytes of payload+framing have been collected. It opens the segment
+// files directly and may run concurrently with the appender and with
+// TruncateBefore: a segment deleted mid-read surfaces as ErrGap (the
+// reader is behind the truncation floor), and a torn frame in the final
+// segment is simply the end of the currently-flushed data, not an error.
+// At least one record is returned when any is available, regardless of
+// maxBytes.
+func ReadChunk(dir string, from uint64, maxBytes int) (Chunk, error) {
+	if maxBytes <= 0 {
+		maxBytes = 1 << 20
+	}
+	c := Chunk{From: from, Next: from}
+	firsts, err := segmentFirsts(dir)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) && from == 0 {
+			return c, nil // log not created yet
+		}
+		return c, err
+	}
+	if len(firsts) == 0 {
+		if from > 0 {
+			return c, fmt.Errorf("%w: log is empty, requested %d", ErrGap, from)
+		}
+		return c, nil
+	}
+	if from < firsts[0] {
+		return c, fmt.Errorf("%w: oldest retained is %d, requested %d", ErrGap, firsts[0], from)
+	}
+	// Start at the newest segment whose first record is <= from.
+	idx := 0
+	for i, first := range firsts {
+		if first <= from {
+			idx = i
+		}
+	}
+	budget := maxBytes
+	var errStop = errors.New("stop")
+	for i := idx; i < len(firsts); i++ {
+		final := i == len(firsts)-1
+		n, _, err := scanSegment(dir, firsts[i], func(lsn uint64, payload []byte) error {
+			if lsn < from {
+				return nil
+			}
+			if len(c.Records) > 0 && budget < frameSize+len(payload) {
+				c.More = true
+				return errStop
+			}
+			c.Records = append(c.Records, payload)
+			budget -= frameSize + len(payload)
+			return nil
+		})
+		switch {
+		case err == nil:
+		case errors.Is(err, errStop):
+			c.Next = from + uint64(len(c.Records))
+			return c, nil
+		case errors.Is(err, errTorn) && final:
+			// The flushed tail ends mid-frame (appender racing us, or a
+			// crash tear): everything before it is valid data.
+		case errors.Is(err, fs.ErrNotExist):
+			// TruncateBefore deleted the segment between the directory
+			// listing and the read — the records are gone for good.
+			return Chunk{From: from, Next: from}, fmt.Errorf("%w: segment %016x truncated mid-read", ErrGap, firsts[i])
+		default:
+			return c, err
+		}
+		if !final && firsts[i]+uint64(n) != firsts[i+1] {
+			return c, fmt.Errorf("wal: segment %016x ends at LSN %d but next segment starts at %d",
+				firsts[i], firsts[i]+uint64(n), firsts[i+1])
+		}
+	}
+	c.Next = from + uint64(len(c.Records))
+	return c, nil
+}

@@ -1,0 +1,306 @@
+package wal
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fillLog appends n short records and flushes them to the OS.
+func fillLog(t *testing.T, l *Log, start, n int) {
+	t.Helper()
+	for i := start; i < start+n; i++ {
+		if _, err := l.Append([]byte(fmt.Sprintf("record-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadChunkArbitraryStartAcrossSegments(t *testing.T) {
+	dir := t.TempDir()
+	// ~24B per record incl framing; 128-byte segments force rotations so
+	// chunks must stitch records across segment boundaries.
+	l, err := Open(dir, Options{Sync: SyncNever, SegmentBytes: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillLog(t, l, 0, 60)
+	if l.SegmentCount() < 3 {
+		t.Fatalf("want >= 3 segments, got %d", l.SegmentCount())
+	}
+	for _, from := range []uint64{0, 1, 7, 13, 29, 59, 60} {
+		var got [][]byte
+		pos := from
+		for {
+			c, err := ReadChunk(dir, pos, 64)
+			if err != nil {
+				t.Fatalf("ReadChunk(from=%d) at %d: %v", from, pos, err)
+			}
+			if c.From != pos || c.Next != pos+uint64(len(c.Records)) {
+				t.Fatalf("chunk positions From=%d Next=%d records=%d at pos %d",
+					c.From, c.Next, len(c.Records), pos)
+			}
+			got = append(got, c.Records...)
+			pos = c.Next
+			if len(c.Records) == 0 && !c.More {
+				break
+			}
+		}
+		if want := 60 - int(from); len(got) != want {
+			t.Fatalf("from=%d: got %d records, want %d", from, len(got), want)
+		}
+		for i, p := range got {
+			if want := fmt.Sprintf("record-%d", int(from)+i); string(p) != want {
+				t.Fatalf("from=%d record %d = %q want %q", from, i, p, want)
+			}
+		}
+	}
+	// Reading past the end is an empty chunk, not an error.
+	c, err := ReadChunk(dir, 60, 1<<20)
+	if err != nil || len(c.Records) != 0 || c.More {
+		t.Fatalf("read past end: %+v, %v", c, err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadChunkBudgetProgress(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{Sync: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := make([]byte, 4096)
+	for i := 0; i < 3; i++ {
+		if _, err := l.Append(big); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// A budget smaller than one record must still return that record —
+	// otherwise a tailer with a small chunk size can never make progress.
+	c, err := ReadChunk(dir, 0, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Records) != 1 || !c.More {
+		t.Fatalf("tiny budget: %d records, More=%v; want 1, true", len(c.Records), c.More)
+	}
+}
+
+func TestReadChunkTornFinalRecord(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{Sync: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillLog(t, l, 0, 10)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Tear the final record mid-frame, as a crash would.
+	seg := segPath(dir, 0)
+	info, err := os.Stat(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(seg, info.Size()-5); err != nil {
+		t.Fatal(err)
+	}
+	c, err := ReadChunk(dir, 0, 1<<20)
+	if err != nil {
+		t.Fatalf("torn tail should read cleanly: %v", err)
+	}
+	if len(c.Records) != 9 || c.Next != 9 || c.More {
+		t.Fatalf("torn tail: %d records next=%d More=%v; want 9, 9, false", len(c.Records), c.Next, c.More)
+	}
+	// Resuming exactly at the torn record sees nothing until it is
+	// rewritten whole.
+	c, err = ReadChunk(dir, 9, 1<<20)
+	if err != nil || len(c.Records) != 0 {
+		t.Fatalf("read at tear: %+v, %v", c, err)
+	}
+}
+
+func TestReadChunkGapBelowRetained(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{Sync: SyncNever, SegmentBytes: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillLog(t, l, 0, 40)
+	if err := l.TruncateBefore(20); err != nil {
+		t.Fatal(err)
+	}
+	oldest := l.OldestLSN()
+	if oldest == 0 {
+		t.Fatal("truncation removed nothing")
+	}
+	if _, err := ReadChunk(dir, 0, 1<<20); !errors.Is(err, ErrGap) {
+		t.Fatalf("read below retained floor: %v, want ErrGap", err)
+	}
+	// Reading from the retained floor still works.
+	c, err := ReadChunk(dir, oldest, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Next != 40 {
+		t.Fatalf("read from floor %d ends at %d, want 40", oldest, c.Next)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadChunkRacesTruncateBefore(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{Sync: SyncNever, SegmentBytes: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillLog(t, l, 0, 200)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	// Reader walks the log from 0 while the truncator deletes sealed
+	// segments underneath it. Every outcome must be either valid records
+	// or ErrGap — never corruption errors or torn reads mid-log.
+	go func() {
+		defer wg.Done()
+		pos := uint64(0)
+		for i := 0; i < 500; i++ {
+			c, err := ReadChunk(dir, pos, 256)
+			if err != nil {
+				if errors.Is(err, ErrGap) {
+					pos = l.OldestLSN() // re-bootstrap, as a follower would
+					continue
+				}
+				t.Errorf("ReadChunk(%d): %v", pos, err)
+				return
+			}
+			for j, p := range c.Records {
+				if want := fmt.Sprintf("record-%d", pos+uint64(j)); string(p) != want {
+					t.Errorf("lsn %d = %q want %q", pos+uint64(j), p, want)
+					return
+				}
+			}
+			if c.Next >= 200 {
+				pos = 0 // start over to keep racing
+				continue
+			}
+			pos = c.Next
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for lsn := uint64(0); lsn <= 200; lsn += 10 {
+			if err := l.TruncateBefore(lsn); err != nil {
+				t.Errorf("TruncateBefore(%d): %v", lsn, err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWaitFlushedWakesOnCommitAndClose(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{Sync: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := l.FlushedLSN(); got != 0 {
+		t.Fatalf("fresh log FlushedLSN = %d", got)
+	}
+	done := make(chan error, 1)
+	go func() {
+		done <- l.WaitFlushed(context.Background(), 3)
+	}()
+	// Appends alone (buffered) must not satisfy the wait.
+	for i := 0; i < 3; i++ {
+		if _, err := l.Append([]byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	select {
+	case err := <-done:
+		t.Fatalf("WaitFlushed returned before flush: %v", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	if err := l.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("WaitFlushed after commit: %v", err)
+	}
+	if got := l.FlushedLSN(); got != 3 {
+		t.Fatalf("FlushedLSN = %d want 3", got)
+	}
+	// A cancelled context unblocks immediately.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := l.WaitFlushed(ctx, 100); !errors.Is(err, context.Canceled) {
+		t.Fatalf("WaitFlushed cancelled ctx: %v", err)
+	}
+	// A waiter past the end is released by Close with ErrClosed.
+	go func() {
+		done <- l.WaitFlushed(context.Background(), 100)
+	}()
+	time.Sleep(5 * time.Millisecond)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; !errors.Is(err, ErrClosed) {
+		t.Fatalf("WaitFlushed after close: %v, want ErrClosed", err)
+	}
+}
+
+func TestOpenStartLSN(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{Sync: SyncNever, StartLSN: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.NextLSN() != 42 || l.OldestLSN() != 42 || l.FlushedLSN() != 42 {
+		t.Fatalf("StartLSN positions: next=%d oldest=%d flushed=%d",
+			l.NextLSN(), l.OldestLSN(), l.FlushedLSN())
+	}
+	lsn, err := l.Append([]byte("first"))
+	if err != nil || lsn != 42 {
+		t.Fatalf("first append lsn = %d, %v", lsn, err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Reopening an existing directory ignores StartLSN.
+	l, err = Open(dir, Options{Sync: SyncNever, StartLSN: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.NextLSN() != 43 {
+		t.Fatalf("reopen NextLSN = %d want 43", l.NextLSN())
+	}
+	c, err := ReadChunk(dir, 42, 1<<20)
+	if err != nil || len(c.Records) != 1 || string(c.Records[0]) != "first" {
+		t.Fatalf("read from StartLSN: %+v, %v", c, err)
+	}
+	// Tail reads below StartLSN are a gap: the history lives on the leader.
+	if _, err := ReadChunk(dir, 0, 1<<20); !errors.Is(err, ErrGap) {
+		t.Fatalf("read below StartLSN: %v, want ErrGap", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

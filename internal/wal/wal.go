@@ -32,6 +32,7 @@
 package wal
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -43,6 +44,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"slicenstitch/internal/metrics"
@@ -92,6 +94,12 @@ type Options struct {
 	SyncEvery time.Duration
 	// BufferBytes sizes the append buffer (default 256 KiB).
 	BufferBytes int
+	// StartLSN is the first LSN of a log created in an empty directory.
+	// A replica bootstrapping from a checkpoint at a nonzero LSN opens
+	// its local WAL with StartLSN set to that LSN, so the log begins
+	// exactly where the checkpoint's effects end. Ignored when the
+	// directory already holds segments.
+	StartLSN uint64
 	// Stats, when non-nil, receives the log's observability counters:
 	// appends and appended bytes, fsync count and latency, segment
 	// creations, and truncated segments. Recording is atomic adds plus a
@@ -148,6 +156,18 @@ type Log struct {
 	mu       sync.Mutex
 	sealed   []uint64
 	activeAt uint64 // first LSN of the active segment
+
+	// Cross-goroutine position mirrors for readers (replication tailers):
+	// flushedA is the LSN just past the last record visible to ReadChunk
+	// (buffered-but-unflushed records are not), closedA mirrors closed.
+	flushedA atomic.Uint64
+	closedA  atomic.Bool
+
+	// notifyCh wakes WaitFlushed callers; lazily allocated under notifyMu
+	// only while a waiter exists, so the append path's flush stays
+	// allocation-free when nobody is tailing.
+	notifyMu sync.Mutex
+	notifyCh chan struct{}
 }
 
 // Open opens (creating if necessary) the log directory, validates the
@@ -164,7 +184,7 @@ func Open(dir string, opts Options) (*Log, error) {
 	}
 	l := &Log{dir: dir, opts: opts, buf: make([]byte, 0, opts.BufferBytes)}
 	if len(firsts) == 0 {
-		if err := l.startSegment(0); err != nil {
+		if err := l.startSegment(opts.StartLSN); err != nil {
 			return nil, err
 		}
 		return l, nil
@@ -217,6 +237,7 @@ func Open(dir string, opts Options) (*Log, error) {
 	l.size = validLen
 	l.activeAt = active
 	l.next = active + uint64(n)
+	l.flushedA.Store(l.next)
 	return l, nil
 }
 
@@ -283,6 +304,7 @@ func (l *Log) startSegment(first uint64) error {
 	l.f = f
 	l.size = headerSize
 	l.next = first
+	l.flushedA.Store(first)
 	// Seal-list append and activeAt move MUST be one critical section: a
 	// concurrent TruncateBefore that saw the old segment already sealed
 	// but activeAt still pointing at it would compute that segment's end
@@ -350,7 +372,69 @@ func (l *Log) flush() error {
 		return fmt.Errorf("wal: %w", err)
 	}
 	l.buf = l.buf[:0]
+	l.flushedA.Store(l.next)
+	l.wake()
 	return nil
+}
+
+// wake releases every WaitFlushed caller; they re-check the flushed and
+// closed mirrors themselves.
+func (l *Log) wake() {
+	l.notifyMu.Lock()
+	if l.notifyCh != nil {
+		close(l.notifyCh)
+		l.notifyCh = nil
+	}
+	l.notifyMu.Unlock()
+}
+
+// FlushedLSN returns the LSN just past the last record that has reached
+// the OS — the upper bound of what ReadChunk can see. Unlike NextLSN it
+// is safe to call from any goroutine.
+func (l *Log) FlushedLSN() uint64 { return l.flushedA.Load() }
+
+// OldestLSN returns the first LSN still retained by the log (the first
+// record of the oldest segment). Safe to call from any goroutine.
+func (l *Log) OldestLSN() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.sealed) > 0 {
+		return l.sealed[0]
+	}
+	return l.activeAt
+}
+
+// WaitFlushed blocks until the flushed position reaches at least lsn, the
+// context is done, or the log closes (ErrClosed). It is the long-poll
+// primitive behind replication tailing; safe from any goroutine.
+func (l *Log) WaitFlushed(ctx context.Context, lsn uint64) error {
+	for {
+		if l.flushedA.Load() >= lsn {
+			return nil
+		}
+		if l.closedA.Load() {
+			return ErrClosed
+		}
+		l.notifyMu.Lock()
+		if l.notifyCh == nil {
+			l.notifyCh = make(chan struct{})
+		}
+		ch := l.notifyCh
+		l.notifyMu.Unlock()
+		// Re-check after subscribing: a flush or close between the first
+		// check and the subscription would otherwise be a lost wakeup.
+		if l.flushedA.Load() >= lsn {
+			return nil
+		}
+		if l.closedA.Load() {
+			return ErrClosed
+		}
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
 }
 
 // SyncDue reports whether the SyncInterval period has elapsed since the
@@ -422,6 +506,8 @@ func (l *Log) Close() error {
 	}
 	err := l.Sync()
 	l.closed = true
+	l.closedA.Store(true)
+	l.wake()
 	if cerr := l.f.Close(); err == nil && cerr != nil {
 		err = fmt.Errorf("wal: %w", cerr)
 	}
@@ -436,6 +522,8 @@ func (l *Log) Abandon() {
 		return
 	}
 	l.closed = true
+	l.closedA.Store(true)
+	l.wake()
 	l.buf = l.buf[:0]
 	l.f.Close()
 }

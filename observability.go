@@ -23,6 +23,9 @@ type StreamMetrics struct {
 	// (checkpoint restore + WAL tail replay) took at Open; 0 for a
 	// stream created fresh or an in-memory engine.
 	RecoverySeconds float64 `json:"recoverySeconds"`
+	// Repl is the stream's replication view — lag, bootstrap and
+	// reconnect counters — on a follower engine; nil on a leader.
+	Repl *metrics.ReplReport `json:"replication,omitempty"`
 }
 
 // EngineMetrics is the engine-wide observability snapshot: one entry per
@@ -37,6 +40,10 @@ type EngineMetrics struct {
 	// stream from the data directory at the last boot — 0 for a fresh
 	// directory or an in-memory engine.
 	RecoverySeconds float64 `json:"recoverySeconds"`
+	// Follower is the replication view of a follower engine: the leader
+	// it tails and whether the stream set has synced at least once. Nil
+	// on a leader.
+	Follower *FollowerInfo `json:"follower,omitempty"`
 }
 
 // Metrics returns the engine's observability snapshot. It is safe to
@@ -48,6 +55,12 @@ func (e *Engine) Metrics() EngineMetrics {
 	m := EngineMetrics{Durable: e.dur != nil}
 	if e.dur != nil {
 		m.RecoverySeconds = float64(e.dur.recoveryNanos) / 1e9
+	}
+	if e.follower != nil {
+		m.Follower = &FollowerInfo{
+			Leader: e.follower.opts.Leader,
+			Synced: e.follower.isSynced(),
+		}
 	}
 	for _, name := range e.Streams() {
 		s, err := e.shard(name)
@@ -77,6 +90,10 @@ func (e *Engine) Metrics() EngineMetrics {
 			sm.WAL = &wr
 			sm.Checkpoint = &cr
 			sm.RecoverySeconds = float64(s.dur.recoverNanos) / 1e9
+		}
+		if rs := s.repl.Load(); rs != nil {
+			rr := rs.Report()
+			sm.Repl = &rr
 		}
 		m.Streams = append(m.Streams, sm)
 	}

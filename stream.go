@@ -26,6 +26,11 @@ import (
 // serving the stream's last published state. Check Stopped to poll the
 // state explicitly.
 //
+// Replication: on a follower engine (Options.Follower) the write methods
+// — PushBatch, Push, Start, AdvanceTo — return ErrReadOnly; reads,
+// Flush, Observed, and Checkpoint work normally against the replicated
+// state.
+//
 // Context semantics: every method that can block — PushBatch and Push
 // under BackpressureBlock, and all control operations (Start, AdvanceTo,
 // Flush, Observed) — takes a context.Context and returns ctx.Err() when
@@ -56,6 +61,9 @@ func (st *Stream) Stopped() bool { return st.sh.mb.Closed() }
 // snapshot (LastError, LastBatchRejected, IngestErrors), not here. The
 // steady-state path is allocation-free.
 func (st *Stream) PushBatch(ctx context.Context, events []Event) error {
+	if st.sh.eng.follower != nil {
+		return fmt.Errorf("%w: ingest on %q", ErrReadOnly, st.sh.name)
+	}
 	if len(events) == 0 {
 		return nil
 	}
@@ -81,6 +89,9 @@ func (st *Stream) Push(ctx context.Context, coord []int, value float64, tm int64
 // for the warm start to finish; a second Start returns
 // ErrAlreadyStarted.
 func (st *Stream) Start(ctx context.Context) error {
+	if st.sh.eng.follower != nil {
+		return fmt.Errorf("%w: Start on %q (the leader starts streams; the replica replays it)", ErrReadOnly, st.sh.name)
+	}
 	return st.sh.control(ctx, shardMsg{op: opStart})
 }
 
@@ -88,6 +99,9 @@ func (st *Stream) Start(ctx context.Context) error {
 // previously queued batches. A timestamp behind the stream clock returns
 // an error wrapping ErrStaleTimestamp.
 func (st *Stream) AdvanceTo(ctx context.Context, tm int64) error {
+	if st.sh.eng.follower != nil {
+		return fmt.Errorf("%w: AdvanceTo on %q", ErrReadOnly, st.sh.name)
+	}
 	return st.sh.control(ctx, shardMsg{op: opAdvance, tm: tm})
 }
 
