@@ -9,21 +9,30 @@
 // Experiments: table2, table3, fig1, fig4, fig5, fig6, fig7, fig8, fig9,
 // or all. Scale 1 with periods 50 reproduces the paper's full setup (hours
 // of compute); the defaults run in minutes.
+//
+// `-exp trace` runs the tracker over a real dataset file instead of a
+// synthetic preset, through the same streaming loaders as cmd/snsload:
+//
+//	snsexp -exp trace -trace taxi.csv.gz -period 3600 [-rank 20] [-w 10]
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
+	"time"
 
+	"slicenstitch"
 	"slicenstitch/internal/datagen"
+	"slicenstitch/internal/dataset"
 	"slicenstitch/internal/experiments"
 )
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment id: table2|table3|fig1|fig4|fig5|fig6|fig7|fig8|fig9|tucker|all")
+		exp      = flag.String("exp", "all", "experiment id: table2|table3|fig1|fig4|fig5|fig6|fig7|fig8|fig9|tucker|trace|all")
 		datasets = flag.String("datasets", "", "comma-separated preset names (default: all four)")
 		scale    = flag.Float64("scale", 1, "event-rate scale on top of the bench presets")
 		periods  = flag.Int("periods", 10, "periods processed after the initial window (paper: 50)")
@@ -33,6 +42,12 @@ func main() {
 		eta      = flag.Float64("eta", 1000, "clipping threshold η")
 		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		fulldims = flag.Bool("fulldims", false, "use the paper's full categorical dimensions (hours of compute; combine with -periods 50)")
+
+		// -exp trace: replay a real dataset file through the shared
+		// streaming loaders (CSV or FROSTT .tns, optionally gzipped).
+		trace   = flag.String("trace", "", "dataset file for -exp trace")
+		period  = flag.Int64("period", 1, "tensor-unit length T in trace time units (-exp trace)")
+		timeDiv = flag.Int64("time-div", 1, "divide trace timestamps to coarsen resolution (-exp trace)")
 	)
 	flag.Parse()
 
@@ -102,6 +117,12 @@ func main() {
 			emit(experiments.Fig9Table(experiments.RunFig9(opt, 20, 15)))
 		case "tucker":
 			emit(experiments.ExtTuckerTable(experiments.RunExtTucker(presets, opt)))
+		case "trace":
+			t, err := runTrace(*trace, *period, *timeDiv, opt)
+			if err != nil {
+				return err
+			}
+			emit(t)
 		default:
 			return fmt.Errorf("unknown experiment %q", id)
 		}
@@ -139,6 +160,111 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+}
+
+// runTrace replays a real dataset file through one tracker and reports
+// the paper's headline numbers (fitness, per-event update cost) for it.
+// The file is streamed twice via internal/dataset — once to learn mode
+// sizes and the time span, once to replay — so memory stays bounded no
+// matter the trace size.
+func runTrace(path string, period, timeDiv int64, opt experiments.Options) (experiments.Table, error) {
+	var t experiments.Table
+	if path == "" {
+		return t, fmt.Errorf("-exp trace requires -trace <file>")
+	}
+	if period < 1 {
+		return t, fmt.Errorf("-period must be >= 1")
+	}
+	dopts := dataset.Options{TimeDiv: timeDiv}
+	stats, err := dataset.ScanFile(path, dopts)
+	if err != nil {
+		return t, err
+	}
+	if stats.Events == 0 {
+		return t, fmt.Errorf("%s: no events", path)
+	}
+	if !stats.Sorted {
+		return t, fmt.Errorf("%s: trace is not time-sorted; sort it before replaying", path)
+	}
+
+	tr, err := slicenstitch.New(slicenstitch.Config{
+		Dims:   stats.Dims,
+		W:      opt.W,
+		Period: period,
+		Rank:   opt.Rank,
+		Seed:   opt.Seed,
+		Eta:    opt.Eta,
+	})
+	if err != nil {
+		return t, err
+	}
+	defer tr.Close()
+
+	r, err := dataset.Open(path, dopts)
+	if err != nil {
+		return t, err
+	}
+	defer r.Close()
+
+	// The first W tensor units fill the window; Start warm-starts the
+	// factors with ALS on them, then the rest replays online, timed.
+	warmEnd := int64(opt.W) * period
+	var warm, online int64
+	var elapsed time.Duration
+	for {
+		ev, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return t, err
+		}
+		tm := ev.Time - stats.MinTime // replay clock starts at zero
+		if tm < warmEnd {
+			if err := tr.Push(ev.Coord, ev.Value, tm); err != nil {
+				return t, err
+			}
+			warm++
+			continue
+		}
+		if !tr.Started() {
+			if err := tr.Start(); err != nil {
+				return t, err
+			}
+		}
+		begin := time.Now()
+		err = tr.Push(ev.Coord, ev.Value, tm)
+		elapsed += time.Since(begin)
+		if err != nil {
+			return t, err
+		}
+		online++
+	}
+	if !tr.Started() {
+		if err := tr.Start(); err != nil {
+			return t, err
+		}
+	}
+
+	dims := make([]string, len(stats.Dims))
+	for i, d := range stats.Dims {
+		dims[i] = fmt.Sprint(d)
+	}
+	t.Caption = fmt.Sprintf("Trace replay: %s (W=%d, T=%d, R=%d)", path, opt.W, period, opt.Rank)
+	t.Header = []string{"metric", "value"}
+	t.AddRow("events", fmt.Sprint(stats.Events))
+	t.AddRow("dims", strings.Join(dims, "x"))
+	t.AddRow("time span", fmt.Sprintf("%d ticks", stats.MaxTime-stats.MinTime+1))
+	t.AddRow("warm-up events", fmt.Sprint(warm))
+	t.AddRow("online events", fmt.Sprint(online))
+	if online > 0 {
+		perEvent := elapsed.Seconds() / float64(online)
+		t.AddRow("update time", fmt.Sprintf("%.3f us/event", perEvent*1e6))
+		t.AddRow("throughput", fmt.Sprintf("%.0f events/s", 1/perEvent))
+	}
+	t.AddRow("final fitness", fmt.Sprintf("%.4f", tr.Fitness()))
+	t.AddRow("window nnz", fmt.Sprint(tr.NNZ()))
+	return t, nil
 }
 
 func parsePresets(arg string) ([]datagen.Preset, error) {

@@ -1,0 +1,243 @@
+// Command snsload replays a timestamped dataset against a running
+// snsserve instance at a multiple of real time and reports ingest and
+// predict latency SLOs.
+//
+// The generator is open-loop (see internal/load): send instants come
+// from the trace clock, not from server responses, so a throttling or
+// stalling server shows up as latency and 429s in the report instead of
+// silently slowing the offered load — the measurement discipline a
+// rate-limit or capacity experiment needs.
+//
+// Usage:
+//
+//	# scan a trace: mode sizes, event count, time span
+//	snsload -trace taxi.csv.gz -scan
+//
+//	# define the stream from the trace shape, then replay at 10x with
+//	# 4 predict readers, writing the SLO document to BENCH_slo.json
+//	snsload -trace taxi.csv.gz -stream taxi -create -period 3600 \
+//	        -speed 10 -readers 4 -out BENCH_slo.json
+//
+//	# overload probe: replay into a stream whose admission limit is
+//	# lower than the offered rate and count the 429s
+//	snsload -trace taxi.csv.gz -stream limited -speed 100
+//
+// Trace formats (shared with snsexp via internal/dataset): CSV rows
+// `time,i1,…,iM,value` with an optional header, and FROSTT `.tns`
+// coordinate lists; `.gz` is decompressed transparently. Column and
+// timestamp mapping flags cover other layouts.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"slicenstitch/internal/dataset"
+	"slicenstitch/internal/load"
+)
+
+type loadConfig struct {
+	url    string
+	stream string
+	trace  string
+	scan   bool
+
+	// dataset mapping
+	format     string
+	timeCol    int
+	valueCol   int
+	noHeader   bool
+	timeMode   int
+	base       int
+	timeOffset int64
+	timeDiv    int64
+
+	// replay shape
+	speed       float64
+	tickUnit    time.Duration
+	readers     int
+	readEvery   time.Duration
+	maxBatch    int
+	maxEvents   int64
+	warmupTicks int64
+
+	// stream creation
+	create    bool
+	w         int
+	period    int64
+	rank      int
+	rateLimit float64
+	rateBurst float64
+
+	out string
+}
+
+func main() {
+	var cfg loadConfig
+	flag.StringVar(&cfg.url, "url", "http://127.0.0.1:8080", "snsserve base URL")
+	flag.StringVar(&cfg.stream, "stream", "", "target stream name (required unless -scan)")
+	flag.StringVar(&cfg.trace, "trace", "", "trace file: CSV or FROSTT .tns, optionally .gz (required)")
+	flag.BoolVar(&cfg.scan, "scan", false, "scan the trace and print its stats as JSON, then exit")
+
+	flag.StringVar(&cfg.format, "format", "auto", "trace format: auto, csv, or tns")
+	flag.IntVar(&cfg.timeCol, "time-col", 0, "CSV column holding the timestamp")
+	flag.IntVar(&cfg.valueCol, "value-col", -1, "CSV column holding the value (-1: last)")
+	flag.BoolVar(&cfg.noHeader, "no-header", false, "CSV: first row is data even if its time column does not parse")
+	flag.IntVar(&cfg.timeMode, "time-mode", -1, ".tns mode index holding the timestamp (-1: last)")
+	flag.IntVar(&cfg.base, "base", 1, ".tns index base (FROSTT files are 1-based)")
+	flag.Int64Var(&cfg.timeOffset, "time-offset", 0, "subtracted from raw timestamps before scaling")
+	flag.Int64Var(&cfg.timeDiv, "time-div", 1, "divides (timestamp - offset), e.g. 60 for minute ticks")
+
+	flag.Float64Var(&cfg.speed, "speed", 10, "trace-time acceleration factor")
+	flag.DurationVar(&cfg.tickUnit, "tick-unit", time.Second, "wall duration of one trace-time unit at speed 1")
+	flag.IntVar(&cfg.readers, "readers", 4, "concurrent predict readers during the replay")
+	flag.DurationVar(&cfg.readEvery, "read-every", 10*time.Millisecond, "pause between predict requests per reader")
+	flag.IntVar(&cfg.maxBatch, "max-batch", 4096, "events per POST cap; larger ticks are split")
+	flag.Int64Var(&cfg.maxEvents, "max-events", 0, "stop after this many trace events (0: whole trace)")
+	flag.Int64Var(&cfg.warmupTicks, "warmup-ticks", -1, "closed-loop warm-up span in trace units before Start (-1: derive W*Period from the stream)")
+
+	flag.BoolVar(&cfg.create, "create", false, "scan the trace and create the stream (POST /v1/streams) before replaying")
+	flag.IntVar(&cfg.w, "w", 10, "-create: window length")
+	flag.Int64Var(&cfg.period, "period", 1, "-create: tensor-unit length in trace time units")
+	flag.IntVar(&cfg.rank, "rank", 12, "-create: CP rank")
+	flag.Float64Var(&cfg.rateLimit, "rate-limit", 0, "-create: admission rate limit in events/sec (0: unlimited)")
+	flag.Float64Var(&cfg.rateBurst, "rate-burst", 0, "-create: admission token-bucket depth (default: rate limit rounded up)")
+
+	flag.StringVar(&cfg.out, "out", "", "write the JSON SLO report here (default: stdout)")
+	flag.Parse()
+
+	if err := run(cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "snsload:", err)
+		os.Exit(1)
+	}
+}
+
+// datasetOptions maps the flags onto the loader's knobs.
+func datasetOptions(cfg loadConfig) (dataset.Options, error) {
+	opts := dataset.Options{
+		TimeCol:    cfg.timeCol,
+		ValueCol:   cfg.valueCol,
+		NoHeader:   cfg.noHeader,
+		Base:       cfg.base,
+		BaseSet:    true,
+		TimeOffset: cfg.timeOffset,
+		TimeDiv:    cfg.timeDiv,
+	}
+	if cfg.timeMode >= 0 {
+		opts.TimeMode, opts.TimeModeSet = cfg.timeMode, true
+	}
+	switch cfg.format {
+	case "auto":
+		opts.Format = dataset.FormatAuto
+	case "csv":
+		opts.Format = dataset.FormatCSV
+	case "tns":
+		opts.Format = dataset.FormatTNS
+	default:
+		return opts, fmt.Errorf("unknown -format %q (want auto, csv, or tns)", cfg.format)
+	}
+	return opts, nil
+}
+
+func run(cfg loadConfig) error {
+	if cfg.trace == "" {
+		return fmt.Errorf("-trace is required")
+	}
+	dopts, err := datasetOptions(cfg)
+	if err != nil {
+		return err
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if cfg.scan {
+		stats, err := dataset.ScanFile(cfg.trace, dopts)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(stats)
+	}
+	if cfg.stream == "" {
+		return fmt.Errorf("-stream is required")
+	}
+
+	hc := &http.Client{Timeout: 30 * time.Second}
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "snsload: "+format+"\n", args...)
+	}
+
+	if cfg.create {
+		// Two sequential streaming passes: the scan sizes the stream, the
+		// replay feeds it. Memory stays bounded regardless of trace size.
+		stats, err := dataset.ScanFile(cfg.trace, dopts)
+		if err != nil {
+			return err
+		}
+		if !stats.Sorted {
+			return fmt.Errorf("%s is not time-sorted: the engine would reject out-of-order events as stale", cfg.trace)
+		}
+		logf("trace: %d events, dims %v, time span [%d, %d]",
+			stats.Events, stats.Dims, stats.MinTime, stats.MaxTime)
+		err = load.CreateStream(ctx, hc, cfg.url, cfg.stream, load.CreateConfig{
+			Dims:      stats.Dims,
+			W:         cfg.w,
+			Period:    cfg.period,
+			Rank:      cfg.rank,
+			RateLimit: cfg.rateLimit,
+			RateBurst: cfg.rateBurst,
+		})
+		if err != nil {
+			return err
+		}
+		logf("stream %q ready (w %d, period %d, rank %d)", cfg.stream, cfg.w, cfg.period, cfg.rank)
+	}
+
+	trace, err := dataset.Open(cfg.trace, dopts)
+	if err != nil {
+		return err
+	}
+	defer trace.Close()
+
+	rep, err := load.Run(ctx, trace, load.Options{
+		BaseURL:     cfg.url,
+		Stream:      cfg.stream,
+		Speed:       cfg.speed,
+		TickUnit:    cfg.tickUnit,
+		Readers:     cfg.readers,
+		ReadEvery:   cfg.readEvery,
+		MaxBatch:    cfg.maxBatch,
+		MaxEvents:   cfg.maxEvents,
+		WarmupTicks: cfg.warmupTicks,
+		Client:      hc,
+		Logf:        logf,
+	})
+	if err != nil {
+		return err
+	}
+
+	// Human table on stderr, SLO JSON on stdout (or -out): the document
+	// stays pipeable into jq while the table stays readable.
+	rep.WriteTable(os.Stderr)
+	if cfg.out == "" {
+		return rep.WriteJSON(os.Stdout)
+	}
+	f, err := os.Create(cfg.out)
+	if err != nil {
+		return err
+	}
+	if err := rep.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -71,6 +71,8 @@ type serveConfig struct {
 	pprofAddr    string
 	follow       string
 	readyMaxLag  uint64
+	rateLimit    float64
+	rateBurst    float64
 }
 
 func main() {
@@ -90,6 +92,8 @@ func main() {
 	flag.StringVar(&cfg.pprofAddr, "pprof", "", "serve net/http/pprof on this separate address (e.g. localhost:6060); off when empty")
 	flag.StringVar(&cfg.follow, "follow", "", "run as a read replica of this leader base URL (e.g. http://leader:8080); requires -data-dir, ignores -streams")
 	flag.Uint64Var(&cfg.readyMaxLag, "ready-max-lag", 1024, "follower /readyz threshold: maximum replication lag in WAL records before the replica reports not-ready")
+	flag.Float64Var(&cfg.rateLimit, "rate-limit", 0, "per-stream admission rate limit in events/sec (token bucket; over-limit pushes get 429 rate_limited); 0 disables")
+	flag.Float64Var(&cfg.rateBurst, "rate-burst", 0, "admission token-bucket depth in events (default: rate-limit rounded up); batches larger than this are never admitted")
 	logFormat := flag.String("log-format", "text", "log output format: text or json")
 	flag.Parse()
 
@@ -265,6 +269,8 @@ func run(cfg serveConfig) error {
 				MailboxCapacity: mailbox,
 				Backpressure:    bp,
 				PublishEvery:    publishEvery,
+				RateLimit:       cfg.rateLimit,
+				RateBurst:       cfg.rateBurst,
 			})
 			if err != nil {
 				return err
@@ -392,9 +398,9 @@ func parseStreams(raw string) ([]streamSpec, error) {
 		seen[name] = true
 		specs = append(specs, streamSpec{name: name, preset: p.Bench()})
 	}
-	if len(specs) == 0 {
-		return nil, errors.New("no streams configured")
-	}
+	// An empty spec list is a valid boot: the server starts with zero
+	// streams and clients define them at runtime via POST /v1/streams
+	// (what snsload -create does before a replay).
 	return specs, nil
 }
 
@@ -427,11 +433,18 @@ func feed(ctx context.Context, st *slicenstitch.Stream, p datagen.Preset, speed 
 			batch[i] = slicenstitch.Event{Coord: tp.Coord, Value: tp.Value, Time: tp.Time}
 		}
 		if err := st.PushBatch(ctx, batch); err != nil {
-			if !errors.Is(err, slicenstitch.ErrBackpressure) {
+			switch {
+			case errors.Is(err, slicenstitch.ErrBackpressure):
+				slog.Warn("batch rejected (backpressure)", "stream", name)
+			case errors.Is(err, slicenstitch.ErrRateLimited):
+				// The simulator offers more than the admission limit
+				// allows; the refused tick is dropped, like any
+				// over-limit producer's would be.
+				slog.Warn("batch rejected (rate limited)", "stream", name)
+			default:
 				slog.Error("feeder stopping", "stream", name, "err", err)
 				return false
 			}
-			slog.Warn("batch rejected (backpressure)", "stream", name)
 		}
 		return true
 	}

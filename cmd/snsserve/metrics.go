@@ -240,6 +240,34 @@ func writeMetrics(w io.Writer, m slicenstitch.EngineMetrics, hs *httpStats, proc
 			poolSeries(func(sm slicenstitch.StreamMetrics) float64 { return float64(sm.Pool.RowsSolved) })...)
 	}
 
+	// Admission families, present only for streams with a configured
+	// RateLimit (the admission state exists only there).
+	var admStreams []slicenstitch.StreamMetrics
+	for _, sm := range m.Streams {
+		if sm.Admission != nil {
+			admStreams = append(admStreams, sm)
+		}
+	}
+	if len(admStreams) > 0 {
+		admSeries := func(f pick) []series {
+			out := make([]series, 0, len(admStreams))
+			for _, sm := range admStreams {
+				out = append(out, series{labels: labels("stream", sm.Name), value: f(sm)})
+			}
+			return out
+		}
+		p.family("sns_admission_accepted_events_total", "Events admitted past the stream's rate-limit token bucket.", "counter",
+			admSeries(func(sm slicenstitch.StreamMetrics) float64 { return float64(sm.Admission.AcceptedEvents) })...)
+		p.family("sns_admission_limited_events_total", "Events refused by the rate limit (429 rate_limited over HTTP).", "counter",
+			admSeries(func(sm slicenstitch.StreamMetrics) float64 { return float64(sm.Admission.LimitedEvents) })...)
+		p.family("sns_admission_limited_batches_total", "PushBatch calls refused whole by the rate limit.", "counter",
+			admSeries(func(sm slicenstitch.StreamMetrics) float64 { return float64(sm.Admission.LimitedBatches) })...)
+		p.family("sns_admission_rate_limit_events_per_second", "Configured admission rate limit.", "gauge",
+			admSeries(func(sm slicenstitch.StreamMetrics) float64 { return sm.Admission.RateLimit })...)
+		p.family("sns_admission_tokens", "Current token-bucket fill in events; the burst capacity still admissible right now.", "gauge",
+			admSeries(func(sm slicenstitch.StreamMetrics) float64 { return sm.Admission.Tokens })...)
+	}
+
 	applyHists := make([]histSeries, 0, len(m.Streams))
 	for _, sm := range m.Streams {
 		applyHists = append(applyHists, histSeries{labels: []string{"stream", sm.Name}, snap: sm.Apply})

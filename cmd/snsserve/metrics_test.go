@@ -3,6 +3,7 @@ package main
 import (
 	"bufio"
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -335,6 +336,16 @@ func TestMetricsExpositionConformance(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// A third stream with an admission rate limit, so the sns_admission_*
+	// families appear in the scrape. The tight bucket guarantees at least
+	// one accepted and one limited push below.
+	lim, err := e.AddStream("lim", slicenstitch.StreamConfig{
+		Config:    slicenstitch.Config{Dims: []int{5, 4}, W: 3, Period: 10, Rank: 3},
+		RateLimit: 1, RateBurst: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	srv := httptest.NewServer(newMux(e, 1024))
 	t.Cleanup(func() { srv.Close(); e.Close() })
 
@@ -358,6 +369,14 @@ func TestMetricsExpositionConformance(t *testing.T) {
 		t.Fatal(err)
 	}
 
+	// One admitted push (full bucket), one limited (drained bucket).
+	if err := lim.Push(ctx, []int{0, 0}, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := lim.Push(ctx, []int{1, 1}, 1, 0); !errors.Is(err, slicenstitch.ErrRateLimited) {
+		t.Fatalf("second push on drained bucket = %v, want ErrRateLimited", err)
+	}
+
 	families := parseExposition(t, scrape(t, srv.URL))
 
 	// The full catalog must be present — a metric silently dropped from
@@ -376,6 +395,9 @@ func TestMetricsExpositionConformance(t *testing.T) {
 		"sns_checkpoint_age_seconds", "sns_stream_recovery_seconds",
 		"sns_wal_append_seconds", "sns_wal_fsync_seconds", "sns_checkpoint_duration_seconds",
 		"sns_pool_workers", "sns_pool_pair_events_total", "sns_pool_rows_solved_total",
+		"sns_admission_accepted_events_total", "sns_admission_limited_events_total",
+		"sns_admission_limited_batches_total", "sns_admission_rate_limit_events_per_second",
+		"sns_admission_tokens",
 		"sns_http_requests_total", "sns_http_request_duration_seconds",
 	} {
 		if families[name] == nil {
@@ -417,8 +439,20 @@ func TestMetricsExpositionConformance(t *testing.T) {
 	if v := find("sns_ingest_batches_total", "test"); v != 1 {
 		t.Errorf("ingest batches = %g, want 1", v)
 	}
-	if v := find("sns_streams", ""); v != 2 {
-		t.Errorf("streams gauge = %g, want 2", v)
+	if v := find("sns_streams", ""); v != 3 {
+		t.Errorf("streams gauge = %g, want 3", v)
+	}
+	if v := find("sns_admission_accepted_events_total", "lim"); v != 1 {
+		t.Errorf("admission accepted = %g, want 1", v)
+	}
+	if v := find("sns_admission_limited_events_total", "lim"); v != 1 {
+		t.Errorf("admission limited = %g, want 1", v)
+	}
+	if v := find("sns_admission_limited_batches_total", "lim"); v != 1 {
+		t.Errorf("admission limited batches = %g, want 1", v)
+	}
+	if v := find("sns_admission_rate_limit_events_per_second", "lim"); v != 1 {
+		t.Errorf("admission rate limit gauge = %g, want 1", v)
 	}
 	if v := find("sns_pool_workers", "par"); v != 2 {
 		t.Errorf("pool workers = %g, want 2", v)

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"strconv"
 	"strings"
@@ -32,7 +33,9 @@ const maxPredictQueries = 4096
 //	GET  /healthz                      liveness: 200 while the process serves
 //	GET  /readyz                       readiness: follower lag/sync gated (see below)
 //	GET  /v1/streams                   all stream snapshots (sorted by name)
-//	GET  /v1/streams/{name}/status     one stream's snapshot
+//	POST /v1/streams                   create a stream: {"name":…, "config":{…}}
+//	GET  /v1/streams/{name}            one stream's snapshot (same shape as a list entry)
+//	GET  /v1/streams/{name}/status     alias of GET /v1/streams/{name}
 //	GET  /v1/streams/{name}/factors    factor matrices + λ
 //	GET  /v1/streams/{name}/predict    ?coord=3,5&t=9 → model vs observed value
 //	GET  /v1/streams/{name}/wal        replication: tail WAL records from ?from=LSN
@@ -47,18 +50,16 @@ const maxPredictQueries = 4096
 // the stream set has synced from the leader at least once AND every
 // stream is in the tailing state with replication lag ≤ readyMaxLag
 // LSNs — so a load balancer only routes reads to replicas that are
-// caught up. The replication endpoints are /v1-only (no deprecated
-// aliases; the protocol is new).
+// caught up.
 //
 // Every non-2xx response carries the uniform JSON error envelope
 //
 //	{"error": {"code": "<machine-readable>", "message": "<human-readable>"}}
 //
 // with codes mapped one-to-one from the package error taxonomy (see
-// mapError). The pre-v1 unversioned routes remain as thin aliases for one
-// release; they serve the same handlers (envelope included) and mark
-// themselves with a "Deprecation: true" header plus a Link to the /v1
-// successor.
+// mapError). The API is /v1-only: the pre-v1 unversioned aliases served
+// their deprecation window (Deprecation + successor-version Link headers)
+// and are gone; unversioned paths now 404.
 //
 // Predict semantics: "predicted" always comes from the published snapshot
 // (wait-free). "observed" is ground truth from the live window and is
@@ -69,23 +70,11 @@ const maxPredictQueries = 4096
 func newMux(e *slicenstitch.Engine, readyMaxLag uint64) *http.ServeMux {
 	mux := http.NewServeMux()
 	hs := &httpStats{}
-	// route registers a handler under /v1 and as a deprecated unversioned
-	// alias, so existing clients keep working for one release while new
-	// ones pin the version. Both registrations run through the metrics
-	// middleware under their own route label (the pattern, never the raw
-	// URL, so label cardinality stays bounded); the alias keeping a
-	// separate label is what lets a dashboard watch deprecated traffic
-	// drain to zero.
+	// route registers a handler under /v1 through the metrics middleware,
+	// labelled by the route pattern (never the raw URL) so label
+	// cardinality stays bounded.
 	route := func(method, path string, h http.HandlerFunc) {
 		mux.HandleFunc(method+" /v1"+path, hs.middleware(hs.register(method, "/v1"+path), h))
-		alias := hs.register(method, path)
-		mux.HandleFunc(method+" "+path, hs.middleware(alias, func(rw http.ResponseWriter, req *http.Request) {
-			rw.Header().Set("Deprecation", "true")
-			// The successor link is the request's own path under /v1 —
-			// a concrete URI, not the route pattern.
-			rw.Header().Set("Link", "</v1"+req.URL.Path+`>; rel="successor-version"`)
-			h(rw, req)
-		}))
 	}
 
 	// The scrape endpoint instruments itself too: each scrape's series
@@ -134,14 +123,44 @@ func newMux(e *slicenstitch.Engine, readyMaxLag uint64) *http.ServeMux {
 		writeJSON(rw, map[string]interface{}{"streams": snaps})
 	})
 
-	route("GET", "/streams/{name}/status", func(rw http.ResponseWriter, req *http.Request) {
+	// POST /v1/streams creates a stream at runtime — what a load generator
+	// (snsload -create) or an operator uses to define a stream shaped
+	// like the trace about to be replayed, instead of restarting the
+	// server with a new -streams flag. The config carries the same fields
+	// as the boot-time stream spec, including the admission RateLimit.
+	mux.HandleFunc("POST /v1/streams", hs.middleware(hs.register("POST", "/v1/streams"),
+		func(rw http.ResponseWriter, req *http.Request) {
+			var body struct {
+				Name   string                    `json:"name"`
+				Config slicenstitch.StreamConfig `json:"config"`
+			}
+			if err := json.NewDecoder(http.MaxBytesReader(rw, req.Body, 1<<20)).Decode(&body); err != nil {
+				writeAPIError(rw, http.StatusBadRequest, "bad_request", fmt.Sprintf("bad stream payload: %v", err))
+				return
+			}
+			st, err := e.AddStream(body.Name, body.Config)
+			if err != nil {
+				writeError(rw, err)
+				return
+			}
+			rw.Header().Set("Content-Type", "application/json")
+			rw.WriteHeader(http.StatusCreated)
+			json.NewEncoder(rw).Encode(st.Snapshot())
+		}))
+
+	// The single-stream status document, served under both the bare
+	// resource path and the older /status suffix (same handler, separate
+	// metric labels).
+	statusHandler := func(rw http.ResponseWriter, req *http.Request) {
 		st, err := e.Stream(req.PathValue("name"))
 		if err != nil {
 			writeError(rw, err)
 			return
 		}
 		writeJSON(rw, st.Snapshot())
-	})
+	}
+	route("GET", "/streams/{name}", statusHandler)
+	route("GET", "/streams/{name}/status", statusHandler)
 
 	route("GET", "/streams/{name}/factors", func(rw http.ResponseWriter, req *http.Request) {
 		st, err := e.Stream(req.PathValue("name"))
@@ -369,9 +388,20 @@ func writeAPIError(rw http.ResponseWriter, status int, code, msg string) {
 	json.NewEncoder(rw).Encode(map[string]*apiError{"error": {Code: code, Message: msg}})
 }
 
-// writeError maps a package error onto the envelope via the taxonomy.
+// writeError maps a package error onto the envelope via the taxonomy. A
+// rate-limited rejection additionally advertises the token bucket's wait
+// as a Retry-After header (whole seconds, rounded up so a compliant
+// client never retries early).
 func writeError(rw http.ResponseWriter, err error) {
 	status, code := mapError(err)
+	var rl *slicenstitch.RateLimitError
+	if errors.As(err, &rl) {
+		secs := int(math.Ceil(rl.RetryAfter.Seconds()))
+		if secs < 1 {
+			secs = 1
+		}
+		rw.Header().Set("Retry-After", strconv.Itoa(secs))
+	}
 	writeAPIError(rw, status, code, err.Error())
 }
 
@@ -391,6 +421,8 @@ func mapError(err error) (status int, code string) {
 		return http.StatusConflict, "already_started"
 	case errors.Is(err, slicenstitch.ErrBackpressure):
 		return http.StatusTooManyRequests, "backpressure"
+	case errors.Is(err, slicenstitch.ErrRateLimited):
+		return http.StatusTooManyRequests, "rate_limited"
 	case errors.Is(err, slicenstitch.ErrStaleTimestamp):
 		return http.StatusConflict, "stale_timestamp"
 	case errors.Is(err, slicenstitch.ErrObservedUnavailable):

@@ -9,7 +9,9 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"strconv"
 	"testing"
+	"time"
 
 	"slicenstitch"
 )
@@ -79,7 +81,8 @@ func errorCode(t *testing.T, resp *http.Response) string {
 }
 
 // fillWindow ingests a window's worth of events over HTTP on the given
-// route prefix ("" for legacy, "/v1" for versioned) and flushes.
+// route prefix (always "/v1" today; kept as a parameter so tests read
+// explicitly) and flushes.
 func fillWindow(t *testing.T, srv *httptest.Server, prefix string) {
 	t.Helper()
 	rng := rand.New(rand.NewSource(1))
@@ -97,37 +100,40 @@ func fillWindow(t *testing.T, srv *httptest.Server, prefix string) {
 	}
 }
 
-// TestServerLifecycle drives the whole legacy (unversioned) HTTP surface:
-// batch ingestion fills the window, start flips the stream online, and
-// the read endpoints serve the published snapshot. These are the pre-v1
-// flows the deprecated aliases must keep serving for one release.
+// TestServerLifecycle drives the whole /v1 HTTP surface: batch ingestion
+// fills the window, start flips the stream online, and the read
+// endpoints serve the published snapshot.
 func TestServerLifecycle(t *testing.T) {
 	_, srv := newTestServer(t)
 
-	fillWindow(t, srv, "")
+	fillWindow(t, srv, "/v1")
 
 	// Factors and predict are 503 until the warm start.
-	if resp := getJSON(t, srv.URL+"/streams/test/factors", nil); resp.StatusCode != http.StatusServiceUnavailable {
+	if resp := getJSON(t, srv.URL+"/v1/streams/test/factors", nil); resp.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("factors before start = %d", resp.StatusCode)
 	}
-	if resp := getJSON(t, srv.URL+"/streams/test/predict?coord=1,1", nil); resp.StatusCode != http.StatusServiceUnavailable {
+	if resp := getJSON(t, srv.URL+"/v1/streams/test/predict?coord=1,1", nil); resp.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("predict before start = %d", resp.StatusCode)
 	}
 
-	if resp := postJSON(t, srv.URL+"/streams/test/start", nil); resp.StatusCode != http.StatusOK {
+	if resp := postJSON(t, srv.URL+"/v1/streams/test/start", nil); resp.StatusCode != http.StatusOK {
 		t.Fatalf("start status = %d", resp.StatusCode)
 	}
 
-	var status slicenstitch.Snapshot
-	if resp := getJSON(t, srv.URL+"/streams/test/status", &status); resp.StatusCode != http.StatusOK {
-		t.Fatalf("status = %d", resp.StatusCode)
-	}
-	if !status.Started || status.Ingested != 60 || status.NNZ == 0 {
-		t.Fatalf("status after start: %+v", status)
+	// The status document is served at the bare resource path and its
+	// older /status suffix, identically.
+	for _, path := range []string{"/v1/streams/test", "/v1/streams/test/status"} {
+		var status slicenstitch.Snapshot
+		if resp := getJSON(t, srv.URL+path, &status); resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s = %d", path, resp.StatusCode)
+		}
+		if !status.Started || status.Ingested != 60 || status.NNZ == 0 {
+			t.Fatalf("GET %s payload: %+v", path, status)
+		}
 	}
 
 	var factors slicenstitch.Factors
-	if resp := getJSON(t, srv.URL+"/streams/test/factors", &factors); resp.StatusCode != http.StatusOK {
+	if resp := getJSON(t, srv.URL+"/v1/streams/test/factors", &factors); resp.StatusCode != http.StatusOK {
 		t.Fatalf("factors = %d", resp.StatusCode)
 	}
 	if len(factors.Matrices) != 3 || len(factors.Lambda) != 3 {
@@ -140,7 +146,7 @@ func TestServerLifecycle(t *testing.T) {
 		Observed  *float64 `json:"observed"`
 		TimeIdx   int      `json:"timeIdx"`
 	}
-	if resp := getJSON(t, srv.URL+"/streams/test/predict?coord=1,2&t=0", &pred); resp.StatusCode != http.StatusOK {
+	if resp := getJSON(t, srv.URL+"/v1/streams/test/predict?coord=1,2&t=0", &pred); resp.StatusCode != http.StatusOK {
 		t.Fatalf("predict = %d", resp.StatusCode)
 	}
 	if pred.Stream != "test" || pred.TimeIdx != 0 || pred.Observed == nil {
@@ -150,7 +156,7 @@ func TestServerLifecycle(t *testing.T) {
 	var list struct {
 		Streams []slicenstitch.Snapshot `json:"streams"`
 	}
-	if resp := getJSON(t, srv.URL+"/streams", &list); resp.StatusCode != http.StatusOK {
+	if resp := getJSON(t, srv.URL+"/v1/streams", &list); resp.StatusCode != http.StatusOK {
 		t.Fatalf("streams = %d", resp.StatusCode)
 	}
 	if len(list.Streams) != 1 || list.Streams[0].Stream != "test" {
@@ -163,43 +169,142 @@ func TestServerLifecycle(t *testing.T) {
 	}
 }
 
-// TestServerV1Lifecycle runs the same flow on the versioned routes and
-// checks the /v1 responses carry no deprecation marker while the legacy
-// aliases do.
-func TestServerV1Lifecycle(t *testing.T) {
+// TestServerUnversionedGone pins the removal of the pre-v1 aliases: the
+// deprecation window is over and unversioned paths 404.
+func TestServerUnversionedGone(t *testing.T) {
+	_, srv := newTestServer(t)
+	for _, probe := range []struct{ method, path string }{
+		{"GET", "/streams"},
+		{"GET", "/streams/test/status"},
+		{"GET", "/streams/test/factors"},
+		{"GET", "/streams/test/predict?coord=1,1"},
+		{"POST", "/streams/test/events"},
+		{"POST", "/streams/test/start"},
+		{"POST", "/streams/test/flush"},
+		{"POST", "/streams/test/predict"},
+	} {
+		req, err := http.NewRequest(probe.method, srv.URL+probe.path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("%s %s = %d, want 404 (alias should be gone)", probe.method, probe.path, resp.StatusCode)
+		}
+	}
+}
+
+// TestServerCreateStream covers POST /v1/streams: runtime stream
+// creation with a full config (including the admission rate limit),
+// duplicate and validation errors through the envelope.
+func TestServerCreateStream(t *testing.T) {
 	_, srv := newTestServer(t)
 
-	fillWindow(t, srv, "/v1")
+	resp := postJSON(t, srv.URL+"/v1/streams", map[string]interface{}{
+		"name": "fresh",
+		"config": map[string]interface{}{
+			"Dims": []int{3, 3}, "W": 2, "Period": 5, "Rank": 2,
+			"RateLimit": 100.0,
+		},
+	})
+	if resp.StatusCode != http.StatusCreated {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("create = %d: %s", resp.StatusCode, body)
+	}
+	var snap slicenstitch.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Stream != "fresh" || snap.Admission == nil || snap.Admission.RateLimit != 100 {
+		t.Fatalf("created snapshot: %+v", snap)
+	}
+	// The stream is immediately servable.
+	if resp := getJSON(t, srv.URL+"/v1/streams/fresh", nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("status of created stream = %d", resp.StatusCode)
+	}
+	// Duplicate name → 409 stream_exists.
+	if resp := postJSON(t, srv.URL+"/v1/streams", map[string]interface{}{
+		"name":   "fresh",
+		"config": map[string]interface{}{"Dims": []int{3, 3}, "Period": 5},
+	}); resp.StatusCode != http.StatusConflict {
+		t.Fatalf("duplicate create = %d", resp.StatusCode)
+	} else if code := errorCode(t, resp); code != "stream_exists" {
+		t.Fatalf("duplicate create code = %q", code)
+	}
+	// Invalid config → 400 invalid_config.
+	if resp := postJSON(t, srv.URL+"/v1/streams", map[string]interface{}{
+		"name":   "bad",
+		"config": map[string]interface{}{"Dims": []int{}, "Period": 0},
+	}); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("invalid create = %d", resp.StatusCode)
+	} else if code := errorCode(t, resp); code != "invalid_config" {
+		t.Fatalf("invalid create code = %q", code)
+	}
+	// Malformed body → 400 bad_request.
+	mresp, err := http.Post(srv.URL+"/v1/streams", "application/json", bytes.NewBufferString("{nope"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	if mresp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed create = %d", mresp.StatusCode)
+	}
+}
 
-	if resp := postJSON(t, srv.URL+"/v1/streams/test/start", nil); resp.StatusCode != http.StatusOK {
-		t.Fatalf("v1 start = %d", resp.StatusCode)
+// TestServerRateLimited pins the overload contract: pushes beyond the
+// stream's admission rate are refused with 429 rate_limited and a
+// Retry-After header, while the mailbox stays empty (fast rejection, not
+// queue collapse).
+func TestServerRateLimited(t *testing.T) {
+	e := slicenstitch.NewEngine()
+	_, err := e.AddStream("limited", slicenstitch.StreamConfig{
+		Config:    slicenstitch.Config{Dims: []int{4, 4}, W: 2, Period: 10, Rank: 2},
+		RateLimit: 1, RateBurst: 2, // 1 event/sec, bucket of 2
+	})
+	if err != nil {
+		t.Fatal(err)
 	}
-	var status slicenstitch.Snapshot
-	if resp := getJSON(t, srv.URL+"/v1/streams/test/status", &status); resp.StatusCode != http.StatusOK {
-		t.Fatalf("v1 status = %d", resp.StatusCode)
-	} else if resp.Header.Get("Deprecation") != "" {
-		t.Fatal("v1 route marked deprecated")
-	}
-	if !status.Started || status.Ingested != 60 {
-		t.Fatalf("v1 status payload: %+v", status)
-	}
-	if resp := getJSON(t, srv.URL+"/v1/streams/test/predict?coord=1,2&t=0", nil); resp.StatusCode != http.StatusOK {
-		t.Fatalf("v1 predict = %d", resp.StatusCode)
-	}
+	srv := httptest.NewServer(newMux(e, 1024))
+	t.Cleanup(func() { srv.Close(); e.Close() })
 
-	// The legacy alias answers identically but flags its deprecation and
-	// links the successor.
-	resp := getJSON(t, srv.URL+"/streams/test/status", nil)
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("legacy status = %d", resp.StatusCode)
+	events := []slicenstitch.Event{
+		{Coord: []int{0, 0}, Value: 1, Time: 0},
+		{Coord: []int{1, 1}, Value: 1, Time: 0},
 	}
-	if resp.Header.Get("Deprecation") != "true" {
-		t.Fatal("legacy route not marked deprecated")
+	// The full bucket admits the first batch…
+	if resp := postJSON(t, srv.URL+"/v1/streams/limited/events", events); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first batch = %d", resp.StatusCode)
 	}
-	// The Link target is the concrete /v1 URI for this request, not the
-	// route pattern.
-	if link := resp.Header.Get("Link"); link != `</v1/streams/test/status>; rel="successor-version"` {
-		t.Fatalf("legacy successor Link = %q", link)
+	// …and refuses the second instantly: 429, rate_limited, Retry-After.
+	resp := postJSON(t, srv.URL+"/v1/streams/limited/events", events)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-limit batch = %d, want 429", resp.StatusCode)
+	}
+	ra := resp.Header.Get("Retry-After")
+	if ra == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	if secs, err := strconv.Atoi(ra); err != nil || secs < 1 {
+		t.Fatalf("Retry-After = %q, want integer seconds ≥ 1", ra)
+	}
+	if code := errorCode(t, resp); code != "rate_limited" {
+		t.Fatalf("over-limit code = %q", code)
+	}
+	// The refusal happened before the mailbox: nothing queued, and the
+	// admission counters saw one accepted and one limited batch.
+	var snap slicenstitch.Snapshot
+	if resp := getJSON(t, srv.URL+"/v1/streams/limited", &snap); resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if snap.Admission == nil {
+		t.Fatal("no admission report on a rate-limited stream")
+	}
+	if snap.Admission.AcceptedEvents != 2 || snap.Admission.LimitedEvents != 2 || snap.Admission.LimitedBatches != 1 {
+		t.Fatalf("admission counters: %+v", snap.Admission)
 	}
 }
 
@@ -299,35 +404,31 @@ func TestServerErrorEnvelope(t *testing.T) {
 	} else if code := errorCode(t, resp); code != "already_started" {
 		t.Fatalf("second start code = %q", code)
 	}
-	// A removed stream is 404 through the registry…
+	// A removed stream is 404 through the registry.
 	if err := e.RemoveStream("test"); err != nil {
 		t.Fatal(err)
 	}
 	if resp := getJSON(t, srv.URL+"/v1/streams/test/status", nil); resp.StatusCode != http.StatusNotFound {
 		t.Fatalf("removed stream = %d", resp.StatusCode)
-	}
-	// …and the legacy aliases wear the same envelope.
-	if resp := getJSON(t, srv.URL+"/streams/test/status", nil); resp.StatusCode != http.StatusNotFound {
-		t.Fatalf("legacy removed stream = %d", resp.StatusCode)
 	} else if code := errorCode(t, resp); code != "stream_not_found" {
-		t.Fatalf("legacy removed stream code = %q", code)
+		t.Fatalf("removed stream code = %q", code)
 	}
 }
 
 func TestServerErrorMapping(t *testing.T) {
 	_, srv := newTestServer(t)
 
-	if resp := getJSON(t, srv.URL+"/streams/nope/status", nil); resp.StatusCode != http.StatusNotFound {
+	if resp := getJSON(t, srv.URL+"/v1/streams/nope/status", nil); resp.StatusCode != http.StatusNotFound {
 		t.Fatalf("unknown stream = %d", resp.StatusCode)
 	}
 	// Even an empty batch checks the stream exists.
-	if resp := postJSON(t, srv.URL+"/streams/nope/events", []slicenstitch.Event{}); resp.StatusCode != http.StatusNotFound {
+	if resp := postJSON(t, srv.URL+"/v1/streams/nope/events", []slicenstitch.Event{}); resp.StatusCode != http.StatusNotFound {
 		t.Fatalf("empty batch to unknown stream = %d", resp.StatusCode)
 	}
-	if resp := postJSON(t, srv.URL+"/streams/nope/events", []slicenstitch.Event{{Coord: []int{0, 0}, Value: 1}}); resp.StatusCode != http.StatusNotFound {
+	if resp := postJSON(t, srv.URL+"/v1/streams/nope/events", []slicenstitch.Event{{Coord: []int{0, 0}, Value: 1}}); resp.StatusCode != http.StatusNotFound {
 		t.Fatalf("events to unknown stream = %d", resp.StatusCode)
 	}
-	resp, err := http.Post(srv.URL+"/streams/test/events", "application/json", bytes.NewBufferString("{not json"))
+	resp, err := http.Post(srv.URL+"/v1/streams/test/events", "application/json", bytes.NewBufferString("{not json"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -335,10 +436,10 @@ func TestServerErrorMapping(t *testing.T) {
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("bad payload = %d", resp.StatusCode)
 	}
-	if resp := getJSON(t, srv.URL+"/streams/test/predict?coord=zzz", nil); resp.StatusCode != http.StatusBadRequest {
+	if resp := getJSON(t, srv.URL+"/v1/streams/test/predict?coord=zzz", nil); resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("bad coord = %d", resp.StatusCode)
 	}
-	if resp := getJSON(t, srv.URL+"/streams/test/predict?coord=1", nil); resp.StatusCode != http.StatusBadRequest {
+	if resp := getJSON(t, srv.URL+"/v1/streams/test/predict?coord=1", nil); resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("short coord = %d", resp.StatusCode)
 	}
 }
@@ -356,6 +457,8 @@ func TestMapError(t *testing.T) {
 		{slicenstitch.ErrNotStarted, http.StatusServiceUnavailable, "not_started"},
 		{slicenstitch.ErrAlreadyStarted, http.StatusConflict, "already_started"},
 		{slicenstitch.ErrBackpressure, http.StatusTooManyRequests, "backpressure"},
+		{slicenstitch.ErrRateLimited, http.StatusTooManyRequests, "rate_limited"},
+		{&slicenstitch.RateLimitError{Stream: "s", RetryAfter: time.Second}, http.StatusTooManyRequests, "rate_limited"},
 		{slicenstitch.ErrStaleTimestamp, http.StatusConflict, "stale_timestamp"},
 		{slicenstitch.ErrObservedUnavailable, http.StatusServiceUnavailable, "observed_unavailable"},
 		{slicenstitch.ErrEngineClosed, http.StatusServiceUnavailable, "engine_closed"},
@@ -396,8 +499,9 @@ func TestParseStreams(t *testing.T) {
 	if _, err := parseStreams("NotAPreset"); err == nil {
 		t.Fatal("unknown preset accepted")
 	}
-	if _, err := parseStreams(""); err == nil {
-		t.Fatal("empty accepted")
+	// Empty is a valid zero-stream boot (streams arrive via POST /v1/streams).
+	if specs, err := parseStreams(""); err != nil || len(specs) != 0 {
+		t.Fatalf("parseStreams(\"\") = %v, %v; want empty, nil", specs, err)
 	}
 }
 

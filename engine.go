@@ -5,6 +5,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -91,6 +92,19 @@ type StreamConfig struct {
 	// reads; larger ones amortize the O(nnz) fitness recomputation over
 	// more updates.
 	PublishEvery int
+	// RateLimit caps admitted ingest at this many events per second via
+	// a token bucket checked in PushBatch, before the mailbox. Offered
+	// load beyond the limit is refused instantly with a *RateLimitError
+	// (wrapping ErrRateLimited) carrying a retry hint — admission
+	// control, distinct from the Backpressure policy that governs a full
+	// mailbox. 0 (the default) disables the limit.
+	RateLimit float64
+	// RateBurst is the token bucket's depth in events — the largest
+	// burst admitted at once (default: RateLimit rounded up, at least
+	// 1). A batch larger than the burst can never be admitted, so keep
+	// RateBurst at or above the largest batch producers send. Only
+	// meaningful with RateLimit > 0.
+	RateBurst float64
 }
 
 func (c StreamConfig) withDefaults() StreamConfig {
@@ -100,6 +114,12 @@ func (c StreamConfig) withDefaults() StreamConfig {
 	}
 	if c.PublishEvery == 0 {
 		c.PublishEvery = 256
+	}
+	if c.RateLimit > 0 && c.RateBurst == 0 {
+		c.RateBurst = math.Ceil(c.RateLimit)
+		if c.RateBurst < 1 {
+			c.RateBurst = 1
+		}
 	}
 	return c
 }
@@ -118,6 +138,15 @@ func (c StreamConfig) validate() error {
 	case BackpressureBlock, BackpressureDropOldest, BackpressureError:
 	default:
 		return fmt.Errorf("%w: unknown backpressure policy %d", ErrConfig, c.Backpressure)
+	}
+	if c.RateLimit < 0 || math.IsNaN(c.RateLimit) || math.IsInf(c.RateLimit, 0) {
+		return fmt.Errorf("%w: StreamConfig.RateLimit must be a non-negative finite number", ErrConfig)
+	}
+	if c.RateBurst < 0 || math.IsNaN(c.RateBurst) || math.IsInf(c.RateBurst, 0) {
+		return fmt.Errorf("%w: StreamConfig.RateBurst must be a non-negative finite number", ErrConfig)
+	}
+	if c.RateLimit == 0 && c.RateBurst > 0 {
+		return fmt.Errorf("%w: StreamConfig.RateBurst requires RateLimit > 0", ErrConfig)
 	}
 	return nil
 }
@@ -143,6 +172,7 @@ type Snapshot struct {
 	Params    int      `json:"params"`
 	Dims      []int    `json:"dims"`
 	W         int      `json:"w"`
+	Period    int64    `json:"period"`
 	Factors   *Factors `json:"-"`
 	// LastError is the most recent per-event ingestion error of the
 	// current publish interval (errored batches refresh it immediately,
@@ -187,6 +217,10 @@ type Snapshot struct {
 	// Replication is the follower-side view of this stream's tailer —
 	// lag, bootstraps, reconnects. Nil on a leader or standalone engine.
 	Replication *metrics.ReplReport `json:"replication,omitempty"`
+	// Admission is the stream's admission-control view — configured
+	// rate/burst, current token fill, accepted/limited counters. Nil
+	// unless the stream has a RateLimit.
+	Admission *metrics.AdmissionReport `json:"admission,omitempty"`
 }
 
 // shardOp is a mailbox message kind.
@@ -243,6 +277,14 @@ type shard struct {
 	// repl, on a follower, is the stream's replication stats, installed
 	// by the tailer and read wait-free by Snapshot/Metrics.
 	repl atomic.Pointer[metrics.ReplStats]
+	// limiter and adm are the stream's admission token bucket and its
+	// decision counters — nil unless StreamConfig.RateLimit > 0. They are
+	// touched on producer goroutines (PushBatch callers), never by the
+	// writer: admission happens before the mailbox. The replication apply
+	// path bypasses them by construction — a follower re-applies what the
+	// leader already admitted.
+	limiter *engine.TokenBucket
+	adm     *metrics.AdmissionStats
 
 	// Writer-local state: owned by the shard's writer goroutine, crossing
 	// to readers only inside published snapshots. snsvet's writeronly
@@ -343,6 +385,10 @@ func (e *Engine) addShard(name string, cfg StreamConfig, tr *Tracker, sd *shardD
 		mb:    engine.NewMailbox(cfg.MailboxCapacity, cfg.Backpressure.policy(), func(m shardMsg) bool { return m.op == opBatch || m.bestEffort }),
 		stats: metrics.NewShardStats(),
 		dur:   sd,
+	}
+	if cfg.RateLimit > 0 {
+		s.limiter = engine.NewTokenBucket(cfg.RateLimit, cfg.RateBurst)
+		s.adm = &metrics.AdmissionStats{}
 	}
 	if sd != nil {
 		sd.applied.Store(sd.wal.NextLSN())
@@ -603,7 +649,22 @@ func (s *shard) read() Snapshot {
 		r := rs.Report()
 		snap.Replication = &r
 	}
+	snap.Admission = s.admissionReport()
 	return snap
+}
+
+// admissionReport assembles the stream's admission view — counters from
+// the stats recorder, configuration and live fill from the bucket — or
+// nil for an unlimited stream.
+func (s *shard) admissionReport() *metrics.AdmissionReport {
+	if s.limiter == nil {
+		return nil
+	}
+	r := s.adm.Report()
+	r.RateLimit = s.limiter.Rate()
+	r.Burst = s.limiter.Burst()
+	r.Tokens = s.limiter.Fill()
+	return &r
 }
 
 // Predict evaluates the named stream's published model at categorical
@@ -1033,6 +1094,7 @@ func (s *shard) publish() {
 		Params:             t.ParamCount(),
 		Dims:               s.cfg.Dims,
 		W:                  s.cfg.W,
+		Period:             s.cfg.Period,
 		LastError:          s.lastErr,
 		ErrorsSincePublish: uint64(s.errsSince),
 		LastBatchRejected:  s.lastBatchRejected,

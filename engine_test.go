@@ -668,3 +668,120 @@ func BenchmarkEngineShards(b *testing.B) {
 		})
 	}
 }
+
+// TestEngineRateLimit covers per-stream admission control: the token
+// bucket admits up to its burst, refuses beyond it with a typed
+// *RateLimitError carrying a retry hint, never queues a refused batch,
+// and reports its decisions in the snapshot's Admission view.
+func TestEngineRateLimit(t *testing.T) {
+	e := NewEngine()
+	defer e.Close()
+
+	cfg := validStreamConfig()
+	cfg.RateLimit = 1 // 1 event/sec…
+	cfg.RateBurst = 3 // …with 3 admissible up front
+	st, err := e.AddStream("lim", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	batch := func(n int) []Event {
+		evs := make([]Event, n)
+		for i := range evs {
+			evs[i] = Event{Coord: []int{i % 5, i % 4}, Value: 1, Time: 0}
+		}
+		return evs
+	}
+
+	// The full bucket admits exactly the burst…
+	if err := st.PushBatch(bg, batch(3)); err != nil {
+		t.Fatalf("burst-sized batch refused: %v", err)
+	}
+	// …then refuses, atomically for the whole batch, with the typed error.
+	err = st.PushBatch(bg, batch(2))
+	if !errors.Is(err, ErrRateLimited) {
+		t.Fatalf("over-limit push = %v, want ErrRateLimited", err)
+	}
+	var rl *RateLimitError
+	if !errors.As(err, &rl) {
+		t.Fatalf("over-limit push = %T, want *RateLimitError", err)
+	}
+	if rl.Stream != "lim" || rl.RetryAfter <= 0 {
+		t.Fatalf("RateLimitError = %+v", rl)
+	}
+	// At 1 token/sec a 2-event batch is at most 2s away.
+	if rl.RetryAfter > 2*time.Second {
+		t.Fatalf("RetryAfter = %v, want ≤ 2s", rl.RetryAfter)
+	}
+
+	if err := st.Flush(bg); err != nil {
+		t.Fatal(err)
+	}
+	snap := st.Snapshot()
+	if snap.Admission == nil {
+		t.Fatal("no Admission view on a rate-limited stream")
+	}
+	if snap.Admission.AcceptedEvents != 3 || snap.Admission.LimitedEvents != 2 || snap.Admission.LimitedBatches != 1 {
+		t.Fatalf("admission counters: %+v", snap.Admission)
+	}
+	if snap.Admission.RateLimit != 1 || snap.Admission.Burst != 3 {
+		t.Fatalf("admission config echo: %+v", snap.Admission)
+	}
+	// Refused events never reached the mailbox or the tracker: only the
+	// admitted 3 were applied.
+	if snap.Ingested != 3 {
+		t.Fatalf("ingested = %d, want 3 (refused batch must not queue)", snap.Ingested)
+	}
+
+	// Engine.Metrics carries the same view.
+	for _, sm := range e.Metrics().Streams {
+		if sm.Name != "lim" {
+			continue
+		}
+		if sm.Admission == nil || sm.Admission.LimitedBatches != 1 {
+			t.Fatalf("Metrics admission view: %+v", sm.Admission)
+		}
+	}
+
+	// An unlimited stream carries no admission state at all.
+	plain, err := e.AddStream("plain", validStreamConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Snapshot().Admission != nil {
+		t.Fatal("unlimited stream reports an Admission view")
+	}
+}
+
+// TestStreamConfigRateLimitValidation pins the config contract around the
+// admission knobs.
+func TestStreamConfigRateLimitValidation(t *testing.T) {
+	base := validStreamConfig()
+
+	neg := base
+	neg.RateLimit = -1
+	if _, err := New(neg.Config); err != nil {
+		t.Fatal(err) // tracker config itself is fine
+	}
+	if err := neg.withDefaults().validate(); !errors.Is(err, ErrConfig) {
+		t.Fatalf("negative RateLimit = %v, want ErrConfig", err)
+	}
+
+	orphanBurst := base
+	orphanBurst.RateBurst = 10
+	if err := orphanBurst.withDefaults().validate(); !errors.Is(err, ErrConfig) {
+		t.Fatalf("RateBurst without RateLimit = %v, want ErrConfig", err)
+	}
+
+	// Default burst: ceil(rate), floored at 1.
+	small := base
+	small.RateLimit = 0.25
+	if got := small.withDefaults().RateBurst; got != 1 {
+		t.Fatalf("default burst for rate 0.25 = %g, want 1", got)
+	}
+	big := base
+	big.RateLimit = 1500.5
+	if got := big.withDefaults().RateBurst; got != 1501 {
+		t.Fatalf("default burst for rate 1500.5 = %g, want 1501", got)
+	}
+}

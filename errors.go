@@ -3,6 +3,7 @@ package slicenstitch
 import (
 	"errors"
 	"fmt"
+	"time"
 )
 
 // This file is the package's complete error taxonomy. Every error a
@@ -89,13 +90,34 @@ var (
 	// them silently; this sentinel means bytes inside the valid prefix
 	// are wrong.
 	ErrCorruptWAL = errors.New("slicenstitch: corrupt wal record")
+
+	// ErrRateLimited reports a batch refused by a stream's admission
+	// token bucket (StreamConfig.RateLimit): offered load exceeds the
+	// configured rate and the events were rejected before reaching the
+	// mailbox. Unlike ErrBackpressure — the mailbox itself is full — a
+	// rate-limited push is refused instantly and carries a retry hint:
+	// errors.As to *RateLimitError for the wait.
+	ErrRateLimited = errors.New("slicenstitch: rate limited")
 )
 
-// ErrUnknownStream is the pre-v1 name for ErrStreamNotFound.
-//
-// Deprecated: match ErrStreamNotFound instead. The alias is kept for one
-// release so existing errors.Is checks keep working.
-var ErrUnknownStream = ErrStreamNotFound
+// RateLimitError reports a PushBatch refused by the stream's admission
+// token bucket, carrying how long the caller should wait before the
+// bucket could admit the batch. It wraps ErrRateLimited (errors.Is) and
+// is matchable with errors.As; the HTTP layer maps it to 429 with a
+// Retry-After header.
+type RateLimitError struct {
+	// Stream is the refusing stream's name.
+	Stream string
+	// RetryAfter is the minimum wait before a retry could be admitted.
+	RetryAfter time.Duration
+}
+
+func (e *RateLimitError) Error() string {
+	return fmt.Sprintf("slicenstitch: rate limited: stream %q (retry after %v)", e.Stream, e.RetryAfter)
+}
+
+// Unwrap exposes ErrRateLimited to errors.Is.
+func (e *RateLimitError) Unwrap() error { return ErrRateLimited }
 
 // CoordError reports an invalid coordinate or time-mode index: wrong
 // arity, an out-of-range categorical index, or an out-of-range time index.

@@ -174,10 +174,6 @@ func TestErrorTaxonomyEngine(t *testing.T) {
 	if _, err := e.Stream("nope"); !errors.Is(err, ErrStreamNotFound) {
 		t.Fatalf("Stream(unknown) = %v", err)
 	}
-	// Deprecated alias must keep matching for one release.
-	if _, err := e.Stream("nope"); !errors.Is(err, ErrUnknownStream) {
-		t.Fatalf("ErrUnknownStream alias broken: %v", err)
-	}
 	if _, err := st.Predict([]int{0, 0}, 0); !errors.Is(err, ErrNotStarted) {
 		t.Fatalf("handle Predict before Start = %v", err)
 	}

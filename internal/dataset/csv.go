@@ -1,0 +1,123 @@
+package dataset
+
+import (
+	"bufio"
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// csvReader streams events out of a delimited text file. It reuses
+// encoding/csv for quoting/escaping correctness but keeps memory bounded:
+// one record is resident at a time and field slices are reused across
+// rows (ReuseRecord), with only the per-event Coord slice allocated.
+type csvReader struct {
+	cr   *csv.Reader
+	opts Options
+	line int
+	// coordCols is resolved lazily from the first data row when
+	// Options.CoordCols is empty (we need the field count to know which
+	// columns remain after time and value are claimed).
+	coordCols []int
+	valueCol  int
+	started   bool
+}
+
+func newCSVReader(r io.Reader, opts Options) *csvReader {
+	cr := csv.NewReader(bufio.NewReaderSize(r, 1<<16))
+	cr.Comma = opts.Comma
+	cr.ReuseRecord = true
+	cr.FieldsPerRecord = 0 // all rows must match the first
+	return &csvReader{cr: cr, opts: opts}
+}
+
+func (c *csvReader) Close() error { return nil }
+
+// resolveCols pins the value and coordinate columns once the field count
+// is known.
+func (c *csvReader) resolveCols(n int) error {
+	c.valueCol = c.opts.ValueCol
+	if c.valueCol < 0 {
+		c.valueCol = n - 1
+	}
+	if c.valueCol >= n {
+		return fmt.Errorf("dataset: csv line %d: value column %d out of range (row has %d fields)", c.line, c.valueCol, n)
+	}
+	if c.opts.TimeCol >= n {
+		return fmt.Errorf("dataset: csv line %d: time column %d out of range (row has %d fields)", c.line, c.opts.TimeCol, n)
+	}
+	if len(c.opts.CoordCols) > 0 {
+		for _, col := range c.opts.CoordCols {
+			if col < 0 || col >= n {
+				return fmt.Errorf("dataset: csv line %d: coord column %d out of range (row has %d fields)", c.line, col, n)
+			}
+		}
+		c.coordCols = c.opts.CoordCols
+		return nil
+	}
+	for col := 0; col < n; col++ {
+		if col == c.opts.TimeCol || col == c.valueCol {
+			continue
+		}
+		c.coordCols = append(c.coordCols, col)
+	}
+	if len(c.coordCols) == 0 {
+		return fmt.Errorf("dataset: csv line %d: no coordinate columns left after time=%d value=%d", c.line, c.opts.TimeCol, c.valueCol)
+	}
+	return nil
+}
+
+func (c *csvReader) Next() (Event, error) {
+	for {
+		rec, err := c.cr.Read()
+		if err == io.EOF {
+			return Event{}, io.EOF
+		}
+		if err != nil {
+			return Event{}, fmt.Errorf("dataset: %w", err)
+		}
+		c.line++
+		if !c.started {
+			if err := c.resolveCols(len(rec)); err != nil {
+				return Event{}, err
+			}
+			c.started = true
+			// Header detection: skip the first row iff its time column is
+			// not an integer (e.g. the literal "time").
+			if !c.opts.NoHeader {
+				if _, err := strconv.ParseInt(rec[c.opts.TimeCol], 10, 64); err != nil {
+					continue
+				}
+			}
+		}
+		return c.parseRow(rec)
+	}
+}
+
+func (c *csvReader) parseRow(rec []string) (Event, error) {
+	rawT, err := strconv.ParseInt(rec[c.opts.TimeCol], 10, 64)
+	if err != nil {
+		return Event{}, fmt.Errorf("dataset: csv line %d: bad timestamp %q", c.line, rec[c.opts.TimeCol])
+	}
+	val, err := strconv.ParseFloat(rec[c.valueCol], 64)
+	if err != nil {
+		return Event{}, fmt.Errorf("dataset: csv line %d: bad value %q", c.line, rec[c.valueCol])
+	}
+	coord := make([]int, len(c.coordCols))
+	for m, col := range c.coordCols {
+		i, err := strconv.Atoi(rec[col])
+		if err != nil {
+			return Event{}, fmt.Errorf("dataset: csv line %d: bad index %q in column %d", c.line, rec[col], col)
+		}
+		if i < 0 {
+			return Event{}, fmt.Errorf("dataset: csv line %d: negative index %d in column %d", c.line, i, col)
+		}
+		coord[m] = i
+	}
+	return Event{
+		Coord: coord,
+		Value: val,
+		Time:  (rawT - c.opts.TimeOffset) / c.opts.TimeDiv,
+	}, nil
+}

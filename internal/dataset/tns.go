@@ -1,0 +1,99 @@
+package dataset
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// tnsReader streams events out of a FROSTT-style `.tns` coordinate list:
+// one nonzero per line as whitespace-separated 1-based mode indices
+// followed by the value. Blank lines and `#` comments are skipped. One
+// mode (by default the last) is interpreted as the timestamp rather than
+// a coordinate — that is how SliceNStitch's datasets encode time (e.g.
+// Ride Austin's 4th mode is the minute tick).
+type tnsReader struct {
+	sc   *bufio.Scanner
+	opts Options
+	line int
+	// nmodes is learned from the first data line; every later line must
+	// match.
+	nmodes   int
+	timeMode int
+	started  bool
+}
+
+func newTNSReader(r io.Reader, opts Options) *tnsReader {
+	sc := bufio.NewScanner(bufio.NewReaderSize(r, 1<<16))
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	return &tnsReader{sc: sc, opts: opts}
+}
+
+func (t *tnsReader) Close() error { return nil }
+
+func (t *tnsReader) Next() (Event, error) {
+	for t.sc.Scan() {
+		t.line++
+		line := strings.TrimSpace(t.sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 3 {
+			return Event{}, fmt.Errorf("dataset: tns line %d: need at least 2 indices and a value, got %d fields", t.line, len(fields))
+		}
+		if !t.started {
+			t.nmodes = len(fields) - 1
+			t.timeMode = t.opts.TimeMode
+			if t.timeMode < 0 {
+				t.timeMode = t.nmodes - 1
+			}
+			if t.timeMode >= t.nmodes {
+				return Event{}, fmt.Errorf("dataset: tns line %d: time mode %d out of range (tensor has %d modes)", t.line, t.timeMode, t.nmodes)
+			}
+			t.started = true
+		}
+		if len(fields) != t.nmodes+1 {
+			return Event{}, fmt.Errorf("dataset: tns line %d: expected %d fields, got %d", t.line, t.nmodes+1, len(fields))
+		}
+		return t.parseFields(fields)
+	}
+	if err := t.sc.Err(); err != nil {
+		return Event{}, fmt.Errorf("dataset: tns line %d: %w", t.line, err)
+	}
+	return Event{}, io.EOF
+}
+
+func (t *tnsReader) parseFields(fields []string) (Event, error) {
+	val, err := strconv.ParseFloat(fields[t.nmodes], 64)
+	if err != nil {
+		return Event{}, fmt.Errorf("dataset: tns line %d: bad value %q", t.line, fields[t.nmodes])
+	}
+	coord := make([]int, 0, t.nmodes-1)
+	var rawT int64
+	for m := 0; m < t.nmodes; m++ {
+		if m == t.timeMode {
+			rawT, err = strconv.ParseInt(fields[m], 10, 64)
+			if err != nil {
+				return Event{}, fmt.Errorf("dataset: tns line %d: bad timestamp %q in mode %d", t.line, fields[m], m)
+			}
+			continue
+		}
+		i, err := strconv.Atoi(fields[m])
+		if err != nil {
+			return Event{}, fmt.Errorf("dataset: tns line %d: bad index %q in mode %d", t.line, fields[m], m)
+		}
+		i -= t.opts.Base
+		if i < 0 {
+			return Event{}, fmt.Errorf("dataset: tns line %d: index %q in mode %d below base %d", t.line, fields[m], m, t.opts.Base)
+		}
+		coord = append(coord, i)
+	}
+	return Event{
+		Coord: coord,
+		Value: val,
+		Time:  (rawT - t.opts.TimeOffset) / t.opts.TimeDiv,
+	}, nil
+}

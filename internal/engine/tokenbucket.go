@@ -1,0 +1,82 @@
+package engine
+
+import (
+	"sync"
+	"time"
+)
+
+// TokenBucket is the admission-control primitive behind per-stream rate
+// limits: a classic token bucket holding up to burst tokens, refilled
+// continuously at rate tokens per second. Take is called on producer
+// goroutines (PushBatch callers), so it is mutex-guarded rather than
+// writer-local; the critical section is a few float operations and one
+// clock read, and the call is allocation-free, so a disabled or
+// under-limit stream pays almost nothing.
+type TokenBucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second
+	burst  float64 // bucket depth
+	tokens float64
+	last   time.Time
+}
+
+// NewTokenBucket returns a bucket refilling at rate tokens/sec with depth
+// burst, starting full. Both must be positive.
+func NewTokenBucket(rate, burst float64) *TokenBucket {
+	return &TokenBucket{rate: rate, burst: burst, tokens: burst, last: time.Now()}
+}
+
+// Rate returns the refill rate in tokens per second.
+func (b *TokenBucket) Rate() float64 { return b.rate }
+
+// Burst returns the bucket depth.
+func (b *TokenBucket) Burst() float64 { return b.burst }
+
+// Take atomically removes n tokens if available. On refusal it returns
+// how long the caller should wait before the bucket could admit n tokens
+// — the Retry-After the HTTP layer advertises. A request for more than
+// burst tokens can never succeed; it is refused with the time to fill
+// the whole bucket, and callers are expected to keep batch sizes within
+// the configured burst.
+func (b *TokenBucket) Take(n float64) (ok bool, retryAfter time.Duration) {
+	return b.takeAt(n, time.Now())
+}
+
+func (b *TokenBucket) takeAt(n float64, now time.Time) (bool, time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.refill(now)
+	if b.tokens >= n {
+		b.tokens -= n
+		return true, 0
+	}
+	need := n
+	if need > b.burst {
+		need = b.burst
+	}
+	return false, time.Duration((need - b.tokens) / b.rate * float64(time.Second))
+}
+
+// Fill returns the current token count (refilled to now) — the gauge the
+// metrics exposition reports.
+func (b *TokenBucket) Fill() float64 {
+	return b.fillAt(time.Now())
+}
+
+func (b *TokenBucket) fillAt(now time.Time) float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.refill(now)
+	return b.tokens
+}
+
+// refill advances the bucket to now. Caller holds mu.
+func (b *TokenBucket) refill(now time.Time) {
+	if elapsed := now.Sub(b.last); elapsed > 0 {
+		b.tokens += elapsed.Seconds() * b.rate
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+	}
+	b.last = now
+}

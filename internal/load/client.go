@@ -1,0 +1,229 @@
+package load
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+)
+
+// wireEvent mirrors the /v1 events payload (slicenstitch.Event's JSON
+// shape) without importing the engine package: the generator is a pure
+// HTTP client and must stay honest about what travels on the wire.
+type wireEvent struct {
+	Coord []int   `json:"coord"`
+	Value float64 `json:"value"`
+	Time  int64   `json:"time"`
+}
+
+// streamStatus is the slice of the /v1/streams/{name} document the
+// generator needs: shape to aim queries at, warm-up geometry, and the
+// final convergence/admission numbers for the report.
+type streamStatus struct {
+	Started  bool    `json:"started"`
+	Now      int64   `json:"streamNow"`
+	Dims     []int   `json:"dims"`
+	W        int     `json:"w"`
+	Period   int64   `json:"period"`
+	Fitness  float64 `json:"fitness"`
+	Ingested uint64  `json:"ingested"`
+
+	Admission *struct {
+		AcceptedEvents uint64 `json:"acceptedEvents"`
+		LimitedEvents  uint64 `json:"limitedEvents"`
+		LimitedBatches uint64 `json:"limitedBatches"`
+	} `json:"admission"`
+}
+
+// apiEnvelope is the uniform error body every non-2xx response carries.
+type apiEnvelope struct {
+	Error struct {
+		Code    string `json:"code"`
+		Message string `json:"message"`
+	} `json:"error"`
+}
+
+// pushResult is one ingest request's outcome: the HTTP status, the
+// machine-readable error code for non-2xx, and the parsed Retry-After
+// hint on a 429.
+type pushResult struct {
+	status     int
+	code       string
+	retryAfter time.Duration
+}
+
+func (p pushResult) accepted() bool { return p.status == http.StatusAccepted }
+
+// client speaks the snsserve /v1 surface for one stream.
+type client struct {
+	hc     *http.Client
+	base   string // e.g. http://127.0.0.1:8080 — no trailing slash
+	stream string
+}
+
+func (c *client) url(suffix string) string {
+	return c.base + "/v1/streams/" + url.PathEscape(c.stream) + suffix
+}
+
+// post issues a JSON POST and decodes the error envelope on non-2xx.
+func (c *client) post(ctx context.Context, url string, body any) (pushResult, error) {
+	var buf bytes.Buffer
+	if body != nil {
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			return pushResult{}, err
+		}
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, &buf)
+	if err != nil {
+		return pushResult{}, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return pushResult{}, err
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	res := pushResult{status: resp.StatusCode}
+	if resp.StatusCode >= 300 {
+		var env apiEnvelope
+		if err := json.NewDecoder(resp.Body).Decode(&env); err == nil {
+			res.code = env.Error.Code
+		}
+		if ra := resp.Header.Get("Retry-After"); ra != "" {
+			if secs, err := strconv.Atoi(ra); err == nil && secs > 0 {
+				res.retryAfter = time.Duration(secs) * time.Second
+			}
+		}
+	}
+	return res, nil
+}
+
+// push sends one event batch. A transport failure is an error; an HTTP
+// rejection (429, 5xx, …) is a result — the open-loop generator records
+// it and moves on rather than retrying.
+func (c *client) push(ctx context.Context, events []wireEvent) (pushResult, error) {
+	return c.post(ctx, c.url("/events"), events)
+}
+
+func (c *client) start(ctx context.Context) (pushResult, error) {
+	return c.post(ctx, c.url("/start"), nil)
+}
+
+func (c *client) flush(ctx context.Context) error {
+	res, err := c.post(ctx, c.url("/flush"), nil)
+	if err != nil {
+		return err
+	}
+	if res.status >= 300 {
+		return fmt.Errorf("load: flush %s: HTTP %d (%s)", c.stream, res.status, res.code)
+	}
+	return nil
+}
+
+// status fetches the stream's snapshot document.
+func (c *client) status(ctx context.Context) (streamStatus, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url(""), nil)
+	if err != nil {
+		return streamStatus{}, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return streamStatus{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var env apiEnvelope
+		json.NewDecoder(resp.Body).Decode(&env)
+		return streamStatus{}, fmt.Errorf("load: status %s: HTTP %d (%s)", c.stream, resp.StatusCode, env.Error.Code)
+	}
+	var st streamStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return streamStatus{}, fmt.Errorf("load: status %s: %w", c.stream, err)
+	}
+	return st, nil
+}
+
+// predict issues one single-coordinate predict read and reports whether
+// it succeeded. The value itself is irrelevant to a load test; the
+// latency and error rate are the product.
+func (c *client) predict(ctx context.Context, coord []int) (ok bool, err error) {
+	var q bytes.Buffer
+	for i, v := range coord {
+		if i > 0 {
+			q.WriteByte(',')
+		}
+		q.WriteString(strconv.Itoa(v))
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url("/predict?coord="+q.String()), nil)
+	if err != nil {
+		return false, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return false, err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK, nil
+}
+
+// createStream defines the stream server-side (POST /v1/streams). The
+// config uses the engine's exported field names; only the knobs a replay
+// needs are settable here.
+func (c *client) createStream(ctx context.Context, cfg CreateConfig) error {
+	body := map[string]any{
+		"name": c.stream,
+		"config": map[string]any{
+			"Dims":      cfg.Dims,
+			"W":         cfg.W,
+			"Period":    cfg.Period,
+			"Rank":      cfg.Rank,
+			"Seed":      int64(1),
+			"RateLimit": cfg.RateLimit,
+			"RateBurst": cfg.RateBurst,
+		},
+	}
+	res, err := c.post(ctx, c.base+"/v1/streams", body)
+	if err != nil {
+		return err
+	}
+	switch res.status {
+	case http.StatusCreated:
+		return nil
+	case http.StatusConflict:
+		// Already exists: a re-run against a live server is fine — the
+		// replay targets whatever shape the stream has.
+		return nil
+	}
+	return fmt.Errorf("load: create stream %s: HTTP %d (%s)", c.stream, res.status, res.code)
+}
+
+// CreateStream defines the stream server-side before a replay — what
+// snsload -create runs after scanning the trace for its mode sizes. An
+// existing stream with the same name is left untouched.
+func CreateStream(ctx context.Context, hc *http.Client, baseURL, stream string, cfg CreateConfig) error {
+	if hc == nil {
+		hc = &http.Client{Timeout: 30 * time.Second}
+	}
+	c := &client{hc: hc, base: baseURL, stream: stream}
+	return c.createStream(ctx, cfg)
+}
+
+// CreateConfig is the stream shape snsload -create derives from a trace
+// scan (dataset.ScanFile) plus its flags.
+type CreateConfig struct {
+	Dims      []int
+	W         int
+	Period    int64
+	Rank      int
+	RateLimit float64
+	RateBurst float64
+}

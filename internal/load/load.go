@@ -1,0 +1,447 @@
+// Package load is the open-loop replay harness behind cmd/snsload: it
+// replays a timestamped dataset (internal/dataset) against a running
+// snsserve instance at a multiple of trace time, drives concurrent
+// predict readers against the same stream, and reports ingest and
+// predict latency quantiles plus admission outcomes as a machine-
+// readable SLO document.
+//
+// The generator is open-loop: each batch's send instant comes from the
+// trace clock (start + (tick−tick₀)·TickUnit/Speed), never from the
+// previous response. A slow or throttling server therefore cannot slow
+// the offered load down, and every latency is measured from the
+// *scheduled* send time — queueing delay accumulated while the sender
+// was stuck behind a stalled request is charged to the requests that
+// suffered it. This is the standard defence against coordinated
+// omission; a closed-loop harness would politely wait out exactly the
+// stalls an SLO needs to see.
+//
+// Rejected batches are not retried: under admission control a 429 means
+// the server chose to shed that load, and the honest measurement is to
+// count it shed, not to smear it into the future. The one exception is
+// the warm-up phase, which is deliberately closed-loop — the initial
+// window must be complete before Start, so warm-up honours Retry-After
+// and flush barriers instead of dropping ticks.
+package load
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"slicenstitch/internal/dataset"
+	"slicenstitch/internal/metrics"
+)
+
+// Options configures one replay run.
+type Options struct {
+	// BaseURL is the snsserve root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Stream is the target stream name. The stream must exist (snsload
+	// -create defines it from a trace scan first).
+	Stream string
+
+	// Speed is the trace-time acceleration factor: 10 replays one hour
+	// of trace in six minutes of wall time (default 1).
+	Speed float64
+	// TickUnit is the wall-clock duration of one trace-time unit at
+	// Speed 1 (default 1s: trace ticks are seconds).
+	TickUnit time.Duration
+
+	// Readers is the number of concurrent predict workers running
+	// against the stream during the replay (default 4, 0 disables).
+	Readers int
+	// ReadEvery paces each reader between predict requests (default
+	// 10ms).
+	ReadEvery time.Duration
+
+	// MaxBatch caps the events in one POST; a trace tick with more
+	// events is split (default 4096).
+	MaxBatch int
+	// MaxEvents stops the run after this many trace events, warm-up
+	// included (0 = the whole trace).
+	MaxEvents int64
+
+	// WarmupTicks is the leading span of trace time (in trace units)
+	// replayed closed-loop to fill the window before Start. Negative
+	// means derive W·Period from the stream's status document; 0 means
+	// no warm-up (the stream is expected to be started already).
+	WarmupTicks int64
+
+	// Client overrides the HTTP client (tests inject an httptest
+	// transport).
+	Client *http.Client
+	// Logf receives progress lines; nil is silent.
+	Logf func(format string, args ...any)
+}
+
+func (o Options) withDefaults() Options {
+	if o.Speed == 0 {
+		o.Speed = 1
+	}
+	if o.TickUnit == 0 {
+		o.TickUnit = time.Second
+	}
+	if o.Readers == 0 {
+		o.Readers = 4
+	}
+	if o.ReadEvery == 0 {
+		o.ReadEvery = 10 * time.Millisecond
+	}
+	if o.MaxBatch == 0 {
+		o.MaxBatch = 4096
+	}
+	if o.Client == nil {
+		o.Client = &http.Client{Timeout: 30 * time.Second}
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
+	}
+	return o
+}
+
+func (o Options) validate() error {
+	if o.BaseURL == "" || o.Stream == "" {
+		return errors.New("load: BaseURL and Stream are required")
+	}
+	if !(o.Speed >= 1e-9 && o.Speed <= 1e9) {
+		return fmt.Errorf("load: Speed must be in [1e-9, 1e9], got %g", o.Speed)
+	}
+	if o.TickUnit < 0 || o.Readers < 0 || o.MaxBatch < 1 {
+		return errors.New("load: negative TickUnit/Readers or MaxBatch < 1")
+	}
+	return nil
+}
+
+// batcher groups a trace into per-tick batches: consecutive events with
+// equal timestamps ride in one POST, capped at max events.
+type batcher struct {
+	r    dataset.Reader
+	max  int
+	pend *wireEvent // next event, read but not yet batched
+	done bool
+}
+
+// peek loads (without consuming) the next event and returns its tick,
+// or io.EOF at end of trace.
+func (b *batcher) peek() (int64, error) {
+	if b.pend == nil {
+		if b.done {
+			return 0, io.EOF
+		}
+		ev, err := b.r.Next()
+		if err != nil {
+			b.done = true
+			return 0, err
+		}
+		b.pend = &wireEvent{Coord: ev.Coord, Value: ev.Value, Time: ev.Time}
+	}
+	return b.pend.Time, nil
+}
+
+// next returns the next batch and its trace tick, or io.EOF.
+func (b *batcher) next() ([]wireEvent, int64, error) {
+	tick, err := b.peek()
+	if err != nil {
+		return nil, 0, err
+	}
+	batch := []wireEvent{*b.pend}
+	b.pend = nil
+	for len(batch) < b.max {
+		ev, err := b.r.Next()
+		if err == io.EOF {
+			b.done = true
+			break
+		}
+		if err != nil {
+			b.done = true
+			return nil, 0, err
+		}
+		w := wireEvent{Coord: ev.Coord, Value: ev.Value, Time: ev.Time}
+		if ev.Time != tick {
+			b.pend = &w
+			break
+		}
+		batch = append(batch, w)
+	}
+	return batch, tick, nil
+}
+
+// Run replays the trace against the server per opts and returns the SLO
+// report. The trace reader is consumed but not closed.
+func Run(ctx context.Context, trace dataset.Reader, opts Options) (*Report, error) {
+	opts = opts.withDefaults()
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	c := &client{hc: opts.Client, base: opts.BaseURL, stream: opts.Stream}
+
+	st, err := c.status(ctx)
+	if err != nil {
+		return nil, err
+	}
+	warmup := opts.WarmupTicks
+	if warmup < 0 {
+		warmup = int64(st.W) * st.Period
+	}
+	if st.Started {
+		// The window is already live; replaying the head closed-loop
+		// would only double-apply it.
+		warmup = 0
+	}
+
+	r := &runner{opts: opts, c: c, dims: st.Dims,
+		b: &batcher{r: trace, max: opts.MaxBatch}}
+	rep := &Report{
+		Stream:          opts.Stream,
+		Speed:           opts.Speed,
+		TickUnitSeconds: opts.TickUnit.Seconds(),
+		Readers:         opts.Readers,
+	}
+
+	if warmup > 0 && !st.Started {
+		if err := r.warmup(ctx, warmup, rep); err != nil {
+			return nil, err
+		}
+	}
+	if err := r.replay(ctx, rep); err != nil {
+		return nil, err
+	}
+	// Stamped after replay's deferred reader shutdown, so the counters
+	// and the predict histogram describe the same completed set.
+	rep.Reads = r.reads.Load()
+	rep.ReadErrors = r.readErrors.Load()
+
+	// Final barrier + status: the report's convergence numbers reflect
+	// every batch the server accepted, not just those applied so far.
+	if err := c.flush(ctx); err != nil {
+		opts.Logf("final flush: %v", err)
+	}
+	if fin, err := c.status(ctx); err == nil {
+		rep.FinalFitness = fin.Fitness
+		rep.FinalIngested = fin.Ingested
+		if fin.Admission != nil {
+			rep.ServerLimitedEvents = fin.Admission.LimitedEvents
+		}
+	}
+	rep.Ingest = summarize(r.ingestHist.Snapshot())
+	rep.Predict = summarize(r.predictHist.Snapshot())
+	rep.finish()
+	return rep, nil
+}
+
+// runner carries one run's mutable state.
+type runner struct {
+	opts Options
+	c    *client
+	b    *batcher
+	dims []int
+
+	events int64 // trace events consumed (warm-up + replay)
+
+	ingestHist  metrics.Histogram
+	predictHist metrics.Histogram
+
+	reads      atomic.Int64
+	readErrors atomic.Int64
+}
+
+// warmup replays the leading `ticks` trace units closed-loop: every
+// batch is delivered (Retry-After honoured on 429), flush barriers keep
+// the mailbox bounded, and the stream is warm-started at the end.
+func (r *runner) warmup(ctx context.Context, ticks int64, rep *Report) error {
+	r.opts.Logf("warm-up: %d trace units, closed-loop", ticks)
+	var first int64
+	n := 0
+	for {
+		tick, err := r.b.peek()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		if n == 0 {
+			first = tick
+		}
+		if tick >= first+ticks {
+			break // past the warm-up span: the replay phase takes over
+		}
+		batch, _, err := r.b.next()
+		if err != nil {
+			return err
+		}
+		for {
+			res, err := r.c.push(ctx, batch)
+			if err != nil {
+				return fmt.Errorf("load: warm-up push: %w", err)
+			}
+			if res.accepted() {
+				break
+			}
+			if res.status != http.StatusTooManyRequests {
+				return fmt.Errorf("load: warm-up push: HTTP %d (%s)", res.status, res.code)
+			}
+			rep.WarmupLimitedEvents += int64(len(batch))
+			// Closed loop: wait out the admission controller and retry
+			// the same batch — warm-up must be complete, not fast.
+			wait := res.retryAfter
+			if wait <= 0 {
+				wait = time.Second
+			}
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(wait):
+			}
+		}
+		r.events += int64(len(batch))
+		rep.WarmupEvents += int64(len(batch))
+		n++
+		if n%64 == 0 {
+			if err := r.c.flush(ctx); err != nil {
+				return err
+			}
+		}
+		if r.opts.MaxEvents > 0 && r.events >= r.opts.MaxEvents {
+			break
+		}
+	}
+	if err := r.c.flush(ctx); err != nil {
+		return err
+	}
+	res, err := r.c.start(ctx)
+	if err != nil {
+		return fmt.Errorf("load: start: %w", err)
+	}
+	if res.status >= 300 && res.code != "already_started" {
+		return fmt.Errorf("load: start: HTTP %d (%s)", res.status, res.code)
+	}
+	r.opts.Logf("warm-up done: %d events in %d batches, stream started", rep.WarmupEvents, n)
+	return nil
+}
+
+// replay is the open-loop phase: batches go out on the trace clock, and
+// predict readers run concurrently until the trace is drained.
+func (r *runner) replay(ctx context.Context, rep *Report) error {
+	tickDur := time.Duration(float64(r.opts.TickUnit) / r.opts.Speed)
+
+	// Predict readers: closed-loop probes measuring read latency while
+	// ingest load runs. Each has its own rng so coordinate choice needs
+	// no locking; seeds differ so readers don't stampede one cell.
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	if len(r.dims) > 0 {
+		for i := 0; i < r.opts.Readers; i++ {
+			wg.Add(1)
+			go r.reader(ctx, int64(i+1), done, &wg)
+		}
+	}
+	defer func() {
+		close(done)
+		wg.Wait()
+	}()
+
+	var (
+		start    time.Time // wall instant of the first replay batch
+		baseTick int64     // its trace tick
+		started  bool
+	)
+	for {
+		batch, tick, err := r.b.next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		if !started {
+			start, baseTick, started = time.Now(), tick, true
+		}
+		due := start.Add(time.Duration(tick-baseTick) * tickDur)
+		if lag := time.Until(due); lag > 0 {
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(lag):
+			}
+		} else if -lag.Seconds() > rep.MaxSchedLagSeconds {
+			rep.MaxSchedLagSeconds = -lag.Seconds()
+		}
+		res, err := r.c.push(ctx, batch)
+		// Open-loop accounting: latency from the scheduled instant, so
+		// time spent stuck behind a previous slow request is charged to
+		// this batch rather than silently omitted.
+		lat := time.Since(due)
+		r.events += int64(len(batch))
+		rep.Batches++
+		rep.Events += int64(len(batch))
+		rep.Ticks = tick - baseTick + 1
+		switch {
+		case err != nil:
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			rep.ErrorBatches++
+		case res.accepted():
+			rep.AcceptedBatches++
+			rep.AcceptedEvents += int64(len(batch))
+			r.ingestHist.Record(lat)
+		case res.status == http.StatusTooManyRequests:
+			rep.RateLimitedBatches++
+			rep.RateLimitedEvents += int64(len(batch))
+			if res.retryAfter > 0 {
+				rep.SawRetryAfter = true
+			}
+		default:
+			rep.ErrorBatches++
+		}
+		if r.opts.MaxEvents > 0 && r.events >= r.opts.MaxEvents {
+			break
+		}
+	}
+	if started {
+		rep.WallSeconds = time.Since(start).Seconds()
+	}
+	return nil
+}
+
+// reader is one closed-loop predict worker: uniform random coordinates,
+// paced by ReadEvery, latencies into the shared histogram.
+func (r *runner) reader(ctx context.Context, seed int64, done <-chan struct{}, wg *sync.WaitGroup) {
+	defer wg.Done()
+	rng := rand.New(rand.NewSource(seed))
+	coord := make([]int, len(r.dims))
+	for {
+		select {
+		case <-done:
+			return
+		case <-ctx.Done():
+			return
+		default:
+		}
+		for m, n := range r.dims {
+			coord[m] = rng.Intn(n)
+		}
+		t0 := time.Now()
+		ok, err := r.c.predict(ctx, coord)
+		r.predictHist.Record(time.Since(t0))
+		if err != nil || !ok {
+			r.readErrors.Add(1)
+		} else {
+			r.reads.Add(1)
+		}
+		select {
+		case <-done:
+			return
+		case <-ctx.Done():
+			return
+		case <-time.After(r.opts.ReadEvery):
+		}
+	}
+}

@@ -1,0 +1,189 @@
+package load
+
+import (
+	"encoding/json"
+	"io"
+	"strings"
+	"testing"
+	"time"
+
+	"slicenstitch/internal/dataset"
+	"slicenstitch/internal/metrics"
+)
+
+// sliceTrace is a slice-backed dataset.Reader for tests.
+type sliceTrace struct {
+	events []dataset.Event
+	i      int
+}
+
+func (s *sliceTrace) Next() (dataset.Event, error) {
+	if s.i >= len(s.events) {
+		return dataset.Event{}, io.EOF
+	}
+	ev := s.events[s.i]
+	s.i++
+	return ev, nil
+}
+
+func (s *sliceTrace) Close() error { return nil }
+
+func TestBatcherGroupsByTick(t *testing.T) {
+	tr := &sliceTrace{events: []dataset.Event{
+		{Coord: []int{0}, Value: 1, Time: 5},
+		{Coord: []int{1}, Value: 2, Time: 5},
+		{Coord: []int{2}, Value: 3, Time: 5},
+		{Coord: []int{0}, Value: 4, Time: 7},
+		{Coord: []int{1}, Value: 5, Time: 9},
+		{Coord: []int{2}, Value: 6, Time: 9},
+	}}
+	b := &batcher{r: tr, max: 16}
+
+	batch, tick, err := b.next()
+	if err != nil || tick != 5 || len(batch) != 3 {
+		t.Fatalf("batch 1: tick %d len %d err %v", tick, len(batch), err)
+	}
+	if batch[2].Value != 3 {
+		t.Fatalf("batch 1 order broken: %+v", batch)
+	}
+	batch, tick, err = b.next()
+	if err != nil || tick != 7 || len(batch) != 1 {
+		t.Fatalf("batch 2: tick %d len %d err %v", tick, len(batch), err)
+	}
+	batch, tick, err = b.next()
+	if err != nil || tick != 9 || len(batch) != 2 {
+		t.Fatalf("batch 3: tick %d len %d err %v", tick, len(batch), err)
+	}
+	if _, _, err = b.next(); err != io.EOF {
+		t.Fatalf("after drain: %v, want io.EOF", err)
+	}
+	// EOF is sticky.
+	if _, _, err = b.next(); err != io.EOF {
+		t.Fatalf("repeat after drain: %v, want io.EOF", err)
+	}
+}
+
+func TestBatcherSplitsOversizedTick(t *testing.T) {
+	events := make([]dataset.Event, 10)
+	for i := range events {
+		events[i] = dataset.Event{Coord: []int{i}, Value: 1, Time: 3}
+	}
+	b := &batcher{r: &sliceTrace{events: events}, max: 4}
+	var sizes []int
+	for {
+		batch, tick, err := b.next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil || tick != 3 {
+			t.Fatalf("tick %d err %v", tick, err)
+		}
+		sizes = append(sizes, len(batch))
+	}
+	if len(sizes) != 3 || sizes[0] != 4 || sizes[1] != 4 || sizes[2] != 2 {
+		t.Fatalf("split sizes = %v, want [4 4 2]", sizes)
+	}
+}
+
+func TestBatcherPeekDoesNotConsume(t *testing.T) {
+	tr := &sliceTrace{events: []dataset.Event{
+		{Coord: []int{0}, Value: 1, Time: 2},
+		{Coord: []int{1}, Value: 2, Time: 2},
+	}}
+	b := &batcher{r: tr, max: 16}
+	for i := 0; i < 3; i++ {
+		if tick, err := b.peek(); err != nil || tick != 2 {
+			t.Fatalf("peek %d: tick %d err %v", i, tick, err)
+		}
+	}
+	batch, _, err := b.next()
+	if err != nil || len(batch) != 2 {
+		t.Fatalf("next after peeks: len %d err %v", len(batch), err)
+	}
+}
+
+func TestOptionsValidate(t *testing.T) {
+	base := Options{BaseURL: "http://x", Stream: "s"}
+	if err := base.withDefaults().validate(); err != nil {
+		t.Fatalf("defaults invalid: %v", err)
+	}
+	// Mutations use values withDefaults leaves alone (only zero fields
+	// are defaulted), so each invalid setting reaches validate intact.
+	for name, mut := range map[string]func(*Options){
+		"no base url":   func(o *Options) { o.BaseURL = "" },
+		"no stream":     func(o *Options) { o.Stream = "" },
+		"neg speed":     func(o *Options) { o.Speed = -1 },
+		"nan speed":     func(o *Options) { o.Speed = nan() },
+		"neg batch":     func(o *Options) { o.MaxBatch = -1 },
+		"neg readers":   func(o *Options) { o.Readers = -1 },
+		"neg tick unit": func(o *Options) { o.TickUnit = -time.Second },
+	} {
+		o := base
+		mut(&o)
+		if err := o.withDefaults().validate(); err == nil {
+			t.Errorf("%s: validate accepted %+v", name, o)
+		}
+	}
+}
+
+func nan() float64 {
+	var zero float64
+	return zero / zero
+}
+
+func TestReportFinishAndJSON(t *testing.T) {
+	var h metrics.Histogram
+	for i := 0; i < 1000; i++ {
+		h.Record(time.Duration(i) * time.Microsecond)
+	}
+	r := &Report{
+		Stream:         "taxi",
+		Speed:          10,
+		Events:         500,
+		AcceptedEvents: 400,
+		WallSeconds:    2,
+		Ingest:         summarize(h.Snapshot()),
+	}
+	r.finish()
+	if r.OfferedEventsPerSec != 250 || r.AcceptedEventsPerSec != 200 {
+		t.Fatalf("rates: offered %g accepted %g", r.OfferedEventsPerSec, r.AcceptedEventsPerSec)
+	}
+	if r.Ingest.Count != 1000 || r.Ingest.P50Millis <= 0 ||
+		r.Ingest.P99Millis < r.Ingest.P50Millis || r.Ingest.P999Millis < r.Ingest.P99Millis {
+		t.Fatalf("ingest summary: %+v", r.Ingest)
+	}
+
+	// The SLO document must round-trip with the quantile keys a CI jq
+	// assertion reaches for.
+	var sb strings.Builder
+	if err := r.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal([]byte(sb.String()), &doc); err != nil {
+		t.Fatal(err)
+	}
+	ing, ok := doc["ingest"].(map[string]any)
+	if !ok {
+		t.Fatalf("no ingest object in %s", sb.String())
+	}
+	for _, k := range []string{"p50Millis", "p99Millis", "p999Millis", "count"} {
+		if _, ok := ing[k]; !ok {
+			t.Errorf("ingest summary missing %q", k)
+		}
+	}
+	for _, k := range []string{"rateLimitedBatches", "sawRetryAfter", "offeredEventsPerSec", "wallSeconds"} {
+		if _, ok := doc[k]; !ok {
+			t.Errorf("report missing %q", k)
+		}
+	}
+
+	// Table smoke test: every headline number shows up.
+	var tbl strings.Builder
+	r.WriteTable(&tbl)
+	for _, want := range []string{"taxi", "p999", "ingest", "predict"} {
+		if !strings.Contains(tbl.String(), want) {
+			t.Errorf("table missing %q:\n%s", want, tbl.String())
+		}
+	}
+}

@@ -1,0 +1,126 @@
+package load
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"slicenstitch/internal/metrics"
+)
+
+// LatencySummary condenses one latency histogram into SLO quantiles.
+// Values are milliseconds — the unit operators actually talk in.
+type LatencySummary struct {
+	Count      uint64  `json:"count"`
+	MeanMillis float64 `json:"meanMillis"`
+	P50Millis  float64 `json:"p50Millis"`
+	P99Millis  float64 `json:"p99Millis"`
+	P999Millis float64 `json:"p999Millis"`
+}
+
+func summarize(s metrics.HistogramSnapshot) LatencySummary {
+	ms := func(sec float64) float64 { return sec * 1e3 }
+	return LatencySummary{
+		Count:      s.Count,
+		MeanMillis: ms(s.MeanSeconds()),
+		P50Millis:  ms(s.Quantile(0.50)),
+		P99Millis:  ms(s.Quantile(0.99)),
+		P999Millis: ms(s.Quantile(0.999)),
+	}
+}
+
+// Report is the machine-readable outcome of one replay — what a CI SLO
+// gate consumes (BENCH_slo.json) and what the human table renders.
+type Report struct {
+	Stream          string  `json:"stream"`
+	Speed           float64 `json:"speed"`
+	TickUnitSeconds float64 `json:"tickUnitSeconds"`
+	Readers         int     `json:"readers"`
+
+	// Replay volume. Events/Batches cover the open-loop phase only;
+	// WarmupEvents were delivered closed-loop before Start.
+	WarmupEvents int64   `json:"warmupEvents"`
+	Ticks        int64   `json:"ticks"`
+	Events       int64   `json:"events"`
+	Batches      int64   `json:"batches"`
+	WallSeconds  float64 `json:"wallSeconds"`
+
+	// Outcomes, batch- and event-grained. RateLimited* count admission
+	// rejections (HTTP 429 rate_limited); ErrorBatches is everything
+	// else non-2xx plus transport failures.
+	AcceptedBatches    int64 `json:"acceptedBatches"`
+	AcceptedEvents     int64 `json:"acceptedEvents"`
+	RateLimitedBatches int64 `json:"rateLimitedBatches"`
+	RateLimitedEvents  int64 `json:"rateLimitedEvents"`
+	ErrorBatches       int64 `json:"errorBatches"`
+	// SawRetryAfter records whether at least one 429 carried a
+	// Retry-After hint — the contract the overload smoke test asserts.
+	SawRetryAfter bool `json:"sawRetryAfter"`
+	// WarmupLimitedEvents counts events in warm-up batches the server
+	// refused with 429 before a retry succeeded (the closed-loop phase
+	// retries; the open-loop phase never does).
+	WarmupLimitedEvents int64 `json:"warmupLimitedEvents"`
+	// ServerLimitedEvents is the server's own admission counter at the
+	// end of the run. With this generator as the stream's only producer
+	// it equals RateLimitedEvents + WarmupLimitedEvents.
+	ServerLimitedEvents uint64 `json:"serverLimitedEvents,omitempty"`
+
+	// Offered and accepted throughput over the open-loop phase.
+	OfferedEventsPerSec  float64 `json:"offeredEventsPerSec"`
+	AcceptedEventsPerSec float64 `json:"acceptedEventsPerSec"`
+	// MaxSchedLagSeconds is the worst scheduler debt: how far behind
+	// the trace clock a send actually left. Large values mean the
+	// generator (not the server) was the bottleneck and quantiles
+	// understate server latency.
+	MaxSchedLagSeconds float64 `json:"maxSchedLagSeconds"`
+
+	// Latency quantiles, measured from the scheduled send instant
+	// (ingest, accepted batches only) and from the request start
+	// (predict, closed-loop readers).
+	Ingest  LatencySummary `json:"ingest"`
+	Predict LatencySummary `json:"predict"`
+
+	Reads      int64 `json:"reads"`
+	ReadErrors int64 `json:"readErrors"`
+
+	// Server-side state after the final flush.
+	FinalFitness  float64 `json:"finalFitness"`
+	FinalIngested uint64  `json:"finalIngested"`
+}
+
+// finish derives the throughput rates once the counters are final.
+func (r *Report) finish() {
+	if r.WallSeconds > 0 {
+		r.OfferedEventsPerSec = float64(r.Events) / r.WallSeconds
+		r.AcceptedEventsPerSec = float64(r.AcceptedEvents) / r.WallSeconds
+	}
+}
+
+// WriteJSON writes the indented SLO document.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteTable renders the human-readable summary.
+func (r *Report) WriteTable(w io.Writer) {
+	fmt.Fprintf(w, "stream %s  speed %gx  tick %gs  readers %d\n",
+		r.Stream, r.Speed, r.TickUnitSeconds, r.Readers)
+	fmt.Fprintf(w, "replayed %d events / %d batches over %d ticks in %.2fs (warm-up %d events)\n",
+		r.Events, r.Batches, r.Ticks, r.WallSeconds, r.WarmupEvents)
+	fmt.Fprintf(w, "offered %.0f ev/s  accepted %.0f ev/s  rate-limited %d batches (%d events)  errors %d\n",
+		r.OfferedEventsPerSec, r.AcceptedEventsPerSec, r.RateLimitedBatches, r.RateLimitedEvents, r.ErrorBatches)
+	if r.MaxSchedLagSeconds > 0 {
+		fmt.Fprintf(w, "max scheduler lag %.3fs\n", r.MaxSchedLagSeconds)
+	}
+	fmt.Fprintf(w, "%-8s %10s %10s %10s %10s %10s\n", "", "count", "mean", "p50", "p99", "p999")
+	row := func(name string, s LatencySummary) {
+		fmt.Fprintf(w, "%-8s %10d %9.3fms %9.3fms %9.3fms %9.3fms\n",
+			name, s.Count, s.MeanMillis, s.P50Millis, s.P99Millis, s.P999Millis)
+	}
+	row("ingest", r.Ingest)
+	row("predict", r.Predict)
+	fmt.Fprintf(w, "reads %d (errors %d)  final fitness %.4f  final ingested %d\n",
+		r.Reads, r.ReadErrors, r.FinalFitness, r.FinalIngested)
+}

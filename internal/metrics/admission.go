@@ -1,0 +1,58 @@
+package metrics
+
+import "sync/atomic"
+
+// AdmissionStats counts a stream's admission-control decisions: events
+// admitted past the token bucket and events (and whole batches) refused
+// by it. Recording is one atomic add per PushBatch, safe from any number
+// of producer goroutines; the engine only allocates a recorder for
+// streams with a configured rate limit, so unlimited streams carry no
+// admission state at all.
+type AdmissionStats struct {
+	accepted       atomic.Uint64
+	limited        atomic.Uint64
+	limitedBatches atomic.Uint64
+}
+
+// RecordAccept counts n events admitted past the rate limit.
+func (s *AdmissionStats) RecordAccept(n int) { s.accepted.Add(uint64(n)) }
+
+// RecordLimited counts one refused batch of n events.
+func (s *AdmissionStats) RecordLimited(n int) {
+	s.limited.Add(uint64(n))
+	s.limitedBatches.Add(1)
+}
+
+// Accepted returns the number of events admitted.
+func (s *AdmissionStats) Accepted() uint64 { return s.accepted.Load() }
+
+// Limited returns the number of events refused.
+func (s *AdmissionStats) Limited() uint64 { return s.limited.Load() }
+
+// LimitedBatches returns the number of refused PushBatch calls.
+func (s *AdmissionStats) LimitedBatches() uint64 { return s.limitedBatches.Load() }
+
+// AdmissionReport is the JSON-friendly admission view for status
+// endpoints and the /metrics exposition. The configuration and the live
+// token count are stamped by the engine, which owns the bucket.
+type AdmissionReport struct {
+	// RateLimit and Burst echo the stream's configured token bucket.
+	RateLimit float64 `json:"rateLimit"`
+	Burst     float64 `json:"burst"`
+	// Tokens is the bucket's current fill, refilled to the read instant.
+	Tokens float64 `json:"tokens"`
+	// AcceptedEvents / LimitedEvents / LimitedBatches are lifetime
+	// decision counters.
+	AcceptedEvents uint64 `json:"acceptedEvents"`
+	LimitedEvents  uint64 `json:"limitedEvents"`
+	LimitedBatches uint64 `json:"limitedBatches"`
+}
+
+// Report snapshots the counters. The engine fills in the bucket fields.
+func (s *AdmissionStats) Report() AdmissionReport {
+	return AdmissionReport{
+		AcceptedEvents: s.Accepted(),
+		LimitedEvents:  s.Limited(),
+		LimitedBatches: s.LimitedBatches(),
+	}
+}

@@ -26,6 +26,10 @@ type StreamMetrics struct {
 	// Repl is the stream's replication view — lag, bootstrap and
 	// reconnect counters — on a follower engine; nil on a leader.
 	Repl *metrics.ReplReport `json:"replication,omitempty"`
+	// Admission is the stream's admission-control view (token-bucket
+	// configuration, live fill, accepted/limited counters); nil for
+	// streams without a RateLimit.
+	Admission *metrics.AdmissionReport `json:"admission,omitempty"`
 }
 
 // EngineMetrics is the engine-wide observability snapshot: one entry per
@@ -95,6 +99,7 @@ func (e *Engine) Metrics() EngineMetrics {
 			rr := rs.Report()
 			sm.Repl = &rr
 		}
+		sm.Admission = s.admissionReport()
 		m.Streams = append(m.Streams, sm)
 	}
 	return m

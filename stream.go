@@ -57,15 +57,25 @@ func (st *Stream) Stopped() bool { return st.sh.mb.Closed() }
 // ownership of the slice; don't mutate it afterwards. Under
 // BackpressureError a full mailbox returns an error wrapping
 // ErrBackpressure; under BackpressureBlock a blocked put unblocks with
-// ctx.Err() on cancellation. Per-event validation errors surface in the
-// snapshot (LastError, LastBatchRejected, IngestErrors), not here. The
-// steady-state path is allocation-free.
+// ctx.Err() on cancellation. On a stream with a RateLimit, a batch the
+// token bucket cannot admit is refused whole — before the mailbox —
+// with a *RateLimitError (wrapping ErrRateLimited) carrying the retry
+// wait. Per-event validation errors surface in the snapshot (LastError,
+// LastBatchRejected, IngestErrors), not here. The steady-state path is
+// allocation-free.
 func (st *Stream) PushBatch(ctx context.Context, events []Event) error {
 	if st.sh.eng.follower != nil {
 		return fmt.Errorf("%w: ingest on %q", ErrReadOnly, st.sh.name)
 	}
 	if len(events) == 0 {
 		return nil
+	}
+	if lim := st.sh.limiter; lim != nil {
+		if ok, retry := lim.Take(float64(len(events))); !ok {
+			st.sh.adm.RecordLimited(len(events))
+			return &RateLimitError{Stream: st.sh.name, RetryAfter: retry}
+		}
+		st.sh.adm.RecordAccept(len(events))
 	}
 	switch err := st.sh.mb.PutCtx(ctx, shardMsg{op: opBatch, batch: events}); err {
 	case nil:
